@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 12 and Table III (Finding 10): read and write
+ * traffic aggregating in read-mostly and write-mostly blocks
+ * (>95% single-direction traffic).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/analyzer.h"
+#include "analysis/block_traffic.h"
+#include "common/format.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "report/workbench.h"
+
+using namespace cbs;
+
+int
+main()
+{
+    printBenchHeader(
+        "Fig. 12 + Table III / Finding 10: read/write-mostly blocks",
+        "paper: AliCloud 59.2% of reads to read-mostly, 80.7% of "
+        "writes to write-mostly; MSRC 75.9% / 33.5%");
+
+    TextTable table3("Table III: overall traffic to r/w-mostly blocks");
+    table3.header({"metric", "AliCloud", "paper", "MSRC", "paper"});
+    std::vector<std::string> r_cells, w_cells;
+
+    TraceBundle bundles[2] = {aliCloudSpan(), msrcSpan()};
+    for (TraceBundle &bundle : bundles) {
+        printBundleInfo(bundle);
+        BlockTrafficAnalyzer traffic;
+        runPipeline(*bundle.source, {&traffic});
+
+        std::printf("--- %s (Fig. 12 CDF across volumes) ---\n",
+                    bundle.label.c_str());
+        auto pct = [](double v) { return formatPercent(v); };
+        printCdfQuantiles("reads to read-mostly",
+                          traffic.readMostlyShares(),
+                          {0.1, 0.25, 0.5, 0.75}, pct);
+        printCdfQuantiles("writes to write-mostly",
+                          traffic.writeMostlyShares(),
+                          {0.1, 0.25, 0.5, 0.75}, pct);
+        std::printf("  medians: reads %s (paper %s), writes %s "
+                    "(paper %s)\n\n",
+                    pct(traffic.readMostlyShares().quantile(0.5)).c_str(),
+                    bundle.label == "AliCloud" ? "83%" : "90%",
+                    pct(traffic.writeMostlyShares().quantile(0.5)).c_str(),
+                    bundle.label == "AliCloud" ? "99%" : "75%");
+
+        r_cells.push_back(pct(traffic.overallReadToReadMostly()));
+        w_cells.push_back(pct(traffic.overallWriteToWriteMostly()));
+    }
+
+    table3.row({"reads to read-mostly blocks", r_cells[0], "59.2%",
+                r_cells[1], "75.9%"});
+    table3.row({"writes to write-mostly blocks", w_cells[0], "80.7%",
+                w_cells[1], "33.5%"});
+    table3.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig. 13 and Table IV (Finding 11): update coverage
+ * (update WSS / total WSS) across volumes.
+ */
+
+#include <array>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/analyzer.h"
+#include "analysis/update_coverage.h"
+#include "common/format.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "report/workbench.h"
+
+using namespace cbs;
+
+int
+main()
+{
+    printBenchHeader(
+        "Fig. 13 + Table IV / Finding 11: update coverage",
+        "paper: AliCloud mean/median/p90 = 76.6/61.2/92.1%; MSRC "
+        "36.2/9.4/63.0%; 45.2% of AliCloud volumes above 65%");
+
+    TextTable table4("Table IV: update coverage across volumes");
+    table4.header({"metric", "AliCloud", "paper", "MSRC", "paper"});
+    std::vector<std::array<std::string, 3>> cells;
+
+    TraceBundle bundles[2] = {aliCloudSpan(), msrcSpan()};
+    for (TraceBundle &bundle : bundles) {
+        printBundleInfo(bundle);
+        UpdateCoverageAnalyzer coverage;
+        runPipeline(*bundle.source, {&coverage});
+        bool ali = bundle.label == "AliCloud";
+
+        const Ecdf &cdf = coverage.coverage();
+        auto pct = [](double v) { return formatPercent(v); };
+        std::printf("--- %s (Fig. 13) ---\n", bundle.label.c_str());
+        printCdfQuantiles("update coverage", cdf,
+                          {0.1, 0.25, 0.5, 0.75, 0.9}, pct);
+        std::printf("  volumes above 65%% coverage: %s   (paper: %s)\n\n",
+                    formatPercent(1 - cdf.at(0.65)).c_str(),
+                    ali ? "45.2%" : "8.3% (3 of 36)");
+
+        cells.push_back({pct(cdf.samples().mean()),
+                         pct(cdf.quantile(0.5)), pct(cdf.quantile(0.9))});
+    }
+
+    table4.row({"mean", cells[0][0], "76.6%", cells[1][0], "36.2%"});
+    table4.row({"median", cells[0][1], "61.2%", cells[1][1], "9.4%"});
+    table4.row(
+        {"90th percentile", cells[0][2], "92.1%", cells[1][2], "63.0%"});
+    table4.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Fig. 15 and the RAR/WAR half of Table V (Finding 13):
+ * elapsed times and counts of read-after-read and write-after-read
+ * pairs.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/analyzer.h"
+#include "analysis/temporal_pairs.h"
+#include "common/format.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "report/workbench.h"
+
+using namespace cbs;
+
+int
+main()
+{
+    printBenchHeader(
+        "Fig. 15 + Table V (RAR/WAR) / Finding 13",
+        "paper: RAR medians 2.0min (AliCloud) / 5.0min (MSRC); WAR "
+        "medians 18.3h / 5.5h; RAR count = 2.5x / 4.2x WAR count");
+
+    TextTable table5("Table V: RAR / WAR pair counts (paper-equiv, M)");
+    table5.header({"trace", "RAR", "paper", "WAR", "paper"});
+
+    TraceBundle bundles[2] = {aliCloudSpan(), msrcSpan()};
+    for (TraceBundle &bundle : bundles) {
+        printBundleInfo(bundle);
+        TemporalPairsAnalyzer pairs;
+        runPipeline(*bundle.source, {&pairs});
+        bool ali = bundle.label == "AliCloud";
+
+        auto dur = [](double v) { return formatDurationUs(v); };
+        std::printf("--- %s (Fig. 15 elapsed-time CDFs) ---\n",
+                    bundle.label.c_str());
+        printHistQuantiles("RAR time", pairs.times(PairKind::RAR),
+                           {0.25, 0.5, 0.75, 0.9}, dur);
+        printHistQuantiles("WAR time", pairs.times(PairKind::WAR),
+                           {0.25, 0.5, 0.75, 0.9}, dur);
+        std::printf(
+            "  RAR < 1 min: %s   (paper: %s)\n",
+            formatPercent(
+                pairs.times(PairKind::RAR).cdfAt(units::minute))
+                .c_str(),
+            ali ? "22.1%" : "35.6%");
+        std::printf(
+            "  WAR < 1 min: %s   (paper: %s)\n",
+            formatPercent(
+                pairs.times(PairKind::WAR).cdfAt(units::minute))
+                .c_str(),
+            ali ? "2.8%" : "29.2%");
+        std::printf(
+            "  WAR > 1 h:   %s   (paper: %s)\n",
+            formatPercent(
+                1 - pairs.times(PairKind::WAR).cdfAt(units::hour))
+                .c_str(),
+            ali ? "88.8%" : "66.7%");
+        double rar_to_war =
+            pairs.count(PairKind::WAR)
+                ? static_cast<double>(pairs.count(PairKind::RAR)) /
+                      static_cast<double>(pairs.count(PairKind::WAR))
+                : 0.0;
+        std::printf("  RAR/WAR count ratio: %.2f   (paper: %s)\n\n",
+                    rar_to_war, ali ? "2.54" : "4.19");
+
+        auto scaledM = [&](PairKind kind) {
+            return formatMillions(static_cast<std::uint64_t>(
+                static_cast<double>(pairs.count(kind)) *
+                bundle.count_scale));
+        };
+        table5.row({bundle.label, scaledM(PairKind::RAR),
+                    ali ? "29,845.0" : "1,382.6", scaledM(PairKind::WAR),
+                    ali ? "11,760.6" : "330.0"});
+    }
+    table5.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Fig. 6 and Table II (Findings 2-3): per-volume burstiness
+ * ratios (peak / average intensity) and the overall aggregate
+ * burstiness.
+ *
+ * Burstiness is a full-duration property (a volume's long-run average
+ * vs its hottest minute) that uniform thinning cannot preserve, so
+ * this bench runs on the burstiness-calibrated day-long traces
+ * (scheduled bursts; see aliCloudBurstinessSpec). Ratios are
+ * scale-free; Table II's absolute intensities are reported per volume
+ * population and are not directly comparable (DESIGN.md 5).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/load_intensity.h"
+#include "common/format.h"
+#include "report/table.h"
+#include "report/workbench.h"
+
+using namespace cbs;
+
+int
+main()
+{
+    printBenchHeader(
+        "Fig. 6 + Table II / Findings 2-3: burstiness ratios",
+        "paper: 20.7% (AliCloud) / 38.9% (MSRC) of volumes above 100; "
+        "AliCloud spans a wider range; overall ratios 2.11 / 7.39");
+
+    TextTable table2("Table II: overall intensities (paper-equiv) and "
+                     "burstiness");
+    table2.header({"metric", "AliCloud", "paper", "MSRC", "paper"});
+    std::vector<std::vector<std::string>> rows(3);
+
+    TraceBundle bundles[2] = {aliCloudBurstiness(), msrcBurstiness()};
+    for (TraceBundle &bundle : bundles) {
+        printBundleInfo(bundle);
+        LoadIntensityAnalyzer intensity(units::minute);
+        runPipeline(*bundle.source, {&intensity});
+        bool ali = bundle.label == "AliCloud";
+
+        const Ecdf &ratios = intensity.burstinessRatios();
+        std::printf("--- %s (Fig. 6 CDF spot values) ---\n",
+                    bundle.label.c_str());
+        for (double t : {1.0, 10.0, 100.0, 1000.0}) {
+            std::printf("  burstiness <= %-6g: %s of volumes\n", t,
+                        formatPercent(ratios.at(t)).c_str());
+        }
+        std::printf("  ratio > 100:  %s   (paper: %s)\n",
+                    formatPercent(1 - ratios.at(100.0)).c_str(),
+                    ali ? "20.7%" : "38.9%");
+        std::printf("  ratio < 10:   %s   (paper: %s)\n",
+                    formatPercent(ratios.at(10.0)).c_str(),
+                    ali ? "25.8%" : "2.78%");
+        std::printf("  ratio > 1000: %s   (paper: %s)\n\n",
+                    formatPercent(1 - ratios.at(1000.0)).c_str(),
+                    ali ? "2.60%" : "0%");
+
+        const IntensityStats &overall = intensity.overall();
+        double scale = bundle.count_scale;
+        rows[0].push_back(formatFixed(
+            overall.peakIntensity(units::minute) * scale, 1));
+        rows[0].push_back(ali ? "15965.8" : "5296.8");
+        rows[1].push_back(
+            formatFixed(overall.avgIntensity() * scale, 1));
+        rows[1].push_back(ali ? "7554.1" : "717.0");
+        rows[2].push_back(
+            formatFixed(overall.burstinessRatio(units::minute), 2));
+        rows[2].push_back(ali ? "2.11" : "7.39");
+    }
+
+    table2.row({"peak intensity (req/s)", rows[0][0], rows[0][1],
+                rows[0][2], rows[0][3]});
+    table2.row({"average intensity (req/s)", rows[1][0], rows[1][1],
+                rows[1][2], rows[1][3]});
+    table2.row({"burstiness ratio", rows[2][0], rows[2][1], rows[2][2],
+                rows[2][3]});
+    table2.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Microbenchmarks of the performance-critical substrates
+ * (google-benchmark). Production traces are billions of requests, so
+ * per-request costs here bound end-to-end analysis time: the hash map,
+ * the log histogram, the cache policies, the reuse-distance tree, the
+ * generator, and CSV/binary parsing.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/basic_stats.h"
+#include "analysis/temporal_pairs.h"
+#include "cache/cache_policy.h"
+#include "cache/reuse_distance.h"
+#include "common/flat_map.h"
+#include "stats/log_histogram.h"
+#include "stats/p2_quantile.h"
+#include "synth/models.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+#include "trace/bin_trace.h"
+#include "trace/csv.h"
+
+namespace cbs {
+namespace {
+
+void
+BM_FlatMapInsertFind(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<std::uint64_t> keys(1 << 16);
+    for (auto &k : keys)
+        k = rng.nextU64();
+    for (auto _ : state) {
+        FlatMap<std::uint64_t> map(keys.size());
+        for (std::uint64_t k : keys)
+            map[k] = k;
+        std::uint64_t sum = 0;
+        for (std::uint64_t k : keys)
+            sum += *map.find(k);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * keys.size());
+}
+BENCHMARK(BM_FlatMapInsertFind);
+
+void
+BM_LogHistogramAdd(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<std::uint64_t> values(1 << 16);
+    for (auto &v : values)
+        v = static_cast<std::uint64_t>(rng.logUniform(1, 1e12));
+    LogHistogram hist(7);
+    for (auto _ : state) {
+        for (std::uint64_t v : values)
+            hist.add(v);
+    }
+    state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_LogHistogramAdd);
+
+void
+BM_P2QuantileAdd(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<double> values(1 << 16);
+    for (auto &v : values)
+        v = rng.uniform();
+    P2Quantile p(0.95);
+    for (auto _ : state) {
+        for (double v : values)
+            p.add(v);
+    }
+    state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler zipf(1 << 20, 0.9);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_CachePolicy(benchmark::State &state, const char *policy)
+{
+    Rng rng(5);
+    ZipfSampler zipf(1 << 16, 0.9);
+    std::vector<std::uint64_t> keys(1 << 16);
+    for (auto &k : keys)
+        k = zipf.sample(rng);
+    auto cache = makeCachePolicy(policy, 1 << 12);
+    for (auto _ : state) {
+        std::uint64_t hits = 0;
+        for (std::uint64_t k : keys)
+            hits += cache->access(k);
+        benchmark::DoNotOptimize(hits);
+    }
+    state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK_CAPTURE(BM_CachePolicy, lru, "lru");
+BENCHMARK_CAPTURE(BM_CachePolicy, clock, "clock");
+BENCHMARK_CAPTURE(BM_CachePolicy, arc, "arc");
+
+void
+BM_ReuseDistance(benchmark::State &state)
+{
+    Rng rng(6);
+    ZipfSampler zipf(1 << 14, 0.9);
+    std::vector<std::uint64_t> keys(1 << 15);
+    for (auto &k : keys)
+        k = zipf.sample(rng);
+    for (auto _ : state) {
+        ReuseDistance rd;
+        for (std::uint64_t k : keys)
+            benchmark::DoNotOptimize(rd.access(k));
+    }
+    state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_ReuseDistance);
+
+void
+BM_SyntheticGeneration(benchmark::State &state)
+{
+    PopulationSpec spec = aliCloudSpanSpec(SpanScale{20, 50000});
+    for (auto _ : state) {
+        auto source = makeTrace(spec, 1);
+        IoRequest req;
+        std::uint64_t count = 0;
+        while (source->next(req))
+            ++count;
+        benchmark::DoNotOptimize(count);
+        state.SetItemsProcessed(state.items_processed() + count);
+    }
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+void
+BM_AnalyzerPipeline(benchmark::State &state)
+{
+    auto source = makeTrace(aliCloudSpanSpec(SpanScale{20, 50000}), 1);
+    VectorSource requests(drain(*source));
+    for (auto _ : state) {
+        requests.reset();
+        BasicStatsAnalyzer basic;
+        TemporalPairsAnalyzer pairs;
+        runPipeline(requests, {&basic, &pairs});
+        benchmark::DoNotOptimize(basic.stats().requests());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            requests.requests().size());
+}
+BENCHMARK(BM_AnalyzerPipeline);
+
+void
+BM_CsvParse(benchmark::State &state)
+{
+    auto source = makeTrace(aliCloudSpanSpec(SpanScale{10, 20000}), 1);
+    std::ostringstream csv;
+    AliCloudCsvWriter writer(csv);
+    IoRequest req;
+    while (source->next(req))
+        writer.write(req);
+    std::string text = csv.str();
+    for (auto _ : state) {
+        std::istringstream in(text);
+        AliCloudCsvReader reader(in);
+        std::uint64_t count = 0;
+        while (reader.next(req))
+            ++count;
+        benchmark::DoNotOptimize(count);
+        state.SetItemsProcessed(state.items_processed() + count);
+    }
+    state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_CsvParse);
+
+void
+BM_BinTraceParse(benchmark::State &state)
+{
+    auto source = makeTrace(aliCloudSpanSpec(SpanScale{10, 20000}), 1);
+    std::stringstream bin;
+    BinTraceWriter writer(bin);
+    IoRequest req;
+    while (source->next(req))
+        writer.write(req);
+    writer.finish();
+    std::string bytes = bin.str();
+    for (auto _ : state) {
+        std::istringstream in(bytes);
+        BinTraceReader reader(in);
+        std::uint64_t count = 0;
+        while (reader.next(req))
+            ++count;
+        benchmark::DoNotOptimize(count);
+        state.SetItemsProcessed(state.items_processed() + count);
+    }
+    state.SetBytesProcessed(state.iterations() * bytes.size());
+}
+BENCHMARK(BM_BinTraceParse);
+
+} // namespace
+} // namespace cbs
+
+BENCHMARK_MAIN();

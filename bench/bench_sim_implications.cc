@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The paper's §V design implications, quantified on the calibrated
+ * traces:
+ *
+ *  1. write off-loading (Findings 5-7): idle-time gain when writes are
+ *     redirected away from volumes;
+ *  2. load balancing (Findings 1-3): placement-policy imbalance on the
+ *     burstiness-calibrated population;
+ *  3. flash management (Findings 8/11/14): FTL write amplification of
+ *     the AliCloud write stream vs. a log-structured remapping of the
+ *     same stream.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/analyzer.h"
+#include "common/format.h"
+#include "report/table.h"
+#include "report/workbench.h"
+#include "sim/ftl.h"
+#include "sim/load_balancer.h"
+#include "sim/write_cache.h"
+#include "sim/write_offload.h"
+
+using namespace cbs;
+
+namespace {
+
+void
+writeOffloadStudy()
+{
+    std::printf("== 1. Write off-loading (Findings 5-7) ==\n");
+    TraceBundle bundles[2] = {aliCloudSpan(SpanScale{120, 1.0e6}),
+                              msrcSpan(SpanScale{36, 0.6e6})};
+    for (TraceBundle &bundle : bundles) {
+        WriteOffloadSim sim(units::minute, bundle.spec.duration);
+        runPipeline(*bundle.source, {&sim});
+        const auto &summary = sim.summary();
+        std::printf("  %-9s idle %s -> %s with writes off-loaded "
+                    "(gain %s)\n",
+                    bundle.label.c_str(),
+                    formatPercent(summary.baseline_idle_fraction)
+                        .c_str(),
+                    formatPercent(summary.offloaded_idle_fraction)
+                        .c_str(),
+                    formatPercent(summary.gain()).c_str());
+    }
+    std::printf("\n");
+}
+
+void
+loadBalanceStudy()
+{
+    std::printf("== 2. Load balancing (Findings 1-3) ==\n");
+    PopulationSpec spec = aliCloudBurstinessSpec(96);
+    auto source = makeTrace(spec, kBenchSeed);
+    LoadMatrixAnalyzer matrix(10 * units::minute, spec.duration);
+    runPipeline(*source, {&matrix});
+    LoadBalancer balancer(matrix, 8);
+    for (PlacementPolicy policy :
+         {PlacementPolicy::RoundRobin, PlacementPolicy::Random,
+          PlacementPolicy::LeastLoaded, PlacementPolicy::BurstAware}) {
+        PlacementResult result = balancer.place(policy, 3);
+        std::printf("  %-13s total imbalance %.2f, worst interval "
+                    "%.2f\n",
+                    placementPolicyName(policy),
+                    result.total_imbalance,
+                    result.worst_interval_imbalance);
+    }
+    std::printf("\n");
+}
+
+void
+flashStudy()
+{
+    std::printf("== 3. Flash management (Findings 8/11/14) ==\n");
+    // Replay the AliCloud write stream of a mid-size device through
+    // the FTL twice: as-is (random small writes) and remapped into a
+    // log (the paper's log-structured recommendation).
+    FtlConfig config;
+    config.flash_blocks = 1024;
+    config.pages_per_block = 64;
+    config.gc_reserve_blocks = 8;
+    config.op_ratio = 0.875;
+
+    FtlSim direct(config);
+    FtlSim logged(config);
+    std::uint64_t log_head = 0;
+
+    TraceBundle bundle = aliCloudSpan(SpanScale{8, 0.8e6});
+    IoRequest req;
+    std::uint64_t pages = direct.logicalPages();
+    while (bundle.source->next(req)) {
+        if (!req.isWrite())
+            continue;
+        forEachBlock(req, kDefaultBlockSize, [&](BlockNo block) {
+            direct.writePage(block % pages);
+            logged.writePage(log_head++ % pages);
+        });
+    }
+    std::printf("  direct (in-place) write amplification: %.2f, wear "
+                "spread %.2f\n",
+                direct.writeAmplification(), direct.wearSpread());
+    std::printf("  log-structured remap amplification:    %.2f, wear "
+                "spread %.2f\n",
+                logged.writeAmplification(), logged.wearSpread());
+    std::printf("  -> the log-structured design avoids %.0f%% of "
+                "flash writes on this workload\n\n",
+                (1.0 - logged.writeAmplification() /
+                           direct.writeAmplification()) *
+                    100.0);
+}
+
+void
+writeCacheStudy()
+{
+    std::printf("== 4. Staging write cache (Findings 12-13) ==\n");
+    // The Griffin bet: short WAW times mean overwrites coalesce in a
+    // staging cache, long RAW times mean few reads hit it.
+    TraceBundle bundle = aliCloudSpan(SpanScale{60, 1.0e6});
+    WriteCacheConfig config;
+    config.capacity_blocks = 1 << 18;
+    config.max_residency = units::hour;
+    WriteCacheSim sim(config);
+    runPipeline(*bundle.source, {&sim});
+    const auto &stats = sim.stats();
+    std::printf("  write absorption: %s of write traffic coalesced "
+                "before destage\n",
+                formatPercent(stats.absorptionRatio()).c_str());
+    std::printf("  destage traffic:  %s of offered writes reach "
+                "primary storage\n",
+                formatPercent(stats.destageRatio()).c_str());
+    std::printf("  staged reads:     %s of reads served from the "
+                "staging device\n",
+                formatPercent(stats.stagedReadRatio()).c_str());
+    std::printf("  -> high absorption with rare staged reads is the "
+                "paper's argument for disk-based write caching\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    printBenchHeader("Section V design implications, quantified");
+    writeOffloadStudy();
+    loadBalanceStudy();
+    flashStudy();
+    writeCacheStudy();
+    return 0;
+}

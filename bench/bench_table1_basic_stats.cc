@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Reproduces Table I: basic statistics of AliCloud and MSRC — request
+ * counts, traffic volumes, and working-set sizes — plus the derived
+ * §III-C observations (write-to-read ratio, read/write WSS shares).
+ *
+ * Counts are measured on the scaled traces and shown next to their
+ * paper-equivalent magnitudes (measured x count_scale); ratios and
+ * shares are directly comparable.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/analyzer.h"
+#include "analysis/basic_stats.h"
+#include "common/format.h"
+#include "report/table.h"
+#include "report/workbench.h"
+
+using namespace cbs;
+
+namespace {
+
+/** Paper values (Table I) for the side-by-side columns. */
+struct PaperColumn
+{
+    double volumes;
+    double days;
+    double reads_m;
+    double writes_m;
+    double read_tib;
+    double write_tib;
+    double update_tib;
+    double total_wss_tib;
+    double read_wss_tib;
+    double write_wss_tib;
+    double update_wss_tib;
+};
+
+constexpr PaperColumn kPaperAli = {1000, 31,   5058.6, 15174.4, 161.6,
+                                   455.5, 429.2, 29.5,  10.1,   26.3,
+                                   18.6};
+constexpr PaperColumn kPaperMsrc = {36,   7,    304.9, 128.9, 9.04,
+                                    2.39, 2.01, 2.87,  2.82,  0.38,
+                                    0.17};
+
+std::string
+scaledMillions(std::uint64_t measured, double scale)
+{
+    return formatFixed(static_cast<double>(measured) * scale / 1e6, 1);
+}
+
+std::string
+scaledTiB(std::uint64_t bytes, double scale)
+{
+    return formatFixed(static_cast<double>(bytes) * scale /
+                           static_cast<double>(units::TiB),
+                       2);
+}
+
+} // namespace
+
+int
+main()
+{
+    printBenchHeader(
+        "Table I: basic statistics of AliCloud and MSRC",
+        "measured counts are scaled to paper-equivalents via the "
+        "count-scale factor (DESIGN.md 5)");
+
+    TraceBundle ali = aliCloudSpan();
+    TraceBundle msrc = msrcSpan();
+    printBundleInfo(ali);
+    printBundleInfo(msrc);
+    std::printf("\n");
+
+    BasicStatsAnalyzer ali_stats;
+    runPipeline(*ali.source, {&ali_stats});
+    BasicStatsAnalyzer msrc_stats;
+    runPipeline(*msrc.source, {&msrc_stats});
+
+    auto emit = [](const char *metric, const std::string &ali_v,
+                   double ali_paper, const std::string &msrc_v,
+                   double msrc_paper, TextTable &table) {
+        table.row({metric, ali_v, formatFixed(ali_paper, 1), msrc_v,
+                   formatFixed(msrc_paper, 1)});
+    };
+
+    const BasicStats &a = ali_stats.stats();
+    const BasicStats &m = msrc_stats.stats();
+    double as = ali.count_scale;
+    double ms = msrc.count_scale;
+
+    TextTable table("Table I (paper-equivalent magnitudes)");
+    table.header({"metric", "AliCloud", "paper", "MSRC", "paper"});
+    emit("volumes", formatCount(a.volumes), kPaperAli.volumes,
+         formatCount(m.volumes), kPaperMsrc.volumes, table);
+    emit("duration (days)",
+         formatFixed(static_cast<double>(a.last_timestamp -
+                                         a.first_timestamp) /
+                         static_cast<double>(units::day),
+                     1),
+         kPaperAli.days,
+         formatFixed(static_cast<double>(m.last_timestamp -
+                                         m.first_timestamp) /
+                         static_cast<double>(units::day),
+                     1),
+         kPaperMsrc.days, table);
+    emit("reads (M)", scaledMillions(a.reads, as), kPaperAli.reads_m,
+         scaledMillions(m.reads, ms), kPaperMsrc.reads_m, table);
+    emit("writes (M)", scaledMillions(a.writes, as),
+         kPaperAli.writes_m, scaledMillions(m.writes, ms),
+         kPaperMsrc.writes_m, table);
+    emit("data read (TiB)", scaledTiB(a.read_bytes, as),
+         kPaperAli.read_tib, scaledTiB(m.read_bytes, ms),
+         kPaperMsrc.read_tib, table);
+    emit("data written (TiB)", scaledTiB(a.write_bytes, as),
+         kPaperAli.write_tib, scaledTiB(m.write_bytes, ms),
+         kPaperMsrc.write_tib, table);
+    emit("data updated (TiB)", scaledTiB(a.update_bytes, as),
+         kPaperAli.update_tib, scaledTiB(m.update_bytes, ms),
+         kPaperMsrc.update_tib, table);
+    emit("total WSS (TiB)", scaledTiB(a.total_wss_bytes, as),
+         kPaperAli.total_wss_tib, scaledTiB(m.total_wss_bytes, ms),
+         kPaperMsrc.total_wss_tib, table);
+    emit("read WSS (TiB)", scaledTiB(a.read_wss_bytes, as),
+         kPaperAli.read_wss_tib, scaledTiB(m.read_wss_bytes, ms),
+         kPaperMsrc.read_wss_tib, table);
+    emit("write WSS (TiB)", scaledTiB(a.write_wss_bytes, as),
+         kPaperAli.write_wss_tib, scaledTiB(m.write_wss_bytes, ms),
+         kPaperMsrc.write_wss_tib, table);
+    emit("update WSS (TiB)", scaledTiB(a.update_wss_bytes, as),
+         kPaperAli.update_wss_tib, scaledTiB(m.update_wss_bytes, ms),
+         kPaperMsrc.update_wss_tib, table);
+    table.print(std::cout);
+
+    TextTable derived("Derived ratios (scale-free, directly comparable)");
+    derived.header({"metric", "AliCloud", "paper", "MSRC", "paper"});
+    derived.row({"write:read ratio",
+                 formatFixed(a.writeToReadRatio(), 2), "3.00",
+                 formatFixed(m.writeToReadRatio(), 2), "0.42"});
+    derived.row({"read WSS share", formatPercent(a.readWssShare()),
+                 "34.3%", formatPercent(m.readWssShare()), "98.4%"});
+    derived.row({"write WSS share", formatPercent(a.writeWssShare()),
+                 "89.4%", formatPercent(m.writeWssShare()), "13.2%"});
+    derived.row({"update/write traffic",
+                 formatPercent(static_cast<double>(a.update_bytes) /
+                               static_cast<double>(a.write_bytes)),
+                 "94.2%",
+                 formatPercent(static_cast<double>(m.update_bytes) /
+                               static_cast<double>(m.write_bytes)),
+                 "84.1%"});
+    std::printf("\n");
+    derived.print(std::cout);
+    return 0;
+}

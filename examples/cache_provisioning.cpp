@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cache provisioning study: how much cache does each volume need?
+ *
+ * The paper's Finding 15 shows LRU caches sized relative to a volume's
+ * working set absorb very different traffic fractions per volume. This
+ * example takes that to its operational conclusion: it computes each
+ * volume's exact miss-ratio curve (Mattson stack distances via
+ * cbs::ReuseDistance), then sizes the smallest per-volume cache that
+ * reaches a target hit ratio, and compares the resulting memory bill
+ * against naive uniform provisioning.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/per_volume.h"
+#include "cache/reuse_distance.h"
+#include "common/format.h"
+#include "report/table.h"
+#include "synth/models.h"
+
+using namespace cbs;
+
+namespace {
+
+constexpr double kTargetHitRatio = 0.6;
+constexpr std::uint64_t kBlockSize = kDefaultBlockSize;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Per-volume cache provisioning for a %d%% hit-ratio "
+                "target\n\n",
+                static_cast<int>(kTargetHitRatio * 100));
+
+    auto source = makeTrace(aliCloudSpanSpec(SpanScale{40, 300000}),
+                            /*seed=*/7);
+
+    // One pass: per-volume exact reuse-distance profiles.
+    PerVolume<ReuseDistance> profiles;
+    IoRequest req;
+    while (source->next(req)) {
+        forEachBlock(req, kBlockSize, [&](BlockNo block) {
+            profiles[req.volume].access(block);
+        });
+    }
+
+    // Smallest cache (in blocks) whose LRU miss ratio meets the target,
+    // found by scanning the miss-ratio curve in powers of two.
+    std::uint64_t total_tailored = 0;
+    std::uint64_t total_uniform = 0;
+    std::size_t unreachable = 0;
+    std::vector<std::pair<VolumeId, std::uint64_t>> sized;
+    profiles.forEach([&](VolumeId volume, const ReuseDistance &rd) {
+        if (rd.accessCount() == 0)
+            return;
+        std::uint64_t wss = rd.uniqueKeys();
+        std::uint64_t needed = 0;
+        for (std::uint64_t c = 1; c <= wss; c *= 2) {
+            if (1.0 - rd.missRatioAt(c) >= kTargetHitRatio) {
+                needed = c;
+                break;
+            }
+        }
+        if (needed == 0) {
+            // Cold misses dominate; even a full-WSS cache cannot reach
+            // the target. Provision the full working set.
+            needed = wss;
+            ++unreachable;
+        }
+        sized.emplace_back(volume, needed);
+        total_tailored += needed;
+        total_uniform += wss / 10; // naive flat "10% of WSS" policy
+    });
+
+    std::sort(sized.begin(), sized.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+
+    TextTable table("Largest tailored cache allocations");
+    table.header({"volume", "cache size", "cache blocks"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, sized.size());
+         ++i) {
+        table.row({"vol-" + std::to_string(sized[i].first),
+                   formatBytes(sized[i].second * kBlockSize),
+                   formatCount(sized[i].second)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nvolumes sized: %zu (%zu capped at full WSS)\n",
+                sized.size(), unreachable);
+    std::printf("tailored total: %s\n",
+                formatBytes(total_tailored * kBlockSize).c_str());
+    std::printf("flat 10%%-of-WSS total: %s\n",
+                formatBytes(total_uniform * kBlockSize).c_str());
+    if (total_uniform > 0) {
+        double ratio = static_cast<double>(total_tailored) /
+                       static_cast<double>(total_uniform);
+        std::printf("tailored / flat = %.2fx for a guaranteed %d%% "
+                    "hit ratio on every reachable volume\n",
+                    ratio, static_cast<int>(kTargetHitRatio * 100));
+    }
+    return 0;
+}

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * cbs_tool: the toolkit's command-line front end.
+ *
+ * Subcommands:
+ *   analyze <trace> [--msrc|--bin] [--block N] [--interval MIN]
+ *       Full workload characterization (the WorkloadSummary facade)
+ *       of a real trace: AliCloud CSV by default, SNIA MSRC CSV with
+ *       --msrc, compact binary with --bin.
+ *
+ *   generate <out.csv|out.bin> [--msrc] [--volumes N] [--requests N]
+ *            [--seed S]
+ *       Write a paper-calibrated synthetic trace in AliCloud CSV
+ *       format (or binary when the path ends in .bin).
+ *
+ *   mrc <trace> [--msrc|--bin] [--volume V] [--rate R]
+ *       Miss-ratio curve of one volume (or all requests) via SHARDS
+ *       sampled reuse distances at rate R (default 0.1).
+ *
+ *   compare <trace_a> <trace_b> [--msrc|--bin]
+ *       Side-by-side characterization of two traces (the paper's
+ *       AliCloud-vs-MSRC methodology for your own data). Format flags
+ *       apply to both inputs.
+ *
+ * Exit status: 0 on success, 1 on input errors, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/volume_classes.h"
+#include "analysis/workload_summary.h"
+#include "cache/shards.h"
+#include "common/format.h"
+#include "report/table.h"
+#include "synth/models.h"
+#include "trace/bin_trace.h"
+#include "trace/csv.h"
+
+using namespace cbs;
+
+namespace {
+
+struct Args
+{
+    std::vector<std::string> positional;
+    bool msrc = false;
+    bool bin = false;
+    std::uint64_t block = kDefaultBlockSize;
+    std::uint64_t interval_min = 10;
+    std::size_t volumes = 100;
+    double requests = 500000;
+    std::uint64_t seed = 1;
+    std::optional<VolumeId> volume;
+    double rate = 0.1;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cbs_tool analyze <trace> [--msrc|--bin] [--block N]\n"
+        "                [--interval MIN]\n"
+        "       cbs_tool generate <out.csv|out.bin> [--msrc]\n"
+        "                [--volumes N] [--requests N] [--seed S]\n"
+        "       cbs_tool mrc <trace> [--msrc|--bin] [--volume V]\n"
+        "                [--rate R]\n"
+        "       cbs_tool compare <trace_a> <trace_b> [--msrc|--bin]\n");
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--msrc") {
+            args.msrc = true;
+        } else if (arg == "--bin") {
+            args.bin = true;
+        } else if (arg == "--block") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.block = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--interval") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.interval_min = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--volumes") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.volumes = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--requests") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.requests = std::strtod(v, nullptr);
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--volume") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.volume = static_cast<VolumeId>(
+                std::strtoul(v, nullptr, 10));
+        } else if (arg == "--rate") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.rate = std::strtod(v, nullptr);
+        } else if (!arg.empty() && arg[0] != '-') {
+            args.positional.push_back(arg);
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<TraceSource>
+openTraceAt(const Args &args, std::ifstream &file,
+            const std::string &path)
+{
+    file.open(path, args.bin ? std::ios::binary : std::ios::in);
+    if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return nullptr;
+    }
+    if (args.bin)
+        return std::make_unique<BinTraceReader>(file);
+    if (args.msrc)
+        return std::make_unique<MsrcCsvReader>(file);
+    return std::make_unique<AliCloudCsvReader>(file);
+}
+
+std::unique_ptr<TraceSource>
+openTrace(const Args &args, std::ifstream &file)
+{
+    return openTraceAt(args, file, args.positional.at(0));
+}
+
+/** Run the summary bundle over one trace (two passes: duration scan,
+ *  then the analyzers). */
+std::unique_ptr<WorkloadSummary>
+summarize(const Args &args, const std::string &path)
+{
+    std::ifstream file;
+    auto source = openTraceAt(args, file, path);
+    if (!source)
+        return nullptr;
+    IoRequest req;
+    TimeUs last = 0;
+    std::uint64_t count = 0;
+    while (source->next(req)) {
+        last = req.timestamp;
+        ++count;
+    }
+    if (count == 0) {
+        std::fprintf(stderr, "%s is empty\n", path.c_str());
+        return nullptr;
+    }
+    source->reset();
+    WorkloadSummaryOptions options;
+    options.block_size = args.block;
+    options.activeness_interval = args.interval_min * units::minute;
+    options.duration = last + 1;
+    auto summary = std::make_unique<WorkloadSummary>(options);
+    summary->run(*source);
+    return summary;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    if (args.positional.size() < 2) {
+        std::fprintf(stderr, "compare needs two trace paths\n");
+        return 2;
+    }
+    auto a = summarize(args, args.positional[0]);
+    auto b = summarize(args, args.positional[1]);
+    if (!a || !b)
+        return 1;
+
+    TextTable table("Trace comparison");
+    table.header({"metric", args.positional[0], args.positional[1]});
+    auto row = [&](const char *metric, const std::string &va,
+                   const std::string &vb) {
+        table.row({metric, va, vb});
+    };
+    const BasicStats &sa = a->basic.stats();
+    const BasicStats &sb = b->basic.stats();
+    row("volumes", formatCount(sa.volumes), formatCount(sb.volumes));
+    row("requests", formatCount(sa.requests()),
+        formatCount(sb.requests()));
+    row("write:read ratio", formatFixed(sa.writeToReadRatio(), 2),
+        formatFixed(sb.writeToReadRatio(), 2));
+    row("read WSS share", formatPercent(sa.readWssShare()),
+        formatPercent(sb.readWssShare()));
+    row("update/write traffic",
+        formatPercent(sa.write_bytes
+                          ? static_cast<double>(sa.update_bytes) /
+                                static_cast<double>(sa.write_bytes)
+                          : 0.0),
+        formatPercent(sb.write_bytes
+                          ? static_cast<double>(sb.update_bytes) /
+                                static_cast<double>(sb.write_bytes)
+                          : 0.0));
+    auto med = [](const Ecdf &cdf) {
+        return cdf.empty() ? std::string("-")
+                           : formatPercent(cdf.quantile(0.5));
+    };
+    row("median randomness ratio", med(a->randomness.ratios()),
+        med(b->randomness.ratios()));
+    row("median update coverage", med(a->coverage.coverage()),
+        med(b->coverage.coverage()));
+    row("median burstiness",
+        a->intensity.burstinessRatios().empty()
+            ? "-"
+            : formatFixed(
+                  a->intensity.burstinessRatios().quantile(0.5), 1),
+        b->intensity.burstinessRatios().empty()
+            ? "-"
+            : formatFixed(
+                  b->intensity.burstinessRatios().quantile(0.5), 1));
+    auto pairs_ratio = [](const WorkloadSummary &s) {
+        std::uint64_t raw = s.pairs.count(PairKind::RAW);
+        return raw ? formatFixed(
+                         static_cast<double>(
+                             s.pairs.count(PairKind::WAW)) /
+                             static_cast<double>(raw),
+                         2)
+                   : std::string("-");
+    };
+    row("WAW/RAW count ratio", pairs_ratio(*a), pairs_ratio(*b));
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    std::ifstream file;
+    auto source = openTrace(args, file);
+    if (!source)
+        return 1;
+
+    // First pass: find the trace duration so activeness intervals fit.
+    IoRequest req;
+    TimeUs last = 0;
+    std::uint64_t count = 0;
+    while (source->next(req)) {
+        last = req.timestamp;
+        ++count;
+    }
+    if (count == 0) {
+        std::fprintf(stderr, "trace is empty\n");
+        return 1;
+    }
+    source->reset();
+
+    WorkloadSummaryOptions options;
+    options.block_size = args.block;
+    options.activeness_interval = args.interval_min * units::minute;
+    options.duration = last + 1;
+    WorkloadSummary summary(options);
+    VolumeClassifier classifier(100, args.block);
+    summary.run(*source, {&classifier});
+    summary.print(std::cout);
+
+    std::printf("\nVolume archetypes (rule-based inference; the traces "
+                "do not record applications):\n");
+    const auto &hist = classifier.histogram();
+    for (std::size_t c = 0; c < kVolumeClassCount; ++c) {
+        if (hist[c] == 0)
+            continue;
+        std::printf("  %-20s %u volumes\n",
+                    volumeClassName(static_cast<VolumeClass>(c)),
+                    hist[c]);
+    }
+    return 0;
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    const std::string &path = args.positional.at(0);
+    bool binary = path.size() > 4 &&
+                  path.compare(path.size() - 4, 4, ".bin") == 0;
+    std::ofstream out(path,
+                      binary ? std::ios::binary : std::ios::out);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+
+    PopulationSpec spec =
+        args.msrc
+            ? msrcSpanSpec(SpanScale{args.volumes, args.requests})
+            : aliCloudSpanSpec(SpanScale{args.volumes, args.requests});
+    auto source = makeTrace(spec, args.seed);
+
+    IoRequest req;
+    std::uint64_t count = 0;
+    if (binary) {
+        BinTraceWriter writer(out);
+        while (source->next(req)) {
+            writer.write(req);
+            ++count;
+        }
+        writer.finish();
+    } else {
+        AliCloudCsvWriter writer(out);
+        while (source->next(req)) {
+            writer.write(req);
+            ++count;
+        }
+    }
+    std::printf("wrote %s requests (%s population, %zu volumes, "
+                "seed %llu) to %s\n",
+                formatCount(count).c_str(), spec.name.c_str(),
+                spec.volume_count,
+                static_cast<unsigned long long>(args.seed),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdMrc(const Args &args)
+{
+    std::ifstream file;
+    auto source = openTrace(args, file);
+    if (!source)
+        return 1;
+
+    ShardsReuseDistance shards(args.rate);
+    FlatSet unique_blocks;
+    IoRequest req;
+    while (source->next(req)) {
+        if (args.volume && req.volume != *args.volume)
+            continue;
+        forEachBlock(req, args.block, [&](BlockNo block) {
+            std::uint64_t key = blockKey(req.volume, block);
+            shards.access(key);
+            unique_blocks.insert(key);
+        });
+    }
+    if (shards.accessCount() == 0) {
+        std::fprintf(stderr, "no matching requests\n");
+        return 1;
+    }
+
+    std::uint64_t wss = unique_blocks.size();
+    std::printf("accesses: %s, WSS: %s blocks (%s), SHARDS rate %.2f\n",
+                formatCount(shards.accessCount()).c_str(),
+                formatCount(wss).c_str(),
+                formatBytes(wss * args.block).c_str(), args.rate);
+    std::printf("%-16s  %-12s  %s\n", "cache size", "of WSS",
+                "est. miss ratio");
+    for (double frac : {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+        std::uint64_t c = static_cast<std::uint64_t>(
+            std::max(1.0, frac * static_cast<double>(wss)));
+        std::printf("%-16s  %-12s  %s\n",
+                    formatBytes(c * args.block).c_str(),
+                    formatPercent(frac, 1).c_str(),
+                    formatPercent(shards.missRatioAt(c)).c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    Args args;
+    if (!parseArgs(argc, argv, args) || args.positional.empty())
+        return usage();
+
+    const std::string command = argv[1];
+    try {
+        if (command == "analyze")
+            return cmdAnalyze(args);
+        if (command == "generate")
+            return cmdGenerate(args);
+        if (command == "mrc")
+            return cmdMrc(args);
+        if (command == "compare")
+            return cmdCompare(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

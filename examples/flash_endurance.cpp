@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Flash endurance study (the paper's storage-cluster-management
+ * implications, Findings 8/11/14).
+ *
+ * Small random writes and varying update patterns drive write
+ * amplification and uneven wear in flash. This example replays the
+ * write streams of several synthetic volumes -- a sequential logger, a
+ * Zipf-skewed updater, and a uniform random writer -- through the
+ * page-mapped FTL simulator and compares amplification, erases, and
+ * wear spread.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "common/format.h"
+#include "report/table.h"
+#include "sim/ftl.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+using namespace cbs;
+
+namespace {
+
+FtlConfig
+deviceConfig()
+{
+    FtlConfig config;
+    config.flash_blocks = 2048;
+    config.pages_per_block = 64;
+    config.gc_reserve_blocks = 16;
+    config.op_ratio = 0.875; // 12.5% overprovisioning
+    return config;
+}
+
+struct Row
+{
+    const char *label;
+    double wa;
+    std::uint64_t erases;
+    double wear;
+};
+
+Row
+run(const char *label,
+    const std::function<std::uint64_t(Rng &, std::uint64_t)> &next_lpn)
+{
+    FtlSim sim(deviceConfig());
+    Rng rng(2026);
+    const std::uint64_t writes = 6 * sim.logicalPages(); // 6 full drive
+                                                         // overwrites
+    for (std::uint64_t i = 0; i < writes; ++i)
+        sim.writePage(next_lpn(rng, sim.logicalPages()));
+    return Row{label, sim.writeAmplification(), sim.eraseCount(),
+               sim.wearSpread()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Write amplification under the paper's workload "
+                "archetypes (page-mapped FTL, greedy GC, 12.5%% OP)\n\n");
+
+    std::uint64_t seq_pos = 0;
+    ZipfSampler zipf(deviceConfig().flash_blocks *
+                         deviceConfig().pages_per_block * 7 / 8,
+                     0.99);
+
+    Row rows[] = {
+        run("sequential log (LSM/journal)",
+            [&](Rng &, std::uint64_t pages) {
+                return seq_pos++ % pages;
+            }),
+        run("zipf-skewed updates (hot blocks)",
+            [&](Rng &rng, std::uint64_t) { return zipf.sample(rng); }),
+        run("uniform random updates",
+            [&](Rng &rng, std::uint64_t pages) {
+                return rng.uniformInt(pages);
+            }),
+    };
+
+    TextTable table("FTL outcomes after 6 full-drive overwrites");
+    table.header({"workload", "write amplification", "erases",
+                  "wear spread (max/mean)"});
+    for (const Row &row : rows) {
+        table.row({row.label, formatFixed(row.wa, 2),
+                   formatCount(row.erases), formatFixed(row.wear, 2)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nThe log-structured design the paper recommends "
+                "(sequential writes) keeps amplification at ~1.0; the "
+                "random small-write pattern common in AliCloud volumes "
+                "costs %.0f%% extra flash writes on this device.\n",
+                (rows[2].wa - 1.0) * 100.0);
+    return 0;
+}

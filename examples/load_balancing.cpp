@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Load balancing study: placing volumes on storage nodes.
+ *
+ * The paper's Findings 1-3 argue that per-volume burstiness, not just
+ * average load, drives imbalance in cloud block storage. This example
+ * collects a volume x interval load matrix from a bursty synthetic
+ * population and scores four placement policies by their worst-interval
+ * imbalance, reproducing the qualitative conclusion: policies that only
+ * balance totals leave bursty intervals unbalanced.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/analyzer.h"
+#include "common/format.h"
+#include "report/table.h"
+#include "sim/load_balancer.h"
+#include "synth/models.h"
+
+using namespace cbs;
+
+int
+main()
+{
+    constexpr std::size_t kNodes = 8;
+    std::printf("Placing a bursty 96-volume population on %zu storage "
+                "nodes\n\n",
+                kNodes);
+
+    // The burstiness-calibrated population: per-volume peak/avg ratios
+    // follow the paper's Fig. 6 distribution.
+    PopulationSpec spec = aliCloudBurstinessSpec(96);
+    auto source = makeTrace(spec, /*seed=*/11);
+
+    LoadMatrixAnalyzer matrix(10 * units::minute, spec.duration);
+    runPipeline(*source, {&matrix});
+
+    LoadBalancer balancer(matrix, kNodes);
+    TextTable table("Placement quality (lower is better; 1.0 = ideal)");
+    table.header({"policy", "total imbalance", "worst interval",
+                  "mean interval"});
+    for (PlacementPolicy policy :
+         {PlacementPolicy::RoundRobin, PlacementPolicy::Random,
+          PlacementPolicy::LeastLoaded, PlacementPolicy::BurstAware}) {
+        PlacementResult result = balancer.place(policy, /*seed=*/3);
+        table.row({placementPolicyName(policy),
+                   formatFixed(result.total_imbalance, 2),
+                   formatFixed(result.worst_interval_imbalance, 2),
+                   formatFixed(result.mean_interval_imbalance, 2)});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nNotes: 'total' balances month-long request counts; 'worst "
+        "interval' is the paper's concern -- one bursty 10-minute "
+        "window overloading a node. Least-loaded wins on totals but "
+        "not on the worst interval: the most extreme single-volume "
+        "bursts (Fig. 6's >1000x tail) dominate their interval on "
+        "whatever node they land, which is exactly the paper's "
+        "warning that placement alone cannot absorb per-volume "
+        "burstiness. Burst-aware placement trims the peak "
+        "marginally at the cost of total balance.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "analysis/activeness.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace cbs {
+
+bool
+ActivenessAnalyzer::Bits::set(std::size_t idx)
+{
+    std::size_t word = idx / 64;
+    if (word >= words.size())
+        words.resize(word + 1, 0);
+    std::uint64_t mask = std::uint64_t{1} << (idx % 64);
+    if (words[word] & mask)
+        return false;
+    words[word] |= mask;
+    return true;
+}
+
+std::size_t
+ActivenessAnalyzer::Bits::popcount() const
+{
+    std::size_t total = 0;
+    for (std::uint64_t word : words)
+        total += static_cast<std::size_t>(std::popcount(word));
+    return total;
+}
+
+ActivenessAnalyzer::ActivenessAnalyzer(TimeUs interval, TimeUs duration)
+    : interval_(interval),
+      interval_count_(static_cast<std::size_t>(
+          (duration + interval - 1) / interval))
+{
+    CBS_EXPECT(interval > 0, "interval must be positive");
+    CBS_EXPECT(interval_count_ > 0, "duration must be positive");
+    for (auto &series : series_)
+        series.assign(interval_count_, 0);
+}
+
+void
+ActivenessAnalyzer::consume(const IoRequest &req)
+{
+    std::size_t idx =
+        static_cast<std::size_t>(req.timestamp / interval_);
+    CBS_EXPECT(idx < interval_count_,
+               "request at " << req.timestamp
+                             << " us beyond the configured duration");
+    State &state = states_[req.volume];
+    if (state.bits[kActive].set(idx))
+        ++series_[kActive][idx];
+    Kind op_kind = req.isRead() ? kReadActive : kWriteActive;
+    if (state.bits[op_kind].set(idx))
+        ++series_[op_kind][idx];
+}
+
+void
+ActivenessAnalyzer::finalize()
+{
+    for (const State &state : states_) {
+        if (!state.bits[kActive].any())
+            continue;
+        for (std::size_t kind = 0; kind < 3; ++kind)
+            periods_[kind].add(
+                static_cast<double>(state.bits[kind].popcount()));
+    }
+}
+
+double
+ActivenessAnalyzer::fractionActiveAtLeast(Kind kind,
+                                          double fraction) const
+{
+    const Ecdf &cdf = periods_[kind];
+    if (cdf.empty())
+        return 0.0;
+    double threshold = fraction * static_cast<double>(interval_count_);
+    // Fraction of volumes with active intervals >= threshold.
+    return 1.0 - cdf.at(threshold - 1e-9);
+}
+
+} // namespace cbs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ActivenessAnalyzer: interval-level volume activeness (Findings 5-7;
+ * Figs. 8 and 9).
+ *
+ * The trace is split into fixed intervals (10 minutes in the paper;
+ * configurable for scaled traces). A volume is active / read-active /
+ * write-active in an interval if it receives at least one request /
+ * read / write there. The analyzer produces the per-interval active
+ * volume counts (Fig. 8) and the per-volume active-period totals
+ * (Fig. 9) for the three activity kinds.
+ */
+
+#ifndef CBS_ANALYSIS_ACTIVENESS_H
+#define CBS_ANALYSIS_ACTIVENESS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "stats/ecdf.h"
+
+namespace cbs {
+
+class ActivenessAnalyzer : public Analyzer
+{
+  public:
+    enum Kind : std::size_t
+    {
+        kActive = 0,
+        kReadActive = 1,
+        kWriteActive = 2,
+    };
+
+    /**
+     * @param interval interval length (paper: 10 minutes).
+     * @param duration total trace duration (defines interval count).
+     */
+    ActivenessAnalyzer(TimeUs interval, TimeUs duration);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "activeness"; }
+
+    TimeUs interval() const { return interval_; }
+    std::size_t intervalCount() const { return interval_count_; }
+
+    /** Number of volumes of the given kind active per interval. */
+    const std::vector<std::uint32_t> &
+    seriesOf(Kind kind) const
+    {
+        return series_[kind];
+    }
+
+    /**
+     * CDF of per-volume active time (in intervals) for the given kind,
+     * over all touched volumes (Fig. 9).
+     */
+    const Ecdf &
+    activePeriods(Kind kind) const
+    {
+        return periods_[kind];
+    }
+
+    /**
+     * Fraction of volumes whose active period of @p kind covers at
+     * least @p fraction of the whole trace.
+     */
+    double fractionActiveAtLeast(Kind kind, double fraction) const;
+
+  private:
+    struct Bits
+    {
+        std::vector<std::uint64_t> words;
+
+        /** @return true when the bit was newly set. */
+        bool set(std::size_t idx);
+        std::size_t popcount() const;
+        bool any() const { return !words.empty(); }
+    };
+
+    struct State
+    {
+        std::array<Bits, 3> bits;
+    };
+
+    TimeUs interval_;
+    std::size_t interval_count_;
+    PerVolume<State> states_;
+    std::array<std::vector<std::uint32_t>, 3> series_;
+    std::array<Ecdf, 3> periods_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_ACTIVENESS_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analyzer and Pipeline: the streaming-analysis interfaces.
+ *
+ * An Analyzer consumes requests in timestamp order and computes one of
+ * the paper's metric families; a Pipeline fans a single trace pass to
+ * many analyzers. All analyzers are single-pass except the cache
+ * simulation (CacheMissAnalyzer), whose method is inherently two-pass.
+ */
+
+#ifndef CBS_ANALYSIS_ANALYZER_H
+#define CBS_ANALYSIS_ANALYZER_H
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+class Analyzer
+{
+  public:
+    virtual ~Analyzer() = default;
+
+    /** Consume one request (timestamps must be non-decreasing). */
+    virtual void consume(const IoRequest &req) = 0;
+
+    /** Finish the pass; called once after the last request. */
+    virtual void finalize() {}
+
+    /** Short identifier for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Run one pass of @p source through all @p analyzers, then finalize. */
+void runPipeline(TraceSource &source,
+                 const std::vector<Analyzer *> &analyzers);
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_ANALYZER_H

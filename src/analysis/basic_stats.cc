@@ -1,0 +1,63 @@
+#include "analysis/basic_stats.h"
+
+#include <algorithm>
+
+namespace cbs {
+
+BasicStatsAnalyzer::BasicStatsAnalyzer(std::uint64_t block_size)
+    : block_size_(block_size)
+{
+}
+
+void
+BasicStatsAnalyzer::consume(const IoRequest &req)
+{
+    if (!any_) {
+        stats_.first_timestamp = req.timestamp;
+        any_ = true;
+    }
+    stats_.last_timestamp = std::max(stats_.last_timestamp,
+                                     req.timestamp);
+
+    std::uint8_t &seen = seen_volume_[req.volume];
+    if (!seen) {
+        seen = 1;
+        ++stats_.volumes;
+    }
+
+    if (req.isRead()) {
+        ++stats_.reads;
+        stats_.read_bytes += req.length;
+    } else {
+        ++stats_.writes;
+        stats_.write_bytes += req.length;
+    }
+
+    forEachBlock(req, block_size_, [&](BlockNo block) {
+        auto [flags, inserted] =
+            blocks_.tryEmplace(blockKey(req.volume, block));
+        if (inserted)
+            stats_.total_wss_bytes += block_size_;
+        if (req.isRead()) {
+            if (!(flags & kRead)) {
+                flags |= kRead;
+                stats_.read_wss_bytes += block_size_;
+            }
+        } else {
+            if (flags & kWritten) {
+                // An overwrite: update traffic, and the block joins the
+                // update working set on its second write.
+                stats_.update_bytes += block_size_;
+                if (!(flags & kUpdated)) {
+                    flags |= kUpdated;
+                    stats_.update_wss_bytes += block_size_;
+                }
+            } else {
+                flags |= kWritten;
+                stats_.write_wss_bytes += block_size_;
+            }
+        }
+    });
+}
+
+} // namespace cbs

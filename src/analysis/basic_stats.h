@@ -1,0 +1,95 @@
+/**
+ * @file
+ * BasicStatsAnalyzer: the Table I statistics — request counts, traffic
+ * volumes (read / written / updated), and working-set sizes (total /
+ * read / write / update), plus the paper's derived §III-C ratios.
+ *
+ * "Updated" traffic is write traffic landing on blocks that have been
+ * written before; the update WSS is the set of blocks written at least
+ * twice. All sets are block-granular (see IoRequest::forEachBlock).
+ */
+
+#ifndef CBS_ANALYSIS_BASIC_STATS_H
+#define CBS_ANALYSIS_BASIC_STATS_H
+
+#include <cstdint>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+
+/** Table I rows for one trace. */
+struct BasicStats
+{
+    std::uint64_t volumes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    std::uint64_t update_bytes = 0;
+    std::uint64_t total_wss_bytes = 0;
+    std::uint64_t read_wss_bytes = 0;
+    std::uint64_t write_wss_bytes = 0;
+    std::uint64_t update_wss_bytes = 0;
+    TimeUs first_timestamp = 0;
+    TimeUs last_timestamp = 0;
+
+    std::uint64_t requests() const { return reads + writes; }
+
+    /** Overall write-to-read request ratio (writes per read). */
+    double
+    writeToReadRatio() const
+    {
+        return reads ? static_cast<double>(writes) /
+                           static_cast<double>(reads)
+                     : 0.0;
+    }
+
+    /** Fraction of the total WSS occupied by read blocks. */
+    double
+    readWssShare() const
+    {
+        return total_wss_bytes ? static_cast<double>(read_wss_bytes) /
+                                     static_cast<double>(total_wss_bytes)
+                               : 0.0;
+    }
+
+    /** Fraction of the total WSS occupied by written blocks. */
+    double
+    writeWssShare() const
+    {
+        return total_wss_bytes ? static_cast<double>(write_wss_bytes) /
+                                     static_cast<double>(total_wss_bytes)
+                               : 0.0;
+    }
+};
+
+class BasicStatsAnalyzer : public Analyzer
+{
+  public:
+    explicit BasicStatsAnalyzer(
+        std::uint64_t block_size = kDefaultBlockSize);
+
+    void consume(const IoRequest &req) override;
+    std::string name() const override { return "basic_stats"; }
+
+    const BasicStats &stats() const { return stats_; }
+
+  private:
+    // Per-block touch flags, packed in one byte.
+    static constexpr std::uint8_t kRead = 1;
+    static constexpr std::uint8_t kWritten = 2;
+    static constexpr std::uint8_t kUpdated = 4;
+
+    std::uint64_t block_size_;
+    BasicStats stats_;
+    FlatMap<std::uint8_t> blocks_;
+    PerVolume<std::uint8_t> seen_volume_;
+    bool any_ = false;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_BASIC_STATS_H

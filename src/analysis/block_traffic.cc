@@ -1,0 +1,129 @@
+#include "analysis/block_traffic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cbs {
+
+BlockTrafficAnalyzer::BlockTrafficAnalyzer(std::uint64_t block_size,
+                                           double mostly_threshold)
+    : block_size_(block_size), mostly_threshold_(mostly_threshold)
+{
+    CBS_EXPECT(block_size > 0, "block size must be positive");
+    CBS_EXPECT(mostly_threshold > 0.5 && mostly_threshold <= 1.0,
+               "mostly threshold must be in (0.5, 1]");
+}
+
+void
+BlockTrafficAnalyzer::consume(const IoRequest &req)
+{
+    forEachBlock(req, block_size_, [&](BlockNo block) {
+        Traffic &traffic = blocks_[blockKey(req.volume, block)];
+        if (req.isRead()) {
+            ++traffic.read_units;
+            ++total_read_units_;
+        } else {
+            ++traffic.write_units;
+            ++total_write_units_;
+        }
+    });
+}
+
+void
+BlockTrafficAnalyzer::finalize()
+{
+    // Group per-block tallies by volume.
+    struct VolumeTallies
+    {
+        std::vector<std::uint64_t> read_units;
+        std::vector<std::uint64_t> write_units;
+        std::uint64_t reads_total = 0;
+        std::uint64_t writes_total = 0;
+        std::uint64_t reads_to_read_mostly = 0;
+        std::uint64_t writes_to_write_mostly = 0;
+    };
+    PerVolume<VolumeTallies> volumes;
+
+    blocks_.forEach([&](std::uint64_t key, const Traffic &traffic) {
+        VolumeId volume = static_cast<VolumeId>(key >> 44);
+        VolumeTallies &tallies = volumes[volume];
+        std::uint64_t total = traffic.read_units + traffic.write_units;
+        if (traffic.read_units) {
+            tallies.read_units.push_back(traffic.read_units);
+            tallies.reads_total += traffic.read_units;
+        }
+        if (traffic.write_units) {
+            tallies.write_units.push_back(traffic.write_units);
+            tallies.writes_total += traffic.write_units;
+        }
+        double share_threshold =
+            mostly_threshold_ * static_cast<double>(total);
+        if (static_cast<double>(traffic.read_units) > share_threshold) {
+            tallies.reads_to_read_mostly += traffic.read_units;
+            read_units_to_read_mostly_ += traffic.read_units;
+        } else if (static_cast<double>(traffic.write_units) >
+                   share_threshold) {
+            tallies.writes_to_write_mostly += traffic.write_units;
+            write_units_to_write_mostly_ += traffic.write_units;
+        }
+    });
+
+    // Traffic share of the top ceil(1%) / ceil(10%) blocks per volume.
+    auto top_share = [](std::vector<std::uint64_t> &units,
+                        double fraction, std::uint64_t total) {
+        if (units.empty() || total == 0)
+            return 0.0;
+        std::size_t k = static_cast<std::size_t>(
+            std::max<double>(1.0, fraction * units.size()));
+        k = std::min(k, units.size());
+        std::nth_element(units.begin(), units.begin() + (k - 1),
+                         units.end(), std::greater<>());
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            sum += units[i];
+        return static_cast<double>(sum) / static_cast<double>(total);
+    };
+
+    for (VolumeTallies &tallies : volumes) {
+        if (tallies.reads_total) {
+            read_top_[0].add(top_share(tallies.read_units, 0.01,
+                                       tallies.reads_total));
+            read_top_[1].add(top_share(tallies.read_units, 0.10,
+                                       tallies.reads_total));
+            read_mostly_cdf_.add(
+                static_cast<double>(tallies.reads_to_read_mostly) /
+                static_cast<double>(tallies.reads_total));
+        }
+        if (tallies.writes_total) {
+            write_top_[0].add(top_share(tallies.write_units, 0.01,
+                                        tallies.writes_total));
+            write_top_[1].add(top_share(tallies.write_units, 0.10,
+                                        tallies.writes_total));
+            write_mostly_cdf_.add(
+                static_cast<double>(tallies.writes_to_write_mostly) /
+                static_cast<double>(tallies.writes_total));
+        }
+    }
+}
+
+double
+BlockTrafficAnalyzer::overallReadToReadMostly() const
+{
+    return total_read_units_
+               ? static_cast<double>(read_units_to_read_mostly_) /
+                     static_cast<double>(total_read_units_)
+               : 0.0;
+}
+
+double
+BlockTrafficAnalyzer::overallWriteToWriteMostly() const
+{
+    return total_write_units_
+               ? static_cast<double>(write_units_to_write_mostly_) /
+                     static_cast<double>(total_write_units_)
+               : 0.0;
+}
+
+} // namespace cbs

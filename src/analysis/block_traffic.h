@@ -1,0 +1,98 @@
+/**
+ * @file
+ * BlockTrafficAnalyzer: per-block traffic tallies powering two spatial
+ * findings from one map:
+ *
+ *  - Finding 9 (Fig. 11): traffic share of the top-1% / top-10% most
+ *    trafficked read (write) blocks per volume;
+ *  - Finding 10 (Fig. 12, Table III): share of read (write) traffic
+ *    going to read-mostly (write-mostly) blocks, where a block is
+ *    read-mostly (write-mostly) if >95% of its traffic is reads
+ *    (writes).
+ *
+ * Traffic is attributed block-granularly: each block a request touches
+ * receives one block-size unit of the request's traffic.
+ */
+
+#ifndef CBS_ANALYSIS_BLOCK_TRAFFIC_H
+#define CBS_ANALYSIS_BLOCK_TRAFFIC_H
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "common/flat_map.h"
+#include "stats/boxplot.h"
+#include "stats/ecdf.h"
+
+namespace cbs {
+
+/** Traffic share of a volume's hottest blocks (one op direction). */
+struct AggregationStats
+{
+    double top1_share = 0.0;  //!< traffic share of the top-1% blocks
+    double top10_share = 0.0; //!< traffic share of the top-10% blocks
+};
+
+class BlockTrafficAnalyzer : public Analyzer
+{
+  public:
+    /**
+     * @param block_size block granularity.
+     * @param mostly_threshold traffic share above which a block counts
+     *        as read-mostly / write-mostly (paper: 0.95).
+     */
+    explicit BlockTrafficAnalyzer(
+        std::uint64_t block_size = kDefaultBlockSize,
+        double mostly_threshold = 0.95);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "block_traffic"; }
+
+    // ---- Finding 9 (Fig. 11) ----
+
+    /** Per-volume top-1% / top-10% read traffic shares. */
+    const ExactQuantiles &readTop1() const { return read_top_[0]; }
+    const ExactQuantiles &readTop10() const { return read_top_[1]; }
+    /** Per-volume top-1% / top-10% write traffic shares. */
+    const ExactQuantiles &writeTop1() const { return write_top_[0]; }
+    const ExactQuantiles &writeTop10() const { return write_top_[1]; }
+
+    // ---- Finding 10 (Fig. 12, Table III) ----
+
+    /** Overall share of read traffic going to read-mostly blocks. */
+    double overallReadToReadMostly() const;
+    /** Overall share of write traffic going to write-mostly blocks. */
+    double overallWriteToWriteMostly() const;
+
+    /** CDF across volumes of read-traffic share to read-mostly blocks. */
+    const Ecdf &readMostlyShares() const { return read_mostly_cdf_; }
+    /** CDF across volumes of write-traffic share to write-mostly blocks. */
+    const Ecdf &writeMostlyShares() const { return write_mostly_cdf_; }
+
+  private:
+    struct Traffic
+    {
+        std::uint64_t read_units = 0;
+        std::uint64_t write_units = 0;
+    };
+
+    std::uint64_t block_size_;
+    double mostly_threshold_;
+    FlatMap<Traffic> blocks_;
+
+    std::array<ExactQuantiles, 2> read_top_;
+    std::array<ExactQuantiles, 2> write_top_;
+    Ecdf read_mostly_cdf_;
+    Ecdf write_mostly_cdf_;
+    std::uint64_t total_read_units_ = 0;
+    std::uint64_t total_write_units_ = 0;
+    std::uint64_t read_units_to_read_mostly_ = 0;
+    std::uint64_t write_units_to_write_mostly_ = 0;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_BLOCK_TRAFFIC_H

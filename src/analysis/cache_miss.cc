@@ -1,0 +1,93 @@
+#include "analysis/cache_miss.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+
+CacheMissAnalyzer::CacheMissAnalyzer(std::vector<double> size_fractions,
+                                     std::uint64_t block_size,
+                                     std::string policy)
+    : fractions_(std::move(size_fractions)),
+      block_size_(block_size),
+      policy_(std::move(policy))
+{
+    CBS_EXPECT(!fractions_.empty(), "need at least one size fraction");
+    for (double f : fractions_)
+        CBS_EXPECT(f > 0 && f <= 1, "size fraction out of (0,1]: " << f);
+    CBS_EXPECT(block_size > 0, "block size must be positive");
+    read_ratios_.resize(fractions_.size());
+    write_ratios_.resize(fractions_.size());
+}
+
+void
+CacheMissAnalyzer::runTwoPass(TraceSource &source)
+{
+    // Pass 1: per-volume WSS in blocks.
+    PerVolume<std::uint64_t> wss;
+    {
+        FlatSet seen;
+        IoRequest req;
+        while (source.next(req)) {
+            forEachBlock(req, block_size_, [&](BlockNo block) {
+                if (seen.insert(blockKey(req.volume, block)))
+                    ++wss[req.volume];
+            });
+        }
+    }
+
+    // Pass 2: one cache per touched volume per size fraction.
+    struct VolumeSims
+    {
+        std::vector<std::unique_ptr<CacheSim>> sims;
+    };
+    PerVolume<VolumeSims> sims;
+    wss.forEach([&](VolumeId volume, const std::uint64_t &blocks) {
+        if (blocks == 0)
+            return;
+        VolumeSims &vs = sims[volume];
+        for (double fraction : fractions_) {
+            std::size_t capacity = static_cast<std::size_t>(std::max(
+                1.0, fraction * static_cast<double>(blocks)));
+            vs.sims.push_back(std::make_unique<CacheSim>(
+                makeCachePolicy(policy_, capacity), block_size_));
+        }
+    });
+
+    source.reset();
+    IoRequest req;
+    while (source.next(req)) {
+        for (auto &sim : sims[req.volume].sims)
+            sim->access(req);
+    }
+
+    for (auto &vs : sims) {
+        if (vs.sims.empty())
+            continue;
+        for (std::size_t i = 0; i < fractions_.size(); ++i) {
+            const CacheStats &stats = vs.sims[i]->stats();
+            if (stats.reads())
+                read_ratios_[i].add(stats.readMissRatio());
+            if (stats.writes())
+                write_ratios_[i].add(stats.writeMissRatio());
+        }
+    }
+}
+
+const ExactQuantiles &
+CacheMissAnalyzer::readMissRatios(std::size_t i) const
+{
+    CBS_EXPECT(i < read_ratios_.size(), "fraction index out of range");
+    return read_ratios_[i];
+}
+
+const ExactQuantiles &
+CacheMissAnalyzer::writeMissRatios(std::size_t i) const
+{
+    CBS_EXPECT(i < write_ratios_.size(), "fraction index out of range");
+    return write_ratios_[i];
+}
+
+} // namespace cbs

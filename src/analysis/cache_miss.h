@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CacheMissAnalyzer: per-volume LRU miss ratios at cache sizes set to a
+ * fraction of each volume's WSS (Finding 15, Fig. 18).
+ *
+ * The paper's method is inherently two-pass: the first pass measures
+ * each volume's working-set size, the second simulates a unified
+ * (reads + writes) LRU cache per volume sized at 1% and 10% of that
+ * WSS. runTwoPass() drives both passes, resetting the source between
+ * them.
+ */
+
+#ifndef CBS_ANALYSIS_CACHE_MISS_H
+#define CBS_ANALYSIS_CACHE_MISS_H
+
+#include <memory>
+#include <vector>
+
+#include "analysis/per_volume.h"
+#include "cache/cache_sim.h"
+#include "stats/exact_quantiles.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+class CacheMissAnalyzer
+{
+  public:
+    /**
+     * @param size_fractions cache sizes as fractions of the volume WSS
+     *        (paper: {0.01, 0.10}).
+     * @param block_size block granularity.
+     * @param policy replacement policy name (paper: "lru").
+     */
+    explicit CacheMissAnalyzer(
+        std::vector<double> size_fractions = {0.01, 0.10},
+        std::uint64_t block_size = kDefaultBlockSize,
+        std::string policy = "lru");
+
+    /** Run the WSS pass and the simulation pass over @p source. */
+    void runTwoPass(TraceSource &source);
+
+    std::size_t fractionCount() const { return fractions_.size(); }
+    double fractionAt(std::size_t i) const { return fractions_[i]; }
+
+    /** Per-volume read miss ratios at size fraction @p i. */
+    const ExactQuantiles &readMissRatios(std::size_t i) const;
+    /** Per-volume write miss ratios at size fraction @p i. */
+    const ExactQuantiles &writeMissRatios(std::size_t i) const;
+
+  private:
+    std::vector<double> fractions_;
+    std::uint64_t block_size_;
+    std::string policy_;
+    std::vector<ExactQuantiles> read_ratios_;
+    std::vector<ExactQuantiles> write_ratios_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_CACHE_MISS_H

@@ -1,0 +1,46 @@
+#include "analysis/interarrival.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+InterarrivalAnalyzer::InterarrivalAnalyzer() : global_(7) {}
+
+void
+InterarrivalAnalyzer::consume(const IoRequest &req)
+{
+    State &state = states_[req.volume];
+    if (state.touched) {
+        CBS_EXPECT(req.timestamp >= state.last,
+                   "requests of volume " << req.volume
+                                         << " out of order");
+        TimeUs gap = req.timestamp - state.last;
+        if (!state.hist)
+            state.hist = std::make_unique<LogHistogram>(5);
+        state.hist->add(gap);
+        global_.add(gap);
+    }
+    state.last = req.timestamp;
+    state.touched = true;
+}
+
+void
+InterarrivalAnalyzer::finalize()
+{
+    for (const State &state : states_) {
+        if (!state.hist || state.hist->empty())
+            continue;
+        for (std::size_t i = 0; i < kPercentiles.size(); ++i)
+            groups_[i].add(static_cast<double>(
+                state.hist->quantile(kPercentiles[i])));
+    }
+}
+
+BoxplotSummary
+InterarrivalAnalyzer::boxplot(std::size_t i) const
+{
+    CBS_EXPECT(i < groups_.size(), "percentile group out of range");
+    return BoxplotSummary::compute(groups_[i]);
+}
+
+} // namespace cbs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * InterarrivalAnalyzer: per-volume inter-arrival time distributions
+ * (Finding 4, Fig. 7).
+ *
+ * For each volume, the gaps between its consecutive requests feed a
+ * log-bucketed histogram; at finalize the per-volume 25/50/75/90/95th
+ * percentiles are gathered across volumes into one boxplot per
+ * percentile group, exactly the presentation of Fig. 7.
+ */
+
+#ifndef CBS_ANALYSIS_INTERARRIVAL_H
+#define CBS_ANALYSIS_INTERARRIVAL_H
+
+#include <array>
+#include <memory>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "stats/boxplot.h"
+#include "stats/exact_quantiles.h"
+#include "stats/log_histogram.h"
+
+namespace cbs {
+
+class InterarrivalAnalyzer : public Analyzer
+{
+  public:
+    /** The five percentile groups of Fig. 7. */
+    static constexpr std::array<double, 5> kPercentiles = {
+        0.25, 0.50, 0.75, 0.90, 0.95};
+
+    InterarrivalAnalyzer();
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "interarrival"; }
+
+    /**
+     * Per-volume percentile values (µs) gathered across volumes;
+     * index i corresponds to kPercentiles[i].
+     */
+    const std::array<ExactQuantiles, 5> &groups() const
+    {
+        return groups_;
+    }
+
+    /** Boxplot of percentile group @p i across volumes. */
+    BoxplotSummary boxplot(std::size_t i) const;
+
+    /** Global inter-arrival histogram across all volumes (µs). */
+    const LogHistogram &global() const { return global_; }
+
+  private:
+    struct State
+    {
+        TimeUs last = 0;
+        bool touched = false;
+        // Log histograms are a few KiB each; allocate per touched
+        // volume only.
+        std::unique_ptr<LogHistogram> hist;
+    };
+
+    PerVolume<State> states_;
+    LogHistogram global_;
+    std::array<ExactQuantiles, 5> groups_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_INTERARRIVAL_H

@@ -1,0 +1,68 @@
+#include "analysis/load_intensity.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+LoadIntensityAnalyzer::LoadIntensityAnalyzer(TimeUs peak_window)
+    : peak_window_(peak_window)
+{
+    CBS_EXPECT(peak_window > 0, "peak window must be positive");
+}
+
+void
+LoadIntensityAnalyzer::bump(State &state, TimeUs timestamp)
+{
+    if (!state.touched) {
+        state.touched = true;
+        state.stats.first = timestamp;
+    }
+    state.stats.last = std::max(state.stats.last, timestamp);
+    ++state.stats.requests;
+
+    std::uint64_t window = timestamp / peak_window_;
+    if (window != state.window_index || state.stats.requests == 1) {
+        state.window_index = window;
+        state.window_count = 0;
+    }
+    ++state.window_count;
+    state.stats.peak_window_count =
+        std::max(state.stats.peak_window_count, state.window_count);
+}
+
+void
+LoadIntensityAnalyzer::consume(const IoRequest &req)
+{
+    bump(states_[req.volume], req.timestamp);
+    bump(overall_state_, req.timestamp);
+}
+
+void
+LoadIntensityAnalyzer::finalize()
+{
+    overall_ = overall_state_.stats;
+    for (const State &state : states_) {
+        if (!state.touched)
+            continue;
+        avg_cdf_.add(state.stats.avgIntensity());
+        peak_cdf_.add(state.stats.peakIntensity(peak_window_));
+        double ratio = state.stats.burstinessRatio(peak_window_);
+        if (ratio > 0)
+            burst_cdf_.add(ratio);
+    }
+}
+
+std::vector<std::pair<VolumeId, IntensityStats>>
+LoadIntensityAnalyzer::volumeStats() const
+{
+    std::vector<std::pair<VolumeId, IntensityStats>> out;
+    states_.forEach([&](VolumeId id, const State &state) {
+        if (state.touched)
+            out.emplace_back(id, state.stats);
+    });
+    return out;
+}
+
+} // namespace cbs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * LoadIntensityAnalyzer: average / peak intensities and burstiness
+ * ratios (Findings 1-3; Fig. 5, Fig. 6, Table II).
+ *
+ * The paper defines a volume's average intensity as its request count
+ * divided by the span between its first and last requests, and its peak
+ * intensity as the maximum request count over fixed windows (one minute
+ * in the paper; configurable here because scaled-down traces need
+ * proportionally wider windows, see DESIGN.md §5). The burstiness ratio
+ * is peak/average.
+ */
+
+#ifndef CBS_ANALYSIS_LOAD_INTENSITY_H
+#define CBS_ANALYSIS_LOAD_INTENSITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "stats/ecdf.h"
+
+namespace cbs {
+
+/** Intensity summary of one volume (or of the whole trace). */
+struct IntensityStats
+{
+    std::uint64_t requests = 0;
+    TimeUs first = 0;
+    TimeUs last = 0;
+    std::uint64_t peak_window_count = 0;
+
+    /** Average intensity in requests/second. */
+    double
+    avgIntensity() const
+    {
+        if (requests < 2 || last <= first)
+            return 0.0;
+        return static_cast<double>(requests) /
+               (static_cast<double>(last - first) / 1e6);
+    }
+
+    /** Peak intensity in requests/second for the given window. */
+    double
+    peakIntensity(TimeUs window) const
+    {
+        return static_cast<double>(peak_window_count) /
+               (static_cast<double>(window) / 1e6);
+    }
+
+    /** Peak / average ratio; 0 when the average is undefined. */
+    double
+    burstinessRatio(TimeUs window) const
+    {
+        double avg = avgIntensity();
+        return avg > 0 ? peakIntensity(window) / avg : 0.0;
+    }
+};
+
+class LoadIntensityAnalyzer : public Analyzer
+{
+  public:
+    /** @param peak_window window for peak counting (paper: 1 minute). */
+    explicit LoadIntensityAnalyzer(TimeUs peak_window = units::minute);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "load_intensity"; }
+
+    TimeUs peakWindow() const { return peak_window_; }
+
+    /** Per-volume intensity stats (volumes in id order, touched only). */
+    std::vector<std::pair<VolumeId, IntensityStats>> volumeStats() const;
+
+    /** Whole-trace aggregate (all volumes together; Table II). */
+    const IntensityStats &overall() const { return overall_; }
+
+    /** CDF of per-volume average intensities (req/s), Fig. 5. */
+    const Ecdf &avgIntensities() const { return avg_cdf_; }
+    /** CDF of per-volume peak intensities (req/s), Fig. 5. */
+    const Ecdf &peakIntensities() const { return peak_cdf_; }
+    /** CDF of per-volume burstiness ratios, Fig. 6. */
+    const Ecdf &burstinessRatios() const { return burst_cdf_; }
+
+  private:
+    struct State
+    {
+        IntensityStats stats;
+        std::uint64_t window_index = 0;
+        std::uint64_t window_count = 0;
+        bool touched = false;
+    };
+
+    void bump(State &state, TimeUs timestamp);
+
+    TimeUs peak_window_;
+    PerVolume<State> states_;
+    State overall_state_;
+    IntensityStats overall_;
+    Ecdf avg_cdf_;
+    Ecdf peak_cdf_;
+    Ecdf burst_cdf_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_LOAD_INTENSITY_H

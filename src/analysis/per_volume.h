@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PerVolume: dense per-volume state storage.
+ *
+ * Volume ids are dense small integers in both trace formats (the MSRC
+ * reader densifies hostname/disk pairs), so per-volume analyzer state
+ * lives in a vector grown on demand rather than a hash map.
+ */
+
+#ifndef CBS_ANALYSIS_PER_VOLUME_H
+#define CBS_ANALYSIS_PER_VOLUME_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace cbs {
+
+template <typename T>
+class PerVolume
+{
+  public:
+    /** State for @p volume, default-constructed on first touch. */
+    T &
+    operator[](VolumeId volume)
+    {
+        if (volume >= data_.size())
+            data_.resize(static_cast<std::size_t>(volume) + 1);
+        return data_[volume];
+    }
+
+    const T &
+    at(VolumeId volume) const
+    {
+        return data_[volume];
+    }
+
+    /** Number of volume slots (max touched id + 1). */
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    auto begin() { return data_.begin(); }
+    auto end() { return data_.end(); }
+    auto begin() const { return data_.begin(); }
+    auto end() const { return data_.end(); }
+
+    /** Invoke fn(volume_id, state) for every slot. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            fn(static_cast<VolumeId>(i), data_[i]);
+    }
+
+  private:
+    std::vector<T> data_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_PER_VOLUME_H

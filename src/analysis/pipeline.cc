@@ -1,0 +1,17 @@
+#include "analysis/analyzer.h"
+
+namespace cbs {
+
+void
+runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers)
+{
+    IoRequest req;
+    while (source.next(req)) {
+        for (Analyzer *analyzer : analyzers)
+            analyzer->consume(req);
+    }
+    for (Analyzer *analyzer : analyzers)
+        analyzer->finalize();
+}
+
+} // namespace cbs

@@ -1,0 +1,82 @@
+#include "analysis/randomness.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+RandomnessAnalyzer::RandomnessAnalyzer(std::size_t window,
+                                       std::uint64_t threshold_bytes)
+    : window_(window), threshold_(threshold_bytes)
+{
+    CBS_EXPECT(window > 0, "randomness window must be positive");
+    CBS_EXPECT(threshold_bytes > 0, "threshold must be positive");
+}
+
+void
+RandomnessAnalyzer::consume(const IoRequest &req)
+{
+    State &state = states_[req.volume];
+    state.traffic_bytes += req.length;
+
+    if (!state.ring.empty()) {
+        std::uint64_t min_distance = ~std::uint64_t{0};
+        for (ByteOffset prev : state.ring) {
+            std::uint64_t distance = prev > req.offset
+                                         ? prev - req.offset
+                                         : req.offset - prev;
+            min_distance = std::min(min_distance, distance);
+        }
+        ++state.total;
+        if (min_distance > threshold_)
+            ++state.random;
+    }
+
+    if (state.ring.size() < window_) {
+        state.ring.push_back(req.offset);
+    } else {
+        state.ring[state.ring_pos] = req.offset;
+        state.ring_pos = (state.ring_pos + 1) % window_;
+    }
+}
+
+void
+RandomnessAnalyzer::finalize()
+{
+    for (const State &state : states_) {
+        if (state.total)
+            cdf_.add(state.ratio());
+    }
+}
+
+std::vector<std::pair<double, std::uint64_t>>
+RandomnessAnalyzer::topTrafficVolumes(std::size_t k) const
+{
+    std::vector<const State *> touched;
+    for (const State &state : states_) {
+        if (state.total)
+            touched.push_back(&state);
+    }
+    std::sort(touched.begin(), touched.end(),
+              [](const State *a, const State *b) {
+                  return a->traffic_bytes > b->traffic_bytes;
+              });
+    if (touched.size() > k)
+        touched.resize(k);
+    std::vector<std::pair<double, std::uint64_t>> out;
+    out.reserve(touched.size());
+    for (const State *state : touched)
+        out.emplace_back(state->ratio(), state->traffic_bytes);
+    return out;
+}
+
+double
+RandomnessAnalyzer::volumeRatio(VolumeId volume) const
+{
+    if (volume >= states_.size())
+        return 0.0;
+    return states_.at(volume).ratio();
+}
+
+} // namespace cbs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * RandomnessAnalyzer: I/O randomness ratios (Finding 8, Fig. 10).
+ *
+ * A request is *random* if the minimum distance between its offset and
+ * the offsets of the previous 32 requests of the same volume exceeds a
+ * threshold (128 KiB in the paper, following DiskAccel/ESX); the
+ * randomness ratio of a volume is its fraction of random requests.
+ */
+
+#ifndef CBS_ANALYSIS_RANDOMNESS_H
+#define CBS_ANALYSIS_RANDOMNESS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "stats/ecdf.h"
+
+namespace cbs {
+
+class RandomnessAnalyzer : public Analyzer
+{
+  public:
+    /**
+     * @param window number of preceding requests compared against
+     *        (paper: 32).
+     * @param threshold_bytes minimum-distance threshold (paper: 128 KiB).
+     */
+    explicit RandomnessAnalyzer(
+        std::size_t window = 32,
+        std::uint64_t threshold_bytes = 128 * units::KiB);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "randomness"; }
+
+    /** CDF of per-volume randomness ratios (Fig. 10(a)). */
+    const Ecdf &ratios() const { return cdf_; }
+
+    /** (randomness ratio, traffic bytes) of the top-k traffic volumes
+     *  (Fig. 10(b); paper plots the top 10). */
+    std::vector<std::pair<double, std::uint64_t>>
+    topTrafficVolumes(std::size_t k) const;
+
+    /** Randomness ratio of one volume. */
+    double volumeRatio(VolumeId volume) const;
+
+  private:
+    struct State
+    {
+        std::vector<ByteOffset> ring; //!< recent request offsets
+        std::size_t ring_pos = 0;
+        std::uint64_t random = 0;
+        std::uint64_t total = 0;
+        std::uint64_t traffic_bytes = 0;
+
+        double
+        ratio() const
+        {
+            return total ? static_cast<double>(random) /
+                               static_cast<double>(total)
+                         : 0.0;
+        }
+    };
+
+    std::size_t window_;
+    std::uint64_t threshold_;
+    PerVolume<State> states_;
+    Ecdf cdf_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_RANDOMNESS_H

@@ -1,0 +1,35 @@
+#include "analysis/size_stats.h"
+
+namespace cbs {
+
+SizeAnalyzer::SizeAnalyzer() : read_sizes_(7), write_sizes_(7) {}
+
+void
+SizeAnalyzer::consume(const IoRequest &req)
+{
+    VolumeSums &sums = sums_[req.volume];
+    if (req.isRead()) {
+        read_sizes_.add(req.length);
+        sums.read_bytes += req.length;
+        ++sums.reads;
+    } else {
+        write_sizes_.add(req.length);
+        sums.write_bytes += req.length;
+        ++sums.writes;
+    }
+}
+
+void
+SizeAnalyzer::finalize()
+{
+    for (const VolumeSums &sums : sums_) {
+        if (sums.reads)
+            avg_read_.add(static_cast<double>(sums.read_bytes) /
+                          static_cast<double>(sums.reads));
+        if (sums.writes)
+            avg_write_.add(static_cast<double>(sums.write_bytes) /
+                           static_cast<double>(sums.writes));
+    }
+}
+
+} // namespace cbs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SizeAnalyzer: request-size distributions (Fig. 2) — the global read
+ * and write size CDFs across all requests, and the per-volume average
+ * request sizes behind Fig. 2(b).
+ */
+
+#ifndef CBS_ANALYSIS_SIZE_STATS_H
+#define CBS_ANALYSIS_SIZE_STATS_H
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "stats/ecdf.h"
+#include "stats/log_histogram.h"
+
+namespace cbs {
+
+class SizeAnalyzer : public Analyzer
+{
+  public:
+    SizeAnalyzer();
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "size_stats"; }
+
+    /** Global CDF over all read request sizes (bytes). */
+    const LogHistogram &readSizes() const { return read_sizes_; }
+    /** Global CDF over all write request sizes (bytes). */
+    const LogHistogram &writeSizes() const { return write_sizes_; }
+
+    /** CDF of per-volume average read sizes (volumes with >= 1 read). */
+    const Ecdf &volumeAvgReadSizes() const { return avg_read_; }
+    /** CDF of per-volume average write sizes. */
+    const Ecdf &volumeAvgWriteSizes() const { return avg_write_; }
+
+  private:
+    struct VolumeSums
+    {
+        std::uint64_t read_bytes = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t write_bytes = 0;
+        std::uint64_t writes = 0;
+    };
+
+    LogHistogram read_sizes_;
+    LogHistogram write_sizes_;
+    PerVolume<VolumeSums> sums_;
+    Ecdf avg_read_;
+    Ecdf avg_write_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_SIZE_STATS_H

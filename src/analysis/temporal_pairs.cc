@@ -1,0 +1,66 @@
+#include "analysis/temporal_pairs.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+const char *
+pairKindName(PairKind kind)
+{
+    switch (kind) {
+      case PairKind::RAW:
+        return "RAW";
+      case PairKind::WAW:
+        return "WAW";
+      case PairKind::RAR:
+        return "RAR";
+      case PairKind::WAR:
+        return "WAR";
+    }
+    CBS_PANIC("unreachable pair kind");
+}
+
+TemporalPairsAnalyzer::TemporalPairsAnalyzer(std::uint64_t block_size)
+    : block_size_(block_size),
+      hists_{LogHistogram(6), LogHistogram(6), LogHistogram(6),
+             LogHistogram(6)}
+{
+    CBS_EXPECT(block_size > 0, "block size must be positive");
+}
+
+void
+TemporalPairsAnalyzer::consume(const IoRequest &req)
+{
+    forEachBlock(req, block_size_, [&](BlockNo block) {
+        std::uint64_t &state = last_[blockKey(req.volume, block)];
+        if (state != 0) {
+            bool prev_was_write = state & kOpBit;
+            TimeUs prev_time = (state & ~kOpBit) - 1;
+            CBS_EXPECT(req.timestamp >= prev_time,
+                       "trace not timestamp-ordered");
+            TimeUs elapsed = req.timestamp - prev_time;
+            PairKind kind;
+            if (req.isRead())
+                kind = prev_was_write ? PairKind::RAW : PairKind::RAR;
+            else
+                kind = prev_was_write ? PairKind::WAW : PairKind::WAR;
+            hists_[static_cast<std::size_t>(kind)].add(elapsed);
+        }
+        state = (req.timestamp + 1) |
+                (req.isWrite() ? kOpBit : std::uint64_t{0});
+    });
+}
+
+std::uint64_t
+TemporalPairsAnalyzer::count(PairKind kind) const
+{
+    return hists_[static_cast<std::size_t>(kind)].count();
+}
+
+const LogHistogram &
+TemporalPairsAnalyzer::times(PairKind kind) const
+{
+    return hists_[static_cast<std::size_t>(kind)];
+}
+
+} // namespace cbs

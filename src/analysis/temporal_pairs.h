@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TemporalPairsAnalyzer: RAW / WAW / RAR / WAR adjacent-request pairs
+ * (Findings 12-13; Figs. 14-15, Table V).
+ *
+ * For every block, each access forms a pair with the immediately
+ * preceding access to the same block; the pair's class is
+ * <current op>-after-<previous op> and its value is the elapsed time.
+ * Pairs are block-granular, matching the paper's per-block definition.
+ */
+
+#ifndef CBS_ANALYSIS_TEMPORAL_PAIRS_H
+#define CBS_ANALYSIS_TEMPORAL_PAIRS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "common/flat_map.h"
+#include "stats/log_histogram.h"
+
+namespace cbs {
+
+/** Pair classes, indexed as (current op, previous op). */
+enum class PairKind : std::size_t
+{
+    RAW = 0, //!< read after write
+    WAW = 1, //!< write after write
+    RAR = 2, //!< read after read
+    WAR = 3, //!< write after read
+};
+
+/** Printable name of a pair class. */
+const char *pairKindName(PairKind kind);
+
+class TemporalPairsAnalyzer : public Analyzer
+{
+  public:
+    explicit TemporalPairsAnalyzer(
+        std::uint64_t block_size = kDefaultBlockSize);
+
+    void consume(const IoRequest &req) override;
+    std::string name() const override { return "temporal_pairs"; }
+
+    /** Number of pairs of the given class. */
+    std::uint64_t count(PairKind kind) const;
+
+    /** Elapsed-time histogram (µs) of the given class. */
+    const LogHistogram &times(PairKind kind) const;
+
+  private:
+    // Per-block state packs the last-access timestamp (µs, 63 bits)
+    // and the last op (top bit) into one u64; the zero value is
+    // reserved for "never accessed" by storing timestamp+1.
+    static constexpr std::uint64_t kOpBit = std::uint64_t{1} << 63;
+
+    std::uint64_t block_size_;
+    FlatMap<std::uint64_t> last_;
+    std::array<LogHistogram, 4> hists_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_TEMPORAL_PAIRS_H

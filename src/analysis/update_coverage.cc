@@ -1,0 +1,47 @@
+#include "analysis/update_coverage.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+UpdateCoverageAnalyzer::UpdateCoverageAnalyzer(std::uint64_t block_size)
+    : block_size_(block_size)
+{
+    CBS_EXPECT(block_size > 0, "block size must be positive");
+}
+
+void
+UpdateCoverageAnalyzer::consume(const IoRequest &req)
+{
+    VolumeWss &wss = wss_[req.volume];
+    forEachBlock(req, block_size_, [&](BlockNo block) {
+        auto [flags, inserted] =
+            blocks_.tryEmplace(blockKey(req.volume, block));
+        if (inserted) {
+            flags = kTouched;
+            ++wss.total_blocks;
+        }
+        if (req.isWrite()) {
+            if (flags & kWritten) {
+                if (!(flags & kUpdated)) {
+                    flags |= kUpdated;
+                    ++wss.updated_blocks;
+                }
+            } else {
+                flags |= kWritten;
+                ++wss.written_blocks;
+            }
+        }
+    });
+}
+
+void
+UpdateCoverageAnalyzer::finalize()
+{
+    for (const VolumeWss &wss : wss_) {
+        if (wss.total_blocks)
+            cdf_.add(wss.updateCoverage());
+    }
+}
+
+} // namespace cbs

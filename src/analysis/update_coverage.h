@@ -1,0 +1,69 @@
+/**
+ * @file
+ * UpdateCoverageAnalyzer: per-volume update coverage (Finding 11;
+ * Fig. 13, Table IV).
+ *
+ * The update working set of a volume is the set of blocks written more
+ * than once; its update coverage is update WSS / total WSS (the CodFS
+ * definition the paper uses).
+ */
+
+#ifndef CBS_ANALYSIS_UPDATE_COVERAGE_H
+#define CBS_ANALYSIS_UPDATE_COVERAGE_H
+
+#include <cstdint>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "common/flat_map.h"
+#include "stats/ecdf.h"
+
+namespace cbs {
+
+class UpdateCoverageAnalyzer : public Analyzer
+{
+  public:
+    explicit UpdateCoverageAnalyzer(
+        std::uint64_t block_size = kDefaultBlockSize);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "update_coverage"; }
+
+    /** CDF of per-volume update coverage in [0,1] (Fig. 13). */
+    const Ecdf &coverage() const { return cdf_; }
+
+    /** Per-volume working-set sizes in blocks (also used by the cache
+     *  simulation's sizing pass). */
+    struct VolumeWss
+    {
+        std::uint64_t total_blocks = 0;
+        std::uint64_t written_blocks = 0;
+        std::uint64_t updated_blocks = 0;
+
+        double
+        updateCoverage() const
+        {
+            return total_blocks
+                       ? static_cast<double>(updated_blocks) /
+                             static_cast<double>(total_blocks)
+                       : 0.0;
+        }
+    };
+
+    const PerVolume<VolumeWss> &volumeWss() const { return wss_; }
+
+  private:
+    static constexpr std::uint8_t kTouched = 1;
+    static constexpr std::uint8_t kWritten = 2;
+    static constexpr std::uint8_t kUpdated = 4;
+
+    std::uint64_t block_size_;
+    FlatMap<std::uint8_t> blocks_;
+    PerVolume<VolumeWss> wss_;
+    Ecdf cdf_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_UPDATE_COVERAGE_H

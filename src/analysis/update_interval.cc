@@ -1,0 +1,55 @@
+#include "analysis/update_interval.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+UpdateIntervalAnalyzer::UpdateIntervalAnalyzer(std::uint64_t block_size)
+    : block_size_(block_size), global_(7)
+{
+    CBS_EXPECT(block_size > 0, "block size must be positive");
+}
+
+void
+UpdateIntervalAnalyzer::consume(const IoRequest &req)
+{
+    if (!req.isWrite())
+        return;
+    forEachBlock(req, block_size_, [&](BlockNo block) {
+        std::uint64_t &state = last_write_[blockKey(req.volume, block)];
+        if (state != 0) {
+            TimeUs prev = state - 1;
+            CBS_EXPECT(req.timestamp >= prev,
+                       "trace not timestamp-ordered");
+            TimeUs interval = req.timestamp - prev;
+            global_.add(interval);
+            auto &hist = volume_hists_[req.volume];
+            if (!hist)
+                hist = std::make_unique<LogHistogram>(5);
+            hist->add(interval);
+        }
+        state = req.timestamp + 1;
+    });
+}
+
+void
+UpdateIntervalAnalyzer::finalize()
+{
+    for (const auto &hist : volume_hists_) {
+        if (!hist || hist->empty())
+            continue;
+        for (std::size_t i = 0; i < kPercentiles.size(); ++i)
+            percentile_groups_[i].add(
+                static_cast<double>(hist->quantile(kPercentiles[i])));
+
+        double below_5m = hist->fractionBelow(kGroupBounds[0]);
+        double below_30m = hist->fractionBelow(kGroupBounds[1]);
+        double below_240m = hist->fractionBelow(kGroupBounds[2]);
+        duration_groups_[0].add(below_5m);
+        duration_groups_[1].add(below_30m - below_5m);
+        duration_groups_[2].add(below_240m - below_30m);
+        duration_groups_[3].add(1.0 - below_240m);
+    }
+}
+
+} // namespace cbs

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * UpdateIntervalAnalyzer: update intervals of written blocks
+ * (Finding 14; Figs. 16-17, Table VI).
+ *
+ * The update interval of a block is the elapsed time between two
+ * consecutive writes to it (reads in between are allowed — this is what
+ * distinguishes it from the WAW time). The analyzer keeps a global
+ * histogram (Table VI), a per-volume histogram for the percentile
+ * boxplots of Fig. 16, and the four duration-group proportions of
+ * Fig. 17.
+ */
+
+#ifndef CBS_ANALYSIS_UPDATE_INTERVAL_H
+#define CBS_ANALYSIS_UPDATE_INTERVAL_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "common/flat_map.h"
+#include "stats/boxplot.h"
+#include "stats/exact_quantiles.h"
+#include "stats/log_histogram.h"
+
+namespace cbs {
+
+class UpdateIntervalAnalyzer : public Analyzer
+{
+  public:
+    /** Fig. 17's duration groups: <5 min, 5-30 min, 30-240 min, >240 min. */
+    static constexpr std::array<TimeUs, 3> kGroupBounds = {
+        5 * units::minute, 30 * units::minute, 240 * units::minute};
+
+    /** The percentile groups of Fig. 16. */
+    static constexpr std::array<double, 5> kPercentiles = {
+        0.25, 0.50, 0.75, 0.90, 0.95};
+
+    explicit UpdateIntervalAnalyzer(
+        std::uint64_t block_size = kDefaultBlockSize);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "update_interval"; }
+
+    /** Global histogram of update intervals (µs) — Table VI. */
+    const LogHistogram &global() const { return global_; }
+
+    /** Per-volume percentile values (µs) across volumes; index i
+     *  corresponds to kPercentiles[i] (Fig. 16). */
+    const std::array<ExactQuantiles, 5> &
+    percentileGroups() const
+    {
+        return percentile_groups_;
+    }
+
+    /** Per-volume proportions of intervals falling in duration group
+     *  g (0: <5 min ... 3: >240 min), across volumes (Fig. 17). */
+    const std::array<ExactQuantiles, 4> &
+    durationGroups() const
+    {
+        return duration_groups_;
+    }
+
+  private:
+    std::uint64_t block_size_;
+    FlatMap<std::uint64_t> last_write_; //!< timestamp+1; 0 = unwritten
+    PerVolume<std::unique_ptr<LogHistogram>> volume_hists_;
+    LogHistogram global_;
+    std::array<ExactQuantiles, 5> percentile_groups_;
+    std::array<ExactQuantiles, 4> duration_groups_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_UPDATE_INTERVAL_H

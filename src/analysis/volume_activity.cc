@@ -1,0 +1,74 @@
+#include "analysis/volume_activity.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.h"
+
+namespace cbs {
+
+void
+ActiveDaysAnalyzer::consume(const IoRequest &req)
+{
+    std::uint64_t day = req.timestamp / units::day;
+    CBS_EXPECT(day < 64, "trace longer than 64 days");
+    day_bits_[req.volume] |= std::uint64_t{1} << day;
+}
+
+void
+ActiveDaysAnalyzer::finalize()
+{
+    for (std::uint64_t bits : day_bits_) {
+        if (bits)
+            cdf_.add(static_cast<double>(std::popcount(bits)));
+    }
+}
+
+double
+ActiveDaysAnalyzer::fractionWithDays(int days) const
+{
+    if (cdf_.empty())
+        return 0.0;
+    return cdf_.at(days) - cdf_.at(days - 1);
+}
+
+WriteReadRatioAnalyzer::WriteReadRatioAnalyzer(double ratio_cap)
+    : ratio_cap_(ratio_cap)
+{
+    CBS_EXPECT(ratio_cap > 0, "ratio cap must be positive");
+}
+
+void
+WriteReadRatioAnalyzer::consume(const IoRequest &req)
+{
+    Counts &counts = counts_[req.volume];
+    if (req.isRead()) {
+        ++counts.reads;
+        ++total_reads_;
+    } else {
+        ++counts.writes;
+        ++total_writes_;
+    }
+}
+
+void
+WriteReadRatioAnalyzer::finalize()
+{
+    for (const Counts &counts : counts_) {
+        if (counts.reads == 0 && counts.writes == 0)
+            continue;
+        double ratio = counts.reads
+                           ? static_cast<double>(counts.writes) /
+                                 static_cast<double>(counts.reads)
+                           : ratio_cap_;
+        cdf_.add(std::min(ratio, ratio_cap_));
+    }
+}
+
+double
+WriteReadRatioAnalyzer::fractionAbove(double threshold) const
+{
+    return cdf_.empty() ? 0.0 : 1.0 - cdf_.at(threshold);
+}
+
+} // namespace cbs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ActiveDaysAnalyzer and WriteReadRatioAnalyzer: the per-volume
+ * activity and op-mix statistics of §III-C (Figs. 3 and 4).
+ */
+
+#ifndef CBS_ANALYSIS_VOLUME_ACTIVITY_H
+#define CBS_ANALYSIS_VOLUME_ACTIVITY_H
+
+#include <cstdint>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "stats/ecdf.h"
+
+namespace cbs {
+
+/**
+ * Counts each volume's active days — a volume is active on a day if it
+ * receives at least one request that day (Fig. 3).
+ */
+class ActiveDaysAnalyzer : public Analyzer
+{
+  public:
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "active_days"; }
+
+    /** CDF of active-day counts across volumes. */
+    const Ecdf &activeDays() const { return cdf_; }
+
+    /** Fraction of volumes active on exactly @p days days. */
+    double fractionWithDays(int days) const;
+
+  private:
+    PerVolume<std::uint64_t> day_bits_; //!< bit d set = active on day d
+    Ecdf cdf_;
+};
+
+/**
+ * Per-volume write-to-read request ratios (Fig. 4). Read-free volumes
+ * are assigned the configured ratio cap, matching how the paper's CDF
+ * saturates at very high ratios.
+ */
+class WriteReadRatioAnalyzer : public Analyzer
+{
+  public:
+    explicit WriteReadRatioAnalyzer(double ratio_cap = 1e4);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "wr_ratio"; }
+
+    /** CDF of per-volume write-to-read ratios. */
+    const Ecdf &ratios() const { return cdf_; }
+
+    /** Fraction of volumes with ratio > @p threshold. */
+    double fractionAbove(double threshold) const;
+
+    std::uint64_t totalReads() const { return total_reads_; }
+    std::uint64_t totalWrites() const { return total_writes_; }
+
+  private:
+    struct Counts
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    double ratio_cap_;
+    PerVolume<Counts> counts_;
+    Ecdf cdf_;
+    std::uint64_t total_reads_ = 0;
+    std::uint64_t total_writes_ = 0;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_VOLUME_ACTIVITY_H

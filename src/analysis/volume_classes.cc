@@ -1,0 +1,109 @@
+#include "analysis/volume_classes.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+const char *
+volumeClassName(VolumeClass cls)
+{
+    switch (cls) {
+      case VolumeClass::Idle:
+        return "idle";
+      case VolumeClass::WriteOnlyLog:
+        return "write-only-log";
+      case VolumeClass::WriteHeavyUpdater:
+        return "write-heavy-updater";
+      case VolumeClass::ReadMostly:
+        return "read-mostly";
+      case VolumeClass::Mixed:
+        return "mixed";
+    }
+    CBS_PANIC("unreachable class");
+}
+
+VolumeClassifier::VolumeClassifier(std::uint64_t min_requests,
+                                   std::uint64_t block_size)
+    : min_requests_(min_requests), block_size_(block_size)
+{
+    CBS_EXPECT(block_size > 0, "block size must be positive");
+}
+
+void
+VolumeClassifier::consume(const IoRequest &req)
+{
+    VolumeFeatures &features = features_[req.volume];
+    if (req.isRead())
+        ++features.reads;
+    else
+        ++features.writes;
+
+    forEachBlock(req, block_size_, [&](BlockNo block) {
+        auto [flags, inserted] =
+            blocks_.tryEmplace(blockKey(req.volume, block));
+        constexpr std::uint8_t kRead = 1;
+        constexpr std::uint8_t kWritten = 2;
+        constexpr std::uint8_t kUpdated = 4;
+        if (req.isRead()) {
+            if (!(flags & kRead)) {
+                flags |= kRead;
+                ++features.read_blocks;
+            }
+        } else if (!(flags & kWritten)) {
+            flags |= kWritten;
+            ++features.written_blocks;
+        } else if (!(flags & kUpdated)) {
+            flags |= kUpdated;
+            ++features.updated_blocks;
+        }
+    });
+}
+
+VolumeClass
+VolumeClassifier::classify(const VolumeFeatures &features,
+                           std::uint64_t min_requests)
+{
+    if (features.requests() < min_requests)
+        return VolumeClass::Idle;
+    double wf = features.writeFraction();
+    if (wf > 0.95) {
+        // Nearly no reads: log-like if mostly one-touch, updater if
+        // blocks are rewritten.
+        return features.rewriteFraction() < 0.3
+                   ? VolumeClass::WriteOnlyLog
+                   : VolumeClass::WriteHeavyUpdater;
+    }
+    if (wf > 0.6)
+        return VolumeClass::WriteHeavyUpdater;
+    if (wf < 0.35)
+        return VolumeClass::ReadMostly;
+    return VolumeClass::Mixed;
+}
+
+void
+VolumeClassifier::finalize()
+{
+    histogram_ = {};
+    features_.forEach([&](VolumeId volume,
+                          const VolumeFeatures &features) {
+        VolumeClass cls = classify(features, min_requests_);
+        classes_[volume] = cls;
+        ++histogram_[static_cast<std::size_t>(cls)];
+    });
+}
+
+VolumeClass
+VolumeClassifier::classOf(VolumeId volume) const
+{
+    if (volume >= classes_.size())
+        return VolumeClass::Idle;
+    return classes_.at(volume);
+}
+
+const VolumeFeatures &
+VolumeClassifier::featuresOf(VolumeId volume) const
+{
+    return features_.at(volume);
+}
+
+} // namespace cbs

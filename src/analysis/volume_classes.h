@@ -1,0 +1,120 @@
+/**
+ * @file
+ * VolumeClassifier: rule-based workload-archetype classification.
+ *
+ * The AliCloud traces do not record which application runs on a volume
+ * (paper §III-B limitation); the paper repeatedly infers archetypes
+ * from I/O behaviour ("backups or journaling tend to only write data",
+ * "application-level read caches absorb reads"). This analyzer makes
+ * that inference explicit: each volume is assigned an archetype from
+ * its op mix, rewrite behaviour, and spatial pattern.
+ *
+ * Archetypes:
+ *  - WriteOnlyLog: almost no reads, mostly one-touch sequential-ish
+ *    writes (backup / journal / log shipping);
+ *  - WriteHeavyUpdater: write-dominant with substantial overwrites
+ *    (databases behind read caches — the paper's common case);
+ *  - ReadMostly: read-dominant traffic (content serving, scans);
+ *  - Mixed: balanced read/write interaction;
+ *  - Idle: too few requests to classify.
+ */
+
+#ifndef CBS_ANALYSIS_VOLUME_CLASSES_H
+#define CBS_ANALYSIS_VOLUME_CLASSES_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+
+enum class VolumeClass : std::uint8_t
+{
+    Idle = 0,
+    WriteOnlyLog = 1,
+    WriteHeavyUpdater = 2,
+    ReadMostly = 3,
+    Mixed = 4,
+};
+
+constexpr std::size_t kVolumeClassCount = 5;
+
+/** Printable archetype name. */
+const char *volumeClassName(VolumeClass cls);
+
+/** Per-volume features the classification is based on. */
+struct VolumeFeatures
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t written_blocks = 0;
+    std::uint64_t updated_blocks = 0;
+    std::uint64_t read_blocks = 0;
+
+    std::uint64_t requests() const { return reads + writes; }
+
+    double
+    writeFraction() const
+    {
+        return requests() ? static_cast<double>(writes) / requests()
+                          : 0.0;
+    }
+
+    /** Fraction of written blocks that were rewritten. */
+    double
+    rewriteFraction() const
+    {
+        return written_blocks ? static_cast<double>(updated_blocks) /
+                                    static_cast<double>(written_blocks)
+                              : 0.0;
+    }
+};
+
+class VolumeClassifier : public Analyzer
+{
+  public:
+    /**
+     * @param min_requests volumes below this are classified Idle.
+     * @param block_size block granularity for rewrite tracking.
+     */
+    explicit VolumeClassifier(std::uint64_t min_requests = 100,
+                              std::uint64_t block_size =
+                                  kDefaultBlockSize);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "volume_classes"; }
+
+    /** Classification of one volume (Idle if untouched). */
+    VolumeClass classOf(VolumeId volume) const;
+
+    /** Number of volumes per archetype. */
+    const std::array<std::uint32_t, kVolumeClassCount> &
+    histogram() const
+    {
+        return histogram_;
+    }
+
+    /** Feature vector of one volume. */
+    const VolumeFeatures &featuresOf(VolumeId volume) const;
+
+    /** Classify a standalone feature vector (rule core; testable). */
+    static VolumeClass classify(const VolumeFeatures &features,
+                                std::uint64_t min_requests);
+
+  private:
+    std::uint64_t min_requests_;
+    std::uint64_t block_size_;
+    FlatMap<std::uint8_t> blocks_;
+    PerVolume<VolumeFeatures> features_;
+    PerVolume<VolumeClass> classes_;
+    std::array<std::uint32_t, kVolumeClassCount> histogram_{};
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_VOLUME_CLASSES_H

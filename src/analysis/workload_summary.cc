@@ -1,0 +1,75 @@
+#include "analysis/workload_summary.h"
+
+#include "common/format.h"
+#include "report/table.h"
+
+namespace cbs {
+
+void
+WorkloadSummary::print(std::ostream &os) const
+{
+    const BasicStats &s = basic.stats();
+
+    TextTable overview("Workload overview");
+    overview.header({"metric", "value"});
+    overview.row({"volumes", formatCount(s.volumes)});
+    overview.row({"requests", formatCount(s.requests())});
+    overview.row(
+        {"duration",
+         formatDurationUs(static_cast<double>(s.last_timestamp -
+                                              s.first_timestamp))});
+    overview.row(
+        {"write:read ratio", formatFixed(s.writeToReadRatio(), 2)});
+    overview.row({"read traffic", formatBytes(s.read_bytes)});
+    overview.row({"write traffic", formatBytes(s.write_bytes)});
+    overview.row({"update traffic", formatBytes(s.update_bytes)});
+    overview.row({"total WSS", formatBytes(s.total_wss_bytes)});
+    overview.row({"read WSS share", formatPercent(s.readWssShare())});
+    overview.row({"write WSS share", formatPercent(s.writeWssShare())});
+    overview.print(os);
+    os << '\n';
+
+    TextTable dists("Per-volume distributions (median [p25, p90])");
+    dists.header({"metric", "median", "p25", "p90"});
+    auto dist_row = [&](const char *name, const Ecdf &cdf,
+                        auto fmt) {
+        if (cdf.empty()) {
+            dists.row({name, "-", "-", "-"});
+            return;
+        }
+        dists.row({name, fmt(cdf.quantile(0.5)), fmt(cdf.quantile(0.25)),
+                   fmt(cdf.quantile(0.9))});
+    };
+    auto pct = [](double v) { return formatPercent(v); };
+    auto num = [](double v) { return formatFixed(v, 2); };
+    auto kib = [](double v) {
+        return formatBytes(static_cast<std::uint64_t>(v));
+    };
+    dist_row("avg read size", sizes.volumeAvgReadSizes(), kib);
+    dist_row("avg write size", sizes.volumeAvgWriteSizes(), kib);
+    dist_row("write:read ratio", ratios.ratios(), num);
+    dist_row("avg intensity (req/s)", intensity.avgIntensities(), num);
+    dist_row("burstiness ratio", intensity.burstinessRatios(), num);
+    dist_row("randomness ratio", randomness.ratios(), pct);
+    dist_row("update coverage", coverage.coverage(), pct);
+    dist_row("reads to read-mostly", traffic.readMostlyShares(), pct);
+    dist_row("writes to write-mostly", traffic.writeMostlyShares(),
+             pct);
+    dists.print(os);
+    os << '\n';
+
+    TextTable temporal("Temporal pairs");
+    temporal.header({"kind", "count", "median gap"});
+    for (PairKind kind : {PairKind::RAW, PairKind::WAW, PairKind::RAR,
+                          PairKind::WAR}) {
+        const LogHistogram &hist = pairs.times(kind);
+        temporal.row(
+            {pairKindName(kind), formatCount(hist.count()),
+             hist.empty() ? "-"
+                          : formatDurationUs(static_cast<double>(
+                                hist.quantile(0.5)))});
+    }
+    temporal.print(os);
+}
+
+} // namespace cbs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * WorkloadSummary: the one-call characterization facade.
+ *
+ * Bundles the full single-pass analyzer set (everything except the
+ * two-pass cache simulation), runs a trace through it, and exposes the
+ * individual analyzers for detailed queries plus a printed overview —
+ * the programmatic equivalent of the paper's §III-C high-level
+ * analysis.
+ */
+
+#ifndef CBS_ANALYSIS_WORKLOAD_SUMMARY_H
+#define CBS_ANALYSIS_WORKLOAD_SUMMARY_H
+
+#include <ostream>
+
+#include "analysis/activeness.h"
+#include "analysis/analyzer.h"
+#include "analysis/basic_stats.h"
+#include "analysis/block_traffic.h"
+#include "analysis/interarrival.h"
+#include "analysis/load_intensity.h"
+#include "analysis/randomness.h"
+#include "analysis/size_stats.h"
+#include "analysis/temporal_pairs.h"
+#include "analysis/update_coverage.h"
+#include "analysis/update_interval.h"
+#include "analysis/volume_activity.h"
+
+namespace cbs {
+
+/** Knobs of the bundled analysis. */
+struct WorkloadSummaryOptions
+{
+    std::uint64_t block_size = kDefaultBlockSize;
+    /** Activeness interval (paper: 10 minutes). */
+    TimeUs activeness_interval = 10 * units::minute;
+    /** Trace duration for the activeness series; 0 = auto from data
+     *  (requires a second pass, so pass the real duration if known). */
+    TimeUs duration = 31 * units::day;
+    /** Peak-intensity window (paper: 1 minute). */
+    TimeUs peak_window = units::minute;
+};
+
+class WorkloadSummary
+{
+  public:
+    explicit WorkloadSummary(const WorkloadSummaryOptions &options =
+                                 WorkloadSummaryOptions{})
+        : basic(options.block_size),
+          intensity(options.peak_window),
+          activeness(options.activeness_interval, options.duration),
+          traffic(options.block_size),
+          coverage(options.block_size),
+          pairs(options.block_size),
+          intervals(options.block_size),
+          options_(options)
+    {
+    }
+
+    /** Run the whole bundle (plus optional extra analyzers sharing
+     *  the same pass) in one streaming sweep. */
+    void
+    run(TraceSource &source, std::vector<Analyzer *> extra = {})
+    {
+        std::vector<Analyzer *> all = {
+            &basic,      &sizes,   &days,     &ratios,
+            &intensity,  &interarrival, &activeness, &randomness,
+            &traffic,    &coverage, &pairs,   &intervals};
+        all.insert(all.end(), extra.begin(), extra.end());
+        runPipeline(source, all);
+    }
+
+    /** Print a compact multi-section report. */
+    void print(std::ostream &os) const;
+
+    const WorkloadSummaryOptions &options() const { return options_; }
+
+    // The bundled analyzers, exposed for detailed queries.
+    BasicStatsAnalyzer basic;
+    SizeAnalyzer sizes;
+    ActiveDaysAnalyzer days;
+    WriteReadRatioAnalyzer ratios;
+    LoadIntensityAnalyzer intensity;
+    InterarrivalAnalyzer interarrival;
+    ActivenessAnalyzer activeness;
+    RandomnessAnalyzer randomness;
+    BlockTrafficAnalyzer traffic;
+    UpdateCoverageAnalyzer coverage;
+    TemporalPairsAnalyzer pairs;
+    UpdateIntervalAnalyzer intervals;
+
+  private:
+    WorkloadSummaryOptions options_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_WORKLOAD_SUMMARY_H

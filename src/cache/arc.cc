@@ -1,0 +1,138 @@
+#include "cache/arc.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+ArcCache::ArcCache(std::size_t capacity)
+    : capacity_(capacity), index_(2 * capacity)
+{
+    CBS_EXPECT(capacity > 0, "cache capacity must be positive");
+}
+
+std::list<std::uint64_t> &
+ArcCache::listOf(Where where)
+{
+    switch (where) {
+      case Where::T1:
+        return t1_;
+      case Where::T2:
+        return t2_;
+      case Where::B1:
+        return b1_;
+      case Where::B2:
+        return b2_;
+    }
+    CBS_PANIC("unreachable list");
+}
+
+void
+ArcCache::moveTo(std::uint64_t key, Entry &entry, Where to)
+{
+    listOf(entry.where).erase(entry.pos);
+    auto &target = listOf(to);
+    target.push_front(key);
+    entry.where = to;
+    entry.pos = target.begin();
+}
+
+void
+ArcCache::dropLru(Where where)
+{
+    auto &list = listOf(where);
+    CBS_CHECK(!list.empty());
+    index_.erase(list.back());
+    list.pop_back();
+}
+
+void
+ArcCache::replace(bool hit_in_b2)
+{
+    if (!t1_.empty() &&
+        (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_))) {
+        // Demote the T1 LRU into ghost list B1.
+        std::uint64_t victim = t1_.back();
+        Entry *entry = index_.find(victim);
+        CBS_CHECK(entry != nullptr);
+        moveTo(victim, *entry, Where::B1);
+    } else {
+        CBS_CHECK(!t2_.empty());
+        std::uint64_t victim = t2_.back();
+        Entry *entry = index_.find(victim);
+        CBS_CHECK(entry != nullptr);
+        moveTo(victim, *entry, Where::B2);
+    }
+}
+
+bool
+ArcCache::access(std::uint64_t key)
+{
+    Entry *entry = index_.find(key);
+    if (entry != nullptr &&
+        (entry->where == Where::T1 || entry->where == Where::T2)) {
+        moveTo(key, *entry, Where::T2);
+        return true;
+    }
+
+    if (entry != nullptr && entry->where == Where::B1) {
+        std::size_t delta =
+            std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(
+                                         1, b1_.size()));
+        p_ = std::min(capacity_, p_ + delta);
+        replace(false);
+        moveTo(key, *entry, Where::T2);
+        return false;
+    }
+
+    if (entry != nullptr && entry->where == Where::B2) {
+        std::size_t delta =
+            std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(
+                                         1, b2_.size()));
+        p_ = p_ > delta ? p_ - delta : 0;
+        replace(true);
+        moveTo(key, *entry, Where::T2);
+        return false;
+    }
+
+    // Completely new key.
+    std::size_t l1 = t1_.size() + b1_.size();
+    std::size_t total = l1 + t2_.size() + b2_.size();
+    if (l1 == capacity_) {
+        if (t1_.size() < capacity_) {
+            dropLru(Where::B1);
+            replace(false);
+        } else {
+            dropLru(Where::T1);
+        }
+    } else if (l1 < capacity_ && total >= capacity_) {
+        if (total == 2 * capacity_)
+            dropLru(Where::B2);
+        replace(false);
+    }
+    t1_.push_front(key);
+    index_.insertOrAssign(key, Entry{Where::T1, t1_.begin()});
+    return false;
+}
+
+bool
+ArcCache::contains(std::uint64_t key) const
+{
+    const Entry *entry = index_.find(key);
+    return entry != nullptr &&
+           (entry->where == Where::T1 || entry->where == Where::T2);
+}
+
+void
+ArcCache::clear()
+{
+    t1_.clear();
+    t2_.clear();
+    b1_.clear();
+    b2_.clear();
+    index_.clear();
+    p_ = 0;
+}
+
+} // namespace cbs

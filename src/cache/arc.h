@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ArcCache: Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+ *
+ * ARC balances recency (T1) and frequency (T2) adaptively using ghost
+ * lists (B1/B2) of recently evicted keys. Included for the Finding 15
+ * policy-ablation benches: the paper's workloads mix scan-like cold
+ * traffic with tight hot sets, exactly the pattern ARC was designed to
+ * separate.
+ */
+
+#ifndef CBS_CACHE_ARC_H
+#define CBS_CACHE_ARC_H
+
+#include <cstdint>
+#include <list>
+
+#include "common/flat_map.h"
+#include "cache/cache_policy.h"
+
+namespace cbs {
+
+class ArcCache : public CachePolicy
+{
+  public:
+    explicit ArcCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return t1_.size() + t2_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "arc"; }
+
+    /** Current adaptation target for |T1| (testing). */
+    std::size_t targetT1() const { return p_; }
+
+  private:
+    enum class Where : std::uint8_t
+    {
+        T1,
+        T2,
+        B1,
+        B2,
+    };
+
+    struct Entry
+    {
+        Where where = Where::T1;
+        std::list<std::uint64_t>::iterator pos;
+    };
+
+    std::list<std::uint64_t> &listOf(Where where);
+
+    /** Move @p key to the MRU end of @p to, updating the index. */
+    void moveTo(std::uint64_t key, Entry &entry, Where to);
+
+    /** Drop the LRU element of @p where from the index and list. */
+    void dropLru(Where where);
+
+    /** ARC's REPLACE: demote from T1 or T2 into the ghost lists. */
+    void replace(bool hit_in_b2);
+
+    std::size_t capacity_;
+    std::size_t p_ = 0; //!< adaptive target size of T1
+    std::list<std::uint64_t> t1_, t2_, b1_, b2_;
+    FlatMap<Entry> index_;
+};
+
+} // namespace cbs
+
+#endif // CBS_CACHE_ARC_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CachePolicy: the block-cache replacement-policy interface.
+ *
+ * Policies are block-granular and demand-filled: access() touches one
+ * block key, inserting it (and evicting if full) on a miss. The paper's
+ * Finding 15 simulates a unified read/write LRU cache; the other
+ * policies support the ablation benches on the same workloads.
+ */
+
+#ifndef CBS_CACHE_CACHE_POLICY_H
+#define CBS_CACHE_CACHE_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cbs {
+
+class CachePolicy
+{
+  public:
+    virtual ~CachePolicy() = default;
+
+    /**
+     * Touch @p key: on a hit, update recency/frequency metadata; on a
+     * miss, admit the key, evicting a victim if the cache is full.
+     *
+     * @return true on a hit.
+     */
+    virtual bool access(std::uint64_t key) = 0;
+
+    /** Number of cached blocks. */
+    virtual std::size_t size() const = 0;
+
+    /** Maximum number of cached blocks. */
+    virtual std::size_t capacity() const = 0;
+
+    /** Whether @p key is currently cached (no metadata update). */
+    virtual bool contains(std::uint64_t key) const = 0;
+
+    /** Drop all cached blocks. */
+    virtual void clear() = 0;
+
+    /** Policy name for reports ("lru", "arc", ...). */
+    virtual std::string name() const = 0;
+};
+
+/** Factory by policy name: "lru", "fifo", "lfu", "clock", "arc". */
+std::unique_ptr<CachePolicy> makeCachePolicy(const std::string &name,
+                                             std::size_t capacity);
+
+} // namespace cbs
+
+#endif // CBS_CACHE_CACHE_POLICY_H

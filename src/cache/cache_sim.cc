@@ -1,0 +1,47 @@
+#include "cache/cache_sim.h"
+
+#include "cache/arc.h"
+#include "cache/lru.h"
+#include "cache/simple_policies.h"
+#include "common/error.h"
+
+namespace cbs {
+
+CacheSim::CacheSim(std::unique_ptr<CachePolicy> policy,
+                   std::uint64_t block_size)
+    : policy_(std::move(policy)), block_size_(block_size)
+{
+    CBS_EXPECT(policy_ != nullptr, "CacheSim requires a policy");
+    CBS_EXPECT(block_size_ > 0, "block size must be positive");
+}
+
+void
+CacheSim::access(const IoRequest &req)
+{
+    forEachBlock(req, block_size_, [&](BlockNo block) {
+        bool hit = policy_->access(block);
+        if (req.isRead()) {
+            hit ? ++stats_.read_hits : ++stats_.read_misses;
+        } else {
+            hit ? ++stats_.write_hits : ++stats_.write_misses;
+        }
+    });
+}
+
+std::unique_ptr<CachePolicy>
+makeCachePolicy(const std::string &name, std::size_t capacity)
+{
+    if (name == "lru")
+        return std::make_unique<LruCache>(capacity);
+    if (name == "fifo")
+        return std::make_unique<FifoCache>(capacity);
+    if (name == "clock")
+        return std::make_unique<ClockCache>(capacity);
+    if (name == "lfu")
+        return std::make_unique<LfuCache>(capacity);
+    if (name == "arc")
+        return std::make_unique<ArcCache>(capacity);
+    CBS_FATAL("unknown cache policy: " << name);
+}
+
+} // namespace cbs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LruCache: least-recently-used replacement over a compact slot array.
+ *
+ * Nodes live in a contiguous vector threaded into an intrusive doubly-
+ * linked list (no per-node allocation), with a FlatMap for key lookup —
+ * the simulation of Finding 15 runs one of these per volume.
+ */
+
+#ifndef CBS_CACHE_LRU_H
+#define CBS_CACHE_LRU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "cache/cache_policy.h"
+
+namespace cbs {
+
+class LruCache : public CachePolicy
+{
+  public:
+    explicit LruCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return index_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "lru"; }
+
+    /** Least-recently-used key (testing); size() must be > 0. */
+    std::uint64_t coldestKey() const;
+
+  private:
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    struct Node
+    {
+        std::uint64_t key = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    void unlink(std::uint32_t idx);
+    void pushFront(std::uint32_t idx);
+
+    std::size_t capacity_;
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> free_;
+    FlatMap<std::uint32_t> index_;
+    std::uint32_t head_ = kNil; //!< most recently used
+    std::uint32_t tail_ = kNil; //!< least recently used
+};
+
+} // namespace cbs
+
+#endif // CBS_CACHE_LRU_H

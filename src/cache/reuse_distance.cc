@@ -1,0 +1,91 @@
+#include "cache/reuse_distance.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+void
+ReuseDistance::fenwickAdd(std::size_t pos, std::int64_t delta)
+{
+    // 1-based Fenwick tree, grown on demand.
+    for (std::size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1))
+        tree_[i - 1] += delta;
+}
+
+std::int64_t
+ReuseDistance::fenwickSum(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = std::min(pos + 1, tree_.size()); i > 0;
+         i -= i & (~i + 1))
+        sum += tree_[i - 1];
+    return sum;
+}
+
+std::uint64_t
+ReuseDistance::access(std::uint64_t key)
+{
+    std::size_t now = static_cast<std::size_t>(clock_++);
+    // Grow the Fenwick tree to cover position `now`.
+    if (now >= tree_.size()) {
+        std::size_t new_size = std::max<std::size_t>(64, tree_.size());
+        while (new_size <= now)
+            new_size *= 2;
+        // Rebuild: Fenwick trees do not grow in place.
+        std::vector<std::int64_t> old = std::move(tree_);
+        tree_.assign(new_size, 0);
+        // Re-add the single 1 per live key.
+        last_pos_.forEach([&](std::uint64_t, const std::uint64_t &pos) {
+            fenwickAdd(static_cast<std::size_t>(pos), 1);
+        });
+        (void)old;
+    }
+
+    auto [pos, inserted] = last_pos_.tryEmplace(key);
+    std::uint64_t distance;
+    if (inserted) {
+        ++cold_;
+        distance = kInfinite;
+    } else {
+        std::size_t prev = static_cast<std::size_t>(pos);
+        // Distinct keys accessed strictly after prev = suffix sum.
+        std::int64_t after =
+            fenwickSum(now) - fenwickSum(prev);
+        CBS_CHECK(after >= 0);
+        distance = static_cast<std::uint64_t>(after) + 1;
+        fenwickAdd(prev, -1);
+        if (hist_.size() < distance)
+            hist_.resize(std::max<std::size_t>(
+                static_cast<std::size_t>(distance), hist_.size() * 2));
+        ++hist_[static_cast<std::size_t>(distance - 1)];
+    }
+    pos = now;
+    fenwickAdd(now, 1);
+    return distance;
+}
+
+double
+ReuseDistance::missRatioAt(std::uint64_t c) const
+{
+    if (clock_ == 0)
+        return 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t limit = std::min<std::uint64_t>(c, hist_.size());
+    for (std::uint64_t d = 0; d < limit; ++d)
+        hits += hist_[static_cast<std::size_t>(d)];
+    return 1.0 - static_cast<double>(hits) / static_cast<double>(clock_);
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+ReuseDistance::curve(const std::vector<std::uint64_t> &capacities) const
+{
+    std::vector<std::pair<std::uint64_t, double>> out;
+    out.reserve(capacities.size());
+    for (std::uint64_t c : capacities)
+        out.emplace_back(c, missRatioAt(c));
+    return out;
+}
+
+} // namespace cbs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ReuseDistance: exact LRU stack distances via a Fenwick tree, plus
+ * miss-ratio-curve construction (the Mattson one-pass technique the
+ * paper's caching-related work — Counter Stacks, SHARDS — approximates).
+ *
+ * The stack distance of an access is the number of *distinct* blocks
+ * touched since the previous access to the same block; an LRU cache of
+ * capacity c hits exactly the accesses with distance <= c. One pass
+ * therefore yields the LRU miss ratio at every cache size at once.
+ */
+
+#ifndef CBS_CACHE_REUSE_DISTANCE_H
+#define CBS_CACHE_REUSE_DISTANCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+
+namespace cbs {
+
+class ReuseDistance
+{
+  public:
+    /** Distance reported for first-ever accesses (cold misses). */
+    static constexpr std::uint64_t kInfinite = ~std::uint64_t{0};
+
+    ReuseDistance() = default;
+
+    /**
+     * Record an access to @p key.
+     *
+     * @return the LRU stack distance (1 = re-access with no distinct
+     *         intervening blocks), or kInfinite on a cold access.
+     */
+    std::uint64_t access(std::uint64_t key);
+
+    std::uint64_t accessCount() const { return clock_; }
+    std::uint64_t coldMisses() const { return cold_; }
+    std::uint64_t uniqueKeys() const { return last_pos_.size(); }
+
+    /** Histogram of finite distances (index d counts distance d+1...). */
+    const std::vector<std::uint64_t> &histogram() const { return hist_; }
+
+    /**
+     * LRU miss ratio at cache capacity @p c blocks, computed from the
+     * recorded distances (cold misses count as misses).
+     */
+    double missRatioAt(std::uint64_t c) const;
+
+    /**
+     * The full miss-ratio curve sampled at the given capacities.
+     */
+    std::vector<std::pair<std::uint64_t, double>>
+    curve(const std::vector<std::uint64_t> &capacities) const;
+
+  private:
+    void fenwickAdd(std::size_t pos, std::int64_t delta);
+    std::int64_t fenwickSum(std::size_t pos) const;
+
+    std::uint64_t clock_ = 0;
+    std::uint64_t cold_ = 0;
+    FlatMap<std::uint64_t> last_pos_; //!< key -> last access position
+    std::vector<std::int64_t> tree_;  //!< Fenwick over positions
+    std::vector<std::uint64_t> hist_; //!< distance histogram
+};
+
+} // namespace cbs
+
+#endif // CBS_CACHE_REUSE_DISTANCE_H

@@ -1,0 +1,47 @@
+#include "cache/shards.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+
+ShardsReuseDistance::ShardsReuseDistance(double sampling_rate)
+    : rate_(sampling_rate)
+{
+    CBS_EXPECT(sampling_rate > 0.0 && sampling_rate <= 1.0,
+               "sampling rate out of (0,1]: " << sampling_rate);
+    threshold_ = static_cast<std::uint64_t>(
+        std::llround(sampling_rate * static_cast<double>(kModulus)));
+    threshold_ = std::max<std::uint64_t>(threshold_, 1);
+}
+
+void
+ShardsReuseDistance::access(std::uint64_t key)
+{
+    ++offered_;
+    // Spatial sampling: the same key is always in or always out, so
+    // reuse pairs survive sampling intact.
+    if ((mix64(key ^ 0x5348415244534d50ULL) & (kModulus - 1)) >=
+        threshold_)
+        return;
+    ++sampled_;
+    inner_.access(key);
+}
+
+double
+ShardsReuseDistance::missRatioAt(std::uint64_t c) const
+{
+    if (sampled_ == 0)
+        return 1.0;
+    // A distance d in the sampled stream estimates d/R in the full
+    // stream, so a full-stream capacity c maps to c*R in the sample.
+    double scaled = static_cast<double>(c) * rate_;
+    std::uint64_t c_scaled = static_cast<std::uint64_t>(
+        std::max(1.0, std::llround(scaled) * 1.0));
+    return inner_.missRatioAt(c_scaled);
+}
+
+} // namespace cbs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ShardsReuseDistance: spatially-hashed sampled reuse distances
+ * (SHARDS, Waldspurger et al., FAST 2015 — cited by the paper's
+ * cache-efficiency discussion).
+ *
+ * Exact Mattson stack distances (cbs::ReuseDistance) keep one tree
+ * node per access; at production scale (billions of accesses) that is
+ * prohibitive. SHARDS samples the *key space*: a key is tracked iff
+ * hash(key) mod P < T, giving sampling rate R = T/P; each tracked
+ * access's measured distance is scaled by 1/R. Fixed-rate SHARDS is
+ * implemented here; the constant-memory variant (adaptive T) lowers T
+ * whenever the tracked set exceeds a budget.
+ */
+
+#ifndef CBS_CACHE_SHARDS_H
+#define CBS_CACHE_SHARDS_H
+
+#include <cstdint>
+
+#include "cache/reuse_distance.h"
+
+namespace cbs {
+
+class ShardsReuseDistance
+{
+  public:
+    /**
+     * Fixed-rate SHARDS.
+     *
+     * @param sampling_rate fraction of the key space tracked (0,1].
+     */
+    explicit ShardsReuseDistance(double sampling_rate);
+
+    /** Record an access to @p key (ignored unless sampled). */
+    void access(std::uint64_t key);
+
+    /** Total accesses offered (sampled or not). */
+    std::uint64_t accessCount() const { return offered_; }
+    /** Accesses that fell in the sample. */
+    std::uint64_t sampledCount() const { return sampled_; }
+    double samplingRate() const { return rate_; }
+
+    /**
+     * Estimated LRU miss ratio at capacity @p c blocks: the miss ratio
+     * of the sampled stream at capacity c*R (distances scale by 1/R).
+     */
+    double missRatioAt(std::uint64_t c) const;
+
+  private:
+    static constexpr std::uint64_t kModulus = std::uint64_t{1} << 24;
+
+    double rate_;
+    std::uint64_t threshold_;
+    std::uint64_t offered_ = 0;
+    std::uint64_t sampled_ = 0;
+    ReuseDistance inner_;
+};
+
+} // namespace cbs
+
+#endif // CBS_CACHE_SHARDS_H

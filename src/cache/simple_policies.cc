@@ -1,0 +1,143 @@
+#include "cache/simple_policies.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+FifoCache::FifoCache(std::size_t capacity)
+    : capacity_(capacity), index_(capacity)
+{
+    CBS_EXPECT(capacity > 0, "cache capacity must be positive");
+    ring_.reserve(capacity);
+}
+
+bool
+FifoCache::access(std::uint64_t key)
+{
+    if (index_.contains(key))
+        return true;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(key);
+    } else {
+        index_.erase(ring_[head_]);
+        ring_[head_] = key;
+        head_ = (head_ + 1) % capacity_;
+    }
+    index_.insert(key);
+    return false;
+}
+
+bool
+FifoCache::contains(std::uint64_t key) const
+{
+    return index_.contains(key);
+}
+
+void
+FifoCache::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    index_.clear();
+}
+
+ClockCache::ClockCache(std::size_t capacity)
+    : capacity_(capacity), slots_(capacity), index_(capacity)
+{
+    CBS_EXPECT(capacity > 0, "cache capacity must be positive");
+}
+
+bool
+ClockCache::access(std::uint64_t key)
+{
+    if (auto *slot_idx = index_.find(key)) {
+        slots_[*slot_idx].referenced = true;
+        return true;
+    }
+    // Advance the hand past referenced slots, clearing their bits.
+    while (slots_[hand_].valid && slots_[hand_].referenced) {
+        slots_[hand_].referenced = false;
+        hand_ = (hand_ + 1) % capacity_;
+    }
+    Slot &victim = slots_[hand_];
+    if (victim.valid)
+        index_.erase(victim.key);
+    victim.key = key;
+    victim.valid = true;
+    victim.referenced = false;
+    index_.insertOrAssign(key, static_cast<std::uint32_t>(hand_));
+    hand_ = (hand_ + 1) % capacity_;
+    return false;
+}
+
+bool
+ClockCache::contains(std::uint64_t key) const
+{
+    return index_.contains(key);
+}
+
+void
+ClockCache::clear()
+{
+    slots_.assign(capacity_, Slot{});
+    hand_ = 0;
+    index_.clear();
+}
+
+LfuCache::LfuCache(std::size_t capacity)
+    : capacity_(capacity), entries_(capacity)
+{
+    CBS_EXPECT(capacity > 0, "cache capacity must be positive");
+}
+
+void
+LfuCache::bump(std::uint64_t key, Entry &entry)
+{
+    auto bucket = buckets_.find(entry.freq);
+    CBS_CHECK(bucket != buckets_.end());
+    bucket->second.erase(entry.pos);
+    if (bucket->second.empty())
+        buckets_.erase(bucket);
+    ++entry.freq;
+    auto &next_bucket = buckets_[entry.freq];
+    next_bucket.push_front(key);
+    entry.pos = next_bucket.begin();
+}
+
+bool
+LfuCache::access(std::uint64_t key)
+{
+    if (auto *entry = entries_.find(key)) {
+        bump(key, *entry);
+        return true;
+    }
+    if (entries_.size() >= capacity_) {
+        // Evict from the lowest-frequency bucket, LRU end (back).
+        auto lowest = buckets_.begin();
+        CBS_CHECK(lowest != buckets_.end());
+        std::uint64_t victim = lowest->second.back();
+        lowest->second.pop_back();
+        if (lowest->second.empty())
+            buckets_.erase(lowest);
+        entries_.erase(victim);
+    }
+    auto &bucket = buckets_[1];
+    bucket.push_front(key);
+    entries_.insertOrAssign(key, Entry{1, bucket.begin()});
+    return false;
+}
+
+bool
+LfuCache::contains(std::uint64_t key) const
+{
+    return entries_.contains(key);
+}
+
+void
+LfuCache::clear()
+{
+    buckets_.clear();
+    entries_.clear();
+}
+
+} // namespace cbs

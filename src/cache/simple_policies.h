@@ -1,0 +1,101 @@
+/**
+ * @file
+ * FIFO, CLOCK, and LFU replacement policies. They share the paper's
+ * block-granular demand-fill model (see CachePolicy) and exist for the
+ * policy-ablation benches that extend Finding 15.
+ */
+
+#ifndef CBS_CACHE_SIMPLE_POLICIES_H
+#define CBS_CACHE_SIMPLE_POLICIES_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "cache/cache_policy.h"
+
+namespace cbs {
+
+/** First-in first-out: eviction order ignores hits entirely. */
+class FifoCache : public CachePolicy
+{
+  public:
+    explicit FifoCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return index_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "fifo"; }
+
+  private:
+    std::size_t capacity_;
+    std::vector<std::uint64_t> ring_;
+    std::size_t head_ = 0; //!< next eviction position
+    FlatSet index_;
+};
+
+/** CLOCK (second chance): FIFO with a per-slot reference bit. */
+class ClockCache : public CachePolicy
+{
+  public:
+    explicit ClockCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return index_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "clock"; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        bool valid = false;
+        bool referenced = false;
+    };
+
+    std::size_t capacity_;
+    std::vector<Slot> slots_;
+    std::size_t hand_ = 0;
+    FlatMap<std::uint32_t> index_; //!< key -> slot
+};
+
+/**
+ * LFU with LRU tie-breaking: evicts the least-frequently-used block;
+ * among equal frequencies, the least recently used one.
+ */
+class LfuCache : public CachePolicy
+{
+  public:
+    explicit LfuCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return entries_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "lfu"; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t freq = 0;
+        std::list<std::uint64_t>::iterator pos;
+    };
+
+    void bump(std::uint64_t key, Entry &entry);
+
+    std::size_t capacity_;
+    // freq -> keys in LRU order (front = most recent).
+    std::map<std::uint64_t, std::list<std::uint64_t>> buckets_;
+    FlatMap<Entry> entries_;
+};
+
+} // namespace cbs
+
+#endif // CBS_CACHE_SIMPLE_POLICIES_H

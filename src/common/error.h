@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error-reporting helpers.
+ *
+ * Follows the gem5 convention of separating programmer errors (panic:
+ * invariant violations inside the library) from user errors (fatal: bad
+ * input such as a malformed trace file or an invalid configuration).
+ */
+
+#ifndef CBS_COMMON_ERROR_H
+#define CBS_COMMON_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cbs {
+
+/** Exception thrown for user-caused errors (bad trace, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " (" << file << ":" << line << ")";
+    throw FatalError(oss.str());
+}
+
+[[noreturn]] inline void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " (" << file << ":" << line << ")";
+    throw PanicError(oss.str());
+}
+
+} // namespace detail
+} // namespace cbs
+
+/** Abort the operation due to a user error (bad input or configuration). */
+#define CBS_FATAL(msg)                                                      \
+    ::cbs::detail::throwFatal(__FILE__, __LINE__,                           \
+                              (std::ostringstream() << msg).str())
+
+/** Abort the operation due to an internal library bug. */
+#define CBS_PANIC(msg)                                                      \
+    ::cbs::detail::throwPanic(__FILE__, __LINE__,                           \
+                              (std::ostringstream() << msg).str())
+
+/** Check an internal invariant; panics (library bug) when violated. */
+#define CBS_CHECK(cond)                                                     \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::cbs::detail::throwPanic(__FILE__, __LINE__,                   \
+                                      "check failed: " #cond);              \
+    } while (0)
+
+/** Check a user-supplied condition; throws FatalError when violated. */
+#define CBS_EXPECT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::cbs::detail::throwFatal(                                      \
+                __FILE__, __LINE__,                                        \
+                (std::ostringstream() << msg).str());                      \
+    } while (0)
+
+#endif // CBS_COMMON_ERROR_H

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * FlatMap: an open-addressing hash map from 64-bit keys to small values.
+ *
+ * Per-block analyses (working sets, RAW/WAW tracking, update intervals,
+ * cache simulation) perform one hash lookup per request per analyzer; in
+ * production that is billions of lookups over tens of millions of keys.
+ * std::unordered_map's node-per-element layout is a poor fit, so the
+ * library uses this cache-friendly linear-probing table with backward-
+ * shift deletion (no tombstones).
+ *
+ * Keys are arbitrary uint64_t values (no sentinel key is reserved; slot
+ * occupancy is tracked in a separate metadata array).
+ */
+
+#ifndef CBS_COMMON_FLAT_MAP_H
+#define CBS_COMMON_FLAT_MAP_H
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cbs {
+
+/** Finalizer of splitmix64; a fast, well-mixing 64-bit hash. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Open-addressing hash map, uint64_t keys, trivially-relocatable values.
+ *
+ * @tparam V mapped type; should be cheap to move (analyzer per-block
+ *           state is a handful of integers).
+ */
+template <typename V>
+class FlatMap
+{
+  public:
+    using Key = std::uint64_t;
+
+    FlatMap() { rehash(kMinCapacity); }
+
+    /** Construct with space for at least @p expected elements. */
+    explicit FlatMap(std::size_t expected)
+    {
+        std::size_t cap = kMinCapacity;
+        while (cap * kMaxLoadNum < expected * kMaxLoadDen)
+            cap <<= 1;
+        rehash(cap);
+    }
+
+    /** Number of stored key/value pairs. */
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    /** Current number of slots. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Remove all elements, keeping the current capacity. */
+    void
+    clear()
+    {
+        std::fill(meta_.begin(), meta_.end(), kEmpty);
+        for (auto &slot : slots_)
+            slot = Slot{};
+        size_ = 0;
+    }
+
+    /** Ensure capacity for @p expected elements without rehashing. */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t cap = capacity();
+        while (cap * kMaxLoadNum < expected * kMaxLoadDen)
+            cap <<= 1;
+        if (cap != capacity())
+            rehash(cap);
+    }
+
+    /** Find the value for @p key, or nullptr if absent. */
+    V *
+    find(Key key)
+    {
+        std::size_t idx = indexOf(key);
+        return idx == kNotFound ? nullptr : &slots_[idx].value;
+    }
+
+    const V *
+    find(Key key) const
+    {
+        std::size_t idx = indexOf(key);
+        return idx == kNotFound ? nullptr : &slots_[idx].value;
+    }
+
+    bool contains(Key key) const { return indexOf(key) != kNotFound; }
+
+    /**
+     * Return the value for @p key, default-constructing it if absent.
+     */
+    V &
+    operator[](Key key)
+    {
+        return tryEmplace(key).first;
+    }
+
+    /**
+     * Insert @p key with a default-constructed value if absent.
+     *
+     * @return pair of (reference to value, true if newly inserted).
+     */
+    std::pair<V &, bool>
+    tryEmplace(Key key)
+    {
+        maybeGrow();
+        std::size_t mask = capacity() - 1;
+        std::size_t idx = mix64(key) & mask;
+        while (true) {
+            if (meta_[idx] == kEmpty) {
+                meta_[idx] = kOccupied;
+                slots_[idx].key = key;
+                slots_[idx].value = V{};
+                ++size_;
+                return {slots_[idx].value, true};
+            }
+            if (slots_[idx].key == key)
+                return {slots_[idx].value, false};
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /** Insert or overwrite the value for @p key. */
+    void
+    insertOrAssign(Key key, V value)
+    {
+        tryEmplace(key).first = std::move(value);
+    }
+
+    /**
+     * Erase @p key using backward-shift deletion.
+     *
+     * @return true if the key was present.
+     */
+    bool
+    erase(Key key)
+    {
+        std::size_t idx = indexOf(key);
+        if (idx == kNotFound)
+            return false;
+        std::size_t mask = capacity() - 1;
+        std::size_t hole = idx;
+        std::size_t next = (hole + 1) & mask;
+        while (meta_[next] == kOccupied) {
+            std::size_t home = mix64(slots_[next].key) & mask;
+            // Shift back only if the element's probe path passes the hole.
+            if (probeDistance(home, next, mask) >=
+                probeDistance(home, hole, mask) +
+                    probeDistance(hole, next, mask)) {
+                slots_[hole] = std::move(slots_[next]);
+                hole = next;
+            }
+            next = (next + 1) & mask;
+        }
+        meta_[hole] = kEmpty;
+        slots_[hole] = Slot{};
+        --size_;
+        return true;
+    }
+
+    /** Invoke @p fn(key, value) for every element (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (meta_[i] == kOccupied)
+                fn(slots_[i].key, slots_[i].value);
+        }
+    }
+
+    /** Mutable variant of forEach. */
+    template <typename Fn>
+    void
+    forEachMutable(Fn &&fn)
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (meta_[i] == kOccupied)
+                fn(slots_[i].key, slots_[i].value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Key key = 0;
+        V value{};
+    };
+
+    static constexpr std::size_t kMinCapacity = 16;
+    static constexpr std::size_t kNotFound = ~std::size_t{0};
+    // Max load factor 7/8: linear probing stays fast below this.
+    static constexpr std::size_t kMaxLoadNum = 7;
+    static constexpr std::size_t kMaxLoadDen = 8;
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kOccupied = 1;
+
+    static std::size_t
+    probeDistance(std::size_t from, std::size_t to, std::size_t mask)
+    {
+        return (to - from) & mask;
+    }
+
+    std::size_t
+    indexOf(Key key) const
+    {
+        std::size_t mask = capacity() - 1;
+        std::size_t idx = mix64(key) & mask;
+        while (meta_[idx] != kEmpty) {
+            if (slots_[idx].key == key)
+                return idx;
+            idx = (idx + 1) & mask;
+        }
+        return kNotFound;
+    }
+
+    void
+    maybeGrow()
+    {
+        if ((size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum)
+            rehash(capacity() * 2);
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        CBS_CHECK((new_capacity & (new_capacity - 1)) == 0);
+        std::vector<Slot> old_slots = std::move(slots_);
+        std::vector<std::uint8_t> old_meta = std::move(meta_);
+        slots_.assign(new_capacity, Slot{});
+        meta_.assign(new_capacity, kEmpty);
+        std::size_t mask = new_capacity - 1;
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (old_meta.empty() || old_meta[i] != kOccupied)
+                continue;
+            std::size_t idx = mix64(old_slots[i].key) & mask;
+            while (meta_[idx] == kOccupied)
+                idx = (idx + 1) & mask;
+            meta_[idx] = kOccupied;
+            slots_[idx] = std::move(old_slots[i]);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> meta_;
+    std::size_t size_ = 0;
+};
+
+/** A FlatMap used as a set of 64-bit keys. */
+class FlatSet
+{
+  public:
+    FlatSet() = default;
+    explicit FlatSet(std::size_t expected) : map_(expected) {}
+
+    /** @return true if @p key was newly inserted. */
+    bool insert(std::uint64_t key) { return map_.tryEmplace(key).second; }
+    bool contains(std::uint64_t key) const { return map_.contains(key); }
+    bool erase(std::uint64_t key) { return map_.erase(key); }
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    void clear() { map_.clear(); }
+    void reserve(std::size_t expected) { map_.reserve(expected); }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        map_.forEach([&](std::uint64_t key, const Empty &) { fn(key); });
+    }
+
+  private:
+    struct Empty
+    {
+    };
+    FlatMap<Empty> map_;
+};
+
+} // namespace cbs
+
+#endif // CBS_COMMON_FLAT_MAP_H

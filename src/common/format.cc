@@ -1,0 +1,103 @@
+#include "common/format.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace cbs {
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const std::array<const char *, 6> suffixes = {
+        "B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < suffixes.size()) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffixes[idx]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatCount(std::uint64_t count)
+{
+    std::string digits = std::to_string(count);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int from_right = static_cast<int>(digits.size());
+    for (char c : digits) {
+        out.push_back(c);
+        --from_right;
+        if (from_right > 0 && from_right % 3 == 0)
+            out.push_back(',');
+    }
+    return out;
+}
+
+std::string
+formatMillions(std::uint64_t count)
+{
+    double millions = static_cast<double>(count) / 1e6;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", millions);
+    // Insert thousands separators in the integer part.
+    std::string s(buf);
+    auto dot = s.find('.');
+    std::string int_part = s.substr(0, dot);
+    std::string frac_part = s.substr(dot);
+    std::string out;
+    int from_right = static_cast<int>(int_part.size());
+    for (char c : int_part) {
+        out.push_back(c);
+        --from_right;
+        if (from_right > 0 && from_right % 3 == 0)
+            out.push_back(',');
+    }
+    return out + frac_part;
+}
+
+std::string
+formatDurationUs(double usec)
+{
+    char buf[64];
+    const double abs = std::fabs(usec);
+    if (abs < 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.1f us", usec);
+    } else if (abs < 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.1f ms", usec / 1e3);
+    } else if (abs < 60e6) {
+        std::snprintf(buf, sizeof(buf), "%.1f s", usec / 1e6);
+    } else if (abs < 3600e6) {
+        std::snprintf(buf, sizeof(buf), "%.1f min", usec / 60e6);
+    } else if (abs < 86400e6) {
+        std::snprintf(buf, sizeof(buf), "%.2f h", usec / 3600e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f d", usec / 86400e6);
+    }
+    return buf;
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace cbs

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable formatting of counts, sizes, durations, and ratios.
+ */
+
+#ifndef CBS_COMMON_FORMAT_H
+#define CBS_COMMON_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace cbs {
+
+/** Format a byte count as a human-readable size, e.g. "29.5 TiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a count with thousands grouping, e.g. "15,174,400,000". */
+std::string formatCount(std::uint64_t count);
+
+/** Format a count in millions with one decimal, e.g. "15,174.4". */
+std::string formatMillions(std::uint64_t count);
+
+/**
+ * Format a duration as a human-readable string with an adaptive unit,
+ * e.g. "31 us", "1.3 ms", "2.0 min", "16.2 h", "17.8 d".
+ */
+std::string formatDurationUs(double usec);
+
+/** Format a double with the given number of decimal places. */
+std::string formatFixed(double value, int decimals);
+
+/** Format a fraction in [0,1] as a percentage, e.g. "34.3%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace cbs
+
+#endif // CBS_COMMON_FORMAT_H

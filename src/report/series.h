@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Series printing helpers: compact textual renderings of the CDF and
+ * boxplot series behind the paper's figures.
+ */
+
+#ifndef CBS_REPORT_SERIES_H
+#define CBS_REPORT_SERIES_H
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/boxplot.h"
+#include "stats/ecdf.h"
+#include "stats/log_histogram.h"
+
+namespace cbs {
+
+/**
+ * Print CDF points of @p cdf at the given cumulative fractions, with a
+ * caller-supplied value formatter.
+ */
+inline void
+printCdfQuantiles(const std::string &label, const Ecdf &cdf,
+                  const std::vector<double> &fractions,
+                  const std::function<std::string(double)> &fmt)
+{
+    std::printf("  %-28s", label.c_str());
+    if (cdf.empty()) {
+        std::printf(" (empty)\n");
+        return;
+    }
+    for (double q : fractions)
+        std::printf("  p%-3.0f=%-12s", q * 100,
+                    fmt(cdf.quantile(q)).c_str());
+    std::printf("\n");
+}
+
+/** Print the CDF of a LogHistogram at the given fractions. */
+inline void
+printHistQuantiles(const std::string &label, const LogHistogram &hist,
+                   const std::vector<double> &fractions,
+                   const std::function<std::string(double)> &fmt)
+{
+    std::printf("  %-28s", label.c_str());
+    if (hist.empty()) {
+        std::printf(" (empty)\n");
+        return;
+    }
+    for (double q : fractions)
+        std::printf("  p%-3.0f=%-12s", q * 100,
+                    fmt(static_cast<double>(hist.quantile(q))).c_str());
+    std::printf("\n");
+}
+
+/** Print one boxplot line. */
+inline void
+printBoxplot(const std::string &label, const BoxplotSummary &box,
+             const std::function<std::string(double)> &fmt)
+{
+    std::printf("  %-28s  [%s | %s  %s  %s | %s]  n=%zu, outliers=%zu\n",
+                label.c_str(), fmt(box.whisker_lo).c_str(),
+                fmt(box.q1).c_str(), fmt(box.median).c_str(),
+                fmt(box.q3).c_str(), fmt(box.whisker_hi).c_str(),
+                box.count, box.outliers.size());
+}
+
+} // namespace cbs
+
+#endif // CBS_REPORT_SERIES_H

@@ -1,0 +1,87 @@
+#include "report/table.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+TextTable &
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+    return *this;
+}
+
+TextTable &
+TextTable::row(std::vector<std::string> cells)
+{
+    if (!header_.empty())
+        CBS_EXPECT(cells.size() == header_.size(),
+                   "row has " << cells.size() << " cells, header has "
+                              << header_.size());
+    rows_.push_back(Row{std::move(cells), false});
+    return *this;
+}
+
+TextTable &
+TextTable::separator()
+{
+    rows_.push_back(Row{{}, true});
+    return *this;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t columns = header_.size();
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.cells.size());
+    std::vector<std::size_t> widths(columns, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        if (!row.is_separator)
+            widen(row.cells);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < columns; ++i) {
+            const std::string cell =
+                i < cells.size() ? cells[i] : std::string();
+            os << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < columns)
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    std::size_t total_width = 0;
+    for (std::size_t w : widths)
+        total_width += w;
+    total_width += columns > 1 ? 2 * (columns - 1) : 0;
+
+    if (!title_.empty()) {
+        os << title_ << '\n';
+        os << std::string(std::max(title_.size(),
+                                   static_cast<std::size_t>(total_width)),
+                          '=')
+           << '\n';
+    }
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total_width, '-') << '\n';
+    }
+    for (const auto &row : rows_) {
+        if (row.is_separator)
+            os << std::string(total_width, '-') << '\n';
+        else
+            emit(row.cells);
+    }
+}
+
+} // namespace cbs

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * TextTable: aligned plain-text tables for bench/report output.
+ *
+ * Every bench prints paper-reported values next to measured ones; this
+ * keeps those tables readable in a terminal and diffable in CI logs.
+ */
+
+#ifndef CBS_REPORT_TABLE_H
+#define CBS_REPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cbs {
+
+class TextTable
+{
+  public:
+    /** @param title printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the column headers (fixes the column count). */
+    TextTable &header(std::vector<std::string> cells);
+
+    /** Append one row; must match the header's column count if set. */
+    TextTable &row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    TextTable &separator();
+
+    /** Render with padded columns. */
+    void print(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace cbs
+
+#endif // CBS_REPORT_TABLE_H

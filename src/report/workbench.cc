@@ -1,0 +1,93 @@
+#include "report/workbench.h"
+
+#include <cstdio>
+
+#include "common/format.h"
+
+namespace cbs {
+namespace {
+
+TraceBundle
+build(std::string label, PopulationSpec spec, double paper_requests,
+      std::uint64_t seed)
+{
+    TraceBundle bundle;
+    bundle.label = std::move(label);
+    bundle.profiles = sampleProfiles(spec, seed);
+    bundle.source = makeTrace(bundle.profiles);
+    bundle.count_scale = paper_requests / spec.total_request_target;
+    bundle.spec = std::move(spec);
+    return bundle;
+}
+
+} // namespace
+
+TraceBundle
+aliCloudSpan(SpanScale scale, std::uint64_t seed)
+{
+    return build("AliCloud", aliCloudSpanSpec(scale),
+                 kAliCloudPaperRequests, seed);
+}
+
+TraceBundle
+msrcSpan(SpanScale scale, std::uint64_t seed)
+{
+    return build("MSRC", msrcSpanSpec(scale), kMsrcPaperRequests, seed);
+}
+
+TraceBundle
+aliCloudIntensity(std::uint64_t seed)
+{
+    PopulationSpec spec = aliCloudIntensitySpec();
+    double target = spec.total_request_target;
+    return build("AliCloud", std::move(spec),
+                 target /* unscaled: paper-level rates */, seed);
+}
+
+TraceBundle
+msrcIntensity(std::uint64_t seed)
+{
+    PopulationSpec spec = msrcIntensitySpec();
+    double target = spec.total_request_target;
+    return build("MSRC", std::move(spec), target, seed);
+}
+
+TraceBundle
+aliCloudBurstiness(std::uint64_t seed)
+{
+    PopulationSpec spec = aliCloudBurstinessSpec();
+    double target = spec.total_request_target;
+    return build("AliCloud", std::move(spec), target, seed);
+}
+
+TraceBundle
+msrcBurstiness(std::uint64_t seed)
+{
+    PopulationSpec spec = msrcBurstinessSpec();
+    double target = spec.total_request_target;
+    return build("MSRC", std::move(spec), target, seed);
+}
+
+void
+printBenchHeader(const std::string &experiment, const std::string &notes)
+{
+    std::printf("################################################\n");
+    std::printf("## %s\n", experiment.c_str());
+    if (!notes.empty())
+        std::printf("## %s\n", notes.c_str());
+    std::printf("################################################\n\n");
+}
+
+void
+printBundleInfo(const TraceBundle &bundle)
+{
+    std::printf("[trace] %s: %zu volumes, %.1f days, target %.2fM "
+                "requests (count scale vs paper: %.0fx)\n",
+                bundle.label.c_str(), bundle.spec.volume_count,
+                static_cast<double>(bundle.spec.duration) /
+                    static_cast<double>(units::day),
+                bundle.spec.total_request_target / 1e6,
+                bundle.count_scale);
+}
+
+} // namespace cbs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Workbench: shared bench scaffolding.
+ *
+ * Every bench binary regenerates one paper table/figure from the same
+ * deterministic traces; the Workbench owns the calibrated population
+ * specs, the fixed seed, and the count-scale factors that map measured
+ * counts back to paper-equivalent magnitudes (DESIGN.md §5).
+ */
+
+#ifndef CBS_REPORT_WORKBENCH_H
+#define CBS_REPORT_WORKBENCH_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/models.h"
+
+namespace cbs {
+
+/** One generated trace plus its provenance. */
+struct TraceBundle
+{
+    std::string label;
+    PopulationSpec spec;
+    std::vector<VolumeProfile> profiles;
+    std::unique_ptr<TraceSource> source;
+    /** paper request count / generated request target. */
+    double count_scale = 1.0;
+};
+
+/** Paper totals used for count-scale factors (Table I, in requests). */
+constexpr double kAliCloudPaperRequests = 20.233e9;
+constexpr double kMsrcPaperRequests = 433.8e6;
+
+/** Build the full-duration AliCloud trace (31 days, scaled counts). */
+TraceBundle aliCloudSpan(SpanScale scale = kAliCloudDefaultScale,
+                         std::uint64_t seed = kBenchSeed);
+
+/** Build the full-duration MSRC trace (7 days, scaled counts). */
+TraceBundle msrcSpan(SpanScale scale = kMsrcDefaultScale,
+                     std::uint64_t seed = kBenchSeed);
+
+/** Build the short-window AliCloud trace at paper-level intensities. */
+TraceBundle aliCloudIntensity(std::uint64_t seed = kBenchSeed);
+
+/** Build the short-window MSRC trace at paper-level intensities. */
+TraceBundle msrcIntensity(std::uint64_t seed = kBenchSeed);
+
+/** Build the burstiness-calibrated day-long traces (Fig. 6). */
+TraceBundle aliCloudBurstiness(std::uint64_t seed = kBenchSeed);
+TraceBundle msrcBurstiness(std::uint64_t seed = kBenchSeed);
+
+/** Standard bench preamble: what is being reproduced and from what. */
+void printBenchHeader(const std::string &experiment,
+                      const std::string &notes = "");
+
+/** One-line provenance for a generated bundle. */
+void printBundleInfo(const TraceBundle &bundle);
+
+} // namespace cbs
+
+#endif // CBS_REPORT_WORKBENCH_H

@@ -1,0 +1,137 @@
+#include "sim/ftl.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+FtlSim::FtlSim(const FtlConfig &config) : config_(config)
+{
+    CBS_EXPECT(config.flash_blocks >= 4, "need at least 4 flash blocks");
+    CBS_EXPECT(config.pages_per_block > 0, "pages_per_block must be > 0");
+    CBS_EXPECT(config.gc_reserve_blocks >= 1 &&
+                   config.gc_reserve_blocks < config.flash_blocks / 2,
+               "gc reserve out of range");
+    CBS_EXPECT(config.op_ratio > 0 && config.op_ratio < 1,
+               "op_ratio must be in (0,1)");
+
+    logical_pages_ = static_cast<std::uint64_t>(
+        config.op_ratio * static_cast<double>(config.flash_blocks) *
+        config.pages_per_block);
+
+    blocks_.resize(config.flash_blocks);
+    for (auto &block : blocks_)
+        block.page_lpn.assign(config.pages_per_block, kInvalid);
+    free_blocks_.reserve(config.flash_blocks);
+    // Keep block 0 as the initial active block; the rest start free.
+    for (std::uint32_t b = config.flash_blocks; b > 1; --b)
+        free_blocks_.push_back(b - 1);
+    active_block_ = 0;
+}
+
+std::uint32_t
+FtlSim::allocateBlock()
+{
+    CBS_CHECK(!free_blocks_.empty());
+    std::uint32_t block = free_blocks_.back();
+    free_blocks_.pop_back();
+    return block;
+}
+
+void
+FtlSim::appendPage(std::uint64_t lpn)
+{
+    Block *active = &blocks_[active_block_];
+    if (active->written == config_.pages_per_block) {
+        active_block_ = allocateBlock();
+        active = &blocks_[active_block_];
+        CBS_CHECK(active->written == 0);
+    }
+
+    // Invalidate the previous location, if any.
+    auto [slot, inserted] = map_.tryEmplace(lpn);
+    if (!inserted) {
+        std::uint32_t old_block =
+            static_cast<std::uint32_t>(slot >> 32);
+        std::uint32_t old_page =
+            static_cast<std::uint32_t>(slot & 0xffffffffu);
+        Block &ob = blocks_[old_block];
+        CBS_CHECK(ob.page_lpn[old_page] == lpn);
+        ob.page_lpn[old_page] = kInvalid;
+        CBS_CHECK(ob.valid > 0);
+        --ob.valid;
+    }
+
+    std::uint32_t page = active->written++;
+    active->page_lpn[page] = lpn;
+    ++active->valid;
+    slot = (static_cast<std::uint64_t>(active_block_) << 32) | page;
+    ++physical_writes_;
+}
+
+void
+FtlSim::garbageCollect()
+{
+    // Greedy victim selection: fewest valid pages among full blocks.
+    std::uint32_t victim = ~std::uint32_t{0};
+    std::uint32_t best_valid = config_.pages_per_block + 1;
+    for (std::uint32_t b = 0; b < config_.flash_blocks; ++b) {
+        if (b == active_block_)
+            continue;
+        const Block &block = blocks_[b];
+        if (block.written != config_.pages_per_block)
+            continue; // not sealed (free or being filled)
+        if (block.valid < best_valid) {
+            best_valid = block.valid;
+            victim = b;
+        }
+    }
+    CBS_CHECK(victim != ~std::uint32_t{0});
+
+    Block &vb = blocks_[victim];
+    for (std::uint32_t p = 0; p < config_.pages_per_block; ++p) {
+        std::uint64_t lpn = vb.page_lpn[p];
+        if (lpn == kInvalid)
+            continue;
+        appendPage(lpn);
+        ++gc_relocations_;
+    }
+
+    vb.valid = 0;
+    vb.written = 0;
+    std::fill(vb.page_lpn.begin(), vb.page_lpn.end(), kInvalid);
+    ++vb.erases;
+    ++erases_;
+    free_blocks_.push_back(victim);
+}
+
+void
+FtlSim::writePage(std::uint64_t lpn)
+{
+    CBS_EXPECT(lpn < logical_pages_,
+               "logical page " << lpn << " beyond capacity "
+                               << logical_pages_);
+    ++logical_writes_;
+    appendPage(lpn);
+    while (free_blocks_.size() < config_.gc_reserve_blocks)
+        garbageCollect();
+}
+
+double
+FtlSim::wearSpread() const
+{
+    std::uint64_t max_erases = 0;
+    std::uint64_t sum = 0;
+    for (const auto &block : blocks_) {
+        max_erases = std::max<std::uint64_t>(max_erases, block.erases);
+        sum += block.erases;
+    }
+    if (sum == 0)
+        return 1.0;
+    double mean = static_cast<double>(sum) /
+                  static_cast<double>(blocks_.size());
+    return static_cast<double>(max_erases) / mean;
+}
+
+} // namespace cbs

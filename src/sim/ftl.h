@@ -1,0 +1,97 @@
+/**
+ * @file
+ * FtlSim: a page-mapped flash translation layer with greedy garbage
+ * collection — the substrate behind the paper's storage-cluster-
+ * management implications (Findings 8, 11, 14): small random writes
+ * and varying update patterns drive write amplification and uneven
+ * wear in flash.
+ *
+ * Model: the device has `flash_blocks` erase blocks of `pages_per_block`
+ * pages. Logical writes append to the active block (log-structured);
+ * overwrites invalidate the previous physical page. When free blocks
+ * fall below a reserve, greedy GC picks the block with the fewest valid
+ * pages, relocates them, and erases it. Reported metrics: write
+ * amplification (physical/logical page writes), erase count, and the
+ * per-block erase-count spread (wear evenness).
+ */
+
+#ifndef CBS_SIM_FTL_H
+#define CBS_SIM_FTL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+
+namespace cbs {
+
+/** Geometry and policy knobs of the simulated device. */
+struct FtlConfig
+{
+    std::uint32_t flash_blocks = 1024;
+    std::uint32_t pages_per_block = 64;
+    /** GC starts when free blocks drop to this many. */
+    std::uint32_t gc_reserve_blocks = 8;
+    /** Fraction of physical capacity exposed as logical space. */
+    double op_ratio = 0.875; //!< 1 - overprovisioning (12.5% OP)
+};
+
+class FtlSim
+{
+  public:
+    explicit FtlSim(const FtlConfig &config);
+
+    /** Write one logical page. */
+    void writePage(std::uint64_t lpn);
+
+    /** Logical capacity in pages. */
+    std::uint64_t logicalPages() const { return logical_pages_; }
+
+    std::uint64_t logicalWrites() const { return logical_writes_; }
+    std::uint64_t physicalWrites() const { return physical_writes_; }
+    std::uint64_t gcRelocations() const { return gc_relocations_; }
+    std::uint64_t eraseCount() const { return erases_; }
+
+    /** Physical page writes per logical page write (>= 1). */
+    double
+    writeAmplification() const
+    {
+        return logical_writes_
+                   ? static_cast<double>(physical_writes_) /
+                         static_cast<double>(logical_writes_)
+                   : 1.0;
+    }
+
+    /** Max/mean per-block erase count (1.0 = perfectly even wear). */
+    double wearSpread() const;
+
+  private:
+    static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+    struct Block
+    {
+        std::uint32_t valid = 0;    //!< valid pages
+        std::uint32_t written = 0;  //!< next free page slot
+        std::uint32_t erases = 0;
+        std::vector<std::uint64_t> page_lpn; //!< lpn per page slot
+    };
+
+    std::uint32_t allocateBlock();
+    void garbageCollect();
+    void appendPage(std::uint64_t lpn);
+
+    FtlConfig config_;
+    std::uint64_t logical_pages_;
+    std::vector<Block> blocks_;
+    std::vector<std::uint32_t> free_blocks_;
+    std::uint32_t active_block_;
+    FlatMap<std::uint64_t> map_; //!< lpn -> (block << 32) | page
+    std::uint64_t logical_writes_ = 0;
+    std::uint64_t physical_writes_ = 0;
+    std::uint64_t gc_relocations_ = 0;
+    std::uint64_t erases_ = 0;
+};
+
+} // namespace cbs
+
+#endif // CBS_SIM_FTL_H

@@ -1,0 +1,182 @@
+#include "sim/load_balancer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "synth/rng.h"
+
+namespace cbs {
+
+LoadMatrixAnalyzer::LoadMatrixAnalyzer(TimeUs interval, TimeUs duration)
+    : interval_(interval),
+      interval_count_(static_cast<std::size_t>(
+          (duration + interval - 1) / interval))
+{
+    CBS_EXPECT(interval > 0, "interval must be positive");
+    CBS_EXPECT(interval_count_ > 0, "duration must be positive");
+}
+
+void
+LoadMatrixAnalyzer::consume(const IoRequest &req)
+{
+    auto &row = matrix_[req.volume];
+    if (row.empty())
+        row.assign(interval_count_, 0);
+    std::size_t idx =
+        static_cast<std::size_t>(req.timestamp / interval_);
+    CBS_EXPECT(idx < interval_count_,
+               "request beyond the configured duration");
+    ++row[idx];
+}
+
+std::uint64_t
+LoadMatrixAnalyzer::totalOf(VolumeId volume) const
+{
+    const auto &row = matrix_.at(volume);
+    return std::accumulate(row.begin(), row.end(), std::uint64_t{0});
+}
+
+std::uint32_t
+LoadMatrixAnalyzer::peakOf(VolumeId volume) const
+{
+    const auto &row = matrix_.at(volume);
+    return row.empty() ? 0 : *std::max_element(row.begin(), row.end());
+}
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::RoundRobin:
+        return "round-robin";
+      case PlacementPolicy::Random:
+        return "random";
+      case PlacementPolicy::LeastLoaded:
+        return "least-loaded";
+      case PlacementPolicy::BurstAware:
+        return "burst-aware";
+    }
+    CBS_PANIC("unreachable policy");
+}
+
+LoadBalancer::LoadBalancer(const LoadMatrixAnalyzer &matrix,
+                           std::size_t nodes)
+    : matrix_(matrix), nodes_(nodes)
+{
+    CBS_EXPECT(nodes > 0, "need at least one node");
+}
+
+PlacementResult
+LoadBalancer::score(std::vector<std::uint32_t> assignment) const
+{
+    std::size_t intervals = matrix_.intervalCount();
+    std::size_t volumes = matrix_.volumeCount();
+    std::vector<std::uint64_t> node_totals(nodes_, 0);
+    // node x interval loads.
+    std::vector<std::vector<std::uint64_t>> node_loads(
+        nodes_, std::vector<std::uint64_t>(intervals, 0));
+
+    for (std::size_t v = 0; v < volumes; ++v) {
+        const auto &row = matrix_.loadOf(static_cast<VolumeId>(v));
+        if (row.empty())
+            continue;
+        std::uint32_t node = assignment[v];
+        for (std::size_t i = 0; i < intervals; ++i) {
+            node_loads[node][i] += row[i];
+            node_totals[node] += row[i];
+        }
+    }
+
+    PlacementResult result;
+    result.assignment = std::move(assignment);
+
+    auto imbalance = [&](auto get) {
+        std::uint64_t max_load = 0;
+        std::uint64_t sum = 0;
+        for (std::size_t n = 0; n < nodes_; ++n) {
+            std::uint64_t load = get(n);
+            max_load = std::max(max_load, load);
+            sum += load;
+        }
+        double mean =
+            static_cast<double>(sum) / static_cast<double>(nodes_);
+        return mean > 0 ? static_cast<double>(max_load) / mean : 1.0;
+    };
+
+    result.total_imbalance =
+        imbalance([&](std::size_t n) { return node_totals[n]; });
+
+    double worst = 0;
+    double mean_sum = 0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < intervals; ++i) {
+        std::uint64_t any = 0;
+        for (std::size_t n = 0; n < nodes_; ++n)
+            any += node_loads[n][i];
+        if (any == 0)
+            continue;
+        double r = imbalance(
+            [&](std::size_t n) { return node_loads[n][i]; });
+        worst = std::max(worst, r);
+        mean_sum += r;
+        ++counted;
+    }
+    result.worst_interval_imbalance = worst;
+    result.mean_interval_imbalance =
+        counted ? mean_sum / static_cast<double>(counted) : 0.0;
+    return result;
+}
+
+PlacementResult
+LoadBalancer::place(PlacementPolicy policy, std::uint64_t seed) const
+{
+    std::size_t volumes = matrix_.volumeCount();
+    std::vector<std::uint32_t> assignment(volumes, 0);
+
+    switch (policy) {
+      case PlacementPolicy::RoundRobin: {
+        for (std::size_t v = 0; v < volumes; ++v)
+            assignment[v] = static_cast<std::uint32_t>(v % nodes_);
+        break;
+      }
+      case PlacementPolicy::Random: {
+        Rng rng(seed);
+        for (std::size_t v = 0; v < volumes; ++v)
+            assignment[v] =
+                static_cast<std::uint32_t>(rng.uniformInt(nodes_));
+        break;
+      }
+      case PlacementPolicy::LeastLoaded:
+      case PlacementPolicy::BurstAware: {
+        // Greedy bin packing: volumes in descending weight order, each
+        // onto the currently lightest node. LeastLoaded weighs volumes
+        // by total requests, BurstAware by peak interval count (which
+        // tracks the burstiness the paper warns about).
+        std::vector<std::pair<std::uint64_t, std::size_t>> weighted;
+        weighted.reserve(volumes);
+        for (std::size_t v = 0; v < volumes; ++v) {
+            std::uint64_t w =
+                policy == PlacementPolicy::LeastLoaded
+                    ? matrix_.totalOf(static_cast<VolumeId>(v))
+                    : matrix_.peakOf(static_cast<VolumeId>(v));
+            weighted.emplace_back(w, v);
+        }
+        std::sort(weighted.begin(), weighted.end(),
+                  std::greater<>());
+        std::vector<std::uint64_t> node_weight(nodes_, 0);
+        for (const auto &[weight, v] : weighted) {
+            std::size_t lightest = static_cast<std::size_t>(
+                std::min_element(node_weight.begin(),
+                                 node_weight.end()) -
+                node_weight.begin());
+            assignment[v] = static_cast<std::uint32_t>(lightest);
+            node_weight[lightest] += weight;
+        }
+        break;
+      }
+    }
+    return score(std::move(assignment));
+}
+
+} // namespace cbs

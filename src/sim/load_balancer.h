@@ -1,0 +1,101 @@
+/**
+ * @file
+ * LoadMatrixAnalyzer and LoadBalancer: volume-to-node placement under
+ * the paper's load-balancing implications (Findings 1-3).
+ *
+ * The analyzer collects a per-volume, per-interval request-count matrix
+ * in one streaming pass; the balancer then places volumes on storage
+ * nodes with several policies and scores each placement by its
+ * worst-interval load imbalance — the quantity the paper argues is
+ * driven by per-volume burstiness rather than average load.
+ */
+
+#ifndef CBS_SIM_LOAD_BALANCER_H
+#define CBS_SIM_LOAD_BALANCER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+
+namespace cbs {
+
+/** Streaming collector of the volume x interval load matrix. */
+class LoadMatrixAnalyzer : public Analyzer
+{
+  public:
+    LoadMatrixAnalyzer(TimeUs interval, TimeUs duration);
+
+    void consume(const IoRequest &req) override;
+    std::string name() const override { return "load_matrix"; }
+
+    std::size_t intervalCount() const { return interval_count_; }
+    std::size_t volumeCount() const { return matrix_.size(); }
+
+    /** Request counts of @p volume per interval. */
+    const std::vector<std::uint32_t> &
+    loadOf(VolumeId volume) const
+    {
+        return matrix_.at(volume);
+    }
+
+    /** Total requests of @p volume. */
+    std::uint64_t totalOf(VolumeId volume) const;
+
+    /** Peak interval count of @p volume. */
+    std::uint32_t peakOf(VolumeId volume) const;
+
+  private:
+    TimeUs interval_;
+    std::size_t interval_count_;
+    PerVolume<std::vector<std::uint32_t>> matrix_;
+};
+
+/** Placement policies. */
+enum class PlacementPolicy
+{
+    RoundRobin,  //!< volume i -> node i % n
+    Random,      //!< uniform random node (seeded)
+    LeastLoaded, //!< greedy on total request count, descending volumes
+    BurstAware,  //!< greedy on peak interval count, descending volumes
+};
+
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** Quality metrics of one placement. */
+struct PlacementResult
+{
+    std::vector<std::uint32_t> assignment; //!< volume -> node
+    /** max node load / mean node load over total requests. */
+    double total_imbalance = 0.0;
+    /** worst over intervals of (max node load / mean node load). */
+    double worst_interval_imbalance = 0.0;
+    /** mean over intervals of the same ratio. */
+    double mean_interval_imbalance = 0.0;
+};
+
+class LoadBalancer
+{
+  public:
+    /**
+     * @param matrix collected load matrix (must outlive the balancer).
+     * @param nodes number of storage nodes.
+     */
+    LoadBalancer(const LoadMatrixAnalyzer &matrix, std::size_t nodes);
+
+    /** Place all volumes with @p policy and score the placement. */
+    PlacementResult place(PlacementPolicy policy,
+                          std::uint64_t seed = 1) const;
+
+  private:
+    PlacementResult score(std::vector<std::uint32_t> assignment) const;
+
+    const LoadMatrixAnalyzer &matrix_;
+    std::size_t nodes_;
+};
+
+} // namespace cbs
+
+#endif // CBS_SIM_LOAD_BALANCER_H

@@ -1,0 +1,90 @@
+#include "sim/write_cache.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+WriteCacheSim::WriteCacheSim(const WriteCacheConfig &config)
+    : config_(config), staged_(config.capacity_blocks)
+{
+    CBS_EXPECT(config.capacity_blocks > 0,
+               "write cache capacity must be positive");
+    CBS_EXPECT(config.block_size > 0, "block size must be positive");
+}
+
+void
+WriteCacheSim::destageOldest()
+{
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.front();
+        queue_.pop_front();
+        const std::uint64_t *live = staged_.find(entry.key);
+        if (live == nullptr || *live != entry.epoch)
+            continue; // stale queue entry: block was overwritten
+        staged_.erase(entry.key);
+        ++stats_.destaged_blocks;
+        return;
+    }
+}
+
+void
+WriteCacheSim::destageExpired(TimeUs now)
+{
+    if (config_.max_residency == 0)
+        return;
+    while (!queue_.empty() &&
+           queue_.front().staged_at + config_.max_residency <= now) {
+        QueueEntry entry = queue_.front();
+        queue_.pop_front();
+        const std::uint64_t *live = staged_.find(entry.key);
+        if (live == nullptr || *live != entry.epoch)
+            continue;
+        staged_.erase(entry.key);
+        ++stats_.destaged_blocks;
+    }
+}
+
+void
+WriteCacheSim::consume(const IoRequest &req)
+{
+    destageExpired(req.timestamp);
+    forEachBlock(req, config_.block_size, [&](BlockNo block) {
+        std::uint64_t key = blockKey(req.volume, block);
+        if (req.isRead()) {
+            ++stats_.read_blocks;
+            if (staged_.contains(key))
+                ++stats_.staged_reads;
+            return;
+        }
+        ++stats_.write_blocks;
+        if (staged_.contains(key)) {
+            // Overwrite of a staged block: coalesced; refresh its
+            // epoch and residency position below.
+            ++stats_.absorbed_blocks;
+        } else if (staged_.size() >= config_.capacity_blocks) {
+            // Make room before admitting the new block. (Backward-
+            // shift deletion invalidates references, so no map
+            // reference is held across this call.)
+            destageOldest();
+        }
+        staged_.insertOrAssign(key, ++epoch_);
+        queue_.push_back(QueueEntry{key, epoch_, req.timestamp});
+    });
+}
+
+void
+WriteCacheSim::finalize()
+{
+    // Flush everything left in the stage.
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.front();
+        queue_.pop_front();
+        const std::uint64_t *live = staged_.find(entry.key);
+        if (live == nullptr || *live != entry.epoch)
+            continue;
+        staged_.erase(entry.key);
+        ++stats_.destaged_blocks;
+    }
+}
+
+} // namespace cbs

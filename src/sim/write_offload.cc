@@ -1,0 +1,82 @@
+#include "sim/write_offload.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+WriteOffloadSim::WriteOffloadSim(TimeUs idle_threshold, TimeUs duration)
+    : idle_threshold_(idle_threshold), duration_(duration)
+{
+    CBS_EXPECT(idle_threshold > 0, "idle threshold must be positive");
+    CBS_EXPECT(duration > 0, "duration must be positive");
+}
+
+void
+WriteOffloadSim::accumulate(State &state, const IoRequest &req)
+{
+    if (!state.touched) {
+        state.touched = true;
+        // Time before the first request counts as idle for both.
+        if (req.timestamp >= idle_threshold_) {
+            state.idle_any += req.timestamp;
+            state.idle_read += req.timestamp;
+        }
+        state.last_any = req.timestamp;
+        state.last_read = req.timestamp;
+        return;
+    }
+    TimeUs gap_any = req.timestamp - state.last_any;
+    if (gap_any >= idle_threshold_)
+        state.idle_any += gap_any;
+    state.last_any = req.timestamp;
+
+    if (req.isRead()) {
+        TimeUs gap_read = req.timestamp - state.last_read;
+        if (gap_read >= idle_threshold_)
+            state.idle_read += gap_read;
+        state.last_read = req.timestamp;
+    }
+}
+
+void
+WriteOffloadSim::consume(const IoRequest &req)
+{
+    accumulate(states_[req.volume], req);
+}
+
+void
+WriteOffloadSim::finalize()
+{
+    double sum_any = 0;
+    double sum_read = 0;
+    std::size_t touched = 0;
+    for (State &state : states_) {
+        if (!state.touched)
+            continue;
+        ++touched;
+        // Trailing idle tail until the end of the trace.
+        if (duration_ > state.last_any &&
+            duration_ - state.last_any >= idle_threshold_)
+            state.idle_any += duration_ - state.last_any;
+        if (duration_ > state.last_read &&
+            duration_ - state.last_read >= idle_threshold_)
+            state.idle_read += duration_ - state.last_read;
+
+        double base = static_cast<double>(state.idle_any) /
+                      static_cast<double>(duration_);
+        double offl = static_cast<double>(state.idle_read) /
+                      static_cast<double>(duration_);
+        baseline_cdf_.add(base);
+        offloaded_cdf_.add(offl);
+        sum_any += base;
+        sum_read += offl;
+    }
+    if (touched) {
+        summary_.baseline_idle_fraction =
+            sum_any / static_cast<double>(touched);
+        summary_.offloaded_idle_fraction =
+            sum_read / static_cast<double>(touched);
+    }
+}
+
+} // namespace cbs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * WriteOffloadSim: write off-loading / idle-period analysis
+ * (the paper's Findings 5-7 implication, after Narayanan et al.'s
+ * Write Off-Loading, FAST 2008).
+ *
+ * For each volume the simulator measures spin-down-eligible idle time —
+ * gaps with no requests longer than an idle threshold — under two
+ * policies: baseline (all requests hit the volume) and off-loaded
+ * (writes are redirected elsewhere, so only reads interrupt idleness).
+ * The gain in idle time is the power-saving opportunity the paper
+ * points out.
+ */
+
+#ifndef CBS_SIM_WRITE_OFFLOAD_H
+#define CBS_SIM_WRITE_OFFLOAD_H
+
+#include <cstdint>
+
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+#include "stats/ecdf.h"
+
+namespace cbs {
+
+class WriteOffloadSim : public Analyzer
+{
+  public:
+    /**
+     * @param idle_threshold minimum gap that counts as idle (a disk
+     *        cannot exploit sub-minute gaps once spin-down/up costs
+     *        are paid; default 1 minute).
+     * @param duration total trace duration.
+     */
+    WriteOffloadSim(TimeUs idle_threshold, TimeUs duration);
+
+    void consume(const IoRequest &req) override;
+    void finalize() override;
+    std::string name() const override { return "write_offload"; }
+
+    /** Idle-time summary of the whole population. */
+    struct Summary
+    {
+        double baseline_idle_fraction = 0.0;
+        double offloaded_idle_fraction = 0.0;
+
+        double
+        gain() const
+        {
+            return offloaded_idle_fraction - baseline_idle_fraction;
+        }
+    };
+
+    const Summary &summary() const { return summary_; }
+
+    /** CDF of per-volume idle fractions with all requests. */
+    const Ecdf &baselineIdle() const { return baseline_cdf_; }
+    /** CDF of per-volume idle fractions with writes off-loaded. */
+    const Ecdf &offloadedIdle() const { return offloaded_cdf_; }
+
+  private:
+    struct State
+    {
+        TimeUs last_any = 0;
+        TimeUs last_read = 0;
+        std::uint64_t idle_any = 0;  //!< accumulated idle µs (all ops)
+        std::uint64_t idle_read = 0; //!< idle µs counting reads only
+        bool touched = false;
+    };
+
+    void accumulate(State &state, const IoRequest &req);
+
+    TimeUs idle_threshold_;
+    TimeUs duration_;
+    PerVolume<State> states_;
+    Summary summary_;
+    Ecdf baseline_cdf_;
+    Ecdf offloaded_cdf_;
+};
+
+} // namespace cbs
+
+#endif // CBS_SIM_WRITE_OFFLOAD_H

@@ -1,0 +1,53 @@
+#include "stats/boxplot.h"
+
+#include <sstream>
+
+#include "common/format.h"
+#include "stats/exact_quantiles.h"
+
+namespace cbs {
+
+BoxplotSummary
+BoxplotSummary::compute(const ExactQuantiles &samples)
+{
+    BoxplotSummary box;
+    box.count = samples.count();
+    if (box.count == 0)
+        return box;
+    box.q1 = samples.quantile(0.25);
+    box.median = samples.quantile(0.50);
+    box.q3 = samples.quantile(0.75);
+    double lo_fence = box.q1 - 1.5 * box.iqr();
+    double hi_fence = box.q3 + 1.5 * box.iqr();
+    const auto &sorted = samples.sorted();
+    box.whisker_lo = box.q1;
+    box.whisker_hi = box.q3;
+    bool have_lo = false;
+    for (double v : sorted) {
+        if (v < lo_fence || v > hi_fence) {
+            box.outliers.push_back(v);
+            continue;
+        }
+        if (!have_lo) {
+            box.whisker_lo = v;
+            have_lo = true;
+        }
+        box.whisker_hi = v;
+    }
+    return box;
+}
+
+std::string
+BoxplotSummary::toString(int decimals) const
+{
+    std::ostringstream oss;
+    oss << "[" << formatFixed(whisker_lo, decimals) << " | "
+        << formatFixed(q1, decimals) << " "
+        << formatFixed(median, decimals) << " "
+        << formatFixed(q3, decimals) << " | "
+        << formatFixed(whisker_hi, decimals) << "] (n=" << count << ", "
+        << outliers.size() << " outliers)";
+    return oss.str();
+}
+
+} // namespace cbs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * BoxplotSummary: Tukey five-number summary with IQR outlier detection,
+ * matching the boxplot figures in the paper (Figs. 7, 11, 16, 17, 18).
+ */
+
+#ifndef CBS_STATS_BOXPLOT_H
+#define CBS_STATS_BOXPLOT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cbs {
+
+class ExactQuantiles;
+
+/** The five-number summary plus outliers of one boxplot. */
+struct BoxplotSummary
+{
+    double q1 = 0;        //!< 25th percentile
+    double median = 0;    //!< 50th percentile
+    double q3 = 0;        //!< 75th percentile
+    double whisker_lo = 0; //!< smallest value >= q1 - 1.5*IQR
+    double whisker_hi = 0; //!< largest value <= q3 + 1.5*IQR
+    std::size_t count = 0;
+    std::vector<double> outliers; //!< values outside the whiskers
+
+    /** Interquartile range. */
+    double iqr() const { return q3 - q1; }
+
+    /** Compute the summary of a sample set. */
+    static BoxplotSummary compute(const ExactQuantiles &samples);
+
+    /** One-line rendering: "[lo | q1 med q3 | hi] (n=..., k outliers)". */
+    std::string toString(int decimals = 2) const;
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_BOXPLOT_H

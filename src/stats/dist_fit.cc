@@ -1,0 +1,218 @@
+#include "stats/dist_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+constexpr double kHalfLog2Pi = 0.9189385332046727; // ln(2*pi)/2
+
+/** Acklam's rational approximation of the inverse normal CDF. */
+double
+inverseNormalCdf(double p)
+{
+    CBS_EXPECT(p > 0.0 && p < 1.0, "quantile out of (0,1): " << p);
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double p_low = 0.02425;
+    if (p < p_low) {
+        double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p <= 1 - p_low) {
+        double q = p - 0.5;
+        double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+                 a[4]) * r + a[5]) * q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+                 b[4]) * r + 1);
+    }
+    double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                 q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+FittedDistribution
+fitExponential(const std::vector<double> &x, double sum)
+{
+    double n = static_cast<double>(x.size());
+    double lambda = n / sum;
+    FittedDistribution fit;
+    fit.family = FittedDistribution::Family::Exponential;
+    fit.params = {lambda};
+    fit.log_likelihood = n * std::log(lambda) - lambda * sum;
+    fit.aic = 2.0 * 1 - 2.0 * fit.log_likelihood;
+    return fit;
+}
+
+FittedDistribution
+fitLogNormal(const std::vector<double> &x, double sum_log,
+             double sum_log_sq)
+{
+    double n = static_cast<double>(x.size());
+    double mu = sum_log / n;
+    double var = std::max(sum_log_sq / n - mu * mu, 1e-18);
+    double sigma = std::sqrt(var);
+    FittedDistribution fit;
+    fit.family = FittedDistribution::Family::LogNormal;
+    fit.params = {mu, sigma};
+    fit.log_likelihood =
+        -sum_log - n * std::log(sigma) - n * kHalfLog2Pi - n / 2.0;
+    fit.aic = 2.0 * 2 - 2.0 * fit.log_likelihood;
+    return fit;
+}
+
+FittedDistribution
+fitPareto(const std::vector<double> &x, double sum_log)
+{
+    double n = static_cast<double>(x.size());
+    double x_min = *std::min_element(x.begin(), x.end());
+    double denom = sum_log - n * std::log(x_min);
+    double alpha = denom > 1e-12 ? n / denom : 1e6;
+    FittedDistribution fit;
+    fit.family = FittedDistribution::Family::Pareto;
+    fit.params = {x_min, alpha};
+    fit.log_likelihood = n * std::log(alpha) +
+                         n * alpha * std::log(x_min) -
+                         (alpha + 1) * sum_log;
+    fit.aic = 2.0 * 2 - 2.0 * fit.log_likelihood;
+    return fit;
+}
+
+FittedDistribution
+fitWeibull(const std::vector<double> &x, double sum_log)
+{
+    double n = static_cast<double>(x.size());
+    double mean_log = sum_log / n;
+
+    // Solve the profile-likelihood equation for the shape k by
+    // bisection on g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x).
+    auto g = [&](double k) {
+        double sxk = 0;
+        double sxk_log = 0;
+        for (double v : x) {
+            double xk = std::pow(v, k);
+            sxk += xk;
+            sxk_log += xk * std::log(v);
+        }
+        return sxk_log / sxk - 1.0 / k - mean_log;
+    };
+    double lo = 0.05;
+    double hi = 20.0;
+    double glo = g(lo);
+    for (int iter = 0; iter < 80 && hi - lo > 1e-6; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        double gm = g(mid);
+        if ((gm < 0) == (glo < 0)) {
+            lo = mid;
+            glo = gm;
+        } else {
+            hi = mid;
+        }
+    }
+    double k = 0.5 * (lo + hi);
+    double sxk = 0;
+    for (double v : x)
+        sxk += std::pow(v, k);
+    double lambda = std::pow(sxk / n, 1.0 / k);
+
+    FittedDistribution fit;
+    fit.family = FittedDistribution::Family::Weibull;
+    fit.params = {k, lambda};
+    double ll = n * std::log(k) - n * k * std::log(lambda) +
+                (k - 1) * sum_log;
+    for (double v : x)
+        ll -= std::pow(v / lambda, k);
+    fit.log_likelihood = ll;
+    fit.aic = 2.0 * 2 - 2.0 * ll;
+    return fit;
+}
+
+} // namespace
+
+const char *
+FittedDistribution::name() const
+{
+    switch (family) {
+      case Family::Exponential:
+        return "exponential";
+      case Family::LogNormal:
+        return "lognormal";
+      case Family::Pareto:
+        return "pareto";
+      case Family::Weibull:
+        return "weibull";
+    }
+    CBS_PANIC("unreachable family");
+}
+
+double
+FittedDistribution::quantile(double q) const
+{
+    CBS_EXPECT(q > 0.0 && q < 1.0, "quantile out of (0,1): " << q);
+    switch (family) {
+      case Family::Exponential:
+        return -std::log(1 - q) / params[0];
+      case Family::LogNormal:
+        return std::exp(params[0] + params[1] * inverseNormalCdf(q));
+      case Family::Pareto:
+        return params[0] * std::pow(1 - q, -1.0 / params[1]);
+      case Family::Weibull:
+        return params[1] * std::pow(-std::log(1 - q), 1.0 / params[0]);
+    }
+    CBS_PANIC("unreachable family");
+}
+
+std::vector<FittedDistribution>
+fitDistributions(const std::vector<double> &samples)
+{
+    CBS_EXPECT(samples.size() >= 8,
+               "need at least 8 samples to fit, got " << samples.size());
+    double sum = 0;
+    double sum_log = 0;
+    double sum_log_sq = 0;
+    for (double v : samples) {
+        CBS_EXPECT(v > 0, "samples must be strictly positive");
+        sum += v;
+        double lv = std::log(v);
+        sum_log += lv;
+        sum_log_sq += lv * lv;
+    }
+
+    std::vector<FittedDistribution> fits;
+    fits.push_back(fitExponential(samples, sum));
+    fits.push_back(fitLogNormal(samples, sum_log, sum_log_sq));
+    fits.push_back(fitPareto(samples, sum_log));
+    fits.push_back(fitWeibull(samples, sum_log));
+    std::sort(fits.begin(), fits.end(),
+              [](const FittedDistribution &a,
+                 const FittedDistribution &b) { return a.aic < b.aic; });
+    return fits;
+}
+
+} // namespace cbs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DistFit: maximum-likelihood fitting of candidate distributions to
+ * positive-valued samples (inter-arrival times, request sizes, update
+ * intervals), after the distribution-fitting methodology of Wajahat et
+ * al. (MASCOTS 2019), which the paper cites for inter-arrival
+ * modeling.
+ *
+ * Candidates: exponential, lognormal, Pareto (type I), and Weibull
+ * (shape fitted by Newton iteration on the profile likelihood). Models
+ * are ranked by AIC; with equal parameter counts playing a minor role,
+ * this is effectively a log-likelihood ranking.
+ */
+
+#ifndef CBS_STATS_DIST_FIT_H
+#define CBS_STATS_DIST_FIT_H
+
+#include <string>
+#include <vector>
+
+namespace cbs {
+
+/** One fitted candidate. */
+struct FittedDistribution
+{
+    enum class Family
+    {
+        Exponential, //!< rate lambda          (params[0] = lambda)
+        LogNormal,   //!< mu, sigma of log     (params = {mu, sigma})
+        Pareto,      //!< x_min, alpha         (params = {x_min, alpha})
+        Weibull,     //!< shape k, scale lam   (params = {k, lambda})
+    };
+
+    Family family;
+    std::vector<double> params;
+    double log_likelihood = 0.0;
+    double aic = 0.0;
+
+    /** Family name for reports. */
+    const char *name() const;
+
+    /** Quantile function of the fitted distribution. */
+    double quantile(double q) const;
+};
+
+/**
+ * Fit all candidate families to strictly-positive samples and return
+ * them sorted by AIC, best first.
+ *
+ * @param samples observations; non-positive values are rejected.
+ */
+std::vector<FittedDistribution>
+fitDistributions(const std::vector<double> &samples);
+
+} // namespace cbs
+
+#endif // CBS_STATS_DIST_FIT_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ecdf: empirical CDF series over a stored sample set.
+ *
+ * Produces the (value, fraction <= value) series behind the per-volume
+ * CDF figures (Figs. 2(b), 3, 4, 6, 9, 10(a), 12, 13).
+ */
+
+#ifndef CBS_STATS_ECDF_H
+#define CBS_STATS_ECDF_H
+
+#include <utility>
+#include <vector>
+
+#include "stats/exact_quantiles.h"
+
+namespace cbs {
+
+class Ecdf
+{
+  public:
+    Ecdf() = default;
+    explicit Ecdf(std::vector<double> values)
+        : samples_(std::move(values))
+    {
+    }
+
+    void add(double x) { samples_.add(x); }
+    std::size_t count() const { return samples_.count(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Fraction of samples <= x. */
+    double at(double x) const { return samples_.cdfAt(x); }
+
+    /** Value at quantile q. */
+    double quantile(double q) const { return samples_.quantile(q); }
+
+    /** The underlying sample set. */
+    const ExactQuantiles &samples() const { return samples_; }
+
+    /**
+     * Full step-function series: one (value, cumulative fraction) point
+     * per distinct sample value.
+     */
+    std::vector<std::pair<double, double>>
+    series() const
+    {
+        std::vector<std::pair<double, double>> out;
+        const auto &sorted = samples_.sorted();
+        std::size_t n = sorted.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            // Emit one point per run of equal values, at the run's end.
+            if (i + 1 < n && sorted[i + 1] == sorted[i])
+                continue;
+            out.emplace_back(sorted[i], static_cast<double>(i + 1) /
+                                            static_cast<double>(n));
+        }
+        return out;
+    }
+
+    /**
+     * Downsampled series with at most @p max_points points, preserving
+     * the first and last — for compact report output.
+     */
+    std::vector<std::pair<double, double>>
+    sampledSeries(std::size_t max_points) const
+    {
+        auto full = series();
+        if (full.size() <= max_points || max_points < 2)
+            return full;
+        std::vector<std::pair<double, double>> out;
+        out.reserve(max_points);
+        for (std::size_t i = 0; i < max_points; ++i) {
+            std::size_t idx = i * (full.size() - 1) / (max_points - 1);
+            out.push_back(full[idx]);
+        }
+        return out;
+    }
+
+  private:
+    ExactQuantiles samples_;
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_ECDF_H

@@ -1,0 +1,74 @@
+#include "stats/exact_quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace cbs {
+
+ExactQuantiles::ExactQuantiles(std::vector<double> values)
+    : values_(std::move(values)), sorted_(false)
+{
+}
+
+void
+ExactQuantiles::add(double x)
+{
+    values_.push_back(x);
+    sorted_ = false;
+}
+
+void
+ExactQuantiles::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+}
+
+double
+ExactQuantiles::quantile(double q) const
+{
+    CBS_EXPECT(!values_.empty(), "quantile of an empty sample set");
+    CBS_EXPECT(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
+    ensureSorted();
+    if (values_.size() == 1)
+        return values_[0];
+    double h = q * static_cast<double>(values_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(h));
+    std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    double frac = h - static_cast<double>(lo);
+    return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double
+ExactQuantiles::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    return std::accumulate(values_.begin(), values_.end(), 0.0) /
+           static_cast<double>(values_.size());
+}
+
+double
+ExactQuantiles::cdfAt(double x) const
+{
+    if (values_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(values_.begin(), values_.end(), x);
+    return static_cast<double>(it - values_.begin()) /
+           static_cast<double>(values_.size());
+}
+
+const std::vector<double> &
+ExactQuantiles::sorted() const
+{
+    ensureSorted();
+    return values_;
+}
+
+} // namespace cbs

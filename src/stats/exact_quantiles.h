@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ExactQuantiles: exact quantiles over a stored sample set.
+ *
+ * Per-volume metric sets (one value per volume: burstiness ratio,
+ * randomness ratio, update coverage, ...) are small — at most a few
+ * thousand entries — so the per-volume distribution figures use exact
+ * quantiles rather than sketches.
+ */
+
+#ifndef CBS_STATS_EXACT_QUANTILES_H
+#define CBS_STATS_EXACT_QUANTILES_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cbs {
+
+class ExactQuantiles
+{
+  public:
+    ExactQuantiles() = default;
+    explicit ExactQuantiles(std::vector<double> values);
+
+    /** Add one observation. */
+    void add(double x);
+
+    std::size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    /**
+     * Exact value at quantile @p q in [0,1], linearly interpolated
+     * between order statistics (the "type 7" definition used by R and
+     * NumPy). Lazily sorts the stored values.
+     */
+    double quantile(double q) const;
+
+    double median() const { return quantile(0.5); }
+    double min() const { return quantile(0.0); }
+    double max() const { return quantile(1.0); }
+    double mean() const;
+
+    /** Fraction of observations <= @p x. */
+    double cdfAt(double x) const;
+
+    /** Fraction of observations > @p x. */
+    double fractionAbove(double x) const { return 1.0 - cdfAt(x); }
+
+    /** Sorted copy of the observations. */
+    const std::vector<double> &sorted() const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> values_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_EXACT_QUANTILES_H

@@ -1,0 +1,167 @@
+#include "stats/log_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cbs {
+
+LogHistogram::LogHistogram(int sub_bits)
+    : sub_bits_(sub_bits), sub_count_(std::uint64_t{1} << sub_bits)
+{
+    CBS_EXPECT(sub_bits >= 0 && sub_bits <= 16,
+               "LogHistogram sub_bits out of range: " << sub_bits);
+    // Values below 2^sub_bits are stored exactly in the first
+    // (linear) segment; above that, 64 - sub_bits geometric segments
+    // of sub_count_ buckets each cover the rest of the u64 range.
+    std::size_t segments = static_cast<std::size_t>(64 - sub_bits_);
+    buckets_.assign((segments + 1) * sub_count_, 0);
+}
+
+std::size_t
+LogHistogram::bucketIndex(std::uint64_t value) const
+{
+    if (value < sub_count_)
+        return static_cast<std::size_t>(value);
+    // Segment s >= 1 holds values in [2^(sub_bits+s-1), 2^(sub_bits+s)),
+    // split into sub_count_ equal sub-buckets.
+    int msb = 63 - std::countl_zero(value);
+    int segment = msb - sub_bits_ + 1;
+    std::uint64_t base = std::uint64_t{1} << msb;
+    std::uint64_t sub = (value - base) >> (msb - sub_bits_);
+    return static_cast<std::size_t>(segment) * sub_count_ +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+LogHistogram::bucketLow(std::size_t index) const
+{
+    std::size_t segment = index / sub_count_;
+    std::uint64_t sub = index % sub_count_;
+    if (segment == 0)
+        return sub;
+    int msb = sub_bits_ + static_cast<int>(segment) - 1;
+    return (std::uint64_t{1} << msb) + (sub << (msb - sub_bits_));
+}
+
+std::uint64_t
+LogHistogram::bucketHigh(std::size_t index) const
+{
+    std::size_t segment = index / sub_count_;
+    if (segment == 0)
+        return bucketLow(index);
+    int msb = sub_bits_ + static_cast<int>(segment) - 1;
+    return bucketLow(index) + (std::uint64_t{1} << (msb - sub_bits_)) - 1;
+}
+
+std::uint64_t
+LogHistogram::bucketMid(std::size_t index) const
+{
+    std::uint64_t lo = bucketLow(index);
+    std::uint64_t hi = bucketHigh(index);
+    return lo + (hi - lo) / 2;
+}
+
+void
+LogHistogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    buckets_[bucketIndex(value)] += weight;
+    count_ += weight;
+    sum_ += static_cast<double>(value) * static_cast<double>(weight);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    CBS_EXPECT(sub_bits_ == other.sub_bits_,
+               "merging LogHistograms with different precision");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t
+LogHistogram::minValue() const
+{
+    return empty() ? 0 : min_;
+}
+
+std::uint64_t
+LogHistogram::maxValue() const
+{
+    return empty() ? 0 : max_;
+}
+
+double
+LogHistogram::mean() const
+{
+    return empty() ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t
+LogHistogram::quantile(double q) const
+{
+    if (empty())
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample (1-based, nearest-rank definition).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return std::clamp(bucketMid(i), min_, max_);
+    }
+    return max_;
+}
+
+double
+LogHistogram::cdfAt(std::uint64_t value) const
+{
+    if (empty())
+        return 0.0;
+    std::size_t target = bucketIndex(value);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i <= target && i < buckets_.size(); ++i)
+        seen += buckets_[i];
+    return static_cast<double>(seen) / static_cast<double>(count_);
+}
+
+double
+LogHistogram::fractionBelow(std::uint64_t value) const
+{
+    if (empty() || value == 0)
+        return 0.0;
+    return cdfAt(value - 1);
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+LogHistogram::cdfSeries() const
+{
+    std::vector<std::pair<std::uint64_t, double>> series;
+    if (empty())
+        return series;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        seen += buckets_[i];
+        series.emplace_back(
+            std::clamp(bucketMid(i), min_, max_),
+            static_cast<double>(seen) / static_cast<double>(count_));
+    }
+    return series;
+}
+
+} // namespace cbs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * LogHistogram: an HDR-histogram-style log-bucketed histogram.
+ *
+ * Values are binned into buckets whose width grows geometrically: each
+ * power-of-two range is split into 2^sub_bits linear sub-buckets, giving
+ * a bounded relative error of 2^-sub_bits across the whole range
+ * [0, 2^63). This is the workhorse for duration- and size-valued
+ * distributions (inter-arrival times, RAW/WAW times, update intervals,
+ * request sizes), where exact storage of billions of samples is not an
+ * option in production.
+ */
+
+#ifndef CBS_STATS_LOG_HISTOGRAM_H
+#define CBS_STATS_LOG_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cbs {
+
+class LogHistogram
+{
+  public:
+    /**
+     * @param sub_bits log2 of the number of linear sub-buckets per
+     *        power-of-two range; relative quantile error is 2^-sub_bits.
+     */
+    explicit LogHistogram(int sub_bits = 7);
+
+    /** Record one non-negative value (with an optional multiplicity). */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Merge another histogram with identical sub_bits. */
+    void merge(const LogHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    std::uint64_t minValue() const;
+    std::uint64_t maxValue() const;
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0,1] (q=0.5 is the median). Returns a
+     * representative value of the bucket containing the q-th sample.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Fraction of recorded values that are <= @p value. */
+    double cdfAt(std::uint64_t value) const;
+
+    /** Fraction of recorded values strictly below @p value. */
+    double fractionBelow(std::uint64_t value) const;
+
+    /**
+     * Export a sampled CDF as (value, cumulative fraction) pairs, one
+     * point per non-empty bucket — suitable for plotting.
+     */
+    std::vector<std::pair<std::uint64_t, double>> cdfSeries() const;
+
+  private:
+    std::size_t bucketIndex(std::uint64_t value) const;
+    std::uint64_t bucketLow(std::size_t index) const;
+    std::uint64_t bucketHigh(std::size_t index) const;
+    /** Representative (midpoint) value of a bucket. */
+    std::uint64_t bucketMid(std::size_t index) const;
+
+    int sub_bits_;
+    std::uint64_t sub_count_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+    std::vector<std::uint64_t> buckets_;
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_LOG_HISTOGRAM_H

@@ -1,0 +1,98 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cbs {
+
+P2Quantile::P2Quantile(double q) : q_(q)
+{
+    CBS_EXPECT(q > 0.0 && q < 1.0, "P2Quantile requires q in (0,1)");
+    positions_ = {1, 2, 3, 4, 5};
+    desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+    increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+double
+P2Quantile::parabolic(int i, double d) const
+{
+    double np = positions_[i + 1] - positions_[i];
+    double nm = positions_[i] - positions_[i - 1];
+    double hp = (heights_[i + 1] - heights_[i]) / np;
+    double hm = (heights_[i] - heights_[i - 1]) / nm;
+    return heights_[i] + d / (np + nm) * ((nm + d) * hp + (np - d) * hm);
+}
+
+double
+P2Quantile::linear(int i, double d) const
+{
+    int j = i + static_cast<int>(d);
+    return heights_[i] + d * (heights_[j] - heights_[i]) /
+                             (positions_[j] - positions_[i]);
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (count_ < 5) {
+        heights_[count_++] = x;
+        if (count_ == 5)
+            std::sort(heights_.begin(), heights_.end());
+        return;
+    }
+    ++count_;
+
+    int k;
+    if (x < heights_[0]) {
+        heights_[0] = x;
+        k = 0;
+    } else if (x >= heights_[4]) {
+        heights_[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= heights_[k + 1])
+            ++k;
+    }
+
+    for (int i = k + 1; i < 5; ++i)
+        positions_[i] += 1;
+    for (int i = 0; i < 5; ++i)
+        desired_[i] += increments_[i];
+
+    for (int i = 1; i <= 3; ++i) {
+        double d = desired_[i] - positions_[i];
+        if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+            (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+            double sign = d >= 0 ? 1.0 : -1.0;
+            double h = parabolic(i, sign);
+            if (heights_[i - 1] < h && h < heights_[i + 1])
+                heights_[i] = h;
+            else
+                heights_[i] = linear(i, sign);
+            positions_[i] += sign;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ < 5) {
+        // Exact small-sample quantile (nearest rank) over the sorted
+        // prefix of markers.
+        std::array<double, 5> sorted = heights_;
+        std::sort(sorted.begin(), sorted.begin() + count_);
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q_ * static_cast<double>(count_)));
+        rank = std::clamp<std::size_t>(rank, 1, count_);
+        return sorted[rank - 1];
+    }
+    return heights_[2];
+}
+
+} // namespace cbs

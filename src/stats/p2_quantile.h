@@ -1,0 +1,45 @@
+/**
+ * @file
+ * P2Quantile: the P-squared (P²) streaming quantile estimator of Jain and
+ * Chlamtac (1985). Estimates a single quantile in O(1) space with five
+ * markers and parabolic interpolation; useful where even a log-bucketed
+ * histogram is too heavy (e.g., one estimator per block population).
+ */
+
+#ifndef CBS_STATS_P2_QUANTILE_H
+#define CBS_STATS_P2_QUANTILE_H
+
+#include <array>
+#include <cstdint>
+
+namespace cbs {
+
+class P2Quantile
+{
+  public:
+    /** @param q the quantile to estimate, in (0,1). */
+    explicit P2Quantile(double q);
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Current estimate; exact until five observations have been seen. */
+    double value() const;
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    double parabolic(int i, double d) const;
+    double linear(int i, double d) const;
+
+    double q_;
+    std::uint64_t count_ = 0;
+    std::array<double, 5> heights_{};   // marker heights
+    std::array<double, 5> positions_{}; // actual marker positions
+    std::array<double, 5> desired_{};   // desired marker positions
+    std::array<double, 5> increments_{};
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_P2_QUANTILE_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reservoir: uniform reservoir sampling (Vitter's algorithm R).
+ *
+ * Keeps a fixed-size uniform sample of an unbounded stream; used to
+ * bound memory for distributions where the paper plots all samples
+ * (e.g., RAW/WAW elapsed-time CDFs at production scale).
+ */
+
+#ifndef CBS_STATS_RESERVOIR_H
+#define CBS_STATS_RESERVOIR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cbs {
+
+template <typename T>
+class Reservoir
+{
+  public:
+    /**
+     * @param capacity sample size to retain.
+     * @param seed PRNG seed (deterministic sampling for reproducibility).
+     */
+    explicit Reservoir(std::size_t capacity, std::uint64_t seed = 42)
+        : capacity_(capacity), state_(seed ? seed : 1)
+    {
+        sample_.reserve(capacity);
+    }
+
+    /** Offer one stream element. */
+    void
+    add(const T &value)
+    {
+        ++seen_;
+        if (sample_.size() < capacity_) {
+            sample_.push_back(value);
+            return;
+        }
+        std::uint64_t j = nextRandom() % seen_;
+        if (j < capacity_)
+            sample_[static_cast<std::size_t>(j)] = value;
+    }
+
+    /** Number of elements offered so far. */
+    std::uint64_t seen() const { return seen_; }
+
+    /** The retained sample (unordered). */
+    const std::vector<T> &sample() const { return sample_; }
+
+  private:
+    std::uint64_t
+    nextRandom()
+    {
+        // xorshift64*: adequate speed/quality for sampling decisions.
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545F4914F6CDD1DULL;
+    }
+
+    std::size_t capacity_;
+    std::uint64_t state_;
+    std::uint64_t seen_ = 0;
+    std::vector<T> sample_;
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_RESERVOIR_H

@@ -1,0 +1,62 @@
+#include "stats/space_saving.h"
+
+namespace cbs {
+
+SpaceSaving::SpaceSaving(std::size_t capacity)
+    : capacity_(capacity), index_(capacity)
+{
+    CBS_EXPECT(capacity > 0, "SpaceSaving capacity must be positive");
+    entries_.reserve(capacity);
+}
+
+void
+SpaceSaving::add(std::uint64_t key, std::uint64_t weight)
+{
+    total_ += weight;
+    if (auto *idx = index_.find(key)) {
+        entries_[*idx].count += weight;
+        return;
+    }
+    if (entries_.size() < capacity_) {
+        index_.insertOrAssign(key,
+                              static_cast<std::uint32_t>(entries_.size()));
+        entries_.push_back(Entry{key, weight, 0});
+        return;
+    }
+    // Evict the minimum-count entry; the newcomer inherits its count as
+    // the overcount bound (classic space-saving replacement).
+    std::size_t min_idx = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].count < entries_[min_idx].count)
+            min_idx = i;
+    }
+    Entry &victim = entries_[min_idx];
+    index_.erase(victim.key);
+    index_.insertOrAssign(key, static_cast<std::uint32_t>(min_idx));
+    victim.overcount = victim.count;
+    victim.count += weight;
+    victim.key = key;
+}
+
+std::vector<SpaceSaving::Entry>
+SpaceSaving::topK(std::size_t k) const
+{
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.count > b.count;
+              });
+    if (sorted.size() > k)
+        sorted.resize(k);
+    return sorted;
+}
+
+std::uint64_t
+SpaceSaving::estimate(std::uint64_t key) const
+{
+    if (const auto *idx = index_.find(key))
+        return entries_[*idx].count;
+    return 0;
+}
+
+} // namespace cbs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SpaceSaving: the space-saving heavy-hitter sketch (Metwally et al.,
+ * 2005). Tracks the approximately-most-frequent keys of a stream in
+ * bounded memory; used for traffic-hotspot identification when the exact
+ * per-block tally would not fit (production-scale working sets).
+ */
+
+#ifndef CBS_STATS_SPACE_SAVING_H
+#define CBS_STATS_SPACE_SAVING_H
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+
+class SpaceSaving
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::uint64_t count = 0;     //!< estimated count (upper bound)
+        std::uint64_t overcount = 0; //!< max estimation error
+    };
+
+    /** @param capacity maximum number of tracked keys. */
+    explicit SpaceSaving(std::size_t capacity);
+
+    /** Record one occurrence of @p key with weight @p weight. */
+    void add(std::uint64_t key, std::uint64_t weight = 1);
+
+    /** Total weight added to the sketch. */
+    std::uint64_t totalWeight() const { return total_; }
+
+    /** Number of tracked keys. */
+    std::size_t trackedCount() const { return entries_.size(); }
+
+    /**
+     * Tracked entries sorted by estimated count, descending. An entry
+     * whose (count - overcount) exceeds all others' counts is a
+     * guaranteed heavy hitter.
+     */
+    std::vector<Entry> topK(std::size_t k) const;
+
+    /** Estimated count for @p key (0 if untracked). */
+    std::uint64_t estimate(std::uint64_t key) const;
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t total_ = 0;
+    std::vector<Entry> entries_;
+    // key -> index into entries_
+    FlatMap<std::uint32_t> index_;
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_SPACE_SAVING_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Single-pass summary statistics (Welford's online algorithm).
+ */
+
+#ifndef CBS_STATS_STREAMING_STATS_H
+#define CBS_STATS_STREAMING_STATS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace cbs {
+
+/**
+ * Accumulates count, sum, mean, variance, min, and max of a stream of
+ * doubles in O(1) space using Welford's numerically-stable recurrence.
+ */
+class StreamingStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const StreamingStats &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /** Mean of the observations; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population variance; 0 with fewer than two observations. */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace cbs
+
+#endif // CBS_STATS_STREAMING_STATS_H

@@ -1,0 +1,156 @@
+#include "synth/address_space.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+/**
+ * Clamp region sizes so all three structured regions plus spacing fit
+ * into the capacity; tiny test volumes shrink gracefully.
+ */
+std::uint64_t
+clampRegion(std::uint64_t wanted, std::uint64_t budget)
+{
+    return std::max<std::uint64_t>(1, std::min(wanted, budget));
+}
+
+} // namespace
+
+std::uint64_t
+AddressSpaceModel::scrambleStride(std::uint64_t size)
+{
+    if (size <= 2)
+        return 1;
+    // Golden-ratio stride decorrelates Zipf rank from block position;
+    // bump until coprime with the region size so the map is bijective.
+    std::uint64_t stride = static_cast<std::uint64_t>(
+        static_cast<double>(size) * 0.6180339887498949);
+    stride = std::max<std::uint64_t>(stride, 1);
+    while (std::gcd(stride, size) != 1)
+        ++stride;
+    return stride;
+}
+
+AddressSpaceModel::AddressSpaceModel(const AddressSpaceParams &params)
+    : params_(params),
+      read_zipf_(1, 0.0),
+      write_zipf_(1, 0.0),
+      shared_zipf_(1, 0.0)
+{
+    CBS_EXPECT(params.capacity_blocks >= 16,
+               "volume too small: " << params.capacity_blocks
+                                    << " blocks");
+    CBS_EXPECT(params.read_to_hot_read + params.read_to_hot_write +
+                       params.read_to_shared <=
+                   1.0 + 1e-9,
+               "read population probabilities exceed 1");
+    CBS_EXPECT(params.write_to_hot_write + params.write_to_hot_read +
+                       params.write_to_shared <=
+                   1.0 + 1e-9,
+               "write population probabilities exceed 1");
+
+    // Structured regions may take at most half the capacity; they are
+    // placed at scattered bases so hot ranks of different populations
+    // are never spatially adjacent.
+    std::uint64_t budget = params.capacity_blocks / 6;
+    params_.hot_read_blocks = clampRegion(params.hot_read_blocks, budget);
+    params_.hot_write_blocks =
+        clampRegion(params.hot_write_blocks, budget);
+    params_.shared_blocks = clampRegion(params.shared_blocks, budget);
+
+    std::uint64_t cap = params_.capacity_blocks;
+    hot_read_ = Region{cap / 12, params_.hot_read_blocks,
+                       scrambleStride(params_.hot_read_blocks)};
+    // The hot-write region is rank-contiguous (stride 1): multi-block
+    // writes starting at a hot rank then cover the next-hottest ranks,
+    // preserving the strong per-block write aggregation of Fig. 11
+    // that a scrambled layout would dilute.
+    hot_write_ = Region{cap * 5 / 12, params_.hot_write_blocks, 1};
+    shared_ = Region{cap * 9 / 12, params_.shared_blocks,
+                     scrambleStride(params_.shared_blocks)};
+
+    double write_theta = params_.write_zipf_theta >= 0
+                             ? params_.write_zipf_theta
+                             : params_.zipf_theta;
+    read_zipf_ = ZipfSampler(params_.hot_read_blocks, params_.zipf_theta);
+    write_zipf_ = ZipfSampler(params_.hot_write_blocks, write_theta);
+    shared_zipf_ = ZipfSampler(params_.shared_blocks, params_.zipf_theta);
+}
+
+AddressSpaceModel::Population
+AddressSpaceModel::samplePopulation(Op op, Rng &rng) const
+{
+    double u = rng.uniform();
+    if (op == Op::Read) {
+        if ((u -= params_.read_to_hot_read) < 0)
+            return Population::HotRead;
+        if ((u -= params_.read_to_hot_write) < 0)
+            return Population::HotWrite;
+        if ((u -= params_.read_to_shared) < 0)
+            return Population::Shared;
+        return Population::Cold;
+    }
+    if ((u -= params_.write_to_hot_write) < 0)
+        return Population::HotWrite;
+    if ((u -= params_.write_to_hot_read) < 0)
+        return Population::HotRead;
+    if ((u -= params_.write_to_shared) < 0)
+        return Population::Shared;
+    return Population::Cold;
+}
+
+BlockNo
+AddressSpaceModel::pickZipf(const Region &region, const ZipfSampler &zipf,
+                            Rng &rng) const
+{
+    std::uint64_t rank = rng.bernoulli(params_.hot_uniform_mix)
+                             ? rng.uniformInt(region.size)
+                             : zipf.sample(rng);
+    std::uint64_t scrambled = (rank * region.stride) % region.size;
+    return region.start + scrambled;
+}
+
+BlockNo
+AddressSpaceModel::sampleFrom(Population pop, Rng &rng) const
+{
+    switch (pop) {
+      case Population::HotRead:
+        return pickZipf(hot_read_, read_zipf_, rng);
+      case Population::HotWrite:
+        return pickZipf(hot_write_, write_zipf_, rng);
+      case Population::Shared:
+        return pickZipf(shared_, shared_zipf_, rng);
+      case Population::Cold:
+        return rng.uniformInt(params_.capacity_blocks);
+    }
+    CBS_PANIC("unreachable population");
+}
+
+BlockNo
+AddressSpaceModel::sampleBlock(Op op, Rng &rng) const
+{
+    return sampleFrom(samplePopulation(op, rng), rng);
+}
+
+bool
+AddressSpaceModel::inPopulation(BlockNo block, Population pop) const
+{
+    switch (pop) {
+      case Population::HotRead:
+        return hot_read_.contains(block);
+      case Population::HotWrite:
+        return hot_write_.contains(block);
+      case Population::Shared:
+        return shared_.contains(block);
+      case Population::Cold:
+        return !hot_read_.contains(block) &&
+               !hot_write_.contains(block) && !shared_.contains(block);
+    }
+    CBS_PANIC("unreachable population");
+}
+
+} // namespace cbs

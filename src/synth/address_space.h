@@ -1,0 +1,121 @@
+/**
+ * @file
+ * AddressSpaceModel: the spatial model of one volume's block space.
+ *
+ * The paper's spatial findings motivate a four-population model:
+ *
+ *  - a *hot read* region: Zipf-skewed, read-mostly blocks (Finding 10's
+ *    read-mostly aggregation; Fig. 11's top-k% read hotspots);
+ *  - a *hot write* region: Zipf-skewed, write-mostly blocks that are
+ *    rewritten frequently (WAW dominance, short update intervals);
+ *  - a *shared* region: blocks receiving both reads and writes, the
+ *    source of RAW/WAR interactions;
+ *  - the *cold* remainder: uniform one-touch traffic over the whole
+ *    capacity (backup/journal-like write-once data and scan reads) —
+ *    this is what makes randomness ratios high and keeps the update
+ *    coverage below 100%.
+ *
+ * Requests pick a population according to per-op probabilities and then
+ * a block within it (Zipf rank scrambled across the region so hot ranks
+ * are not spatially adjacent).
+ */
+
+#ifndef CBS_SYNTH_ADDRESS_SPACE_H
+#define CBS_SYNTH_ADDRESS_SPACE_H
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+#include "trace/request.h"
+
+namespace cbs {
+
+/** Spatial parameters of one volume. */
+struct AddressSpaceParams
+{
+    std::uint64_t capacity_blocks = 1 << 20;
+    std::uint64_t hot_read_blocks = 4096;
+    std::uint64_t hot_write_blocks = 4096;
+    std::uint64_t shared_blocks = 8192;
+    double zipf_theta = 0.9;
+    /** Skew of the hot-write region (< 0 means use zipf_theta). The
+     *  write side is hotter than the read side in the paper (Fig. 11:
+     *  writes aggregate more strongly in top-k% blocks). */
+    double write_zipf_theta = -1.0;
+    /** Probability a hot/shared pick is uniform within its region
+     *  instead of Zipf: gives every region block a base access rate
+     *  (most written blocks rewritten; update WSS ~ write WSS) while
+     *  the Zipf component keeps the top-k% traffic aggregation. */
+    double hot_uniform_mix = 0.3;
+
+    // Target-population probabilities per op; the remainder is cold.
+    double read_to_hot_read = 0.55;
+    double read_to_hot_write = 0.02;
+    double read_to_shared = 0.30;
+    double write_to_hot_write = 0.55;
+    double write_to_hot_read = 0.02;
+    double write_to_shared = 0.25;
+};
+
+class AddressSpaceModel
+{
+  public:
+    /** Block population classes (kColdScan is uniform over capacity). */
+    enum class Population
+    {
+        HotRead,
+        HotWrite,
+        Shared,
+        Cold,
+    };
+
+    explicit AddressSpaceModel(const AddressSpaceParams &params);
+
+    /** Pick a block for a new (non-sequential) request of type @p op. */
+    BlockNo sampleBlock(Op op, Rng &rng) const;
+
+    /** Pick a block from a specific population (testing / ablations). */
+    BlockNo sampleFrom(Population pop, Rng &rng) const;
+
+    /** Which population a request of type @p op targets. */
+    Population samplePopulation(Op op, Rng &rng) const;
+
+    std::uint64_t capacityBlocks() const { return params_.capacity_blocks; }
+    const AddressSpaceParams &params() const { return params_; }
+
+    /** True if @p block lies in the given hot/shared region. */
+    bool inPopulation(BlockNo block, Population pop) const;
+
+  private:
+    struct Region
+    {
+        std::uint64_t start = 0;
+        std::uint64_t size = 0;
+        std::uint64_t stride = 1;
+
+        bool
+        contains(BlockNo block) const
+        {
+            return block >= start && block < start + size;
+        }
+    };
+
+    static std::uint64_t scrambleStride(std::uint64_t size);
+    BlockNo pickZipf(const Region &region, const ZipfSampler &zipf,
+                     Rng &rng) const;
+
+    AddressSpaceParams params_;
+    Region hot_read_;
+    Region hot_write_;
+    Region shared_;
+    ZipfSampler read_zipf_;
+    ZipfSampler write_zipf_;
+    ZipfSampler shared_zipf_;
+};
+
+} // namespace cbs
+
+#endif // CBS_SYNTH_ADDRESS_SPACE_H

@@ -1,0 +1,134 @@
+#include "synth/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace cbs {
+
+BurstyArrivals::BurstyArrivals(const ArrivalParams &params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    CBS_EXPECT(params.avg_rate > 0, "avg_rate must be positive");
+    CBS_EXPECT(params.burst_fraction >= 0 && params.burst_fraction < 1,
+               "burst_fraction must be in [0,1)");
+    CBS_EXPECT(params.burst_rate > 0 && params.burst_len_sec > 0,
+               "burst shape must be positive");
+
+    if (params.burst_count > 0) {
+        CBS_EXPECT(params.horizon_us > 0,
+                   "scheduled bursts require a horizon");
+        scheduleBursts();
+    }
+
+    // Requests contributed by one average burst.
+    double per_burst = params.burst_rate * params.burst_len_sec;
+    // Bursts per second needed for bursts to carry burst_fraction of
+    // the target rate; their mean spacing is the reciprocal.
+    double bursts_per_sec =
+        params.avg_rate * params.burst_fraction / per_burst;
+    burst_gap_sec_ = bursts_per_sec > 0 ? 1.0 / bursts_per_sec : 0.0;
+    normal_rate_ = params.avg_rate * (1.0 - params.burst_fraction);
+    // Floor keeps the exponential sampler well-defined for write-only
+    // burst configurations.
+    normal_rate_ = std::max(normal_rate_, 1e-12);
+}
+
+void
+BurstyArrivals::scheduleBursts()
+{
+    TimeUs len = static_cast<TimeUs>(params_.burst_len_sec * 1e6);
+    TimeUs slack = params_.horizon_us > len
+                       ? params_.horizon_us - len
+                       : 1;
+    for (std::uint32_t i = 0; i < params_.burst_count; ++i) {
+        TimeUs start = rng_.uniformInt(slack);
+        // Align to a minute boundary so a sub-minute burst lands whole
+        // inside one peak window (otherwise straddling halves the
+        // realized burstiness ratio of the extreme Fig. 6 targets).
+        if (len <= units::minute && start >= units::minute)
+            start -= start % units::minute;
+        schedule_.push_back({start, start + len});
+    }
+    std::sort(schedule_.begin(), schedule_.end());
+    next_scheduled_ = 0;
+}
+
+double
+BurstyArrivals::normalGapSec()
+{
+    return rng_.exponential(normal_rate_);
+}
+
+TimeUs
+BurstyArrivals::next()
+{
+    if (params_.burst_count > 0)
+        return nextScheduled();
+    while (true) {
+        if (in_burst_) {
+            double gap = rng_.exponential(params_.burst_rate);
+            TimeUs t = now_ + static_cast<TimeUs>(gap * 1e6);
+            if (t < burst_end_) {
+                now_ = t;
+                return now_;
+            }
+            // Burst over; fall through to the normal state.
+            now_ = burst_end_;
+            in_burst_ = false;
+            continue;
+        }
+        // Two competing exponentials: the next background arrival and
+        // the next burst start. Whichever fires first wins.
+        double arrival_gap = normalGapSec();
+        double burst_start_gap = params_.burst_fraction > 0
+                                     ? rng_.exponential(1.0 / burst_gap_sec_)
+                                     : std::numeric_limits<double>::infinity();
+        if (arrival_gap <= burst_start_gap) {
+            now_ += static_cast<TimeUs>(arrival_gap * 1e6);
+            return now_;
+        }
+        now_ += static_cast<TimeUs>(burst_start_gap * 1e6);
+        in_burst_ = true;
+        double len = rng_.exponential(1.0 / params_.burst_len_sec);
+        burst_end_ = now_ + std::max<TimeUs>(
+                                static_cast<TimeUs>(len * 1e6), 1);
+    }
+}
+
+TimeUs
+BurstyArrivals::nextScheduled()
+{
+    while (true) {
+        // Which regime is `now_` in, and where does it end?
+        bool bursting = false;
+        TimeUs regime_end = params_.horizon_us;
+        for (std::size_t i = next_scheduled_; i < schedule_.size();
+             ++i) {
+            const auto &[start, end] = schedule_[i];
+            if (now_ >= end) {
+                next_scheduled_ = i + 1;
+                continue;
+            }
+            if (now_ >= start) {
+                bursting = true;
+                regime_end = end;
+            } else {
+                regime_end = start;
+            }
+            break;
+        }
+        double rate = bursting ? params_.burst_rate : normal_rate_;
+        double gap = rng_.exponential(rate);
+        TimeUs t = now_ + static_cast<TimeUs>(gap * 1e6) + 1;
+        if (t <= regime_end || regime_end >= params_.horizon_us) {
+            now_ = t;
+            return now_;
+        }
+        now_ = regime_end; // cross into the next regime and resample
+    }
+}
+
+} // namespace cbs

@@ -1,0 +1,342 @@
+#include "synth/models.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace cbs {
+namespace {
+
+using namespace units;
+
+constexpr std::uint32_t K = 1024;
+
+/**
+ * Request-size mixtures. Real block workloads concentrate on a few
+ * sizes (page cache, DB page, readahead window); per-volume variety
+ * comes from picking one mixture per volume per op.
+ *
+ * AliCloud targets (Fig. 2): 75% of reads <= 32 KiB, 75% of writes
+ * <= 16 KiB; per-volume average read/write sizes with 75th pct near
+ * 39.1 / 34.4 KiB. MSRC targets: 75% of reads <= 64 KiB, 75% of
+ * writes <= 20 KiB; per-volume averages near 50.8 / 15.3 KiB.
+ */
+SizeDist
+smallPageSizes()
+{
+    return SizeDist({{4 * K, 0.50}, {8 * K, 0.20}, {16 * K, 0.15},
+                     {32 * K, 0.09}, {64 * K, 0.04}, {128 * K, 0.02}});
+}
+
+SizeDist
+dbPageSizes()
+{
+    return SizeDist({{8 * K, 0.35}, {16 * K, 0.30}, {32 * K, 0.20},
+                     {64 * K, 0.10}, {128 * K, 0.05}});
+}
+
+SizeDist
+readAheadSizes()
+{
+    return SizeDist({{16 * K, 0.15}, {32 * K, 0.25}, {64 * K, 0.35},
+                     {128 * K, 0.15}, {256 * K, 0.07},
+                     {512 * K, 0.03}});
+}
+
+SizeDist
+journalSizes()
+{
+    return SizeDist({{4 * K, 0.62}, {8 * K, 0.20}, {16 * K, 0.10},
+                     {32 * K, 0.05}, {64 * K, 0.03}});
+}
+
+SizeDist
+bulkWriteSizes()
+{
+    return SizeDist({{32 * K, 0.20}, {64 * K, 0.35}, {128 * K, 0.25},
+                     {256 * K, 0.15}, {512 * K, 0.05}});
+}
+
+SizeDist
+mixedWriteSizes()
+{
+    return SizeDist({{4 * K, 0.30}, {8 * K, 0.25}, {16 * K, 0.20},
+                     {32 * K, 0.13}, {64 * K, 0.08}, {128 * K, 0.04}});
+}
+
+/** Common spatial/sequential knobs for the AliCloud population. */
+void
+applyAliCloudCommon(PopulationSpec &spec)
+{
+    // Fig. 4: 8.5% read-dominant volumes, 42.4% with W/R ratio > 100.
+    spec.wr_ratio_bands = {
+        {0.085, {-1.2, 0.0, false}},
+        {0.491, {0.0, 2.0, false}},
+        {0.424, {2.0, 4.0, false}},
+    };
+    // Overall W:R is 3:1 although 91.5% of volumes are write-dominant:
+    // the read-dominant minority carries disproportionate traffic.
+    spec.read_intensity_boost = 2.5;
+    spec.target_wr_ratio = 3.0;
+
+    // Fig. 2 mixtures (see size helpers above).
+    spec.read_size_choices = {{0.48, smallPageSizes()},
+                              {0.32, dbPageSizes()},
+                              {0.20, readAheadSizes()}};
+    spec.write_size_choices = {{0.48, journalSizes()},
+                               {0.38, mixedWriteSizes()},
+                               {0.14, bulkWriteSizes()}};
+
+    // Finding 8: AliCloud is more random than MSRC -> shorter, rarer
+    // sequential runs and a larger cold (uniform) population.
+    spec.seq_start_p = {0.02, 0.22, false};
+    spec.seq_run_len = {2, 16, true};
+
+    spec.zipf_theta = 0.9;
+    spec.write_zipf_theta = {0.97, 0.995, false};
+    spec.read_to_hot_read = {0.3, 0.55, false};
+    spec.read_to_shared = {0.28, 0.48, false};
+    spec.read_to_hot_write = {0.05, 0.14, false};
+    spec.write_to_hot_write = {0.6, 0.92, false};
+    spec.write_to_shared = {0.05, 0.3, false};
+    spec.write_to_hot_read = {0.0, 0.03, false};
+
+    // Finding 14 (update intervals, hours-scale median) and Table I
+    // (update WSS = 71% of write WSS): modest rewrite counts per hot
+    // block keep the hot-write working set large.
+    spec.reads_per_hot_block = {4, 40, true};
+    spec.writes_per_hot_block = {2.5, 10, true};
+    spec.accesses_per_shared_block = {3, 15, true};
+    spec.hot_uniform_mix = {0.25, 0.45, false};
+
+    spec.capacity_bytes = {40.0 * GiB, 5.0 * TiB, true};
+    spec.intensity_sigma = 1.8;
+}
+
+/** Common spatial/sequential knobs for the MSRC population. */
+void
+applyMsrcCommon(PopulationSpec &spec)
+{
+    // 53% of volumes write-dominant, but the read traffic comes from a
+    // few large read-heavy volumes (overall W:R = 0.42:1), hence the
+    // read-intensity boost.
+    spec.wr_ratio_bands = {
+        {0.30, {-2.5, -0.3, false}},
+        {0.17, {-0.3, 0.0, false}},
+        {0.53, {0.0, 1.5, false}},
+    };
+    spec.read_intensity_boost = 2.3;
+    spec.target_wr_ratio = 0.42;
+
+    spec.read_size_choices = {{0.30, dbPageSizes()},
+                              {0.45, readAheadSizes()},
+                              {0.25, smallPageSizes()}};
+    spec.write_size_choices = {{0.50, journalSizes()},
+                               {0.35, mixedWriteSizes()},
+                               {0.15, bulkWriteSizes()}};
+
+    // Finding 8: all MSRC volumes stay below ~46% random requests.
+    spec.seq_start_p = {0.3, 0.8, false};
+    spec.seq_run_len = {4, 64, true};
+
+    spec.zipf_theta = 0.9;
+    spec.write_zipf_theta = {0.93, 0.99, false};
+    spec.read_to_hot_read = {0.25, 0.55, false};
+    spec.read_to_shared = {0.1, 0.3, false};
+    spec.read_to_hot_write = {0.05, 0.18, false};
+    spec.write_to_hot_write = {0.45, 0.8, false};
+    spec.write_to_shared = {0.1, 0.35, false};
+    spec.write_to_hot_read = {0.0, 0.05, false};
+
+    // Table IV (median update coverage 9.4%) and Finding 12 (short WAW
+    // times): few, rapidly-rewritten hot-write blocks.
+    spec.reads_per_hot_block = {4, 100, true};
+    spec.writes_per_hot_block = {8, 600, true};
+    spec.accesses_per_shared_block = {2, 10, true};
+    spec.hot_uniform_mix = {0.25, 0.5, false};
+
+    // 36 volumes over 179 disks on 13 servers; enterprise-scale disks.
+    spec.capacity_bytes = {16.0 * GiB, 1.0 * TiB, true};
+    spec.intensity_sigma = 1.4;
+
+    // The src1_0-style source-control volume whose daily sweep causes
+    // the bimodal update intervals of Finding 14.
+    spec.daily_scan_volumes = 3;
+    spec.daily_scan_write_p = 0.7;
+    spec.daily_scan_blocks = 1 << 15;
+}
+
+} // namespace
+
+PopulationSpec
+aliCloudSpanSpec(SpanScale scale)
+{
+    PopulationSpec spec;
+    spec.name = "alicloud";
+    spec.volume_count = scale.volumes;
+    spec.duration = 31 * day;
+    spec.total_request_target = scale.total_requests;
+    applyAliCloudCommon(spec);
+
+    // Fig. 3: 15.7% of volumes active only ~1 day; most active the
+    // whole month.
+    // Reconciling Fig. 3 (15.7% one-day volumes) with Fig. 9 (72.2%
+    // of volumes active during 95% of the month) pins the band split.
+    spec.active_days_bands = {
+        {0.157, {0.15, 0.95, false}},
+        {0.06, {1.0, 10.0, false}},
+        {0.06, {10.0, 30.0, false}},
+        {0.723, {31.0, 31.0, false}},
+    };
+    // Keep even the least intense month-long volumes visible at the
+    // activeness analysis granularity (DESIGN.md 5).
+    spec.min_volume_requests = 500.0;
+
+    // Burst shape: wide spread drives the burstiness diversity of
+    // Finding 3.
+    spec.burst_fraction = {0.1, 0.7, false};
+    spec.burst_rate = {100, 5000, true};
+    spec.burst_len_sec = {0.2, 20, true};
+    return spec;
+}
+
+PopulationSpec
+msrcSpanSpec(SpanScale scale)
+{
+    PopulationSpec spec;
+    spec.name = "msrc";
+    spec.volume_count = scale.volumes;
+    spec.duration = 7 * day;
+    spec.total_request_target = scale.total_requests;
+    applyMsrcCommon(spec);
+
+    // All MSRC volumes are active for all 7 days (Fig. 3).
+    spec.active_days_bands = {{1.0, {7.0, 7.0, false}}};
+
+    spec.burst_fraction = {0.5, 0.9, false};
+    spec.burst_rate = {200, 4000, true};
+    spec.burst_len_sec = {0.5, 30, true};
+    return spec;
+}
+
+namespace {
+
+/** Shared scaffold of the burstiness-targeted specs. */
+PopulationSpec
+burstinessScaffold(std::size_t volumes, double median_rate)
+{
+    PopulationSpec spec;
+    spec.volume_count = volumes;
+    spec.duration = 36 * hour;
+    spec.intensity_sigma = 1.0;
+    double mean_factor =
+        std::exp(spec.intensity_sigma * spec.intensity_sigma / 2);
+    spec.total_request_target = median_rate * mean_factor *
+                                static_cast<double>(volumes) *
+                                36.0 * 3600.0;
+    spec.active_days_bands = {{1.0, {1.5, 1.5, false}}};
+    spec.scheduled_burst_len_sec = {10, 50, false};
+    spec.max_scheduled_bursts = 3;
+    return spec;
+}
+
+} // namespace
+
+PopulationSpec
+aliCloudBurstinessSpec(std::size_t volumes)
+{
+    PopulationSpec scaffold = burstinessScaffold(volumes, 0.25);
+    PopulationSpec spec = aliCloudSpanSpec(
+        SpanScale{volumes, scaffold.total_request_target});
+    spec.name = "alicloud-burstiness";
+    spec.duration = scaffold.duration;
+    spec.intensity_sigma = scaffold.intensity_sigma;
+    spec.total_request_target = scaffold.total_request_target;
+    spec.active_days_bands = scaffold.active_days_bands;
+    spec.scheduled_burst_len_sec = scaffold.scheduled_burst_len_sec;
+    spec.max_scheduled_bursts = scaffold.max_scheduled_bursts;
+    // Fig. 6 (AliCloud): 25.8% below 10, ~53% in 10-100, 18.1% in
+    // 100-1000, 2.6% above 1000.
+    spec.burstiness_bands = {
+        {0.30, {0.3, 1.0, false}},
+        {0.46, {1.0, 2.0, false}},
+        {0.19, {2.0, 3.0, false}},
+        {0.05, {3.05, 3.3, false}},
+    };
+    return spec;
+}
+
+PopulationSpec
+msrcBurstinessSpec(std::size_t volumes)
+{
+    PopulationSpec scaffold = burstinessScaffold(volumes, 0.4);
+    PopulationSpec spec = msrcSpanSpec(
+        SpanScale{volumes, scaffold.total_request_target});
+    spec.name = "msrc-burstiness";
+    spec.duration = scaffold.duration;
+    spec.intensity_sigma = scaffold.intensity_sigma;
+    spec.total_request_target = scaffold.total_request_target;
+    spec.active_days_bands = scaffold.active_days_bands;
+    spec.scheduled_burst_len_sec = scaffold.scheduled_burst_len_sec;
+    spec.max_scheduled_bursts = scaffold.max_scheduled_bursts;
+    // Fig. 6 (MSRC): 2.78% below 10, 38.9% above 100, none above 1000.
+    spec.burstiness_bands = {
+        {0.028, {0.5, 1.0, false}},
+        {0.583, {1.0, 2.0, false}},
+        {0.389, {2.0, 2.9, false}},
+    };
+    return spec;
+}
+
+PopulationSpec
+aliCloudIntensitySpec(std::size_t volumes, double window_hours)
+{
+    PopulationSpec spec;
+    spec.name = "alicloud-intensity";
+    spec.volume_count = volumes;
+    spec.duration = static_cast<TimeUs>(window_hours * hour);
+    applyAliCloudCommon(spec);
+    spec.active_days_bands = {
+        {1.0, {window_hours / 24.0, window_hours / 24.0, false}}};
+
+    // Paper-level rates: median average intensity 2.55 req/s; with the
+    // lognormal's mean/median factor exp(sigma^2/2) this sets the total.
+    double median_rate = 2.55;
+    double mean_factor =
+        std::exp(spec.intensity_sigma * spec.intensity_sigma / 2);
+    spec.total_request_target = median_rate * mean_factor *
+                                static_cast<double>(volumes) *
+                                window_hours * 3600.0;
+    // Finding 4: paper p25/p50/p75 inter-arrival groups are 31/145/735
+    // microseconds -- requests arrive back-to-back inside bursts.
+    spec.burst_fraction = {0.5, 0.92, false};
+    spec.burst_rate = {5000, 300000, true};
+    spec.burst_len_sec = {0.005, 1.0, true};
+    return spec;
+}
+
+PopulationSpec
+msrcIntensitySpec(std::size_t volumes, double window_hours)
+{
+    PopulationSpec spec;
+    spec.name = "msrc-intensity";
+    spec.volume_count = volumes;
+    spec.duration = static_cast<TimeUs>(window_hours * hour);
+    applyMsrcCommon(spec);
+    spec.active_days_bands = {
+        {1.0, {window_hours / 24.0, window_hours / 24.0, false}}};
+
+    double median_rate = 3.36;
+    double mean_factor =
+        std::exp(spec.intensity_sigma * spec.intensity_sigma / 2);
+    spec.total_request_target = median_rate * mean_factor *
+                                static_cast<double>(volumes) *
+                                window_hours * 3600.0;
+    // MSRC's bursts are even denser (paper p25 group median 3.5 us).
+    spec.burst_fraction = {0.6, 0.95, false};
+    spec.burst_rate = {30000, 800000, true};
+    spec.burst_len_sec = {0.002, 0.5, true};
+    return spec;
+}
+
+} // namespace cbs

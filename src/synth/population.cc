@@ -1,0 +1,309 @@
+#include "synth/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "trace/merge.h"
+
+namespace cbs {
+
+double
+sampleBands(const std::vector<Band> &bands, Rng &rng)
+{
+    CBS_EXPECT(!bands.empty(), "empty band mixture");
+    double total = 0;
+    for (const auto &band : bands)
+        total += band.weight;
+    CBS_EXPECT(total > 0, "band mixture weights sum to zero");
+    double u = rng.uniform() * total;
+    for (const auto &band : bands) {
+        u -= band.weight;
+        if (u < 0)
+            return band.range.sample(rng);
+    }
+    return bands.back().range.sample(rng);
+}
+
+namespace {
+
+const SizeDist &
+pickSizeDist(const std::vector<std::pair<double, SizeDist>> &choices,
+             Rng &rng)
+{
+    CBS_EXPECT(!choices.empty(), "no size distributions in spec");
+    double total = 0;
+    for (const auto &[weight, dist] : choices)
+        total += weight;
+    double u = rng.uniform() * total;
+    for (const auto &[weight, dist] : choices) {
+        u -= weight;
+        if (u < 0)
+            return dist;
+    }
+    return choices.back().second;
+}
+
+/** Scale a set of probabilities down if their sum exceeds the cap. */
+void
+capProbabilities(double cap, double &a, double &b, double &c)
+{
+    double sum = a + b + c;
+    if (sum > cap) {
+        double k = cap / sum;
+        a *= k;
+        b *= k;
+        c *= k;
+    }
+}
+
+std::uint64_t
+hotSetSize(double traffic, double per_block, std::uint64_t min_blocks)
+{
+    double blocks = traffic / std::max(per_block, 1.0);
+    return std::max<std::uint64_t>(
+        min_blocks, static_cast<std::uint64_t>(blocks) + 1);
+}
+
+} // namespace
+
+std::vector<VolumeProfile>
+sampleProfiles(const PopulationSpec &spec, std::uint64_t seed)
+{
+    CBS_EXPECT(spec.volume_count > 0, "spec has no volumes");
+    CBS_EXPECT(!spec.wr_ratio_bands.empty(),
+               "spec missing write/read ratio bands");
+    CBS_EXPECT(!spec.active_days_bands.empty(),
+               "spec missing active-days bands");
+
+    Rng rng(mix64(seed) ^ 0x506f70756c617465ULL); // "Populate"
+    std::vector<VolumeProfile> profiles;
+    profiles.reserve(spec.volume_count);
+
+    double total_days =
+        static_cast<double>(spec.duration) / units::day;
+
+    for (std::size_t i = 0; i < spec.volume_count; ++i) {
+        VolumeProfile p;
+        p.id = static_cast<VolumeId>(i);
+        p.seed = rng.nextU64();
+        p.block_size = spec.block_size;
+        p.capacity_bytes = static_cast<std::uint64_t>(
+            spec.capacity_bytes.sample(rng));
+        // Round the capacity to whole blocks.
+        p.capacity_bytes -= p.capacity_bytes % spec.block_size;
+
+        // Write/read mix.
+        double log10_ratio = sampleBands(spec.wr_ratio_bands, rng);
+        double ratio = std::pow(10.0, log10_ratio);
+        p.write_fraction = ratio / (1.0 + ratio);
+
+        // Active window.
+        double min_days = std::min(1.0 / 24.0, total_days);
+        double active_days = std::clamp(
+            sampleBands(spec.active_days_bands, rng), min_days,
+            total_days);
+        double slack_days = total_days - active_days;
+        double start_day;
+        if (active_days < 1.0 && total_days >= 1.0) {
+            // Sub-day windows stay within one calendar day so the
+            // volume counts as active on exactly one day (Fig. 3).
+            double day = std::floor(
+                rng.uniform(0.0, std::max(1.0, total_days - 1.0)));
+            start_day = day + rng.uniform(0.0, 1.0 - active_days);
+        } else {
+            start_day = slack_days > 0 ? rng.uniform(0.0, slack_days)
+                                       : 0.0;
+        }
+        p.active_start = static_cast<TimeUs>(start_day * units::day);
+        p.active_end = p.active_start +
+                       static_cast<TimeUs>(active_days * units::day);
+
+        // Intensity placeholder: lognormal with unit median, rescaled
+        // below so the population's expected request total matches the
+        // spec target.
+        double intensity = rng.logNormal(1.0, spec.intensity_sigma);
+        if (p.write_fraction < 0.5)
+            intensity *= spec.read_intensity_boost;
+        p.arrivals.avg_rate = intensity;
+        p.arrivals.burst_fraction = spec.burst_fraction.sample(rng);
+        p.arrivals.burst_rate = spec.burst_rate.sample(rng);
+        p.arrivals.burst_len_sec = spec.burst_len_sec.sample(rng);
+
+        p.read_sizes = pickSizeDist(spec.read_size_choices, rng);
+        p.write_sizes = pickSizeDist(spec.write_size_choices, rng);
+
+        p.seq_start_p = spec.seq_start_p.sample(rng);
+        p.seq_run_len = spec.seq_run_len.sample(rng);
+
+        AddressSpaceParams &sp = p.space;
+        sp.capacity_blocks = p.capacity_bytes / spec.block_size;
+        sp.zipf_theta = spec.zipf_theta;
+        sp.write_zipf_theta = spec.write_zipf_theta.sample(rng);
+        sp.hot_uniform_mix = spec.hot_uniform_mix.sample(rng);
+        sp.read_to_hot_read = spec.read_to_hot_read.sample(rng);
+        sp.read_to_shared = spec.read_to_shared.sample(rng);
+        sp.read_to_hot_write = spec.read_to_hot_write.sample(rng);
+        capProbabilities(0.98, sp.read_to_hot_read, sp.read_to_shared,
+                         sp.read_to_hot_write);
+        sp.write_to_hot_write = spec.write_to_hot_write.sample(rng);
+        sp.write_to_shared = spec.write_to_shared.sample(rng);
+        sp.write_to_hot_read = spec.write_to_hot_read.sample(rng);
+        capProbabilities(0.98, sp.write_to_hot_write,
+                         sp.write_to_shared, sp.write_to_hot_read);
+
+        // Hot-set sizing happens after intensity normalization (it
+        // depends on the volume's absolute request count); stash the
+        // per-block access targets in the params for the second pass.
+        profiles.push_back(p);
+    }
+
+    // Second pass: normalize intensities to the request target, then
+    // size the hot sets from each volume's absolute expected counts.
+    if (spec.target_wr_ratio > 0) {
+        // Solve for the read-dominant intensity multiplier k that
+        // makes the expected overall write:read ratio hit the target:
+        // (W_wd + k W_rd) / (R_wd + k R_rd) = T.
+        double w_rd = 0;
+        double r_rd = 0;
+        double w_wd = 0;
+        double r_wd = 0;
+        for (const auto &p : profiles) {
+            double n = p.expectedRequests();
+            double w = n * p.write_fraction;
+            if (p.write_fraction < 0.5) {
+                w_rd += w;
+                r_rd += n - w;
+            } else {
+                w_wd += w;
+                r_wd += n - w;
+            }
+        }
+        double t = spec.target_wr_ratio;
+        double denom = t * r_rd - w_rd;
+        if (denom > 1e-9 && r_rd > 0) {
+            double k = (w_wd - t * r_wd) / denom;
+            if (k > 1e-3 && k < 1e3) {
+                for (auto &p : profiles) {
+                    if (p.write_fraction < 0.5)
+                        p.arrivals.avg_rate *= k;
+                }
+            }
+        }
+    }
+
+    double expected_total = 0;
+    for (const auto &p : profiles)
+        expected_total += p.expectedRequests();
+    CBS_CHECK(expected_total > 0);
+    double scale = spec.total_request_target / expected_total;
+
+    Rng sizing_rng(mix64(seed) ^ 0x486f7453697a65ULL); // "HotSize"
+    for (auto &p : profiles) {
+        p.arrivals.avg_rate *= scale;
+        double window_sec =
+            static_cast<double>(p.active_end - p.active_start) / 1e6;
+        double min_rate = spec.min_volume_requests / window_sec;
+        p.arrivals.avg_rate = std::max(p.arrivals.avg_rate, min_rate);
+        if (!spec.burstiness_bands.empty()) {
+            // Realize a target burstiness ratio B with scheduled
+            // bursts: one burst of B*avg*60 requests makes the peak
+            // minute ~B times the average rate.
+            double window_sec = static_cast<double>(
+                                    p.active_end - p.active_start) /
+                                1e6;
+            double target_b = std::pow(
+                10.0, sampleBands(spec.burstiness_bands, sizing_rng));
+            // Extreme targets need their entire burst budget in one
+            // peak minute.
+            std::uint32_t k =
+                target_b > 500
+                    ? 1
+                    : 1 + static_cast<std::uint32_t>(
+                              sizing_rng.uniformInt(
+                                  spec.max_scheduled_bursts));
+            double total = p.arrivals.avg_rate * window_sec;
+            double per_burst = target_b * p.arrivals.avg_rate * 60.0;
+            double fraction = k * per_burst / total;
+            if (fraction > 0.8) {
+                fraction = 0.8;
+                per_burst = fraction * total / k;
+            }
+            double len =
+                spec.scheduled_burst_len_sec.sample(sizing_rng);
+            p.arrivals.burst_count = k;
+            p.arrivals.horizon_us = p.active_end - p.active_start;
+            p.arrivals.burst_len_sec = len;
+            p.arrivals.burst_rate = std::max(per_burst / len, 1e-6);
+            p.arrivals.burst_fraction = std::min(fraction, 0.999);
+        }
+        double requests = p.expectedRequests();
+        double writes = requests * p.write_fraction;
+        double reads = requests - writes;
+        // Hot sets are sized in blocks, so per-request traffic is
+        // converted to block touches first; *_per_hot_block knobs are
+        // mean block touches per hot block.
+        double block_size = static_cast<double>(spec.block_size);
+        double r_bpr = std::max(1.0, p.read_sizes.mean() / block_size);
+        double w_bpr = std::max(1.0, p.write_sizes.mean() / block_size);
+
+        AddressSpaceParams &sp = p.space;
+        double rphb = spec.reads_per_hot_block.sample(sizing_rng);
+        double wphb = spec.writes_per_hot_block.sample(sizing_rng);
+        double apsb =
+            spec.accesses_per_shared_block.sample(sizing_rng);
+        sp.hot_read_blocks = hotSetSize(
+            reads * sp.read_to_hot_read * r_bpr, rphb, 64);
+        sp.hot_write_blocks = hotSetSize(
+            writes * sp.write_to_hot_write * w_bpr, wphb, 64);
+        sp.shared_blocks =
+            hotSetSize(reads * sp.read_to_shared * r_bpr +
+                           writes * sp.write_to_shared * w_bpr,
+                       apsb, 64);
+
+    }
+
+    // Daily-scan volumes model the paper's src1_0 source-control
+    // server, whose daily sweep dominates the MSRC update intervals
+    // (24 h plateau in Table VI) -- so the scans go to the volumes
+    // with the *most* write traffic.
+    if (spec.daily_scan_volumes > 0) {
+        std::vector<std::size_t> order(profiles.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return profiles[a].expectedRequests() *
+                                 profiles[a].write_fraction >
+                             profiles[b].expectedRequests() *
+                                 profiles[b].write_fraction;
+                  });
+        std::size_t count =
+            std::min(spec.daily_scan_volumes, order.size());
+        for (std::size_t i = 0; i < count; ++i) {
+            VolumeProfile &p = profiles[order[i]];
+            p.daily_scan = true;
+            p.daily_scan_write_p = spec.daily_scan_write_p;
+            p.daily_scan_blocks = spec.daily_scan_blocks;
+        }
+    }
+    return profiles;
+}
+
+std::unique_ptr<TraceSource>
+makeTrace(const std::vector<VolumeProfile> &profiles)
+{
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.reserve(profiles.size());
+    for (const auto &p : profiles)
+        children.push_back(std::make_unique<VolumeWorkload>(p));
+    return std::make_unique<MergeSource>(std::move(children));
+}
+
+std::unique_ptr<TraceSource>
+makeTrace(const PopulationSpec &spec, std::uint64_t seed)
+{
+    return makeTrace(sampleProfiles(spec, seed));
+}
+
+} // namespace cbs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * PopulationSpec and profile sampling: turns a distributional
+ * description of a volume population into concrete VolumeProfiles.
+ *
+ * The two shipped specs (aliCloudSpec(), msrcSpec() in
+ * synth/models.h) encode the per-volume distributions the paper
+ * reports; sampleProfiles() draws a deterministic population from a
+ * spec. Intensities are normalized in a second pass so the expected
+ * total request count hits the spec's target exactly, which is how the
+ * library scales production-sized traces down to bench-sized ones
+ * (DESIGN.md §5).
+ */
+
+#ifndef CBS_SYNTH_POPULATION_H
+#define CBS_SYNTH_POPULATION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/volume_model.h"
+
+namespace cbs {
+
+/** A sampling range; log-uniform when @c log is set. */
+struct URange
+{
+    double lo = 0;
+    double hi = 0;
+    bool log = false;
+
+    double
+    sample(Rng &rng) const
+    {
+        if (lo >= hi)
+            return lo;
+        return log ? rng.logUniform(lo, hi) : rng.uniform(lo, hi);
+    }
+};
+
+/** One weighted band of a mixture over ranges. */
+struct Band
+{
+    double weight = 1.0;
+    URange range;
+};
+
+/** Sample a value from a weighted mixture of ranges. */
+double sampleBands(const std::vector<Band> &bands, Rng &rng);
+
+/** Distributional description of a volume population. */
+struct PopulationSpec
+{
+    std::string name;
+    std::size_t volume_count = 100;
+    TimeUs duration = 31 * units::day;
+    std::uint64_t block_size = kDefaultBlockSize;
+
+    /** Expected total requests across all volumes (scaling knob). */
+    double total_request_target = 2e6;
+
+    /** Log-space sigma of the per-volume intensity lognormal. */
+    double intensity_sigma = 1.8;
+    /** Floor on a volume's expected request count after scaling, so
+     *  every traced volume actually appears in the scaled trace. */
+    double min_volume_requests = 25.0;
+    /** Intensity multiplier for read-dominant volumes (MSRC shape). */
+    double read_intensity_boost = 1.0;
+    /**
+     * Target overall write:read request ratio (0 = don't enforce).
+     * The aggregate ratio of an independently-sampled population is
+     * dominated by a few top-intensity volumes and varies widely
+     * across seeds; when set, the sampler solves for a read-dominant-
+     * volume intensity multiplier that pins the expected ratio, then
+     * re-normalizes the total to the request target.
+     */
+    double target_wr_ratio = 0.0;
+
+    /** Mixture over log10(write/read ratio). */
+    std::vector<Band> wr_ratio_bands;
+
+    /** Mixture over active-window length in days. */
+    std::vector<Band> active_days_bands;
+
+    URange capacity_bytes{40.0 * units::GiB, 5.0 * units::TiB, true};
+
+    URange burst_fraction{0.2, 0.7, false};
+    URange burst_rate{200, 4000, true};
+    URange burst_len_sec{0.5, 30, true};
+
+    /**
+     * Burstiness-targeted mode: when non-empty, per-volume burstiness
+     * ratios are drawn from these bands (log10 of peak/avg ratio) and
+     * realized with scheduled bursts (ArrivalParams::burst_count); the
+     * stochastic burst knobs above are ignored. Realizable ratios are
+     * bounded by ~0.8 * window / (60 s * bursts), so Fig. 6's >1000
+     * tail needs a day-scale window.
+     */
+    std::vector<Band> burstiness_bands;
+    URange scheduled_burst_len_sec{10, 50, false};
+    std::uint32_t max_scheduled_bursts = 3;
+
+    /** Request-size mixtures; one choice drawn per volume per op. */
+    std::vector<std::pair<double, SizeDist>> read_size_choices;
+    std::vector<std::pair<double, SizeDist>> write_size_choices;
+
+    URange seq_start_p{0.05, 0.5, false};
+    URange seq_run_len{2, 32, true};
+
+    double zipf_theta = 0.9;
+    URange write_zipf_theta{-1, -1, false};
+    URange hot_uniform_mix{0.2, 0.5, false};
+
+    /** Population probabilities (independently sampled, then scaled
+     *  down proportionally if their sum exceeds ~0.98). */
+    URange read_to_hot_read{0.3, 0.8, false};
+    URange read_to_shared{0.05, 0.4, false};
+    URange read_to_hot_write{0.0, 0.05, false};
+    URange write_to_hot_write{0.3, 0.8, false};
+    URange write_to_shared{0.05, 0.3, false};
+    URange write_to_hot_read{0.0, 0.05, false};
+
+    /** Mean accesses per hot block (sizes the hot sets). */
+    URange reads_per_hot_block{4, 200, true};
+    URange writes_per_hot_block{8, 2000, true};
+    URange accesses_per_shared_block{2, 20, true};
+
+    /** Number of daily-scan volumes (MSRC src1_0-style). */
+    std::size_t daily_scan_volumes = 0;
+    double daily_scan_write_p = 0.5;
+    std::uint64_t daily_scan_blocks = 1 << 16;
+};
+
+/**
+ * Draw a deterministic volume population from @p spec.
+ *
+ * @param spec the population description.
+ * @param seed master seed; the same (spec, seed) pair yields the same
+ *        profiles and therefore the same trace.
+ */
+std::vector<VolumeProfile> sampleProfiles(const PopulationSpec &spec,
+                                          std::uint64_t seed);
+
+/**
+ * Build the timestamp-ordered merged trace source for @p profiles.
+ * The returned source owns one VolumeWorkload per profile.
+ */
+std::unique_ptr<TraceSource>
+makeTrace(const std::vector<VolumeProfile> &profiles);
+
+/** Convenience: sampleProfiles + makeTrace. */
+std::unique_ptr<TraceSource> makeTrace(const PopulationSpec &spec,
+                                       std::uint64_t seed);
+
+} // namespace cbs
+
+#endif // CBS_SYNTH_POPULATION_H

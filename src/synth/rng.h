@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Rng: deterministic pseudo-random generation for synthetic workloads.
+ *
+ * Wraps xoshiro256** with the distribution helpers the generators need
+ * (uniform, exponential, normal, lognormal, Bernoulli, log-uniform).
+ * Seeding is explicit everywhere: the same seed reproduces the same
+ * trace bit-for-bit, which the benches rely on.
+ */
+
+#ifndef CBS_SYNTH_RNG_H
+#define CBS_SYNTH_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Reset the state from @p seed via splitmix64 expansion. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step; guarantees a non-zero state.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+        have_gauss_ = false;
+    }
+
+    /** Next raw 64-bit value (xoshiro256**). */
+    std::uint64_t
+    nextU64()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be positive. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        CBS_CHECK(n > 0);
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for n << 2^64.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(nextU64()) * n) >> 64);
+    }
+
+    /** Log-uniform double in [lo, hi); both bounds must be positive. */
+    double
+    logUniform(double lo, double hi)
+    {
+        CBS_CHECK(lo > 0 && hi >= lo);
+        return std::exp(uniform(std::log(lo), std::log(hi)));
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /** Exponential with rate @p lambda (mean 1/lambda). */
+    double
+    exponential(double lambda)
+    {
+        CBS_CHECK(lambda > 0);
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -std::log(u) / lambda;
+    }
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double
+    gaussian()
+    {
+        if (have_gauss_) {
+            have_gauss_ = false;
+            return gauss_;
+        }
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * M_PI * u2;
+        gauss_ = r * std::sin(theta);
+        have_gauss_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Lognormal with the given median and log-space sigma. */
+    double
+    logNormal(double median, double sigma)
+    {
+        CBS_CHECK(median > 0);
+        return median * std::exp(sigma * gaussian());
+    }
+
+    /** Geometric number of extra trials with continue prob @p p. */
+    std::uint64_t
+    geometric(double p)
+    {
+        std::uint64_t n = 0;
+        while (bernoulli(p) && n < 1u << 20)
+            ++n;
+        return n;
+    }
+
+    /** Derive an independent child generator (stable substreams). */
+    Rng
+    fork(std::uint64_t stream)
+    {
+        return Rng(mix64(nextU64() ^ mix64(stream)));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+    bool have_gauss_ = false;
+    double gauss_ = 0.0;
+};
+
+} // namespace cbs
+
+#endif // CBS_SYNTH_RNG_H

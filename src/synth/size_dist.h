@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SizeDist: discrete request-size mixture.
+ *
+ * Real block traces concentrate on a handful of sizes (the filesystem
+ * page, the database page, the readahead window...). A weighted discrete
+ * mixture over such sizes reproduces the staircase CDFs of Fig. 2.
+ */
+
+#ifndef CBS_SYNTH_SIZE_DIST_H
+#define CBS_SYNTH_SIZE_DIST_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "synth/rng.h"
+
+namespace cbs {
+
+class SizeDist
+{
+  public:
+    SizeDist() = default;
+
+    /** @param points (size in bytes, weight) pairs; weights need not sum to 1. */
+    explicit SizeDist(
+        std::vector<std::pair<std::uint32_t, double>> points)
+        : points_(std::move(points))
+    {
+        CBS_EXPECT(!points_.empty(), "SizeDist needs at least one point");
+        double total = 0;
+        for (const auto &[size, weight] : points_) {
+            CBS_EXPECT(size > 0, "request size must be positive");
+            CBS_EXPECT(weight >= 0, "negative weight");
+            total += weight;
+        }
+        CBS_EXPECT(total > 0, "SizeDist weights sum to zero");
+        cumulative_.reserve(points_.size());
+        double acc = 0;
+        for (const auto &[size, weight] : points_) {
+            acc += weight / total;
+            cumulative_.push_back(acc);
+        }
+        cumulative_.back() = 1.0;
+    }
+
+    bool empty() const { return points_.empty(); }
+
+    /** Draw one request size in bytes. */
+    std::uint32_t
+    sample(Rng &rng) const
+    {
+        CBS_CHECK(!points_.empty());
+        double u = rng.uniform();
+        for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+            if (u < cumulative_[i])
+                return points_[i].first;
+        }
+        return points_.back().first;
+    }
+
+    /** Expected size in bytes. */
+    double
+    mean() const
+    {
+        double m = 0;
+        double prev = 0;
+        for (std::size_t i = 0; i < points_.size(); ++i) {
+            m += points_[i].first * (cumulative_[i] - prev);
+            prev = cumulative_[i];
+        }
+        return m;
+    }
+
+    const std::vector<std::pair<std::uint32_t, double>> &
+    points() const
+    {
+        return points_;
+    }
+
+  private:
+    std::vector<std::pair<std::uint32_t, double>> points_;
+    std::vector<double> cumulative_;
+};
+
+} // namespace cbs
+
+#endif // CBS_SYNTH_SIZE_DIST_H

@@ -1,0 +1,121 @@
+#include "synth/volume_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+VolumeWorkload::VolumeWorkload(VolumeProfile profile)
+    : profile_(std::move(profile)),
+      rng_(mix64(profile_.seed) ^ (std::uint64_t{profile_.id} << 32)),
+      space_(profile_.space),
+      arrivals_(profile_.arrivals, rng_.fork(0x41525256)) // "ARRV"
+{
+    CBS_EXPECT(profile_.active_end > profile_.active_start,
+               "volume " << profile_.id << " has an empty active window");
+    CBS_EXPECT(profile_.write_fraction >= 0 &&
+                   profile_.write_fraction <= 1,
+               "write_fraction out of [0,1]");
+    CBS_EXPECT(!profile_.read_sizes.empty() &&
+                   !profile_.write_sizes.empty(),
+               "volume " << profile_.id << " missing size distributions");
+    if (profile_.daily_scan) {
+        CBS_EXPECT(profile_.daily_scan_blocks > 0,
+                   "daily_scan requires daily_scan_blocks > 0");
+        CBS_EXPECT(profile_.daily_scan_write_p >= 0 &&
+                       profile_.daily_scan_write_p <= 1,
+                   "daily_scan_write_p out of [0,1]");
+    }
+    // The scan region lives in otherwise-cold space near the end of the
+    // volume so it does not collide with the hot/shared regions.
+    std::uint64_t cap = space_.capacityBlocks();
+    scan_region_start_ = cap - std::min(profile_.daily_scan_blocks, cap / 8)
+                         - 1;
+}
+
+ByteOffset
+VolumeWorkload::scanOffset(TimeUs now)
+{
+    // Sweep the scan region in lock-step with the time of day: block k
+    // is rewritten at the same time every day, giving exactly 24 h
+    // update intervals (the paper's src1_0 explanation for MSRC's
+    // bimodal Finding 14 pattern).
+    TimeUs tod = now % units::day;
+    std::uint64_t idx =
+        static_cast<std::uint64_t>(static_cast<double>(tod) /
+                                   static_cast<double>(units::day) *
+                                   static_cast<double>(
+                                       profile_.daily_scan_blocks));
+    idx = std::min(idx, profile_.daily_scan_blocks - 1);
+    return (scan_region_start_ + idx) * profile_.block_size;
+}
+
+ByteOffset
+VolumeWorkload::pickOffset(Op op, std::uint32_t length, TimeUs now)
+{
+    SeqRun &run = op == Op::Read ? read_run_ : write_run_;
+    std::uint64_t cap_bytes = profile_.capacity_bytes;
+
+    if (run.remaining > 0 && run.next_offset + length <= cap_bytes) {
+        --run.remaining;
+        ByteOffset offset = run.next_offset;
+        run.next_offset = offset + length;
+        return offset;
+    }
+    run.remaining = 0;
+
+    if (op == Op::Write && profile_.daily_scan &&
+        rng_.bernoulli(profile_.daily_scan_write_p)) {
+        return scanOffset(now);
+    }
+
+    BlockNo block = space_.sampleBlock(op, rng_);
+    ByteOffset offset = block * profile_.block_size;
+    if (offset + length > cap_bytes)
+        offset = cap_bytes >= length ? cap_bytes - length : 0;
+
+    if (rng_.bernoulli(profile_.seq_start_p)) {
+        // Geometric run length with the configured mean.
+        double cont = profile_.seq_run_len /
+                      (1.0 + profile_.seq_run_len);
+        run.remaining = rng_.geometric(cont);
+        run.next_offset = offset + length;
+    }
+    return offset;
+}
+
+bool
+VolumeWorkload::next(IoRequest &req)
+{
+    TimeUs t = profile_.active_start + arrivals_.next();
+    if (t >= profile_.active_end)
+        return false;
+
+    Op op = rng_.bernoulli(profile_.write_fraction) ? Op::Write
+                                                    : Op::Read;
+    const SizeDist &sizes =
+        op == Op::Read ? profile_.read_sizes : profile_.write_sizes;
+    std::uint32_t length = sizes.sample(rng_);
+    length = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(length, profile_.capacity_bytes));
+
+    req.timestamp = t;
+    req.volume = profile_.id;
+    req.op = op;
+    req.length = length;
+    req.offset = pickOffset(op, length, t);
+    return true;
+}
+
+void
+VolumeWorkload::reset()
+{
+    rng_ = Rng(mix64(profile_.seed) ^ (std::uint64_t{profile_.id} << 32));
+    space_ = AddressSpaceModel(profile_.space);
+    arrivals_ = BurstyArrivals(profile_.arrivals, rng_.fork(0x41525256));
+    read_run_ = SeqRun{};
+    write_run_ = SeqRun{};
+}
+
+} // namespace cbs

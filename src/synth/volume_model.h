@@ -1,0 +1,103 @@
+/**
+ * @file
+ * VolumeProfile and VolumeWorkload: one volume's complete workload
+ * description and its streaming request generator.
+ *
+ * A profile combines the temporal model (bursty arrivals within an
+ * active window), the op mix, the request-size mixtures, the spatial
+ * model (AddressSpaceModel populations + sequential runs), and the
+ * optional daily-scan behaviour that reproduces the MSRC source-control
+ * volume's 24-hour update intervals (Finding 14).
+ */
+
+#ifndef CBS_SYNTH_VOLUME_MODEL_H
+#define CBS_SYNTH_VOLUME_MODEL_H
+
+#include <cstdint>
+#include <optional>
+
+#include "synth/address_space.h"
+#include "synth/arrival.h"
+#include "synth/size_dist.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+/** Complete workload description of one volume. */
+struct VolumeProfile
+{
+    VolumeId id = 0;
+    std::uint64_t seed = 1;
+    std::uint64_t capacity_bytes = 128ULL * units::GiB;
+    std::uint64_t block_size = kDefaultBlockSize;
+
+    /** Active window within the trace (requests only inside it). */
+    TimeUs active_start = 0;
+    TimeUs active_end = 31 * units::day;
+
+    ArrivalParams arrivals;
+
+    /** Probability that a request is a write. */
+    double write_fraction = 0.75;
+
+    SizeDist read_sizes;
+    SizeDist write_sizes;
+
+    AddressSpaceParams space;
+
+    /** Probability a new request starts a sequential run. */
+    double seq_start_p = 0.2;
+    /** Mean number of follow-on requests in a sequential run. */
+    double seq_run_len = 8.0;
+
+    /**
+     * Daily-scan mode: a fraction of writes sweeps a dedicated region
+     * in lock-step with the time of day, so each swept block is
+     * rewritten at the same time every day (24 h update intervals).
+     */
+    bool daily_scan = false;
+    double daily_scan_write_p = 0.0;
+    std::uint64_t daily_scan_blocks = 0;
+
+    /** Expected number of requests this profile will generate. */
+    double
+    expectedRequests() const
+    {
+        double span = static_cast<double>(active_end - active_start) / 1e6;
+        return arrivals.avg_rate * span;
+    }
+};
+
+/** Streaming generator of one volume's requests (timestamp-ordered). */
+class VolumeWorkload : public TraceSource
+{
+  public:
+    explicit VolumeWorkload(VolumeProfile profile);
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+
+    const VolumeProfile &profile() const { return profile_; }
+
+  private:
+    struct SeqRun
+    {
+        std::uint64_t remaining = 0;
+        ByteOffset next_offset = 0;
+    };
+
+    ByteOffset pickOffset(Op op, std::uint32_t length, TimeUs now);
+    ByteOffset scanOffset(TimeUs now);
+
+    VolumeProfile profile_;
+    Rng rng_;
+    AddressSpaceModel space_;
+    BurstyArrivals arrivals_;
+    SeqRun read_run_;
+    SeqRun write_run_;
+    std::uint64_t scan_region_start_; //!< blocks; placed past mid-capacity
+};
+
+} // namespace cbs
+
+#endif // CBS_SYNTH_VOLUME_MODEL_H

@@ -1,0 +1,70 @@
+#include "synth/zipf.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cbs {
+
+double
+ZipfSampler::zeta(std::uint64_t n, double theta)
+{
+    // Exact sum below the cutoff; Euler-Maclaurin continuation above it
+    // keeps construction O(1)-ish for multi-million-item hot sets while
+    // staying well within 0.1% of the exact value.
+    constexpr std::uint64_t kExactCutoff = 1u << 20;
+    double sum = 0.0;
+    std::uint64_t exact_n = n < kExactCutoff ? n : kExactCutoff;
+    for (std::uint64_t i = 1; i <= exact_n; ++i)
+        sum += std::pow(static_cast<double>(i), -theta);
+    if (n > exact_n) {
+        double a = static_cast<double>(exact_n);
+        double b = static_cast<double>(n);
+        // integral of x^-theta from a to b plus endpoint corrections.
+        if (theta == 1.0) {
+            sum += std::log(b / a);
+        } else {
+            sum += (std::pow(b, 1 - theta) - std::pow(a, 1 - theta)) /
+                   (1 - theta);
+        }
+        sum += 0.5 * (std::pow(b, -theta) - std::pow(a, -theta));
+    }
+    return sum;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    CBS_EXPECT(n > 0, "ZipfSampler needs at least one item");
+    CBS_EXPECT(theta >= 0.0 && theta < 1.0,
+               "ZipfSampler theta must be in [0,1): " << theta);
+    zetan_ = zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    double rank = static_cast<double>(n_) *
+                  std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t r = static_cast<std::uint64_t>(rank);
+    return r >= n_ ? n_ - 1 : r;
+}
+
+double
+ZipfSampler::probabilityOfRank(std::uint64_t k) const
+{
+    CBS_EXPECT(k < n_, "rank out of range");
+    return std::pow(static_cast<double>(k + 1), -theta_) / zetan_;
+}
+
+} // namespace cbs

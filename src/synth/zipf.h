@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ZipfSampler: Zipf-distributed ranks over [0, n).
+ *
+ * Uses the Gray et al. quantile method popularized by YCSB: the
+ * generalized harmonic number zeta(n, theta) is computed once (O(n)),
+ * after which each sample costs O(1). Rank 0 is the hottest item.
+ */
+
+#ifndef CBS_SYNTH_ZIPF_H
+#define CBS_SYNTH_ZIPF_H
+
+#include <cstdint>
+
+#include "synth/rng.h"
+
+namespace cbs {
+
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of items (must be positive).
+     * @param theta skew in [0, 1); 0.99 is the YCSB "zipfian" default,
+     *        0 degenerates to uniform.
+     */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw one rank in [0, n); smaller ranks are more likely. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t itemCount() const { return n_; }
+    double theta() const { return theta_; }
+
+    /** Probability of rank @p k under this distribution. */
+    double probabilityOfRank(std::uint64_t k) const;
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace cbs
+
+#endif // CBS_SYNTH_ZIPF_H

@@ -1,0 +1,165 @@
+#include "trace/bin_trace.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'B', 'S', 'T'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kRecordSize = 24;
+constexpr std::uint32_t kOpBit = 0x80000000u;
+
+void
+put64(char *dst, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        dst[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+put32(char *dst, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        dst[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+put16(char *dst, std::uint16_t v)
+{
+    dst[0] = static_cast<char>(v & 0xff);
+    dst[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+std::uint64_t
+get64(const char *src)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(src[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint32_t
+get32(const char *src)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(src[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint16_t
+get16(const char *src)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<unsigned char>(src[0]) |
+        (static_cast<unsigned char>(src[1]) << 8));
+}
+
+} // namespace
+
+BinTraceWriter::BinTraceWriter(std::ostream &out) : out_(out)
+{
+    writeHeader(0);
+}
+
+void
+BinTraceWriter::writeHeader(std::uint64_t count)
+{
+    char header[kHeaderSize];
+    std::memcpy(header, kMagic, 4);
+    put16(header + 4, kVersion);
+    put16(header + 6, 0);
+    put64(header + 8, count);
+    out_.write(header, kHeaderSize);
+}
+
+void
+BinTraceWriter::write(const IoRequest &req)
+{
+    CBS_CHECK(!finished_);
+    CBS_EXPECT(req.volume < kOpBit,
+               "volume id " << req.volume << " exceeds 31 bits");
+    char rec[kRecordSize];
+    put64(rec + 0, req.timestamp);
+    put64(rec + 8, req.offset);
+    put32(rec + 16, req.length);
+    std::uint32_t tail = req.volume;
+    if (req.isWrite())
+        tail |= kOpBit;
+    put32(rec + 20, tail);
+    out_.write(rec, kRecordSize);
+    ++records_;
+}
+
+void
+BinTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_.flush();
+    out_.seekp(0);
+    writeHeader(records_);
+    out_.seekp(0, std::ios::end);
+    out_.flush();
+}
+
+BinTraceReader::BinTraceReader(std::istream &in) : in_(in)
+{
+    readHeader();
+}
+
+void
+BinTraceReader::readHeader()
+{
+    char header[kHeaderSize];
+    in_.read(header, kHeaderSize);
+    CBS_EXPECT(in_.gcount() == kHeaderSize,
+               "binary trace truncated in header");
+    CBS_EXPECT(std::memcmp(header, kMagic, 4) == 0,
+               "bad binary trace magic");
+    std::uint16_t version = get16(header + 4);
+    CBS_EXPECT(version == kVersion,
+               "unsupported binary trace version " << version);
+    declared_ = get64(header + 8);
+}
+
+bool
+BinTraceReader::next(IoRequest &req)
+{
+    if (read_ >= declared_)
+        return false;
+    char rec[kRecordSize];
+    in_.read(rec, kRecordSize);
+    CBS_EXPECT(in_.gcount() == kRecordSize,
+               "binary trace truncated at record " << read_);
+    req.timestamp = get64(rec + 0);
+    req.offset = get64(rec + 8);
+    req.length = get32(rec + 16);
+    std::uint32_t tail = get32(rec + 20);
+    req.volume = tail & ~kOpBit;
+    req.op = (tail & kOpBit) ? Op::Write : Op::Read;
+    ++read_;
+    return true;
+}
+
+void
+BinTraceReader::reset()
+{
+    in_.clear();
+    in_.seekg(0);
+    read_ = 0;
+    readHeader();
+}
+
+} // namespace cbs

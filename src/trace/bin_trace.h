@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compact binary trace format: a fixed 24-byte little-endian record per
+ * request behind a small header. Roughly 3x smaller and an order of
+ * magnitude faster to parse than CSV; the natural interchange format for
+ * repeated analysis passes over large traces.
+ *
+ * Layout:
+ *   header:  magic "CBST" (4) | version u16 | reserved u16 | count u64
+ *   record:  timestamp u64 | offset u64 | length u32 | volume u32:31 |
+ *            op u32:1 (top bit)
+ */
+
+#ifndef CBS_TRACE_BIN_TRACE_H
+#define CBS_TRACE_BIN_TRACE_H
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+class BinTraceWriter
+{
+  public:
+    /** Writes a placeholder header; finish() must be called at the end. */
+    explicit BinTraceWriter(std::ostream &out);
+
+    void write(const IoRequest &req);
+
+    /** Rewrite the header with the final record count. */
+    void finish();
+
+    std::uint64_t recordCount() const { return records_; }
+
+  private:
+    void writeHeader(std::uint64_t count);
+
+    std::ostream &out_;
+    std::uint64_t records_ = 0;
+    bool finished_ = false;
+};
+
+class BinTraceReader : public TraceSource
+{
+  public:
+    explicit BinTraceReader(std::istream &in);
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+
+    /** Record count declared in the header. */
+    std::uint64_t declaredCount() const { return declared_; }
+
+  private:
+    void readHeader();
+
+    std::istream &in_;
+    std::uint64_t declared_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_BIN_TRACE_H

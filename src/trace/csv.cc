@@ -1,0 +1,157 @@
+#include "trace/csv.h"
+
+#include <charconv>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+/** Split @p line into at most @p max_fields comma-separated fields. */
+std::size_t
+splitCsv(std::string_view line, std::string_view *fields,
+         std::size_t max_fields)
+{
+    std::size_t n = 0;
+    std::size_t start = 0;
+    while (n < max_fields) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string_view::npos) {
+            fields[n++] = line.substr(start);
+            break;
+        }
+        fields[n++] = line.substr(start, comma - start);
+        start = comma + 1;
+    }
+    return n;
+}
+
+template <typename T>
+T
+parseNumber(std::string_view field, std::uint64_t line_no,
+            const char *what)
+{
+    T value{};
+    auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    CBS_EXPECT(ec == std::errc{} && ptr == field.data() + field.size(),
+               "bad " << what << " at line " << line_no << ": '" << field
+                      << "'");
+    return value;
+}
+
+bool
+readLine(std::istream &in, std::string &line)
+{
+    while (std::getline(in, line)) {
+        // Tolerate CRLF endings and skip blank lines.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty())
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+AliCloudCsvReader::AliCloudCsvReader(std::istream &in) : in_(in) {}
+
+bool
+AliCloudCsvReader::next(IoRequest &req)
+{
+    std::string line;
+    if (!readLine(in_, line))
+        return false;
+    ++line_;
+    std::string_view fields[6];
+    std::size_t n = splitCsv(line, fields, 6);
+    CBS_EXPECT(n == 5, "AliCloud CSV line " << line_ << " has " << n
+                                            << " fields, expected 5");
+    req.volume = parseNumber<VolumeId>(fields[0], line_, "device_id");
+    CBS_EXPECT(fields[1] == "R" || fields[1] == "W",
+               "bad opcode at line " << line_ << ": '" << fields[1]
+                                     << "'");
+    req.op = fields[1] == "R" ? Op::Read : Op::Write;
+    req.offset = parseNumber<ByteOffset>(fields[2], line_, "offset");
+    req.length = parseNumber<std::uint32_t>(fields[3], line_, "length");
+    req.timestamp = parseNumber<TimeUs>(fields[4], line_, "timestamp");
+    ++records_;
+    return true;
+}
+
+void
+AliCloudCsvReader::reset()
+{
+    in_.clear();
+    in_.seekg(0);
+    records_ = 0;
+    line_ = 0;
+}
+
+MsrcCsvReader::MsrcCsvReader(std::istream &in) : in_(in) {}
+
+bool
+MsrcCsvReader::next(IoRequest &req)
+{
+    std::string line;
+    if (!readLine(in_, line))
+        return false;
+    ++line_;
+    std::string_view fields[8];
+    std::size_t n = splitCsv(line, fields, 8);
+    CBS_EXPECT(n == 7, "MSRC CSV line " << line_ << " has " << n
+                                        << " fields, expected 7");
+    std::uint64_t ticks =
+        parseNumber<std::uint64_t>(fields[0], line_, "timestamp");
+    if (!have_epoch_) {
+        epoch_ticks_ = ticks;
+        have_epoch_ = true;
+    }
+    // Windows filetime ticks are 100 ns; rebase to the first record and
+    // convert to microseconds. Records are expected in timestamp order.
+    std::uint64_t rel = ticks >= epoch_ticks_ ? ticks - epoch_ticks_ : 0;
+    req.timestamp = rel / 10;
+
+    std::string key(fields[1]);
+    key.push_back('.');
+    key.append(fields[2]);
+    auto [it, inserted] = volume_ids_.try_emplace(
+        key, static_cast<VolumeId>(volume_ids_.size()));
+    req.volume = it->second;
+
+    CBS_EXPECT(fields[3] == "Read" || fields[3] == "Write",
+               "bad Type at line " << line_ << ": '" << fields[3] << "'");
+    req.op = fields[3] == "Read" ? Op::Read : Op::Write;
+    req.offset = parseNumber<ByteOffset>(fields[4], line_, "Offset");
+    req.length = parseNumber<std::uint32_t>(fields[5], line_, "Size");
+    // fields[6] (ResponseTime) is not used: the AliCloud record schema,
+    // which the analyses share, has no response time (paper §III-B).
+    ++records_;
+    return true;
+}
+
+void
+MsrcCsvReader::reset()
+{
+    in_.clear();
+    in_.seekg(0);
+    records_ = 0;
+    line_ = 0;
+    have_epoch_ = false;
+    epoch_ticks_ = 0;
+    volume_ids_.clear();
+}
+
+void
+AliCloudCsvWriter::write(const IoRequest &req)
+{
+    out_ << req.volume << ',' << (req.isRead() ? 'R' : 'W') << ','
+         << req.offset << ',' << req.length << ',' << req.timestamp
+         << '\n';
+    ++records_;
+}
+
+} // namespace cbs

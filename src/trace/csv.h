@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CSV readers and writers for the two public trace formats.
+ *
+ * AliCloud (github.com/alibaba/block-traces):
+ *     device_id,opcode,offset,length,timestamp
+ * with opcode 'R'/'W', offset and length in bytes, timestamp in
+ * microseconds.
+ *
+ * MSRC (SNIA IOTTA, MSR Cambridge 2007):
+ *     Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+ * with Timestamp in Windows filetime (100 ns ticks), Type
+ * "Read"/"Write", Offset and Size in bytes. Hostname+DiskNumber pairs
+ * are mapped to dense VolumeIds in first-seen order.
+ */
+
+#ifndef CBS_TRACE_CSV_H
+#define CBS_TRACE_CSV_H
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+/** Reader for the released AliCloud CSV format. */
+class AliCloudCsvReader : public TraceSource
+{
+  public:
+    /**
+     * @param in character stream positioned at the first record. The
+     *        stream must outlive the reader and support seeking for
+     *        reset().
+     */
+    explicit AliCloudCsvReader(std::istream &in);
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+
+    /** Number of records returned so far. */
+    std::uint64_t recordCount() const { return records_; }
+
+  private:
+    std::istream &in_;
+    std::uint64_t records_ = 0;
+    std::uint64_t line_ = 0;
+};
+
+/** Reader for the SNIA MSR Cambridge CSV format. */
+class MsrcCsvReader : public TraceSource
+{
+  public:
+    explicit MsrcCsvReader(std::istream &in);
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+
+    std::uint64_t recordCount() const { return records_; }
+
+    /** Volume id assigned to a hostname/disk pair (for report labels). */
+    const std::map<std::string, VolumeId> &volumeIds() const
+    {
+        return volume_ids_;
+    }
+
+  private:
+    std::istream &in_;
+    std::uint64_t records_ = 0;
+    std::uint64_t line_ = 0;
+    bool have_epoch_ = false;
+    std::uint64_t epoch_ticks_ = 0;
+    std::map<std::string, VolumeId> volume_ids_;
+};
+
+/** Writer emitting the AliCloud CSV format. */
+class AliCloudCsvWriter
+{
+  public:
+    explicit AliCloudCsvWriter(std::ostream &out) : out_(out) {}
+
+    void write(const IoRequest &req);
+    std::uint64_t recordCount() const { return records_; }
+
+  private:
+    std::ostream &out_;
+    std::uint64_t records_ = 0;
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_CSV_H

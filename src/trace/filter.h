@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Stream filter adapters: restrict a trace to a volume set, a time
+ * window, or one op direction. Composable (each wraps a TraceSource
+ * and is itself one), used for per-volume studies and for replaying
+ * only the write stream into the flash simulators.
+ */
+
+#ifndef CBS_TRACE_FILTER_H
+#define CBS_TRACE_FILTER_H
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+/** Pass through only the requests of the given volumes. */
+class VolumeFilterSource : public TraceSource
+{
+  public:
+    VolumeFilterSource(std::unique_ptr<TraceSource> inner,
+                       const std::vector<VolumeId> &volumes)
+        : inner_(std::move(inner))
+    {
+        CBS_EXPECT(inner_ != nullptr, "null inner source");
+        CBS_EXPECT(!volumes.empty(), "empty volume filter");
+        for (VolumeId v : volumes)
+            keep_.insert(v);
+    }
+
+    bool
+    next(IoRequest &req) override
+    {
+        while (inner_->next(req)) {
+            if (keep_.contains(req.volume))
+                return true;
+        }
+        return false;
+    }
+
+    void reset() override { inner_->reset(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    FlatSet keep_;
+};
+
+/** Pass through only requests with timestamps in [start, end). */
+class TimeWindowSource : public TraceSource
+{
+  public:
+    TimeWindowSource(std::unique_ptr<TraceSource> inner, TimeUs start,
+                     TimeUs end)
+        : inner_(std::move(inner)), start_(start), end_(end)
+    {
+        CBS_EXPECT(inner_ != nullptr, "null inner source");
+        CBS_EXPECT(start < end, "empty time window");
+    }
+
+    bool
+    next(IoRequest &req) override
+    {
+        while (inner_->next(req)) {
+            if (req.timestamp >= end_)
+                return false; // ordered stream: nothing more can match
+            if (req.timestamp >= start_)
+                return true;
+        }
+        return false;
+    }
+
+    void reset() override { inner_->reset(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    TimeUs start_;
+    TimeUs end_;
+};
+
+/** Pass through only reads or only writes. */
+class OpFilterSource : public TraceSource
+{
+  public:
+    OpFilterSource(std::unique_ptr<TraceSource> inner, Op keep)
+        : inner_(std::move(inner)), keep_(keep)
+    {
+        CBS_EXPECT(inner_ != nullptr, "null inner source");
+    }
+
+    bool
+    next(IoRequest &req) override
+    {
+        while (inner_->next(req)) {
+            if (req.op == keep_)
+                return true;
+        }
+        return false;
+    }
+
+    void reset() override { inner_->reset(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    Op keep_;
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_FILTER_H

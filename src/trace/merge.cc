@@ -1,0 +1,55 @@
+#include "trace/merge.h"
+
+#include "common/error.h"
+
+namespace cbs {
+
+MergeSource::MergeSource(
+    std::vector<std::unique_ptr<TraceSource>> children)
+    : children_(std::move(children))
+{
+    for (const auto &child : children_)
+        CBS_EXPECT(child != nullptr, "null child source in merge");
+}
+
+void
+MergeSource::prime()
+{
+    primed_ = true;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+        IoRequest req;
+        if (children_[i]->next(req))
+            heap_.push(Head{req, i});
+    }
+}
+
+bool
+MergeSource::next(IoRequest &req)
+{
+    if (!primed_)
+        prime();
+    if (heap_.empty())
+        return false;
+    Head head = heap_.top();
+    heap_.pop();
+    req = head.req;
+    IoRequest refill;
+    if (children_[head.child]->next(refill)) {
+        CBS_EXPECT(refill.timestamp >= req.timestamp,
+                   "child source " << head.child
+                                   << " is not timestamp-ordered");
+        heap_.push(Head{refill, head.child});
+    }
+    return true;
+}
+
+void
+MergeSource::reset()
+{
+    heap_ = {};
+    primed_ = false;
+    for (auto &child : children_)
+        child->reset();
+}
+
+} // namespace cbs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MergeSource: k-way timestamp merge over child trace sources.
+ *
+ * Cloud traces are usually stored per volume; the analyses need one
+ * globally time-ordered stream. The merge keeps a binary heap of the
+ * head request of each child, so memory is O(k) regardless of trace
+ * size. Ties are broken by child index for deterministic output.
+ */
+
+#ifndef CBS_TRACE_MERGE_H
+#define CBS_TRACE_MERGE_H
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+class MergeSource : public TraceSource
+{
+  public:
+    /** @param children sources to merge; each must already be ordered. */
+    explicit MergeSource(std::vector<std::unique_ptr<TraceSource>> children);
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+
+    std::size_t childCount() const { return children_.size(); }
+
+  private:
+    struct Head
+    {
+        IoRequest req;
+        std::size_t child;
+
+        bool
+        operator>(const Head &other) const
+        {
+            if (req.timestamp != other.req.timestamp)
+                return req.timestamp > other.req.timestamp;
+            return child > other.child;
+        }
+    };
+
+    void prime();
+
+    std::vector<std::unique_ptr<TraceSource>> children_;
+    std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap_;
+    bool primed_ = false;
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_MERGE_H

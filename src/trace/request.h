@@ -1,0 +1,93 @@
+/**
+ * @file
+ * IoRequest: one block-level I/O request, the unit record of the whole
+ * library. Field set matches the released AliCloud traces (volume,
+ * opcode, offset, length, timestamp); the MSRC reader maps its fields
+ * onto the same record.
+ */
+
+#ifndef CBS_TRACE_REQUEST_H
+#define CBS_TRACE_REQUEST_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace cbs {
+
+/** I/O request type. */
+enum class Op : std::uint8_t
+{
+    Read = 0,
+    Write = 1,
+};
+
+/** One block-level I/O request. */
+struct IoRequest
+{
+    TimeUs timestamp = 0;   //!< microseconds since trace epoch
+    ByteOffset offset = 0;  //!< byte offset within the volume
+    std::uint32_t length = 0; //!< request size in bytes
+    VolumeId volume = 0;    //!< volume identifier
+    Op op = Op::Read;
+
+    bool isRead() const { return op == Op::Read; }
+    bool isWrite() const { return op == Op::Write; }
+
+    /** First block touched by the request. */
+    BlockNo
+    firstBlock(std::uint64_t block_size = kDefaultBlockSize) const
+    {
+        return offset / block_size;
+    }
+
+    /** Last block touched by the request (inclusive). */
+    BlockNo
+    lastBlock(std::uint64_t block_size = kDefaultBlockSize) const
+    {
+        if (length == 0)
+            return firstBlock(block_size);
+        return (offset + length - 1) / block_size;
+    }
+
+    /** Number of blocks touched by the request. */
+    std::uint64_t
+    blockCount(std::uint64_t block_size = kDefaultBlockSize) const
+    {
+        return lastBlock(block_size) - firstBlock(block_size) + 1;
+    }
+
+    bool
+    operator==(const IoRequest &other) const = default;
+};
+
+/**
+ * Invoke @p fn once per (volume-local) block the request touches.
+ * All per-block analyses iterate ranges through this single helper so
+ * the block-splitting convention is defined in exactly one place.
+ */
+template <typename Fn>
+void
+forEachBlock(const IoRequest &req, std::uint64_t block_size, Fn &&fn)
+{
+    BlockNo first = req.firstBlock(block_size);
+    BlockNo last = req.lastBlock(block_size);
+    for (BlockNo b = first; b <= last; ++b)
+        fn(b);
+}
+
+/**
+ * Pack a (volume, block) pair into one 64-bit key for cross-volume block
+ * maps: the top 20 bits hold the volume, the low 44 bits the block
+ * number (44 bits of 4 KiB blocks cover a 64 PiB volume).
+ */
+inline std::uint64_t
+blockKey(VolumeId volume, BlockNo block)
+{
+    return (static_cast<std::uint64_t>(volume) << 44) |
+           (block & ((std::uint64_t{1} << 44) - 1));
+}
+
+} // namespace cbs
+
+#endif // CBS_TRACE_REQUEST_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * TraceSource: the streaming interface every trace producer implements
+ * (CSV readers, binary readers, synthetic generators, merges). Analyzers
+ * consume requests in non-decreasing timestamp order via next().
+ */
+
+#ifndef CBS_TRACE_TRACE_SOURCE_H
+#define CBS_TRACE_TRACE_SOURCE_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "trace/request.h"
+
+namespace cbs {
+
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next request in timestamp order.
+     *
+     * @param req output record, valid only when true is returned.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(IoRequest &req) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+/** TraceSource over an in-memory vector of requests. */
+class VectorSource : public TraceSource
+{
+  public:
+    VectorSource() = default;
+    explicit VectorSource(std::vector<IoRequest> requests)
+        : requests_(std::move(requests))
+    {
+    }
+
+    bool
+    next(IoRequest &req) override
+    {
+        if (pos_ >= requests_.size())
+            return false;
+        req = requests_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    const std::vector<IoRequest> &requests() const { return requests_; }
+
+  private:
+    std::vector<IoRequest> requests_;
+    std::size_t pos_ = 0;
+};
+
+/** Drain a source into a vector (testing / small traces only). */
+inline std::vector<IoRequest>
+drain(TraceSource &source)
+{
+    std::vector<IoRequest> out;
+    IoRequest req;
+    while (source.next(req))
+        out.push_back(req);
+    return out;
+}
+
+} // namespace cbs
+
+#endif // CBS_TRACE_TRACE_SOURCE_H

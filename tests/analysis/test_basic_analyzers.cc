@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "analysis/basic_stats.h"
+#include "analysis/size_stats.h"
+#include "analysis/volume_activity.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+TEST(BasicStats, CountsRequestsAndTraffic)
+{
+    BasicStatsAnalyzer a(4096);
+    feed(a, {read(0, 0, 4096), write(1, 4096, 8192),
+             write(2, 4096, 8192, 1)});
+    const BasicStats &s = a.stats();
+    EXPECT_EQ(s.reads, 1u);
+    EXPECT_EQ(s.writes, 2u);
+    EXPECT_EQ(s.read_bytes, 4096u);
+    EXPECT_EQ(s.write_bytes, 16384u);
+    EXPECT_EQ(s.volumes, 2u);
+    EXPECT_EQ(s.first_timestamp, 0u);
+    EXPECT_EQ(s.last_timestamp, 2u);
+}
+
+TEST(BasicStats, WssCategoriesAreBlockGranular)
+{
+    BasicStatsAnalyzer a(4096);
+    feed(a, {
+                read(0, 0, 4096),      // block 0: read
+                write(1, 0, 4096),     // block 0: now written too
+                write(2, 4096, 4096),  // block 1: written once
+                write(3, 4096, 4096),  // block 1: updated
+                write(4, 4096, 4096),  // block 1: more update traffic
+            });
+    const BasicStats &s = a.stats();
+    EXPECT_EQ(s.total_wss_bytes, 2u * 4096);
+    EXPECT_EQ(s.read_wss_bytes, 4096u);
+    EXPECT_EQ(s.write_wss_bytes, 2u * 4096);
+    EXPECT_EQ(s.update_wss_bytes, 4096u); // only block 1 rewritten
+    EXPECT_EQ(s.update_bytes, 2u * 4096); // two overwrites of block 1
+}
+
+TEST(BasicStats, SameBlockAcrossVolumesIsDistinct)
+{
+    BasicStatsAnalyzer a(4096);
+    feed(a, {write(0, 0, 4096, 0), write(1, 0, 4096, 1)});
+    EXPECT_EQ(a.stats().write_wss_bytes, 2u * 4096);
+    EXPECT_EQ(a.stats().update_bytes, 0u);
+}
+
+TEST(BasicStats, DerivedRatios)
+{
+    BasicStatsAnalyzer a(4096);
+    feed(a, {read(0, 0), write(1, 4096), write(2, 8192),
+             write(3, 12288)});
+    EXPECT_DOUBLE_EQ(a.stats().writeToReadRatio(), 3.0);
+    EXPECT_DOUBLE_EQ(a.stats().readWssShare(), 0.25);
+    EXPECT_DOUBLE_EQ(a.stats().writeWssShare(), 0.75);
+}
+
+TEST(BasicStats, MultiBlockRequestExpandsWss)
+{
+    BasicStatsAnalyzer a(4096);
+    feed(a, {write(0, 0, 4096 * 4)});
+    EXPECT_EQ(a.stats().write_wss_bytes, 4u * 4096);
+}
+
+TEST(SizeStats, GlobalCdfsSeparateOps)
+{
+    SizeAnalyzer a;
+    feed(a, {read(0, 0, 4096), read(1, 0, 4096), read(2, 0, 65536),
+             write(3, 0, 8192)});
+    EXPECT_EQ(a.readSizes().count(), 3u);
+    EXPECT_EQ(a.writeSizes().count(), 1u);
+    // 2/3 of reads are 4 KiB.
+    EXPECT_NEAR(a.readSizes().cdfAt(4096), 2.0 / 3.0, 0.01);
+}
+
+TEST(SizeStats, PerVolumeAveragesInFinalize)
+{
+    SizeAnalyzer a;
+    feed(a, {read(0, 0, 4096, 0), read(1, 0, 12288, 0),
+             write(2, 0, 8192, 1)});
+    ASSERT_EQ(a.volumeAvgReadSizes().count(), 1u);
+    EXPECT_DOUBLE_EQ(a.volumeAvgReadSizes().quantile(0.5), 8192.0);
+    ASSERT_EQ(a.volumeAvgWriteSizes().count(), 1u);
+    EXPECT_DOUBLE_EQ(a.volumeAvgWriteSizes().quantile(0.5), 8192.0);
+}
+
+TEST(ActiveDays, CountsDistinctDays)
+{
+    ActiveDaysAnalyzer a;
+    feed(a, {
+                read(0, 0),                        // day 0
+                read(units::day + 5, 0),           // day 1
+                read(units::day + 10, 0),          // day 1 again
+                read(30 * units::day, 0, 4096, 1), // other volume
+            });
+    EXPECT_DOUBLE_EQ(a.activeDays().quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(a.activeDays().quantile(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(a.fractionWithDays(1), 0.5);
+    EXPECT_DOUBLE_EQ(a.fractionWithDays(2), 0.5);
+}
+
+TEST(WriteReadRatio, PerVolumeAndTotals)
+{
+    WriteReadRatioAnalyzer a;
+    feed(a, {
+                read(0, 0, 4096, 0), write(1, 0, 4096, 0),
+                write(2, 0, 4096, 0), // volume 0: ratio 2
+                read(3, 0, 4096, 1),  // volume 1: ratio 0
+            });
+    EXPECT_EQ(a.totalReads(), 2u);
+    EXPECT_EQ(a.totalWrites(), 2u);
+    EXPECT_DOUBLE_EQ(a.fractionAbove(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(a.ratios().quantile(1.0), 2.0);
+}
+
+TEST(WriteReadRatio, ReadFreeVolumeGetsCap)
+{
+    WriteReadRatioAnalyzer a(1e4);
+    feed(a, {write(0, 0, 4096, 0)});
+    EXPECT_DOUBLE_EQ(a.ratios().quantile(0.5), 1e4);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "common/error.h"
+#include "analysis/activeness.h"
+#include "analysis/analyzer.h"
+#include "analysis/interarrival.h"
+#include "analysis/load_intensity.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+TEST(LoadIntensity, AverageIntensityFromSpan)
+{
+    LoadIntensityAnalyzer a(units::minute);
+    // 11 requests over 10 seconds -> 1.1 req/s.
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i <= 10; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i) * units::sec, 0));
+    feed(a, reqs);
+    auto stats = a.volumeStats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_NEAR(stats[0].second.avgIntensity(), 1.1, 1e-9);
+}
+
+TEST(LoadIntensity, PeakCountsWithinWindows)
+{
+    LoadIntensityAnalyzer a(units::minute);
+    std::vector<IoRequest> reqs;
+    // 5 requests in minute 0, 2 in minute 3.
+    for (int i = 0; i < 5; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i), 0));
+    reqs.push_back(read(3 * units::minute, 0));
+    reqs.push_back(read(3 * units::minute + 1, 0));
+    feed(a, reqs);
+    auto stats = a.volumeStats();
+    EXPECT_EQ(stats[0].second.peak_window_count, 5u);
+    EXPECT_NEAR(stats[0].second.peakIntensity(units::minute),
+                5.0 / 60.0, 1e-9);
+}
+
+TEST(LoadIntensity, BurstinessRatioDefinition)
+{
+    LoadIntensityAnalyzer a(units::minute);
+    std::vector<IoRequest> reqs;
+    // 10 requests in one burst minute, then silence for an hour, then
+    // one closing request: avg = 11 / 3600 s; peak = 10 / 60 s.
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i) * units::sec, 0));
+    reqs.push_back(read(units::hour, 0));
+    feed(a, reqs);
+    auto stats = a.volumeStats();
+    double avg = 11.0 / 3600.0;
+    double peak = 10.0 / 60.0;
+    EXPECT_NEAR(stats[0].second.burstinessRatio(units::minute),
+                peak / avg, 1e-6);
+}
+
+TEST(LoadIntensity, OverallAggregatesVolumes)
+{
+    LoadIntensityAnalyzer a(units::minute);
+    feed(a, {read(0, 0, 4096, 0), read(units::sec, 0, 4096, 1),
+             read(2 * units::sec, 0, 4096, 0)});
+    EXPECT_EQ(a.overall().requests, 3u);
+    EXPECT_NEAR(a.overall().avgIntensity(), 1.5, 1e-9);
+}
+
+TEST(LoadIntensity, SingleRequestVolumeHasNoRate)
+{
+    LoadIntensityAnalyzer a(units::minute);
+    feed(a, {read(5, 0)});
+    auto stats = a.volumeStats();
+    EXPECT_EQ(stats[0].second.avgIntensity(), 0.0);
+}
+
+TEST(Interarrival, PerVolumeGapPercentiles)
+{
+    InterarrivalAnalyzer a;
+    std::vector<IoRequest> reqs;
+    // Gaps of exactly 100 us for volume 0.
+    for (int i = 0; i < 101; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i) * 100, 0));
+    feed(a, reqs);
+    for (std::size_t g = 0; g < 5; ++g) {
+        BoxplotSummary box = a.boxplot(g);
+        ASSERT_EQ(box.count, 1u);
+        EXPECT_NEAR(box.median, 100.0, 5.0);
+    }
+    EXPECT_EQ(a.global().count(), 100u);
+}
+
+TEST(Interarrival, GapsAreComputedPerVolume)
+{
+    InterarrivalAnalyzer a;
+    // Interleaved volumes: per-volume gaps are 200 us, not 100 us.
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(
+            read(static_cast<TimeUs>(i) * 100, 0, 4096, i % 2));
+    feed(a, reqs);
+    EXPECT_NEAR(static_cast<double>(a.global().quantile(0.5)), 200.0,
+                10.0);
+}
+
+TEST(Interarrival, UntouchedVolumesExcluded)
+{
+    InterarrivalAnalyzer a;
+    feed(a, {read(0, 0, 4096, 5), read(100, 0, 4096, 5)});
+    BoxplotSummary box = a.boxplot(0);
+    EXPECT_EQ(box.count, 1u); // only volume 5 contributes
+}
+
+TEST(Activeness, MarksKindsPerInterval)
+{
+    ActivenessAnalyzer a(units::minute, 10 * units::minute);
+    feed(a, {
+                read(0, 0),                     // interval 0: read
+                write(units::minute + 1, 0),    // interval 1: write
+                read(units::minute + 2, 0),     // interval 1: read too
+                write(5 * units::minute, 0),    // interval 5: write
+            });
+    const auto &active = a.seriesOf(ActivenessAnalyzer::kActive);
+    const auto &reads = a.seriesOf(ActivenessAnalyzer::kReadActive);
+    const auto &writes = a.seriesOf(ActivenessAnalyzer::kWriteActive);
+    EXPECT_EQ(active[0], 1u);
+    EXPECT_EQ(reads[0], 1u);
+    EXPECT_EQ(writes[0], 0u);
+    EXPECT_EQ(active[1], 1u);
+    EXPECT_EQ(reads[1], 1u);
+    EXPECT_EQ(writes[1], 1u);
+    EXPECT_EQ(active[2], 0u);
+    EXPECT_EQ(writes[5], 1u);
+}
+
+TEST(Activeness, ActivePeriodsCountIntervals)
+{
+    ActivenessAnalyzer a(units::minute, 10 * units::minute);
+    feed(a, {read(0, 0), write(units::minute, 0),
+             read(9 * units::minute, 0)});
+    EXPECT_DOUBLE_EQ(
+        a.activePeriods(ActivenessAnalyzer::kActive).quantile(0.5),
+        3.0);
+    EXPECT_DOUBLE_EQ(
+        a.activePeriods(ActivenessAnalyzer::kWriteActive).quantile(0.5),
+        1.0);
+}
+
+TEST(Activeness, FractionActiveAtLeast)
+{
+    ActivenessAnalyzer a(units::minute, 4 * units::minute);
+    // Volume 0 active in all 4 intervals; volume 1 in one.
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 4; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i) * units::minute, 0));
+    reqs.push_back(read(0, 0, 4096, 1));
+    feed(a, reqs);
+    EXPECT_DOUBLE_EQ(
+        a.fractionActiveAtLeast(ActivenessAnalyzer::kActive, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(
+        a.fractionActiveAtLeast(ActivenessAnalyzer::kActive, 0.25),
+        1.0);
+}
+
+TEST(Activeness, RejectsRequestsBeyondDuration)
+{
+    ActivenessAnalyzer a(units::minute, units::minute);
+    EXPECT_THROW(feed(a, {read(2 * units::minute, 0)}), FatalError);
+}
+
+TEST(Activeness, CountsVolumesOncePerInterval)
+{
+    ActivenessAnalyzer a(units::minute, 2 * units::minute);
+    feed(a, {read(0, 0), read(1, 0), read(2, 0)});
+    EXPECT_EQ(a.seriesOf(ActivenessAnalyzer::kActive)[0], 1u);
+}
+
+} // namespace
+} // namespace cbs

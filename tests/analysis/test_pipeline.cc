@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "analysis/per_volume.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+
+/** Records the order of consume/finalize calls. */
+class Probe : public Analyzer
+{
+  public:
+    explicit Probe(std::vector<std::string> *log, std::string id)
+        : log_(log), id_(std::move(id))
+    {
+    }
+
+    void
+    consume(const IoRequest &) override
+    {
+        log_->push_back(id_ + ":consume");
+    }
+
+    void
+    finalize() override
+    {
+        log_->push_back(id_ + ":finalize");
+    }
+
+    std::string name() const override { return id_; }
+
+  private:
+    std::vector<std::string> *log_;
+    std::string id_;
+};
+
+TEST(Pipeline, FansEachRequestToEveryAnalyzerInOrder)
+{
+    std::vector<std::string> log;
+    Probe a(&log, "a");
+    Probe b(&log, "b");
+    VectorSource source({read(0, 0), read(1, 0)});
+    runPipeline(source, {&a, &b});
+    ASSERT_EQ(log.size(), 6u);
+    EXPECT_EQ(log[0], "a:consume");
+    EXPECT_EQ(log[1], "b:consume");
+    EXPECT_EQ(log[4], "a:finalize");
+    EXPECT_EQ(log[5], "b:finalize");
+}
+
+TEST(Pipeline, EmptySourceStillFinalizes)
+{
+    std::vector<std::string> log;
+    Probe a(&log, "a");
+    VectorSource source(std::vector<IoRequest>{});
+    runPipeline(source, {&a});
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], "a:finalize");
+}
+
+TEST(Pipeline, NoAnalyzersIsANoOp)
+{
+    VectorSource source({read(0, 0)});
+    EXPECT_NO_THROW(runPipeline(source, {}));
+}
+
+TEST(PerVolume, GrowsOnDemandAndValueInitializes)
+{
+    PerVolume<int> state;
+    EXPECT_TRUE(state.empty());
+    state[5] = 7;
+    EXPECT_EQ(state.size(), 6u);
+    EXPECT_EQ(state.at(0), 0); // intermediate slots value-initialized
+    EXPECT_EQ(state.at(5), 7);
+}
+
+TEST(PerVolume, ForEachVisitsAllSlots)
+{
+    PerVolume<int> state;
+    state[0] = 1;
+    state[2] = 3;
+    int sum = 0;
+    int visits = 0;
+    state.forEach([&](VolumeId, const int &v) {
+        sum += v;
+        ++visits;
+    });
+    EXPECT_EQ(visits, 3);
+    EXPECT_EQ(sum, 4);
+}
+
+TEST(PerVolume, RangeForIteratesValues)
+{
+    PerVolume<int> state;
+    state[3] = 2;
+    int count = 0;
+    for (int v : state)
+        count += v;
+    EXPECT_EQ(count, 2);
+}
+
+} // namespace
+} // namespace cbs

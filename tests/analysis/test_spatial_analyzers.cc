@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "analysis/block_traffic.h"
+#include "analysis/randomness.h"
+#include "analysis/update_coverage.h"
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+TEST(Randomness, SequentialStreamIsNotRandom)
+{
+    RandomnessAnalyzer a(32, 128 * units::KiB);
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 100; ++i)
+        reqs.push_back(
+            read(static_cast<TimeUs>(i), 4096ULL * i, 4096));
+    feed(a, reqs);
+    EXPECT_DOUBLE_EQ(a.volumeRatio(0), 0.0);
+}
+
+TEST(Randomness, FarApartOffsetsAreRandom)
+{
+    RandomnessAnalyzer a(32, 128 * units::KiB);
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 100; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i),
+                            (1ULL << 30) * static_cast<ByteOffset>(i),
+                            4096));
+    feed(a, reqs);
+    // All but the very first request exceed the 128 KiB threshold.
+    EXPECT_DOUBLE_EQ(a.volumeRatio(0), 1.0);
+}
+
+TEST(Randomness, ThresholdIsExclusive)
+{
+    RandomnessAnalyzer a(32, 128 * units::KiB);
+    // Exactly 128 KiB apart: distance == threshold, not random.
+    feed(a, {read(0, 0), read(1, 128 * units::KiB)});
+    EXPECT_DOUBLE_EQ(a.volumeRatio(0), 0.0);
+    RandomnessAnalyzer b(32, 128 * units::KiB);
+    feed(b, {read(0, 0), read(1, 128 * units::KiB + 1)});
+    EXPECT_DOUBLE_EQ(b.volumeRatio(0), 1.0);
+}
+
+TEST(Randomness, WindowLimitsHistory)
+{
+    // A request near an offset seen 3 requests ago is sequential with
+    // window 4 but random with window 2.
+    std::vector<IoRequest> reqs = {
+        read(0, 0),
+        read(1, 1ULL << 30),
+        read(2, 2ULL << 30),
+        read(3, 4096), // close to request 0's offset
+    };
+    RandomnessAnalyzer wide(4, 128 * units::KiB);
+    feed(wide, reqs);
+    EXPECT_NEAR(wide.volumeRatio(0), 2.0 / 3.0, 1e-9);
+    RandomnessAnalyzer narrow(2, 128 * units::KiB);
+    feed(narrow, reqs);
+    EXPECT_DOUBLE_EQ(narrow.volumeRatio(0), 1.0);
+}
+
+TEST(Randomness, TopTrafficVolumesSortedByBytes)
+{
+    RandomnessAnalyzer a;
+    feed(a, {
+                read(0, 0, 4096, 0), read(1, 0, 4096, 0),
+                read(2, 0, 1 << 20, 1), read(3, 0, 1 << 20, 1),
+            });
+    auto top = a.topTrafficVolumes(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].second, 2u << 20); // volume 1 first
+    EXPECT_EQ(top[1].second, 2u * 4096);
+}
+
+TEST(BlockTraffic, RwMostlyClassification)
+{
+    BlockTrafficAnalyzer a(4096, 0.95);
+    std::vector<IoRequest> reqs;
+    // Block 0: 100% reads. Block 1: 100% writes. Block 2: mixed 50/50.
+    for (int i = 0; i < 20; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i), 0));
+    for (int i = 0; i < 20; ++i)
+        reqs.push_back(write(100 + i, 4096));
+    for (int i = 0; i < 10; ++i) {
+        reqs.push_back(read(200 + 2 * i, 8192));
+        reqs.push_back(write(201 + 2 * i, 8192));
+    }
+    feed(a, reqs);
+    // Reads: 20 to read-mostly block 0 out of 30 total reads.
+    EXPECT_NEAR(a.overallReadToReadMostly(), 20.0 / 30.0, 1e-9);
+    EXPECT_NEAR(a.overallWriteToWriteMostly(), 20.0 / 30.0, 1e-9);
+}
+
+TEST(BlockTraffic, MostlyThresholdRespected)
+{
+    // 96% reads -> read-mostly at the 95% threshold.
+    BlockTrafficAnalyzer a(4096, 0.95);
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 96; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i), 0));
+    for (int i = 0; i < 4; ++i)
+        reqs.push_back(write(100 + i, 0));
+    feed(a, reqs);
+    EXPECT_NEAR(a.overallReadToReadMostly(), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(a.overallWriteToWriteMostly(), 0.0);
+}
+
+TEST(BlockTraffic, TopSharePicksHottestBlocks)
+{
+    BlockTrafficAnalyzer a(4096);
+    std::vector<IoRequest> reqs;
+    // 20 blocks; block 0 gets 81 reads, the rest one read each.
+    for (int i = 0; i < 81; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i), 0));
+    for (int b = 1; b < 20; ++b)
+        reqs.push_back(read(100 + b, 4096ULL * b));
+    feed(a, reqs);
+    // top-1% of 20 blocks -> 1 block -> 81/100 of read traffic.
+    EXPECT_DOUBLE_EQ(a.readTop1().quantile(0.5), 0.81);
+    // top-10% -> 2 blocks -> 82/100.
+    EXPECT_DOUBLE_EQ(a.readTop10().quantile(0.5), 0.82);
+}
+
+TEST(BlockTraffic, VolumesAreIndependent)
+{
+    BlockTrafficAnalyzer a;
+    feed(a, {read(0, 0, 4096, 0), read(1, 0, 4096, 1)});
+    // Two volumes, each with one 100%-read block.
+    EXPECT_EQ(a.readMostlyShares().count(), 2u);
+    EXPECT_DOUBLE_EQ(a.readMostlyShares().quantile(0.5), 1.0);
+}
+
+TEST(UpdateCoverage, CountsRewrittenShare)
+{
+    UpdateCoverageAnalyzer a(4096);
+    feed(a, {
+                write(0, 0), write(1, 0),   // block 0 rewritten
+                write(2, 4096),             // block 1 once
+                read(3, 8192),              // block 2 read-only
+                write(4, 12288),            // block 3 once
+            });
+    // update WSS = 1 block, total WSS = 4 blocks.
+    EXPECT_DOUBLE_EQ(a.coverage().quantile(0.5), 0.25);
+    const auto &wss = a.volumeWss().at(0);
+    EXPECT_EQ(wss.total_blocks, 4u);
+    EXPECT_EQ(wss.written_blocks, 3u);
+    EXPECT_EQ(wss.updated_blocks, 1u);
+}
+
+TEST(UpdateCoverage, ReadsBetweenWritesStillUpdate)
+{
+    UpdateCoverageAnalyzer a(4096);
+    feed(a, {write(0, 0), read(1, 0), write(2, 0)});
+    EXPECT_DOUBLE_EQ(a.coverage().quantile(0.5), 1.0);
+}
+
+TEST(UpdateCoverage, PerVolumeCdf)
+{
+    UpdateCoverageAnalyzer a(4096);
+    feed(a, {
+                write(0, 0, 4096, 0), write(1, 0, 4096, 0), // vol 0: 100%
+                write(2, 0, 4096, 1), write(3, 4096, 4096, 1), // vol 1: 0%
+            });
+    EXPECT_DOUBLE_EQ(a.coverage().quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.coverage().quantile(1.0), 1.0);
+    EXPECT_EQ(a.coverage().count(), 2u);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "analysis/cache_miss.h"
+#include "analysis/temporal_pairs.h"
+#include "analysis/update_interval.h"
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+TEST(TemporalPairs, ClassifiesAllFourKinds)
+{
+    TemporalPairsAnalyzer a(4096);
+    feed(a, {
+                write(0, 0),       // first touch
+                read(10, 0),       // RAW, 10 us
+                read(30, 0),       // RAR, 20 us
+                write(60, 0),      // WAR, 30 us
+                write(100, 0),     // WAW, 40 us
+            });
+    EXPECT_EQ(a.count(PairKind::RAW), 1u);
+    EXPECT_EQ(a.count(PairKind::RAR), 1u);
+    EXPECT_EQ(a.count(PairKind::WAR), 1u);
+    EXPECT_EQ(a.count(PairKind::WAW), 1u);
+    EXPECT_EQ(a.times(PairKind::RAW).quantile(0.5), 10u);
+    EXPECT_EQ(a.times(PairKind::RAR).quantile(0.5), 20u);
+    EXPECT_EQ(a.times(PairKind::WAR).quantile(0.5), 30u);
+    EXPECT_EQ(a.times(PairKind::WAW).quantile(0.5), 40u);
+}
+
+TEST(TemporalPairs, PairsArePerBlock)
+{
+    TemporalPairsAnalyzer a(4096);
+    feed(a, {write(0, 0), write(10, 4096), write(20, 0)});
+    // Block 0: WAW with gap 20; block 1: no pair.
+    EXPECT_EQ(a.count(PairKind::WAW), 1u);
+    EXPECT_EQ(a.times(PairKind::WAW).quantile(0.5), 20u);
+}
+
+TEST(TemporalPairs, PairsArePerVolume)
+{
+    TemporalPairsAnalyzer a(4096);
+    feed(a, {write(0, 0, 4096, 0), write(10, 0, 4096, 1)});
+    EXPECT_EQ(a.count(PairKind::WAW), 0u);
+}
+
+TEST(TemporalPairs, MultiBlockRequestPairsEachBlock)
+{
+    TemporalPairsAnalyzer a(4096);
+    feed(a, {write(0, 0, 8192), write(50, 0, 8192)});
+    EXPECT_EQ(a.count(PairKind::WAW), 2u);
+}
+
+TEST(TemporalPairs, ZeroGapPairsAllowed)
+{
+    TemporalPairsAnalyzer a(4096);
+    feed(a, {write(5, 0), write(5, 0)});
+    EXPECT_EQ(a.count(PairKind::WAW), 1u);
+    EXPECT_EQ(a.times(PairKind::WAW).quantile(0.5), 0u);
+}
+
+TEST(TemporalPairs, OutOfOrderTraceRejected)
+{
+    TemporalPairsAnalyzer a(4096);
+    EXPECT_THROW(feed(a, {write(100, 0), write(50, 0)}), FatalError);
+}
+
+TEST(TemporalPairs, KindNames)
+{
+    EXPECT_STREQ(pairKindName(PairKind::RAW), "RAW");
+    EXPECT_STREQ(pairKindName(PairKind::WAW), "WAW");
+    EXPECT_STREQ(pairKindName(PairKind::RAR), "RAR");
+    EXPECT_STREQ(pairKindName(PairKind::WAR), "WAR");
+}
+
+TEST(UpdateInterval, MeasuresWriteToWriteOnly)
+{
+    UpdateIntervalAnalyzer a(4096);
+    feed(a, {
+                write(0, 0),
+                read(10 * units::minute, 0), // reads do not reset
+                write(20 * units::minute, 0),
+            });
+    EXPECT_EQ(a.global().count(), 1u);
+    EXPECT_NEAR(static_cast<double>(a.global().quantile(0.5)),
+                static_cast<double>(20 * units::minute),
+                static_cast<double>(units::minute));
+}
+
+TEST(UpdateInterval, MultipleIntervalsPerBlock)
+{
+    UpdateIntervalAnalyzer a(4096);
+    feed(a, {write(0, 0), write(100, 0), write(300, 0)});
+    EXPECT_EQ(a.global().count(), 2u); // M writes -> M-1 intervals
+}
+
+TEST(UpdateInterval, DurationGroupProportions)
+{
+    UpdateIntervalAnalyzer a(4096);
+    // Intervals: 1 min (<5min), 10 min (5-30), 2 h (30-240),
+    // and 10 h (>240 min), on four distinct blocks.
+    std::vector<IoRequest> reqs;
+    TimeUs gaps[4] = {units::minute, 10 * units::minute,
+                      2 * units::hour, 10 * units::hour};
+    for (int b = 0; b < 4; ++b) {
+        reqs.push_back(write(0, 4096ULL * b));
+        reqs.push_back(write(gaps[b], 4096ULL * b));
+    }
+    std::sort(reqs.begin(), reqs.end(),
+              [](const IoRequest &x, const IoRequest &y) {
+                  return x.timestamp < y.timestamp;
+              });
+    feed(a, reqs);
+    const auto &groups = a.durationGroups();
+    for (int g = 0; g < 4; ++g) {
+        ASSERT_EQ(groups[g].count(), 1u);
+        EXPECT_NEAR(groups[g].quantile(0.5), 0.25, 0.05) << "group " << g;
+    }
+}
+
+TEST(UpdateInterval, PercentileGroupsAcrossVolumes)
+{
+    UpdateIntervalAnalyzer a(4096);
+    feed(a, {
+                write(0, 0, 4096, 0), write(units::hour, 0, 4096, 0),
+                write(0, 0, 4096, 1), write(units::minute, 0, 4096, 1),
+            });
+    const auto &groups = a.percentileGroups();
+    ASSERT_EQ(groups[2].count(), 2u); // p75 group has both volumes
+    EXPECT_LT(groups[2].quantile(0.0), groups[2].quantile(1.0));
+}
+
+TEST(CacheMiss, TwoPassComputesPerVolumeRatios)
+{
+    // Volume 0: 10-block WSS, tight reuse -> low miss at 10% cache?
+    // With cache = 1 block (10% of 10), repeated single-block access
+    // hits after the first touch.
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(write(static_cast<TimeUs>(i), 4096ULL * i));
+    for (int i = 10; i < 100; ++i)
+        reqs.push_back(write(static_cast<TimeUs>(i), 0));
+    VectorSource source(reqs);
+    CacheMissAnalyzer sim({0.10}, 4096);
+    sim.runTwoPass(source);
+    ASSERT_EQ(sim.writeMissRatios(0).count(), 1u);
+    // 10 cold misses + the re-entry into block 0 after eviction; the
+    // 89 remaining accesses to block 0 hit.
+    double expected_miss = 11.0 / 100.0;
+    EXPECT_NEAR(sim.writeMissRatios(0).quantile(0.5), expected_miss,
+                1e-9);
+}
+
+TEST(CacheMiss, SeparatesReadAndWriteRatios)
+{
+    std::vector<IoRequest> reqs;
+    reqs.push_back(write(0, 0));
+    reqs.push_back(read(1, 0));  // hit
+    reqs.push_back(read(2, 4096)); // miss
+    VectorSource source(reqs);
+    CacheMissAnalyzer sim({1.0}, 4096);
+    sim.runTwoPass(source);
+    EXPECT_DOUBLE_EQ(sim.readMissRatios(0).quantile(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(sim.writeMissRatios(0).quantile(0.5), 1.0);
+}
+
+TEST(CacheMiss, RejectsBadFractions)
+{
+    EXPECT_THROW(CacheMissAnalyzer(std::vector<double>{}),
+                 FatalError);
+    EXPECT_THROW(CacheMissAnalyzer({0.0}), FatalError);
+    EXPECT_THROW(CacheMissAnalyzer({1.5}), FatalError);
+}
+
+TEST(CacheMiss, FullWssCacheOnlyColdMisses)
+{
+    std::vector<IoRequest> reqs;
+    for (int round = 0; round < 3; ++round)
+        for (int b = 0; b < 20; ++b)
+            reqs.push_back(read(
+                static_cast<TimeUs>(round * 20 + b), 4096ULL * b));
+    VectorSource source(reqs);
+    CacheMissAnalyzer sim({1.0}, 4096);
+    sim.runTwoPass(source);
+    EXPECT_NEAR(sim.readMissRatios(0).quantile(0.5), 20.0 / 60.0,
+                1e-9);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "analysis/volume_classes.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+TEST(VolumeClasses, RuleCoreClassifiesArchetypes)
+{
+    VolumeFeatures log_like;
+    log_like.writes = 1000;
+    log_like.written_blocks = 900;
+    log_like.updated_blocks = 10;
+    EXPECT_EQ(VolumeClassifier::classify(log_like, 100),
+              VolumeClass::WriteOnlyLog);
+
+    VolumeFeatures updater;
+    updater.writes = 1000;
+    updater.written_blocks = 200;
+    updater.updated_blocks = 150;
+    EXPECT_EQ(VolumeClassifier::classify(updater, 100),
+              VolumeClass::WriteHeavyUpdater);
+
+    VolumeFeatures reader;
+    reader.reads = 900;
+    reader.writes = 100;
+    EXPECT_EQ(VolumeClassifier::classify(reader, 100),
+              VolumeClass::ReadMostly);
+
+    VolumeFeatures mixed;
+    mixed.reads = 500;
+    mixed.writes = 500;
+    EXPECT_EQ(VolumeClassifier::classify(mixed, 100),
+              VolumeClass::Mixed);
+
+    VolumeFeatures tiny;
+    tiny.reads = 3;
+    EXPECT_EQ(VolumeClassifier::classify(tiny, 100),
+              VolumeClass::Idle);
+}
+
+TEST(VolumeClasses, EndToEndOverStream)
+{
+    VolumeClassifier classifier(/*min_requests=*/4, 4096);
+    std::vector<IoRequest> reqs;
+    // Volume 0: write-only one-touch log.
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(write(static_cast<TimeUs>(i), 4096ULL * i,
+                             4096, 0));
+    // Volume 1: rewrites the same block repeatedly.
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(write(100 + i, 0, 4096, 1));
+    // Volume 2: read-mostly.
+    for (int i = 0; i < 9; ++i)
+        reqs.push_back(read(200 + i, 0, 4096, 2));
+    reqs.push_back(write(210, 0, 4096, 2));
+    // Volume 3: only two requests -> idle.
+    reqs.push_back(read(300, 0, 4096, 3));
+    reqs.push_back(read(301, 0, 4096, 3));
+    feed(classifier, reqs);
+
+    EXPECT_EQ(classifier.classOf(0), VolumeClass::WriteOnlyLog);
+    EXPECT_EQ(classifier.classOf(1), VolumeClass::WriteHeavyUpdater);
+    EXPECT_EQ(classifier.classOf(2), VolumeClass::ReadMostly);
+    EXPECT_EQ(classifier.classOf(3), VolumeClass::Idle);
+    EXPECT_EQ(classifier.classOf(99), VolumeClass::Idle); // untouched
+
+    const auto &hist = classifier.histogram();
+    EXPECT_EQ(hist[static_cast<std::size_t>(VolumeClass::WriteOnlyLog)],
+              1u);
+    EXPECT_EQ(hist[static_cast<std::size_t>(VolumeClass::Idle)], 1u);
+}
+
+TEST(VolumeClasses, UpdaterVsLogBoundaryUsesRewriteFraction)
+{
+    // Same op mix, different rewrite behaviour.
+    VolumeFeatures features;
+    features.writes = 1000;
+    features.written_blocks = 100;
+    features.updated_blocks = 29; // 29% rewritten: still log-like
+    EXPECT_EQ(VolumeClassifier::classify(features, 10),
+              VolumeClass::WriteOnlyLog);
+    features.updated_blocks = 31; // 31%: updater
+    EXPECT_EQ(VolumeClassifier::classify(features, 10),
+              VolumeClass::WriteHeavyUpdater);
+}
+
+TEST(VolumeClasses, FeatureAccounting)
+{
+    VolumeClassifier classifier(1, 4096);
+    feed(classifier, {
+                         write(0, 0),    // block 0 written
+                         write(1, 0),    // block 0 updated
+                         write(2, 0),    // further writes: no change
+                         read(3, 4096),  // block 1 read
+                     });
+    const VolumeFeatures &features = classifier.featuresOf(0);
+    EXPECT_EQ(features.writes, 3u);
+    EXPECT_EQ(features.reads, 1u);
+    EXPECT_EQ(features.written_blocks, 1u);
+    EXPECT_EQ(features.updated_blocks, 1u);
+    EXPECT_EQ(features.read_blocks, 1u);
+    EXPECT_DOUBLE_EQ(features.rewriteFraction(), 1.0);
+}
+
+TEST(VolumeClasses, NamesAreStable)
+{
+    EXPECT_STREQ(volumeClassName(VolumeClass::WriteOnlyLog),
+                 "write-only-log");
+    EXPECT_STREQ(volumeClassName(VolumeClass::Mixed), "mixed");
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../testutil.h"
+#include "analysis/workload_summary.h"
+#include "synth/models.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+TEST(WorkloadSummary, RunsAllAnalyzersInOnePass)
+{
+    WorkloadSummaryOptions options;
+    options.duration = units::hour;
+    options.activeness_interval = units::minute;
+    WorkloadSummary summary(options);
+
+    VectorSource source({
+        write(0, 0, 4096, 0),
+        read(1000, 0, 8192, 0),
+        write(2000, 4096, 4096, 1),
+        write(units::minute, 4096, 4096, 1),
+    });
+    summary.run(source);
+
+    EXPECT_EQ(summary.basic.stats().requests(), 4u);
+    EXPECT_EQ(summary.basic.stats().volumes, 2u);
+    EXPECT_EQ(summary.pairs.count(PairKind::RAW), 1u);
+    EXPECT_EQ(summary.pairs.count(PairKind::WAW), 1u);
+    EXPECT_EQ(summary.intervals.global().count(), 1u);
+    EXPECT_EQ(summary.sizes.readSizes().count(), 1u);
+    EXPECT_EQ(summary.ratios.totalWrites(), 3u);
+}
+
+TEST(WorkloadSummary, PrintProducesAllSections)
+{
+    WorkloadSummaryOptions options;
+    options.duration = units::hour;
+    WorkloadSummary summary(options);
+    VectorSource source({write(0, 0), read(5, 0)});
+    summary.run(source);
+
+    std::ostringstream os;
+    summary.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Workload overview"), std::string::npos);
+    EXPECT_NE(out.find("Per-volume distributions"), std::string::npos);
+    EXPECT_NE(out.find("Temporal pairs"), std::string::npos);
+    EXPECT_NE(out.find("RAW"), std::string::npos);
+    EXPECT_NE(out.find("write:read ratio"), std::string::npos);
+}
+
+TEST(WorkloadSummary, EmptyTraceDoesNotCrash)
+{
+    WorkloadSummary summary;
+    VectorSource source(std::vector<IoRequest>{});
+    summary.run(source);
+    std::ostringstream os;
+    EXPECT_NO_THROW(summary.print(os));
+    EXPECT_EQ(summary.basic.stats().requests(), 0u);
+}
+
+TEST(WorkloadSummary, SyntheticPopulationEndToEnd)
+{
+    PopulationSpec spec = aliCloudSpanSpec(SpanScale{6, 3000});
+    spec.min_volume_requests = 10;
+    auto source = makeTrace(spec, 3);
+
+    WorkloadSummaryOptions options;
+    options.duration = spec.duration;
+    options.activeness_interval = 12 * units::hour;
+    WorkloadSummary summary(options);
+    summary.run(*source);
+
+    EXPECT_GT(summary.basic.stats().requests(), 1000u);
+    EXPECT_GT(summary.basic.stats().writeToReadRatio(), 1.0);
+    std::ostringstream os;
+    summary.print(os);
+    EXPECT_GT(os.str().size(), 400u);
+}
+
+} // namespace
+} // namespace cbs

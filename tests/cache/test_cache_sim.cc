@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "cache/cache_sim.h"
+#include "cache/lru.h"
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+TEST(CacheSim, RequiresPolicyAndBlockSize)
+{
+    EXPECT_THROW(CacheSim(nullptr), FatalError);
+    EXPECT_THROW(CacheSim(std::make_unique<LruCache>(4), 0),
+                 FatalError);
+}
+
+TEST(CacheSim, CountsPerOpHitsAndMisses)
+{
+    CacheSim sim(std::make_unique<LruCache>(16), 4096);
+    sim.access(read(0, 0, 4096));  // read miss
+    sim.access(read(1, 0, 4096));  // read hit
+    sim.access(write(2, 0, 4096)); // write hit (unified cache)
+    sim.access(write(3, 8192, 4096)); // write miss
+    const CacheStats &stats = sim.stats();
+    EXPECT_EQ(stats.read_misses, 1u);
+    EXPECT_EQ(stats.read_hits, 1u);
+    EXPECT_EQ(stats.write_hits, 1u);
+    EXPECT_EQ(stats.write_misses, 1u);
+    EXPECT_DOUBLE_EQ(stats.readMissRatio(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.writeMissRatio(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.overallMissRatio(), 0.5);
+}
+
+TEST(CacheSim, MultiBlockRequestIsMultipleAccesses)
+{
+    CacheSim sim(std::make_unique<LruCache>(16), 4096);
+    sim.access(read(0, 0, 4096 * 3)); // three block accesses, all miss
+    EXPECT_EQ(sim.stats().read_misses, 3u);
+    sim.access(read(1, 4096, 4096)); // middle block now hits
+    EXPECT_EQ(sim.stats().read_hits, 1u);
+}
+
+TEST(CacheSim, UnalignedRequestTouchesBothBlocks)
+{
+    CacheSim sim(std::make_unique<LruCache>(16), 4096);
+    sim.access(write(0, 4000, 200)); // straddles blocks 0 and 1
+    EXPECT_EQ(sim.stats().write_misses, 2u);
+}
+
+TEST(CacheSim, EmptyStatsAreZeroRatios)
+{
+    CacheSim sim(std::make_unique<LruCache>(4));
+    EXPECT_DOUBLE_EQ(sim.stats().readMissRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(sim.stats().writeMissRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(sim.stats().overallMissRatio(), 0.0);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/lru.h"
+#include "common/error.h"
+#include "synth/rng.h"
+
+namespace cbs {
+namespace {
+
+TEST(Lru, RejectsZeroCapacity)
+{
+    EXPECT_THROW(LruCache cache(0), FatalError);
+}
+
+TEST(Lru, MissThenHit)
+{
+    LruCache cache(2);
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_TRUE(cache.access(1));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruCache cache(2);
+    cache.access(1);
+    cache.access(2);
+    cache.access(1); // 2 is now LRU
+    cache.access(3); // evicts 2
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lru, HitRefreshesRecency)
+{
+    LruCache cache(3);
+    cache.access(1);
+    cache.access(2);
+    cache.access(3);
+    EXPECT_EQ(cache.coldestKey(), 1u);
+    cache.access(1);
+    EXPECT_EQ(cache.coldestKey(), 2u);
+}
+
+TEST(Lru, CapacityOneThrashes)
+{
+    LruCache cache(1);
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_FALSE(cache.access(2));
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Lru, ClearEmptiesCache)
+{
+    LruCache cache(4);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cache.access(k);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Lru, SizeNeverExceedsCapacity)
+{
+    LruCache cache(16);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        cache.access(rng.uniformInt(100));
+        ASSERT_LE(cache.size(), 16u);
+    }
+}
+
+/**
+ * Property test: LruCache must agree hit-for-hit with a reference LRU
+ * built from std::list + std::unordered_map.
+ */
+TEST(Lru, PropertyMatchesReferenceImplementation)
+{
+    const std::size_t capacity = 32;
+    LruCache cache(capacity);
+    std::list<std::uint64_t> order; // front = MRU
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        index;
+    Rng rng(77);
+    for (int i = 0; i < 100000; ++i) {
+        std::uint64_t key = rng.uniformInt(128);
+        bool ref_hit = index.count(key) > 0;
+        if (ref_hit) {
+            order.erase(index[key]);
+        } else if (order.size() == capacity) {
+            index.erase(order.back());
+            order.pop_back();
+        }
+        order.push_front(key);
+        index[key] = order.begin();
+
+        ASSERT_EQ(cache.access(key), ref_hit) << "step " << i;
+        ASSERT_EQ(cache.size(), order.size());
+        ASSERT_EQ(cache.coldestKey(), order.back());
+    }
+}
+
+TEST(Lru, WorksAtLargeScale)
+{
+    LruCache cache(100000);
+    for (std::uint64_t k = 0; k < 300000; ++k)
+        cache.access(k);
+    EXPECT_EQ(cache.size(), 100000u);
+    // The most recent 100k keys are resident.
+    EXPECT_TRUE(cache.contains(299999));
+    EXPECT_TRUE(cache.contains(200000));
+    EXPECT_FALSE(cache.contains(199999));
+}
+
+} // namespace
+} // namespace cbs

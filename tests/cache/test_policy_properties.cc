@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Parameterized property sweeps over all replacement policies and a
+ * range of capacities: invariants every policy must satisfy regardless
+ * of eviction strategy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "stats/log_histogram.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+namespace cbs {
+namespace {
+
+using Param = std::tuple<const char *, std::size_t>;
+
+class PolicyProperties : public ::testing::TestWithParam<Param>
+{
+  protected:
+    std::unique_ptr<CachePolicy>
+    make() const
+    {
+        auto [name, capacity] = GetParam();
+        return makeCachePolicy(name, capacity);
+    }
+
+    std::size_t capacity() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(PolicyProperties, SizeNeverExceedsCapacity)
+{
+    auto cache = make();
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        cache->access(rng.uniformInt(4 * capacity() + 1));
+        ASSERT_LE(cache->size(), capacity());
+    }
+}
+
+TEST_P(PolicyProperties, AccessImpliesResidency)
+{
+    // Immediately after an access, the key must be resident.
+    auto cache = make();
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t key = rng.uniformInt(10 * capacity() + 1);
+        cache->access(key);
+        ASSERT_TRUE(cache->contains(key));
+    }
+}
+
+TEST_P(PolicyProperties, HitsMatchResidencyReports)
+{
+    // access() returns true exactly when contains() said the key was
+    // resident just before.
+    auto cache = make();
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t key = rng.uniformInt(2 * capacity() + 1);
+        bool resident = cache->contains(key);
+        ASSERT_EQ(cache->access(key), resident);
+    }
+}
+
+TEST_P(PolicyProperties, WorkingSetWithinCapacityAlwaysHits)
+{
+    // After warmup, cycling a working set no larger than the capacity
+    // must be all hits for any demand-fill policy.
+    auto cache = make();
+    std::size_t set = capacity();
+    for (std::size_t k = 0; k < set; ++k)
+        cache->access(k);
+    for (int round = 0; round < 4; ++round) {
+        for (std::size_t k = 0; k < set; ++k)
+            ASSERT_TRUE(cache->access(k))
+                << std::get<0>(GetParam()) << " missed key " << k;
+    }
+}
+
+TEST_P(PolicyProperties, ClearResetsToColdState)
+{
+    auto cache = make();
+    Rng rng(4);
+    ZipfSampler zipf(1000, 0.9);
+    for (int i = 0; i < 5000; ++i)
+        cache->access(zipf.sample(rng));
+    cache->clear();
+    EXPECT_EQ(cache->size(), 0u);
+    EXPECT_FALSE(cache->access(1)); // cold again
+}
+
+TEST_P(PolicyProperties, DeterministicAcrossRuns)
+{
+    auto a = make();
+    auto b = make();
+    Rng rng(5);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 10000; ++i)
+        keys.push_back(rng.uniformInt(3 * capacity() + 1));
+    std::uint64_t hits_a = 0;
+    std::uint64_t hits_b = 0;
+    for (std::uint64_t key : keys)
+        hits_a += a->access(key);
+    for (std::uint64_t key : keys)
+        hits_b += b->access(key);
+    EXPECT_EQ(hits_a, hits_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperties,
+    ::testing::Combine(::testing::Values("lru", "fifo", "clock", "lfu",
+                                         "arc"),
+                       ::testing::Values(std::size_t{1},
+                                         std::size_t{7},
+                                         std::size_t{64},
+                                         std::size_t{1024})),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        return std::string(std::get<0>(info.param)) + "_cap" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+/** Histogram precision sweep: error bound scales with sub_bits. */
+class HistogramPrecision : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HistogramPrecision, QuantileErrorWithinBucketWidth)
+{
+    const int sub_bits = GetParam();
+    LogHistogram hist(sub_bits);
+    Rng rng(7);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = static_cast<std::uint64_t>(rng.logUniform(1, 1e10));
+        values.push_back(v);
+        hist.add(v);
+    }
+    std::sort(values.begin(), values.end());
+    double tolerance = 2.0 / (1 << sub_bits) + 0.02;
+    for (double q : {0.1, 0.5, 0.9}) {
+        std::uint64_t exact =
+            values[static_cast<std::size_t>(q * (values.size() - 1))];
+        double rel = std::abs(static_cast<double>(hist.quantile(q)) -
+                              static_cast<double>(exact)) /
+                     static_cast<double>(exact);
+        EXPECT_LT(rel, tolerance)
+            << "sub_bits=" << sub_bits << " q=" << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HistogramPrecision,
+                         ::testing::Values(3, 5, 7, 9));
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/lru.h"
+#include "cache/reuse_distance.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+namespace cbs {
+namespace {
+
+TEST(ReuseDistance, ColdAccessesAreInfinite)
+{
+    ReuseDistance rd;
+    EXPECT_EQ(rd.access(1), ReuseDistance::kInfinite);
+    EXPECT_EQ(rd.access(2), ReuseDistance::kInfinite);
+    EXPECT_EQ(rd.coldMisses(), 2u);
+    EXPECT_EQ(rd.uniqueKeys(), 2u);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceOne)
+{
+    ReuseDistance rd;
+    rd.access(1);
+    EXPECT_EQ(rd.access(1), 1u);
+}
+
+TEST(ReuseDistance, CountsDistinctIntervening)
+{
+    ReuseDistance rd;
+    rd.access(1);
+    rd.access(2);
+    rd.access(3);
+    rd.access(2); // distinct since last 2: {3} -> distance 2
+    EXPECT_EQ(rd.access(1), 3u); // distinct since last 1: {2,3}
+}
+
+TEST(ReuseDistance, RepeatsDoNotInflateDistance)
+{
+    ReuseDistance rd;
+    rd.access(1);
+    rd.access(2);
+    rd.access(2);
+    rd.access(2);
+    EXPECT_EQ(rd.access(1), 2u); // only {2} intervened
+}
+
+TEST(ReuseDistance, MissRatioFromKnownHistogram)
+{
+    ReuseDistance rd;
+    // Stream: 1 2 1 2 1 2 -> four reuses, all distance 2.
+    for (int i = 0; i < 3; ++i) {
+        rd.access(1);
+        rd.access(2);
+    }
+    EXPECT_DOUBLE_EQ(rd.missRatioAt(1), 1.0);    // never hits at c=1
+    EXPECT_NEAR(rd.missRatioAt(2), 2.0 / 6.0, 1e-9); // colds only
+}
+
+/**
+ * Property: an LRU cache of capacity c hits exactly the accesses whose
+ * stack distance is <= c. Cross-validate the Fenwick-tree distances
+ * against direct LRU simulation at several capacities.
+ */
+TEST(ReuseDistance, PropertyMatchesLruSimulation)
+{
+    Rng rng(123);
+    ZipfSampler zipf(500, 0.9);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 30000; ++i)
+        stream.push_back(zipf.sample(rng));
+
+    ReuseDistance rd;
+    for (std::uint64_t key : stream)
+        rd.access(key);
+
+    for (std::uint64_t c : {1u, 4u, 16u, 64u, 256u}) {
+        LruCache lru(c);
+        std::uint64_t misses = 0;
+        for (std::uint64_t key : stream)
+            misses += !lru.access(key);
+        double expected =
+            static_cast<double>(misses) / stream.size();
+        EXPECT_NEAR(rd.missRatioAt(c), expected, 1e-9) << "c=" << c;
+    }
+}
+
+TEST(ReuseDistance, CurveIsMonotoneNonIncreasing)
+{
+    Rng rng(5);
+    ReuseDistance rd;
+    for (int i = 0; i < 20000; ++i)
+        rd.access(rng.uniformInt(1000));
+    auto curve = rd.curve({1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i].second, curve[i - 1].second);
+}
+
+TEST(ReuseDistance, GrowsPastInitialTreeCapacity)
+{
+    ReuseDistance rd;
+    for (int round = 0; round < 3; ++round)
+        for (std::uint64_t k = 0; k < 500; ++k)
+            rd.access(k);
+    EXPECT_EQ(rd.accessCount(), 1500u);
+    EXPECT_EQ(rd.uniqueKeys(), 500u);
+    // Every reuse skipped exactly 499 distinct keys.
+    EXPECT_DOUBLE_EQ(rd.missRatioAt(499), 1.0);
+    EXPECT_NEAR(rd.missRatioAt(500), 500.0 / 1500.0, 1e-9);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/reuse_distance.h"
+#include "cache/shards.h"
+#include "common/error.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+namespace cbs {
+namespace {
+
+TEST(Shards, RejectsBadRates)
+{
+    EXPECT_THROW(ShardsReuseDistance(0.0), FatalError);
+    EXPECT_THROW(ShardsReuseDistance(1.5), FatalError);
+}
+
+TEST(Shards, FullRateTracksEverything)
+{
+    ShardsReuseDistance shards(1.0);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        shards.access(k % 100);
+    EXPECT_EQ(shards.sampledCount(), shards.accessCount());
+}
+
+TEST(Shards, SampleSizeTracksRate)
+{
+    ShardsReuseDistance shards(0.1);
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        shards.access(rng.uniformInt(50000));
+    double realized = static_cast<double>(shards.sampledCount()) /
+                      static_cast<double>(shards.accessCount());
+    EXPECT_NEAR(realized, 0.1, 0.01);
+}
+
+TEST(Shards, SamplingIsSpatial)
+{
+    // Each key is either always sampled or never; re-accessing the
+    // same key must not flip the decision.
+    ShardsReuseDistance shards(0.3);
+    shards.access(42);
+    std::uint64_t after_first = shards.sampledCount();
+    for (int i = 0; i < 10; ++i)
+        shards.access(42);
+    EXPECT_EQ(shards.sampledCount(), after_first * 11);
+}
+
+TEST(Shards, ApproximatesExactMissRatioCurve)
+{
+    // Property: SHARDS tracks the exact curve within a few points of
+    // miss ratio in its intended regime — many keys, moderate skew,
+    // capacities with c x R well above 1. (With few keys and heavy
+    // skew the estimate is dominated by whether the hot head lands in
+    // the sample — the variance the SHARDS paper documents.)
+    Rng rng(7);
+    ZipfSampler zipf(200000, 0.6);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 400000; ++i)
+        stream.push_back(zipf.sample(rng));
+
+    ReuseDistance exact;
+    ShardsReuseDistance shards(0.2);
+    for (std::uint64_t key : stream) {
+        exact.access(key);
+        shards.access(key);
+    }
+
+    for (std::uint64_t c : {1000u, 4000u, 16000u, 64000u}) {
+        double e = exact.missRatioAt(c);
+        double s = shards.missRatioAt(c);
+        EXPECT_NEAR(s, e, 0.05) << "capacity " << c;
+    }
+}
+
+TEST(Shards, EmptyEstimatesFullMiss)
+{
+    ShardsReuseDistance shards(0.5);
+    EXPECT_DOUBLE_EQ(shards.missRatioAt(100), 1.0);
+}
+
+} // namespace
+} // namespace cbs

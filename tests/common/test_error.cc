@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(CBS_FATAL("bad input " << 42), FatalError);
+}
+
+TEST(Error, PanicThrowsPanicError)
+{
+    EXPECT_THROW(CBS_PANIC("broken invariant"), PanicError);
+}
+
+TEST(Error, FatalMessageContainsTextAndLocation)
+{
+    try {
+        CBS_FATAL("bad volume " << 7);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("bad volume 7"), std::string::npos);
+        EXPECT_NE(msg.find("test_error.cc"), std::string::npos);
+    }
+}
+
+TEST(Error, CheckPassesOnTrue)
+{
+    EXPECT_NO_THROW(CBS_CHECK(1 + 1 == 2));
+}
+
+TEST(Error, CheckThrowsOnFalseWithCondition)
+{
+    try {
+        CBS_CHECK(1 == 2);
+        FAIL() << "expected PanicError";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("1 == 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, ExpectThrowsFatalWithMessage)
+{
+    EXPECT_NO_THROW(CBS_EXPECT(true, "fine"));
+    try {
+        CBS_EXPECT(false, "capacity " << 3 << " too small");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("capacity 3 too small"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, FatalIsRuntimeErrorPanicIsLogicError)
+{
+    EXPECT_THROW(CBS_FATAL("x"), std::runtime_error);
+    EXPECT_THROW(CBS_PANIC("x"), std::logic_error);
+}
+
+} // namespace
+} // namespace cbs

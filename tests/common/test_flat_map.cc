@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "synth/rng.h"
+
+namespace cbs {
+namespace {
+
+TEST(FlatMap, EmptyOnConstruction)
+{
+    FlatMap<int> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_FALSE(map.contains(42));
+}
+
+TEST(FlatMap, InsertAndFind)
+{
+    FlatMap<int> map;
+    map[10] = 1;
+    map[20] = 2;
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(10), nullptr);
+    EXPECT_EQ(*map.find(10), 1);
+    EXPECT_EQ(*map.find(20), 2);
+    EXPECT_EQ(map.find(30), nullptr);
+}
+
+TEST(FlatMap, TryEmplaceReportsInsertion)
+{
+    FlatMap<int> map;
+    auto [first, inserted1] = map.tryEmplace(5);
+    EXPECT_TRUE(inserted1);
+    first = 99;
+    auto [second, inserted2] = map.tryEmplace(5);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(second, 99);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs)
+{
+    FlatMap<std::uint64_t> map;
+    EXPECT_EQ(map[7], 0u);
+    map[7] += 3;
+    EXPECT_EQ(map[7], 3u);
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites)
+{
+    FlatMap<int> map;
+    map.insertOrAssign(1, 10);
+    map.insertOrAssign(1, 20);
+    EXPECT_EQ(*map.find(1), 20);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, EraseRemovesOnlyTarget)
+{
+    FlatMap<int> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map[k] = static_cast<int>(k);
+    EXPECT_TRUE(map.erase(50));
+    EXPECT_FALSE(map.erase(50));
+    EXPECT_EQ(map.size(), 99u);
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        if (k == 50)
+            EXPECT_EQ(map.find(k), nullptr);
+        else
+            ASSERT_NE(map.find(k), nullptr) << "lost key " << k;
+    }
+}
+
+TEST(FlatMap, ZeroAndMaxKeysAreValid)
+{
+    FlatMap<int> map;
+    map[0] = 1;
+    map[~std::uint64_t{0}] = 2;
+    EXPECT_EQ(*map.find(0), 1);
+    EXPECT_EQ(*map.find(~std::uint64_t{0}), 2);
+    EXPECT_TRUE(map.erase(0));
+    EXPECT_EQ(map.find(0), nullptr);
+    EXPECT_EQ(*map.find(~std::uint64_t{0}), 2);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacity)
+{
+    FlatMap<std::uint64_t> map;
+    constexpr std::uint64_t n = 10000;
+    for (std::uint64_t k = 0; k < n; ++k)
+        map[k * 7919] = k;
+    EXPECT_EQ(map.size(), n);
+    for (std::uint64_t k = 0; k < n; ++k)
+        EXPECT_EQ(*map.find(k * 7919), k);
+}
+
+TEST(FlatMap, ClearKeepsCapacityDropsContents)
+{
+    FlatMap<int> map;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map[k] = 1;
+    std::size_t cap = map.capacity();
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.find(1), nullptr);
+}
+
+TEST(FlatMap, ForEachVisitsEveryElementOnce)
+{
+    FlatMap<std::uint64_t> map;
+    for (std::uint64_t k = 1; k <= 500; ++k)
+        map[k] = k * 2;
+    std::uint64_t key_sum = 0;
+    std::uint64_t value_sum = 0;
+    std::size_t visits = 0;
+    map.forEach([&](std::uint64_t key, const std::uint64_t &value) {
+        key_sum += key;
+        value_sum += value;
+        ++visits;
+    });
+    EXPECT_EQ(visits, 500u);
+    EXPECT_EQ(key_sum, 500u * 501 / 2);
+    EXPECT_EQ(value_sum, 500u * 501);
+}
+
+TEST(FlatMap, ReserveAvoidsRehashDuringFill)
+{
+    FlatMap<int> map;
+    map.reserve(5000);
+    std::size_t cap = map.capacity();
+    for (std::uint64_t k = 0; k < 5000; ++k)
+        map[k] = 1;
+    EXPECT_EQ(map.capacity(), cap);
+}
+
+/**
+ * Property test: a randomized insert/erase/lookup workload must agree
+ * with std::unordered_map at every step (backward-shift deletion is
+ * the risky part).
+ */
+TEST(FlatMap, PropertyMatchesStdUnorderedMap)
+{
+    FlatMap<std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> reference;
+    Rng rng(12345);
+    for (int step = 0; step < 200000; ++step) {
+        std::uint64_t key = rng.uniformInt(500); // dense: forces probes
+        switch (rng.uniformInt(3)) {
+          case 0: {
+            std::uint64_t value = rng.nextU64();
+            map.insertOrAssign(key, value);
+            reference[key] = value;
+            break;
+          }
+          case 1: {
+            EXPECT_EQ(map.erase(key), reference.erase(key) > 0);
+            break;
+          }
+          default: {
+            auto *found = map.find(key);
+            auto it = reference.find(key);
+            if (it == reference.end()) {
+                EXPECT_EQ(found, nullptr);
+            } else {
+                ASSERT_NE(found, nullptr);
+                EXPECT_EQ(*found, it->second);
+            }
+          }
+        }
+        ASSERT_EQ(map.size(), reference.size());
+    }
+}
+
+TEST(FlatSet, InsertContainsErase)
+{
+    FlatSet set;
+    EXPECT_TRUE(set.insert(1));
+    EXPECT_FALSE(set.insert(1));
+    EXPECT_TRUE(set.contains(1));
+    EXPECT_FALSE(set.contains(2));
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_TRUE(set.erase(1));
+    EXPECT_FALSE(set.erase(1));
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSet, ForEachVisitsAll)
+{
+    FlatSet set;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        set.insert(k * 3);
+    std::uint64_t sum = 0;
+    set.forEach([&](std::uint64_t key) { sum += key; });
+    EXPECT_EQ(sum, 3 * 99 * 100 / 2);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Sequential keys land in different low bits most of the time.
+    std::unordered_set<std::uint64_t> low_bits;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        low_bits.insert(mix64(k) & 63);
+    EXPECT_GT(low_bits.size(), 30u);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/format.h"
+
+namespace cbs {
+namespace {
+
+TEST(Format, BytesBelowOneKiB)
+{
+    EXPECT_EQ(formatBytes(0), "0 B");
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1023), "1023 B");
+}
+
+TEST(Format, BytesScalesThroughUnits)
+{
+    EXPECT_EQ(formatBytes(1024), "1.00 KiB");
+    EXPECT_EQ(formatBytes(1536), "1.50 KiB");
+    EXPECT_EQ(formatBytes(4ULL << 20), "4.00 MiB");
+    EXPECT_EQ(formatBytes(3ULL << 30), "3.00 GiB");
+    EXPECT_EQ(formatBytes(29ULL << 40), "29.00 TiB");
+}
+
+TEST(Format, CountGroupsThousands)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+    EXPECT_EQ(formatCount(20233000000ULL), "20,233,000,000");
+}
+
+TEST(Format, MillionsMatchesPaperStyle)
+{
+    // Table I prints counts like "15,174.4" (millions).
+    EXPECT_EQ(formatMillions(15174400000ULL), "15,174.4");
+    EXPECT_EQ(formatMillions(5058600000ULL), "5,058.6");
+    EXPECT_EQ(formatMillions(304900000ULL), "304.9");
+    EXPECT_EQ(formatMillions(500000), "0.5");
+}
+
+TEST(Format, DurationPicksAdaptiveUnit)
+{
+    EXPECT_EQ(formatDurationUs(31), "31.0 us");
+    EXPECT_EQ(formatDurationUs(1300), "1.3 ms");
+    EXPECT_EQ(formatDurationUs(2.5e6), "2.5 s");
+    EXPECT_EQ(formatDurationUs(120e6), "2.0 min");
+    EXPECT_EQ(formatDurationUs(3.0 * 3600e6), "3.00 h");
+    EXPECT_EQ(formatDurationUs(17.8 * 86400e6), "17.80 d");
+}
+
+TEST(Format, FixedAndPercent)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+    EXPECT_EQ(formatPercent(0.343), "34.3%");
+    EXPECT_EQ(formatPercent(0.5, 0), "50%");
+    EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cross-analyzer consistency checks: independent analyzers computing
+ * overlapping quantities from the same stream must agree exactly, on
+ * randomized traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/basic_stats.h"
+#include "analysis/load_intensity.h"
+#include "analysis/update_coverage.h"
+#include "analysis/volume_activity.h"
+#include "analysis/volume_classes.h"
+#include "synth/rng.h"
+#include "trace/csv.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+std::vector<IoRequest>
+randomTrace(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<IoRequest> reqs;
+    TimeUs t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += rng.uniformInt(1000000);
+        IoRequest req;
+        req.timestamp = t;
+        req.volume = static_cast<VolumeId>(rng.uniformInt(8));
+        req.op = rng.bernoulli(0.7) ? Op::Write : Op::Read;
+        req.offset = 4096ULL * rng.uniformInt(512);
+        req.length = static_cast<std::uint32_t>(
+            4096 * (1 + rng.uniformInt(4)));
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+class CrossChecks : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CrossChecks, WssAgreesAcrossAnalyzers)
+{
+    auto reqs = randomTrace(GetParam(), 5000);
+    BasicStatsAnalyzer basic(4096);
+    UpdateCoverageAnalyzer coverage(4096);
+    VolumeClassifier classifier(1, 4096);
+    VectorSource source(reqs);
+    runPipeline(source, {&basic, &coverage, &classifier});
+
+    // Total/written/updated WSS from UpdateCoverage must match
+    // BasicStats byte counts.
+    std::uint64_t total_blocks = 0;
+    std::uint64_t written_blocks = 0;
+    std::uint64_t updated_blocks = 0;
+    coverage.volumeWss().forEach(
+        [&](VolumeId, const UpdateCoverageAnalyzer::VolumeWss &wss) {
+            total_blocks += wss.total_blocks;
+            written_blocks += wss.written_blocks;
+            updated_blocks += wss.updated_blocks;
+        });
+    const BasicStats &s = basic.stats();
+    EXPECT_EQ(total_blocks * 4096, s.total_wss_bytes);
+    EXPECT_EQ(written_blocks * 4096, s.write_wss_bytes);
+    EXPECT_EQ(updated_blocks * 4096, s.update_wss_bytes);
+
+    // Classifier features must add up to the same request counts.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t cls_written = 0;
+    std::uint64_t cls_updated = 0;
+    for (VolumeId v = 0; v < 8; ++v) {
+        const VolumeFeatures &features = classifier.featuresOf(v);
+        reads += features.reads;
+        writes += features.writes;
+        cls_written += features.written_blocks;
+        cls_updated += features.updated_blocks;
+    }
+    EXPECT_EQ(reads, s.reads);
+    EXPECT_EQ(writes, s.writes);
+    EXPECT_EQ(cls_written, written_blocks);
+    EXPECT_EQ(cls_updated, updated_blocks);
+}
+
+TEST_P(CrossChecks, IntensityTotalsMatchRatioAnalyzer)
+{
+    auto reqs = randomTrace(GetParam() ^ 0xabcd, 3000);
+    LoadIntensityAnalyzer intensity(units::minute);
+    WriteReadRatioAnalyzer ratios;
+    VectorSource source(reqs);
+    runPipeline(source, {&intensity, &ratios});
+    EXPECT_EQ(intensity.overall().requests,
+              ratios.totalReads() + ratios.totalWrites());
+}
+
+TEST_P(CrossChecks, CsvRoundTripPreservesAnalysis)
+{
+    auto reqs = randomTrace(GetParam() ^ 0x1234, 2000);
+    BasicStatsAnalyzer direct(4096);
+    VectorSource source(reqs);
+    runPipeline(source, {&direct});
+
+    std::stringstream csv;
+    AliCloudCsvWriter writer(csv);
+    for (const auto &r : reqs)
+        writer.write(r);
+    AliCloudCsvReader reader(csv);
+    BasicStatsAnalyzer via_csv(4096);
+    runPipeline(reader, {&via_csv});
+
+    EXPECT_EQ(direct.stats().requests(), via_csv.stats().requests());
+    EXPECT_EQ(direct.stats().total_wss_bytes,
+              via_csv.stats().total_wss_bytes);
+    EXPECT_EQ(direct.stats().update_bytes,
+              via_csv.stats().update_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossChecks,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(CsvRobustness, GarbageLinesThrowNotCrash)
+{
+    const char *bad_inputs[] = {
+        ",,,,\n",
+        "1,R,,4096,5\n",
+        "abc,R,0,4096,5\n",
+        "1,RW,0,4096,5\n",
+        "1,R,0,4096,5,6\n",
+        "1,R,-5,4096,5\n",
+        "999999999999999999999999,R,0,4096,5\n",
+        "1,R,0,99999999999999999999,5\n",
+    };
+    for (const char *input : bad_inputs) {
+        std::istringstream in(input);
+        AliCloudCsvReader reader(in);
+        IoRequest req;
+        EXPECT_THROW(reader.next(req), FatalError) << input;
+    }
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Integration tests: small calibrated populations run through the full
+ * analyzer pipeline, checking cross-analyzer consistency and the
+ * paper's qualitative AliCloud-vs-MSRC orderings at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/analyzer.h"
+#include "analysis/basic_stats.h"
+#include "analysis/block_traffic.h"
+#include "analysis/load_intensity.h"
+#include "analysis/randomness.h"
+#include "analysis/size_stats.h"
+#include "analysis/temporal_pairs.h"
+#include "analysis/update_coverage.h"
+#include "analysis/volume_activity.h"
+#include "synth/models.h"
+
+namespace cbs {
+namespace {
+
+struct Mini
+{
+    BasicStatsAnalyzer basic;
+    SizeAnalyzer sizes;
+    WriteReadRatioAnalyzer ratios;
+    RandomnessAnalyzer randomness;
+    UpdateCoverageAnalyzer coverage;
+    TemporalPairsAnalyzer pairs;
+    BlockTrafficAnalyzer traffic;
+
+    void
+    run(TraceSource &source)
+    {
+        runPipeline(source, {&basic, &sizes, &ratios, &randomness,
+                             &coverage, &pairs, &traffic});
+    }
+};
+
+/** Small deterministic instances of both calibrated populations. */
+class EndToEnd : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        PopulationSpec ali_spec =
+            aliCloudSpanSpec(SpanScale{60, 150000});
+        // The per-volume request floor (sized for the full bench
+        // population) would inflate this small test population.
+        ali_spec.min_volume_requests = 25.0;
+        ali_ = new Mini();
+        auto ali_src = makeTrace(ali_spec, 1);
+        ali_->run(*ali_src);
+
+        PopulationSpec msrc_spec = msrcSpanSpec(SpanScale{36, 120000});
+        msrc_spec.min_volume_requests = 25.0;
+        msrc_ = new Mini();
+        auto msrc_src = makeTrace(msrc_spec, 1);
+        msrc_->run(*msrc_src);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete ali_;
+        delete msrc_;
+        ali_ = nullptr;
+        msrc_ = nullptr;
+    }
+
+    static Mini *ali_;
+    static Mini *msrc_;
+};
+
+Mini *EndToEnd::ali_ = nullptr;
+Mini *EndToEnd::msrc_ = nullptr;
+
+TEST_F(EndToEnd, RequestCountsConsistentAcrossAnalyzers)
+{
+    const BasicStats &s = ali_->basic.stats();
+    EXPECT_EQ(s.reads, ali_->ratios.totalReads());
+    EXPECT_EQ(s.writes, ali_->ratios.totalWrites());
+    EXPECT_EQ(s.reads, ali_->sizes.readSizes().count());
+    EXPECT_EQ(s.writes, ali_->sizes.writeSizes().count());
+}
+
+TEST_F(EndToEnd, RequestTotalsNearTarget)
+{
+    double total = static_cast<double>(ali_->basic.stats().requests());
+    EXPECT_NEAR(total / 150000.0, 1.0, 0.25);
+}
+
+TEST_F(EndToEnd, AliCloudIsWriteDominantMsrcIsNot)
+{
+    EXPECT_GT(ali_->basic.stats().writeToReadRatio(), 1.5);
+    EXPECT_LT(msrc_->basic.stats().writeToReadRatio(), 1.0);
+}
+
+TEST_F(EndToEnd, MsrcReadWssShareExceedsAliCloud)
+{
+    EXPECT_GT(msrc_->basic.stats().readWssShare(),
+              ali_->basic.stats().readWssShare() + 0.2);
+}
+
+TEST_F(EndToEnd, AliCloudHasHigherUpdateCoverage)
+{
+    EXPECT_GT(ali_->coverage.coverage().quantile(0.5),
+              msrc_->coverage.coverage().quantile(0.5));
+}
+
+TEST_F(EndToEnd, AliCloudWawDominatesRaw)
+{
+    EXPECT_GT(ali_->pairs.count(PairKind::WAW),
+              2 * ali_->pairs.count(PairKind::RAW));
+}
+
+TEST_F(EndToEnd, AliCloudIsMoreRandomThanMsrc)
+{
+    EXPECT_GT(ali_->randomness.ratios().quantile(0.9),
+              msrc_->randomness.ratios().quantile(0.9));
+}
+
+TEST_F(EndToEnd, MostUpdateTrafficIsOverwrites)
+{
+    const BasicStats &s = ali_->basic.stats();
+    EXPECT_GT(static_cast<double>(s.update_bytes) /
+                  static_cast<double>(s.write_bytes),
+              0.5);
+}
+
+TEST_F(EndToEnd, WssInvariants)
+{
+    for (const Mini *mini : {ali_, msrc_}) {
+        const BasicStats &s = mini->basic.stats();
+        EXPECT_LE(s.read_wss_bytes, s.total_wss_bytes);
+        EXPECT_LE(s.write_wss_bytes, s.total_wss_bytes);
+        EXPECT_LE(s.update_wss_bytes, s.write_wss_bytes);
+        EXPECT_LE(s.total_wss_bytes,
+                  s.read_wss_bytes + s.write_wss_bytes);
+        EXPECT_LE(s.update_bytes, s.write_bytes);
+    }
+}
+
+TEST_F(EndToEnd, SmallRequestsDominate)
+{
+    // Both traces: at least 60% of requests are <= 64 KiB (paper: the
+    // overwhelming majority are below 100 KiB).
+    for (const Mini *mini : {ali_, msrc_}) {
+        EXPECT_GT(mini->sizes.readSizes().cdfAt(64 * units::KiB), 0.6);
+        EXPECT_GT(mini->sizes.writeSizes().cdfAt(64 * units::KiB),
+                  0.6);
+    }
+}
+
+TEST(Determinism, SameSeedSameTrace)
+{
+    PopulationSpec spec = aliCloudSpanSpec(SpanScale{10, 5000});
+    auto a = makeTrace(spec, 99);
+    auto b = makeTrace(spec, 99);
+    IoRequest ra;
+    IoRequest rb;
+    std::size_t count = 0;
+    while (true) {
+        bool more_a = a->next(ra);
+        bool more_b = b->next(rb);
+        ASSERT_EQ(more_a, more_b);
+        if (!more_a)
+            break;
+        ASSERT_EQ(ra, rb);
+        ++count;
+    }
+    EXPECT_GT(count, 1000u);
+}
+
+TEST(Determinism, ResetMatchesFirstPass)
+{
+    PopulationSpec spec = msrcSpanSpec(SpanScale{8, 4000});
+    auto source = makeTrace(spec, 3);
+    BasicStatsAnalyzer first;
+    runPipeline(*source, {&first});
+    source->reset();
+    BasicStatsAnalyzer second;
+    runPipeline(*source, {&second});
+    EXPECT_EQ(first.stats().requests(), second.stats().requests());
+    EXPECT_EQ(first.stats().total_wss_bytes,
+              second.stats().total_wss_bytes);
+}
+
+} // namespace
+} // namespace cbs

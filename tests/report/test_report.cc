@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "report/table.h"
+#include "report/workbench.h"
+
+namespace cbs {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable table("Title");
+    table.header({"a", "bb"});
+    table.row({"1", "2"});
+    table.row({"333", "4"});
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    // Columns padded: "1  " aligns under "333".
+    EXPECT_NE(out.find("1    2"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth)
+{
+    TextTable table;
+    table.header({"a", "b"});
+    EXPECT_THROW(table.row({"only-one"}), FatalError);
+}
+
+TEST(TextTable, SeparatorAndHeaderlessRowsWork)
+{
+    TextTable table;
+    table.row({"x", "y", "z"});
+    table.separator();
+    table.row({"1", "2", "3"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("---"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 3u); // separator counts as a row entry
+}
+
+TEST(TextTable, EmptyTablePrintsNothingFatal)
+{
+    TextTable table;
+    std::ostringstream os;
+    EXPECT_NO_THROW(table.print(os));
+}
+
+TEST(Workbench, BundlesAreDeterministic)
+{
+    TraceBundle a = aliCloudSpan(SpanScale{8, 4000});
+    TraceBundle b = aliCloudSpan(SpanScale{8, 4000});
+    IoRequest ra;
+    IoRequest rb;
+    for (int i = 0; i < 2000; ++i) {
+        bool ma = a.source->next(ra);
+        bool mb = b.source->next(rb);
+        ASSERT_EQ(ma, mb);
+        if (!ma)
+            break;
+        ASSERT_EQ(ra, rb);
+    }
+}
+
+TEST(Workbench, CountScaleReflectsPaperTotals)
+{
+    TraceBundle ali = aliCloudSpan(SpanScale{8, 4000});
+    EXPECT_NEAR(ali.count_scale, kAliCloudPaperRequests / 4000.0,
+                1.0);
+    TraceBundle msrc = msrcSpan(SpanScale{8, 4000});
+    EXPECT_NEAR(msrc.count_scale, kMsrcPaperRequests / 4000.0, 1.0);
+}
+
+TEST(Workbench, BundleCarriesProfilesAndSpec)
+{
+    TraceBundle bundle = msrcSpan(SpanScale{8, 4000});
+    EXPECT_EQ(bundle.profiles.size(), 8u);
+    EXPECT_EQ(bundle.spec.volume_count, 8u);
+    EXPECT_EQ(bundle.label, "MSRC");
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/ftl.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+namespace cbs {
+namespace {
+
+FtlConfig
+smallConfig()
+{
+    FtlConfig config;
+    config.flash_blocks = 64;
+    config.pages_per_block = 16;
+    config.gc_reserve_blocks = 4;
+    config.op_ratio = 0.8;
+    return config;
+}
+
+TEST(Ftl, RejectsBadGeometry)
+{
+    FtlConfig config = smallConfig();
+    config.flash_blocks = 2;
+    EXPECT_THROW(FtlSim sim(config), FatalError);
+    config = smallConfig();
+    config.op_ratio = 1.5;
+    EXPECT_THROW(FtlSim sim(config), FatalError);
+    config = smallConfig();
+    config.gc_reserve_blocks = 40;
+    EXPECT_THROW(FtlSim sim(config), FatalError);
+}
+
+TEST(Ftl, LogicalCapacityReflectsOverprovisioning)
+{
+    FtlSim sim(smallConfig());
+    EXPECT_EQ(sim.logicalPages(),
+              static_cast<std::uint64_t>(0.8 * 64 * 16));
+}
+
+TEST(Ftl, RejectsOutOfRangeLpn)
+{
+    FtlSim sim(smallConfig());
+    EXPECT_THROW(sim.writePage(sim.logicalPages()), FatalError);
+}
+
+TEST(Ftl, NoGcBeforeDeviceFills)
+{
+    FtlSim sim(smallConfig());
+    for (std::uint64_t p = 0; p < 100; ++p)
+        sim.writePage(p);
+    EXPECT_EQ(sim.eraseCount(), 0u);
+    EXPECT_DOUBLE_EQ(sim.writeAmplification(), 1.0);
+}
+
+TEST(Ftl, SequentialOverwriteHasUnitAmplification)
+{
+    // Rewriting the whole logical space sequentially invalidates whole
+    // blocks at a time: GC victims have no valid pages to relocate.
+    FtlSim sim(smallConfig());
+    for (int round = 0; round < 10; ++round)
+        for (std::uint64_t p = 0; p < sim.logicalPages(); ++p)
+            sim.writePage(p);
+    EXPECT_GT(sim.eraseCount(), 0u);
+    EXPECT_NEAR(sim.writeAmplification(), 1.0, 0.05);
+}
+
+TEST(Ftl, RandomOverwriteAmplifiesWrites)
+{
+    FtlSim sim(smallConfig());
+    Rng rng(5);
+    for (int i = 0; i < 60000; ++i)
+        sim.writePage(rng.uniformInt(sim.logicalPages()));
+    EXPECT_GT(sim.writeAmplification(), 1.3);
+    EXPECT_EQ(sim.physicalWrites(),
+              sim.logicalWrites() + sim.gcRelocations());
+}
+
+TEST(Ftl, MoreOverprovisioningLowersAmplification)
+{
+    // The classic OP law: exposing less logical space gives greedy GC
+    // emptier victims, so random overwrites amplify less.
+    FtlConfig tight = smallConfig();
+    tight.op_ratio = 0.9;
+    FtlConfig roomy = smallConfig();
+    roomy.op_ratio = 0.6;
+    FtlSim tight_sim(tight);
+    FtlSim roomy_sim(roomy);
+    Rng rng(9);
+    for (int i = 0; i < 60000; ++i) {
+        tight_sim.writePage(rng.uniformInt(tight_sim.logicalPages()));
+        roomy_sim.writePage(rng.uniformInt(roomy_sim.logicalPages()));
+    }
+    EXPECT_LT(roomy_sim.writeAmplification(),
+              tight_sim.writeAmplification());
+    EXPECT_GT(tight_sim.writeAmplification(), 1.5);
+}
+
+TEST(Ftl, WearSpreadReportedAboveOne)
+{
+    FtlSim sim(smallConfig());
+    Rng rng(11);
+    for (int i = 0; i < 60000; ++i)
+        sim.writePage(rng.uniformInt(sim.logicalPages()));
+    EXPECT_GE(sim.wearSpread(), 1.0);
+    EXPECT_LT(sim.wearSpread(), 10.0);
+}
+
+TEST(Ftl, ReadBackConsistency)
+{
+    // The mapping stays consistent under heavy churn: physical writes
+    // equal logical writes plus relocations at all times.
+    FtlSim sim(smallConfig());
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i) {
+        sim.writePage(rng.uniformInt(sim.logicalPages()));
+        ASSERT_EQ(sim.physicalWrites(),
+                  sim.logicalWrites() + sim.gcRelocations());
+    }
+}
+
+} // namespace
+} // namespace cbs

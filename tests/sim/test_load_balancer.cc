@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "common/error.h"
+#include "sim/load_balancer.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+LoadMatrixAnalyzer
+matrixOf(const std::vector<IoRequest> &requests, TimeUs interval,
+         TimeUs duration)
+{
+    LoadMatrixAnalyzer matrix(interval, duration);
+    VectorSource source(requests);
+    runPipeline(source, {&matrix});
+    return matrix;
+}
+
+TEST(LoadMatrix, CollectsPerIntervalCounts)
+{
+    auto matrix = matrixOf(
+        {read(0, 0), read(1, 0), read(units::minute + 1, 0)},
+        units::minute, 5 * units::minute);
+    EXPECT_EQ(matrix.intervalCount(), 5u);
+    EXPECT_EQ(matrix.loadOf(0)[0], 2u);
+    EXPECT_EQ(matrix.loadOf(0)[1], 1u);
+    EXPECT_EQ(matrix.totalOf(0), 3u);
+    EXPECT_EQ(matrix.peakOf(0), 2u);
+}
+
+TEST(LoadBalancer, RoundRobinSpreadsVolumes)
+{
+    std::vector<IoRequest> reqs;
+    for (VolumeId v = 0; v < 6; ++v)
+        reqs.push_back(read(v, 0, 4096, v));
+    auto matrix = matrixOf(reqs, units::minute, units::minute);
+    LoadBalancer balancer(matrix, 3);
+    auto result = balancer.place(PlacementPolicy::RoundRobin);
+    EXPECT_EQ(result.assignment[0], 0u);
+    EXPECT_EQ(result.assignment[1], 1u);
+    EXPECT_EQ(result.assignment[2], 2u);
+    EXPECT_EQ(result.assignment[3], 0u);
+    EXPECT_DOUBLE_EQ(result.total_imbalance, 1.0);
+}
+
+TEST(LoadBalancer, LeastLoadedBalancesSkewedVolumes)
+{
+    // One giant volume, many small ones: greedy least-loaded puts the
+    // giant alone and balances totals well; round-robin can stack it
+    // with others.
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 90; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i), 0, 4096, 0));
+    for (VolumeId v = 1; v < 10; ++v)
+        for (int i = 0; i < 10; ++i)
+            reqs.push_back(
+                read(static_cast<TimeUs>(i), 0, 4096, v));
+    auto matrix = matrixOf(reqs, units::minute, units::minute);
+    LoadBalancer balancer(matrix, 2);
+    auto greedy = balancer.place(PlacementPolicy::LeastLoaded);
+    // totals: 90 vs 90 -> perfectly balanced.
+    EXPECT_NEAR(greedy.total_imbalance, 1.0, 0.05);
+}
+
+TEST(LoadBalancer, BurstAwareBeatsTotalsOnBurstyVolumes)
+{
+    // Two bursty volumes with equal totals but bursts in the same
+    // interval, plus steady volumes. Burst-aware placement separates
+    // the two bursty volumes; least-loaded (totals) may colocate them.
+    std::vector<IoRequest> reqs;
+    auto burst_at = [&](VolumeId v, TimeUs start) {
+        for (int i = 0; i < 100; ++i)
+            reqs.push_back(read(start + i, 0, 4096, v));
+    };
+    burst_at(0, 0);
+    burst_at(1, 10); // same interval as volume 0
+    // Steady volumes with the same total, spread over 10 intervals.
+    for (VolumeId v = 2; v < 4; ++v)
+        for (int i = 0; i < 100; ++i)
+            reqs.push_back(read(
+                static_cast<TimeUs>(i) * (units::minute / 100), 0,
+                4096, v));
+    auto matrix =
+        matrixOf(reqs, units::minute / 10, units::minute);
+    LoadBalancer balancer(matrix, 2);
+    auto burst_aware = balancer.place(PlacementPolicy::BurstAware);
+    // The two bursty volumes land on different nodes.
+    EXPECT_NE(burst_aware.assignment[0], burst_aware.assignment[1]);
+    EXPECT_LT(burst_aware.worst_interval_imbalance, 2.0);
+}
+
+TEST(LoadBalancer, RandomIsDeterministicPerSeed)
+{
+    std::vector<IoRequest> reqs;
+    for (VolumeId v = 0; v < 20; ++v)
+        reqs.push_back(read(v, 0, 4096, v));
+    auto matrix = matrixOf(reqs, units::minute, units::minute);
+    LoadBalancer balancer(matrix, 4);
+    auto a = balancer.place(PlacementPolicy::Random, 7);
+    auto b = balancer.place(PlacementPolicy::Random, 7);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(LoadBalancer, SingleNodeImbalanceIsOne)
+{
+    auto matrix = matrixOf({read(0, 0), read(1, 0, 4096, 1)},
+                           units::minute, units::minute);
+    LoadBalancer balancer(matrix, 1);
+    auto result = balancer.place(PlacementPolicy::LeastLoaded);
+    EXPECT_DOUBLE_EQ(result.total_imbalance, 1.0);
+    EXPECT_DOUBLE_EQ(result.worst_interval_imbalance, 1.0);
+}
+
+TEST(LoadBalancer, PolicyNames)
+{
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::BurstAware),
+                 "burst-aware");
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "common/error.h"
+#include "sim/write_cache.h"
+#include "synth/rng.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+WriteCacheConfig
+config(std::uint64_t capacity, TimeUs residency = 0)
+{
+    WriteCacheConfig c;
+    c.capacity_blocks = capacity;
+    c.max_residency = residency;
+    c.block_size = 4096;
+    return c;
+}
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+TEST(WriteCache, RejectsBadConfig)
+{
+    EXPECT_THROW(WriteCacheSim(config(0)), FatalError);
+}
+
+TEST(WriteCache, OverwritesAreAbsorbed)
+{
+    WriteCacheSim sim(config(16));
+    feed(sim, {write(0, 0), write(1, 0), write(2, 0)});
+    const auto &stats = sim.stats();
+    EXPECT_EQ(stats.write_blocks, 3u);
+    EXPECT_EQ(stats.absorbed_blocks, 2u);
+    // One live block destaged at finalize.
+    EXPECT_EQ(stats.destaged_blocks, 1u);
+    EXPECT_NEAR(stats.absorptionRatio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(WriteCache, DistinctBlocksAllDestage)
+{
+    WriteCacheSim sim(config(16));
+    feed(sim, {write(0, 0), write(1, 4096), write(2, 8192)});
+    EXPECT_EQ(sim.stats().absorbed_blocks, 0u);
+    EXPECT_EQ(sim.stats().destaged_blocks, 3u);
+}
+
+TEST(WriteCache, CapacityPressureDestagesOldest)
+{
+    WriteCacheSim sim(config(2));
+    feed(sim, {
+                  write(0, 0),
+                  write(1, 4096),
+                  write(2, 8192),  // evicts block 0
+                  write(3, 0),     // block 0 destaged: new stage, no
+                                   // absorption
+              });
+    EXPECT_EQ(sim.stats().absorbed_blocks, 0u);
+    // Block 0 destaged under pressure + blocks from finalize.
+    EXPECT_EQ(sim.stats().destaged_blocks, 4u);
+}
+
+TEST(WriteCache, StaleQueueEntriesSkippedAtDestage)
+{
+    WriteCacheSim sim(config(2));
+    feed(sim, {
+                  write(0, 0),
+                  write(1, 0),     // overwrite: front queue entry stale
+                  write(2, 4096),
+                  write(3, 8192),  // pressure: must destage block 0
+                                   // exactly once, skipping the stale
+                                   // entry
+              });
+    EXPECT_EQ(sim.stats().absorbed_blocks, 1u);
+    EXPECT_EQ(sim.stats().destaged_blocks, 3u); // block0 + finalize x2
+}
+
+TEST(WriteCache, ResidencyLimitFlushesOldEntries)
+{
+    WriteCacheSim sim(config(100, 10 * units::minute));
+    feed(sim, {
+                  write(0, 0),
+                  // 20 minutes later the first write has been
+                  // destaged; this is a fresh stage, not absorption.
+                  write(20 * units::minute, 0),
+              });
+    EXPECT_EQ(sim.stats().absorbed_blocks, 0u);
+    EXPECT_EQ(sim.stats().destaged_blocks, 2u);
+}
+
+TEST(WriteCache, ShortWawWithinResidencyIsAbsorbed)
+{
+    WriteCacheSim sim(config(100, 10 * units::minute));
+    feed(sim, {write(0, 0), write(units::minute, 0)});
+    EXPECT_EQ(sim.stats().absorbed_blocks, 1u);
+    EXPECT_EQ(sim.stats().destaged_blocks, 1u);
+}
+
+TEST(WriteCache, ReadsOfStagedBlocksCounted)
+{
+    WriteCacheSim sim(config(16));
+    feed(sim, {
+                  write(0, 0),
+                  read(1, 0),      // staged read
+                  read(2, 4096),   // not staged
+              });
+    EXPECT_EQ(sim.stats().read_blocks, 2u);
+    EXPECT_EQ(sim.stats().staged_reads, 1u);
+    EXPECT_DOUBLE_EQ(sim.stats().stagedReadRatio(), 0.5);
+}
+
+TEST(WriteCache, MultiBlockWritesStageEachBlock)
+{
+    WriteCacheSim sim(config(16));
+    feed(sim, {write(0, 0, 4096 * 3)});
+    EXPECT_EQ(sim.stats().write_blocks, 3u);
+    EXPECT_EQ(sim.stats().destaged_blocks, 3u);
+}
+
+TEST(WriteCache, InvariantOfferedEqualsAbsorbedPlusDestaged)
+{
+    WriteCacheSim sim(config(8, 5 * units::minute));
+    std::vector<IoRequest> reqs;
+    Rng rng(3);
+    TimeUs t = 0;
+    for (int i = 0; i < 5000; ++i) {
+        t += rng.uniformInt(2 * units::minute);
+        reqs.push_back(write(t, 4096ULL * rng.uniformInt(32)));
+    }
+    feed(sim, reqs);
+    const auto &stats = sim.stats();
+    EXPECT_EQ(stats.write_blocks,
+              stats.absorbed_blocks + stats.destaged_blocks);
+    EXPECT_EQ(sim.stagedBlocks(), 0u); // finalize flushed everything
+}
+
+} // namespace
+} // namespace cbs

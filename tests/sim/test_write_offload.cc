@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/analyzer.h"
+#include "common/error.h"
+#include "sim/write_offload.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+void
+feed(Analyzer &analyzer, const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    runPipeline(source, {&analyzer});
+}
+
+TEST(WriteOffload, RejectsBadParams)
+{
+    EXPECT_THROW(WriteOffloadSim(0, units::hour), FatalError);
+    EXPECT_THROW(WriteOffloadSim(units::minute, 0), FatalError);
+}
+
+TEST(WriteOffload, FullyBusyVolumeHasNoIdle)
+{
+    WriteOffloadSim sim(units::minute, 10 * units::sec);
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i) * units::sec, 0));
+    feed(sim, reqs);
+    EXPECT_DOUBLE_EQ(sim.summary().baseline_idle_fraction, 0.0);
+}
+
+TEST(WriteOffload, GapsBelowThresholdNotCounted)
+{
+    WriteOffloadSim sim(units::minute, 100 * units::sec);
+    // 30-second gaps: below the 1-minute spin-down threshold.
+    feed(sim, {read(0, 0), read(30 * units::sec, 0),
+               read(60 * units::sec, 0), read(90 * units::sec, 0)});
+    EXPECT_DOUBLE_EQ(sim.summary().baseline_idle_fraction, 0.0);
+}
+
+TEST(WriteOffload, LongGapCountsOnceThresholdCrossed)
+{
+    WriteOffloadSim sim(units::minute, 10 * units::minute);
+    feed(sim, {read(0, 0), read(5 * units::minute, 0),
+               read(10 * units::minute - 1, 0)});
+    // One 5-minute gap plus one just-under-5-minute gap, both idle.
+    EXPECT_NEAR(sim.summary().baseline_idle_fraction, 1.0, 0.01);
+}
+
+TEST(WriteOffload, OffloadingWritesUnlocksReadIdleTime)
+{
+    // Reads at t=0 and t=end; writes peppered every 30 s in between.
+    WriteOffloadSim sim(units::minute, 10 * units::minute);
+    std::vector<IoRequest> reqs;
+    reqs.push_back(read(0, 0));
+    for (TimeUs t = 30 * units::sec; t < 10 * units::minute;
+         t += 30 * units::sec)
+        reqs.push_back(write(t, 0));
+    feed(sim, reqs);
+    const auto &summary = sim.summary();
+    EXPECT_DOUBLE_EQ(summary.baseline_idle_fraction, 0.0);
+    EXPECT_GT(summary.offloaded_idle_fraction, 0.9);
+    EXPECT_GT(summary.gain(), 0.9);
+}
+
+TEST(WriteOffload, TrailingIdleTailCounted)
+{
+    WriteOffloadSim sim(units::minute, units::hour);
+    feed(sim, {read(0, 0)});
+    // Idle from t=0 request to the end of the hour.
+    EXPECT_NEAR(sim.summary().baseline_idle_fraction, 1.0, 0.01);
+}
+
+TEST(WriteOffload, PerVolumeCdfsPopulated)
+{
+    WriteOffloadSim sim(units::minute, units::hour);
+    feed(sim, {read(0, 0, 4096, 0), write(units::minute, 0, 4096, 1)});
+    EXPECT_EQ(sim.baselineIdle().count(), 2u);
+    EXPECT_EQ(sim.offloadedIdle().count(), 2u);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/dist_fit.h"
+#include "synth/rng.h"
+
+namespace cbs {
+namespace {
+
+using Family = FittedDistribution::Family;
+
+const FittedDistribution &
+fitOf(const std::vector<FittedDistribution> &fits, Family family)
+{
+    for (const auto &fit : fits) {
+        if (fit.family == family)
+            return fit;
+    }
+    throw std::logic_error("family missing");
+}
+
+TEST(DistFit, RejectsBadInput)
+{
+    EXPECT_THROW(fitDistributions({1, 2, 3}), FatalError);
+    std::vector<double> with_zero(10, 1.0);
+    with_zero[3] = 0.0;
+    EXPECT_THROW(fitDistributions(with_zero), FatalError);
+}
+
+TEST(DistFit, RecoversExponentialRate)
+{
+    Rng rng(1);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.exponential(4.0));
+    auto fits = fitDistributions(samples);
+    EXPECT_EQ(fits.front().family, Family::Exponential);
+    EXPECT_NEAR(fitOf(fits, Family::Exponential).params[0], 4.0, 0.1);
+}
+
+TEST(DistFit, RecoversLogNormalParams)
+{
+    Rng rng(2);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.logNormal(10.0, 0.7));
+    auto fits = fitDistributions(samples);
+    EXPECT_EQ(fits.front().family, Family::LogNormal);
+    const auto &ln = fitOf(fits, Family::LogNormal);
+    EXPECT_NEAR(ln.params[0], std::log(10.0), 0.05); // mu
+    EXPECT_NEAR(ln.params[1], 0.7, 0.05);            // sigma
+}
+
+TEST(DistFit, RecognizesParetoTail)
+{
+    Rng rng(3);
+    std::vector<double> samples;
+    // Pareto(x_min=2, alpha=1.5) via inverse transform.
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(2.0 *
+                          std::pow(1.0 - rng.uniform(), -1.0 / 1.5));
+    auto fits = fitDistributions(samples);
+    EXPECT_EQ(fits.front().family, Family::Pareto);
+    const auto &pareto = fitOf(fits, Family::Pareto);
+    EXPECT_NEAR(pareto.params[0], 2.0, 0.01); // x_min
+    EXPECT_NEAR(pareto.params[1], 1.5, 0.05); // alpha
+}
+
+TEST(DistFit, RecoversWeibullShape)
+{
+    Rng rng(4);
+    std::vector<double> samples;
+    // Weibull(k=2, lambda=3) via inverse transform.
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(
+            3.0 * std::pow(-std::log(1.0 - rng.uniform()), 1.0 / 2.0));
+    auto fits = fitDistributions(samples);
+    EXPECT_EQ(fits.front().family, Family::Weibull);
+    const auto &weibull = fitOf(fits, Family::Weibull);
+    EXPECT_NEAR(weibull.params[0], 2.0, 0.05); // shape
+    EXPECT_NEAR(weibull.params[1], 3.0, 0.05); // scale
+}
+
+TEST(DistFit, RankedByAic)
+{
+    Rng rng(5);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(rng.exponential(1.0));
+    auto fits = fitDistributions(samples);
+    for (std::size_t i = 1; i < fits.size(); ++i)
+        EXPECT_LE(fits[i - 1].aic, fits[i].aic);
+    EXPECT_EQ(fits.size(), 4u);
+}
+
+TEST(DistFit, QuantilesInvertTheFit)
+{
+    Rng rng(6);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.exponential(2.0));
+    auto fits = fitDistributions(samples);
+    const auto &exp_fit = fitOf(fits, Family::Exponential);
+    // Median of Exp(2) = ln(2)/2.
+    EXPECT_NEAR(exp_fit.quantile(0.5), std::log(2.0) / 2.0, 0.02);
+    // Weibull with k=1 degenerates to exponential: quantiles close.
+    const auto &weibull = fitOf(fits, Family::Weibull);
+    EXPECT_NEAR(weibull.quantile(0.9), exp_fit.quantile(0.9), 0.08);
+}
+
+TEST(DistFit, NamesAreStable)
+{
+    Rng rng(7);
+    std::vector<double> samples;
+    for (int i = 0; i < 100; ++i)
+        samples.push_back(rng.exponential(1.0));
+    auto fits = fitDistributions(samples);
+    int seen = 0;
+    for (const auto &fit : fits) {
+        std::string name = fit.name();
+        seen += name == "exponential" || name == "lognormal" ||
+                name == "pareto" || name == "weibull";
+    }
+    EXPECT_EQ(seen, 4);
+}
+
+} // namespace
+} // namespace cbs

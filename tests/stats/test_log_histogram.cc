@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/log_histogram.h"
+#include "synth/rng.h"
+
+namespace cbs {
+namespace {
+
+TEST(LogHistogram, EmptyBehaviour)
+{
+    LogHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.cdfAt(100), 0.0);
+    EXPECT_TRUE(h.cdfSeries().empty());
+}
+
+TEST(LogHistogram, SmallValuesStoredExactly)
+{
+    // Values below 2^sub_bits sit in exact unit-width buckets.
+    LogHistogram h(7);
+    for (std::uint64_t v = 0; v < 128; ++v)
+        h.add(v);
+    for (double q : {0.25, 0.5, 0.75}) {
+        std::uint64_t expected = static_cast<std::uint64_t>(q * 128);
+        EXPECT_NEAR(static_cast<double>(h.quantile(q)),
+                    static_cast<double>(expected), 1.0)
+            << "q=" << q;
+    }
+}
+
+TEST(LogHistogram, MinMaxMeanCount)
+{
+    LogHistogram h;
+    h.add(10);
+    h.add(1000);
+    h.add(100000, 2);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.minValue(), 10u);
+    EXPECT_EQ(h.maxValue(), 100000u);
+    EXPECT_DOUBLE_EQ(h.mean(), (10.0 + 1000.0 + 200000.0) / 4.0);
+}
+
+TEST(LogHistogram, BoundedRelativeQuantileError)
+{
+    // Property: quantiles of log-uniform data are within the
+    // advertised 2^-sub_bits relative error of the exact quantiles.
+    const int sub_bits = 7;
+    LogHistogram h(sub_bits);
+    Rng rng(4242);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 50000; ++i) {
+        auto v = static_cast<std::uint64_t>(rng.logUniform(1.0, 1e12));
+        values.push_back(v);
+        h.add(v);
+    }
+    std::sort(values.begin(), values.end());
+    double tolerance = 2.0 / (1 << sub_bits); // 2x bucket width margin
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        std::uint64_t exact =
+            values[static_cast<std::size_t>(q * (values.size() - 1))];
+        std::uint64_t approx = h.quantile(q);
+        double rel =
+            std::abs(static_cast<double>(approx) -
+                     static_cast<double>(exact)) /
+            static_cast<double>(exact);
+        EXPECT_LT(rel, tolerance + 0.01) << "q=" << q;
+    }
+}
+
+TEST(LogHistogram, CdfAtIsMonotoneAndConsistent)
+{
+    LogHistogram h;
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        h.add(static_cast<std::uint64_t>(rng.logUniform(1, 1e9)));
+    double prev = 0.0;
+    for (std::uint64_t v = 1; v < 1000000000ULL; v *= 7) {
+        double c = h.cdfAt(v);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cdfAt(~std::uint64_t{0} >> 1), 1.0);
+}
+
+TEST(LogHistogram, FractionBelowExcludesBoundary)
+{
+    LogHistogram h(7);
+    h.add(10, 5);
+    h.add(20, 5);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(10), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(11), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(21), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0), 0.0);
+}
+
+TEST(LogHistogram, MergeEqualsCombinedStream)
+{
+    LogHistogram a(6);
+    LogHistogram b(6);
+    LogHistogram combined(6);
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        auto v = static_cast<std::uint64_t>(rng.logUniform(1, 1e10));
+        (i % 2 ? a : b).add(v);
+        combined.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    for (double q : {0.1, 0.5, 0.9})
+        EXPECT_EQ(a.quantile(q), combined.quantile(q));
+}
+
+TEST(LogHistogram, MergePrecisionMismatchRejected)
+{
+    LogHistogram a(6);
+    LogHistogram b(7);
+    EXPECT_THROW(a.merge(b), FatalError);
+}
+
+TEST(LogHistogram, CdfSeriesEndsAtOne)
+{
+    LogHistogram h;
+    for (std::uint64_t v : {5u, 50u, 500u, 5000u})
+        h.add(v);
+    auto series = h.cdfSeries();
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        EXPECT_GT(series[i].first, series[i - 1].first);
+        EXPECT_GT(series[i].second, series[i - 1].second);
+    }
+}
+
+TEST(LogHistogram, QuantileClampedToObservedRange)
+{
+    LogHistogram h(4); // coarse buckets
+    h.add(1000000);
+    EXPECT_EQ(h.quantile(0.0), 1000000u);
+    EXPECT_EQ(h.quantile(1.0), 1000000u);
+}
+
+TEST(LogHistogram, HugeValuesDoNotOverflowBuckets)
+{
+    LogHistogram h;
+    h.add(~std::uint64_t{0});
+    h.add(~std::uint64_t{0} - 1);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GE(h.quantile(0.5), std::uint64_t{1} << 62);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/boxplot.h"
+#include "stats/ecdf.h"
+#include "stats/exact_quantiles.h"
+#include "stats/p2_quantile.h"
+#include "synth/rng.h"
+
+namespace cbs {
+namespace {
+
+TEST(ExactQuantiles, EmptyThrows)
+{
+    ExactQuantiles q;
+    EXPECT_THROW(q.quantile(0.5), FatalError);
+    EXPECT_EQ(q.cdfAt(1.0), 0.0);
+    EXPECT_EQ(q.mean(), 0.0);
+}
+
+TEST(ExactQuantiles, SingleValue)
+{
+    ExactQuantiles q({7.0});
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 7.0);
+}
+
+TEST(ExactQuantiles, Type7Interpolation)
+{
+    ExactQuantiles q({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(q.median(), 2.5);
+    // h = 0.25 * 3 = 0.75 -> between 1 and 2.
+    EXPECT_DOUBLE_EQ(q.quantile(0.25), 1.75);
+}
+
+TEST(ExactQuantiles, OutOfRangeQRejected)
+{
+    ExactQuantiles q({1.0});
+    EXPECT_THROW(q.quantile(-0.1), FatalError);
+    EXPECT_THROW(q.quantile(1.1), FatalError);
+}
+
+TEST(ExactQuantiles, CdfCountsInclusive)
+{
+    ExactQuantiles q({1.0, 2.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(q.cdfAt(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(q.cdfAt(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(q.cdfAt(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(q.cdfAt(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.fractionAbove(2.0), 0.25);
+}
+
+TEST(ExactQuantiles, AddInvalidatesSortLazily)
+{
+    ExactQuantiles q;
+    q.add(3.0);
+    q.add(1.0);
+    EXPECT_DOUBLE_EQ(q.min(), 1.0);
+    q.add(0.5);
+    EXPECT_DOUBLE_EQ(q.min(), 0.5);
+    EXPECT_DOUBLE_EQ(q.max(), 3.0);
+}
+
+TEST(ExactQuantiles, MeanMatchesSum)
+{
+    ExactQuantiles q({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(q.mean(), 3.0);
+}
+
+TEST(P2Quantile, RejectsBadQ)
+{
+    EXPECT_THROW(P2Quantile(0.0), FatalError);
+    EXPECT_THROW(P2Quantile(1.0), FatalError);
+}
+
+TEST(P2Quantile, ExactForSmallSamples)
+{
+    P2Quantile p(0.5);
+    p.add(5.0);
+    EXPECT_DOUBLE_EQ(p.value(), 5.0);
+    p.add(1.0);
+    p.add(9.0);
+    EXPECT_DOUBLE_EQ(p.value(), 5.0); // median of {1,5,9}
+}
+
+TEST(P2Quantile, ApproximatesMedianOfUniform)
+{
+    P2Quantile p(0.5);
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        p.add(rng.uniform(0, 100));
+    EXPECT_NEAR(p.value(), 50.0, 1.5);
+}
+
+TEST(P2Quantile, ApproximatesTailOfExponential)
+{
+    P2Quantile p(0.95);
+    Rng rng(5);
+    for (int i = 0; i < 200000; ++i)
+        p.add(rng.exponential(1.0));
+    // Exact p95 of Exp(1) is -ln(0.05) = 2.9957.
+    EXPECT_NEAR(p.value(), 2.9957, 0.15);
+}
+
+TEST(P2Quantile, HandlesSkewedLognormal)
+{
+    P2Quantile p(0.5);
+    Rng rng(8);
+    for (int i = 0; i < 100000; ++i)
+        p.add(rng.logNormal(10.0, 1.5));
+    EXPECT_NEAR(p.value() / 10.0, 1.0, 0.15); // median ~= 10
+}
+
+TEST(Boxplot, FiveNumbersNoOutliers)
+{
+    ExactQuantiles q({1, 2, 3, 4, 5, 6, 7, 8, 9});
+    BoxplotSummary box = BoxplotSummary::compute(q);
+    EXPECT_DOUBLE_EQ(box.median, 5.0);
+    EXPECT_DOUBLE_EQ(box.q1, 3.0);
+    EXPECT_DOUBLE_EQ(box.q3, 7.0);
+    EXPECT_DOUBLE_EQ(box.whisker_lo, 1.0);
+    EXPECT_DOUBLE_EQ(box.whisker_hi, 9.0);
+    EXPECT_TRUE(box.outliers.empty());
+    EXPECT_EQ(box.count, 9u);
+}
+
+TEST(Boxplot, DetectsOutliersBeyondFences)
+{
+    std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 100, -50};
+    BoxplotSummary box =
+        BoxplotSummary::compute(ExactQuantiles(values));
+    ASSERT_EQ(box.outliers.size(), 2u);
+    EXPECT_DOUBLE_EQ(box.outliers.front(), -50.0);
+    EXPECT_DOUBLE_EQ(box.outliers.back(), 100.0);
+    EXPECT_LE(box.whisker_hi, 9.0);
+    EXPECT_GE(box.whisker_lo, 1.0);
+}
+
+TEST(Boxplot, EmptyIsZeroed)
+{
+    BoxplotSummary box = BoxplotSummary::compute(ExactQuantiles{});
+    EXPECT_EQ(box.count, 0u);
+    EXPECT_EQ(box.median, 0.0);
+}
+
+TEST(Boxplot, ToStringMentionsCounts)
+{
+    BoxplotSummary box =
+        BoxplotSummary::compute(ExactQuantiles({1, 2, 3}));
+    std::string s = box.toString();
+    EXPECT_NE(s.find("n=3"), std::string::npos);
+}
+
+TEST(Ecdf, SeriesIsAStepFunction)
+{
+    Ecdf cdf({3.0, 1.0, 2.0, 2.0});
+    auto series = cdf.series();
+    ASSERT_EQ(series.size(), 3u); // distinct values 1, 2, 3
+    EXPECT_DOUBLE_EQ(series[0].first, 1.0);
+    EXPECT_DOUBLE_EQ(series[0].second, 0.25);
+    EXPECT_DOUBLE_EQ(series[1].first, 2.0);
+    EXPECT_DOUBLE_EQ(series[1].second, 0.75);
+    EXPECT_DOUBLE_EQ(series[2].second, 1.0);
+}
+
+TEST(Ecdf, SampledSeriesKeepsEndpoints)
+{
+    Ecdf cdf;
+    for (int i = 0; i < 1000; ++i)
+        cdf.add(i);
+    auto sampled = cdf.sampledSeries(10);
+    ASSERT_EQ(sampled.size(), 10u);
+    EXPECT_DOUBLE_EQ(sampled.front().first, 0.0);
+    EXPECT_DOUBLE_EQ(sampled.back().first, 999.0);
+    EXPECT_DOUBLE_EQ(sampled.back().second, 1.0);
+}
+
+TEST(Ecdf, AtMatchesQuantileRoundTrip)
+{
+    Ecdf cdf;
+    Rng rng(77);
+    for (int i = 0; i < 1000; ++i)
+        cdf.add(rng.uniform(0, 1));
+    for (double q : {0.1, 0.5, 0.9}) {
+        double v = cdf.quantile(q);
+        EXPECT_NEAR(cdf.at(v), q, 0.01);
+    }
+}
+
+} // namespace
+} // namespace cbs

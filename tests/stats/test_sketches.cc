@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "common/error.h"
+#include "stats/reservoir.h"
+#include "stats/space_saving.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+namespace cbs {
+namespace {
+
+TEST(SpaceSaving, RejectsZeroCapacity)
+{
+    EXPECT_THROW(SpaceSaving(0), FatalError);
+}
+
+TEST(SpaceSaving, ExactBelowCapacity)
+{
+    SpaceSaving sketch(10);
+    for (int rep = 0; rep < 3; ++rep)
+        for (std::uint64_t k = 0; k < 5; ++k)
+            sketch.add(k);
+    EXPECT_EQ(sketch.trackedCount(), 5u);
+    for (std::uint64_t k = 0; k < 5; ++k)
+        EXPECT_EQ(sketch.estimate(k), 3u);
+    auto top = sketch.topK(3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].count, 3u);
+    EXPECT_EQ(top[0].overcount, 0u);
+}
+
+TEST(SpaceSaving, EstimateIsUpperBound)
+{
+    SpaceSaving sketch(8);
+    std::map<std::uint64_t, std::uint64_t> exact;
+    Rng rng(31);
+    ZipfSampler zipf(1000, 0.99);
+    for (int i = 0; i < 50000; ++i) {
+        std::uint64_t k = zipf.sample(rng);
+        sketch.add(k);
+        ++exact[k];
+    }
+    for (const auto &entry : sketch.topK(8)) {
+        EXPECT_GE(entry.count, exact[entry.key]);
+        EXPECT_LE(entry.count - entry.overcount, exact[entry.key]);
+    }
+}
+
+TEST(SpaceSaving, FindsTrueHeavyHitters)
+{
+    // One key carries 50% of a skewed stream; it must be tracked and
+    // ranked first.
+    SpaceSaving sketch(16);
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.bernoulli(0.5))
+            sketch.add(42);
+        else
+            sketch.add(rng.uniformInt(5000) + 100);
+    }
+    auto top = sketch.topK(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].key, 42u);
+    EXPECT_NEAR(static_cast<double>(top[0].count), 10000.0, 1000.0);
+}
+
+TEST(SpaceSaving, TotalWeightAccumulates)
+{
+    SpaceSaving sketch(4);
+    sketch.add(1, 10);
+    sketch.add(2, 5);
+    EXPECT_EQ(sketch.totalWeight(), 15u);
+}
+
+TEST(SpaceSaving, WeightedEvictionInheritsCount)
+{
+    SpaceSaving sketch(2);
+    sketch.add(1, 100);
+    sketch.add(2, 50);
+    sketch.add(3, 1); // evicts key 2, inherits 50 as overcount
+    EXPECT_EQ(sketch.estimate(3), 51u);
+    EXPECT_EQ(sketch.estimate(2), 0u);
+    auto top = sketch.topK(2);
+    EXPECT_EQ(top[1].overcount, 50u);
+}
+
+TEST(Reservoir, KeepsEverythingUnderCapacity)
+{
+    Reservoir<int> res(100);
+    for (int i = 0; i < 50; ++i)
+        res.add(i);
+    EXPECT_EQ(res.sample().size(), 50u);
+    EXPECT_EQ(res.seen(), 50u);
+}
+
+TEST(Reservoir, CapsAtCapacity)
+{
+    Reservoir<int> res(64);
+    for (int i = 0; i < 10000; ++i)
+        res.add(i);
+    EXPECT_EQ(res.sample().size(), 64u);
+    EXPECT_EQ(res.seen(), 10000u);
+}
+
+TEST(Reservoir, SamplingIsApproximatelyUniform)
+{
+    // Over many independent reservoirs, early and late elements should
+    // be retained at similar rates.
+    int early = 0;
+    int late = 0;
+    for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+        Reservoir<int> res(10, seed);
+        for (int i = 0; i < 1000; ++i)
+            res.add(i);
+        for (int v : res.sample()) {
+            if (v < 500)
+                ++early;
+            else
+                ++late;
+        }
+    }
+    double ratio = static_cast<double>(early) / late;
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Reservoir, DeterministicForFixedSeed)
+{
+    Reservoir<int> a(8, 7);
+    Reservoir<int> b(8, 7);
+    for (int i = 0; i < 1000; ++i) {
+        a.add(i);
+        b.add(i);
+    }
+    EXPECT_EQ(a.sample(), b.sample());
+}
+
+} // namespace
+} // namespace cbs

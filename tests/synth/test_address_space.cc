@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "synth/address_space.h"
+#include "synth/size_dist.h"
+
+namespace cbs {
+namespace {
+
+using Population = AddressSpaceModel::Population;
+
+AddressSpaceParams
+params()
+{
+    AddressSpaceParams p;
+    p.capacity_blocks = 1 << 20;
+    p.hot_read_blocks = 1024;
+    p.hot_write_blocks = 1024;
+    p.shared_blocks = 2048;
+    return p;
+}
+
+TEST(AddressSpace, RejectsTinyCapacity)
+{
+    AddressSpaceParams p = params();
+    p.capacity_blocks = 4;
+    EXPECT_THROW(AddressSpaceModel model(p), FatalError);
+}
+
+TEST(AddressSpace, RejectsOverfullProbabilities)
+{
+    AddressSpaceParams p = params();
+    p.read_to_hot_read = 0.8;
+    p.read_to_shared = 0.3;
+    EXPECT_THROW(AddressSpaceModel model(p), FatalError);
+}
+
+TEST(AddressSpace, SamplesStayInCapacity)
+{
+    AddressSpaceModel model(params());
+    Rng rng(1);
+    for (int i = 0; i < 50000; ++i) {
+        BlockNo b = model.sampleBlock(
+            rng.bernoulli(0.5) ? Op::Read : Op::Write, rng);
+        ASSERT_LT(b, model.capacityBlocks());
+    }
+}
+
+TEST(AddressSpace, PopulationSamplesLandInTheirRegion)
+{
+    AddressSpaceModel model(params());
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_TRUE(model.inPopulation(
+            model.sampleFrom(Population::HotRead, rng),
+            Population::HotRead));
+        EXPECT_TRUE(model.inPopulation(
+            model.sampleFrom(Population::HotWrite, rng),
+            Population::HotWrite));
+        EXPECT_TRUE(model.inPopulation(
+            model.sampleFrom(Population::Shared, rng),
+            Population::Shared));
+    }
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap)
+{
+    AddressSpaceModel model(params());
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        BlockNo hr = model.sampleFrom(Population::HotRead, rng);
+        EXPECT_FALSE(model.inPopulation(hr, Population::HotWrite));
+        EXPECT_FALSE(model.inPopulation(hr, Population::Shared));
+    }
+}
+
+TEST(AddressSpace, PopulationProbabilitiesRespected)
+{
+    AddressSpaceParams p = params();
+    p.read_to_hot_read = 0.6;
+    p.read_to_shared = 0.2;
+    p.read_to_hot_write = 0.05;
+    AddressSpaceModel model(p);
+    Rng rng(4);
+    int hot_read = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (model.samplePopulation(Op::Read, rng) ==
+            Population::HotRead)
+            ++hot_read;
+    }
+    EXPECT_NEAR(static_cast<double>(hot_read) / n, 0.6, 0.01);
+}
+
+TEST(AddressSpace, ZipfSkewConcentratesHotWrites)
+{
+    AddressSpaceParams p = params();
+    p.zipf_theta = 0.99;
+    p.write_zipf_theta = 0.99;
+    p.hot_uniform_mix = 0.0;
+    AddressSpaceModel model(p);
+    Rng rng(5);
+    FlatMap<std::uint32_t> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[model.sampleFrom(Population::HotWrite, rng)];
+    // The hottest block should hold a large share under theta=0.99.
+    std::uint32_t max_count = 0;
+    counts.forEach([&](std::uint64_t, const std::uint32_t &c) {
+        max_count = std::max(max_count, c);
+    });
+    EXPECT_GT(max_count, n / 25);
+}
+
+TEST(AddressSpace, UniformMixSpreadsAccesses)
+{
+    AddressSpaceParams p = params();
+    p.hot_uniform_mix = 1.0;
+    AddressSpaceModel model(p);
+    Rng rng(6);
+    FlatSet blocks;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        blocks.insert(model.sampleFrom(Population::HotWrite, rng));
+    // Uniform over 1024 blocks: nearly all blocks touched.
+    EXPECT_GT(blocks.size(), 1000u);
+}
+
+TEST(AddressSpace, TinyVolumesClampRegions)
+{
+    AddressSpaceParams p = params();
+    p.capacity_blocks = 64;
+    p.hot_read_blocks = 1 << 20;
+    AddressSpaceModel model(p);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(model.sampleBlock(Op::Read, rng), 64u);
+}
+
+TEST(SizeDist, SamplesOnlyConfiguredSizes)
+{
+    SizeDist dist({{4096, 1.0}, {8192, 3.0}});
+    Rng rng(8);
+    int small = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        std::uint32_t s = dist.sample(rng);
+        ASSERT_TRUE(s == 4096 || s == 8192);
+        small += s == 4096;
+    }
+    EXPECT_NEAR(static_cast<double>(small) / n, 0.25, 0.01);
+}
+
+TEST(SizeDist, MeanMatchesWeights)
+{
+    SizeDist dist({{4096, 1.0}, {8192, 1.0}});
+    EXPECT_DOUBLE_EQ(dist.mean(), 6144.0);
+}
+
+TEST(SizeDist, RejectsInvalidConfigs)
+{
+    EXPECT_THROW(
+        SizeDist(std::vector<std::pair<std::uint32_t, double>>{}),
+        FatalError);
+    EXPECT_THROW(SizeDist({{0, 1.0}}), FatalError);
+    EXPECT_THROW(SizeDist({{4096, 0.0}}), FatalError);
+    EXPECT_THROW(SizeDist({{4096, -1.0}}), FatalError);
+}
+
+} // namespace
+} // namespace cbs

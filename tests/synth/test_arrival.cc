@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "stats/streaming_stats.h"
+#include "synth/arrival.h"
+
+namespace cbs {
+namespace {
+
+TEST(BurstyArrivals, RejectsInvalidParams)
+{
+    ArrivalParams params;
+    params.avg_rate = 0.0;
+    EXPECT_THROW(BurstyArrivals(params, Rng(1)), FatalError);
+    params = ArrivalParams{};
+    params.burst_fraction = 1.0;
+    EXPECT_THROW(BurstyArrivals(params, Rng(1)), FatalError);
+}
+
+TEST(BurstyArrivals, TimesAreMonotone)
+{
+    ArrivalParams params;
+    params.avg_rate = 100.0;
+    BurstyArrivals arrivals(params, Rng(7));
+    TimeUs prev = 0;
+    for (int i = 0; i < 10000; ++i) {
+        TimeUs t = arrivals.next();
+        ASSERT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(BurstyArrivals, LongRunRateMatchesTarget)
+{
+    // Short, frequent bursts keep the burst-traffic variance low
+    // enough for a tight statistical check (long rare bursts
+    // concentrate 40% of traffic in a handful of exponential-sized
+    // events, which needs far longer runs to converge).
+    ArrivalParams params;
+    params.avg_rate = 200.0;
+    params.burst_fraction = 0.4;
+    params.burst_rate = 2000.0;
+    params.burst_len_sec = 0.05;
+    BurstyArrivals arrivals(params, Rng(3));
+    const int n = 400000;
+    TimeUs last = 0;
+    for (int i = 0; i < n; ++i)
+        last = arrivals.next();
+    double realized =
+        static_cast<double>(n) / (static_cast<double>(last) / 1e6);
+    EXPECT_NEAR(realized / params.avg_rate, 1.0, 0.1);
+}
+
+TEST(BurstyArrivals, PureBaseProcessIsPoissonLike)
+{
+    ArrivalParams params;
+    params.avg_rate = 1000.0;
+    params.burst_fraction = 0.0;
+    BurstyArrivals arrivals(params, Rng(5));
+    StreamingStats gaps;
+    TimeUs prev = 0;
+    for (int i = 0; i < 100000; ++i) {
+        TimeUs t = arrivals.next();
+        gaps.add(static_cast<double>(t - prev));
+        prev = t;
+    }
+    // Exponential gaps: mean == stddev == 1/rate (1000 us).
+    EXPECT_NEAR(gaps.mean(), 1000.0, 30.0);
+    EXPECT_NEAR(gaps.stddev(), 1000.0, 50.0);
+}
+
+TEST(BurstyArrivals, BurstsCreateShortGaps)
+{
+    ArrivalParams params;
+    params.avg_rate = 10.0;
+    params.burst_fraction = 0.6;
+    params.burst_rate = 10000.0;
+    params.burst_len_sec = 1.0;
+    BurstyArrivals arrivals(params, Rng(11));
+    std::uint64_t sub_ms = 0;
+    TimeUs prev = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        TimeUs t = arrivals.next();
+        if (t - prev < 1000)
+            ++sub_ms;
+        prev = t;
+    }
+    // Roughly burst_fraction of gaps should be in-burst (sub-ms here).
+    EXPECT_GT(static_cast<double>(sub_ms) / n, 0.4);
+}
+
+TEST(BurstyArrivals, ScheduledBurstCountRealized)
+{
+    ArrivalParams params;
+    params.avg_rate = 10.0;
+    params.burst_fraction = 0.8;
+    params.burst_rate = 2000.0;
+    params.burst_len_sec = 5.0;
+    params.burst_count = 2;
+    params.horizon_us = 600 * units::sec;
+    BurstyArrivals arrivals(params, Rng(13));
+
+    // Count arrivals in 1-second windows; two scheduled bursts should
+    // produce two distinct clusters of ~thousands of arrivals.
+    std::vector<int> per_sec(601, 0);
+    while (true) {
+        TimeUs t = arrivals.next();
+        if (t >= params.horizon_us)
+            break;
+        ++per_sec[t / units::sec];
+    }
+    int bursty_seconds = 0;
+    for (int c : per_sec)
+        bursty_seconds += c > 500;
+    EXPECT_GE(bursty_seconds, 2);
+    EXPECT_LE(bursty_seconds, 14); // 2 bursts x ~5 s, plus slack
+}
+
+TEST(BurstyArrivals, ScheduledModeRequiresHorizon)
+{
+    ArrivalParams params;
+    params.burst_count = 1;
+    params.horizon_us = 0;
+    EXPECT_THROW(BurstyArrivals(params, Rng(1)), FatalError);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "synth/models.h"
+#include "synth/population.h"
+
+namespace cbs {
+namespace {
+
+PopulationSpec
+smallSpec()
+{
+    PopulationSpec spec = aliCloudSpanSpec(SpanScale{20, 20000});
+    return spec;
+}
+
+TEST(Population, SamplesRequestedVolumeCount)
+{
+    auto profiles = sampleProfiles(smallSpec(), 1);
+    EXPECT_EQ(profiles.size(), 20u);
+    for (std::size_t i = 0; i < profiles.size(); ++i)
+        EXPECT_EQ(profiles[i].id, static_cast<VolumeId>(i));
+}
+
+TEST(Population, DeterministicForSeed)
+{
+    auto a = sampleProfiles(smallSpec(), 5);
+    auto b = sampleProfiles(smallSpec(), 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_DOUBLE_EQ(a[i].write_fraction, b[i].write_fraction);
+        EXPECT_DOUBLE_EQ(a[i].arrivals.avg_rate,
+                         b[i].arrivals.avg_rate);
+        EXPECT_EQ(a[i].capacity_bytes, b[i].capacity_bytes);
+    }
+}
+
+TEST(Population, DifferentSeedsDiffer)
+{
+    auto a = sampleProfiles(smallSpec(), 1);
+    auto b = sampleProfiles(smallSpec(), 2);
+    int differing = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differing += a[i].seed != b[i].seed;
+    EXPECT_GT(differing, 15);
+}
+
+TEST(Population, ExpectedTotalNearTarget)
+{
+    PopulationSpec spec = smallSpec();
+    spec.min_volume_requests = 0.0; // the floor inflates small specs
+    auto profiles = sampleProfiles(spec, 3);
+    double total = 0;
+    for (const auto &p : profiles)
+        total += p.expectedRequests();
+    EXPECT_NEAR(total / spec.total_request_target, 1.0, 0.01);
+}
+
+TEST(Population, MinimumRequestFloorApplied)
+{
+    PopulationSpec spec = smallSpec();
+    spec.min_volume_requests = 100.0;
+    auto profiles = sampleProfiles(spec, 3);
+    for (const auto &p : profiles)
+        EXPECT_GE(p.expectedRequests(), 99.0);
+}
+
+TEST(Population, ActiveWindowsInsideDuration)
+{
+    auto profiles = sampleProfiles(smallSpec(), 7);
+    for (const auto &p : profiles) {
+        EXPECT_LT(p.active_start, p.active_end);
+        EXPECT_LE(p.active_end, smallSpec().duration);
+    }
+}
+
+TEST(Population, CapacitiesWithinSpecRange)
+{
+    auto profiles = sampleProfiles(smallSpec(), 9);
+    for (const auto &p : profiles) {
+        EXPECT_GE(p.capacity_bytes, 40ULL * units::GiB / 2);
+        EXPECT_LE(p.capacity_bytes, 5ULL * units::TiB);
+        EXPECT_EQ(p.capacity_bytes % p.block_size, 0u);
+    }
+}
+
+TEST(Population, DailyScanGoesToTopWriters)
+{
+    PopulationSpec spec = msrcSpanSpec(SpanScale{12, 30000});
+    spec.daily_scan_volumes = 2;
+    auto profiles = sampleProfiles(spec, 11);
+    double min_scan_writes = 1e18;
+    double max_other_writes = 0;
+    for (const auto &p : profiles) {
+        double writes = p.expectedRequests() * p.write_fraction;
+        if (p.daily_scan)
+            min_scan_writes = std::min(min_scan_writes, writes);
+        else
+            max_other_writes = std::max(max_other_writes, writes);
+    }
+    EXPECT_GE(min_scan_writes, max_other_writes);
+}
+
+TEST(Population, MakeTraceMergesAllVolumes)
+{
+    PopulationSpec spec = smallSpec();
+    auto source = makeTrace(spec, 13);
+    IoRequest r;
+    TimeUs prev = 0;
+    FlatSet volumes;
+    std::size_t count = 0;
+    while (source->next(r)) {
+        ASSERT_GE(r.timestamp, prev);
+        prev = r.timestamp;
+        volumes.insert(r.volume);
+        ++count;
+    }
+    EXPECT_EQ(volumes.size(), 20u); // floor keeps every volume visible
+    EXPECT_GT(count, 10000u);
+}
+
+TEST(Population, BurstinessBandsProduceScheduledBursts)
+{
+    PopulationSpec spec = aliCloudBurstinessSpec(10);
+    spec.total_request_target = 50000;
+    auto profiles = sampleProfiles(spec, 17);
+    for (const auto &p : profiles) {
+        EXPECT_GE(p.arrivals.burst_count, 1u);
+        EXPECT_EQ(p.arrivals.horizon_us,
+                  p.active_end - p.active_start);
+        EXPECT_LT(p.arrivals.burst_fraction, 1.0);
+    }
+}
+
+TEST(Population, RejectsDegenerateSpecs)
+{
+    PopulationSpec spec = smallSpec();
+    spec.volume_count = 0;
+    EXPECT_THROW(sampleProfiles(spec, 1), FatalError);
+    spec = smallSpec();
+    spec.wr_ratio_bands.clear();
+    EXPECT_THROW(sampleProfiles(spec, 1), FatalError);
+    spec = smallSpec();
+    spec.active_days_bands.clear();
+    EXPECT_THROW(sampleProfiles(spec, 1), FatalError);
+}
+
+TEST(Bands, SampleRespectsWeights)
+{
+    std::vector<Band> bands = {{0.9, {0.0, 1.0, false}},
+                               {0.1, {10.0, 11.0, false}}};
+    Rng rng(19);
+    int high = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        high += sampleBands(bands, rng) > 5.0;
+    EXPECT_NEAR(static_cast<double>(high) / n, 0.1, 0.01);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/streaming_stats.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+namespace cbs {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    StreamingStats s;
+    for (int i = 0; i < 100000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        s.add(u);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntCoversRangeEvenly)
+{
+    Rng rng(9);
+    int counts[10] = {};
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, ExponentialHasCorrectMean)
+{
+    Rng rng(5);
+    StreamingStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+    EXPECT_NEAR(s.stddev(), 0.25, 0.01);
+}
+
+TEST(Rng, GaussianMomentsAndSymmetry)
+{
+    Rng rng(7);
+    StreamingStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0, 0.02);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(11);
+    std::vector<double> values;
+    for (int i = 0; i < 50000; ++i)
+        values.push_back(rng.logNormal(2.55, 1.8));
+    std::sort(values.begin(), values.end());
+    EXPECT_NEAR(values[values.size() / 2] / 2.55, 1.0, 0.05);
+}
+
+TEST(Rng, LogUniformStaysInRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.logUniform(2.0, 2000.0);
+        ASSERT_GE(v, 2.0);
+        ASSERT_LT(v, 2000.0);
+    }
+}
+
+TEST(Rng, GeometricMeanMatchesContinueProbability)
+{
+    Rng rng(17);
+    StreamingStats s;
+    double p = 0.75; // mean extra trials = p / (1 - p) = 3
+    for (int i = 0; i < 100000; ++i)
+        s.add(static_cast<double>(rng.geometric(p)));
+    EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(21);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Zipf, RejectsInvalidParameters)
+{
+    EXPECT_THROW(ZipfSampler(0, 0.5), FatalError);
+    EXPECT_THROW(ZipfSampler(10, 1.0), FatalError);
+    EXPECT_THROW(ZipfSampler(10, -0.1), FatalError);
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    ZipfSampler zipf(10, 0.0);
+    Rng rng(1);
+    int counts[10] = {};
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Zipf, RankFrequenciesMatchTheory)
+{
+    const double theta = 0.9;
+    ZipfSampler zipf(1000, theta);
+    Rng rng(2);
+    std::vector<int> counts(1000, 0);
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::uint64_t k : {0ULL, 1ULL, 9ULL, 99ULL}) {
+        double expected = zipf.probabilityOfRank(k) * n;
+        EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected) + 20)
+            << "rank " << k;
+    }
+}
+
+TEST(Zipf, SamplesAlwaysInRange)
+{
+    ZipfSampler zipf(37, 0.99);
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_LT(zipf.sample(rng), 37u);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfSampler zipf(500, 0.8);
+    double sum = 0;
+    for (std::uint64_t k = 0; k < 500; ++k)
+        sum += zipf.probabilityOfRank(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, LargeNZetaApproximationAccurate)
+{
+    // The Euler-Maclaurin continuation above 2^20 items must agree
+    // with the head probabilities of an exactly-computed sampler.
+    ZipfSampler big(std::uint64_t{1} << 22, 0.9);
+    ZipfSampler small(std::uint64_t{1} << 20, 0.9);
+    // p(0) ratio only depends on zeta; sanity: both in (0, 1) and the
+    // bigger population has the smaller head probability.
+    EXPECT_LT(big.probabilityOfRank(0), small.probabilityOfRank(0));
+    EXPECT_GT(big.probabilityOfRank(0), 0.0);
+}
+
+} // namespace
+} // namespace cbs

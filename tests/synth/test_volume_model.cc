@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testutil.h"
+#include "common/error.h"
+#include "synth/volume_model.h"
+
+namespace cbs {
+namespace {
+
+TEST(VolumeWorkload, RequestsAreTimestampOrdered)
+{
+    VolumeWorkload workload(test::tinyProfile());
+    IoRequest r;
+    TimeUs prev = 0;
+    int count = 0;
+    while (workload.next(r)) {
+        ASSERT_GE(r.timestamp, prev);
+        prev = r.timestamp;
+        ++count;
+    }
+    EXPECT_GT(count, 1000);
+}
+
+TEST(VolumeWorkload, StaysInsideActiveWindow)
+{
+    VolumeProfile p = test::tinyProfile();
+    p.active_start = 10 * units::minute;
+    p.active_end = 20 * units::minute;
+    VolumeWorkload workload(p);
+    IoRequest r;
+    while (workload.next(r)) {
+        ASSERT_GE(r.timestamp, p.active_start);
+        ASSERT_LT(r.timestamp, p.active_end);
+    }
+}
+
+TEST(VolumeWorkload, RespectsWriteFraction)
+{
+    VolumeProfile p = test::tinyProfile();
+    p.write_fraction = 0.9;
+    VolumeWorkload workload(p);
+    IoRequest r;
+    int writes = 0;
+    int total = 0;
+    while (workload.next(r)) {
+        writes += r.isWrite();
+        ++total;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / total, 0.9, 0.02);
+}
+
+TEST(VolumeWorkload, OffsetsStayInCapacity)
+{
+    VolumeWorkload workload(test::tinyProfile());
+    IoRequest r;
+    while (workload.next(r))
+        ASSERT_LE(r.offset + r.length,
+                  workload.profile().capacity_bytes);
+}
+
+TEST(VolumeWorkload, SizesComeFromTheConfiguredMixture)
+{
+    VolumeWorkload workload(test::tinyProfile());
+    IoRequest r;
+    while (workload.next(r)) {
+        if (r.isRead())
+            ASSERT_TRUE(r.length == 4096 || r.length == 16384);
+        else
+            ASSERT_TRUE(r.length == 4096 || r.length == 8192);
+    }
+}
+
+TEST(VolumeWorkload, VolumeIdStamped)
+{
+    VolumeProfile p = test::tinyProfile(17);
+    VolumeWorkload workload(p);
+    IoRequest r;
+    ASSERT_TRUE(workload.next(r));
+    EXPECT_EQ(r.volume, 17u);
+}
+
+TEST(VolumeWorkload, DeterministicForSameProfile)
+{
+    VolumeWorkload a(test::tinyProfile());
+    VolumeWorkload b(test::tinyProfile());
+    IoRequest ra;
+    IoRequest rb;
+    for (int i = 0; i < 5000; ++i) {
+        bool more_a = a.next(ra);
+        bool more_b = b.next(rb);
+        ASSERT_EQ(more_a, more_b);
+        if (!more_a)
+            break;
+        ASSERT_EQ(ra, rb);
+    }
+}
+
+TEST(VolumeWorkload, ResetReplaysIdentically)
+{
+    VolumeWorkload workload(test::tinyProfile());
+    std::vector<IoRequest> first = drain(workload);
+    workload.reset();
+    std::vector<IoRequest> second = drain(workload);
+    EXPECT_EQ(first, second);
+}
+
+TEST(VolumeWorkload, SequentialRunsProduceAdjacentOffsets)
+{
+    VolumeProfile p = test::tinyProfile();
+    p.seq_start_p = 1.0; // every request starts or continues a run
+    p.seq_run_len = 16.0;
+    VolumeWorkload workload(p);
+    IoRequest prev;
+    ASSERT_TRUE(workload.next(prev));
+    IoRequest r;
+    int sequential = 0;
+    int total = 0;
+    while (workload.next(r) && total < 20000) {
+        sequential += r.offset == prev.offset + prev.length;
+        prev = r;
+        ++total;
+    }
+    // With mean run length 16, most transitions are sequential. Reads
+    // and writes keep separate run state, so interleaving breaks some.
+    EXPECT_GT(static_cast<double>(sequential) / total, 0.5);
+}
+
+TEST(VolumeWorkload, DailyScanGivesDayUpdateIntervals)
+{
+    VolumeProfile p = test::tinyProfile();
+    p.active_end = 3 * units::day;
+    // Low, burst-free rate: at most one write per scan slot per day,
+    // so nearly every same-block interval is the daily sweep.
+    p.arrivals.avg_rate = 0.15;
+    p.arrivals.burst_fraction = 0.0;
+    p.daily_scan = true;
+    p.daily_scan_write_p = 1.0;
+    p.daily_scan_blocks = 1 << 14;
+    p.seq_start_p = 0.0;
+    p.write_fraction = 1.0;
+    VolumeWorkload workload(p);
+
+    // Track consecutive writes to the same block; scan blocks are
+    // rewritten at the same time of day, i.e. ~24 h apart.
+    FlatMap<TimeUs> last;
+    IoRequest r;
+    std::uint64_t day_intervals = 0;
+    std::uint64_t short_intervals = 0;
+    std::uint64_t intervals = 0;
+    while (workload.next(r)) {
+        auto [prev, inserted] = last.tryEmplace(r.offset);
+        if (!inserted) {
+            TimeUs gap = r.timestamp - prev;
+            ++intervals;
+            TimeUs mod = gap % units::day;
+            bool near_day_multiple =
+                gap > 22 * units::hour &&
+                (mod < 2 * units::hour || mod > 22 * units::hour);
+            if (near_day_multiple)
+                ++day_intervals; // skipped days give 48 h, 72 h, ...
+            else if (gap < units::minute)
+                ++short_intervals; // same scan slot, same sweep
+        }
+        prev = r.timestamp;
+    }
+    ASSERT_GT(intervals, 50u);
+    // The distribution is bimodal: same-sweep repeats are sub-minute,
+    // cross-sweep rewrites sit at multiples of 24 h; nothing between.
+    EXPECT_GT(static_cast<double>(day_intervals) / intervals, 0.35);
+    EXPECT_GT(static_cast<double>(day_intervals + short_intervals) /
+                  intervals,
+              0.95);
+}
+
+TEST(VolumeWorkload, RejectsEmptyWindow)
+{
+    VolumeProfile p = test::tinyProfile();
+    p.active_end = p.active_start;
+    EXPECT_THROW(VolumeWorkload workload(p), FatalError);
+}
+
+TEST(VolumeWorkload, RejectsMissingSizeDistributions)
+{
+    VolumeProfile p = test::tinyProfile();
+    p.read_sizes = SizeDist();
+    EXPECT_THROW(VolumeWorkload workload(p), FatalError);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared test helpers: request builders and a tiny volume profile used
+ * across analyzer and generator tests.
+ */
+
+#ifndef CBS_TESTS_TESTUTIL_H
+#define CBS_TESTS_TESTUTIL_H
+
+#include <vector>
+
+#include "synth/volume_model.h"
+#include "trace/trace_source.h"
+
+namespace cbs::test {
+
+/** Shorthand request builder. */
+inline IoRequest
+req(TimeUs t, Op op, ByteOffset offset, std::uint32_t length,
+    VolumeId volume = 0)
+{
+    return IoRequest{t, offset, length, volume, op};
+}
+
+inline IoRequest
+read(TimeUs t, ByteOffset offset, std::uint32_t length = 4096,
+     VolumeId volume = 0)
+{
+    return req(t, Op::Read, offset, length, volume);
+}
+
+inline IoRequest
+write(TimeUs t, ByteOffset offset, std::uint32_t length = 4096,
+      VolumeId volume = 0)
+{
+    return req(t, Op::Write, offset, length, volume);
+}
+
+/** A small but fully-populated volume profile for generator tests. */
+inline VolumeProfile
+tinyProfile(VolumeId id = 0, std::uint64_t seed = 7)
+{
+    VolumeProfile p;
+    p.id = id;
+    p.seed = seed;
+    p.capacity_bytes = 1ULL << 30; // 1 GiB
+    p.active_start = 0;
+    p.active_end = units::hour;
+    p.arrivals.avg_rate = 50.0;
+    p.arrivals.burst_fraction = 0.3;
+    p.arrivals.burst_rate = 500.0;
+    p.arrivals.burst_len_sec = 1.0;
+    p.write_fraction = 0.7;
+    p.read_sizes = SizeDist({{4096, 0.7}, {16384, 0.3}});
+    p.write_sizes = SizeDist({{4096, 0.8}, {8192, 0.2}});
+    p.space.capacity_blocks = p.capacity_bytes / p.block_size;
+    p.space.hot_read_blocks = 256;
+    p.space.hot_write_blocks = 256;
+    p.space.shared_blocks = 512;
+    p.seq_start_p = 0.2;
+    p.seq_run_len = 4.0;
+    return p;
+}
+
+} // namespace cbs::test
+
+#endif // CBS_TESTS_TESTUTIL_H

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "synth/rng.h"
+#include "trace/bin_trace.h"
+
+namespace cbs {
+namespace {
+
+std::vector<IoRequest>
+randomRequests(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<IoRequest> out;
+    TimeUs t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += rng.uniformInt(1000);
+        out.push_back(IoRequest{
+            t, rng.nextU64() >> 20,
+            static_cast<std::uint32_t>(512 + rng.uniformInt(1 << 20)),
+            static_cast<VolumeId>(rng.uniformInt(1000)),
+            rng.bernoulli(0.5) ? Op::Write : Op::Read});
+    }
+    return out;
+}
+
+TEST(BinTrace, RoundTripsRandomRequests)
+{
+    auto original = randomRequests(2000, 17);
+    std::stringstream buffer;
+    BinTraceWriter writer(buffer);
+    for (const auto &r : original)
+        writer.write(r);
+    writer.finish();
+
+    BinTraceReader reader(buffer);
+    EXPECT_EQ(reader.declaredCount(), original.size());
+    IoRequest r;
+    for (const auto &expected : original) {
+        ASSERT_TRUE(reader.next(r));
+        EXPECT_EQ(r, expected);
+    }
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(BinTrace, EmptyTraceRoundTrips)
+{
+    std::stringstream buffer;
+    BinTraceWriter writer(buffer);
+    writer.finish();
+    BinTraceReader reader(buffer);
+    EXPECT_EQ(reader.declaredCount(), 0u);
+    IoRequest r;
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(BinTrace, ResetReplaysFromStart)
+{
+    auto original = randomRequests(10, 3);
+    std::stringstream buffer;
+    BinTraceWriter writer(buffer);
+    for (const auto &r : original)
+        writer.write(r);
+    writer.finish();
+
+    BinTraceReader reader(buffer);
+    IoRequest r;
+    while (reader.next(r)) {
+    }
+    reader.reset();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r, original.front());
+}
+
+TEST(BinTrace, RejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "NOTATRACE_______________";
+    EXPECT_THROW(BinTraceReader reader(buffer), FatalError);
+}
+
+TEST(BinTrace, RejectsTruncatedBody)
+{
+    std::stringstream buffer;
+    BinTraceWriter writer(buffer);
+    writer.write(IoRequest{1, 2, 3, 4, Op::Read});
+    writer.write(IoRequest{5, 6, 7, 8, Op::Write});
+    writer.finish();
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() - 8); // chop the last record short
+
+    std::stringstream truncated(bytes);
+    BinTraceReader reader(truncated);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(BinTrace, RejectsOversizedVolumeId)
+{
+    std::stringstream buffer;
+    BinTraceWriter writer(buffer);
+    IoRequest r{0, 0, 0, 0x80000000u, Op::Read};
+    EXPECT_THROW(writer.write(r), FatalError);
+}
+
+TEST(BinTrace, RecordsAre24Bytes)
+{
+    std::stringstream buffer;
+    BinTraceWriter writer(buffer);
+    writer.write(IoRequest{1, 2, 3, 4, Op::Read});
+    writer.finish();
+    EXPECT_EQ(buffer.str().size(), 16u + 24u);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "trace/csv.h"
+
+namespace cbs {
+namespace {
+
+TEST(AliCloudCsv, ParsesReleasedFormat)
+{
+    std::istringstream in("3,R,1024,4096,100\n"
+                          "7,W,2048,8192,250\n");
+    AliCloudCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 3u);
+    EXPECT_EQ(r.op, Op::Read);
+    EXPECT_EQ(r.offset, 1024u);
+    EXPECT_EQ(r.length, 4096u);
+    EXPECT_EQ(r.timestamp, 100u);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 7u);
+    EXPECT_EQ(r.op, Op::Write);
+    EXPECT_FALSE(reader.next(r));
+    EXPECT_EQ(reader.recordCount(), 2u);
+}
+
+TEST(AliCloudCsv, ToleratesCrlfAndBlankLines)
+{
+    std::istringstream in("1,R,0,512,1\r\n\n2,W,0,512,2\r\n");
+    AliCloudCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 1u);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 2u);
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(AliCloudCsv, RejectsBadOpcode)
+{
+    std::istringstream in("1,X,0,512,1\n");
+    AliCloudCsvReader reader(in);
+    IoRequest r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(AliCloudCsv, RejectsWrongFieldCount)
+{
+    std::istringstream in("1,R,0,512\n");
+    AliCloudCsvReader reader(in);
+    IoRequest r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(AliCloudCsv, RejectsNonNumericField)
+{
+    std::istringstream in("1,R,zero,512,1\n");
+    AliCloudCsvReader reader(in);
+    IoRequest r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(AliCloudCsv, ResetRestartsStream)
+{
+    std::istringstream in("1,R,0,512,1\n");
+    AliCloudCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    ASSERT_FALSE(reader.next(r));
+    reader.reset();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 1u);
+}
+
+TEST(AliCloudCsv, WriterRoundTrips)
+{
+    std::vector<IoRequest> original{
+        {100, 1024, 4096, 3, Op::Read},
+        {250, 2048, 8192, 7, Op::Write},
+    };
+    std::ostringstream out;
+    AliCloudCsvWriter writer(out);
+    for (const auto &r : original)
+        writer.write(r);
+    EXPECT_EQ(writer.recordCount(), 2u);
+
+    std::istringstream in(out.str());
+    AliCloudCsvReader reader(in);
+    IoRequest r;
+    for (const auto &expected : original) {
+        ASSERT_TRUE(reader.next(r));
+        EXPECT_EQ(r, expected);
+    }
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(MsrcCsv, ParsesSniaFormatAndRebasesTime)
+{
+    // Timestamps are Windows filetime ticks (100 ns); the first record
+    // becomes t=0 and later ones are rebased to microseconds.
+    std::istringstream in(
+        "128166372003061629,hm,0,Read,383496192,32768,413\n"
+        "128166372003061729,hm,0,Write,383528960,32768,220\n"
+        "128166372003062629,web,1,Read,0,4096,100\n");
+    MsrcCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.timestamp, 0u);
+    EXPECT_EQ(r.volume, 0u);
+    EXPECT_EQ(r.op, Op::Read);
+    EXPECT_EQ(r.offset, 383496192u);
+    EXPECT_EQ(r.length, 32768u);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.timestamp, 10u); // 100 ticks = 10 us
+    EXPECT_EQ(r.volume, 0u);     // same hm.0 volume
+    EXPECT_EQ(r.op, Op::Write);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 1u); // new hostname/disk pair
+    EXPECT_EQ(reader.volumeIds().size(), 2u);
+}
+
+TEST(MsrcCsv, RejectsBadType)
+{
+    std::istringstream in("1,hm,0,Flush,0,512,1\n");
+    MsrcCsvReader reader(in);
+    IoRequest r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(MsrcCsv, ResetClearsVolumeMapping)
+{
+    std::istringstream in("100,a,0,Read,0,512,1\n"
+                          "200,b,0,Read,0,512,1\n");
+    MsrcCsvReader reader(in);
+    IoRequest r;
+    while (reader.next(r)) {
+    }
+    EXPECT_EQ(reader.volumeIds().size(), 2u);
+    reader.reset();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 0u);
+    EXPECT_EQ(r.timestamp, 0u);
+}
+
+} // namespace
+} // namespace cbs

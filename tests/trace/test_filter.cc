@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../testutil.h"
+#include "common/error.h"
+#include "trace/filter.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+std::unique_ptr<TraceSource>
+mixedSource()
+{
+    std::vector<IoRequest> reqs;
+    for (TimeUs t = 0; t < 100; ++t) {
+        reqs.push_back(t % 2 ? write(t, 4096 * t, 4096,
+                                     static_cast<VolumeId>(t % 5))
+                             : read(t, 4096 * t, 4096,
+                                    static_cast<VolumeId>(t % 5)));
+    }
+    return std::make_unique<VectorSource>(std::move(reqs));
+}
+
+TEST(VolumeFilter, KeepsOnlyListedVolumes)
+{
+    VolumeFilterSource filter(mixedSource(), {1, 3});
+    IoRequest r;
+    std::size_t count = 0;
+    while (filter.next(r)) {
+        EXPECT_TRUE(r.volume == 1 || r.volume == 3);
+        ++count;
+    }
+    EXPECT_EQ(count, 40u);
+}
+
+TEST(VolumeFilter, RejectsEmptyFilter)
+{
+    EXPECT_THROW(VolumeFilterSource(mixedSource(), {}), FatalError);
+    EXPECT_THROW(VolumeFilterSource(nullptr, {1}), FatalError);
+}
+
+TEST(VolumeFilter, ResetReplays)
+{
+    VolumeFilterSource filter(mixedSource(), {0});
+    std::size_t first = drain(filter).size();
+    filter.reset();
+    EXPECT_EQ(drain(filter).size(), first);
+}
+
+TEST(TimeWindow, ClipsToHalfOpenRange)
+{
+    TimeWindowSource window(mixedSource(), 10, 20);
+    IoRequest r;
+    std::size_t count = 0;
+    while (window.next(r)) {
+        EXPECT_GE(r.timestamp, 10u);
+        EXPECT_LT(r.timestamp, 20u);
+        ++count;
+    }
+    EXPECT_EQ(count, 10u);
+}
+
+TEST(TimeWindow, RejectsEmptyWindow)
+{
+    EXPECT_THROW(TimeWindowSource(mixedSource(), 5, 5), FatalError);
+}
+
+TEST(TimeWindow, StopsEarlyOnOrderedStream)
+{
+    // After passing `end`, the source stops even though the inner
+    // stream continues.
+    TimeWindowSource window(mixedSource(), 0, 3);
+    EXPECT_EQ(drain(window).size(), 3u);
+}
+
+TEST(OpFilter, KeepsOneDirection)
+{
+    OpFilterSource writes_only(mixedSource(), Op::Write);
+    IoRequest r;
+    std::size_t count = 0;
+    while (writes_only.next(r)) {
+        EXPECT_TRUE(r.isWrite());
+        ++count;
+    }
+    EXPECT_EQ(count, 50u);
+}
+
+TEST(Filters, Compose)
+{
+    auto chain = std::make_unique<OpFilterSource>(
+        std::make_unique<TimeWindowSource>(
+            std::make_unique<VolumeFilterSource>(
+                mixedSource(), std::vector<VolumeId>{1}),
+            0, 50),
+        Op::Write);
+    IoRequest r;
+    std::size_t count = 0;
+    while (chain->next(r)) {
+        EXPECT_EQ(r.volume, 1u);
+        EXPECT_TRUE(r.isWrite());
+        EXPECT_LT(r.timestamp, 50u);
+        ++count;
+    }
+    // Volume 1 requests are t=1,6,11,...,46 within [0,50): t%5==1.
+    // Writes are odd t: t=1,11,21,31,41.
+    EXPECT_EQ(count, 5u);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/request.h"
+
+namespace cbs {
+namespace {
+
+TEST(IoRequest, BlockRangeSingleBlock)
+{
+    IoRequest r{0, 8192, 4096, 0, Op::Read};
+    EXPECT_EQ(r.firstBlock(4096), 2u);
+    EXPECT_EQ(r.lastBlock(4096), 2u);
+    EXPECT_EQ(r.blockCount(4096), 1u);
+}
+
+TEST(IoRequest, BlockRangeSpansBlocks)
+{
+    // 10 KiB starting 1 KiB into block 0 touches blocks 0..2.
+    IoRequest r{0, 1024, 10240, 0, Op::Write};
+    EXPECT_EQ(r.firstBlock(4096), 0u);
+    EXPECT_EQ(r.lastBlock(4096), 2u);
+    EXPECT_EQ(r.blockCount(4096), 3u);
+}
+
+TEST(IoRequest, BlockRangeExactBoundary)
+{
+    // Exactly one block, aligned: must not spill into the next block.
+    IoRequest r{0, 4096, 4096, 0, Op::Read};
+    EXPECT_EQ(r.firstBlock(4096), 1u);
+    EXPECT_EQ(r.lastBlock(4096), 1u);
+}
+
+TEST(IoRequest, ZeroLengthTouchesOneBlock)
+{
+    IoRequest r{0, 4096, 0, 0, Op::Read};
+    EXPECT_EQ(r.blockCount(4096), 1u);
+    EXPECT_EQ(r.lastBlock(4096), r.firstBlock(4096));
+}
+
+TEST(IoRequest, ForEachBlockVisitsWholeRange)
+{
+    IoRequest r{0, 0, 4096 * 5, 0, Op::Write};
+    std::vector<BlockNo> blocks;
+    forEachBlock(r, 4096, [&](BlockNo b) { blocks.push_back(b); });
+    EXPECT_EQ(blocks, (std::vector<BlockNo>{0, 1, 2, 3, 4}));
+}
+
+TEST(IoRequest, OpPredicates)
+{
+    EXPECT_TRUE((IoRequest{0, 0, 0, 0, Op::Read}).isRead());
+    EXPECT_FALSE((IoRequest{0, 0, 0, 0, Op::Read}).isWrite());
+    EXPECT_TRUE((IoRequest{0, 0, 0, 0, Op::Write}).isWrite());
+}
+
+TEST(BlockKey, DistinctAcrossVolumesAndBlocks)
+{
+    EXPECT_NE(blockKey(0, 1), blockKey(1, 1));
+    EXPECT_NE(blockKey(0, 1), blockKey(0, 2));
+    // Same (volume, block) is stable.
+    EXPECT_EQ(blockKey(3, 12345), blockKey(3, 12345));
+}
+
+TEST(BlockKey, LargeBlockNumbersPreserved)
+{
+    // 44 bits of block space: a 5 TiB volume at 4 KiB blocks uses
+    // ~1.3e9 blocks, far below the 44-bit limit.
+    BlockNo big = (std::uint64_t{1} << 44) - 1;
+    EXPECT_NE(blockKey(1, big), blockKey(1, big - 1));
+    EXPECT_NE(blockKey(1, big), blockKey(2, big));
+}
+
+} // namespace
+} // namespace cbs

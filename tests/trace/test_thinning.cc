@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../testutil.h"
+#include "common/error.h"
+#include "trace/thinning.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+
+std::unique_ptr<TraceSource>
+rampSource(std::size_t n)
+{
+    std::vector<IoRequest> reqs;
+    for (std::size_t i = 0; i < n; ++i)
+        reqs.push_back(read(static_cast<TimeUs>(i), 4096ULL * i));
+    return std::make_unique<VectorSource>(std::move(reqs));
+}
+
+TEST(Thinning, RejectsBadArguments)
+{
+    EXPECT_THROW(ThinningSource(nullptr, 0.5), FatalError);
+    EXPECT_THROW(ThinningSource(rampSource(1), 0.0), FatalError);
+    EXPECT_THROW(ThinningSource(rampSource(1), 1.5), FatalError);
+}
+
+TEST(Thinning, FullFractionPassesEverything)
+{
+    ThinningSource source(rampSource(1000), 1.0);
+    EXPECT_EQ(drain(source).size(), 1000u);
+}
+
+TEST(Thinning, KeepsApproximatelyTheRequestedFraction)
+{
+    ThinningSource source(rampSource(100000), 0.25);
+    double kept = static_cast<double>(drain(source).size()) / 100000.0;
+    EXPECT_NEAR(kept, 0.25, 0.01);
+}
+
+TEST(Thinning, PreservesTimestampOrder)
+{
+    ThinningSource source(rampSource(10000), 0.3);
+    IoRequest r;
+    TimeUs prev = 0;
+    while (source.next(r)) {
+        EXPECT_GE(r.timestamp, prev);
+        prev = r.timestamp;
+    }
+}
+
+TEST(Thinning, ResetReplaysTheSameSubset)
+{
+    ThinningSource source(rampSource(5000), 0.5, 9);
+    auto first = drain(source);
+    source.reset();
+    auto second = drain(source);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Thinning, DifferentSeedsPickDifferentSubsets)
+{
+    ThinningSource a(rampSource(5000), 0.5, 1);
+    ThinningSource b(rampSource(5000), 0.5, 2);
+    EXPECT_NE(drain(a), drain(b));
+}
+
+} // namespace
+} // namespace cbs
