@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Perf: serial vs. sharded analysis pipeline.
+ *
+ * Production traces are billions of requests (Table I), so the
+ * end-to-end analyzer sweep is the toolkit's long pole. This bench runs
+ * the full shardable analyzer set over the calibrated AliCloud trace
+ * once serially (runPipeline) and once per shard count
+ * (runPipelineParallel with 1, 2, 4, 8 shards), reporting throughput
+ * and speedup. The trace is materialized up front so generation cost
+ * stays out of the measurement.
+ *
+ * --json <path> additionally writes the measurements as JSON for
+ * machine consumption (CI trend tracking).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/basic_stats.h"
+#include "analysis/block_traffic.h"
+#include "analysis/interarrival.h"
+#include "analysis/load_intensity.h"
+#include "analysis/parallel_pipeline.h"
+#include "analysis/randomness.h"
+#include "analysis/size_stats.h"
+#include "analysis/temporal_pairs.h"
+#include "analysis/update_coverage.h"
+#include "analysis/update_interval.h"
+#include "common/format.h"
+#include "report/workbench.h"
+#include "trace/trace_source.h"
+
+using namespace cbs;
+
+namespace {
+
+/** The nine shardable analyzers, fresh per run. */
+struct AnalyzerSet
+{
+    BasicStatsAnalyzer basic;
+    SizeAnalyzer sizes;
+    LoadIntensityAnalyzer intensity;
+    InterarrivalAnalyzer interarrival;
+    RandomnessAnalyzer randomness;
+    UpdateCoverageAnalyzer coverage;
+    BlockTrafficAnalyzer traffic;
+    TemporalPairsAnalyzer pairs;
+    UpdateIntervalAnalyzer intervals;
+
+    std::vector<Analyzer *>
+    all()
+    {
+        return {&basic,    &sizes,    &intensity,
+                &interarrival, &randomness, &coverage,
+                &traffic,  &pairs,    &intervals};
+    }
+};
+
+struct Measurement
+{
+    std::string label;
+    std::size_t shards = 0; //!< 0 = serial
+    double seconds = 0.0;
+    double mreq_per_s = 0.0;
+    double speedup = 1.0;
+};
+
+double
+timedRun(VectorSource &requests, bool parallel, std::size_t shards)
+{
+    requests.reset();
+    AnalyzerSet set;
+    auto start = std::chrono::steady_clock::now();
+    if (parallel) {
+        ParallelOptions options;
+        options.shards = shards;
+        runPipelineParallel(requests, set.all(), options);
+    } else {
+        runPipeline(requests, set.all());
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+writeJson(const std::string &path, std::uint64_t requests,
+          const std::vector<Measurement> &rows)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return;
+    }
+    out << "{\n  \"bench\": \"perf_pipeline\",\n"
+        << "  \"requests\": " << requests << ",\n"
+        << "  \"hardware_threads\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Measurement &m = rows[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"label\": \"%s\", \"shards\": %zu, "
+                      "\"seconds\": %.6f, \"mreq_per_s\": %.3f, "
+                      "\"speedup\": %.3f}%s\n",
+                      m.label.c_str(), m.shards, m.seconds,
+                      m.mreq_per_s, m.speedup,
+                      i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote JSON to %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    double request_target = 2.0e6;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--requests") == 0 &&
+                   i + 1 < argc) {
+            request_target = std::strtod(argv[++i], nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_perf_pipeline [--json out.json] "
+                         "[--requests N]\n");
+            return 2;
+        }
+    }
+
+    printBenchHeader(
+        "Perf: serial vs. sharded analysis pipeline",
+        "full shardable analyzer set; identical results per run");
+
+    TraceBundle bundle = aliCloudSpan(SpanScale{40, request_target});
+    printBundleInfo(bundle);
+    VectorSource requests(drain(*bundle.source));
+    std::uint64_t count = requests.requests().size();
+    std::printf("requests: %s, hardware threads: %u\n\n",
+                formatCount(count).c_str(),
+                std::thread::hardware_concurrency());
+
+    std::vector<Measurement> rows;
+    auto record = [&](const std::string &label, std::size_t shards,
+                      double sec, double baseline) {
+        Measurement m;
+        m.label = label;
+        m.shards = shards;
+        m.seconds = sec;
+        m.mreq_per_s = static_cast<double>(count) / sec / 1e6;
+        m.speedup = baseline / sec;
+        rows.push_back(m);
+        std::printf("%-12s  %8.3fs  %8.2f Mreq/s  %6.2fx\n",
+                    label.c_str(), sec, m.mreq_per_s, m.speedup);
+    };
+
+    std::printf("%-12s  %9s  %14s  %7s\n", "config", "time",
+                "throughput", "speedup");
+    double serial_sec = timedRun(requests, false, 0);
+    record("serial", 0, serial_sec, serial_sec);
+    for (std::size_t shards : {1, 2, 4, 8}) {
+        double sec = timedRun(requests, true, shards);
+        record("shards=" + std::to_string(shards), shards, sec,
+               serial_sec);
+    }
+
+    if (!json_path.empty())
+        writeJson(json_path, count, rows);
+    return 0;
+}

@@ -6,14 +6,26 @@
  * the paper's metric families; a Pipeline fans a single trace pass to
  * many analyzers. All analyzers are single-pass except the cache
  * simulation (CacheMissAnalyzer), whose method is inherently two-pass.
+ *
+ * A ShardableAnalyzer additionally supports the sharded parallel
+ * pipeline (analysis/parallel_pipeline.h): its state can be replicated
+ * per shard with clone() and recombined with mergeFrom(). Nearly every
+ * analyzer in the library qualifies, because the paper's metrics are
+ * keyed by volume and the parallel pipeline shards the stream by
+ * volume; analyzers whose results depend on the globally time-ordered
+ * cross-volume stream (volume_activity's aggregate series, activeness,
+ * the two-pass cache simulation) stay plain Analyzers and run on the
+ * pipeline's in-order lane instead.
  */
 
 #ifndef CBS_ANALYSIS_ANALYZER_H
 #define CBS_ANALYSIS_ANALYZER_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "trace/trace_source.h"
 
 namespace cbs {
@@ -32,6 +44,46 @@ class Analyzer
     /** Short identifier for reports. */
     virtual std::string name() const = 0;
 };
+
+/**
+ * An analyzer whose single-pass state can be computed shard-by-shard
+ * and recombined.
+ *
+ * Contract:
+ *  - clone() returns a fresh, empty replica with the same
+ *    configuration (block size, windows, thresholds);
+ *  - replicas consume disjoint volume subsets of the trace, each
+ *    subset in timestamp order;
+ *  - mergeFrom(shard) folds a replica's *pre-finalize* state into
+ *    this analyzer; it is called before finalize(), once per replica,
+ *    and the replica itself is never finalized;
+ *  - after merging all replicas, finalize() produces results
+ *    identical to a serial pass over the whole trace (provided the
+ *    shards partitioned requests by volume).
+ */
+class ShardableAnalyzer : public Analyzer
+{
+  public:
+    /** Fresh empty replica with identical configuration. */
+    virtual std::unique_ptr<ShardableAnalyzer> clone() const = 0;
+
+    /**
+     * Fold @p shard's accumulated (un-finalized) state into this
+     * analyzer. @p shard must be the same concrete type.
+     */
+    virtual void mergeFrom(const ShardableAnalyzer &shard) = 0;
+};
+
+/** Checked downcast used by mergeFrom implementations. */
+template <typename T>
+const T &
+shardCast(const ShardableAnalyzer &shard)
+{
+    const T *cast = dynamic_cast<const T *>(&shard);
+    CBS_EXPECT(cast, "mergeFrom: shard is a " << shard.name()
+                                              << ", not the expected type");
+    return *cast;
+}
 
 /** Run one pass of @p source through all @p analyzers, then finalize. */
 void runPipeline(TraceSource &source,

@@ -9,6 +9,53 @@ BasicStatsAnalyzer::BasicStatsAnalyzer(std::uint64_t block_size)
 {
 }
 
+std::unique_ptr<ShardableAnalyzer>
+BasicStatsAnalyzer::clone() const
+{
+    return std::make_unique<BasicStatsAnalyzer>(block_size_);
+}
+
+void
+BasicStatsAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<BasicStatsAnalyzer>(shard);
+    if (other.any_) {
+        if (!any_) {
+            stats_.first_timestamp = other.stats_.first_timestamp;
+            any_ = true;
+        } else {
+            stats_.first_timestamp = std::min(
+                stats_.first_timestamp, other.stats_.first_timestamp);
+        }
+        stats_.last_timestamp =
+            std::max(stats_.last_timestamp, other.stats_.last_timestamp);
+    }
+    stats_.reads += other.stats_.reads;
+    stats_.writes += other.stats_.writes;
+    stats_.read_bytes += other.stats_.read_bytes;
+    stats_.write_bytes += other.stats_.write_bytes;
+    stats_.update_bytes += other.stats_.update_bytes;
+    stats_.total_wss_bytes += other.stats_.total_wss_bytes;
+    stats_.read_wss_bytes += other.stats_.read_wss_bytes;
+    stats_.write_wss_bytes += other.stats_.write_wss_bytes;
+    stats_.update_wss_bytes += other.stats_.update_wss_bytes;
+    // Shards hold disjoint volumes, so the per-block flag maps union
+    // without conflicts and the WSS byte sums above stay exact.
+    blocks_.mergeFrom(other.blocks_,
+                      [](std::uint8_t &own, const std::uint8_t &theirs) {
+                          own |= theirs;
+                      });
+    seen_volume_.mergeFrom(other.seen_volume_,
+                           [](std::uint8_t &own, const std::uint8_t &theirs) {
+                               own |= theirs;
+                           });
+    // Recount instead of summing: exact even if a volume somehow
+    // appeared on both sides.
+    stats_.volumes = 0;
+    for (std::uint8_t seen : seen_volume_)
+        stats_.volumes += seen ? 1 : 0;
+}
+
 void
 BasicStatsAnalyzer::consume(const IoRequest &req)
 {

@@ -66,7 +66,7 @@ struct BasicStats
     }
 };
 
-class BasicStatsAnalyzer : public Analyzer
+class BasicStatsAnalyzer : public ShardableAnalyzer
 {
   public:
     explicit BasicStatsAnalyzer(
@@ -74,6 +74,9 @@ class BasicStatsAnalyzer : public Analyzer
 
     void consume(const IoRequest &req) override;
     std::string name() const override { return "basic_stats"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     const BasicStats &stats() const { return stats_; }
 

@@ -31,6 +31,33 @@ BlockTrafficAnalyzer::consume(const IoRequest &req)
     });
 }
 
+std::unique_ptr<ShardableAnalyzer>
+BlockTrafficAnalyzer::clone() const
+{
+    return std::make_unique<BlockTrafficAnalyzer>(block_size_,
+                                                  mostly_threshold_);
+}
+
+void
+BlockTrafficAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<BlockTrafficAnalyzer>(shard);
+    CBS_EXPECT(other.block_size_ == block_size_ &&
+                   other.mostly_threshold_ == mostly_threshold_,
+               "cannot merge block_traffic shards with different "
+               "configuration");
+    // Everything else (top-share quantiles, mostly-block tallies) is
+    // derived from blocks_ at finalize, so summing the raw tallies is
+    // the whole merge.
+    blocks_.mergeFrom(other.blocks_,
+                      [](Traffic &own, const Traffic &theirs) {
+                          own.read_units += theirs.read_units;
+                          own.write_units += theirs.write_units;
+                      });
+    total_read_units_ += other.total_read_units_;
+    total_write_units_ += other.total_write_units_;
+}
+
 void
 BlockTrafficAnalyzer::finalize()
 {

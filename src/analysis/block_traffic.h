@@ -35,7 +35,7 @@ struct AggregationStats
     double top10_share = 0.0; //!< traffic share of the top-10% blocks
 };
 
-class BlockTrafficAnalyzer : public Analyzer
+class BlockTrafficAnalyzer : public ShardableAnalyzer
 {
   public:
     /**
@@ -50,6 +50,9 @@ class BlockTrafficAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "block_traffic"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     // ---- Finding 9 (Fig. 11) ----
 

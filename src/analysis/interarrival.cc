@@ -24,6 +24,40 @@ InterarrivalAnalyzer::consume(const IoRequest &req)
     state.touched = true;
 }
 
+std::unique_ptr<ShardableAnalyzer>
+InterarrivalAnalyzer::clone() const
+{
+    return std::make_unique<InterarrivalAnalyzer>();
+}
+
+void
+InterarrivalAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<InterarrivalAnalyzer>(shard);
+    global_.merge(other.global_);
+    states_.mergeFrom(other.states_, [](State &own, const State &theirs) {
+        if (!theirs.touched)
+            return;
+        if (!own.touched) {
+            own.touched = true;
+            own.last = theirs.last;
+            if (theirs.hist)
+                own.hist = std::make_unique<LogHistogram>(*theirs.hist);
+            return;
+        }
+        // Same volume on both sides (outside the volume-disjoint
+        // contract): the gap across the shard boundary is lost, the
+        // per-shard gaps merge exactly.
+        own.last = std::max(own.last, theirs.last);
+        if (theirs.hist) {
+            if (own.hist)
+                own.hist->merge(*theirs.hist);
+            else
+                own.hist = std::make_unique<LogHistogram>(*theirs.hist);
+        }
+    });
+}
+
 void
 InterarrivalAnalyzer::finalize()
 {

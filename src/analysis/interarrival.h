@@ -23,7 +23,7 @@
 
 namespace cbs {
 
-class InterarrivalAnalyzer : public Analyzer
+class InterarrivalAnalyzer : public ShardableAnalyzer
 {
   public:
     /** The five percentile groups of Fig. 7. */
@@ -35,6 +35,9 @@ class InterarrivalAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "interarrival"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     /**
      * Per-volume percentile values (µs) gathered across volumes;

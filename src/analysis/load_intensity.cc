@@ -33,16 +33,110 @@ LoadIntensityAnalyzer::bump(State &state, TimeUs timestamp)
 }
 
 void
+LoadIntensityAnalyzer::bumpOverall(TimeUs timestamp)
+{
+    State &state = overall_state_;
+    if (!state.touched) {
+        state.touched = true;
+        state.stats.first = timestamp;
+    }
+    state.stats.last = std::max(state.stats.last, timestamp);
+    ++state.stats.requests;
+
+    std::uint64_t window = timestamp / peak_window_;
+    if (state.stats.requests == 1) {
+        state.window_index = window;
+        state.window_count = 0;
+    } else if (window != state.window_index) {
+        flushOverallWindow();
+        state.window_index = window;
+        state.window_count = 0;
+    }
+    ++state.window_count;
+}
+
+void
+LoadIntensityAnalyzer::flushOverallWindow()
+{
+    if (overall_state_.window_count) {
+        overall_windows_[overall_state_.window_index] +=
+            overall_state_.window_count;
+        overall_state_.window_count = 0;
+    }
+}
+
+void
 LoadIntensityAnalyzer::consume(const IoRequest &req)
 {
     bump(states_[req.volume], req.timestamp);
-    bump(overall_state_, req.timestamp);
+    bumpOverall(req.timestamp);
+}
+
+std::unique_ptr<ShardableAnalyzer>
+LoadIntensityAnalyzer::clone() const
+{
+    return std::make_unique<LoadIntensityAnalyzer>(peak_window_);
+}
+
+void
+LoadIntensityAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<LoadIntensityAnalyzer>(shard);
+    CBS_EXPECT(other.peak_window_ == peak_window_,
+               "cannot merge load_intensity shards with different "
+               "peak windows");
+    states_.mergeFrom(other.states_, [](State &own, const State &theirs) {
+        if (!theirs.touched)
+            return;
+        if (!own.touched) {
+            own = theirs;
+            return;
+        }
+        // Both sides saw this volume — only possible outside the
+        // volume-disjoint sharding contract; combine conservatively.
+        own.stats.first = std::min(own.stats.first, theirs.stats.first);
+        own.stats.last = std::max(own.stats.last, theirs.stats.last);
+        own.stats.requests += theirs.stats.requests;
+        own.stats.peak_window_count = std::max(
+            own.stats.peak_window_count, theirs.stats.peak_window_count);
+    });
+
+    if (other.overall_state_.touched) {
+        State &state = overall_state_;
+        if (!state.touched) {
+            state.touched = true;
+            state.stats.first = other.overall_state_.stats.first;
+        } else {
+            state.stats.first = std::min(state.stats.first,
+                                         other.overall_state_.stats.first);
+        }
+        state.stats.last = std::max(state.stats.last,
+                                    other.overall_state_.stats.last);
+        state.stats.requests += other.overall_state_.stats.requests;
+    }
+    // Per-window counts sum exactly across shards; include the other
+    // side's still-open window run.
+    overall_windows_.mergeFrom(
+        other.overall_windows_,
+        [](std::uint64_t &own, const std::uint64_t &theirs) {
+            own += theirs;
+        });
+    if (other.overall_state_.window_count)
+        overall_windows_[other.overall_state_.window_index] +=
+            other.overall_state_.window_count;
 }
 
 void
 LoadIntensityAnalyzer::finalize()
 {
+    flushOverallWindow();
     overall_ = overall_state_.stats;
+    overall_.peak_window_count = 0;
+    overall_windows_.forEach(
+        [&](std::uint64_t, const std::uint64_t &count) {
+            overall_.peak_window_count =
+                std::max(overall_.peak_window_count, count);
+        });
     for (const State &state : states_) {
         if (!state.touched)
             continue;

@@ -19,6 +19,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/per_volume.h"
+#include "common/flat_map.h"
 #include "stats/ecdf.h"
 
 namespace cbs {
@@ -58,7 +59,7 @@ struct IntensityStats
     }
 };
 
-class LoadIntensityAnalyzer : public Analyzer
+class LoadIntensityAnalyzer : public ShardableAnalyzer
 {
   public:
     /** @param peak_window window for peak counting (paper: 1 minute). */
@@ -67,6 +68,9 @@ class LoadIntensityAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "load_intensity"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     TimeUs peakWindow() const { return peak_window_; }
 
@@ -93,10 +97,22 @@ class LoadIntensityAnalyzer : public Analyzer
     };
 
     void bump(State &state, TimeUs timestamp);
+    void bumpOverall(TimeUs timestamp);
+    void flushOverallWindow();
 
     TimeUs peak_window_;
     PerVolume<State> states_;
     State overall_state_;
+    /**
+     * Whole-trace request count per peak window, flushed from
+     * overall_state_'s running window at each window transition. The
+     * scalar running-max of the per-volume states cannot be merged
+     * across shards (max of per-shard maxima underestimates the max of
+     * sums), but per-window counts sum exactly — this is what makes
+     * the overall peak shard-mergeable. Cost in the serial path is one
+     * hash update per *window*, not per request.
+     */
+    FlatMap<std::uint64_t> overall_windows_;
     IntensityStats overall_;
     Ecdf avg_cdf_;
     Ecdf peak_cdf_;

@@ -1,0 +1,195 @@
+#include "analysis/parallel_pipeline.h"
+
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/spsc_queue.h"
+
+namespace cbs {
+namespace {
+
+using Batch = std::vector<IoRequest>;
+using BatchQueue = SpscQueue<Batch>;
+
+/**
+ * One consumer thread: pops batches off a bounded queue and feeds an
+ * analyzer set. Used both for the per-shard replica workers and for
+ * the in-order lane. On failure it records the exception and keeps
+ * draining, so the producer can never block forever on a full queue.
+ */
+class LaneWorker
+{
+  public:
+    LaneWorker(std::size_t queue_batches,
+               std::vector<Analyzer *> analyzers)
+        : queue_(queue_batches), analyzers_(std::move(analyzers))
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    BatchQueue &queue() { return queue_; }
+
+    /** Close the queue, join, and surface any worker exception. */
+    void
+    finish()
+    {
+        queue_.close();
+        thread_.join();
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+    /** Join without rethrowing (teardown after another failure). */
+    void
+    abandon()
+    {
+        queue_.close();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    bool finished() const { return !thread_.joinable(); }
+
+  private:
+    void
+    run()
+    {
+        Batch batch;
+        while (queue_.pop(batch)) {
+            if (error_)
+                continue; // drain so the producer never blocks
+            try {
+                for (const IoRequest &req : batch)
+                    for (Analyzer *analyzer : analyzers_)
+                        analyzer->consume(req);
+            } catch (...) {
+                error_ = std::current_exception();
+            }
+        }
+    }
+
+    BatchQueue queue_;
+    std::vector<Analyzer *> analyzers_;
+    std::thread thread_;
+    std::exception_ptr error_;
+};
+
+} // namespace
+
+void
+runPipelineParallel(TraceSource &source,
+                    const std::vector<Analyzer *> &analyzers,
+                    const ParallelOptions &options)
+{
+    std::size_t shards = options.shards
+                             ? options.shards
+                             : std::thread::hardware_concurrency();
+    if (shards == 0)
+        shards = 1;
+    CBS_EXPECT(shards <= 256, "shard count " << shards
+                                             << " is unreasonable");
+    CBS_EXPECT(options.batch_size > 0, "batch size must be positive");
+    std::size_t queue_batches =
+        options.queue_batches ? options.queue_batches : 1;
+
+    // Partition the analyzer set. Order within each partition follows
+    // the caller's vector, and finalize happens in the caller's order.
+    std::vector<ShardableAnalyzer *> shardable;
+    std::vector<Analyzer *> in_order;
+    for (Analyzer *analyzer : analyzers) {
+        if (auto *s = dynamic_cast<ShardableAnalyzer *>(analyzer))
+            shardable.push_back(s);
+        else
+            in_order.push_back(analyzer);
+    }
+
+    // Nothing to parallelize: fall back to the serial pipeline.
+    if (shardable.empty() || shards == 1) {
+        runPipeline(source, analyzers);
+        return;
+    }
+
+    // Per-shard analyzer replicas.
+    std::vector<std::vector<std::unique_ptr<ShardableAnalyzer>>> replicas(
+        shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        replicas[s].reserve(shardable.size());
+        for (ShardableAnalyzer *analyzer : shardable)
+            replicas[s].push_back(analyzer->clone());
+    }
+
+    std::vector<std::unique_ptr<LaneWorker>> workers;
+    workers.reserve(shards + 1);
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::vector<Analyzer *> lane;
+        lane.reserve(replicas[s].size());
+        for (auto &replica : replicas[s])
+            lane.push_back(replica.get());
+        workers.push_back(
+            std::make_unique<LaneWorker>(queue_batches, std::move(lane)));
+    }
+    LaneWorker *order_lane = nullptr;
+    if (!in_order.empty()) {
+        workers.push_back(
+            std::make_unique<LaneWorker>(queue_batches, in_order));
+        order_lane = workers.back().get();
+    }
+
+    // Ingest: read batches, scatter by volume hash, feed the lanes.
+    try {
+        std::vector<Batch> pending(shards);
+        for (auto &p : pending)
+            p.reserve(options.batch_size);
+        Batch batch;
+        batch.reserve(options.batch_size);
+        while (source.nextBatch(batch, options.batch_size)) {
+            if (order_lane)
+                order_lane->queue().push(batch); // copy: full stream
+            for (const IoRequest &req : batch) {
+                std::size_t s = mix64(req.volume) % shards;
+                pending[s].push_back(req);
+                if (pending[s].size() >= options.batch_size) {
+                    workers[s]->queue().push(std::move(pending[s]));
+                    pending[s] = Batch();
+                    pending[s].reserve(options.batch_size);
+                }
+            }
+        }
+        for (std::size_t s = 0; s < shards; ++s) {
+            if (!pending[s].empty())
+                workers[s]->queue().push(std::move(pending[s]));
+        }
+    } catch (...) {
+        for (auto &worker : workers)
+            worker->abandon();
+        throw;
+    }
+
+    // Join every worker before rethrowing any single failure, so no
+    // thread outlives this call.
+    std::exception_ptr error;
+    for (auto &worker : workers) {
+        try {
+            worker->finish();
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+
+    // Merge the shard replicas back into the caller's analyzers, then
+    // finalize everything in the caller's order.
+    for (std::size_t i = 0; i < shardable.size(); ++i)
+        for (std::size_t s = 0; s < shards; ++s)
+            shardable[i]->mergeFrom(*replicas[s][i]);
+    for (Analyzer *analyzer : analyzers)
+        analyzer->finalize();
+}
+
+} // namespace cbs

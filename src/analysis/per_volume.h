@@ -53,6 +53,23 @@ class PerVolume
             fn(static_cast<VolumeId>(i), data_[i]);
     }
 
+    /**
+     * Slot-wise merge used by ShardableAnalyzer::mergeFrom: grows to
+     * cover @p other, then calls fn(own_slot, other_slot) for every
+     * slot @p other has. Untouched own slots are default-constructed,
+     * so fn sees zeros on the receiving side for volumes only the
+     * other shard analyzed.
+     */
+    template <typename Fn>
+    void
+    mergeFrom(const PerVolume &other, Fn &&fn)
+    {
+        if (other.data_.size() > data_.size())
+            data_.resize(other.data_.size());
+        for (std::size_t i = 0; i < other.data_.size(); ++i)
+            fn(data_[i], other.data_[i]);
+    }
+
   private:
     std::vector<T> data_;
 };

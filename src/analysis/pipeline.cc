@@ -5,10 +5,17 @@ namespace cbs {
 void
 runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers)
 {
-    IoRequest req;
-    while (source.next(req)) {
-        for (Analyzer *analyzer : analyzers)
-            analyzer->consume(req);
+    // Pull batches rather than single requests: one virtual call per
+    // ~1k records instead of per record, and sources with real
+    // nextBatch implementations parse in bulk.
+    constexpr std::size_t kBatch = 1024;
+    std::vector<IoRequest> batch;
+    batch.reserve(kBatch);
+    while (source.nextBatch(batch, kBatch)) {
+        for (const IoRequest &req : batch) {
+            for (Analyzer *analyzer : analyzers)
+                analyzer->consume(req);
+        }
     }
     for (Analyzer *analyzer : analyzers)
         analyzer->finalize();

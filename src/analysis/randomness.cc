@@ -41,6 +41,36 @@ RandomnessAnalyzer::consume(const IoRequest &req)
     }
 }
 
+std::unique_ptr<ShardableAnalyzer>
+RandomnessAnalyzer::clone() const
+{
+    return std::make_unique<RandomnessAnalyzer>(window_, threshold_);
+}
+
+void
+RandomnessAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<RandomnessAnalyzer>(shard);
+    CBS_EXPECT(other.window_ == window_ &&
+                   other.threshold_ == threshold_,
+               "cannot merge randomness shards with different "
+               "window/threshold");
+    states_.mergeFrom(other.states_, [](State &own, const State &theirs) {
+        if (theirs.ring.empty() && !theirs.total)
+            return;
+        if (own.ring.empty() && !own.total) {
+            own = theirs;
+            return;
+        }
+        // Same volume on both sides (outside the volume-disjoint
+        // contract): counters sum exactly, the offset ring keeps the
+        // receiving side's history.
+        own.random += theirs.random;
+        own.total += theirs.total;
+        own.traffic_bytes += theirs.traffic_bytes;
+    });
+}
+
 void
 RandomnessAnalyzer::finalize()
 {

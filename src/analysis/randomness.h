@@ -21,7 +21,7 @@
 
 namespace cbs {
 
-class RandomnessAnalyzer : public Analyzer
+class RandomnessAnalyzer : public ShardableAnalyzer
 {
   public:
     /**
@@ -36,6 +36,9 @@ class RandomnessAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "randomness"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     /** CDF of per-volume randomness ratios (Fig. 10(a)). */
     const Ecdf &ratios() const { return cdf_; }

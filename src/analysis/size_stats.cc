@@ -4,6 +4,27 @@ namespace cbs {
 
 SizeAnalyzer::SizeAnalyzer() : read_sizes_(7), write_sizes_(7) {}
 
+std::unique_ptr<ShardableAnalyzer>
+SizeAnalyzer::clone() const
+{
+    return std::make_unique<SizeAnalyzer>();
+}
+
+void
+SizeAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<SizeAnalyzer>(shard);
+    read_sizes_.merge(other.read_sizes_);
+    write_sizes_.merge(other.write_sizes_);
+    sums_.mergeFrom(other.sums_,
+                    [](VolumeSums &own, const VolumeSums &theirs) {
+                        own.read_bytes += theirs.read_bytes;
+                        own.reads += theirs.reads;
+                        own.write_bytes += theirs.write_bytes;
+                        own.writes += theirs.writes;
+                    });
+}
+
 void
 SizeAnalyzer::consume(const IoRequest &req)
 {

@@ -15,7 +15,7 @@
 
 namespace cbs {
 
-class SizeAnalyzer : public Analyzer
+class SizeAnalyzer : public ShardableAnalyzer
 {
   public:
     SizeAnalyzer();
@@ -23,6 +23,9 @@ class SizeAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "size_stats"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     /** Global CDF over all read request sizes (bytes). */
     const LogHistogram &readSizes() const { return read_sizes_; }

@@ -51,6 +51,30 @@ TemporalPairsAnalyzer::consume(const IoRequest &req)
     });
 }
 
+std::unique_ptr<ShardableAnalyzer>
+TemporalPairsAnalyzer::clone() const
+{
+    return std::make_unique<TemporalPairsAnalyzer>(block_size_);
+}
+
+void
+TemporalPairsAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<TemporalPairsAnalyzer>(shard);
+    CBS_EXPECT(other.block_size_ == block_size_,
+               "cannot merge temporal_pairs shards with different "
+               "block sizes");
+    for (std::size_t i = 0; i < hists_.size(); ++i)
+        hists_[i].merge(other.hists_[i]);
+    // Keep the later access per block (compare the timestamp bits, not
+    // the op bit); disjoint keys just copy over.
+    last_.mergeFrom(other.last_,
+                    [](std::uint64_t &own, const std::uint64_t &theirs) {
+                        if ((theirs & ~kOpBit) > (own & ~kOpBit))
+                            own = theirs;
+                    });
+}
+
 std::uint64_t
 TemporalPairsAnalyzer::count(PairKind kind) const
 {

@@ -34,7 +34,7 @@ enum class PairKind : std::size_t
 /** Printable name of a pair class. */
 const char *pairKindName(PairKind kind);
 
-class TemporalPairsAnalyzer : public Analyzer
+class TemporalPairsAnalyzer : public ShardableAnalyzer
 {
   public:
     explicit TemporalPairsAnalyzer(
@@ -42,6 +42,9 @@ class TemporalPairsAnalyzer : public Analyzer
 
     void consume(const IoRequest &req) override;
     std::string name() const override { return "temporal_pairs"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     /** Number of pairs of the given class. */
     std::uint64_t count(PairKind kind) const;

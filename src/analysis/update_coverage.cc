@@ -35,6 +35,33 @@ UpdateCoverageAnalyzer::consume(const IoRequest &req)
     });
 }
 
+std::unique_ptr<ShardableAnalyzer>
+UpdateCoverageAnalyzer::clone() const
+{
+    return std::make_unique<UpdateCoverageAnalyzer>(block_size_);
+}
+
+void
+UpdateCoverageAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<UpdateCoverageAnalyzer>(shard);
+    CBS_EXPECT(other.block_size_ == block_size_,
+               "cannot merge update_coverage shards with different "
+               "block sizes");
+    // blockKey embeds the volume, so volume-disjoint shards union
+    // without key conflicts and the per-volume block counts stay exact.
+    blocks_.mergeFrom(other.blocks_,
+                      [](std::uint8_t &own, const std::uint8_t &theirs) {
+                          own |= theirs;
+                      });
+    wss_.mergeFrom(other.wss_,
+                   [](VolumeWss &own, const VolumeWss &theirs) {
+                       own.total_blocks += theirs.total_blocks;
+                       own.written_blocks += theirs.written_blocks;
+                       own.updated_blocks += theirs.updated_blocks;
+                   });
+}
+
 void
 UpdateCoverageAnalyzer::finalize()
 {

@@ -20,7 +20,7 @@
 
 namespace cbs {
 
-class UpdateCoverageAnalyzer : public Analyzer
+class UpdateCoverageAnalyzer : public ShardableAnalyzer
 {
   public:
     explicit UpdateCoverageAnalyzer(
@@ -29,6 +29,9 @@ class UpdateCoverageAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "update_coverage"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     /** CDF of per-volume update coverage in [0,1] (Fig. 13). */
     const Ecdf &coverage() const { return cdf_; }

@@ -1,5 +1,7 @@
 #include "analysis/update_interval.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace cbs {
@@ -30,6 +32,40 @@ UpdateIntervalAnalyzer::consume(const IoRequest &req)
         }
         state = req.timestamp + 1;
     });
+}
+
+std::unique_ptr<ShardableAnalyzer>
+UpdateIntervalAnalyzer::clone() const
+{
+    return std::make_unique<UpdateIntervalAnalyzer>(block_size_);
+}
+
+void
+UpdateIntervalAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<UpdateIntervalAnalyzer>(shard);
+    CBS_EXPECT(other.block_size_ == block_size_,
+               "cannot merge update_interval shards with different "
+               "block sizes");
+    global_.merge(other.global_);
+    // Values are timestamp+1, so keep-max keeps the later write; with
+    // volume-disjoint shards each key exists on one side only anyway.
+    last_write_.mergeFrom(
+        other.last_write_,
+        [](std::uint64_t &own, const std::uint64_t &theirs) {
+            own = std::max(own, theirs);
+        });
+    volume_hists_.mergeFrom(
+        other.volume_hists_,
+        [](std::unique_ptr<LogHistogram> &own,
+           const std::unique_ptr<LogHistogram> &theirs) {
+            if (!theirs)
+                return;
+            if (own)
+                own->merge(*theirs);
+            else
+                own = std::make_unique<LogHistogram>(*theirs);
+        });
 }
 
 void

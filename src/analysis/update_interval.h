@@ -27,7 +27,7 @@
 
 namespace cbs {
 
-class UpdateIntervalAnalyzer : public Analyzer
+class UpdateIntervalAnalyzer : public ShardableAnalyzer
 {
   public:
     /** Fig. 17's duration groups: <5 min, 5-30 min, 30-240 min, >240 min. */
@@ -44,6 +44,9 @@ class UpdateIntervalAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "update_interval"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
 
     /** Global histogram of update intervals (µs) — Table VI. */
     const LogHistogram &global() const { return global_; }

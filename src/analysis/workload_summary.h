@@ -20,6 +20,7 @@
 #include "analysis/block_traffic.h"
 #include "analysis/interarrival.h"
 #include "analysis/load_intensity.h"
+#include "analysis/parallel_pipeline.h"
 #include "analysis/randomness.h"
 #include "analysis/size_stats.h"
 #include "analysis/temporal_pairs.h"
@@ -63,12 +64,18 @@ class WorkloadSummary
     void
     run(TraceSource &source, std::vector<Analyzer *> extra = {})
     {
-        std::vector<Analyzer *> all = {
-            &basic,      &sizes,   &days,     &ratios,
-            &intensity,  &interarrival, &activeness, &randomness,
-            &traffic,    &coverage, &pairs,   &intervals};
-        all.insert(all.end(), extra.begin(), extra.end());
-        runPipeline(source, all);
+        runPipeline(source, analyzerSet(std::move(extra)));
+    }
+
+    /** Same sweep, but sharded across worker threads; shardable
+     *  analyzers run on per-shard replicas, the rest on the in-order
+     *  lane, so results match the serial run() exactly. */
+    void
+    run(TraceSource &source, const ParallelOptions &parallel,
+        std::vector<Analyzer *> extra = {})
+    {
+        runPipelineParallel(source, analyzerSet(std::move(extra)),
+                            parallel);
     }
 
     /** Print a compact multi-section report. */
@@ -91,6 +98,17 @@ class WorkloadSummary
     UpdateIntervalAnalyzer intervals;
 
   private:
+    std::vector<Analyzer *>
+    analyzerSet(std::vector<Analyzer *> extra)
+    {
+        std::vector<Analyzer *> all = {
+            &basic,      &sizes,   &days,     &ratios,
+            &intensity,  &interarrival, &activeness, &randomness,
+            &traffic,    &coverage, &pairs,   &intervals};
+        all.insert(all.end(), extra.begin(), extra.end());
+        return all;
+    }
+
     WorkloadSummaryOptions options_;
 };
 

@@ -196,6 +196,21 @@ class FlatMap
         }
     }
 
+    /**
+     * Fold @p other into this map: for every key in @p other, invoke
+     * fn(own_value, other_value), default-constructing the own value
+     * first if the key is new. Reserves up front so the merge performs
+     * at most one rehash. Used by the sharded analyzers' mergeFrom.
+     */
+    template <typename Fn>
+    void
+    mergeFrom(const FlatMap &other, Fn &&fn)
+    {
+        reserve(size_ + other.size_);
+        other.forEach(
+            [&](Key key, const V &value) { fn(tryEmplace(key).first, value); });
+    }
+
   private:
     struct Slot
     {

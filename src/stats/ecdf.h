@@ -26,6 +26,10 @@ class Ecdf
     }
 
     void add(double x) { samples_.add(x); }
+
+    /** Append all of @p other's samples (shard merge). */
+    void merge(const Ecdf &other) { samples_.merge(other.samples_); }
+
     std::size_t count() const { return samples_.count(); }
     bool empty() const { return samples_.empty(); }
 

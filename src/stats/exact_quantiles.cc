@@ -21,6 +21,16 @@ ExactQuantiles::add(double x)
 }
 
 void
+ExactQuantiles::merge(const ExactQuantiles &other)
+{
+    if (other.values_.empty())
+        return;
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    sorted_ = false;
+}
+
+void
 ExactQuantiles::ensureSorted() const
 {
     if (!sorted_) {

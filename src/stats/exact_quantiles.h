@@ -25,6 +25,9 @@ class ExactQuantiles
     /** Add one observation. */
     void add(double x);
 
+    /** Append all of @p other's observations (shard merge). */
+    void merge(const ExactQuantiles &other);
+
     std::size_t count() const { return values_.size(); }
     bool empty() const { return values_.empty(); }
 

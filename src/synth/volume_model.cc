@@ -86,7 +86,7 @@ VolumeWorkload::pickOffset(Op op, std::uint32_t length, TimeUs now)
 }
 
 bool
-VolumeWorkload::next(IoRequest &req)
+VolumeWorkload::generate(IoRequest &req)
 {
     TimeUs t = profile_.active_start + arrivals_.next();
     if (t >= profile_.active_end)
@@ -106,6 +106,23 @@ VolumeWorkload::next(IoRequest &req)
     req.length = length;
     req.offset = pickOffset(op, length, t);
     return true;
+}
+
+bool
+VolumeWorkload::next(IoRequest &req)
+{
+    return generate(req);
+}
+
+std::size_t
+VolumeWorkload::nextBatch(std::vector<IoRequest> &out,
+                          std::size_t max_requests)
+{
+    out.clear();
+    IoRequest req;
+    while (out.size() < max_requests && generate(req))
+        out.push_back(req);
+    return out.size();
 }
 
 void

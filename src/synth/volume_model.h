@@ -75,6 +75,8 @@ class VolumeWorkload : public TraceSource
     explicit VolumeWorkload(VolumeProfile profile);
 
     bool next(IoRequest &req) override;
+    std::size_t nextBatch(std::vector<IoRequest> &out,
+                          std::size_t max_requests) override;
     void reset() override;
 
     const VolumeProfile &profile() const { return profile_; }
@@ -86,6 +88,7 @@ class VolumeWorkload : public TraceSource
         ByteOffset next_offset = 0;
     };
 
+    bool generate(IoRequest &req);
     ByteOffset pickOffset(Op op, std::uint32_t length, TimeUs now);
     ByteOffset scanOffset(TimeUs now);
 

@@ -1,5 +1,6 @@
 #include "trace/bin_trace.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -151,6 +152,36 @@ BinTraceReader::next(IoRequest &req)
     req.op = (tail & kOpBit) ? Op::Write : Op::Read;
     ++read_;
     return true;
+}
+
+std::size_t
+BinTraceReader::nextBatch(std::vector<IoRequest> &out,
+                          std::size_t max_requests)
+{
+    out.clear();
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_requests, declared_ - read_));
+    if (n == 0)
+        return 0;
+    // One bulk stream read per batch, then decode in place.
+    io_buf_.resize(n * kRecordSize);
+    in_.read(io_buf_.data(),
+             static_cast<std::streamsize>(io_buf_.size()));
+    CBS_EXPECT(static_cast<std::size_t>(in_.gcount()) == io_buf_.size(),
+               "binary trace truncated at record " << read_);
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const char *rec = io_buf_.data() + i * kRecordSize;
+        IoRequest &req = out[i];
+        req.timestamp = get64(rec + 0);
+        req.offset = get64(rec + 8);
+        req.length = get32(rec + 16);
+        std::uint32_t tail = get32(rec + 20);
+        req.volume = tail & ~kOpBit;
+        req.op = (tail & kOpBit) ? Op::Write : Op::Read;
+    }
+    read_ += n;
+    return n;
 }
 
 void

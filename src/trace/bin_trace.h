@@ -49,10 +49,15 @@ class BinTraceReader : public TraceSource
     explicit BinTraceReader(std::istream &in);
 
     bool next(IoRequest &req) override;
+    std::size_t nextBatch(std::vector<IoRequest> &out,
+                          std::size_t max_requests) override;
     void reset() override;
 
     /** Record count declared in the header. */
     std::uint64_t declaredCount() const { return declared_; }
+
+    /** Remaining records (declared minus already read). */
+    std::uint64_t sizeHint() const override { return declared_ - read_; }
 
   private:
     void readHeader();
@@ -60,6 +65,7 @@ class BinTraceReader : public TraceSource
     std::istream &in_;
     std::uint64_t declared_ = 0;
     std::uint64_t read_ = 0;
+    std::vector<char> io_buf_; //!< reused bulk-read buffer
 };
 
 } // namespace cbs

@@ -42,11 +42,11 @@ parseNumber(std::string_view field, std::uint64_t line_no,
     return value;
 }
 
+/** getline into a reused buffer, tolerating CRLF and blank lines. */
 bool
 readLine(std::istream &in, std::string &line)
 {
     while (std::getline(in, line)) {
-        // Tolerate CRLF endings and skip blank lines.
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
         if (!line.empty())
@@ -55,19 +55,34 @@ readLine(std::istream &in, std::string &line)
     return false;
 }
 
+/** Shared batch loop: the readers' nextBatch is one virtual call
+ *  amortized over the whole batch of non-virtual parses. */
+template <typename ParseFn>
+std::size_t
+fillBatch(std::vector<IoRequest> &out, std::size_t max_requests,
+          ParseFn &&parse)
+{
+    out.clear();
+    if (out.capacity() < max_requests)
+        out.reserve(max_requests);
+    IoRequest req;
+    while (out.size() < max_requests && parse(req))
+        out.push_back(req);
+    return out.size();
+}
+
 } // namespace
 
 AliCloudCsvReader::AliCloudCsvReader(std::istream &in) : in_(in) {}
 
 bool
-AliCloudCsvReader::next(IoRequest &req)
+AliCloudCsvReader::parseNext(IoRequest &req)
 {
-    std::string line;
-    if (!readLine(in_, line))
+    if (!readLine(in_, buf_))
         return false;
     ++line_;
     std::string_view fields[6];
-    std::size_t n = splitCsv(line, fields, 6);
+    std::size_t n = splitCsv(buf_, fields, 6);
     CBS_EXPECT(n == 5, "AliCloud CSV line " << line_ << " has " << n
                                             << " fields, expected 5");
     req.volume = parseNumber<VolumeId>(fields[0], line_, "device_id");
@@ -82,6 +97,20 @@ AliCloudCsvReader::next(IoRequest &req)
     return true;
 }
 
+bool
+AliCloudCsvReader::next(IoRequest &req)
+{
+    return parseNext(req);
+}
+
+std::size_t
+AliCloudCsvReader::nextBatch(std::vector<IoRequest> &out,
+                             std::size_t max_requests)
+{
+    return fillBatch(out, max_requests,
+                     [this](IoRequest &req) { return parseNext(req); });
+}
+
 void
 AliCloudCsvReader::reset()
 {
@@ -94,14 +123,13 @@ AliCloudCsvReader::reset()
 MsrcCsvReader::MsrcCsvReader(std::istream &in) : in_(in) {}
 
 bool
-MsrcCsvReader::next(IoRequest &req)
+MsrcCsvReader::parseNext(IoRequest &req)
 {
-    std::string line;
-    if (!readLine(in_, line))
+    if (!readLine(in_, buf_))
         return false;
     ++line_;
     std::string_view fields[8];
-    std::size_t n = splitCsv(line, fields, 8);
+    std::size_t n = splitCsv(buf_, fields, 8);
     CBS_EXPECT(n == 7, "MSRC CSV line " << line_ << " has " << n
                                         << " fields, expected 7");
     std::uint64_t ticks =
@@ -115,11 +143,11 @@ MsrcCsvReader::next(IoRequest &req)
     std::uint64_t rel = ticks >= epoch_ticks_ ? ticks - epoch_ticks_ : 0;
     req.timestamp = rel / 10;
 
-    std::string key(fields[1]);
-    key.push_back('.');
-    key.append(fields[2]);
+    key_.assign(fields[1]);
+    key_.push_back('.');
+    key_.append(fields[2]);
     auto [it, inserted] = volume_ids_.try_emplace(
-        key, static_cast<VolumeId>(volume_ids_.size()));
+        key_, static_cast<VolumeId>(volume_ids_.size()));
     req.volume = it->second;
 
     CBS_EXPECT(fields[3] == "Read" || fields[3] == "Write",
@@ -131,6 +159,20 @@ MsrcCsvReader::next(IoRequest &req)
     // which the analyses share, has no response time (paper §III-B).
     ++records_;
     return true;
+}
+
+bool
+MsrcCsvReader::next(IoRequest &req)
+{
+    return parseNext(req);
+}
+
+std::size_t
+MsrcCsvReader::nextBatch(std::vector<IoRequest> &out,
+                         std::size_t max_requests)
+{
+    return fillBatch(out, max_requests,
+                     [this](IoRequest &req) { return parseNext(req); });
 }
 
 void

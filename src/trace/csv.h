@@ -40,15 +40,20 @@ class AliCloudCsvReader : public TraceSource
     explicit AliCloudCsvReader(std::istream &in);
 
     bool next(IoRequest &req) override;
+    std::size_t nextBatch(std::vector<IoRequest> &out,
+                          std::size_t max_requests) override;
     void reset() override;
 
     /** Number of records returned so far. */
     std::uint64_t recordCount() const { return records_; }
 
   private:
+    bool parseNext(IoRequest &req);
+
     std::istream &in_;
     std::uint64_t records_ = 0;
     std::uint64_t line_ = 0;
+    std::string buf_; //!< reused line buffer (no per-record allocation)
 };
 
 /** Reader for the SNIA MSR Cambridge CSV format. */
@@ -58,6 +63,8 @@ class MsrcCsvReader : public TraceSource
     explicit MsrcCsvReader(std::istream &in);
 
     bool next(IoRequest &req) override;
+    std::size_t nextBatch(std::vector<IoRequest> &out,
+                          std::size_t max_requests) override;
     void reset() override;
 
     std::uint64_t recordCount() const { return records_; }
@@ -69,12 +76,16 @@ class MsrcCsvReader : public TraceSource
     }
 
   private:
+    bool parseNext(IoRequest &req);
+
     std::istream &in_;
     std::uint64_t records_ = 0;
     std::uint64_t line_ = 0;
     bool have_epoch_ = false;
     std::uint64_t epoch_ticks_ = 0;
     std::map<std::string, VolumeId> volume_ids_;
+    std::string buf_; //!< reused line buffer
+    std::string key_; //!< reused hostname.disk key buffer
 };
 
 /** Writer emitting the AliCloud CSV format. */

@@ -43,6 +43,46 @@ MergeSource::next(IoRequest &req)
     return true;
 }
 
+std::size_t
+MergeSource::nextBatch(std::vector<IoRequest> &out,
+                       std::size_t max_requests)
+{
+    // One virtual nextBatch call amortizes the whole heap-pop loop;
+    // the child refills still go through next() because only one
+    // record per child may be buffered (heap order depends on it).
+    if (!primed_)
+        prime();
+    out.clear();
+    while (out.size() < max_requests && !heap_.empty()) {
+        Head head = heap_.top();
+        heap_.pop();
+        out.push_back(head.req);
+        IoRequest refill;
+        if (children_[head.child]->next(refill)) {
+            CBS_EXPECT(refill.timestamp >= head.req.timestamp,
+                       "child source " << head.child
+                                       << " is not timestamp-ordered");
+            heap_.push(Head{refill, head.child});
+        }
+    }
+    return out.size();
+}
+
+std::uint64_t
+MergeSource::sizeHint() const
+{
+    std::uint64_t total = 0;
+    for (const auto &child : children_) {
+        std::uint64_t hint = child->sizeHint();
+        if (hint == 0)
+            return 0;
+        total += hint;
+    }
+    // The buffered heap heads are not counted in the children's hints
+    // any more; close enough for a pre-sizing hint.
+    return total + heap_.size();
+}
+
 void
 MergeSource::reset()
 {

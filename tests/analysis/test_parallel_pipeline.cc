@@ -1,0 +1,521 @@
+/**
+ * @file
+ * runPipelineParallel: golden equivalence against the serial pipeline,
+ * per-analyzer mergeFrom unit tests, in-order lane ordering, and the
+ * error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/activeness.h"
+#include "analysis/basic_stats.h"
+#include "analysis/block_traffic.h"
+#include "analysis/interarrival.h"
+#include "analysis/load_intensity.h"
+#include "analysis/parallel_pipeline.h"
+#include "analysis/randomness.h"
+#include "analysis/size_stats.h"
+#include "analysis/temporal_pairs.h"
+#include "analysis/update_coverage.h"
+#include "analysis/update_interval.h"
+#include "analysis/volume_activity.h"
+#include "common/error.h"
+#include "synth/models.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+/** Deterministic multi-volume trace shared by the golden tests. */
+const std::vector<IoRequest> &
+goldenTrace()
+{
+    static const std::vector<IoRequest> requests = [] {
+        auto source =
+            makeTrace(aliCloudSpanSpec(SpanScale{30, 20000}), 7);
+        return drain(*source);
+    }();
+    return requests;
+}
+
+/** The full analyzer bundle: nine shardable, three in-order-lane. */
+struct Bundle
+{
+    explicit Bundle(TimeUs duration)
+        : activeness(10 * units::minute, duration)
+    {
+    }
+
+    BasicStatsAnalyzer basic;
+    SizeAnalyzer sizes;
+    ActiveDaysAnalyzer days;
+    WriteReadRatioAnalyzer ratios;
+    LoadIntensityAnalyzer intensity;
+    InterarrivalAnalyzer interarrival;
+    ActivenessAnalyzer activeness;
+    RandomnessAnalyzer randomness;
+    BlockTrafficAnalyzer traffic;
+    UpdateCoverageAnalyzer coverage;
+    TemporalPairsAnalyzer pairs;
+    UpdateIntervalAnalyzer intervals;
+
+    std::vector<Analyzer *>
+    all()
+    {
+        return {&basic,      &sizes,   &days,     &ratios,
+                &intensity,  &interarrival, &activeness, &randomness,
+                &traffic,    &coverage, &pairs,   &intervals};
+    }
+};
+
+void
+expectEqualResults(Bundle &serial, Bundle &parallel)
+{
+    const BasicStats &a = serial.basic.stats();
+    const BasicStats &b = parallel.basic.stats();
+    EXPECT_EQ(a.volumes, b.volumes);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.read_bytes, b.read_bytes);
+    EXPECT_EQ(a.write_bytes, b.write_bytes);
+    EXPECT_EQ(a.update_bytes, b.update_bytes);
+    EXPECT_EQ(a.total_wss_bytes, b.total_wss_bytes);
+    EXPECT_EQ(a.read_wss_bytes, b.read_wss_bytes);
+    EXPECT_EQ(a.write_wss_bytes, b.write_wss_bytes);
+    EXPECT_EQ(a.update_wss_bytes, b.update_wss_bytes);
+    EXPECT_EQ(a.first_timestamp, b.first_timestamp);
+    EXPECT_EQ(a.last_timestamp, b.last_timestamp);
+
+    EXPECT_EQ(serial.sizes.readSizes().count(),
+              parallel.sizes.readSizes().count());
+    for (double q : {0.1, 0.5, 0.9}) {
+        EXPECT_EQ(serial.sizes.readSizes().quantile(q),
+                  parallel.sizes.readSizes().quantile(q));
+        EXPECT_EQ(serial.sizes.writeSizes().quantile(q),
+                  parallel.sizes.writeSizes().quantile(q));
+        EXPECT_DOUBLE_EQ(serial.sizes.volumeAvgReadSizes().quantile(q),
+                         parallel.sizes.volumeAvgReadSizes().quantile(q));
+        EXPECT_DOUBLE_EQ(
+            serial.sizes.volumeAvgWriteSizes().quantile(q),
+            parallel.sizes.volumeAvgWriteSizes().quantile(q));
+    }
+
+    EXPECT_EQ(serial.intensity.overall().requests,
+              parallel.intensity.overall().requests);
+    EXPECT_EQ(serial.intensity.overall().first,
+              parallel.intensity.overall().first);
+    EXPECT_EQ(serial.intensity.overall().last,
+              parallel.intensity.overall().last);
+    EXPECT_EQ(serial.intensity.overall().peak_window_count,
+              parallel.intensity.overall().peak_window_count);
+    for (double q : {0.25, 0.5, 0.75}) {
+        EXPECT_DOUBLE_EQ(serial.intensity.avgIntensities().quantile(q),
+                         parallel.intensity.avgIntensities().quantile(q));
+        EXPECT_DOUBLE_EQ(
+            serial.intensity.peakIntensities().quantile(q),
+            parallel.intensity.peakIntensities().quantile(q));
+        EXPECT_DOUBLE_EQ(
+            serial.intensity.burstinessRatios().quantile(q),
+            parallel.intensity.burstinessRatios().quantile(q));
+    }
+
+    EXPECT_EQ(serial.interarrival.global().count(),
+              parallel.interarrival.global().count());
+    EXPECT_EQ(serial.interarrival.global().quantile(0.5),
+              parallel.interarrival.global().quantile(0.5));
+    for (std::size_t i = 0; i < InterarrivalAnalyzer::kPercentiles.size();
+         ++i) {
+        EXPECT_EQ(serial.interarrival.groups()[i].count(),
+                  parallel.interarrival.groups()[i].count());
+        if (!serial.interarrival.groups()[i].empty()) {
+            EXPECT_DOUBLE_EQ(
+                serial.interarrival.groups()[i].quantile(0.5),
+                parallel.interarrival.groups()[i].quantile(0.5));
+        }
+    }
+
+    EXPECT_EQ(serial.randomness.ratios().count(),
+              parallel.randomness.ratios().count());
+    for (double q : {0.25, 0.5, 0.75})
+        EXPECT_DOUBLE_EQ(serial.randomness.ratios().quantile(q),
+                         parallel.randomness.ratios().quantile(q));
+    EXPECT_DOUBLE_EQ(serial.randomness.volumeRatio(3),
+                     parallel.randomness.volumeRatio(3));
+
+    EXPECT_EQ(serial.coverage.coverage().count(),
+              parallel.coverage.coverage().count());
+    for (double q : {0.25, 0.5, 0.75})
+        EXPECT_DOUBLE_EQ(serial.coverage.coverage().quantile(q),
+                         parallel.coverage.coverage().quantile(q));
+
+    EXPECT_DOUBLE_EQ(serial.traffic.overallReadToReadMostly(),
+                     parallel.traffic.overallReadToReadMostly());
+    EXPECT_DOUBLE_EQ(serial.traffic.overallWriteToWriteMostly(),
+                     parallel.traffic.overallWriteToWriteMostly());
+    for (double q : {0.25, 0.5, 0.75}) {
+        EXPECT_DOUBLE_EQ(serial.traffic.readTop1().quantile(q),
+                         parallel.traffic.readTop1().quantile(q));
+        EXPECT_DOUBLE_EQ(serial.traffic.readTop10().quantile(q),
+                         parallel.traffic.readTop10().quantile(q));
+        EXPECT_DOUBLE_EQ(serial.traffic.writeTop1().quantile(q),
+                         parallel.traffic.writeTop1().quantile(q));
+        EXPECT_DOUBLE_EQ(serial.traffic.writeTop10().quantile(q),
+                         parallel.traffic.writeTop10().quantile(q));
+        EXPECT_DOUBLE_EQ(serial.traffic.readMostlyShares().quantile(q),
+                         parallel.traffic.readMostlyShares().quantile(q));
+        EXPECT_DOUBLE_EQ(
+            serial.traffic.writeMostlyShares().quantile(q),
+            parallel.traffic.writeMostlyShares().quantile(q));
+    }
+
+    for (PairKind kind : {PairKind::RAW, PairKind::WAW, PairKind::RAR,
+                          PairKind::WAR}) {
+        EXPECT_EQ(serial.pairs.count(kind), parallel.pairs.count(kind));
+        if (serial.pairs.count(kind)) {
+            EXPECT_EQ(serial.pairs.times(kind).quantile(0.5),
+                      parallel.pairs.times(kind).quantile(0.5));
+        }
+    }
+
+    EXPECT_EQ(serial.intervals.global().count(),
+              parallel.intervals.global().count());
+    EXPECT_EQ(serial.intervals.global().quantile(0.5),
+              parallel.intervals.global().quantile(0.5));
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(serial.intervals.durationGroups()[i].count(),
+                  parallel.intervals.durationGroups()[i].count());
+        if (!serial.intervals.durationGroups()[i].empty()) {
+            EXPECT_DOUBLE_EQ(
+                serial.intervals.durationGroups()[i].quantile(0.5),
+                parallel.intervals.durationGroups()[i].quantile(0.5));
+        }
+    }
+
+    // The in-order lane analyzers see the stream in original order, so
+    // their results are identical too.
+    EXPECT_EQ(serial.ratios.totalReads(), parallel.ratios.totalReads());
+    EXPECT_EQ(serial.ratios.totalWrites(),
+              parallel.ratios.totalWrites());
+    for (double q : {0.25, 0.5, 0.75}) {
+        EXPECT_DOUBLE_EQ(serial.days.activeDays().quantile(q),
+                         parallel.days.activeDays().quantile(q));
+        EXPECT_DOUBLE_EQ(serial.ratios.ratios().quantile(q),
+                         parallel.ratios.ratios().quantile(q));
+    }
+    EXPECT_EQ(serial.activeness.seriesOf(ActivenessAnalyzer::kActive),
+              parallel.activeness.seriesOf(ActivenessAnalyzer::kActive));
+    EXPECT_EQ(
+        serial.activeness.seriesOf(ActivenessAnalyzer::kWriteActive),
+        parallel.activeness.seriesOf(ActivenessAnalyzer::kWriteActive));
+}
+
+void
+goldenCompare(std::size_t shards)
+{
+    const std::vector<IoRequest> &requests = goldenTrace();
+    ASSERT_FALSE(requests.empty());
+    TimeUs duration = requests.back().timestamp + 1;
+
+    Bundle serial(duration);
+    VectorSource serial_source(requests);
+    runPipeline(serial_source, serial.all());
+
+    Bundle parallel(duration);
+    VectorSource parallel_source(requests);
+    ParallelOptions options;
+    options.shards = shards;
+    options.batch_size = 512; // force many batches
+    options.queue_batches = 4;
+    runPipelineParallel(parallel_source, parallel.all(), options);
+
+    expectEqualResults(serial, parallel);
+}
+
+TEST(ParallelPipeline, MatchesSerialWithOneShard) { goldenCompare(1); }
+TEST(ParallelPipeline, MatchesSerialWithTwoShards) { goldenCompare(2); }
+TEST(ParallelPipeline, MatchesSerialWithEightShards)
+{
+    goldenCompare(8);
+}
+
+/** Records what it sees; used to check the in-order lane. */
+class Probe : public Analyzer
+{
+  public:
+    void
+    consume(const IoRequest &req) override
+    {
+        timestamps.push_back(req.timestamp);
+    }
+    void finalize() override { finalized = true; }
+    std::string name() const override { return "probe"; }
+
+    std::vector<TimeUs> timestamps;
+    bool finalized = false;
+};
+
+TEST(ParallelPipeline, InOrderLaneSeesFullStreamInOrder)
+{
+    const std::vector<IoRequest> &requests = goldenTrace();
+    Probe probe;
+    BasicStatsAnalyzer basic; // engages the sharded path
+    VectorSource source(requests);
+    ParallelOptions options;
+    options.shards = 4;
+    options.batch_size = 256;
+    runPipelineParallel(source, {&basic, &probe}, options);
+
+    EXPECT_TRUE(probe.finalized);
+    ASSERT_EQ(probe.timestamps.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        ASSERT_EQ(probe.timestamps[i], requests[i].timestamp);
+}
+
+TEST(ParallelPipeline, EmptySourceStillFinalizes)
+{
+    Probe probe;
+    BasicStatsAnalyzer basic;
+    VectorSource source(std::vector<IoRequest>{});
+    ParallelOptions options;
+    options.shards = 4;
+    runPipelineParallel(source, {&basic, &probe}, options);
+    EXPECT_TRUE(probe.finalized);
+    EXPECT_EQ(basic.stats().requests(), 0u);
+}
+
+TEST(ParallelPipeline, FallsBackToSerialWithoutShardableAnalyzers)
+{
+    Probe probe;
+    VectorSource source({read(0, 0), write(1, 4096)});
+    ParallelOptions options;
+    options.shards = 4;
+    runPipelineParallel(source, {&probe}, options);
+    EXPECT_TRUE(probe.finalized);
+    EXPECT_EQ(probe.timestamps.size(), 2u);
+}
+
+/** Shardable analyzer whose consume() throws. */
+class Exploding : public ShardableAnalyzer
+{
+  public:
+    void
+    consume(const IoRequest &) override
+    {
+        CBS_FATAL("boom");
+    }
+    std::string name() const override { return "exploding"; }
+    std::unique_ptr<ShardableAnalyzer>
+    clone() const override
+    {
+        return std::make_unique<Exploding>();
+    }
+    void mergeFrom(const ShardableAnalyzer &) override {}
+};
+
+TEST(ParallelPipeline, WorkerExceptionPropagatesToCaller)
+{
+    const std::vector<IoRequest> &requests = goldenTrace();
+    Exploding exploding;
+    VectorSource source(requests);
+    ParallelOptions options;
+    options.shards = 2;
+    options.batch_size = 128;
+    EXPECT_THROW(
+        runPipelineParallel(source, {&exploding}, options),
+        FatalError);
+}
+
+// ---- per-analyzer mergeFrom unit tests ----
+
+/**
+ * Feed the golden trace once serially and once split across a target
+ * and a clone by volume parity (the volume-disjoint contract), merge,
+ * finalize both, and hand the two finished analyzers to @p compare.
+ */
+template <typename Make, typename Compare>
+void
+checkMerge(Make make, Compare compare)
+{
+    const std::vector<IoRequest> &requests = goldenTrace();
+
+    auto serial = make();
+    for (const IoRequest &req : requests)
+        serial.consume(req);
+    serial.finalize();
+
+    auto target = make();
+    std::unique_ptr<ShardableAnalyzer> replica = target.clone();
+    for (const IoRequest &req : requests) {
+        if (req.volume % 2)
+            replica->consume(req);
+        else
+            target.consume(req);
+    }
+    target.mergeFrom(*replica);
+    target.finalize();
+
+    compare(serial, target);
+}
+
+TEST(MergeFrom, BasicStats)
+{
+    checkMerge([] { return BasicStatsAnalyzer(); },
+               [](const BasicStatsAnalyzer &serial,
+                  const BasicStatsAnalyzer &merged) {
+                   const BasicStats &a = serial.stats();
+                   const BasicStats &b = merged.stats();
+                   EXPECT_EQ(a.volumes, b.volumes);
+                   EXPECT_EQ(a.reads, b.reads);
+                   EXPECT_EQ(a.writes, b.writes);
+                   EXPECT_EQ(a.read_bytes, b.read_bytes);
+                   EXPECT_EQ(a.write_bytes, b.write_bytes);
+                   EXPECT_EQ(a.update_bytes, b.update_bytes);
+                   EXPECT_EQ(a.total_wss_bytes, b.total_wss_bytes);
+                   EXPECT_EQ(a.update_wss_bytes, b.update_wss_bytes);
+                   EXPECT_EQ(a.first_timestamp, b.first_timestamp);
+                   EXPECT_EQ(a.last_timestamp, b.last_timestamp);
+               });
+}
+
+TEST(MergeFrom, SizeStats)
+{
+    checkMerge([] { return SizeAnalyzer(); }, [](const SizeAnalyzer &serial,
+                                  const SizeAnalyzer &merged) {
+        EXPECT_EQ(serial.readSizes().count(),
+                  merged.readSizes().count());
+        EXPECT_EQ(serial.readSizes().quantile(0.5),
+                  merged.readSizes().quantile(0.5));
+        EXPECT_DOUBLE_EQ(serial.volumeAvgReadSizes().quantile(0.5),
+                         merged.volumeAvgReadSizes().quantile(0.5));
+        EXPECT_DOUBLE_EQ(serial.volumeAvgWriteSizes().quantile(0.5),
+                         merged.volumeAvgWriteSizes().quantile(0.5));
+    });
+}
+
+TEST(MergeFrom, LoadIntensity)
+{
+    checkMerge(
+        [] { return LoadIntensityAnalyzer(); },
+        [](const LoadIntensityAnalyzer &serial,
+           const LoadIntensityAnalyzer &merged) {
+            EXPECT_EQ(serial.overall().requests,
+                      merged.overall().requests);
+            EXPECT_EQ(serial.overall().peak_window_count,
+                      merged.overall().peak_window_count);
+            EXPECT_DOUBLE_EQ(serial.burstinessRatios().quantile(0.5),
+                             merged.burstinessRatios().quantile(0.5));
+        });
+}
+
+TEST(MergeFrom, Interarrival)
+{
+    checkMerge([] { return InterarrivalAnalyzer(); },
+               [](const InterarrivalAnalyzer &serial,
+                  const InterarrivalAnalyzer &merged) {
+                   EXPECT_EQ(serial.global().count(),
+                             merged.global().count());
+                   EXPECT_EQ(serial.global().quantile(0.5),
+                             merged.global().quantile(0.5));
+                   EXPECT_DOUBLE_EQ(serial.groups()[1].quantile(0.5),
+                                    merged.groups()[1].quantile(0.5));
+               });
+}
+
+TEST(MergeFrom, Randomness)
+{
+    checkMerge([] { return RandomnessAnalyzer(); },
+               [](const RandomnessAnalyzer &serial,
+                  const RandomnessAnalyzer &merged) {
+                   EXPECT_EQ(serial.ratios().count(),
+                             merged.ratios().count());
+                   EXPECT_DOUBLE_EQ(serial.ratios().quantile(0.5),
+                                    merged.ratios().quantile(0.5));
+                   EXPECT_DOUBLE_EQ(serial.volumeRatio(2),
+                                    merged.volumeRatio(2));
+               });
+}
+
+TEST(MergeFrom, UpdateCoverage)
+{
+    checkMerge([] { return UpdateCoverageAnalyzer(); },
+               [](const UpdateCoverageAnalyzer &serial,
+                  const UpdateCoverageAnalyzer &merged) {
+                   EXPECT_EQ(serial.coverage().count(),
+                             merged.coverage().count());
+                   EXPECT_DOUBLE_EQ(serial.coverage().quantile(0.5),
+                                    merged.coverage().quantile(0.5));
+               });
+}
+
+TEST(MergeFrom, BlockTraffic)
+{
+    checkMerge([] { return BlockTrafficAnalyzer(); },
+               [](const BlockTrafficAnalyzer &serial,
+                  const BlockTrafficAnalyzer &merged) {
+                   EXPECT_DOUBLE_EQ(serial.overallReadToReadMostly(),
+                                    merged.overallReadToReadMostly());
+                   EXPECT_DOUBLE_EQ(serial.overallWriteToWriteMostly(),
+                                    merged.overallWriteToWriteMostly());
+                   EXPECT_DOUBLE_EQ(serial.readTop10().quantile(0.5),
+                                    merged.readTop10().quantile(0.5));
+                   EXPECT_DOUBLE_EQ(serial.writeTop1().quantile(0.5),
+                                    merged.writeTop1().quantile(0.5));
+               });
+}
+
+TEST(MergeFrom, TemporalPairs)
+{
+    checkMerge(
+        [] { return TemporalPairsAnalyzer(); },
+        [](const TemporalPairsAnalyzer &serial,
+           const TemporalPairsAnalyzer &merged) {
+            for (PairKind kind :
+                 {PairKind::RAW, PairKind::WAW, PairKind::RAR,
+                  PairKind::WAR}) {
+                EXPECT_EQ(serial.count(kind), merged.count(kind));
+                if (serial.count(kind)) {
+                    EXPECT_EQ(serial.times(kind).quantile(0.5),
+                              merged.times(kind).quantile(0.5));
+                }
+            }
+        });
+}
+
+TEST(MergeFrom, UpdateInterval)
+{
+    checkMerge([] { return UpdateIntervalAnalyzer(); },
+               [](const UpdateIntervalAnalyzer &serial,
+                  const UpdateIntervalAnalyzer &merged) {
+                   EXPECT_EQ(serial.global().count(),
+                             merged.global().count());
+                   EXPECT_EQ(serial.global().quantile(0.5),
+                             merged.global().quantile(0.5));
+                   EXPECT_DOUBLE_EQ(
+                       serial.durationGroups()[0].quantile(0.5),
+                       merged.durationGroups()[0].quantile(0.5));
+               });
+}
+
+TEST(MergeFrom, RejectsMismatchedAnalyzerType)
+{
+    BasicStatsAnalyzer basic;
+    SizeAnalyzer sizes;
+    EXPECT_THROW(basic.mergeFrom(sizes), FatalError);
+}
+
+TEST(MergeFrom, RejectsMismatchedConfiguration)
+{
+    UpdateCoverageAnalyzer a(4096);
+    UpdateCoverageAnalyzer b(8192);
+    EXPECT_THROW(a.mergeFrom(b), FatalError);
+}
+
+} // namespace
+} // namespace cbs

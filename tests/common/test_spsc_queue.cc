@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+
+namespace cbs {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscQueue<int>(8).capacity(), 8u);
+    EXPECT_EQ(SpscQueue<int>(9).capacity(), 16u);
+}
+
+TEST(SpscQueue, SingleThreadPushPop)
+{
+    SpscQueue<int> queue(4);
+    queue.push(1);
+    queue.push(2);
+    int v = 0;
+    ASSERT_TRUE(queue.pop(v));
+    EXPECT_EQ(v, 1);
+    ASSERT_TRUE(queue.pop(v));
+    EXPECT_EQ(v, 2);
+}
+
+TEST(SpscQueue, PopReturnsFalseOnlyAfterCloseAndDrain)
+{
+    SpscQueue<int> queue(4);
+    queue.push(7);
+    queue.close();
+    int v = 0;
+    ASSERT_TRUE(queue.pop(v));
+    EXPECT_EQ(v, 7);
+    EXPECT_FALSE(queue.pop(v));
+    EXPECT_FALSE(queue.pop(v)); // stays drained
+}
+
+TEST(SpscQueue, TransfersInOrderAcrossThreads)
+{
+    // Capacity far below the item count forces both the full-queue and
+    // empty-queue blocking paths.
+    constexpr std::uint64_t kItems = 100000;
+    SpscQueue<std::uint64_t> queue(8);
+    std::vector<std::uint64_t> received;
+    received.reserve(kItems);
+
+    std::thread consumer([&] {
+        std::uint64_t v;
+        while (queue.pop(v))
+            received.push_back(v);
+    });
+    for (std::uint64_t i = 0; i < kItems; ++i)
+        queue.push(i);
+    queue.close();
+    consumer.join();
+
+    ASSERT_EQ(received.size(), kItems);
+    for (std::uint64_t i = 0; i < kItems; ++i)
+        ASSERT_EQ(received[i], i);
+}
+
+TEST(SpscQueue, MovesLargeItemsWithoutCopying)
+{
+    SpscQueue<std::vector<int>> queue(2);
+    std::vector<int> batch(1000, 42);
+    const int *data = batch.data();
+    queue.push(std::move(batch));
+    std::vector<int> out;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.size(), 1000u);
+    EXPECT_EQ(out.data(), data); // buffer moved through, not copied
+}
+
+} // namespace
+} // namespace cbs

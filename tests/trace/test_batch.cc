@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Batched ingestion: nextBatch()/sizeHint()/drain() must agree with the
+ * one-record next() path for every source implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "../testutil.h"
+#include "synth/models.h"
+#include "trace/bin_trace.h"
+#include "trace/csv.h"
+#include "trace/merge.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+using test::read;
+using test::write;
+
+std::vector<IoRequest>
+syntheticRequests()
+{
+    auto source = makeTrace(aliCloudSpanSpec(SpanScale{5, 3000}), 42);
+    return drain(*source);
+}
+
+/** Collect via next() one record at a time. */
+std::vector<IoRequest>
+collectSerial(TraceSource &source)
+{
+    std::vector<IoRequest> out;
+    IoRequest req;
+    while (source.next(req))
+        out.push_back(req);
+    return out;
+}
+
+/** Collect via nextBatch() with the given batch size. */
+std::vector<IoRequest>
+collectBatched(TraceSource &source, std::size_t batch_size)
+{
+    std::vector<IoRequest> out;
+    std::vector<IoRequest> batch;
+    while (source.nextBatch(batch, batch_size))
+        out.insert(out.end(), batch.begin(), batch.end());
+    return out;
+}
+
+void
+expectSameRequests(const std::vector<IoRequest> &a,
+                   const std::vector<IoRequest> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].timestamp, b[i].timestamp) << "at " << i;
+        ASSERT_EQ(a[i].offset, b[i].offset) << "at " << i;
+        ASSERT_EQ(a[i].length, b[i].length) << "at " << i;
+        ASSERT_EQ(a[i].volume, b[i].volume) << "at " << i;
+        ASSERT_EQ(a[i].op, b[i].op) << "at " << i;
+    }
+}
+
+TEST(Batch, BaseImplementationLoopsNext)
+{
+    // A source that only implements next() still batches correctly via
+    // the TraceSource default.
+    class NextOnly : public TraceSource
+    {
+      public:
+        explicit NextOnly(std::vector<IoRequest> requests)
+            : requests_(std::move(requests))
+        {
+        }
+        bool
+        next(IoRequest &req) override
+        {
+            if (pos_ >= requests_.size())
+                return false;
+            req = requests_[pos_++];
+            return true;
+        }
+        void reset() override { pos_ = 0; }
+
+      private:
+        std::vector<IoRequest> requests_;
+        std::size_t pos_ = 0;
+    };
+
+    std::vector<IoRequest> expected = {read(0, 0), write(1, 4096),
+                                       read(2, 8192)};
+    NextOnly source(expected);
+    std::vector<IoRequest> batch;
+    EXPECT_EQ(source.nextBatch(batch, 2), 2u);
+    EXPECT_EQ(source.nextBatch(batch, 2), 1u);
+    EXPECT_EQ(source.nextBatch(batch, 2), 0u);
+    EXPECT_TRUE(batch.empty()); // exhausted batch comes back cleared
+    EXPECT_EQ(source.sizeHint(), 0u); // unknown by default
+}
+
+TEST(Batch, VectorSourceBatchesAndHints)
+{
+    std::vector<IoRequest> requests = syntheticRequests();
+    VectorSource source(requests);
+    EXPECT_EQ(source.sizeHint(), requests.size());
+
+    std::vector<IoRequest> batch;
+    ASSERT_EQ(source.nextBatch(batch, 100), 100u);
+    EXPECT_EQ(source.sizeHint(), requests.size() - 100);
+
+    source.reset();
+    expectSameRequests(collectBatched(source, 77), requests);
+}
+
+TEST(Batch, CsvReaderMatchesSerialPath)
+{
+    std::vector<IoRequest> requests = syntheticRequests();
+    std::ostringstream csv;
+    AliCloudCsvWriter writer(csv);
+    for (const IoRequest &req : requests)
+        writer.write(req);
+    std::string text = csv.str();
+
+    std::istringstream serial_in(text);
+    AliCloudCsvReader serial(serial_in);
+    std::istringstream batched_in(text);
+    AliCloudCsvReader batched(batched_in);
+
+    expectSameRequests(collectBatched(batched, 256),
+                       collectSerial(serial));
+    EXPECT_EQ(batched.recordCount(), requests.size());
+}
+
+TEST(Batch, MsrcReaderMatchesSerialPath)
+{
+    // Two disks, interleaved; timestamps in Windows filetime ticks.
+    std::string text =
+        "128166372003061629,src1,0,Read,0,4096,100\n"
+        "128166372013061629,src1,1,Write,8192,8192,100\n"
+        "128166372023061629,src1,0,Write,4096,4096,100\n"
+        "128166372033061629,src1,1,Read,0,4096,100\n";
+    std::istringstream serial_in(text);
+    MsrcCsvReader serial(serial_in);
+    std::istringstream batched_in(text);
+    MsrcCsvReader batched(batched_in);
+
+    expectSameRequests(collectBatched(batched, 3),
+                       collectSerial(serial));
+    EXPECT_EQ(batched.volumeIds().size(), 2u);
+}
+
+TEST(Batch, BinReaderBatchesAndHints)
+{
+    std::vector<IoRequest> requests = syntheticRequests();
+    std::stringstream bin;
+    BinTraceWriter writer(bin);
+    for (const IoRequest &req : requests)
+        writer.write(req);
+    writer.finish();
+
+    BinTraceReader reader(bin);
+    EXPECT_EQ(reader.sizeHint(), requests.size());
+    std::vector<IoRequest> batch;
+    ASSERT_EQ(reader.nextBatch(batch, 500), 500u);
+    EXPECT_EQ(reader.sizeHint(), requests.size() - 500);
+    reader.reset();
+    expectSameRequests(collectBatched(reader, 999), requests);
+}
+
+TEST(Batch, MergeSourceBatchesAcrossChildren)
+{
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(std::make_unique<VectorSource>(
+        std::vector<IoRequest>{read(0, 0, 4096, 0), read(4, 0, 4096, 0),
+                               read(8, 0, 4096, 0)}));
+    children.push_back(std::make_unique<VectorSource>(
+        std::vector<IoRequest>{write(1, 0, 4096, 1),
+                               write(5, 0, 4096, 1)}));
+    MergeSource merged(std::move(children));
+    EXPECT_EQ(merged.sizeHint(), 5u);
+
+    std::vector<IoRequest> got = collectBatched(merged, 2);
+    ASSERT_EQ(got.size(), 5u);
+    for (std::size_t i = 1; i < got.size(); ++i)
+        EXPECT_LE(got[i - 1].timestamp, got[i].timestamp);
+}
+
+TEST(Batch, DrainMatchesSerialCollection)
+{
+    std::vector<IoRequest> requests = syntheticRequests();
+    VectorSource a(requests);
+    VectorSource b(requests);
+    expectSameRequests(drain(a), collectSerial(b));
+}
+
+} // namespace
+} // namespace cbs
