@@ -10,6 +10,12 @@
  * and speedup. The trace is materialized up front so generation cost
  * stays out of the measurement.
  *
+ * Every run executes with an obs::MetricsRegistry attached, so the
+ * measured configuration is the instrumented one (the observability
+ * layer is required to stay within noise of the bare pipeline), and
+ * --json embeds each run's registry dump — ingest totals, per-analyzer
+ * timings, per-shard queue stats — next to its wall-clock numbers.
+ *
  * --json <path> additionally writes the measurements as JSON for
  * machine consumption (CI trend tracking).
  */
@@ -18,6 +24,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +40,7 @@
 #include "analysis/update_coverage.h"
 #include "analysis/update_interval.h"
 #include "common/format.h"
+#include "obs/metrics.h"
 #include "report/workbench.h"
 #include "trace/trace_source.h"
 
@@ -69,24 +77,35 @@ struct Measurement
     double seconds = 0.0;
     double mreq_per_s = 0.0;
     double speedup = 1.0;
+    std::string metrics_json; //!< per-run registry dump
 };
 
+/** One timed pass, metrics attached; returns seconds and the dump. */
 double
-timedRun(VectorSource &requests, bool parallel, std::size_t shards)
+timedRun(VectorSource &requests, bool parallel, std::size_t shards,
+         std::string &metrics_json)
 {
     requests.reset();
     AnalyzerSet set;
+    obs::MetricsRegistry registry;
+    requests.attachMetrics(registry);
     auto start = std::chrono::steady_clock::now();
     if (parallel) {
         ParallelOptions options;
         options.shards = shards;
+        options.metrics = &registry;
         runPipelineParallel(requests, set.all(), options);
     } else {
-        runPipeline(requests, set.all());
+        runPipeline(requests, set.all(), &registry);
     }
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    requests.detachMetrics();
+    std::ostringstream dump;
+    registry.writeJson(dump);
+    metrics_json = dump.str();
+    return seconds;
 }
 
 void
@@ -114,6 +133,13 @@ writeJson(const std::string &path, std::uint64_t requests,
                       m.mreq_per_s, m.speedup,
                       i + 1 < rows.size() ? "," : "");
         out << buf;
+    }
+    out << "  ],\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        // Registry dumps are standalone objects; indent is cosmetic.
+        out << "    {\"label\": \"" << rows[i].label
+            << "\", \"registry\": " << rows[i].metrics_json << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("\nwrote JSON to %s\n", path.c_str());
@@ -168,12 +194,15 @@ main(int argc, char **argv)
 
     std::printf("%-12s  %9s  %14s  %7s\n", "config", "time",
                 "throughput", "speedup");
-    double serial_sec = timedRun(requests, false, 0);
+    std::string metrics_json;
+    double serial_sec = timedRun(requests, false, 0, metrics_json);
     record("serial", 0, serial_sec, serial_sec);
+    rows.back().metrics_json = metrics_json;
     for (std::size_t shards : {1, 2, 4, 8}) {
-        double sec = timedRun(requests, true, shards);
+        double sec = timedRun(requests, true, shards, metrics_json);
         record("shards=" + std::to_string(shards), shards, sec,
                serial_sec);
+        rows.back().metrics_json = metrics_json;
     }
 
     if (!json_path.empty())

@@ -4,12 +4,19 @@
  *
  * Subcommands:
  *   analyze <trace> [--msrc|--bin] [--block N] [--interval MIN]
- *           [--threads N]
+ *           [--threads N] [--summary-json PATH] [--metrics-json PATH]
+ *           [--progress]
  *       Full workload characterization (the WorkloadSummary facade)
  *       of a real trace: AliCloud CSV by default, SNIA MSRC CSV with
  *       --msrc, compact binary with --bin. --threads N shards the
  *       analysis across N worker threads (0 = one per hardware
  *       thread); results are identical to the single-threaded run.
+ *       --summary-json writes the characterization as deterministic
+ *       JSON (byte-identical across thread counts); --metrics-json
+ *       dumps the run's observability registry (ingest totals,
+ *       per-analyzer timings, per-shard queue stats — see
+ *       docs/observability.md); --progress prints a periodic
+ *       records/s / bytes/s / queue-depth line to stderr.
  *
  *   generate <out.csv|out.bin> [--msrc] [--volumes N] [--requests N]
  *            [--seed S]
@@ -25,7 +32,8 @@
  *       AliCloud-vs-MSRC methodology for your own data). Format flags
  *       apply to both inputs.
  *
- * Exit status: 0 on success, 1 on input errors, 2 on usage errors.
+ * Exit status: 0 on success, 1 on input errors, 2 on usage errors,
+ * 3 on internal errors (library invariant violations).
  */
 
 #include <cstdio>
@@ -39,6 +47,8 @@
 
 #include "analysis/volume_classes.h"
 #include "analysis/workload_summary.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "cache/shards.h"
 #include "common/format.h"
 #include "report/table.h"
@@ -63,6 +73,9 @@ struct Args
     std::optional<VolumeId> volume;
     double rate = 0.1;
     std::optional<std::size_t> threads;
+    std::string summary_json;
+    std::string metrics_json;
+    bool progress = false;
 };
 
 int
@@ -72,6 +85,8 @@ usage()
         stderr,
         "usage: cbs_tool analyze <trace> [--msrc|--bin] [--block N]\n"
         "                [--interval MIN] [--threads N]\n"
+        "                [--summary-json PATH] [--metrics-json PATH]\n"
+        "                [--progress]\n"
         "       cbs_tool generate <out.csv|out.bin> [--msrc]\n"
         "                [--volumes N] [--requests N] [--seed S]\n"
         "       cbs_tool mrc <trace> [--msrc|--bin] [--volume V]\n"
@@ -134,6 +149,18 @@ parseArgs(int argc, char **argv, Args &args)
             if (!v)
                 return false;
             args.threads = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--summary-json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.summary_json = v;
+        } else if (arg == "--metrics-json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.metrics_json = v;
+        } else if (arg == "--progress") {
+            args.progress = true;
         } else if (!arg.empty() && arg[0] != '-') {
             args.positional.push_back(arg);
         } else {
@@ -297,12 +324,51 @@ cmdAnalyze(const Args &args)
     options.duration = last + 1;
     WorkloadSummary summary(options);
     VolumeClassifier classifier(100, args.block);
+
+    // Observability: one registry for the whole analysis pass, wired
+    // into the source (ingest counters) and the pipelines (analyzer
+    // timings, per-shard queue stats). Off unless requested — the
+    // unattached cost is a pointer check per batch.
+    obs::MetricsRegistry registry;
+    bool want_metrics = !args.metrics_json.empty() || args.progress;
+    if (want_metrics)
+        source->attachMetrics(registry);
+    std::optional<obs::ProgressReporter> reporter;
+    if (args.progress) {
+        reporter.emplace(registry);
+        reporter->start();
+    }
+
     if (args.threads) {
         ParallelOptions parallel;
         parallel.shards = *args.threads;
+        if (want_metrics)
+            parallel.metrics = &registry;
         summary.run(*source, parallel, {&classifier});
     } else {
-        summary.run(*source, {&classifier});
+        summary.run(*source, {&classifier},
+                    want_metrics ? &registry : nullptr);
+    }
+    if (reporter)
+        reporter->stop();
+
+    if (!args.metrics_json.empty()) {
+        std::ofstream out(args.metrics_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         args.metrics_json.c_str());
+            return 1;
+        }
+        registry.writeJson(out);
+    }
+    if (!args.summary_json.empty()) {
+        std::ofstream out(args.summary_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         args.summary_json.c_str());
+            return 1;
+        }
+        summary.writeJson(out);
     }
     summary.print(std::cout);
 
@@ -428,8 +494,15 @@ main(int argc, char **argv)
         if (command == "compare")
             return cmdCompare(args);
     } catch (const FatalError &e) {
+        // Bad input (malformed trace, invalid configuration): one
+        // diagnostic line and a clean non-zero exit, never a
+        // std::terminate — including errors surfaced from parallel
+        // pipeline worker threads, which rethrow on this thread.
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 3;
     }
     return usage();
 }

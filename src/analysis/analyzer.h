@@ -85,9 +85,17 @@ shardCast(const ShardableAnalyzer &shard)
     return *cast;
 }
 
-/** Run one pass of @p source through all @p analyzers, then finalize. */
+/**
+ * Run one pass of @p source through all @p analyzers, then finalize.
+ *
+ * When @p metrics is non-null, each analyzer's per-batch consume time
+ * is recorded into an `analyzer.<name>.batch_ns` histogram and its
+ * finalize time into an `analyzer.<name>.finalize_ns` counter (see
+ * docs/observability.md); a null registry costs one check per batch.
+ */
 void runPipeline(TraceSource &source,
-                 const std::vector<Analyzer *> &analyzers);
+                 const std::vector<Analyzer *> &analyzers,
+                 obs::MetricsRegistry *metrics = nullptr);
 
 } // namespace cbs
 

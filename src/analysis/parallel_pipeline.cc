@@ -2,18 +2,55 @@
 
 #include <exception>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/flat_map.h"
 #include "common/spsc_queue.h"
+#include "obs/metrics.h"
 
 namespace cbs {
 namespace {
 
 using Batch = std::vector<IoRequest>;
 using BatchQueue = SpscQueue<Batch>;
+
+/**
+ * Observability instruments of one consumer lane. All sinks live in
+ * the caller's MetricsRegistry; a lane without metrics holds none and
+ * its worker runs the original untimed loop.
+ */
+struct LaneMetrics
+{
+    obs::Counter *records = nullptr;  //!< requests consumed
+    obs::Counter *batches = nullptr;  //!< batches consumed
+    obs::Counter *idle_ns = nullptr;  //!< time blocked on an empty queue
+    obs::Counter *full_waits = nullptr; //!< producer stalls on this lane
+    obs::Gauge *queue_depth = nullptr;  //!< batches queued (approx)
+    /** Per-analyzer batch-time sinks, parallel to the lane's set. */
+    std::vector<obs::Histogram *> analyzer_ns;
+
+    /** Register the lane's instruments under @p lane (e.g.
+     *  "parallel.shard.3"), sharing analyzer histograms by name. */
+    static LaneMetrics
+    forLane(obs::MetricsRegistry &registry, const std::string &lane,
+            const std::vector<Analyzer *> &analyzers)
+    {
+        LaneMetrics m;
+        m.records = &registry.counter(lane + ".records");
+        m.batches = &registry.counter(lane + ".batches");
+        m.idle_ns = &registry.counter(lane + ".idle_ns");
+        m.full_waits = &registry.counter(lane + ".queue_full_waits");
+        m.queue_depth = &registry.gauge(lane + ".queue_depth");
+        m.analyzer_ns.reserve(analyzers.size());
+        for (Analyzer *analyzer : analyzers)
+            m.analyzer_ns.push_back(&registry.histogram(
+                "analyzer." + analyzer->name() + ".batch_ns"));
+        return m;
+    }
+};
 
 /**
  * One consumer thread: pops batches off a bounded queue and feeds an
@@ -25,8 +62,10 @@ class LaneWorker
 {
   public:
     LaneWorker(std::size_t queue_batches,
-               std::vector<Analyzer *> analyzers)
-        : queue_(queue_batches), analyzers_(std::move(analyzers))
+               std::vector<Analyzer *> analyzers,
+               std::unique_ptr<LaneMetrics> metrics = nullptr)
+        : queue_(queue_batches), analyzers_(std::move(analyzers)),
+          metrics_(std::move(metrics))
     {
         thread_ = std::thread([this] { run(); });
     }
@@ -39,6 +78,7 @@ class LaneWorker
     {
         queue_.close();
         thread_.join();
+        noteQueueTotals();
         if (error_)
             std::rethrow_exception(error_);
     }
@@ -50,30 +90,74 @@ class LaneWorker
         queue_.close();
         if (thread_.joinable())
             thread_.join();
+        noteQueueTotals();
     }
 
     bool finished() const { return !thread_.joinable(); }
+
+    /** Producer-side depth sample after a push (null-safe). */
+    void
+    noteDepth()
+    {
+        if (metrics_)
+            metrics_->queue_depth->set(
+                static_cast<std::int64_t>(queue_.size()));
+    }
 
   private:
     void
     run()
     {
         Batch batch;
-        while (queue_.pop(batch)) {
+        for (;;) {
+            bool got;
+            if (metrics_) {
+                obs::ScopedTimer idle(nullptr, metrics_->idle_ns);
+                got = queue_.pop(batch);
+            } else {
+                got = queue_.pop(batch);
+            }
+            if (!got)
+                break;
             if (error_)
                 continue; // drain so the producer never blocks
             try {
-                for (const IoRequest &req : batch)
-                    for (Analyzer *analyzer : analyzers_)
-                        analyzer->consume(req);
+                if (metrics_) {
+                    metrics_->records->add(batch.size());
+                    metrics_->batches->increment();
+                    for (std::size_t i = 0; i < analyzers_.size();
+                         ++i) {
+                        obs::ScopedTimer timer(
+                            metrics_->analyzer_ns[i]);
+                        for (const IoRequest &req : batch)
+                            analyzers_[i]->consume(req);
+                    }
+                } else {
+                    for (const IoRequest &req : batch)
+                        for (Analyzer *analyzer : analyzers_)
+                            analyzer->consume(req);
+                }
             } catch (...) {
                 error_ = std::current_exception();
             }
         }
     }
 
+    /** Fold the queue's cumulative stall count into the registry. */
+    void
+    noteQueueTotals()
+    {
+        if (!metrics_ || totals_noted_)
+            return;
+        totals_noted_ = true;
+        metrics_->full_waits->add(queue_.fullWaits());
+        metrics_->queue_depth->set(0);
+    }
+
     BatchQueue queue_;
     std::vector<Analyzer *> analyzers_;
+    std::unique_ptr<LaneMetrics> metrics_;
+    bool totals_noted_ = false;
     std::thread thread_;
     std::exception_ptr error_;
 };
@@ -109,8 +193,19 @@ runPipelineParallel(TraceSource &source,
 
     // Nothing to parallelize: fall back to the serial pipeline.
     if (shardable.empty() || shards == 1) {
-        runPipeline(source, analyzers);
+        runPipeline(source, analyzers, options.metrics);
         return;
+    }
+
+    obs::MetricsRegistry *metrics = options.metrics;
+    if (metrics) {
+        metrics->gauge("parallel.shards")
+            .set(static_cast<std::int64_t>(shards));
+        metrics->gauge("parallel.batch_size")
+            .set(static_cast<std::int64_t>(options.batch_size));
+        metrics->gauge("parallel.queue_batches")
+            .set(static_cast<std::int64_t>(queue_batches));
+        metrics->counter("parallel.runs").increment();
     }
 
     // Per-shard analyzer replicas.
@@ -129,39 +224,59 @@ runPipelineParallel(TraceSource &source,
         lane.reserve(replicas[s].size());
         for (auto &replica : replicas[s])
             lane.push_back(replica.get());
-        workers.push_back(
-            std::make_unique<LaneWorker>(queue_batches, std::move(lane)));
+        std::unique_ptr<LaneMetrics> lane_metrics;
+        if (metrics)
+            lane_metrics = std::make_unique<LaneMetrics>(
+                LaneMetrics::forLane(*metrics,
+                                     "parallel.shard." +
+                                         std::to_string(s),
+                                     lane));
+        workers.push_back(std::make_unique<LaneWorker>(
+            queue_batches, std::move(lane), std::move(lane_metrics)));
     }
     LaneWorker *order_lane = nullptr;
     if (!in_order.empty()) {
-        workers.push_back(
-            std::make_unique<LaneWorker>(queue_batches, in_order));
+        std::unique_ptr<LaneMetrics> lane_metrics;
+        if (metrics)
+            lane_metrics = std::make_unique<LaneMetrics>(
+                LaneMetrics::forLane(*metrics, "parallel.inorder",
+                                     in_order));
+        workers.push_back(std::make_unique<LaneWorker>(
+            queue_batches, in_order, std::move(lane_metrics)));
         order_lane = workers.back().get();
     }
 
     // Ingest: read batches, scatter by volume hash, feed the lanes.
     try {
+        obs::ScopedTimer ingest_timer(
+            nullptr,
+            metrics ? &metrics->counter("parallel.ingest_ns") : nullptr);
         std::vector<Batch> pending(shards);
         for (auto &p : pending)
             p.reserve(options.batch_size);
         Batch batch;
         batch.reserve(options.batch_size);
         while (source.nextBatch(batch, options.batch_size)) {
-            if (order_lane)
+            if (order_lane) {
                 order_lane->queue().push(batch); // copy: full stream
+                order_lane->noteDepth();
+            }
             for (const IoRequest &req : batch) {
                 std::size_t s = mix64(req.volume) % shards;
                 pending[s].push_back(req);
                 if (pending[s].size() >= options.batch_size) {
                     workers[s]->queue().push(std::move(pending[s]));
+                    workers[s]->noteDepth();
                     pending[s] = Batch();
                     pending[s].reserve(options.batch_size);
                 }
             }
         }
         for (std::size_t s = 0; s < shards; ++s) {
-            if (!pending[s].empty())
+            if (!pending[s].empty()) {
                 workers[s]->queue().push(std::move(pending[s]));
+                workers[s]->noteDepth();
+            }
         }
     } catch (...) {
         for (auto &worker : workers)
@@ -185,11 +300,22 @@ runPipelineParallel(TraceSource &source,
 
     // Merge the shard replicas back into the caller's analyzers, then
     // finalize everything in the caller's order.
-    for (std::size_t i = 0; i < shardable.size(); ++i)
-        for (std::size_t s = 0; s < shards; ++s)
-            shardable[i]->mergeFrom(*replicas[s][i]);
-    for (Analyzer *analyzer : analyzers)
+    {
+        obs::ScopedTimer merge_timer(
+            nullptr,
+            metrics ? &metrics->counter("parallel.merge_ns") : nullptr);
+        for (std::size_t i = 0; i < shardable.size(); ++i)
+            for (std::size_t s = 0; s < shards; ++s)
+                shardable[i]->mergeFrom(*replicas[s][i]);
+    }
+    for (Analyzer *analyzer : analyzers) {
+        obs::ScopedTimer timer(
+            nullptr, metrics ? &metrics->counter("analyzer." +
+                                                 analyzer->name() +
+                                                 ".finalize_ns")
+                             : nullptr);
         analyzer->finalize();
+    }
 }
 
 } // namespace cbs

@@ -47,6 +47,17 @@ struct ParallelOptions
      *  batch_size this caps buffered memory at roughly
      *  shards * queue_batches * batch_size * sizeof(IoRequest). */
     std::size_t queue_batches = 8;
+
+    /**
+     * Optional observability sink. When set, the run records per-shard
+     * throughput (`parallel.shard.<i>.records`), queue backpressure
+     * (`.queue_full_waits`, `.queue_depth`), worker idle time
+     * (`.idle_ns`), per-analyzer timings (`analyzer.<name>.batch_ns`,
+     * shared across shard replicas), and the in-order lane's
+     * equivalents under `parallel.inorder.*`. Must outlive the call.
+     * Null (the default) costs one pointer check per batch.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /**

@@ -1,9 +1,49 @@
 #include "analysis/workload_summary.h"
 
+#include <charconv>
+#include <cmath>
+
 #include "common/format.h"
 #include "report/table.h"
 
 namespace cbs {
+namespace {
+
+/**
+ * Shortest-round-trip double for JSON: the same double always prints
+ * the same bytes, so runs with identical analyzer state dump identical
+ * files regardless of thread count. Non-finite values become null.
+ */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, ptr - buf);
+}
+
+/** {"count": N, "p25": x, "p50": x, "p90": x} or null when empty. */
+void
+jsonDist(std::ostream &os, const Ecdf &cdf)
+{
+    if (cdf.empty()) {
+        os << "null";
+        return;
+    }
+    os << "{\"count\": " << cdf.count() << ", \"p25\": ";
+    jsonNumber(os, cdf.quantile(0.25));
+    os << ", \"p50\": ";
+    jsonNumber(os, cdf.quantile(0.5));
+    os << ", \"p90\": ";
+    jsonNumber(os, cdf.quantile(0.9));
+    os << '}';
+}
+
+} // namespace
 
 void
 WorkloadSummary::print(std::ostream &os) const
@@ -70,6 +110,73 @@ WorkloadSummary::print(std::ostream &os) const
                                 hist.quantile(0.5)))});
     }
     temporal.print(os);
+}
+
+void
+WorkloadSummary::writeJson(std::ostream &os) const
+{
+    const BasicStats &s = basic.stats();
+
+    os << "{\n  \"schema\": \"cbs.summary.v1\",\n  \"overview\": {\n";
+    os << "    \"volumes\": " << s.volumes << ",\n";
+    os << "    \"requests\": " << s.requests() << ",\n";
+    os << "    \"reads\": " << s.reads << ",\n";
+    os << "    \"writes\": " << s.writes << ",\n";
+    os << "    \"first_timestamp_us\": " << s.first_timestamp << ",\n";
+    os << "    \"last_timestamp_us\": " << s.last_timestamp << ",\n";
+    os << "    \"read_bytes\": " << s.read_bytes << ",\n";
+    os << "    \"write_bytes\": " << s.write_bytes << ",\n";
+    os << "    \"update_bytes\": " << s.update_bytes << ",\n";
+    os << "    \"total_wss_bytes\": " << s.total_wss_bytes << ",\n";
+    os << "    \"read_wss_bytes\": " << s.read_wss_bytes << ",\n";
+    os << "    \"write_wss_bytes\": " << s.write_wss_bytes << ",\n";
+    os << "    \"update_wss_bytes\": " << s.update_wss_bytes << ",\n";
+    os << "    \"write_read_ratio\": ";
+    jsonNumber(os, s.writeToReadRatio());
+    os << ",\n    \"read_wss_share\": ";
+    jsonNumber(os, s.readWssShare());
+    os << ",\n    \"write_wss_share\": ";
+    jsonNumber(os, s.writeWssShare());
+    os << "\n  },\n  \"distributions\": {\n";
+    const char *sep = "";
+    auto dist = [&](const char *name, const Ecdf &cdf) {
+        os << sep << "    \"" << name << "\": ";
+        jsonDist(os, cdf);
+        sep = ",\n";
+    };
+    dist("avg_read_size_bytes", sizes.volumeAvgReadSizes());
+    dist("avg_write_size_bytes", sizes.volumeAvgWriteSizes());
+    dist("active_days", days.activeDays());
+    dist("write_read_ratio", ratios.ratios());
+    dist("avg_intensity_req_s", intensity.avgIntensities());
+    dist("peak_intensity_req_s", intensity.peakIntensities());
+    dist("burstiness_ratio", intensity.burstinessRatios());
+    dist("randomness_ratio", randomness.ratios());
+    dist("update_coverage", coverage.coverage());
+    dist("read_mostly_share", traffic.readMostlyShares());
+    dist("write_mostly_share", traffic.writeMostlyShares());
+    os << "\n  },\n  \"interarrival\": {\n    \"count\": "
+       << interarrival.global().count() << ",\n    \"median_us\": ";
+    if (interarrival.global().empty())
+        os << "null";
+    else
+        os << interarrival.global().quantile(0.5);
+    os << "\n  },\n  \"temporal_pairs\": {\n";
+    sep = "";
+    for (PairKind kind : {PairKind::RAW, PairKind::WAW, PairKind::RAR,
+                          PairKind::WAR}) {
+        const LogHistogram &hist = pairs.times(kind);
+        os << sep << "    \"" << pairKindName(kind)
+           << "\": {\"count\": " << pairs.count(kind)
+           << ", \"median_gap_us\": ";
+        if (hist.empty())
+            os << "null";
+        else
+            os << hist.quantile(0.5);
+        os << '}';
+        sep = ",\n";
+    }
+    os << "\n  }\n}\n";
 }
 
 } // namespace cbs

@@ -60,16 +60,19 @@ class WorkloadSummary
     }
 
     /** Run the whole bundle (plus optional extra analyzers sharing
-     *  the same pass) in one streaming sweep. */
+     *  the same pass) in one streaming sweep. @p metrics optionally
+     *  records per-analyzer timings (see runPipeline). */
     void
-    run(TraceSource &source, std::vector<Analyzer *> extra = {})
+    run(TraceSource &source, std::vector<Analyzer *> extra = {},
+        obs::MetricsRegistry *metrics = nullptr)
     {
-        runPipeline(source, analyzerSet(std::move(extra)));
+        runPipeline(source, analyzerSet(std::move(extra)), metrics);
     }
 
     /** Same sweep, but sharded across worker threads; shardable
      *  analyzers run on per-shard replicas, the rest on the in-order
-     *  lane, so results match the serial run() exactly. */
+     *  lane, so results match the serial run() exactly. Attach a
+     *  registry via @p parallel.metrics for per-shard stats. */
     void
     run(TraceSource &source, const ParallelOptions &parallel,
         std::vector<Analyzer *> extra = {})
@@ -80,6 +83,15 @@ class WorkloadSummary
 
     /** Print a compact multi-section report. */
     void print(std::ostream &os) const;
+
+    /**
+     * Write the characterization as one JSON object (schema
+     * cbs.summary.v1). Deterministic: identical analyzer results
+     * produce byte-identical output — doubles are emitted in
+     * shortest-round-trip form — so serial and parallel runs of the
+     * same trace compare equal byte for byte.
+     */
+    void writeJson(std::ostream &os) const;
 
     const WorkloadSummaryOptions &options() const { return options_; }
 

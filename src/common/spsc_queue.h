@@ -22,6 +22,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -53,6 +54,7 @@ class SpscQueue
         std::size_t tail = tail_.load(std::memory_order_relaxed);
         if (tail - head_.load(std::memory_order_acquire) >
             mask_) {
+            full_waits_.fetch_add(1, std::memory_order_relaxed);
             std::unique_lock<std::mutex> lock(mutex_);
             not_full_.wait(lock, [&] {
                 return tail - head_.load(std::memory_order_acquire) <=
@@ -114,6 +116,29 @@ class SpscQueue
     /** Number of slots (capacity after rounding). */
     std::size_t capacity() const { return slots_.size(); }
 
+    /**
+     * Approximate number of queued items (racy snapshot of the
+     * free-running indices; exact when producer and consumer are
+     * quiescent). Callable from any thread — observability only.
+     */
+    std::size_t
+    size() const
+    {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        return tail - head;
+    }
+
+    /**
+     * Number of push() calls that found the queue full and had to
+     * block — the producer-side backpressure signal.
+     */
+    std::uint64_t
+    fullWaits() const
+    {
+        return full_waits_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::vector<T> slots_;
     std::size_t mask_ = 0;
@@ -121,6 +146,7 @@ class SpscQueue
     // are free-running (wrap via the mask on access).
     alignas(64) std::atomic<std::size_t> head_{0}; //!< consumer side
     alignas(64) std::atomic<std::size_t> tail_{0}; //!< producer side
+    std::atomic<std::uint64_t> full_waits_{0};     //!< producer stalls
     std::atomic<bool> closed_{false};
     std::mutex mutex_;
     std::condition_variable not_full_;

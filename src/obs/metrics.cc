@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include "common/error.h"
+
+namespace cbs::obs {
+namespace {
+
+/** Find-or-create in a name-keyed map of unique_ptrs. */
+template <typename T>
+T &
+intern(std::map<std::string, std::unique_ptr<T>> &map,
+       const std::string &name)
+{
+    CBS_EXPECT(!name.empty(), "metric name must not be empty");
+    auto [it, inserted] = map.try_emplace(name);
+    if (inserted)
+        it->second = std::make_unique<T>();
+    return *it->second;
+}
+
+template <typename T>
+const T *
+find(const std::map<std::string, std::unique_ptr<T>> &map,
+     const std::string &name)
+{
+    auto it = map.find(name);
+    return it == map.end() ? nullptr : it->second.get();
+}
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        // Metric names are plain identifiers by convention, but stay
+        // correct for anything a caller registers.
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+               << "0123456789abcdef"[c & 0xf];
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bucket : buckets_)
+        total += bucket.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Histogram::mean() const
+{
+    std::uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n)
+             : 0.0;
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    std::uint64_t n = count();
+    if (n == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(n - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += bucketCount(i);
+        if (seen > target)
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return intern(counters_, name);
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return intern(gauges_, name);
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return intern(histograms_, name);
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return find(counters_, name);
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return find(gauges_, name);
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return find(histograms_, name);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        out.emplace_back(name, counter->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, gauge] : gauges_)
+        out.emplace_back(name, gauge->value());
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\n  \"schema\": \"cbs.metrics.v1\",\n  \"counters\": {";
+    const char *sep = "";
+    for (const auto &[name, counter] : counters_) {
+        os << sep << "\n    ";
+        writeJsonString(os, name);
+        os << ": " << counter->value();
+        sep = ",";
+    }
+    os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    sep = "";
+    for (const auto &[name, gauge] : gauges_) {
+        os << sep << "\n    ";
+        writeJsonString(os, name);
+        os << ": " << gauge->value();
+        sep = ",";
+    }
+    os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    sep = "";
+    for (const auto &[name, hist] : histograms_) {
+        os << sep << "\n    ";
+        writeJsonString(os, name);
+        os << ": {\"count\": " << hist->count()
+           << ", \"sum\": " << hist->sum()
+           << ", \"max\": " << hist->max() << ", \"buckets\": [";
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+            os << (i ? "," : "") << hist->bucketCount(i);
+        os << "]}";
+        sep = ",";
+    }
+    os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+} // namespace cbs::obs

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * MetricsRegistry and friends: the toolkit's observability substrate.
+ *
+ * A characterization pipeline churning through a month-scale production
+ * trace (billions of requests) is only operable if it can report what
+ * it is doing while it runs: ingest throughput, per-analyzer cost,
+ * queue backpressure. This header provides the three instrument types
+ * the pipelines use —
+ *
+ *   Counter    monotonically increasing 64-bit total (records, bytes);
+ *   Gauge      instantaneous signed value (queue depth, shard count);
+ *   Histogram  log2-bucketed distribution of unsigned samples
+ *              (batch sizes, per-batch analyzer nanoseconds);
+ *
+ * — plus the MetricsRegistry that owns them by name, a ScopedTimer
+ * that records elapsed nanoseconds on scope exit, and a stable JSON
+ * dump for machine consumption (BENCH files, CI trend tracking).
+ *
+ * Concurrency: every instrument is safe to update from any number of
+ * threads (relaxed atomics; totals are exact, cross-instrument skew is
+ * tolerated). Registration is mutex-protected; returned references
+ * stay valid for the registry's lifetime, so hot paths register once
+ * up front and then touch only the atomics. Nothing here is attached
+ * by default: instrumented code holds a null registry/instrument
+ * pointer and the whole layer costs one pointer check per batch when
+ * observability is off.
+ *
+ * Naming convention (see docs/observability.md): lower_snake_case
+ * segments joined by dots, `<subsystem>.<object>.<unit-suffixed
+ * metric>`, e.g. `ingest.bytes`, `analyzer.randomness.batch_ns`,
+ * `parallel.shard.3.queue_depth`.
+ */
+
+#ifndef CBS_OBS_METRICS_H
+#define CBS_OBS_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cbs::obs {
+
+/** Monotonically increasing event/byte total. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void increment() { add(1); }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Instantaneous signed value (depth, size, configuration echo). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Log2-bucketed histogram of unsigned samples.
+ *
+ * Bucket i>0 holds samples in [2^(i-1), 2^i - 1]; bucket 0 holds the
+ * value 0. 65 buckets cover the full 64-bit range, so one histogram
+ * serves nanosecond latencies and byte sizes alike with bounded (2x)
+ * relative error — the same trade the analyzers' LogHistogram makes,
+ * but with atomic buckets so shard workers can share one instance.
+ */
+class Histogram
+{
+  public:
+    /** Bucket count: value 0 plus one bucket per power of two. */
+    static constexpr std::size_t kBuckets = 65;
+
+    void
+    record(std::uint64_t value)
+    {
+        buckets_[bucketIndex(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+        // Track the max with a racy-but-monotonic CAS loop.
+        std::uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !max_.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    std::uint64_t count() const;
+
+    std::uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    double mean() const;
+
+    /**
+     * Upper bound of the bucket containing the q-quantile sample
+     * (0 <= q <= 1); 0 when empty. A coarse estimate — within 2x of
+     * the true quantile by construction.
+     */
+    std::uint64_t quantile(double q) const;
+
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive upper bound of bucket @p i. */
+    static std::uint64_t
+    bucketUpperBound(std::size_t i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << i) - 1;
+    }
+
+    static std::size_t
+    bucketIndex(std::uint64_t value)
+    {
+        std::size_t index = 0;
+        while (value) {
+            ++index;
+            value >>= 1;
+        }
+        return index;
+    }
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/**
+ * Owner of named instruments.
+ *
+ * counter()/gauge()/histogram() find-or-create; the returned reference
+ * is valid for the registry's lifetime and never moves, so callers
+ * cache it and update lock-free. find*() return nullptr instead of
+ * creating (used by reporters that observe without registering).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Name-sorted snapshot of every counter's current value. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    counterValues() const;
+
+    /** Name-sorted snapshot of every gauge's current value. */
+    std::vector<std::pair<std::string, std::int64_t>> gaugeValues() const;
+
+    /**
+     * Dump the registry as one JSON object with a stable schema
+     * (cbs.metrics.v1): instruments keyed by name inside "counters",
+     * "gauges", and "histograms" maps, names sorted, all values
+     * integers. Histograms carry {"count","sum","max","buckets"} with
+     * a fixed 65-element bucket array, so the key set depends only on
+     * which instruments were registered, never on the recorded values.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mutex_;
+    // node-based maps: values never move after insertion.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Records elapsed wall-clock nanoseconds into a Histogram (and
+ * optionally a Counter total) on destruction. Null sinks make it a
+ * no-op, so call sites need no branches of their own.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram *hist, Counter *total_ns = nullptr)
+        : hist_(hist), total_ns_(total_ns)
+    {
+        if (hist_ || total_ns_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (!hist_ && !total_ns_)
+            return;
+        auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+        std::uint64_t elapsed =
+            ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+        if (hist_)
+            hist_->record(elapsed);
+        if (total_ns_)
+            total_ns_->add(elapsed);
+    }
+
+  private:
+    Histogram *hist_;
+    Counter *total_ns_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace cbs::obs
+
+#endif // CBS_OBS_METRICS_H

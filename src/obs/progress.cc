@@ -1,0 +1,144 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/format.h"
+
+namespace cbs::obs {
+namespace {
+
+/** "1.3 Mreq/s"-style rate; value is per second. */
+std::string
+formatRate(double per_second, const char *unit)
+{
+    char buf[64];
+    if (per_second >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f M%s/s", per_second / 1e6,
+                      unit);
+    else if (per_second >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1f k%s/s", per_second / 1e3,
+                      unit);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f %s/s", per_second, unit);
+    return buf;
+}
+
+} // namespace
+
+ProgressReporter::ProgressReporter(const MetricsRegistry &registry,
+                                   std::ostream &out,
+                                   ProgressOptions options)
+    : registry_(registry), out_(out), options_(std::move(options))
+{
+}
+
+ProgressReporter::~ProgressReporter()
+{
+    stop();
+}
+
+void
+ProgressReporter::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (thread_.joinable())
+        return;
+    stopping_ = false;
+    last_tick_ = std::chrono::steady_clock::now();
+    last_records_ = 0;
+    last_bytes_ = 0;
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+ProgressReporter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!thread_.joinable())
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    if (options_.final_report)
+        report();
+}
+
+void
+ProgressReporter::run()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (cv_.wait_for(lock, options_.interval,
+                         [this] { return stopping_; }))
+            return; // final line printed by stop() after the join
+        lock.unlock();
+        report();
+        lock.lock();
+    }
+}
+
+void
+ProgressReporter::report()
+{
+    auto now = std::chrono::steady_clock::now();
+    double dt = std::chrono::duration<double>(now - last_tick_).count();
+    if (dt <= 0)
+        dt = 1e-9;
+
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    if (const Counter *c = registry_.findCounter(options_.records_counter))
+        records = c->value();
+    if (const Counter *c = registry_.findCounter(options_.bytes_counter))
+        bytes = c->value();
+
+    double record_rate =
+        static_cast<double>(records - last_records_) / dt;
+    double byte_rate = static_cast<double>(bytes - last_bytes_) / dt;
+    last_tick_ = now;
+    last_records_ = records;
+    last_bytes_ = bytes;
+
+    // Queue depths: gauges named <prefix><index><suffix>, shown in
+    // shard-index order.
+    std::vector<std::pair<unsigned long, std::int64_t>> depths;
+    for (const auto &[name, value] : registry_.gaugeValues()) {
+        const std::string &prefix = options_.depth_prefix;
+        const std::string &suffix = options_.depth_suffix;
+        if (name.size() <= prefix.size() + suffix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        std::string index = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        if (index.empty() ||
+            index.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        depths.emplace_back(std::stoul(index), value);
+    }
+    std::sort(depths.begin(), depths.end());
+
+    std::string line = "[cbs] " + formatCount(records) + " req (" +
+                       formatRate(record_rate, "req") + ")  " +
+                       formatBytes(bytes) + " (" +
+                       formatRate(byte_rate, "B") + ")";
+    if (!depths.empty()) {
+        line += "  queues: ";
+        for (std::size_t i = 0; i < depths.size(); ++i) {
+            if (i)
+                line += ',';
+            line += std::to_string(depths[i].second);
+        }
+    }
+    line += '\n';
+    // One write: keeps lines whole even when the pipeline also prints.
+    out_ << line << std::flush;
+}
+
+} // namespace cbs::obs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ProgressReporter: periodic one-line pipeline progress on a stream.
+ *
+ * Watches a MetricsRegistry from a background thread and prints, every
+ * interval, the cumulative record/byte totals with their rates over
+ * the last interval, plus the per-shard queue depths when the parallel
+ * pipeline is running:
+ *
+ *   [cbs] 12,400,000 req (1.3 Mreq/s)  48.4 GiB (410 MiB/s)  queues: 6,2,7,0
+ *
+ * The reporter only reads the registry (snapshot under the registry
+ * mutex), so it composes with any number of producer threads and costs
+ * the pipeline nothing between ticks. Intended for stderr — the
+ * analysis results go to stdout — but takes any ostream for tests.
+ */
+
+#ifndef CBS_OBS_PROGRESS_H
+#define CBS_OBS_PROGRESS_H
+
+#include <chrono>
+#include <condition_variable>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace cbs::obs {
+
+/** Configuration of a ProgressReporter. */
+struct ProgressOptions
+{
+    /** Tick period. */
+    std::chrono::milliseconds interval{2000};
+
+    /** Counter names to report as totals + rates. */
+    std::string records_counter = "ingest.records";
+    std::string bytes_counter = "ingest.bytes";
+
+    /** Gauges named <prefix><i><suffix> are shown as queue depths. */
+    std::string depth_prefix = "parallel.shard.";
+    std::string depth_suffix = ".queue_depth";
+
+    /** Print one final line from stop() even between ticks. */
+    bool final_report = true;
+};
+
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(const MetricsRegistry &registry,
+                              std::ostream &out = std::cerr,
+                              ProgressOptions options = ProgressOptions{});
+
+    /** stop()s if still running. */
+    ~ProgressReporter();
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+    /** Launch the reporting thread (idempotent). */
+    void start();
+
+    /** Stop and join the reporting thread (idempotent). */
+    void stop();
+
+  private:
+    void run();
+    void report();
+
+    const MetricsRegistry &registry_;
+    std::ostream &out_;
+    ProgressOptions options_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+
+    // Last-tick state for rate computation (reporter thread only).
+    std::chrono::steady_clock::time_point last_tick_;
+    std::uint64_t last_records_ = 0;
+    std::uint64_t last_bytes_ = 0;
+};
+
+} // namespace cbs::obs
+
+#endif // CBS_OBS_PROGRESS_H

@@ -115,8 +115,8 @@ VolumeWorkload::next(IoRequest &req)
 }
 
 std::size_t
-VolumeWorkload::nextBatch(std::vector<IoRequest> &out,
-                          std::size_t max_requests)
+VolumeWorkload::nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests)
 {
     out.clear();
     IoRequest req;

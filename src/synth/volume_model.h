@@ -75,11 +75,13 @@ class VolumeWorkload : public TraceSource
     explicit VolumeWorkload(VolumeProfile profile);
 
     bool next(IoRequest &req) override;
-    std::size_t nextBatch(std::vector<IoRequest> &out,
-                          std::size_t max_requests) override;
     void reset() override;
 
     const VolumeProfile &profile() const { return profile_; }
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
 
   private:
     struct SeqRun

@@ -155,7 +155,7 @@ BinTraceReader::next(IoRequest &req)
 }
 
 std::size_t
-BinTraceReader::nextBatch(std::vector<IoRequest> &out,
+BinTraceReader::nextBatchImpl(std::vector<IoRequest> &out,
                           std::size_t max_requests)
 {
     out.clear();

@@ -49,8 +49,6 @@ class BinTraceReader : public TraceSource
     explicit BinTraceReader(std::istream &in);
 
     bool next(IoRequest &req) override;
-    std::size_t nextBatch(std::vector<IoRequest> &out,
-                          std::size_t max_requests) override;
     void reset() override;
 
     /** Record count declared in the header. */
@@ -58,6 +56,10 @@ class BinTraceReader : public TraceSource
 
     /** Remaining records (declared minus already read). */
     std::uint64_t sizeHint() const override { return declared_ - read_; }
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
 
   private:
     void readHeader();

@@ -93,6 +93,11 @@ AliCloudCsvReader::parseNext(IoRequest &req)
     req.offset = parseNumber<ByteOffset>(fields[2], line_, "offset");
     req.length = parseNumber<std::uint32_t>(fields[3], line_, "length");
     req.timestamp = parseNumber<TimeUs>(fields[4], line_, "timestamp");
+    CBS_EXPECT(req.timestamp >= last_timestamp_,
+               "timestamp goes backwards at line "
+                   << line_ << ": " << req.timestamp << " after "
+                   << last_timestamp_);
+    last_timestamp_ = req.timestamp;
     ++records_;
     return true;
 }
@@ -104,8 +109,8 @@ AliCloudCsvReader::next(IoRequest &req)
 }
 
 std::size_t
-AliCloudCsvReader::nextBatch(std::vector<IoRequest> &out,
-                             std::size_t max_requests)
+AliCloudCsvReader::nextBatchImpl(std::vector<IoRequest> &out,
+                                 std::size_t max_requests)
 {
     return fillBatch(out, max_requests,
                      [this](IoRequest &req) { return parseNext(req); });
@@ -118,6 +123,7 @@ AliCloudCsvReader::reset()
     in_.seekg(0);
     records_ = 0;
     line_ = 0;
+    last_timestamp_ = 0;
 }
 
 MsrcCsvReader::MsrcCsvReader(std::istream &in) : in_(in) {}
@@ -142,6 +148,11 @@ MsrcCsvReader::parseNext(IoRequest &req)
     // convert to microseconds. Records are expected in timestamp order.
     std::uint64_t rel = ticks >= epoch_ticks_ ? ticks - epoch_ticks_ : 0;
     req.timestamp = rel / 10;
+    CBS_EXPECT(req.timestamp >= last_timestamp_,
+               "timestamp goes backwards at line "
+                   << line_ << ": " << req.timestamp << "us after "
+                   << last_timestamp_ << "us");
+    last_timestamp_ = req.timestamp;
 
     key_.assign(fields[1]);
     key_.push_back('.');
@@ -168,8 +179,8 @@ MsrcCsvReader::next(IoRequest &req)
 }
 
 std::size_t
-MsrcCsvReader::nextBatch(std::vector<IoRequest> &out,
-                         std::size_t max_requests)
+MsrcCsvReader::nextBatchImpl(std::vector<IoRequest> &out,
+                             std::size_t max_requests)
 {
     return fillBatch(out, max_requests,
                      [this](IoRequest &req) { return parseNext(req); });
@@ -182,6 +193,7 @@ MsrcCsvReader::reset()
     in_.seekg(0);
     records_ = 0;
     line_ = 0;
+    last_timestamp_ = 0;
     have_epoch_ = false;
     epoch_ticks_ = 0;
     volume_ids_.clear();

@@ -12,6 +12,11 @@
  * with Timestamp in Windows filetime (100 ns ticks), Type
  * "Read"/"Write", Offset and Size in bytes. Hostname+DiskNumber pairs
  * are mapped to dense VolumeIds in first-seen order.
+ *
+ * Both readers validate each record as it is parsed — field count,
+ * numeric fields, opcode, and non-decreasing timestamps — and throw
+ * FatalError naming the offending line number, so malformed input
+ * never reaches the analyzers as a partially-parsed record.
  */
 
 #ifndef CBS_TRACE_CSV_H
@@ -40,12 +45,14 @@ class AliCloudCsvReader : public TraceSource
     explicit AliCloudCsvReader(std::istream &in);
 
     bool next(IoRequest &req) override;
-    std::size_t nextBatch(std::vector<IoRequest> &out,
-                          std::size_t max_requests) override;
     void reset() override;
 
     /** Number of records returned so far. */
     std::uint64_t recordCount() const { return records_; }
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
 
   private:
     bool parseNext(IoRequest &req);
@@ -53,6 +60,7 @@ class AliCloudCsvReader : public TraceSource
     std::istream &in_;
     std::uint64_t records_ = 0;
     std::uint64_t line_ = 0;
+    TimeUs last_timestamp_ = 0; //!< enforces non-decreasing order
     std::string buf_; //!< reused line buffer (no per-record allocation)
 };
 
@@ -63,8 +71,6 @@ class MsrcCsvReader : public TraceSource
     explicit MsrcCsvReader(std::istream &in);
 
     bool next(IoRequest &req) override;
-    std::size_t nextBatch(std::vector<IoRequest> &out,
-                          std::size_t max_requests) override;
     void reset() override;
 
     std::uint64_t recordCount() const { return records_; }
@@ -75,12 +81,17 @@ class MsrcCsvReader : public TraceSource
         return volume_ids_;
     }
 
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
+
   private:
     bool parseNext(IoRequest &req);
 
     std::istream &in_;
     std::uint64_t records_ = 0;
     std::uint64_t line_ = 0;
+    TimeUs last_timestamp_ = 0; //!< enforces non-decreasing order
     bool have_epoch_ = false;
     std::uint64_t epoch_ticks_ = 0;
     std::map<std::string, VolumeId> volume_ids_;

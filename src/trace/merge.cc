@@ -44,8 +44,8 @@ MergeSource::next(IoRequest &req)
 }
 
 std::size_t
-MergeSource::nextBatch(std::vector<IoRequest> &out,
-                       std::size_t max_requests)
+MergeSource::nextBatchImpl(std::vector<IoRequest> &out,
+                           std::size_t max_requests)
 {
     // One virtual nextBatch call amortizes the whole heap-pop loop;
     // the child refills still go through next() because only one

@@ -26,14 +26,16 @@ class MergeSource : public TraceSource
     explicit MergeSource(std::vector<std::unique_ptr<TraceSource>> children);
 
     bool next(IoRequest &req) override;
-    std::size_t nextBatch(std::vector<IoRequest> &out,
-                          std::size_t max_requests) override;
     void reset() override;
 
     std::size_t childCount() const { return children_.size(); }
 
     /** Sum of the children's hints (0 when any child is unsized). */
     std::uint64_t sizeHint() const override;
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
 
   private:
     struct Head

@@ -6,6 +6,12 @@
  * timestamp-ordered batches via nextBatch() — the batched form is what
  * the pipelines use, because one virtual call per request is measurable
  * overhead at production scale (billions of requests per trace).
+ *
+ * nextBatch() is a non-virtual front door over the virtual
+ * nextBatchImpl() hook, so every source — file readers, generators,
+ * merges — shares one ingest-accounting point: attachMetrics() wires
+ * record/byte/batch counters from an obs::MetricsRegistry, and the
+ * unattached cost is a single pointer check per batch.
  */
 
 #ifndef CBS_TRACE_TRACE_SOURCE_H
@@ -14,9 +20,12 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "trace/request.h"
 
 namespace cbs {
@@ -37,21 +46,19 @@ class TraceSource
     /**
      * Produce up to @p max_requests requests in timestamp order.
      *
-     * Clears @p out and refills it; the base implementation loops
-     * next(), concrete sources override it to amortize per-record
-     * virtual-call and parsing overhead.
+     * Clears @p out and refills it via nextBatchImpl(); when metrics
+     * are attached, accounts the batch before returning.
      *
      * @return the number of requests produced (out.size()); 0 means
      *         the stream is exhausted.
      */
-    virtual std::size_t
+    std::size_t
     nextBatch(std::vector<IoRequest> &out, std::size_t max_requests)
     {
-        out.clear();
-        IoRequest req;
-        while (out.size() < max_requests && next(req))
-            out.push_back(req);
-        return out.size();
+        std::size_t n = nextBatchImpl(out, max_requests);
+        if (ingest_ && n)
+            ingest_->note(out);
+        return n;
     }
 
     /** Restart the stream from the beginning. */
@@ -64,6 +71,70 @@ class TraceSource
      * traces with a header) override it.
      */
     virtual std::uint64_t sizeHint() const { return 0; }
+
+    /**
+     * Count every record/byte/batch served through nextBatch() into
+     * @p registry, under `<prefix>.records`, `<prefix>.bytes`,
+     * `<prefix>.batches` counters and a `<prefix>.batch_records` size
+     * histogram. The registry must outlive the source (or a later
+     * detachMetrics() call). Counters are cumulative across reset().
+     * next() is not accounted — the pipelines ingest in batches.
+     */
+    void
+    attachMetrics(obs::MetricsRegistry &registry,
+                  const std::string &prefix = "ingest")
+    {
+        auto ingest = std::make_unique<IngestMetrics>();
+        ingest->records = &registry.counter(prefix + ".records");
+        ingest->bytes = &registry.counter(prefix + ".bytes");
+        ingest->batches = &registry.counter(prefix + ".batches");
+        ingest->batch_records =
+            &registry.histogram(prefix + ".batch_records");
+        ingest_ = std::move(ingest);
+    }
+
+    /** Stop accounting (safe when nothing is attached). */
+    void detachMetrics() { ingest_.reset(); }
+
+  protected:
+    /**
+     * The batch-production hook nextBatch() delegates to. Clears
+     * @p out and refills it; the base implementation loops next(),
+     * concrete sources override it to amortize per-record virtual-call
+     * and parsing overhead.
+     */
+    virtual std::size_t
+    nextBatchImpl(std::vector<IoRequest> &out, std::size_t max_requests)
+    {
+        out.clear();
+        IoRequest req;
+        while (out.size() < max_requests && next(req))
+            out.push_back(req);
+        return out.size();
+    }
+
+  private:
+    struct IngestMetrics
+    {
+        obs::Counter *records = nullptr;
+        obs::Counter *bytes = nullptr;
+        obs::Counter *batches = nullptr;
+        obs::Histogram *batch_records = nullptr;
+
+        void
+        note(const std::vector<IoRequest> &batch) const
+        {
+            std::uint64_t byte_total = 0;
+            for (const IoRequest &req : batch)
+                byte_total += req.length;
+            records->add(batch.size());
+            bytes->add(byte_total);
+            batches->increment();
+            batch_records->record(batch.size());
+        }
+    };
+
+    std::unique_ptr<IngestMetrics> ingest_;
 };
 
 /** TraceSource over an in-memory vector of requests. */
@@ -85,17 +156,6 @@ class VectorSource : public TraceSource
         return true;
     }
 
-    std::size_t
-    nextBatch(std::vector<IoRequest> &out, std::size_t max_requests) override
-    {
-        std::size_t n =
-            std::min(max_requests, requests_.size() - pos_);
-        out.assign(requests_.begin() + pos_,
-                   requests_.begin() + pos_ + n);
-        pos_ += n;
-        return n;
-    }
-
     void reset() override { pos_ = 0; }
 
     std::uint64_t
@@ -105,6 +165,19 @@ class VectorSource : public TraceSource
     }
 
     const std::vector<IoRequest> &requests() const { return requests_; }
+
+  protected:
+    std::size_t
+    nextBatchImpl(std::vector<IoRequest> &out,
+                  std::size_t max_requests) override
+    {
+        std::size_t n =
+            std::min(max_requests, requests_.size() - pos_);
+        out.assign(requests_.begin() + pos_,
+                   requests_.begin() + pos_ + n);
+        pos_ += n;
+        return n;
+    }
 
   private:
     std::vector<IoRequest> requests_;

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Concurrency stress tests for runPipelineParallel: randomized batch
+ * sizes, shard counts from 1 to 16, minimum-capacity queues (constant
+ * backpressure), analyzers that throw mid-run, and repeated runs that
+ * must always join every worker thread. The suite name matches the
+ * sanitizer CI job's test filter so these run under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/basic_stats.h"
+#include "analysis/parallel_pipeline.h"
+#include "analysis/size_stats.h"
+#include "analysis/volume_activity.h"
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "synth/models.h"
+
+namespace cbs {
+namespace {
+
+/** Deterministic many-volume trace; volumes spread across shards. */
+const std::vector<IoRequest> &
+stressTrace()
+{
+    static const std::vector<IoRequest> requests = [] {
+        auto source =
+            makeTrace(aliCloudSpanSpec(SpanScale{24, 12000}), 3);
+        return drain(*source);
+    }();
+    return requests;
+}
+
+/** Throws on the Nth consumed request of any one replica. */
+class ThrowsMidRun : public ShardableAnalyzer
+{
+  public:
+    explicit ThrowsMidRun(std::uint64_t after) : after_(after) {}
+
+    void
+    consume(const IoRequest &) override
+    {
+        if (++consumed_ > after_)
+            CBS_FATAL("stress failure after " << after_ << " requests");
+    }
+    std::string name() const override { return "throws_mid_run"; }
+    std::unique_ptr<ShardableAnalyzer>
+    clone() const override
+    {
+        return std::make_unique<ThrowsMidRun>(after_);
+    }
+    void mergeFrom(const ShardableAnalyzer &) override {}
+
+  private:
+    std::uint64_t after_;
+    std::uint64_t consumed_ = 0;
+};
+
+/**
+ * One stress iteration: random batch size, tiny queue, optional
+ * metrics; asserts the run is complete and correct.
+ */
+void
+stressRun(std::size_t shards, std::size_t batch_size,
+          std::size_t queue_batches, bool with_metrics)
+{
+    const std::vector<IoRequest> &requests = stressTrace();
+    VectorSource source(requests);
+    obs::MetricsRegistry registry;
+    if (with_metrics)
+        source.attachMetrics(registry);
+
+    BasicStatsAnalyzer basic;
+    SizeAnalyzer sizes;
+    ActiveDaysAnalyzer days; // exercises the in-order lane too
+    ParallelOptions options;
+    options.shards = shards;
+    options.batch_size = batch_size;
+    options.queue_batches = queue_batches;
+    if (with_metrics)
+        options.metrics = &registry;
+    runPipelineParallel(source, {&basic, &sizes, &days}, options);
+
+    ASSERT_EQ(basic.stats().requests(), requests.size());
+    if (with_metrics && shards > 1) {
+        std::uint64_t shard_sum = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const obs::Counter *c = registry.findCounter(
+                "parallel.shard." + std::to_string(s) + ".records");
+            ASSERT_NE(c, nullptr);
+            shard_sum += c->value();
+        }
+        EXPECT_EQ(shard_sum, requests.size());
+    }
+}
+
+TEST(ParallelPipelineStress, RandomizedBatchAndQueueSizes)
+{
+    std::mt19937 rng(2026);
+    for (int iteration = 0; iteration < 6; ++iteration) {
+        std::size_t shards = std::vector<std::size_t>{
+            1, 2, 8, 16}[rng() % 4];
+        std::size_t batch_size = 1 + rng() % 700;
+        std::size_t queue_batches = 1 + rng() % 3;
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " batch=" + std::to_string(batch_size) +
+                     " queue=" + std::to_string(queue_batches));
+        stressRun(shards, batch_size, queue_batches,
+                  /*with_metrics=*/iteration % 2 == 0);
+    }
+}
+
+TEST(ParallelPipelineStress, MinimumQueueCapacityEveryShardCount)
+{
+    for (std::size_t shards : {1, 2, 8, 16}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        // queue_batches=1 rounds to the smallest ring; the producer
+        // stalls on nearly every push.
+        stressRun(shards, 64, 1, /*with_metrics=*/true);
+    }
+}
+
+TEST(ParallelPipelineStress, BatchSizeOneIsCorrect)
+{
+    stressRun(8, 1, 1, /*with_metrics=*/false);
+}
+
+TEST(ParallelPipelineStress, ThrowMidRunJoinsCleanlyEveryShardCount)
+{
+    const std::vector<IoRequest> &requests = stressTrace();
+    for (std::size_t shards : {2, 8, 16}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        VectorSource source(requests);
+        // Throw deep into the run so every lane is mid-flight, with
+        // queued batches behind the failure.
+        ThrowsMidRun exploding(requests.size() / (shards * 4));
+        BasicStatsAnalyzer basic;
+        ParallelOptions options;
+        options.shards = shards;
+        options.batch_size = 128;
+        options.queue_batches = 1;
+        EXPECT_THROW(runPipelineParallel(
+                         source, {&exploding, &basic}, options),
+                     FatalError);
+        // If any worker were still alive, TSan (and eventually the
+        // test runner) would flag it; reaching here means all joined.
+    }
+}
+
+TEST(ParallelPipelineStress, ThrowMidRunWithMetricsJoinsCleanly)
+{
+    const std::vector<IoRequest> &requests = stressTrace();
+    VectorSource source(requests);
+    obs::MetricsRegistry registry;
+    source.attachMetrics(registry);
+    ThrowsMidRun exploding(requests.size() / 8);
+    ParallelOptions options;
+    options.shards = 4;
+    options.batch_size = 64;
+    options.queue_batches = 1;
+    options.metrics = &registry;
+    EXPECT_THROW(runPipelineParallel(source, {&exploding}, options),
+                 FatalError);
+    // Queue-depth gauges are zeroed on teardown even on the error path.
+    for (int s = 0; s < 4; ++s) {
+        const obs::Gauge *depth = registry.findGauge(
+            "parallel.shard." + std::to_string(s) + ".queue_depth");
+        if (depth)
+            EXPECT_EQ(depth->value(), 0);
+    }
+}
+
+TEST(ParallelPipelineStress, RepeatedRunsReuseAnalyzersSafely)
+{
+    // Back-to-back runs on fresh analyzer sets: stale threads or
+    // queues from a previous run would corrupt the next one.
+    for (int round = 0; round < 3; ++round) {
+        SCOPED_TRACE("round=" + std::to_string(round));
+        stressRun(8, 256, 2, /*with_metrics=*/true);
+    }
+}
+
+} // namespace
+} // namespace cbs

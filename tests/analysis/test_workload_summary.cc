@@ -83,5 +83,72 @@ TEST(WorkloadSummary, SyntheticPopulationEndToEnd)
     EXPECT_GT(os.str().size(), 400u);
 }
 
+/** Render a finished summary's JSON. */
+std::string
+summaryJson(const WorkloadSummary &summary)
+{
+    std::ostringstream os;
+    summary.writeJson(os);
+    return os.str();
+}
+
+TEST(WorkloadSummary, JsonHasSchemaAndSections)
+{
+    WorkloadSummaryOptions options;
+    options.duration = units::hour;
+    WorkloadSummary summary(options);
+    VectorSource source({write(0, 0), read(5, 0), write(10, 4096)});
+    summary.run(source);
+
+    const std::string json = summaryJson(summary);
+    EXPECT_NE(json.find("\"schema\": \"cbs.summary.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"overview\""), std::string::npos);
+    EXPECT_NE(json.find("\"requests\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"distributions\""), std::string::npos);
+    EXPECT_NE(json.find("\"temporal_pairs\""), std::string::npos);
+    // Empty distributions render as null, not garbage numbers.
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+/**
+ * Golden determinism: the JSON characterization must be byte-identical
+ * between a serial run, a repeated serial run, and sharded parallel
+ * runs at several widths — the contract the CLI's --summary-json
+ * golden test builds on.
+ */
+TEST(WorkloadSummary, JsonByteIdenticalAcrossSerialAndParallelRuns)
+{
+    PopulationSpec spec = aliCloudSpanSpec(SpanScale{10, 8000});
+    const std::vector<IoRequest> requests = [&] {
+        auto source = makeTrace(spec, 5);
+        return drain(*source);
+    }();
+
+    WorkloadSummaryOptions options;
+    options.duration = spec.duration;
+
+    auto runSerial = [&] {
+        WorkloadSummary summary(options);
+        VectorSource source(requests);
+        summary.run(source);
+        return summaryJson(summary);
+    };
+    const std::string golden = runSerial();
+    EXPECT_EQ(golden, runSerial()) << "serial run not reproducible";
+
+    for (std::size_t shards : {2, 8}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        WorkloadSummary summary(options);
+        VectorSource source(requests);
+        ParallelOptions parallel;
+        parallel.shards = shards;
+        parallel.batch_size = 512;
+        summary.run(source, parallel);
+        EXPECT_EQ(summaryJson(summary), golden);
+    }
+}
+
 } // namespace
 } // namespace cbs

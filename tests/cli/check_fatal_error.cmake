@@ -1,0 +1,54 @@
+# Top-level FatalError handling check for cbs_tool.
+#
+# A malformed trace must produce exit code 1 and a single one-line
+# "error: ..." diagnostic naming the offending CSV line — never an
+# uncaught-exception abort. Invoked via: cmake -DCBS_TOOL=...
+# -DWORK_DIR=... -P this script.
+
+foreach(var CBS_TOOL WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(bad_trace "${WORK_DIR}/malformed.csv")
+file(WRITE "${bad_trace}" "1,R,0,512,100\n1,R,zero,512,200\n")
+
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${bad_trace}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+            "expected exit code 1 for a malformed trace, got ${rc} "
+            "(stderr: ${stderr})")
+endif()
+if(NOT stderr MATCHES "error: ")
+    message(FATAL_ERROR "stderr lacks the 'error: ' prefix: ${stderr}")
+endif()
+if(NOT stderr MATCHES "line 2")
+    message(FATAL_ERROR
+            "diagnostic does not name the failing line: ${stderr}")
+endif()
+string(STRIP "${stderr}" stripped)
+if(stripped MATCHES "\n")
+    message(FATAL_ERROR "diagnostic is not a single line: ${stderr}")
+endif()
+
+# A missing file is a user error too: exit 1 with a diagnostic.
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${WORK_DIR}/does_not_exist.csv"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+            "expected exit code 1 for a missing trace, got ${rc}")
+endif()
+if(NOT stderr MATCHES "cannot open")
+    message(FATAL_ERROR "missing-file diagnostic absent: ${stderr}")
+endif()
+
+message(STATUS "cbs_tool reports user errors with exit 1 + one line")

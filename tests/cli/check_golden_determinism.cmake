@@ -1,0 +1,56 @@
+# Golden determinism check for `cbs_tool analyze --summary-json`.
+#
+# The characterization JSON must be byte-identical across repeated runs
+# and across --threads 1/2/8 on the same trace: the parallel pipeline's
+# merge path and the shortest-round-trip double formatting guarantee
+# it. Invoked via: cmake -DCBS_TOOL=... -DTRACE=... -DWORK_DIR=... -P
+# this script.
+
+foreach(var CBS_TOOL TRACE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_analyze threads out_json)
+    execute_process(
+        COMMAND "${CBS_TOOL}" analyze "${TRACE}" --interval 720
+                --threads ${threads} --summary-json "${out_json}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "analyze --threads ${threads} exited ${rc}: ${stderr}")
+    endif()
+    if(NOT EXISTS "${out_json}")
+        message(FATAL_ERROR "no summary written for --threads ${threads}")
+    endif()
+endfunction()
+
+run_analyze(1 "${WORK_DIR}/summary_t1.json")
+run_analyze(1 "${WORK_DIR}/summary_t1_repeat.json")
+run_analyze(2 "${WORK_DIR}/summary_t2.json")
+run_analyze(8 "${WORK_DIR}/summary_t8.json")
+
+foreach(other t1_repeat t2 t8)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/summary_t1.json"
+                "${WORK_DIR}/summary_${other}.json"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+                "summary_${other}.json differs from the --threads 1 run; "
+                "the characterization is not deterministic")
+    endif()
+endforeach()
+
+# Sanity: the golden file is the documented schema.
+file(READ "${WORK_DIR}/summary_t1.json" summary)
+if(NOT summary MATCHES "\"schema\": \"cbs\\.summary\\.v1\"")
+    message(FATAL_ERROR "summary JSON lacks the cbs.summary.v1 schema tag")
+endif()
+
+message(STATUS "summary JSON byte-identical across threads 1/2/8")

@@ -1,0 +1,75 @@
+# Schema-stability check for `cbs_tool analyze --metrics-json`.
+#
+# Metric *values* (timings, stall counts) vary run to run, but the key
+# set must not: two identical invocations dump the same keys, and the
+# documented required keys are present for both the serial and the
+# parallel pipeline. Invoked via: cmake -DCBS_TOOL=... -DTRACE=...
+# -DWORK_DIR=... -P this script.
+
+foreach(var CBS_TOOL TRACE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_analyze threads out_json)
+    execute_process(
+        COMMAND "${CBS_TOOL}" analyze "${TRACE}" --interval 720
+                --threads ${threads} --metrics-json "${out_json}"
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "analyze --threads ${threads} exited ${rc}: ${stderr}")
+    endif()
+endfunction()
+
+# The sorted key list of a metrics dump (names only, values stripped).
+function(key_set json_path out_var)
+    file(READ "${json_path}" json)
+    string(REGEX MATCHALL "\"[^\"]+\":" keys "${json}")
+    list(SORT keys)
+    set(${out_var} "${keys}" PARENT_SCOPE)
+endfunction()
+
+function(require_keys json_path)
+    file(READ "${json_path}" json)
+    foreach(key ${ARGN})
+        if(NOT json MATCHES "\"${key}\"")
+            message(FATAL_ERROR "${json_path} lacks required key ${key}")
+        endif()
+    endforeach()
+endfunction()
+
+# Serial: repeated runs agree on keys; ingest + per-analyzer keys exist.
+run_analyze(1 "${WORK_DIR}/metrics_serial_a.json")
+run_analyze(1 "${WORK_DIR}/metrics_serial_b.json")
+key_set("${WORK_DIR}/metrics_serial_a.json" keys_a)
+key_set("${WORK_DIR}/metrics_serial_b.json" keys_b)
+if(NOT keys_a STREQUAL keys_b)
+    message(FATAL_ERROR
+            "serial metrics key set changed between identical runs")
+endif()
+require_keys("${WORK_DIR}/metrics_serial_a.json"
+    "schema" "ingest.records" "ingest.bytes" "ingest.batches"
+    "ingest.batch_records" "analyzer.basic_stats.batch_ns"
+    "analyzer.basic_stats.finalize_ns")
+
+# Parallel: same stability, plus the per-shard and queue-stat keys.
+run_analyze(4 "${WORK_DIR}/metrics_par_a.json")
+run_analyze(4 "${WORK_DIR}/metrics_par_b.json")
+key_set("${WORK_DIR}/metrics_par_a.json" par_a)
+key_set("${WORK_DIR}/metrics_par_b.json" par_b)
+if(NOT par_a STREQUAL par_b)
+    message(FATAL_ERROR
+            "parallel metrics key set changed between identical runs")
+endif()
+require_keys("${WORK_DIR}/metrics_par_a.json"
+    "schema" "ingest.records" "parallel.shards" "parallel.runs"
+    "parallel.ingest_ns" "parallel.merge_ns"
+    "parallel.shard.0.records" "parallel.shard.0.queue_full_waits"
+    "parallel.shard.0.idle_ns" "parallel.shard.0.queue_depth"
+    "parallel.shard.3.records" "parallel.inorder.records")
+
+message(STATUS "metrics JSON key set stable; required keys present")

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -76,6 +77,79 @@ TEST(SpscQueue, MovesLargeItemsWithoutCopying)
     ASSERT_TRUE(queue.pop(out));
     EXPECT_EQ(out.size(), 1000u);
     EXPECT_EQ(out.data(), data); // buffer moved through, not copied
+}
+
+TEST(SpscQueue, FullWaitsCountsProducerStalls)
+{
+    SpscQueue<int> queue(2);
+    EXPECT_EQ(queue.fullWaits(), 0u);
+    queue.push(1);
+    queue.push(2);
+    EXPECT_EQ(queue.fullWaits(), 0u); // fits: no stall yet
+
+    // The queue stays full until we pop, so the next push must stall;
+    // wait for the stall to be counted before making room.
+    std::thread producer([&] { queue.push(3); });
+    while (queue.fullWaits() == 0)
+        std::this_thread::yield();
+    int v = 0;
+    ASSERT_TRUE(queue.pop(v));
+    producer.join();
+    EXPECT_GE(queue.fullWaits(), 1u);
+}
+
+TEST(SpscQueue, SizeTracksOccupancy)
+{
+    SpscQueue<int> queue(4);
+    EXPECT_EQ(queue.size(), 0u);
+    queue.push(1);
+    queue.push(2);
+    EXPECT_EQ(queue.size(), 2u);
+    int v = 0;
+    ASSERT_TRUE(queue.pop(v));
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+/**
+ * Randomized stress: tiny capacity, bursty producer and consumer with
+ * irregular pacing, values checked for exact in-order delivery. Run
+ * under TSan in CI (suite name matches the sanitizer job's filter).
+ */
+TEST(SpscQueue, StressRandomizedBurstsStayInOrder)
+{
+    for (std::size_t capacity : {1u, 2u, 7u}) {
+        constexpr std::uint64_t kItems = 50000;
+        SpscQueue<std::uint64_t> queue(capacity);
+        std::vector<std::uint64_t> received;
+        received.reserve(kItems);
+
+        std::thread consumer([&] {
+            std::mt19937 rng(99);
+            std::uint64_t v;
+            while (queue.pop(v)) {
+                received.push_back(v);
+                if (rng() % 64 == 0)
+                    std::this_thread::yield();
+            }
+        });
+
+        std::mt19937 rng(42);
+        std::uint64_t sent = 0;
+        while (sent < kItems) {
+            std::uint64_t burst = 1 + rng() % 32;
+            for (std::uint64_t i = 0; i < burst && sent < kItems; ++i)
+                queue.push(sent++);
+            if (rng() % 16 == 0)
+                std::this_thread::yield();
+        }
+        queue.close();
+        consumer.join();
+
+        ASSERT_EQ(received.size(), kItems);
+        for (std::uint64_t i = 0; i < kItems; ++i)
+            ASSERT_EQ(received[i], i);
+        EXPECT_EQ(queue.size(), 0u);
+    }
 }
 
 } // namespace

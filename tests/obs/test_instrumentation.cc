@@ -1,0 +1,245 @@
+/**
+ * @file
+ * End-to-end instrumentation tests: a registry attached to a trace
+ * source and pipeline must account for every record exactly, in both
+ * the serial and the sharded parallel pipelines (the ISSUE acceptance
+ * criterion), and runs without a registry must behave identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/basic_stats.h"
+#include "analysis/parallel_pipeline.h"
+#include "analysis/size_stats.h"
+#include "analysis/volume_activity.h"
+#include "obs/metrics.h"
+#include "synth/models.h"
+
+namespace cbs {
+namespace {
+
+/** Deterministic multi-volume trace shared by the tests here. */
+const std::vector<IoRequest> &
+trace()
+{
+    static const std::vector<IoRequest> requests = [] {
+        auto source =
+            makeTrace(aliCloudSpanSpec(SpanScale{12, 6000}), 11);
+        return drain(*source);
+    }();
+    return requests;
+}
+
+std::uint64_t
+traceBytes()
+{
+    const auto &requests = trace();
+    return std::accumulate(requests.begin(), requests.end(),
+                           std::uint64_t{0},
+                           [](std::uint64_t acc, const IoRequest &req) {
+                               return acc + req.length;
+                           });
+}
+
+std::uint64_t
+counterOrZero(const obs::MetricsRegistry &registry,
+              const std::string &name)
+{
+    const obs::Counter *c = registry.findCounter(name);
+    return c ? c->value() : 0;
+}
+
+TEST(ObsInstrumentation, SourceAccountsRecordsBytesBatches)
+{
+    obs::MetricsRegistry registry;
+    VectorSource source(trace());
+    source.attachMetrics(registry);
+
+    std::vector<IoRequest> out;
+    std::uint64_t batches = 0;
+    while (source.nextBatch(out, 512))
+        ++batches;
+
+    EXPECT_EQ(counterOrZero(registry, "ingest.records"), trace().size());
+    EXPECT_EQ(counterOrZero(registry, "ingest.bytes"), traceBytes());
+    EXPECT_EQ(counterOrZero(registry, "ingest.batches"), batches);
+    const obs::Histogram *h =
+        registry.findHistogram("ingest.batch_records");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), batches);
+    EXPECT_EQ(h->sum(), trace().size());
+}
+
+TEST(ObsInstrumentation, DetachMetricsStopsAccounting)
+{
+    obs::MetricsRegistry registry;
+    VectorSource source(trace());
+    source.attachMetrics(registry);
+    source.detachMetrics();
+    std::vector<IoRequest> out;
+    while (source.nextBatch(out, 512)) {
+    }
+    EXPECT_EQ(counterOrZero(registry, "ingest.records"), 0u);
+}
+
+/**
+ * The acceptance criterion: after a serial instrumented run, the
+ * registry's ingest counters match what the analyzers observed —
+ * exactly, not approximately.
+ */
+TEST(ObsInstrumentation, SerialCountersMatchAnalyzerObservations)
+{
+    obs::MetricsRegistry registry;
+    VectorSource source(trace());
+    source.attachMetrics(registry);
+
+    BasicStatsAnalyzer basic;
+    SizeAnalyzer sizes;
+    runPipeline(source, {&basic, &sizes}, &registry);
+
+    EXPECT_EQ(counterOrZero(registry, "ingest.records"),
+              basic.stats().requests());
+    EXPECT_EQ(counterOrZero(registry, "ingest.bytes"),
+              basic.stats().read_bytes + basic.stats().write_bytes);
+
+    // Per-analyzer timings exist and cover every batch.
+    const obs::Histogram *batch_ns =
+        registry.findHistogram("analyzer.basic_stats.batch_ns");
+    ASSERT_NE(batch_ns, nullptr);
+    EXPECT_EQ(batch_ns->count(),
+              counterOrZero(registry, "ingest.batches"));
+    EXPECT_NE(registry.findCounter("analyzer.basic_stats.finalize_ns"),
+              nullptr);
+    EXPECT_NE(registry.findHistogram("analyzer.size_stats.batch_ns"),
+              nullptr);
+}
+
+/**
+ * Same criterion for the parallel pipeline: ingest total == analyzer
+ * total == sum of per-shard records == in-order lane records, and the
+ * per-shard queue stats are present.
+ */
+TEST(ObsInstrumentation, ParallelCountersMatchAnalyzerObservations)
+{
+    obs::MetricsRegistry registry;
+    VectorSource source(trace());
+    source.attachMetrics(registry);
+
+    BasicStatsAnalyzer basic;
+    ActiveDaysAnalyzer days; // not shardable: rides the in-order lane
+    ParallelOptions options;
+    options.shards = 4;
+    options.batch_size = 256;
+    options.queue_batches = 2;
+    options.metrics = &registry;
+    runPipelineParallel(source, {&basic, &days}, options);
+
+    const std::uint64_t ingested =
+        counterOrZero(registry, "ingest.records");
+    EXPECT_EQ(ingested, basic.stats().requests());
+    EXPECT_EQ(ingested, trace().size());
+
+    std::uint64_t shard_sum = 0;
+    for (int s = 0; s < 4; ++s) {
+        const std::string lane =
+            "parallel.shard." + std::to_string(s);
+        shard_sum += counterOrZero(registry, lane + ".records");
+        // Queue stats of every lane are present (possibly zero).
+        EXPECT_NE(registry.findCounter(lane + ".queue_full_waits"),
+                  nullptr);
+        EXPECT_NE(registry.findCounter(lane + ".idle_ns"), nullptr);
+        const obs::Gauge *depth =
+            registry.findGauge(lane + ".queue_depth");
+        ASSERT_NE(depth, nullptr);
+        EXPECT_EQ(depth->value(), 0); // zeroed once the lane drains
+    }
+    EXPECT_EQ(shard_sum, ingested);
+    EXPECT_EQ(counterOrZero(registry, "parallel.inorder.records"),
+              ingested);
+
+    const obs::Gauge *shards = registry.findGauge("parallel.shards");
+    ASSERT_NE(shards, nullptr);
+    EXPECT_EQ(shards->value(), 4);
+    EXPECT_EQ(counterOrZero(registry, "parallel.runs"), 1u);
+    EXPECT_NE(registry.findCounter("parallel.ingest_ns"), nullptr);
+    EXPECT_NE(registry.findCounter("parallel.merge_ns"), nullptr);
+}
+
+/** Tiny queues force backpressure; the stall counter must see it. */
+TEST(ObsInstrumentation, QueueFullWaitsObservedUnderBackpressure)
+{
+    obs::MetricsRegistry registry;
+    VectorSource source(trace());
+
+    /** Burns time per request so the producer outruns the consumers. */
+    class Slow : public ShardableAnalyzer
+    {
+      public:
+        void
+        consume(const IoRequest &) override
+        {
+            volatile int sink = 0;
+            for (int i = 0; i < 200; ++i)
+                sink += i;
+        }
+        std::string name() const override { return "slow"; }
+        std::unique_ptr<ShardableAnalyzer>
+        clone() const override
+        {
+            return std::make_unique<Slow>();
+        }
+        void mergeFrom(const ShardableAnalyzer &) override {}
+    };
+
+    Slow slow;
+    ParallelOptions options;
+    options.shards = 2;
+    options.batch_size = 64;
+    options.queue_batches = 1; // minimum capacity
+    options.metrics = &registry;
+    runPipelineParallel(source, {&slow}, options);
+
+    std::uint64_t waits =
+        counterOrZero(registry, "parallel.shard.0.queue_full_waits") +
+        counterOrZero(registry, "parallel.shard.1.queue_full_waits");
+    EXPECT_GT(waits, 0u);
+}
+
+/** Results must not depend on whether a registry is attached. */
+TEST(ObsInstrumentation, MetricsDoNotChangeResults)
+{
+    BasicStatsAnalyzer plain;
+    {
+        VectorSource source(trace());
+        runPipeline(source, {&plain});
+    }
+
+    obs::MetricsRegistry registry;
+    BasicStatsAnalyzer instrumented;
+    {
+        VectorSource source(trace());
+        source.attachMetrics(registry);
+        ParallelOptions options;
+        options.shards = 4;
+        options.batch_size = 512;
+        options.metrics = &registry;
+        runPipelineParallel(source, {&instrumented}, options);
+    }
+
+    EXPECT_EQ(plain.stats().requests(),
+              instrumented.stats().requests());
+    EXPECT_EQ(plain.stats().read_bytes,
+              instrumented.stats().read_bytes);
+    EXPECT_EQ(plain.stats().write_bytes,
+              instrumented.stats().write_bytes);
+    EXPECT_EQ(plain.stats().total_wss_bytes,
+              instrumented.stats().total_wss_bytes);
+}
+
+} // namespace
+} // namespace cbs

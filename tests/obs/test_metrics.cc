@@ -1,0 +1,243 @@
+/**
+ * @file
+ * cbs::obs instrument unit tests: counter/gauge/histogram semantics,
+ * registry interning and JSON schema, ScopedTimer, and the
+ * ProgressReporter's output loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+
+namespace cbs::obs {
+namespace {
+
+TEST(ObsMetrics, CounterAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsMetrics, GaugeSetsAndAdjusts)
+{
+    Gauge g;
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3);
+}
+
+TEST(ObsMetrics, HistogramBucketIndexIsLog2)
+{
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(1023), 10u);
+    EXPECT_EQ(Histogram::bucketIndex(1024), 11u);
+    EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t{0}), 64u);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundsMatchIndex)
+{
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+    EXPECT_EQ(Histogram::bucketUpperBound(11), 2047u);
+    // Every value falls inside its own bucket's bound.
+    for (std::uint64_t v : {0ull, 1ull, 5ull, 4096ull, 123456789ull})
+        EXPECT_LE(v, Histogram::bucketUpperBound(
+                         Histogram::bucketIndex(v)));
+}
+
+TEST(ObsMetrics, HistogramCountSumMaxQuantile)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    // The median of 1..100 is ~50; the log2 bucket bound containing it
+    // is 63, and the estimate must stay within one bucket (2x).
+    EXPECT_GE(h.quantile(0.5), 32u);
+    EXPECT_LE(h.quantile(0.5), 127u);
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_LE(h.quantile(1.0), 127u);
+}
+
+TEST(ObsMetrics, RegistryInternsByName)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("x.records");
+    Counter &b = registry.counter("x.records");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(registry.counter("x.records").value(), 3u);
+    EXPECT_NE(&registry.counter("x.other"), &a);
+
+    EXPECT_EQ(registry.findCounter("x.records"), &a);
+    EXPECT_EQ(registry.findCounter("missing"), nullptr);
+    EXPECT_EQ(registry.findGauge("missing"), nullptr);
+    EXPECT_EQ(registry.findHistogram("missing"), nullptr);
+}
+
+TEST(ObsMetrics, RegistryRejectsEmptyName)
+{
+    MetricsRegistry registry;
+    EXPECT_THROW(registry.counter(""), FatalError);
+}
+
+TEST(ObsMetrics, SnapshotsAreNameSorted)
+{
+    MetricsRegistry registry;
+    registry.counter("b").add(2);
+    registry.counter("a").add(1);
+    registry.gauge("z").set(-5);
+    auto counters = registry.counterValues();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0].first, "a");
+    EXPECT_EQ(counters[0].second, 1u);
+    EXPECT_EQ(counters[1].first, "b");
+    auto gauges = registry.gaugeValues();
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_EQ(gauges[0].second, -5);
+}
+
+TEST(ObsMetrics, CountersAreExactUnderContention)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("contended");
+    Histogram &h = registry.histogram("contended_hist");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.increment();
+                h.record(static_cast<std::uint64_t>(t) * 1000 + 1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsElapsed)
+{
+    Histogram h;
+    Counter total;
+    {
+        ScopedTimer timer(&h, &total);
+        // Do a little work so elapsed > 0 even on coarse clocks.
+        volatile int sink = 0;
+        for (int i = 0; i < 10000; ++i)
+            sink += i;
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum(), total.value());
+    { ScopedTimer noop(nullptr, nullptr); } // must not crash
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsMetrics, JsonDumpHasStableSchemaAndValues)
+{
+    MetricsRegistry registry;
+    registry.counter("ingest.records").add(123);
+    registry.gauge("parallel.shards").set(4);
+    registry.histogram("ingest.batch_records").record(100);
+
+    std::ostringstream out;
+    registry.writeJson(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"schema\": \"cbs.metrics.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ingest.records\": 123"), std::string::npos);
+    EXPECT_NE(json.find("\"parallel.shards\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"sum\": 100"), std::string::npos);
+
+    // Dumping twice with unchanged instruments is byte-identical.
+    std::ostringstream again;
+    registry.writeJson(again);
+    EXPECT_EQ(json, again.str());
+}
+
+TEST(ObsMetrics, JsonDumpEscapesNames)
+{
+    MetricsRegistry registry;
+    registry.counter("weird\"name\\path").increment();
+    std::ostringstream out;
+    registry.writeJson(out);
+    EXPECT_NE(out.str().find("weird\\\"name\\\\path"),
+              std::string::npos);
+}
+
+TEST(ObsProgress, ReportsTotalsRatesAndDepths)
+{
+    MetricsRegistry registry;
+    registry.counter("ingest.records").add(1000);
+    registry.counter("ingest.bytes").add(4096000);
+    registry.gauge("parallel.shard.0.queue_depth").set(3);
+    registry.gauge("parallel.shard.1.queue_depth").set(7);
+    registry.gauge("parallel.shard.x.queue_depth").set(99); // ignored
+
+    std::ostringstream out;
+    ProgressOptions options;
+    options.interval = std::chrono::milliseconds(10);
+    ProgressReporter reporter(registry, out, options);
+    reporter.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    reporter.stop();
+
+    const std::string text = out.str();
+    EXPECT_NE(text.find("[cbs] 1,000 req"), std::string::npos);
+    EXPECT_NE(text.find("req/s"), std::string::npos);
+    EXPECT_NE(text.find("B/s"), std::string::npos);
+    EXPECT_NE(text.find("queues: 3,7"), std::string::npos);
+}
+
+TEST(ObsProgress, StopWithoutStartIsSafe)
+{
+    MetricsRegistry registry;
+    std::ostringstream out;
+    ProgressReporter reporter(registry, out);
+    reporter.stop();
+    EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ObsProgress, FinalReportPrintsEvenBetweenTicks)
+{
+    MetricsRegistry registry;
+    registry.counter("ingest.records").add(5);
+    std::ostringstream out;
+    ProgressOptions options;
+    options.interval = std::chrono::hours(1); // never ticks on its own
+    ProgressReporter reporter(registry, out, options);
+    reporter.start();
+    reporter.stop();
+    EXPECT_NE(out.str().find("5 req"), std::string::npos);
+}
+
+} // namespace
+} // namespace cbs::obs

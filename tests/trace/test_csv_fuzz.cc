@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Fuzz-style corpus of malformed CSV inputs for both trace readers:
+ * truncated lines, non-numeric/negative/overflowing fields, embedded
+ * NUL bytes, and out-of-order timestamps. Every rejection must be a
+ * FatalError naming the offending line, and nextBatch() must hand back
+ * only completely-parsed records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "trace/csv.h"
+
+namespace cbs {
+namespace {
+
+/** Expect the reader to reject its input with @p fragment in the
+ *  FatalError message (typically "line <n>"). */
+template <typename Reader>
+void
+expectRejects(const std::string &input, const std::string &fragment)
+{
+    std::istringstream in(input);
+    Reader reader(in);
+    IoRequest req;
+    try {
+        while (reader.next(req)) {
+        }
+        FAIL() << "input was accepted: " << input;
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find(fragment),
+                  std::string::npos)
+            << "message '" << err.what() << "' lacks '" << fragment
+            << "'";
+    }
+}
+
+TEST(AliCloudCsvFuzz, RejectsTruncatedLines)
+{
+    // Cut the line after every prefix up to the last comma; longer
+    // cuts merely shorten the final number, which is still valid CSV.
+    const std::string valid = "3,R,1024,4096,100";
+    for (std::size_t cut = 1; cut <= valid.rfind(',') + 1; ++cut) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        std::istringstream in(valid.substr(0, cut) + "\n");
+        AliCloudCsvReader reader(in);
+        IoRequest req;
+        EXPECT_THROW(reader.next(req), FatalError);
+    }
+}
+
+TEST(AliCloudCsvFuzz, ErrorsNameTheFailingLine)
+{
+    // Two good lines, then garbage: the message must say line 3.
+    expectRejects<AliCloudCsvReader>("1,R,0,512,1\n"
+                                     "2,W,0,512,2\n"
+                                     "3,R,zero,512,3\n",
+                                     "line 3");
+    expectRejects<AliCloudCsvReader>("1,R,0,512,1\n"
+                                     "1,Q,0,512,2\n",
+                                     "line 2");
+    expectRejects<AliCloudCsvReader>("1,R,0,512\n", "line 1");
+}
+
+TEST(AliCloudCsvFuzz, RejectsBadNumericFields)
+{
+    for (const char *bad : {
+             "1,R,-5,512,1\n",      // negative offset
+             "1,R,0,-512,1\n",      // negative length
+             "1,R,0,512,-1\n",      // negative timestamp
+             "1,R,0,512,1e3\n",     // exponent notation
+             "1,R,0x10,512,1\n",    // hex prefix
+             "1,R,0,512,1.5\n",     // fractional
+             "1,R, 0,512,1\n",      // leading space
+             "1,R,0,512,\n",        // empty field
+             ",R,0,512,1\n",        // empty volume
+             "99999999999999999999,R,0,512,1\n", // overflow
+             "1,R,0,99999999999,1\n",            // length > 32 bits
+         }) {
+        SCOPED_TRACE(bad);
+        expectRejects<AliCloudCsvReader>(bad, "line 1");
+    }
+}
+
+TEST(AliCloudCsvFuzz, RejectsEmbeddedNulBytes)
+{
+    std::string line = "1,R,0,512,1\n";
+    line[6] = '\0'; // inside the length field
+    expectRejects<AliCloudCsvReader>(line, "line 1");
+}
+
+TEST(AliCloudCsvFuzz, RejectsOutOfOrderTimestamps)
+{
+    expectRejects<AliCloudCsvReader>("1,R,0,512,100\n"
+                                     "1,R,0,512,99\n",
+                                     "line 2");
+    // Equal timestamps are fine (non-decreasing order).
+    std::istringstream in("1,R,0,512,100\n2,W,0,512,100\n");
+    AliCloudCsvReader reader(in);
+    IoRequest req;
+    EXPECT_TRUE(reader.next(req));
+    EXPECT_TRUE(reader.next(req));
+    EXPECT_FALSE(reader.next(req));
+}
+
+TEST(AliCloudCsvFuzz, ResetClearsTimestampOrderState)
+{
+    // After reset() the stream restarts; the old high-water mark must
+    // not leak into the replay.
+    std::istringstream in("1,R,0,512,100\n1,W,0,512,200\n");
+    AliCloudCsvReader reader(in);
+    IoRequest req;
+    while (reader.next(req)) {
+    }
+    reader.reset();
+    EXPECT_TRUE(reader.next(req));
+    EXPECT_EQ(req.timestamp, 100u);
+}
+
+TEST(AliCloudCsvFuzz, NextBatchNeverReturnsPartialRecords)
+{
+    // Batch of 8 requested, line 4 is garbage: the throw happens
+    // mid-batch, after three records parsed completely.
+    std::istringstream in("1,R,0,512,1\n"
+                          "2,W,0,512,2\n"
+                          "3,R,0,512,3\n"
+                          "4,R,junk,512,4\n"
+                          "5,W,0,512,5\n");
+    AliCloudCsvReader reader(in);
+    std::vector<IoRequest> out;
+    EXPECT_THROW(reader.nextBatch(out, 8), FatalError);
+    // Only the fully-parsed prefix is in the batch, and the record
+    // count matches it — no half-filled request leaks out.
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(reader.recordCount(), 3u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].volume, i + 1);
+        EXPECT_EQ(out[i].length, 512u);
+        EXPECT_EQ(out[i].timestamp, i + 1);
+    }
+}
+
+TEST(MsrcCsvFuzz, ErrorsNameTheFailingLine)
+{
+    expectRejects<MsrcCsvReader>(
+        "100,hm,0,Read,0,512,1\n"
+        "200,hm,0,Flush,0,512,1\n",
+        "line 2");
+    expectRejects<MsrcCsvReader>("100,hm,0,Read,0,512\n", "line 1");
+    expectRejects<MsrcCsvReader>("ticks,hm,0,Read,0,512,1\n", "line 1");
+}
+
+TEST(MsrcCsvFuzz, RejectsBadNumericFields)
+{
+    for (const char *bad : {
+             "100,hm,0,Read,-1,512,1\n",   // negative offset
+             "100,hm,0,Read,0,1.5,1\n",    // fractional size
+             "100,hm,0,Read,,512,1\n",     // empty offset
+             "100,hm,0,Read,0,99999999999,1\n", // size > 32 bits
+         }) {
+        SCOPED_TRACE(bad);
+        expectRejects<MsrcCsvReader>(bad, "line 1");
+    }
+}
+
+TEST(MsrcCsvFuzz, RejectsEmbeddedNulBytes)
+{
+    std::string line = "100,hm,0,Read,0,512,1\n";
+    line[1] = '\0'; // inside the timestamp field
+    expectRejects<MsrcCsvReader>(line, "line 1");
+}
+
+TEST(MsrcCsvFuzz, RejectsOutOfOrderTimestamps)
+{
+    // Second record is 100 us earlier in rebased time.
+    expectRejects<MsrcCsvReader>(
+        "128166372003061629,hm,0,Read,0,512,1\n"
+        "128166372003062629,hm,0,Read,0,512,1\n"
+        "128166372003061629,hm,0,Write,0,512,1\n",
+        "line 3");
+}
+
+TEST(MsrcCsvFuzz, NextBatchNeverReturnsPartialRecords)
+{
+    std::istringstream in("100,hm,0,Read,0,512,1\n"
+                          "200,hm,0,Write,0,512,1\n"
+                          "300,hm,0,Oops,0,512,1\n"
+                          "400,hm,0,Read,0,512,1\n");
+    MsrcCsvReader reader(in);
+    std::vector<IoRequest> out;
+    EXPECT_THROW(reader.nextBatch(out, 8), FatalError);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(reader.recordCount(), 2u);
+    EXPECT_EQ(out[0].op, Op::Read);
+    EXPECT_EQ(out[1].op, Op::Write);
+}
+
+} // namespace
+} // namespace cbs
