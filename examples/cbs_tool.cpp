@@ -5,7 +5,9 @@
  * Subcommands:
  *   analyze <trace> [--msrc|--bin] [--block N] [--interval MIN]
  *           [--threads N] [--summary-json PATH] [--metrics-json PATH]
- *           [--progress]
+ *           [--progress] [--error-policy strict|skip|quarantine]
+ *           [--max-bad-records N|FRAC] [--quarantine-file PATH]
+ *           [--retry N] [--degraded-ok]
  *       Full workload characterization (the WorkloadSummary facade)
  *       of a real trace: AliCloud CSV by default, SNIA MSRC CSV with
  *       --msrc, compact binary with --bin. --threads N shards the
@@ -17,6 +19,18 @@
  *       per-analyzer timings, per-shard queue stats — see
  *       docs/observability.md); --progress prints a periodic
  *       records/s / bytes/s / queue-depth line to stderr.
+ *       Resilience (see docs/resilience.md): --error-policy picks how
+ *       malformed records are handled (strict aborts — the default;
+ *       skip drops and counts; quarantine also copies each bad record
+ *       to --quarantine-file); --max-bad-records bounds the tolerated
+ *       errors, as an absolute count or, with a '.', a fraction of
+ *       records read; --retry N makes transient read failures retry
+ *       up to N attempts with capped exponential backoff;
+ *       --degraded-ok lets a multi-threaded run survive an analyzer
+ *       failure on one shard, excluding that shard from the merge and
+ *       reporting per-lane status in the summary JSON.
+ *
+ *       Flags take either '--flag value' or '--flag=value' form.
  *
  *   generate <out.csv|out.bin> [--msrc] [--volumes N] [--requests N]
  *            [--seed S]
@@ -32,8 +46,11 @@
  *       AliCloud-vs-MSRC methodology for your own data). Format flags
  *       apply to both inputs.
  *
- * Exit status: 0 on success, 1 on input errors, 2 on usage errors,
- * 3 on internal errors (library invariant violations).
+ * Exit status: 0 on success, 1 on input errors (including a tripped
+ * error budget and transient failures that out-lasted --retry), 2 on
+ * usage errors, 3 on internal errors (library invariant violations),
+ * 4 on a degraded-mode success (--degraded-ok run that completed with
+ * at least one failed lane).
  */
 
 #include <cstdio>
@@ -55,6 +72,8 @@
 #include "synth/models.h"
 #include "trace/bin_trace.h"
 #include "trace/csv.h"
+#include "trace/error_policy.h"
+#include "trace/resilience.h"
 
 using namespace cbs;
 
@@ -76,6 +95,11 @@ struct Args
     std::string summary_json;
     std::string metrics_json;
     bool progress = false;
+    std::string error_policy;
+    std::string max_bad_records;
+    std::string quarantine_file;
+    int retry = 0;
+    bool degraded_ok = false;
 };
 
 int
@@ -87,6 +111,10 @@ usage()
         "                [--interval MIN] [--threads N]\n"
         "                [--summary-json PATH] [--metrics-json PATH]\n"
         "                [--progress]\n"
+        "                [--error-policy strict|skip|quarantine]\n"
+        "                [--max-bad-records N|FRAC]\n"
+        "                [--quarantine-file PATH] [--retry N]\n"
+        "                [--degraded-ok]\n"
         "       cbs_tool generate <out.csv|out.bin> [--msrc]\n"
         "                [--volumes N] [--requests N] [--seed S]\n"
         "       cbs_tool mrc <trace> [--msrc|--bin] [--volume V]\n"
@@ -101,7 +129,20 @@ parseArgs(int argc, char **argv, Args &args)
 {
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
+        // Accept --flag=value as well as --flag value.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+            std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
         auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_value.c_str();
             return i + 1 < argc ? argv[++i] : nullptr;
         };
         if (arg == "--msrc") {
@@ -161,6 +202,28 @@ parseArgs(int argc, char **argv, Args &args)
             args.metrics_json = v;
         } else if (arg == "--progress") {
             args.progress = true;
+        } else if (arg == "--error-policy") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.error_policy = v;
+        } else if (arg == "--max-bad-records") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.max_bad_records = v;
+        } else if (arg == "--quarantine-file") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.quarantine_file = v;
+        } else if (arg == "--retry") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.retry = static_cast<int>(std::strtol(v, nullptr, 10));
+        } else if (arg == "--degraded-ok") {
+            args.degraded_ok = true;
         } else if (!arg.empty() && arg[0] != '-') {
             args.positional.push_back(arg);
         } else {
@@ -304,11 +367,76 @@ cmdAnalyze(const Args &args)
     if (!source)
         return 1;
 
+    // Read-error policy: parsed up front so flag mistakes are usage
+    // errors, armed on the reader before the first byte is read.
+    ErrorPolicyOptions policy;
+    if (!args.error_policy.empty() &&
+        !parseReadErrorPolicy(args.error_policy, policy.policy)) {
+        std::fprintf(stderr,
+                     "unknown --error-policy '%s' "
+                     "(strict|skip|quarantine)\n",
+                     args.error_policy.c_str());
+        return 2;
+    }
+    if (!args.max_bad_records.empty()) {
+        // A '.' means a fraction of records read; otherwise a count.
+        if (args.max_bad_records.find('.') != std::string::npos)
+            policy.max_bad_fraction =
+                std::strtod(args.max_bad_records.c_str(), nullptr);
+        else
+            policy.max_bad_records = std::strtoull(
+                args.max_bad_records.c_str(), nullptr, 10);
+    }
+    std::ofstream quarantine;
+    if (policy.policy == ReadErrorPolicy::Quarantine) {
+        if (args.quarantine_file.empty()) {
+            std::fprintf(
+                stderr,
+                "--error-policy quarantine needs --quarantine-file\n");
+            return 2;
+        }
+        quarantine.open(args.quarantine_file);
+        if (!quarantine) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         args.quarantine_file.c_str());
+            return 1;
+        }
+    }
+    // The duration scan runs with the sidecar detached (as plain skip)
+    // so the quarantine file holds exactly one entry per bad record —
+    // written by the analysis pass below, after reset() clears the
+    // error budget.
+    if (policy.policy != ReadErrorPolicy::Strict) {
+        ErrorPolicyOptions scan_policy = policy;
+        scan_policy.policy = ReadErrorPolicy::Skip;
+        scan_policy.quarantine = nullptr;
+        source->setErrorPolicy(scan_policy);
+    }
+
+    // Observability: one registry for the whole analysis pass, wired
+    // into the source (ingest counters) and the pipelines (analyzer
+    // timings, per-shard queue stats). Off unless requested — the
+    // unattached cost is a pointer check per batch.
+    obs::MetricsRegistry registry;
+    bool want_metrics = !args.metrics_json.empty() || args.progress;
+
+    // Transient-failure retry decorator around the reader.
+    TraceSource *input = source.get();
+    std::optional<RetryingSource> retrying;
+    if (args.retry > 0) {
+        RetryOptions retry_options;
+        retry_options.max_attempts = args.retry;
+        if (want_metrics)
+            retry_options.metrics = &registry;
+        retrying.emplace(*source, retry_options);
+        input = &*retrying;
+    }
+
     // First pass: find the trace duration so activeness intervals fit.
     IoRequest req;
     TimeUs last = 0;
     std::uint64_t count = 0;
-    while (source->next(req)) {
+    while (input->next(req)) {
         last = req.timestamp;
         ++count;
     }
@@ -316,7 +444,13 @@ cmdAnalyze(const Args &args)
         std::fprintf(stderr, "trace is empty\n");
         return 1;
     }
-    source->reset();
+    input->reset();
+    if (policy.policy != ReadErrorPolicy::Strict) {
+        ErrorPolicyOptions run_policy = policy;
+        if (run_policy.policy == ReadErrorPolicy::Quarantine)
+            run_policy.quarantine = &quarantine;
+        source->setErrorPolicy(run_policy);
+    }
 
     WorkloadSummaryOptions options;
     options.block_size = args.block;
@@ -325,12 +459,9 @@ cmdAnalyze(const Args &args)
     WorkloadSummary summary(options);
     VolumeClassifier classifier(100, args.block);
 
-    // Observability: one registry for the whole analysis pass, wired
-    // into the source (ingest counters) and the pipelines (analyzer
-    // timings, per-shard queue stats). Off unless requested — the
-    // unattached cost is a pointer check per batch.
-    obs::MetricsRegistry registry;
-    bool want_metrics = !args.metrics_json.empty() || args.progress;
+    // Ingest metrics attach to the inner reader (where the error
+    // policy counts bad records), after the scan pass so totals cover
+    // the analysis pass only.
     if (want_metrics)
         source->attachMetrics(registry);
     std::optional<obs::ProgressReporter> reporter;
@@ -339,14 +470,29 @@ cmdAnalyze(const Args &args)
         reporter->start();
     }
 
+    int exit_code = 0;
     if (args.threads) {
         ParallelOptions parallel;
         parallel.shards = *args.threads;
+        parallel.degraded_ok = args.degraded_ok;
         if (want_metrics)
             parallel.metrics = &registry;
-        summary.run(*source, parallel, {&classifier});
+        PipelineRunStatus status =
+            summary.run(*input, parallel, {&classifier});
+        if (status.degraded) {
+            for (const LaneStatus &lane : status.lanes)
+                if (!lane.ok)
+                    std::fprintf(stderr,
+                                 "warning: lane %s failed: %s\n",
+                                 lane.lane.c_str(),
+                                 lane.error.c_str());
+            std::fprintf(stderr,
+                         "warning: analysis completed degraded; "
+                         "results exclude the failed lanes\n");
+            exit_code = 4;
+        }
     } else {
-        summary.run(*source, {&classifier},
+        summary.run(*input, {&classifier},
                     want_metrics ? &registry : nullptr);
     }
     if (reporter)
@@ -382,7 +528,7 @@ cmdAnalyze(const Args &args)
                     volumeClassName(static_cast<VolumeClass>(c)),
                     hist[c]);
     }
-    return 0;
+    return exit_code;
 }
 
 int
@@ -498,6 +644,11 @@ main(int argc, char **argv)
         // diagnostic line and a clean non-zero exit, never a
         // std::terminate — including errors surfaced from parallel
         // pipeline worker threads, which rethrow on this thread.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const TransientError &e) {
+        // A transient failure that survived (or wasn't given) --retry
+        // is an input error, not a library bug.
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     } catch (const std::exception &e) {

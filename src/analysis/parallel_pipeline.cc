@@ -1,7 +1,11 @@
 #include "analysis/parallel_pipeline.h"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -29,6 +33,8 @@ struct LaneMetrics
     obs::Counter *idle_ns = nullptr;  //!< time blocked on an empty queue
     obs::Counter *full_waits = nullptr; //!< producer stalls on this lane
     obs::Gauge *queue_depth = nullptr;  //!< batches queued (approx)
+    obs::Counter *watchdog_stalls = nullptr; //!< stall flags raised
+    obs::Gauge *failed = nullptr;       //!< 1 when the lane failed
     /** Per-analyzer batch-time sinks, parallel to the lane's set. */
     std::vector<obs::Histogram *> analyzer_ns;
 
@@ -44,6 +50,8 @@ struct LaneMetrics
         m.idle_ns = &registry.counter(lane + ".idle_ns");
         m.full_waits = &registry.counter(lane + ".queue_full_waits");
         m.queue_depth = &registry.gauge(lane + ".queue_depth");
+        m.watchdog_stalls = &registry.counter(lane + ".watchdog_stalls");
+        m.failed = &registry.gauge(lane + ".failed");
         m.analyzer_ns.reserve(analyzers.size());
         for (Analyzer *analyzer : analyzers)
             m.analyzer_ns.push_back(&registry.histogram(
@@ -55,32 +63,38 @@ struct LaneMetrics
 /**
  * One consumer thread: pops batches off a bounded queue and feeds an
  * analyzer set. Used both for the per-shard replica workers and for
- * the in-order lane. On failure it records the exception and keeps
- * draining, so the producer can never block forever on a full queue.
+ * the in-order lane. On failure it records the exception, aborts the
+ * queue (so the producer's pushes to this lane turn into no-ops), and
+ * keeps draining, so the producer can never block forever on a full
+ * queue.
  */
 class LaneWorker
 {
   public:
-    LaneWorker(std::size_t queue_batches,
+    LaneWorker(std::string name, std::size_t queue_batches,
                std::vector<Analyzer *> analyzers,
                std::unique_ptr<LaneMetrics> metrics = nullptr)
-        : queue_(queue_batches), analyzers_(std::move(analyzers)),
-          metrics_(std::move(metrics))
+        : name_(std::move(name)), queue_(queue_batches),
+          analyzers_(std::move(analyzers)), metrics_(std::move(metrics))
     {
         thread_ = std::thread([this] { run(); });
     }
 
+    const std::string &name() const { return name_; }
+
     BatchQueue &queue() { return queue_; }
 
-    /** Close the queue, join, and surface any worker exception. */
-    void
+    /** Close the queue, join, and return the worker's exception (null
+     *  on success). The caller decides whether to rethrow or contain. */
+    std::exception_ptr
     finish()
     {
         queue_.close();
         thread_.join();
         noteQueueTotals();
-        if (error_)
-            std::rethrow_exception(error_);
+        if (metrics_)
+            metrics_->failed->set(error_ ? 1 : 0);
+        return error_;
     }
 
     /** Join without rethrowing (teardown after another failure). */
@@ -104,6 +118,28 @@ class LaneWorker
                 static_cast<std::int64_t>(queue_.size()));
     }
 
+    /** Batches popped so far — the watchdog's progress signal. */
+    std::uint64_t
+    batchesConsumed() const
+    {
+        return batches_consumed_.load(std::memory_order_relaxed);
+    }
+
+    /** Watchdog verdict: queued work but no progress this interval. */
+    void
+    noteStall()
+    {
+        stall_flags_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_)
+            metrics_->watchdog_stalls->increment();
+    }
+
+    std::uint64_t
+    stallFlags() const
+    {
+        return stall_flags_.load(std::memory_order_relaxed);
+    }
+
   private:
     void
     run()
@@ -119,6 +155,7 @@ class LaneWorker
             }
             if (!got)
                 break;
+            batches_consumed_.fetch_add(1, std::memory_order_relaxed);
             if (error_)
                 continue; // drain so the producer never blocks
             try {
@@ -139,6 +176,11 @@ class LaneWorker
                 }
             } catch (...) {
                 error_ = std::current_exception();
+                // Aborting turns the producer's future pushes to this
+                // lane into dropped no-ops: a failed shard stops
+                // consuming CPU, and a producer blocked on this full
+                // queue wakes immediately.
+                queue_.abort();
             }
         }
     }
@@ -154,17 +196,93 @@ class LaneWorker
         metrics_->queue_depth->set(0);
     }
 
+    std::string name_;
     BatchQueue queue_;
     std::vector<Analyzer *> analyzers_;
     std::unique_ptr<LaneMetrics> metrics_;
     bool totals_noted_ = false;
+    std::atomic<std::uint64_t> batches_consumed_{0};
+    std::atomic<std::uint64_t> stall_flags_{0};
     std::thread thread_;
     std::exception_ptr error_;
 };
 
+/** One line of human-readable failure text from an exception_ptr. */
+std::string
+describeError(const std::exception_ptr &error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &err) {
+        return err.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
+
+/**
+ * The stall watchdog: a sampling thread that flags lanes with queued
+ * batches but no consumption progress between samples. Flags feed
+ * metrics only — they are timing-dependent by nature and must never
+ * influence analysis results.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(std::vector<std::unique_ptr<LaneWorker>> &workers,
+             std::uint64_t interval_ms)
+        : workers_(workers), interval_ms_(interval_ms)
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    ~Watchdog() { stop(); }
+
+  private:
+    void
+    run()
+    {
+        std::vector<std::uint64_t> last(workers_.size());
+        for (std::size_t i = 0; i < workers_.size(); ++i)
+            last[i] = workers_[i]->batchesConsumed();
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!cv_.wait_for(lock,
+                             std::chrono::milliseconds(interval_ms_),
+                             [&] { return stop_; })) {
+            for (std::size_t i = 0; i < workers_.size(); ++i) {
+                LaneWorker &worker = *workers_[i];
+                std::uint64_t now = worker.batchesConsumed();
+                if (now == last[i] && worker.queue().size() > 0 &&
+                    !worker.finished())
+                    worker.noteStall();
+                last[i] = now;
+            }
+        }
+    }
+
+    std::vector<std::unique_ptr<LaneWorker>> &workers_;
+    std::uint64_t interval_ms_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 } // namespace
 
-void
+PipelineRunStatus
 runPipelineParallel(TraceSource &source,
                     const std::vector<Analyzer *> &analyzers,
                     const ParallelOptions &options)
@@ -191,10 +309,17 @@ runPipelineParallel(TraceSource &source,
             in_order.push_back(analyzer);
     }
 
-    // Nothing to parallelize: fall back to the serial pipeline.
+    PipelineRunStatus status;
+    status.degraded_enabled = options.degraded_ok;
+
+    // Nothing to parallelize: fall back to the serial pipeline. There
+    // are no lanes to contain here, so failures rethrow even in
+    // degraded mode (a failed serial run has no partial result worth
+    // reporting).
     if (shardable.empty() || shards == 1) {
         runPipeline(source, analyzers, options.metrics);
-        return;
+        status.lanes.push_back(LaneStatus{"serial", true, ""});
+        return status;
     }
 
     obs::MetricsRegistry *metrics = options.metrics;
@@ -206,6 +331,7 @@ runPipelineParallel(TraceSource &source,
         metrics->gauge("parallel.queue_batches")
             .set(static_cast<std::int64_t>(queue_batches));
         metrics->counter("parallel.runs").increment();
+        metrics->counter("parallel.degraded_runs");
     }
 
     // Per-shard analyzer replicas.
@@ -224,15 +350,15 @@ runPipelineParallel(TraceSource &source,
         lane.reserve(replicas[s].size());
         for (auto &replica : replicas[s])
             lane.push_back(replica.get());
+        std::string name = "shard." + std::to_string(s);
         std::unique_ptr<LaneMetrics> lane_metrics;
         if (metrics)
             lane_metrics = std::make_unique<LaneMetrics>(
-                LaneMetrics::forLane(*metrics,
-                                     "parallel.shard." +
-                                         std::to_string(s),
+                LaneMetrics::forLane(*metrics, "parallel." + name,
                                      lane));
         workers.push_back(std::make_unique<LaneWorker>(
-            queue_batches, std::move(lane), std::move(lane_metrics)));
+            std::move(name), queue_batches, std::move(lane),
+            std::move(lane_metrics)));
     }
     LaneWorker *order_lane = nullptr;
     if (!in_order.empty()) {
@@ -242,9 +368,15 @@ runPipelineParallel(TraceSource &source,
                 LaneMetrics::forLane(*metrics, "parallel.inorder",
                                      in_order));
         workers.push_back(std::make_unique<LaneWorker>(
-            queue_batches, in_order, std::move(lane_metrics)));
+            "inorder", queue_batches, in_order,
+            std::move(lane_metrics)));
         order_lane = workers.back().get();
     }
+
+    std::unique_ptr<Watchdog> watchdog;
+    if (options.watchdog_stall_ms)
+        watchdog =
+            std::make_unique<Watchdog>(workers, options.watchdog_stall_ms);
 
     // Ingest: read batches, scatter by volume hash, feed the lanes.
     try {
@@ -284,29 +416,46 @@ runPipelineParallel(TraceSource &source,
         throw;
     }
 
-    // Join every worker before rethrowing any single failure, so no
+    // Join every worker before surfacing any single failure, so no
     // thread outlives this call.
     std::exception_ptr error;
-    for (auto &worker : workers) {
-        try {
-            worker->finish();
-        } catch (...) {
+    std::vector<bool> lane_ok(workers.size(), true);
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        std::exception_ptr lane_error = workers[i]->finish();
+        LaneStatus lane{workers[i]->name(), true, ""};
+        if (lane_error) {
+            lane.ok = false;
+            lane.error = describeError(lane_error);
+            lane_ok[i] = false;
             if (!error)
-                error = std::current_exception();
+                error = lane_error;
         }
+        status.lanes.push_back(std::move(lane));
     }
-    if (error)
-        std::rethrow_exception(error);
+    if (watchdog)
+        watchdog->stop();
+
+    if (error) {
+        // Containment boundary: in degraded mode a failed lane's
+        // replicas are simply excluded from the merge below; otherwise
+        // the first failure rethrows exactly as before.
+        if (!options.degraded_ok)
+            std::rethrow_exception(error);
+        status.degraded = true;
+    }
 
     // Merge the shard replicas back into the caller's analyzers, then
-    // finalize everything in the caller's order.
+    // finalize everything in the caller's order. Failed lanes are
+    // skipped: their replicas may be mid-update and their data is
+    // already lost.
     {
         obs::ScopedTimer merge_timer(
             nullptr,
             metrics ? &metrics->counter("parallel.merge_ns") : nullptr);
         for (std::size_t i = 0; i < shardable.size(); ++i)
             for (std::size_t s = 0; s < shards; ++s)
-                shardable[i]->mergeFrom(*replicas[s][i]);
+                if (lane_ok[s])
+                    shardable[i]->mergeFrom(*replicas[s][i]);
     }
     for (Analyzer *analyzer : analyzers) {
         obs::ScopedTimer timer(
@@ -314,8 +463,24 @@ runPipelineParallel(TraceSource &source,
                                                  analyzer->name() +
                                                  ".finalize_ns")
                              : nullptr);
-        analyzer->finalize();
+        if (!options.degraded_ok) {
+            analyzer->finalize();
+            continue;
+        }
+        // An in-order analyzer that failed mid-consume may fail its
+        // finalize too; in degraded mode that is contained like any
+        // other lane failure.
+        try {
+            analyzer->finalize();
+        } catch (const std::exception &err) {
+            status.degraded = true;
+            status.lanes.push_back(LaneStatus{
+                "finalize." + analyzer->name(), false, err.what()});
+        }
     }
+    if (status.degraded && metrics)
+        metrics->counter("parallel.degraded_runs").increment();
+    return status;
 }
 
 } // namespace cbs

@@ -29,6 +29,9 @@
 #define CBS_ANALYSIS_PARALLEL_PIPELINE_H
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "analysis/analyzer.h"
 
@@ -58,6 +61,48 @@ struct ParallelOptions
      * Null (the default) costs one pointer check per batch.
      */
     obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Degraded mode: contain a shard failure instead of failing the
+     * run. When an analyzer throws on one lane, that lane's queue is
+     * aborted and drained, its analyzer replicas are excluded from the
+     * merge, and the run completes with the failure recorded in the
+     * returned PipelineRunStatus instead of being rethrown. Source
+     * (ingest) failures are still fatal — there is no data left to
+     * analyze. Default off: any failure rethrows as before.
+     */
+    bool degraded_ok = false;
+
+    /**
+     * Watchdog sample interval: every watchdog_stall_ms the run checks
+     * each lane for a stall (queued batches but no consumption
+     * progress since the last sample) and counts flags in
+     * `parallel.<lane>.watchdog_stalls`. 0 (the default) disables the
+     * watchdog. Flags are timing-dependent, so they live in metrics
+     * only, never in analysis results.
+     */
+    std::uint64_t watchdog_stall_ms = 0;
+};
+
+/** Terminal state of one pipeline lane. */
+struct LaneStatus
+{
+    std::string lane;  //!< "shard.<i>", "inorder", or "serial"
+    bool ok = true;
+    std::string error; //!< failure description when !ok
+};
+
+/** What a pipeline run did: returned by runPipelineParallel. */
+struct PipelineRunStatus
+{
+    /** Mirrors ParallelOptions::degraded_ok for the run. */
+    bool degraded_enabled = false;
+
+    /** True when at least one lane failed and was contained. */
+    bool degraded = false;
+
+    /** Per-lane terminal states, shard order then in-order lane. */
+    std::vector<LaneStatus> lanes;
 };
 
 /**
@@ -68,11 +113,15 @@ struct ParallelOptions
  * cores are available.
  *
  * Exceptions thrown by the source or by any analyzer (on any thread)
- * are rethrown on the calling thread after the workers are joined.
+ * are rethrown on the calling thread after the workers are joined —
+ * unless ParallelOptions::degraded_ok is set, in which case analyzer
+ * failures are contained per lane and reported in the returned
+ * PipelineRunStatus (source failures always rethrow).
  */
-void runPipelineParallel(TraceSource &source,
-                         const std::vector<Analyzer *> &analyzers,
-                         const ParallelOptions &options = {});
+PipelineRunStatus
+runPipelineParallel(TraceSource &source,
+                    const std::vector<Analyzer *> &analyzers,
+                    const ParallelOptions &options = {});
 
 } // namespace cbs
 

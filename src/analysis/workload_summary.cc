@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 
 #include "common/format.h"
 #include "report/table.h"
@@ -24,6 +25,42 @@ jsonNumber(std::ostream &os, double v)
     char buf[64];
     auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
     os.write(buf, ptr - buf);
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control bytes)
+ *  for lane names and error messages. */
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
 }
 
 /** {"count": N, "p25": x, "p50": x, "p90": x} or null when empty. */
@@ -176,7 +213,31 @@ WorkloadSummary::writeJson(std::ostream &os) const
         os << '}';
         sep = ",\n";
     }
-    os << "\n  }\n}\n";
+    os << "\n  }";
+    // The pipeline section only exists when degraded mode was enabled:
+    // lane lists depend on the shard count, so emitting them
+    // unconditionally would break byte-identical output across
+    // --threads values in the default (strict) configuration.
+    if (pipeline_status_.degraded_enabled) {
+        os << ",\n  \"pipeline\": {\n    \"degraded\": "
+           << (pipeline_status_.degraded ? "true" : "false")
+           << ",\n    \"lanes\": [";
+        const char *lane_sep = "";
+        for (const LaneStatus &lane : pipeline_status_.lanes) {
+            os << lane_sep << "\n      {\"lane\": \"";
+            jsonEscape(os, lane.lane);
+            os << "\", \"ok\": " << (lane.ok ? "true" : "false");
+            if (!lane.ok) {
+                os << ", \"error\": \"";
+                jsonEscape(os, lane.error);
+                os << '"';
+            }
+            os << '}';
+            lane_sep = ",";
+        }
+        os << "\n    ]\n  }";
+    }
+    os << "\n}\n";
 }
 
 } // namespace cbs

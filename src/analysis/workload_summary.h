@@ -72,13 +72,23 @@ class WorkloadSummary
     /** Same sweep, but sharded across worker threads; shardable
      *  analyzers run on per-shard replicas, the rest on the in-order
      *  lane, so results match the serial run() exactly. Attach a
-     *  registry via @p parallel.metrics for per-shard stats. */
-    void
+     *  registry via @p parallel.metrics for per-shard stats. The
+     *  returned status (also kept, see pipelineStatus()) reports
+     *  degraded-mode lane failures. */
+    PipelineRunStatus
     run(TraceSource &source, const ParallelOptions &parallel,
         std::vector<Analyzer *> extra = {})
     {
-        runPipelineParallel(source, analyzerSet(std::move(extra)),
-                            parallel);
+        pipeline_status_ = runPipelineParallel(
+            source, analyzerSet(std::move(extra)), parallel);
+        return pipeline_status_;
+    }
+
+    /** Status of the last parallel run() (default-constructed — no
+     *  lanes — when only the serial overload ran). */
+    const PipelineRunStatus &pipelineStatus() const
+    {
+        return pipeline_status_;
     }
 
     /** Print a compact multi-section report. */
@@ -89,7 +99,10 @@ class WorkloadSummary
      * cbs.summary.v1). Deterministic: identical analyzer results
      * produce byte-identical output — doubles are emitted in
      * shortest-round-trip form — so serial and parallel runs of the
-     * same trace compare equal byte for byte.
+     * same trace compare equal byte for byte. When the last run had
+     * degraded mode enabled, a "pipeline" section reports per-lane
+     * status; without degraded mode the output is unchanged, keeping
+     * it byte-identical across thread counts.
      */
     void writeJson(std::ostream &os) const;
 
@@ -122,6 +135,7 @@ class WorkloadSummary
     }
 
     WorkloadSummaryOptions options_;
+    PipelineRunStatus pipeline_status_;
 };
 
 } // namespace cbs

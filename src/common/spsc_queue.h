@@ -12,8 +12,13 @@
  * nanoseconds per request.
  *
  * Contract: exactly one thread calls push()/close(), exactly one
- * thread calls pop(). close() is called by the producer after the last
- * push; pop() then drains the remaining items and returns false.
+ * thread calls pop()/abort(). close() is called by the producer after
+ * the last push; pop() then drains the remaining items and returns
+ * false. abort() is the consumer-side mirror for shutdown under
+ * failure: a consumer that stops popping (normally or because an
+ * analyzer threw) calls abort() so a producer blocked on a full queue
+ * wakes immediately; every push() after abort drops its item and
+ * returns false.
  */
 
 #ifndef CBS_COMMON_SPSC_QUEUE_H
@@ -46,11 +51,18 @@ class SpscQueue
         mask_ = cap - 1;
     }
 
-    /** Enqueue one item, blocking while the queue is full. */
-    void
+    /**
+     * Enqueue one item, blocking while the queue is full.
+     *
+     * @return false when the consumer aborted the queue: the item is
+     *         dropped and the producer should stop producing.
+     */
+    bool
     push(T item)
     {
         CBS_CHECK(!closed_.load(std::memory_order_acquire));
+        if (aborted_.load(std::memory_order_acquire))
+            return false;
         std::size_t tail = tail_.load(std::memory_order_relaxed);
         if (tail - head_.load(std::memory_order_acquire) >
             mask_) {
@@ -58,8 +70,11 @@ class SpscQueue
             std::unique_lock<std::mutex> lock(mutex_);
             not_full_.wait(lock, [&] {
                 return tail - head_.load(std::memory_order_acquire) <=
-                       mask_;
+                           mask_ ||
+                       aborted_.load(std::memory_order_acquire);
             });
+            if (aborted_.load(std::memory_order_acquire))
+                return false;
         }
         slots_[tail & mask_] = std::move(item);
         tail_.store(tail + 1, std::memory_order_release);
@@ -69,6 +84,7 @@ class SpscQueue
         // waiting and receives the notification.
         { std::lock_guard<std::mutex> lock(mutex_); }
         not_empty_.notify_one();
+        return true;
     }
 
     /**
@@ -111,7 +127,22 @@ class SpscQueue
         not_empty_.notify_all();
     }
 
+    /**
+     * Stop accepting items (consumer side). Wakes a producer blocked
+     * on a full queue; its pending push (and all later ones) returns
+     * false with the item dropped. Idempotent.
+     */
+    void
+    abort()
+    {
+        aborted_.store(true, std::memory_order_release);
+        { std::lock_guard<std::mutex> lock(mutex_); }
+        not_full_.notify_all();
+    }
+
     bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+    bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
     /** Number of slots (capacity after rounding). */
     std::size_t capacity() const { return slots_.size(); }
@@ -148,6 +179,7 @@ class SpscQueue
     alignas(64) std::atomic<std::size_t> tail_{0}; //!< producer side
     std::atomic<std::uint64_t> full_waits_{0};     //!< producer stalls
     std::atomic<bool> closed_{false};
+    std::atomic<bool> aborted_{false};
     std::mutex mutex_;
     std::condition_variable not_full_;
     std::condition_variable not_empty_;

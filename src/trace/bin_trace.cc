@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <sstream>
 
 #include "common/error.h"
 
@@ -66,6 +67,46 @@ get16(const char *src)
         (static_cast<unsigned char>(src[1]) << 8));
 }
 
+/** Decode one 24-byte record into @p req. */
+void
+decodeRecord(const char *rec, IoRequest &req)
+{
+    req.timestamp = get64(rec + 0);
+    req.offset = get64(rec + 8);
+    req.length = get32(rec + 16);
+    std::uint32_t tail = get32(rec + 20);
+    req.volume = tail & ~kOpBit;
+    req.op = (tail & kOpBit) ? Op::Write : Op::Read;
+}
+
+/** Truncation diagnostic naming the record index and byte offset. */
+std::string
+truncationMessage(std::uint64_t record, std::size_t got_bytes)
+{
+    std::ostringstream oss;
+    oss << "binary trace truncated at record " << record
+        << " (byte offset "
+        << kHeaderSize + record * kRecordSize + got_bytes << "): got "
+        << got_bytes << " of " << kRecordSize << " record bytes";
+    return oss.str();
+}
+
+/** Hex rendition of partial record bytes (quarantine sidecar payload —
+ *  binary data is not written verbatim). */
+std::string
+hexBytes(const char *data, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned char b = static_cast<unsigned char>(data[i]);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
 } // namespace
 
 BinTraceWriter::BinTraceWriter(std::ostream &out) : out_(out)
@@ -125,8 +166,13 @@ BinTraceReader::readHeader()
 {
     char header[kHeaderSize];
     in_.read(header, kHeaderSize);
+    // Header damage is always fatal — there is no data to salvage —
+    // and the diagnostic names the exact byte where the file ends.
     CBS_EXPECT(in_.gcount() == kHeaderSize,
-               "binary trace truncated in header");
+               "binary trace truncated in header: got "
+                   << in_.gcount() << " of " << kHeaderSize
+                   << " header bytes (file ends at byte offset "
+                   << in_.gcount() << ")");
     CBS_EXPECT(std::memcmp(header, kMagic, 4) == 0,
                "bad binary trace magic");
     std::uint16_t version = get16(header + 4);
@@ -135,21 +181,38 @@ BinTraceReader::readHeader()
     declared_ = get64(header + 8);
 }
 
+/**
+ * Handle a short read of @p got bytes where the record at index
+ * @p record should start. Throws under the Strict policy; under a
+ * tolerant policy counts one bad record (the torn tail), quarantines
+ * its bytes as hex, and marks the stream exhausted.
+ */
+void
+BinTraceReader::handleTruncation(std::uint64_t record,
+                                 std::size_t got_bytes,
+                                 const char *partial)
+{
+    std::string msg = truncationMessage(record, got_bytes);
+    if (!tolerateBadRecord(msg, hexBytes(partial, got_bytes), record))
+        CBS_FATAL(msg);
+    exhausted_ = true;
+}
+
 bool
 BinTraceReader::next(IoRequest &req)
 {
-    if (read_ >= declared_)
+    if (exhausted_ || read_ >= declared_)
         return false;
     char rec[kRecordSize];
     in_.read(rec, kRecordSize);
-    CBS_EXPECT(in_.gcount() == kRecordSize,
-               "binary trace truncated at record " << read_);
-    req.timestamp = get64(rec + 0);
-    req.offset = get64(rec + 8);
-    req.length = get32(rec + 16);
-    std::uint32_t tail = get32(rec + 20);
-    req.volume = tail & ~kOpBit;
-    req.op = (tail & kOpBit) ? Op::Write : Op::Read;
+    std::size_t got = static_cast<std::size_t>(in_.gcount());
+    if (got != kRecordSize) {
+        // @p req is untouched: a truncated record never escapes as a
+        // partially-filled IoRequest.
+        handleTruncation(read_, got, rec);
+        return false;
+    }
+    decodeRecord(rec, req);
     ++read_;
     return true;
 }
@@ -159,6 +222,8 @@ BinTraceReader::nextBatchImpl(std::vector<IoRequest> &out,
                           std::size_t max_requests)
 {
     out.clear();
+    if (exhausted_)
+        return 0;
     std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(max_requests, declared_ - read_));
     if (n == 0)
@@ -167,19 +232,23 @@ BinTraceReader::nextBatchImpl(std::vector<IoRequest> &out,
     io_buf_.resize(n * kRecordSize);
     in_.read(io_buf_.data(),
              static_cast<std::streamsize>(io_buf_.size()));
-    CBS_EXPECT(static_cast<std::size_t>(in_.gcount()) == io_buf_.size(),
-               "binary trace truncated at record " << read_);
-    out.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const char *rec = io_buf_.data() + i * kRecordSize;
-        IoRequest &req = out[i];
-        req.timestamp = get64(rec + 0);
-        req.offset = get64(rec + 8);
-        req.length = get32(rec + 16);
-        std::uint32_t tail = get32(rec + 20);
-        req.volume = tail & ~kOpBit;
-        req.op = (tail & kOpBit) ? Op::Write : Op::Read;
+    std::size_t got = static_cast<std::size_t>(in_.gcount());
+    std::size_t complete = got / kRecordSize;
+    if (got != io_buf_.size()) {
+        // Decode the complete prefix first so a tolerant policy keeps
+        // it; the diagnostic names the first incomplete record and the
+        // byte where the data ends.
+        out.resize(complete);
+        for (std::size_t i = 0; i < complete; ++i)
+            decodeRecord(io_buf_.data() + i * kRecordSize, out[i]);
+        read_ += complete;
+        handleTruncation(read_, got % kRecordSize,
+                         io_buf_.data() + complete * kRecordSize);
+        return out.size();
     }
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        decodeRecord(io_buf_.data() + i * kRecordSize, out[i]);
     read_ += n;
     return n;
 }
@@ -190,6 +259,8 @@ BinTraceReader::reset()
     in_.clear();
     in_.seekg(0);
     read_ = 0;
+    exhausted_ = false;
+    resetErrorBudget();
     readHeader();
 }
 

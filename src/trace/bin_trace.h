@@ -43,6 +43,15 @@ class BinTraceWriter
     bool finished_ = false;
 };
 
+/**
+ * Reader for the binary format. A file truncated mid-record (or a
+ * header declaring more records than the file holds) is diagnosed
+ * with the exact record index and byte offset, and never yields a
+ * partially-filled IoRequest. Under a tolerant read-error policy
+ * (TraceSource::setErrorPolicy) the complete-record prefix is kept,
+ * the torn tail counts as one bad record (quarantined as hex), and
+ * the stream ends cleanly; header damage is always fatal.
+ */
 class BinTraceReader : public TraceSource
 {
   public:
@@ -55,7 +64,11 @@ class BinTraceReader : public TraceSource
     std::uint64_t declaredCount() const { return declared_; }
 
     /** Remaining records (declared minus already read). */
-    std::uint64_t sizeHint() const override { return declared_ - read_; }
+    std::uint64_t
+    sizeHint() const override
+    {
+        return exhausted_ ? 0 : declared_ - read_;
+    }
 
   protected:
     std::size_t nextBatchImpl(std::vector<IoRequest> &out,
@@ -63,10 +76,13 @@ class BinTraceReader : public TraceSource
 
   private:
     void readHeader();
+    void handleTruncation(std::uint64_t record, std::size_t got_bytes,
+                          const char *partial);
 
     std::istream &in_;
     std::uint64_t declared_ = 0;
     std::uint64_t read_ = 0;
+    bool exhausted_ = false; //!< tolerated truncation ended the stream
     std::vector<char> io_buf_; //!< reused bulk-read buffer
 };
 

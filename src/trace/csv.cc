@@ -42,11 +42,17 @@ parseNumber(std::string_view field, std::uint64_t line_no,
     return value;
 }
 
-/** getline into a reused buffer, tolerating CRLF and blank lines. */
+/**
+ * getline into a reused buffer, tolerating CRLF and blank lines.
+ * Counts every physical line read into @p line_no — including the
+ * blank/CRLF-only ones it skips — so error messages name the actual
+ * file line.
+ */
 bool
-readLine(std::istream &in, std::string &line)
+readLine(std::istream &in, std::string &line, std::uint64_t &line_no)
 {
     while (std::getline(in, line)) {
+        ++line_no;
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
         if (!line.empty())
@@ -75,12 +81,9 @@ fillBatch(std::vector<IoRequest> &out, std::size_t max_requests,
 
 AliCloudCsvReader::AliCloudCsvReader(std::istream &in) : in_(in) {}
 
-bool
-AliCloudCsvReader::parseNext(IoRequest &req)
+void
+AliCloudCsvReader::parseLine(IoRequest &req)
 {
-    if (!readLine(in_, buf_))
-        return false;
-    ++line_;
     std::string_view fields[6];
     std::size_t n = splitCsv(buf_, fields, 6);
     CBS_EXPECT(n == 5, "AliCloud CSV line " << line_ << " has " << n
@@ -97,9 +100,30 @@ AliCloudCsvReader::parseNext(IoRequest &req)
                "timestamp goes backwards at line "
                    << line_ << ": " << req.timestamp << " after "
                    << last_timestamp_);
-    last_timestamp_ = req.timestamp;
-    ++records_;
-    return true;
+}
+
+bool
+AliCloudCsvReader::parseNext(IoRequest &req)
+{
+    // Resync loop: a bad line is either rethrown (Strict — the
+    // zero-cost default, no extra branch on the clean path) or
+    // tolerated via the base-class policy, in which case parsing
+    // restarts at the next line. Reader state (timestamp high-water
+    // mark, record count) only advances on fully validated records.
+    for (;;) {
+        if (!readLine(in_, buf_, line_))
+            return false;
+        try {
+            parseLine(req);
+        } catch (const FatalError &err) {
+            if (tolerateBadRecord(err.what(), buf_, records_))
+                continue;
+            throw;
+        }
+        last_timestamp_ = req.timestamp;
+        ++records_;
+        return true;
+    }
 }
 
 bool
@@ -124,42 +148,28 @@ AliCloudCsvReader::reset()
     records_ = 0;
     line_ = 0;
     last_timestamp_ = 0;
+    resetErrorBudget();
 }
 
 MsrcCsvReader::MsrcCsvReader(std::istream &in) : in_(in) {}
 
-bool
-MsrcCsvReader::parseNext(IoRequest &req)
+void
+MsrcCsvReader::parseLine(IoRequest &req, std::uint64_t &ticks)
 {
-    if (!readLine(in_, buf_))
-        return false;
-    ++line_;
     std::string_view fields[8];
     std::size_t n = splitCsv(buf_, fields, 8);
     CBS_EXPECT(n == 7, "MSRC CSV line " << line_ << " has " << n
                                         << " fields, expected 7");
-    std::uint64_t ticks =
-        parseNumber<std::uint64_t>(fields[0], line_, "timestamp");
-    if (!have_epoch_) {
-        epoch_ticks_ = ticks;
-        have_epoch_ = true;
-    }
+    ticks = parseNumber<std::uint64_t>(fields[0], line_, "timestamp");
     // Windows filetime ticks are 100 ns; rebase to the first record and
     // convert to microseconds. Records are expected in timestamp order.
-    std::uint64_t rel = ticks >= epoch_ticks_ ? ticks - epoch_ticks_ : 0;
+    std::uint64_t epoch = have_epoch_ ? epoch_ticks_ : ticks;
+    std::uint64_t rel = ticks >= epoch ? ticks - epoch : 0;
     req.timestamp = rel / 10;
     CBS_EXPECT(req.timestamp >= last_timestamp_,
                "timestamp goes backwards at line "
                    << line_ << ": " << req.timestamp << "us after "
                    << last_timestamp_ << "us");
-    last_timestamp_ = req.timestamp;
-
-    key_.assign(fields[1]);
-    key_.push_back('.');
-    key_.append(fields[2]);
-    auto [it, inserted] = volume_ids_.try_emplace(
-        key_, static_cast<VolumeId>(volume_ids_.size()));
-    req.volume = it->second;
 
     CBS_EXPECT(fields[3] == "Read" || fields[3] == "Write",
                "bad Type at line " << line_ << ": '" << fields[3] << "'");
@@ -168,8 +178,43 @@ MsrcCsvReader::parseNext(IoRequest &req)
     req.length = parseNumber<std::uint32_t>(fields[5], line_, "Size");
     // fields[6] (ResponseTime) is not used: the AliCloud record schema,
     // which the analyses share, has no response time (paper §III-B).
-    ++records_;
-    return true;
+
+    // Volume assignment mutates the hostname/disk map, so it runs last:
+    // a line rejected above (and possibly skipped by a tolerant error
+    // policy) must not register a volume id.
+    key_.assign(fields[1]);
+    key_.push_back('.');
+    key_.append(fields[2]);
+    auto [it, inserted] = volume_ids_.try_emplace(
+        key_, static_cast<VolumeId>(volume_ids_.size()));
+    req.volume = it->second;
+}
+
+bool
+MsrcCsvReader::parseNext(IoRequest &req)
+{
+    // Same resync loop as the AliCloud reader: epoch, timestamp
+    // high-water mark, and record count advance only on fully
+    // validated records.
+    for (;;) {
+        if (!readLine(in_, buf_, line_))
+            return false;
+        std::uint64_t ticks = 0;
+        try {
+            parseLine(req, ticks);
+        } catch (const FatalError &err) {
+            if (tolerateBadRecord(err.what(), buf_, records_))
+                continue;
+            throw;
+        }
+        if (!have_epoch_) {
+            epoch_ticks_ = ticks;
+            have_epoch_ = true;
+        }
+        last_timestamp_ = req.timestamp;
+        ++records_;
+        return true;
+    }
 }
 
 bool
@@ -197,6 +242,7 @@ MsrcCsvReader::reset()
     have_epoch_ = false;
     epoch_ticks_ = 0;
     volume_ids_.clear();
+    resetErrorBudget();
 }
 
 void

@@ -16,7 +16,15 @@
  * Both readers validate each record as it is parsed — field count,
  * numeric fields, opcode, and non-decreasing timestamps — and throw
  * FatalError naming the offending line number, so malformed input
- * never reaches the analyzers as a partially-parsed record.
+ * never reaches the analyzers as a partially-parsed record. Reported
+ * line numbers count physical file lines, including blank/CRLF-only
+ * lines the readers skip.
+ *
+ * Under a tolerant read-error policy (TraceSource::setErrorPolicy,
+ * trace/error_policy.h) a bad line is counted, optionally
+ * quarantined, and the reader resyncs to the next parseable line;
+ * reader state (timestamp high-water mark, record count, the MSRC
+ * epoch and volume map) advances only on fully validated records.
  */
 
 #ifndef CBS_TRACE_CSV_H
@@ -56,6 +64,7 @@ class AliCloudCsvReader : public TraceSource
 
   private:
     bool parseNext(IoRequest &req);
+    void parseLine(IoRequest &req);
 
     std::istream &in_;
     std::uint64_t records_ = 0;
@@ -87,6 +96,7 @@ class MsrcCsvReader : public TraceSource
 
   private:
     bool parseNext(IoRequest &req);
+    void parseLine(IoRequest &req, std::uint64_t &ticks);
 
     std::istream &in_;
     std::uint64_t records_ = 0;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Read-error policies: what a TraceSource does when it meets a record
+ * it cannot parse.
+ *
+ * Production trace corpora are routinely dirty — truncated files,
+ * malformed lines, torn writes — and a month-scale characterization
+ * run cannot afford to discard hours of streaming state over one bad
+ * line. A ReadErrorPolicy, configured per source via
+ * TraceSource::setErrorPolicy(), decides between the classic three
+ * behaviors:
+ *
+ *   Strict      (default) throw FatalError on the first bad record —
+ *               byte-identical to the historical behavior, zero
+ *               overhead on the clean-input path;
+ *   Skip        drop the bad record, count it, resync to the next
+ *               parseable record;
+ *   Quarantine  like Skip, but additionally write the offending
+ *               record verbatim (preceded by a `# reason` line) to a
+ *               sidecar stream for later inspection or replay.
+ *
+ * Both tolerant policies respect a bounded error budget: after
+ * max_bad_records tolerated errors the next one throws, so a garbage
+ * file cannot silently degrade into an empty analysis. The budget can
+ * also be fractional (bad / seen), enforced once enough records have
+ * been seen for the fraction to be meaningful.
+ *
+ * TransientError lives here too: the exception class that separates
+ * retryable stream failures (I/O hiccups, injected chaos faults) from
+ * permanent data errors (FatalError). RetryingSource
+ * (trace/resilience.h) retries the former and rethrows the latter;
+ * see docs/resilience.md for the classification table.
+ */
+
+#ifndef CBS_TRACE_ERROR_POLICY_H
+#define CBS_TRACE_ERROR_POLICY_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace cbs {
+
+/** Retryable stream failure (I/O hiccup, injected fault). Distinct
+ *  from FatalError, which marks permanent data/configuration errors. */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** What a reader does with a record it cannot parse. */
+enum class ReadErrorPolicy
+{
+    Strict,     //!< throw FatalError on the first bad record (default)
+    Skip,       //!< drop, count, resync to the next parseable record
+    Quarantine, //!< Skip + write the record verbatim to a sidecar
+};
+
+/** Parse "strict"/"skip"/"quarantine"; returns false on anything else. */
+inline bool
+parseReadErrorPolicy(const std::string &name, ReadErrorPolicy &out)
+{
+    if (name == "strict")
+        out = ReadErrorPolicy::Strict;
+    else if (name == "skip")
+        out = ReadErrorPolicy::Skip;
+    else if (name == "quarantine")
+        out = ReadErrorPolicy::Quarantine;
+    else
+        return false;
+    return true;
+}
+
+/** Printable policy name (inverse of parseReadErrorPolicy). */
+inline const char *
+readErrorPolicyName(ReadErrorPolicy policy)
+{
+    switch (policy) {
+      case ReadErrorPolicy::Strict:
+        return "strict";
+      case ReadErrorPolicy::Skip:
+        return "skip";
+      case ReadErrorPolicy::Quarantine:
+        return "quarantine";
+    }
+    return "?";
+}
+
+/** Policy plus its error budget and optional quarantine sink. */
+struct ErrorPolicyOptions
+{
+    ReadErrorPolicy policy = ReadErrorPolicy::Strict;
+
+    /** Absolute budget: tolerating this many bad records is fine, the
+     *  next one throws ("trips at max_bad_records + 1"). */
+    std::uint64_t max_bad_records =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /** Fractional budget: bad / (good + bad) above this trips the
+     *  budget, but only once fraction_min_records records have been
+     *  seen (a single early error is 100% bad by itself). 1.0 = off. */
+    double max_bad_fraction = 1.0;
+    std::uint64_t fraction_min_records = 1000;
+
+    /** Sidecar stream for ReadErrorPolicy::Quarantine; must outlive
+     *  the source. Each quarantined record is written as a `# reason`
+     *  line followed by the record verbatim. */
+    std::ostream *quarantine = nullptr;
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_ERROR_POLICY_H

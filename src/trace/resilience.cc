@@ -1,0 +1,228 @@
+#include "trace/resilience.h"
+
+#include <chrono>
+#include <ios>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+namespace {
+
+// Distinct salts keep the per-index fault streams independent: a batch
+// afflicted by a transient is no more likely to also stall or tear.
+constexpr std::uint64_t kSaltTransient = 0x7472616e7369656eULL;
+constexpr std::uint64_t kSaltTorn = 0x746f726e5f626174ULL;
+constexpr std::uint64_t kSaltStall = 0x7374616c6c5f5f5fULL;
+constexpr std::uint64_t kSaltCorrupt = 0x636f727275707421ULL;
+
+void
+sleepMicros(std::uint64_t us)
+{
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+} // namespace
+
+RetryingSource::RetryingSource(TraceSource &inner, RetryOptions options)
+    : inner_(inner), options_(std::move(options)),
+      jitter_state_(mix64(options_.seed))
+{
+    CBS_EXPECT(options_.max_attempts >= 1,
+               "retry needs at least one attempt, got "
+                   << options_.max_attempts);
+    if (options_.metrics) {
+        attempts_counter_ = &options_.metrics->counter("retry.attempts");
+        exhausted_counter_ =
+            &options_.metrics->counter("retry.exhausted");
+    }
+}
+
+bool
+RetryingSource::isTransient(const std::exception &error)
+{
+    // FatalError (malformed data, bad configuration) is permanent by
+    // construction, so it is never retried; retrying cannot make a
+    // broken record well-formed. Injected chaos faults and stream-level
+    // I/O hiccups are the retryable class.
+    if (dynamic_cast<const TransientError *>(&error))
+        return true;
+    if (dynamic_cast<const std::ios_base::failure *>(&error))
+        return true;
+    return false;
+}
+
+bool
+RetryingSource::backoff(int attempt)
+{
+    if (attempt >= options_.max_attempts) {
+        ++exhausted_;
+        if (exhausted_counter_)
+            exhausted_counter_->increment();
+        return false;
+    }
+    ++retries_;
+    if (attempts_counter_)
+        attempts_counter_->increment();
+
+    // Capped exponential backoff: base << (attempt-1), saturating at
+    // max_backoff_us, plus deterministic jitter in [0, backoff/2].
+    std::uint64_t delay = options_.base_backoff_us;
+    for (int i = 1; i < attempt && delay < options_.max_backoff_us; ++i)
+        delay *= 2;
+    delay = std::min(delay, options_.max_backoff_us);
+    jitter_state_ = mix64(jitter_state_);
+    if (delay)
+        delay += jitter_state_ % (delay / 2 + 1);
+    if (delay) {
+        if (options_.sleep)
+            options_.sleep(delay);
+        else
+            sleepMicros(delay);
+    }
+    return true;
+}
+
+bool
+RetryingSource::next(IoRequest &req)
+{
+    for (int attempt = 1;; ++attempt) {
+        try {
+            return inner_.next(req);
+        } catch (const std::exception &error) {
+            if (!isTransient(error) || !backoff(attempt))
+                throw;
+        }
+    }
+}
+
+std::size_t
+RetryingSource::nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests)
+{
+    for (int attempt = 1;; ++attempt) {
+        try {
+            // The inner front door keeps the inner source's own ingest
+            // accounting (if attached) exact across retries.
+            return inner_.nextBatch(out, max_requests);
+        } catch (const std::exception &error) {
+            if (!isTransient(error) || !backoff(attempt))
+                throw;
+        }
+    }
+}
+
+void
+RetryingSource::reset()
+{
+    inner_.reset();
+    resetErrorBudget();
+}
+
+FaultInjectingSource::FaultInjectingSource(TraceSource &inner,
+                                           FaultPlan plan)
+    : inner_(inner), plan_(plan)
+{
+}
+
+bool
+FaultInjectingSource::roll(std::uint64_t index, std::uint64_t salt,
+                           double probability) const
+{
+    if (probability <= 0)
+        return false;
+    if (probability >= 1)
+        return true;
+    std::uint64_t h = mix64(plan_.seed ^ mix64(index + salt));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+    return u < probability;
+}
+
+std::size_t
+FaultInjectingSource::nextBatchImpl(std::vector<IoRequest> &out,
+                                    std::size_t max_requests)
+{
+    out.clear();
+    // Loop so a batch whose every record is corrupt (and tolerated)
+    // pulls the next one instead of returning 0, which would read as
+    // end-of-stream to the caller.
+    for (;;) {
+        const std::uint64_t b = batch_index_;
+        if (plan_.transient_per_batch > 0 && transient_done_ != b &&
+            roll(b, kSaltTransient, plan_.transient_per_batch)) {
+            // Thrown once per batch index: the retry of the same batch
+            // proceeds, so retrying consumers always make progress.
+            transient_done_ = b;
+            ++injected_.transients;
+            throw TransientError(
+                "injected transient read error before batch " +
+                std::to_string(b));
+        }
+        if (plan_.stall_us &&
+            roll(b, kSaltStall, plan_.stall_per_batch)) {
+            ++injected_.stalls;
+            sleepMicros(plan_.stall_us);
+        }
+        std::size_t want = max_requests;
+        if (max_requests > 1 &&
+            roll(b, kSaltTorn, plan_.torn_per_batch)) {
+            // A torn batch delivers fewer records than asked, never
+            // fewer than produced: the rest stay in the inner stream.
+            ++injected_.torn;
+            want = max_requests / 2;
+        }
+        std::size_t n = inner_.nextBatch(inner_batch_, want);
+        ++batch_index_;
+        if (n == 0)
+            return 0;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t r = record_index_++;
+            if (roll(r, kSaltCorrupt, plan_.corrupt_per_record)) {
+                ++injected_.corrupt;
+                const IoRequest &req = inner_batch_[i];
+                std::string reason =
+                    "injected corrupt record at index " +
+                    std::to_string(r);
+                std::string raw = std::to_string(req.volume) + ',' +
+                                  (req.isRead() ? 'R' : 'W') + ',' +
+                                  std::to_string(req.offset) + ',' +
+                                  std::to_string(req.length) + ',' +
+                                  std::to_string(req.timestamp);
+                // The same tolerate-or-throw path a reader takes for a
+                // real parse error: Strict aborts, Skip/Quarantine
+                // count and drop, budgets trip identically.
+                if (!tolerateBadRecord(reason, raw,
+                                       record_index_ - injected_.corrupt))
+                    CBS_FATAL(reason);
+                continue;
+            }
+            out.push_back(inner_batch_[i]);
+        }
+        if (!out.empty())
+            return out.size();
+    }
+}
+
+bool
+FaultInjectingSource::next(IoRequest &req)
+{
+    if (nextBatchImpl(single_, 1) == 0)
+        return false;
+    req = single_[0];
+    return true;
+}
+
+void
+FaultInjectingSource::reset()
+{
+    inner_.reset();
+    batch_index_ = 0;
+    record_index_ = 0;
+    transient_done_ = ~std::uint64_t{0};
+    resetErrorBudget();
+}
+
+} // namespace cbs

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Resilience decorators for trace ingestion: RetryingSource and
+ * FaultInjectingSource.
+ *
+ * RetryingSource wraps any TraceSource and retries transient stream
+ * failures (TransientError, std::ios_base::failure) with capped
+ * exponential backoff plus deterministic seeded jitter; permanent
+ * failures (FatalError: malformed data, bad configuration) are
+ * rethrown immediately. The classification table lives in
+ * docs/resilience.md.
+ *
+ * FaultInjectingSource is the chaos half: driven by a seeded
+ * FaultPlan it injects transient read errors, torn (short) batches,
+ * corrupt records, and stalls into an otherwise healthy stream. Every
+ * fault decision is a pure function of (seed, batch index / record
+ * index), so a chaos run is exactly reproducible: the same seed
+ * injects the same faults into the same records no matter how the
+ * caller interleaves retries, and the injected() totals let tests
+ * assert that tolerated-fault counts match the plan exactly.
+ * Corrupt records are routed through the source's own read-error
+ * policy (TraceSource::setErrorPolicy), so chaos runs exercise the
+ * same skip/quarantine/budget machinery as real dirty inputs.
+ */
+
+#ifndef CBS_TRACE_RESILIENCE_H
+#define CBS_TRACE_RESILIENCE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/metrics.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+/** Tuning knobs of RetryingSource. */
+struct RetryOptions
+{
+    /** Total delivery attempts per read (first try + retries). */
+    int max_attempts = 4;
+
+    /** Backoff before retry k (1-based): min(base << (k-1), max),
+     *  plus jitter in [0, backoff/2) drawn from the seeded stream. */
+    std::uint64_t base_backoff_us = 1000;
+    std::uint64_t max_backoff_us = 100000;
+
+    /** Seed of the deterministic jitter stream. */
+    std::uint64_t seed = 1;
+
+    /** Sleep hook (microseconds). Tests inject a recorder; the default
+     *  really sleeps. */
+    std::function<void(std::uint64_t)> sleep;
+
+    /** Optional registry: counts `retry.attempts` (retries performed)
+     *  and `retry.exhausted` (reads that failed every attempt). Must
+     *  outlive the source. */
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * TraceSource decorator that retries transient failures of an inner
+ * source. Retrying re-issues the read at the inner source's current
+ * position, which is safe for failures raised before the stream
+ * advanced (the fault-injection model, and the common transient-I/O
+ * case); see docs/resilience.md for the classification contract.
+ */
+class RetryingSource : public TraceSource
+{
+  public:
+    /** @param inner must outlive this wrapper. */
+    explicit RetryingSource(TraceSource &inner, RetryOptions options = {});
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+    std::uint64_t sizeHint() const override { return inner_.sizeHint(); }
+
+    /** Retries performed / reads abandoned after max_attempts. */
+    std::uint64_t retries() const { return retries_; }
+    std::uint64_t exhausted() const { return exhausted_; }
+
+    /** True when @p error should be retried: TransientError or
+     *  std::ios_base::failure; everything else is permanent. */
+    static bool isTransient(const std::exception &error);
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
+
+  private:
+    /** Record the failed attempt; returns false (caller rethrows)
+     *  when the attempt budget is spent, else backs off and jitters. */
+    bool backoff(int attempt);
+
+    TraceSource &inner_;
+    RetryOptions options_;
+    std::uint64_t jitter_state_;
+    std::uint64_t retries_ = 0;
+    std::uint64_t exhausted_ = 0;
+    obs::Counter *attempts_counter_ = nullptr;
+    obs::Counter *exhausted_counter_ = nullptr;
+};
+
+/**
+ * The seeded chaos schedule of a FaultInjectingSource. Rates are
+ * probabilities evaluated per batch (transient/torn/stall) or per
+ * record (corrupt) against a hash of (seed, index) — deterministic
+ * and independent of call interleaving.
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    /** P(throw TransientError before delivering a batch). Thrown once
+     *  per afflicted batch index: the retry of the same batch
+     *  succeeds, so a retrying consumer always makes progress. */
+    double transient_per_batch = 0;
+
+    /** P(a batch is torn short: only half the requested records). */
+    double torn_per_batch = 0;
+
+    /** P(an injected stall of stall_us before a batch). */
+    double stall_per_batch = 0;
+    std::uint64_t stall_us = 0;
+
+    /** P(a record is corrupted). Corrupt records are reported through
+     *  the source's read-error policy: Strict throws FatalError,
+     *  Skip/Quarantine drop and count them. */
+    double corrupt_per_record = 0;
+};
+
+/**
+ * TraceSource decorator that injects the FaultPlan's faults into an
+ * inner stream. Reproducible by construction; injected() exposes the
+ * exact injected-fault totals for test assertions.
+ */
+class FaultInjectingSource : public TraceSource
+{
+  public:
+    struct Injected
+    {
+        std::uint64_t transients = 0; //!< TransientErrors thrown
+        std::uint64_t torn = 0;       //!< batches cut short
+        std::uint64_t stalls = 0;     //!< stalls slept
+        std::uint64_t corrupt = 0;    //!< records corrupted
+    };
+
+    /** @param inner must outlive this wrapper. */
+    FaultInjectingSource(TraceSource &inner, FaultPlan plan);
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+    std::uint64_t sizeHint() const override { return inner_.sizeHint(); }
+
+    /** Injected-fault totals (cumulative across reset()). */
+    const Injected &injected() const { return injected_; }
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
+
+  private:
+    bool roll(std::uint64_t index, std::uint64_t salt,
+              double probability) const;
+
+    TraceSource &inner_;
+    FaultPlan plan_;
+    std::uint64_t batch_index_ = 0;   //!< next batch to deliver
+    std::uint64_t record_index_ = 0;  //!< next record to deliver
+    std::uint64_t transient_done_ = ~std::uint64_t{0}; //!< thrown for
+    Injected injected_;
+    std::vector<IoRequest> inner_batch_; //!< reused pull buffer
+    std::vector<IoRequest> single_;      //!< next()'s one-record batch
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_RESILIENCE_H

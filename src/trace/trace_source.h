@@ -12,6 +12,16 @@
  * merges — shares one ingest-accounting point: attachMetrics() wires
  * record/byte/batch counters from an obs::MetricsRegistry, and the
  * unattached cost is a single pointer check per batch.
+ *
+ * The same front door carries the read-error policy
+ * (trace/error_policy.h): setErrorPolicy() arms a skip/quarantine
+ * policy with a bounded error budget, and tolerant readers report each
+ * bad record through tolerateBadRecord(), which counts it (including
+ * into the attached `<prefix>.bad_records` counter), quarantines it,
+ * and enforces the budget. The default Strict policy keeps the
+ * historical throw-on-first-error behavior with zero added cost on the
+ * clean-input path — tolerateBadRecord is only reached from a reader's
+ * error path.
  */
 
 #ifndef CBS_TRACE_TRACE_SOURCE_H
@@ -22,10 +32,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "obs/metrics.h"
+#include "trace/error_policy.h"
 #include "trace/request.h"
 
 namespace cbs {
@@ -90,11 +103,55 @@ class TraceSource
         ingest->batches = &registry.counter(prefix + ".batches");
         ingest->batch_records =
             &registry.histogram(prefix + ".batch_records");
+        ingest->bad_records =
+            &registry.counter(prefix + ".bad_records");
         ingest_ = std::move(ingest);
     }
 
     /** Stop accounting (safe when nothing is attached). */
     void detachMetrics() { ingest_.reset(); }
+
+    /**
+     * Arm a read-error policy (see trace/error_policy.h). Honored by
+     * the readers that can detect bad records (CSV, binary) and by
+     * FaultInjectingSource; sources without a detectable error mode
+     * ignore it. @p options.quarantine, when set, must outlive the
+     * source. Replaces any previous policy and resets the consumed
+     * error budget.
+     */
+    void
+    setErrorPolicy(const ErrorPolicyOptions &options)
+    {
+        if (options.policy == ReadErrorPolicy::Strict) {
+            policy_.reset();
+            return;
+        }
+        CBS_EXPECT(options.policy != ReadErrorPolicy::Quarantine ||
+                       options.quarantine,
+                   "quarantine policy needs a quarantine stream");
+        auto state = std::make_unique<ErrorPolicyState>();
+        state->options = options;
+        policy_ = std::move(state);
+    }
+
+    /** Back to the default Strict policy. */
+    void clearErrorPolicy() { policy_.reset(); }
+
+    /** Active policy (Strict when none was armed). */
+    ReadErrorPolicy
+    errorPolicy() const
+    {
+        return policy_ ? policy_->options.policy
+                       : ReadErrorPolicy::Strict;
+    }
+
+    /** Bad records tolerated since the policy was armed or the budget
+     *  last reset (always 0 under Strict). */
+    std::uint64_t
+    badRecords() const
+    {
+        return policy_ ? policy_->bad_records : 0;
+    }
 
   protected:
     /**
@@ -113,13 +170,73 @@ class TraceSource
         return out.size();
     }
 
+    /**
+     * Report one unparseable record from a reader's error path.
+     *
+     * @param reason  diagnostic naming the position and defect (the
+     *                original FatalError message, typically);
+     * @param raw     the offending record verbatim (quarantine sidecar
+     *                payload; pass a hex rendition for binary data);
+     * @param records_ok  well-formed records seen so far (feeds the
+     *                fractional budget; 0 disables that check).
+     * @return true when the record is tolerated and the reader should
+     *         resync and continue; false under Strict (rethrow the
+     *         original error). Throws FatalError when a tolerant
+     *         policy's error budget trips.
+     */
+    bool
+    tolerateBadRecord(const std::string &reason, std::string_view raw,
+                      std::uint64_t records_ok = 0)
+    {
+        if (!policy_)
+            return false;
+        ErrorPolicyState &state = *policy_;
+        const ErrorPolicyOptions &opt = state.options;
+        if (state.bad_records >= opt.max_bad_records)
+            CBS_FATAL("error budget exhausted after "
+                      << state.bad_records
+                      << " tolerated bad records (max "
+                      << opt.max_bad_records << "); next: " << reason);
+        std::uint64_t seen = records_ok + state.bad_records + 1;
+        if (opt.max_bad_fraction < 1.0 &&
+            seen >= opt.fraction_min_records &&
+            static_cast<double>(state.bad_records + 1) >
+                opt.max_bad_fraction * static_cast<double>(seen))
+            CBS_FATAL("error budget exhausted: "
+                      << state.bad_records + 1 << " of " << seen
+                      << " records bad exceeds fraction "
+                      << opt.max_bad_fraction << "; next: " << reason);
+        ++state.bad_records;
+        if (ingest_)
+            ingest_->bad_records->increment();
+        if (opt.policy == ReadErrorPolicy::Quarantine && opt.quarantine)
+            *opt.quarantine << "# " << reason << '\n' << raw << '\n';
+        return true;
+    }
+
+    /** Restart the consumed error budget (call from reset(): the
+     *  stream replays from the start, so its errors do too). */
+    void
+    resetErrorBudget()
+    {
+        if (policy_)
+            policy_->bad_records = 0;
+    }
+
   private:
+    struct ErrorPolicyState
+    {
+        ErrorPolicyOptions options;
+        std::uint64_t bad_records = 0;
+    };
+
     struct IngestMetrics
     {
         obs::Counter *records = nullptr;
         obs::Counter *bytes = nullptr;
         obs::Counter *batches = nullptr;
         obs::Histogram *batch_records = nullptr;
+        obs::Counter *bad_records = nullptr;
 
         void
         note(const std::vector<IoRequest> &batch) const
@@ -135,6 +252,7 @@ class TraceSource
     };
 
     std::unique_ptr<IngestMetrics> ingest_;
+    std::unique_ptr<ErrorPolicyState> policy_;
 };
 
 /** TraceSource over an in-memory vector of requests. */

@@ -1,0 +1,139 @@
+# Error-policy contract check for `cbs_tool analyze`.
+#
+# Over a trace with exactly two malformed records:
+#   - strict (the default) exits 1 naming the first bad line;
+#   - --error-policy skip exits 0, analyzes the good records, and
+#     reports ingest.bad_records == 2 in --metrics-json;
+#   - skip's --summary-json is byte-identical to analyzing the
+#     pre-cleaned trace (bad rows removed by hand);
+#   - --error-policy quarantine copies both bad records verbatim into
+#     the --quarantine-file sidecar (and requires that flag);
+#   - --max-bad-records below the bad count trips the budget: exit 1.
+# Invoked via: cmake -DCBS_TOOL=... -DWORK_DIR=... -P this script.
+
+foreach(var CBS_TOOL WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(good_rows
+    "1,R,0,4096,1000000\n"
+    "2,W,4096,8192,2000000\n"
+    "1,W,8192,4096,3000000\n"
+    "3,R,0,16384,4000000\n"
+    "2,R,12288,4096,5000000\n")
+set(dirty "${WORK_DIR}/policy_dirty.csv")
+set(clean "${WORK_DIR}/policy_clean.csv")
+list(GET good_rows 0 r0)
+list(GET good_rows 1 r1)
+list(GET good_rows 2 r2)
+list(GET good_rows 3 r3)
+list(GET good_rows 4 r4)
+# Bad records on lines 2 and 5: unparseable junk, then a bad offset.
+file(WRITE "${dirty}"
+     "${r0}garbage that is not csv\n${r1}${r2}2,R,zero,4096,3500000\n${r3}${r4}")
+file(WRITE "${clean}" "${r0}${r1}${r2}${r3}${r4}")
+
+# Strict is the default: the first malformed record aborts with exit 1.
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${dirty}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+            "strict: expected exit 1 for a malformed trace, got ${rc} "
+            "(stderr: ${stderr})")
+endif()
+if(NOT stderr MATCHES "line 2")
+    message(FATAL_ERROR
+            "strict diagnostic does not name line 2: ${stderr}")
+endif()
+
+# Skip: exit 0, bad records counted in the metrics dump.
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${dirty}" --error-policy skip
+            --summary-json "${WORK_DIR}/policy_skip.json"
+            --metrics-json "${WORK_DIR}/policy_metrics.json"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "skip: expected exit 0, got ${rc}: ${stderr}")
+endif()
+file(READ "${WORK_DIR}/policy_metrics.json" metrics)
+if(NOT metrics MATCHES "\"ingest.bad_records\": 2")
+    message(FATAL_ERROR
+            "metrics do not report ingest.bad_records == 2: ${metrics}")
+endif()
+
+# Golden equivalence: skipping the bad rows must match analyzing the
+# pre-cleaned trace byte for byte.
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${clean}"
+            --summary-json "${WORK_DIR}/policy_cleaned.json"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "clean: expected exit 0, got ${rc}: ${stderr}")
+endif()
+file(READ "${WORK_DIR}/policy_skip.json" json_skip)
+file(READ "${WORK_DIR}/policy_cleaned.json" json_clean)
+if(NOT json_skip STREQUAL json_clean)
+    message(FATAL_ERROR
+            "skip summary differs from the pre-cleaned trace's")
+endif()
+
+# Quarantine: both bad records land in the sidecar verbatim, each
+# under a '# reason' line.
+set(sidecar "${WORK_DIR}/policy_quarantine.txt")
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${dirty}"
+            --error-policy quarantine --quarantine-file "${sidecar}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "quarantine: expected exit 0, got ${rc}: ${stderr}")
+endif()
+file(READ "${sidecar}" entries)
+if(NOT entries MATCHES "garbage that is not csv")
+    message(FATAL_ERROR "sidecar lacks the first bad record: ${entries}")
+endif()
+if(NOT entries MATCHES "2,R,zero,4096,3500000")
+    message(FATAL_ERROR "sidecar lacks the second bad record: ${entries}")
+endif()
+string(REGEX MATCHALL "# " reasons "${entries}")
+list(LENGTH reasons reason_count)
+if(NOT reason_count EQUAL 2)
+    message(FATAL_ERROR
+            "sidecar holds ${reason_count} entries, wanted 2: ${entries}")
+endif()
+
+# Quarantine without a sidecar path is a usage error.
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${dirty}" --error-policy quarantine
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+            "quarantine without --quarantine-file: expected exit 2, "
+            "got ${rc}: ${stderr}")
+endif()
+
+# A budget below the bad-record count trips: exit 1, budget named.
+execute_process(
+    COMMAND "${CBS_TOOL}" analyze "${dirty}" --error-policy skip
+            --max-bad-records 1
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+            "tripped budget: expected exit 1, got ${rc}: ${stderr}")
+endif()
+if(NOT stderr MATCHES "error budget")
+    message(FATAL_ERROR
+            "tripped-budget diagnostic absent: ${stderr}")
+endif()
+
+message(STATUS "cbs_tool error policies honor the documented contract")

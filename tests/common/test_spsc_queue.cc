@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -149,6 +151,81 @@ TEST(SpscQueue, StressRandomizedBurstsStayInOrder)
         for (std::uint64_t i = 0; i < kItems; ++i)
             ASSERT_EQ(received[i], i);
         EXPECT_EQ(queue.size(), 0u);
+    }
+}
+
+TEST(SpscQueue, AbortUnblocksAFullQueueProducer)
+{
+    SpscQueue<int> queue(2);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+
+    // Producer blocks on the full queue; abort() must wake it and turn
+    // the pending push into a dropped no-op.
+    bool push_result = true;
+    std::thread producer([&] { push_result = queue.push(3); });
+    while (queue.fullWaits() == 0)
+        std::this_thread::yield();
+    queue.abort();
+    producer.join();
+    EXPECT_FALSE(push_result);
+    EXPECT_TRUE(queue.aborted());
+    // Every later push drops immediately.
+    EXPECT_FALSE(queue.push(4));
+    // Queued items are still drainable.
+    int v = 0;
+    ASSERT_TRUE(queue.pop(v));
+    EXPECT_EQ(v, 1);
+}
+
+/**
+ * Shutdown race: the producer is blocked on a full queue while the
+ * consumer exits. Whether the consumer leaves normally or via an
+ * exception, abort() must unblock the producer and both threads must
+ * join cleanly. Run under TSan in CI (suite name matches the
+ * sanitizer job's filter).
+ */
+TEST(SpscQueue, StressShutdownRaceWithExitingConsumer)
+{
+    for (bool consumer_throws : {false, true}) {
+        for (int round = 0; round < 200; ++round) {
+            SpscQueue<std::uint64_t> queue(2);
+            std::atomic<bool> producer_done{false};
+
+            std::thread producer([&] {
+                std::uint64_t i = 0;
+                // Push until a drop tells us the consumer is gone.
+                while (queue.push(i))
+                    ++i;
+                producer_done.store(true);
+            });
+
+            std::thread consumer([&] {
+                auto leave = [&] {
+                    // A consumer that stops popping must abort the
+                    // queue on every exit path, or the producer blocks
+                    // forever on a full queue.
+                    queue.abort();
+                };
+                try {
+                    std::uint64_t v;
+                    // Consume a handful, then exit mid-stream.
+                    for (int n = 0; n < 3 + round % 5; ++n)
+                        if (!queue.pop(v))
+                            break;
+                    if (consumer_throws)
+                        throw std::runtime_error("analyzer failed");
+                    leave();
+                } catch (...) {
+                    leave();
+                }
+            });
+
+            consumer.join();
+            producer.join();
+            EXPECT_TRUE(producer_done.load());
+            EXPECT_TRUE(queue.aborted());
+        }
     }
 }
 

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "synth/rng.h"
 #include "trace/bin_trace.h"
+#include "trace/error_policy.h"
 
 namespace cbs {
 namespace {
@@ -97,6 +99,169 @@ TEST(BinTrace, RejectsTruncatedBody)
     IoRequest r;
     ASSERT_TRUE(reader.next(r));
     EXPECT_THROW(reader.next(r), FatalError);
+}
+
+/** Serialize @p requests and chop @p chop bytes off the end. */
+std::string
+truncatedTrace(const std::vector<IoRequest> &requests, std::size_t chop)
+{
+    std::stringstream buffer;
+    BinTraceWriter writer(buffer);
+    for (const auto &r : requests)
+        writer.write(r);
+    writer.finish();
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() - chop);
+    return bytes;
+}
+
+TEST(BinTrace, TruncationNamesRecordIndexAndByteOffset)
+{
+    // Two 24-byte records behind the 16-byte header; chopping 8 bytes
+    // leaves record 1 with 16 of 24 bytes, ending at byte 16+24+16.
+    std::vector<IoRequest> reqs = {IoRequest{1, 2, 3, 4, Op::Read},
+                                   IoRequest{5, 6, 7, 8, Op::Write}};
+    std::stringstream truncated(truncatedTrace(reqs, 8));
+    BinTraceReader reader(truncated);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r, reqs[0]);
+    IoRequest before_throw = r;
+    try {
+        reader.next(r);
+        FAIL() << "truncated record was accepted";
+    } catch (const FatalError &err) {
+        std::string msg = err.what();
+        EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("byte offset 56"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("got 16 of 24"), std::string::npos) << msg;
+    }
+    // The output request was never partially filled.
+    EXPECT_EQ(r, before_throw);
+}
+
+TEST(BinTrace, HeaderDeclaringMoreRecordsThanPresentIsTruncation)
+{
+    // Chop one whole record: the reader meets EOF (0 bytes) where the
+    // header promised record 1.
+    std::vector<IoRequest> reqs = {IoRequest{1, 2, 3, 4, Op::Read},
+                                   IoRequest{5, 6, 7, 8, Op::Write}};
+    std::stringstream truncated(truncatedTrace(reqs, 24));
+    BinTraceReader reader(truncated);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    try {
+        reader.next(r);
+        FAIL() << "missing record was accepted";
+    } catch (const FatalError &err) {
+        std::string msg = err.what();
+        EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("byte offset 40"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("got 0 of 24"), std::string::npos) << msg;
+    }
+}
+
+TEST(BinTrace, BatchTruncationDeliversThePrefixBeforeThrowing)
+{
+    std::vector<IoRequest> reqs = {IoRequest{1, 2, 3, 4, Op::Read},
+                                   IoRequest{5, 6, 7, 8, Op::Write},
+                                   IoRequest{9, 10, 11, 12, Op::Read}};
+    std::stringstream truncated(truncatedTrace(reqs, 4));
+    BinTraceReader reader(truncated);
+    std::vector<IoRequest> out;
+    EXPECT_THROW(reader.nextBatch(out, 8), FatalError);
+    // The complete-record prefix was decoded before the throw; no
+    // partially-filled request leaks into the batch.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], reqs[0]);
+    EXPECT_EQ(out[1], reqs[1]);
+}
+
+TEST(BinTrace, TolerantPolicyKeepsThePrefixAndEndsTheStream)
+{
+    std::vector<IoRequest> reqs = {IoRequest{1, 2, 3, 4, Op::Read},
+                                   IoRequest{5, 6, 7, 8, Op::Write},
+                                   IoRequest{9, 10, 11, 12, Op::Read}};
+    std::stringstream truncated(truncatedTrace(reqs, 4));
+    BinTraceReader reader(truncated);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    reader.setErrorPolicy(policy);
+
+    std::vector<IoRequest> out;
+    EXPECT_EQ(reader.nextBatch(out, 8), 2u);
+    EXPECT_EQ(out[0], reqs[0]);
+    EXPECT_EQ(out[1], reqs[1]);
+    EXPECT_EQ(reader.badRecords(), 1u);
+    // The torn tail ends the stream cleanly.
+    EXPECT_EQ(reader.nextBatch(out, 8), 0u);
+    EXPECT_EQ(reader.sizeHint(), 0u);
+    IoRequest r;
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(BinTrace, QuarantineWritesTheTornTailAsHex)
+{
+    std::vector<IoRequest> reqs = {IoRequest{1, 2, 3, 4, Op::Read},
+                                   IoRequest{5, 6, 7, 8, Op::Write}};
+    std::stringstream truncated(truncatedTrace(reqs, 8));
+    std::ostringstream sidecar;
+    BinTraceReader reader(truncated);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Quarantine;
+    policy.quarantine = &sidecar;
+    reader.setErrorPolicy(policy);
+
+    std::vector<IoRequest> out;
+    EXPECT_EQ(reader.nextBatch(out, 8), 1u);
+    std::string entry = sidecar.str();
+    EXPECT_NE(entry.find("# binary trace truncated at record 1"),
+              std::string::npos)
+        << entry;
+    // 16 partial bytes render as 32 hex characters on their own line.
+    std::istringstream lines(entry);
+    std::string reason, payload;
+    ASSERT_TRUE(std::getline(lines, reason));
+    ASSERT_TRUE(std::getline(lines, payload));
+    EXPECT_EQ(payload.size(), 32u);
+    EXPECT_EQ(payload.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+}
+
+TEST(BinTrace, HeaderTruncationIsAlwaysFatal)
+{
+    std::stringstream buffer;
+    buffer << "CBST\x01"; // 5 of 16 header bytes
+    try {
+        BinTraceReader reader(buffer);
+        FAIL() << "truncated header was accepted";
+    } catch (const FatalError &err) {
+        std::string msg = err.what();
+        EXPECT_NE(msg.find("header"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("got 5 of 16"), std::string::npos) << msg;
+    }
+}
+
+TEST(BinTrace, ResetClearsTruncationStateAndBudget)
+{
+    std::vector<IoRequest> reqs = {IoRequest{1, 2, 3, 4, Op::Read},
+                                   IoRequest{5, 6, 7, 8, Op::Write}};
+    std::stringstream truncated(truncatedTrace(reqs, 8));
+    BinTraceReader reader(truncated);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    policy.max_bad_records = 1;
+    reader.setErrorPolicy(policy);
+
+    std::vector<IoRequest> out;
+    EXPECT_EQ(reader.nextBatch(out, 8), 1u);
+    EXPECT_EQ(reader.badRecords(), 1u);
+    reader.reset();
+    // The replay re-reads the prefix and tolerates the same torn tail
+    // without tripping a half-consumed budget.
+    EXPECT_EQ(reader.nextBatch(out, 8), 1u);
+    EXPECT_EQ(out[0], reqs[0]);
+    EXPECT_EQ(reader.badRecords(), 1u);
 }
 
 TEST(BinTrace, RejectsOversizedVolumeId)

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "trace/csv.h"
+#include "trace/error_policy.h"
 
 namespace cbs {
 namespace {
@@ -183,6 +185,253 @@ TEST(MsrcCsvFuzz, RejectsOutOfOrderTimestamps)
         "128166372003062629,hm,0,Read,0,512,1\n"
         "128166372003061629,hm,0,Write,0,512,1\n",
         "line 3");
+}
+
+TEST(AliCloudCsvFuzz, LineNumbersCountBlankAndCrlfOnlyLines)
+{
+    // Blank and CRLF-only lines are skipped but still counted, so the
+    // diagnostic names the line an editor would show.
+    expectRejects<AliCloudCsvReader>("1,R,0,512,1\n"
+                                     "\n"
+                                     "\r\n"
+                                     "4,R,junk,512,4\n",
+                                     "line 4");
+}
+
+// ---------------------------------------------------------------------
+// Read-error policies over the malformed corpus.
+
+/** Three bad lines interleaved with four good ones. */
+const char *const kDirtyAliCloud = "1,R,0,512,1\n"
+                                   "garbage\n"
+                                   "2,W,0,512,2\n"
+                                   "3,R,zero,512,3\n"
+                                   "4,W,0,512,4\n"
+                                   "5,X,0,512,5\n"
+                                   "6,R,0,512,6\n";
+constexpr std::uint64_t kDirtyBad = 3;
+constexpr std::uint64_t kDirtyGood = 4;
+
+std::vector<IoRequest>
+drainAll(TraceSource &source)
+{
+    std::vector<IoRequest> out, batch;
+    while (source.nextBatch(batch, 3))
+        out.insert(out.end(), batch.begin(), batch.end());
+    return out;
+}
+
+TEST(CsvErrorPolicy, StrictIsTheDefaultAndThrows)
+{
+    std::istringstream in(kDirtyAliCloud);
+    AliCloudCsvReader reader(in);
+    EXPECT_EQ(reader.errorPolicy(), ReadErrorPolicy::Strict);
+    IoRequest req;
+    ASSERT_TRUE(reader.next(req));
+    EXPECT_THROW(reader.next(req), FatalError);
+}
+
+TEST(CsvErrorPolicy, SkipRecoversCountsAndResyncs)
+{
+    std::istringstream in(kDirtyAliCloud);
+    AliCloudCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    reader.setErrorPolicy(policy);
+
+    obs::MetricsRegistry registry;
+    reader.attachMetrics(registry);
+
+    auto out = drainAll(reader);
+    ASSERT_EQ(out.size(), kDirtyGood);
+    EXPECT_EQ(out[0].volume, 1u);
+    EXPECT_EQ(out[1].volume, 2u);
+    EXPECT_EQ(out[2].volume, 4u);
+    EXPECT_EQ(out[3].volume, 6u);
+    EXPECT_EQ(reader.badRecords(), kDirtyBad);
+    EXPECT_EQ(reader.recordCount(), kDirtyGood);
+    EXPECT_EQ(registry.counter("ingest.bad_records").value(),
+              kDirtyBad);
+    EXPECT_EQ(registry.counter("ingest.records").value(), kDirtyGood);
+}
+
+TEST(CsvErrorPolicy, QuarantineWritesVerbatimRecordsWithReasons)
+{
+    std::istringstream in(kDirtyAliCloud);
+    std::ostringstream sidecar;
+    AliCloudCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Quarantine;
+    policy.quarantine = &sidecar;
+    reader.setErrorPolicy(policy);
+
+    auto out = drainAll(reader);
+    EXPECT_EQ(out.size(), kDirtyGood);
+    EXPECT_EQ(reader.badRecords(), kDirtyBad);
+
+    // One "# reason" line + the record verbatim, per bad record.
+    std::istringstream lines(sidecar.str());
+    std::string line;
+    std::vector<std::string> got;
+    while (std::getline(lines, line))
+        got.push_back(line);
+    ASSERT_EQ(got.size(), 2 * kDirtyBad);
+    EXPECT_NE(got[0].find("# "), std::string::npos);
+    EXPECT_NE(got[0].find("line 2"), std::string::npos);
+    EXPECT_EQ(got[1], "garbage");
+    EXPECT_NE(got[2].find("line 4"), std::string::npos);
+    EXPECT_EQ(got[3], "3,R,zero,512,3");
+    EXPECT_NE(got[4].find("line 6"), std::string::npos);
+    EXPECT_EQ(got[5], "5,X,0,512,5");
+}
+
+TEST(CsvErrorPolicy, BudgetTripsAtExactlyMaxPlusOne)
+{
+    // max_bad_records bad records are tolerated; the next one throws.
+    {
+        std::istringstream in(kDirtyAliCloud);
+        AliCloudCsvReader reader(in);
+        ErrorPolicyOptions policy;
+        policy.policy = ReadErrorPolicy::Skip;
+        policy.max_bad_records = kDirtyBad;
+        reader.setErrorPolicy(policy);
+        EXPECT_EQ(drainAll(reader).size(), kDirtyGood);
+        EXPECT_EQ(reader.badRecords(), kDirtyBad);
+    }
+    {
+        std::istringstream in(kDirtyAliCloud);
+        AliCloudCsvReader reader(in);
+        ErrorPolicyOptions policy;
+        policy.policy = ReadErrorPolicy::Skip;
+        policy.max_bad_records = kDirtyBad - 1;
+        reader.setErrorPolicy(policy);
+        try {
+            drainAll(reader);
+            FAIL() << "budget did not trip";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find(
+                          "error budget exhausted"),
+                      std::string::npos)
+                << err.what();
+        }
+        EXPECT_EQ(reader.badRecords(), kDirtyBad - 1);
+    }
+}
+
+TEST(CsvErrorPolicy, FractionalBudgetTrips)
+{
+    std::istringstream in(kDirtyAliCloud);
+    AliCloudCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    policy.max_bad_fraction = 0.2; // 3 of 7 is far above 20%
+    policy.fraction_min_records = 4;
+    reader.setErrorPolicy(policy);
+    EXPECT_THROW(drainAll(reader), FatalError);
+
+    // A permissive fraction lets the same corpus through.
+    std::istringstream in2(kDirtyAliCloud);
+    AliCloudCsvReader reader2(in2);
+    policy.max_bad_fraction = 0.9;
+    reader2.setErrorPolicy(policy);
+    EXPECT_EQ(drainAll(reader2).size(), kDirtyGood);
+}
+
+TEST(CsvErrorPolicy, ResetRestartsTheBudget)
+{
+    std::istringstream in(kDirtyAliCloud);
+    AliCloudCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    policy.max_bad_records = kDirtyBad;
+    reader.setErrorPolicy(policy);
+    EXPECT_EQ(drainAll(reader).size(), kDirtyGood);
+    reader.reset();
+    // The replay tolerates the same errors again instead of tripping
+    // a half-consumed budget.
+    EXPECT_EQ(drainAll(reader).size(), kDirtyGood);
+    EXPECT_EQ(reader.badRecords(), kDirtyBad);
+}
+
+TEST(CsvErrorPolicy, WholeMalformedCorpusUnderAllThreePolicies)
+{
+    // Every malformed line from the fuzz corpus, sandwiched between
+    // good records: strict throws, skip and quarantine recover with
+    // exactly one bad record counted.
+    for (const char *bad : {
+             "1,R,-5,512,2\n",
+             "1,R,0,-512,2\n",
+             "1,R,0,512,-1\n",
+             "1,R,0,512,1e3\n",
+             "1,R,0x10,512,2\n",
+             "1,R,0,512,1.5\n",
+             "1,R, 0,512,2\n",
+             "1,R,0,512,\n",
+             ",R,0,512,2\n",
+             "99999999999999999999,R,0,512,2\n",
+             "1,R,0,99999999999,2\n",
+             "1,Q,0,512,2\n",
+             "garbage\n",
+             "1,R,0,512,0\n", // timestamp goes backwards
+         }) {
+        SCOPED_TRACE(bad);
+        std::string input = std::string("1,R,0,512,1\n") + bad +
+                            "2,W,0,512,3\n";
+        {
+            std::istringstream in(input);
+            AliCloudCsvReader reader(in);
+            EXPECT_THROW(drainAll(reader), FatalError);
+        }
+        for (ReadErrorPolicy p :
+             {ReadErrorPolicy::Skip, ReadErrorPolicy::Quarantine}) {
+            std::istringstream in(input);
+            std::ostringstream sidecar;
+            AliCloudCsvReader reader(in);
+            ErrorPolicyOptions policy;
+            policy.policy = p;
+            if (p == ReadErrorPolicy::Quarantine)
+                policy.quarantine = &sidecar;
+            reader.setErrorPolicy(policy);
+            auto out = drainAll(reader);
+            ASSERT_EQ(out.size(), 2u);
+            EXPECT_EQ(out[0].volume, 1u);
+            EXPECT_EQ(out[1].volume, 2u);
+            EXPECT_EQ(reader.badRecords(), 1u);
+            if (p == ReadErrorPolicy::Quarantine) {
+                std::string bad_line(bad);
+                bad_line.pop_back(); // the sidecar re-adds the \n
+                EXPECT_NE(sidecar.str().find(bad_line),
+                          std::string::npos);
+            }
+        }
+    }
+}
+
+TEST(CsvErrorPolicy, MsrcSkippedLinesDoNotRegisterVolumeIds)
+{
+    // The bad line names a new hostname; skipping it must not burn a
+    // volume id, so the next new hostname gets id 1.
+    std::istringstream in("100,h0,0,Read,0,512,1\n"
+                          "200,h1,0,Flush,0,512,1\n"
+                          "300,h2,0,Write,0,512,1\n");
+    MsrcCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    reader.setErrorPolicy(policy);
+    auto out = drainAll(reader);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].volume, 0u);
+    EXPECT_EQ(out[1].volume, 1u);
+    EXPECT_EQ(reader.badRecords(), 1u);
+}
+
+TEST(CsvErrorPolicy, QuarantineWithoutStreamIsRejected)
+{
+    std::istringstream in(kDirtyAliCloud);
+    AliCloudCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Quarantine;
+    EXPECT_THROW(reader.setErrorPolicy(policy), FatalError);
 }
 
 TEST(MsrcCsvFuzz, NextBatchNeverReturnsPartialRecords)

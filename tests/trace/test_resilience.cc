@@ -1,0 +1,320 @@
+/**
+ * @file
+ * RetryingSource and FaultInjectingSource: transient-vs-permanent
+ * classification, backoff sequencing with an injected sleep recorder,
+ * and deterministic seeded fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <ios>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "trace/csv.h"
+#include "trace/resilience.h"
+
+namespace cbs {
+namespace {
+
+std::vector<IoRequest>
+makeRequests(std::size_t n)
+{
+    std::vector<IoRequest> out;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(IoRequest{
+            static_cast<TimeUs>(i), 4096 * i, 512,
+            static_cast<VolumeId>(i % 7), i % 3 ? Op::Write : Op::Read});
+    return out;
+}
+
+/** Source that throws TransientErrors while armed. */
+class FlakySource : public TraceSource
+{
+  public:
+    explicit FlakySource(std::vector<IoRequest> reqs)
+        : inner_(std::move(reqs))
+    {
+    }
+
+    /** Arm @p n failures before the next successful read. */
+    void armFailures(int n) { remaining_ = n; }
+
+    int thrown() const { return thrown_; }
+
+    bool
+    next(IoRequest &req) override
+    {
+        maybeThrow();
+        return inner_.next(req);
+    }
+
+    void reset() override { inner_.reset(); }
+
+  protected:
+    std::size_t
+    nextBatchImpl(std::vector<IoRequest> &out,
+                  std::size_t max_requests) override
+    {
+        maybeThrow();
+        return inner_.nextBatch(out, max_requests);
+    }
+
+  private:
+    void
+    maybeThrow()
+    {
+        if (remaining_ > 0) {
+            --remaining_;
+            ++thrown_;
+            throw TransientError("flaky read");
+        }
+    }
+
+    VectorSource inner_;
+    int remaining_ = 0;
+    int thrown_ = 0;
+};
+
+TEST(RetryingSource, ClassifiesTransientVersusPermanent)
+{
+    EXPECT_TRUE(
+        RetryingSource::isTransient(TransientError("hiccup")));
+    EXPECT_TRUE(RetryingSource::isTransient(
+        std::ios_base::failure("stream broke")));
+    EXPECT_FALSE(RetryingSource::isTransient(
+        FatalError("bad record (x.cc:1)")));
+    EXPECT_FALSE(
+        RetryingSource::isTransient(std::runtime_error("other")));
+}
+
+TEST(RetryingSource, RetriesTransientFailuresToSuccess)
+{
+    FlakySource flaky(makeRequests(100));
+    flaky.armFailures(2);
+    RetryOptions options;
+    options.max_attempts = 4;
+    options.sleep = [](std::uint64_t) {}; // no real sleeping in tests
+    RetryingSource source(flaky, options);
+
+    auto out = drain(source);
+    ASSERT_EQ(out.size(), 100u);
+    EXPECT_EQ(source.retries(), 2u);
+    EXPECT_EQ(source.exhausted(), 0u);
+}
+
+TEST(RetryingSource, GivesUpAfterMaxAttemptsAndRethrows)
+{
+    // Three armed failures but only three attempts total: the read
+    // cannot succeed.
+    FlakySource flaky(makeRequests(10));
+    flaky.armFailures(3);
+    RetryOptions options;
+    options.max_attempts = 3;
+    options.sleep = [](std::uint64_t) {};
+    obs::MetricsRegistry registry;
+    options.metrics = &registry;
+    RetryingSource source(flaky, options);
+
+    std::vector<IoRequest> out;
+    EXPECT_THROW(source.nextBatch(out, 8), TransientError);
+    EXPECT_EQ(flaky.thrown(), 3);
+    EXPECT_EQ(source.retries(), 2u); // 2 retries after the first try
+    EXPECT_EQ(source.exhausted(), 1u);
+    EXPECT_EQ(registry.counter("retry.attempts").value(), 2u);
+    EXPECT_EQ(registry.counter("retry.exhausted").value(), 1u);
+}
+
+TEST(RetryingSource, PermanentErrorsAreNotRetried)
+{
+    std::istringstream in("1,R,junk,512,1\n");
+    AliCloudCsvReader reader(in);
+    RetryOptions options;
+    options.sleep = [](std::uint64_t) {};
+    RetryingSource source(reader, options);
+    std::vector<IoRequest> out;
+    EXPECT_THROW(source.nextBatch(out, 8), FatalError);
+}
+
+TEST(RetryingSource, BackoffIsCappedExponentialWithSeededJitter)
+{
+    auto delays_with_seed = [](std::uint64_t seed) {
+        FlakySource flaky(makeRequests(10));
+        flaky.armFailures(5);
+        RetryOptions options;
+        options.max_attempts = 6;
+        options.base_backoff_us = 1000;
+        options.max_backoff_us = 4000;
+        options.seed = seed;
+        std::vector<std::uint64_t> delays;
+        options.sleep = [&](std::uint64_t us) { delays.push_back(us); };
+        RetryingSource source(flaky, options);
+        auto out = drain(source);
+        EXPECT_EQ(out.size(), 10u);
+        return delays;
+    };
+
+    auto delays = delays_with_seed(7);
+    ASSERT_EQ(delays.size(), 5u);
+    // Retry k backs off min(base << (k-1), max) plus jitter in
+    // [0, backoff/2]: 1000, 2000, 4000 (capped), 4000, 4000.
+    const std::uint64_t base[] = {1000, 2000, 4000, 4000, 4000};
+    for (std::size_t k = 0; k < 5; ++k) {
+        EXPECT_GE(delays[k], base[k]) << "retry " << k;
+        EXPECT_LE(delays[k], base[k] + base[k] / 2) << "retry " << k;
+    }
+    // Deterministic: the same seed reproduces the same delays; a
+    // different seed jitters differently.
+    EXPECT_EQ(delays, delays_with_seed(7));
+    EXPECT_NE(delays, delays_with_seed(8));
+}
+
+TEST(FaultInjectingSource, CleanPlanIsTransparent)
+{
+    auto reqs = makeRequests(500);
+    VectorSource inner(reqs);
+    FaultInjectingSource source(inner, FaultPlan{});
+    auto out = drain(source);
+    EXPECT_EQ(out, reqs);
+    EXPECT_EQ(source.injected().transients, 0u);
+    EXPECT_EQ(source.injected().corrupt, 0u);
+}
+
+TEST(FaultInjectingSource, TransientsThrowOncePerBatchIndex)
+{
+    auto reqs = makeRequests(2000);
+    VectorSource inner(reqs);
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.transient_per_batch = 0.3;
+    FaultInjectingSource source(inner, plan);
+
+    // A bare retry loop (no backoff) must always make progress because
+    // each afflicted batch index throws exactly once.
+    std::vector<IoRequest> out, batch;
+    for (;;) {
+        try {
+            if (!source.nextBatch(batch, 64))
+                break;
+        } catch (const TransientError &) {
+            continue;
+        }
+        out.insert(out.end(), batch.begin(), batch.end());
+    }
+    EXPECT_EQ(out, reqs);
+    EXPECT_GT(source.injected().transients, 0u);
+}
+
+TEST(FaultInjectingSource, TornBatchesLoseNoRecords)
+{
+    auto reqs = makeRequests(3000);
+    VectorSource inner(reqs);
+    FaultPlan plan;
+    plan.seed = 9;
+    plan.torn_per_batch = 0.5;
+    FaultInjectingSource source(inner, plan);
+    // Small batches so many batch indexes get rolled for tearing.
+    std::vector<IoRequest> out, batch;
+    while (source.nextBatch(batch, 64))
+        out.insert(out.end(), batch.begin(), batch.end());
+    EXPECT_EQ(out, reqs);
+    EXPECT_GT(source.injected().torn, 0u);
+}
+
+TEST(FaultInjectingSource, CorruptRecordsFollowTheErrorPolicy)
+{
+    auto reqs = makeRequests(2000);
+    // Strict: the first corrupt record throws.
+    {
+        VectorSource inner(reqs);
+        FaultPlan plan;
+        plan.seed = 5;
+        plan.corrupt_per_record = 0.05;
+        FaultInjectingSource source(inner, plan);
+        std::vector<IoRequest> batch;
+        EXPECT_THROW(
+            {
+                while (source.nextBatch(batch, 64)) {
+                }
+            },
+            FatalError);
+    }
+    // Skip: corrupt records are dropped and counted, the rest arrive.
+    {
+        VectorSource inner(reqs);
+        FaultPlan plan;
+        plan.seed = 5;
+        plan.corrupt_per_record = 0.05;
+        FaultInjectingSource source(inner, plan);
+        ErrorPolicyOptions policy;
+        policy.policy = ReadErrorPolicy::Skip;
+        source.setErrorPolicy(policy);
+        auto out = drain(source);
+        EXPECT_EQ(out.size() + source.injected().corrupt, reqs.size());
+        EXPECT_GT(source.injected().corrupt, 0u);
+        EXPECT_EQ(source.badRecords(), source.injected().corrupt);
+    }
+}
+
+TEST(FaultInjectingSource, SameSeedInjectsIdenticalFaults)
+{
+    auto run = [](std::uint64_t seed) {
+        auto reqs = makeRequests(4000);
+        VectorSource inner(reqs);
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.transient_per_batch = 0.2;
+        plan.torn_per_batch = 0.3;
+        plan.corrupt_per_record = 0.01;
+        FaultInjectingSource source(inner, plan);
+        ErrorPolicyOptions policy;
+        policy.policy = ReadErrorPolicy::Skip;
+        source.setErrorPolicy(policy);
+        std::vector<IoRequest> out, batch;
+        for (;;) {
+            try {
+                if (!source.nextBatch(batch, 64))
+                    break;
+            } catch (const TransientError &) {
+                continue;
+            }
+            out.insert(out.end(), batch.begin(), batch.end());
+        }
+        return std::make_pair(out, source.injected());
+    };
+
+    auto [out_a, injected_a] = run(123);
+    auto [out_b, injected_b] = run(123);
+    EXPECT_EQ(out_a, out_b);
+    EXPECT_EQ(injected_a.transients, injected_b.transients);
+    EXPECT_EQ(injected_a.torn, injected_b.torn);
+    EXPECT_EQ(injected_a.corrupt, injected_b.corrupt);
+
+    auto [out_c, injected_c] = run(124);
+    EXPECT_NE(out_a, out_c); // a different seed corrupts differently
+}
+
+TEST(FaultInjectingSource, ResetReplaysTheSameFaultSchedule)
+{
+    auto reqs = makeRequests(1000);
+    VectorSource inner(reqs);
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.corrupt_per_record = 0.02;
+    FaultInjectingSource source(inner, plan);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    source.setErrorPolicy(policy);
+
+    auto first = drain(source);
+    std::uint64_t corrupt_first = source.injected().corrupt;
+    source.reset();
+    auto second = drain(source);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(source.injected().corrupt, 2 * corrupt_first);
+}
+
+} // namespace
+} // namespace cbs
