@@ -16,6 +16,13 @@
  * --json embeds each run's registry dump — ingest totals, per-analyzer
  * timings, per-shard queue stats — next to its wall-clock numbers.
  *
+ * A second section measures the on-disk format substrate: the same
+ * trace is materialized as AliCloud CSV, CBST binary, and CBT2
+ * columnar files, then timed decode-only (pure ingest) and end-to-end
+ * (ingest + 4-shard pipeline), plus a multi-lane CBT2 run where
+ * split(4) partitions feed four parallel decoders. Speedups in that
+ * section are relative to the CSV row of the same kind.
+ *
  * --json <path> additionally writes the measurements as JSON for
  * machine consumption (CI trend tracking).
  */
@@ -23,6 +30,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -42,6 +50,10 @@
 #include "common/format.h"
 #include "obs/metrics.h"
 #include "report/workbench.h"
+#include "trace/bin_trace.h"
+#include "trace/cbt2.h"
+#include "trace/csv.h"
+#include "trace/open.h"
 #include "trace/trace_source.h"
 
 using namespace cbs;
@@ -102,6 +114,89 @@ timedRun(VectorSource &requests, bool parallel, std::size_t shards,
                          std::chrono::steady_clock::now() - start)
                          .count();
     requests.detachMetrics();
+    std::ostringstream dump;
+    registry.writeJson(dump);
+    metrics_json = dump.str();
+    return seconds;
+}
+
+/** Drain a source batch-wise; returns elapsed seconds. */
+double
+timedDecode(TraceSource &source)
+{
+    std::vector<IoRequest> batch;
+    auto start = std::chrono::steady_clock::now();
+    while (source.nextBatch(batch, 8192) > 0) {
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** The three on-disk encodings of the bench trace. */
+struct FormatFiles
+{
+    std::string csv;
+    std::string bin;
+    std::string cbt2;
+
+    ~FormatFiles()
+    {
+        std::error_code ec;
+        for (const std::string *path : {&csv, &bin, &cbt2})
+            if (!path->empty())
+                std::filesystem::remove(*path, ec);
+    }
+};
+
+void
+materialize(const VectorSource &requests, FormatFiles &files)
+{
+    auto dir = std::filesystem::temp_directory_path();
+    files.csv = (dir / "cbs_bench_trace.csv").string();
+    files.bin = (dir / "cbs_bench_trace.bin").string();
+    files.cbt2 = (dir / "cbs_bench_trace.cbt2").string();
+    {
+        std::ofstream out(files.csv);
+        AliCloudCsvWriter writer(out);
+        for (const IoRequest &req : requests.requests())
+            writer.write(req);
+    }
+    {
+        std::ofstream out(files.bin, std::ios::binary);
+        BinTraceWriter writer(out);
+        for (const IoRequest &req : requests.requests())
+            writer.write(req);
+        writer.finish();
+    }
+    {
+        std::ofstream out(files.cbt2, std::ios::binary);
+        Cbt2Writer writer(out);
+        for (const IoRequest &req : requests.requests())
+            writer.write(req);
+        writer.finish();
+    }
+}
+
+/** End-to-end: open the file, run the 4-shard pipeline over it. */
+double
+timedFormatRun(const std::string &path, std::size_t ingest_lanes,
+               std::string &metrics_json)
+{
+    AnalyzerSet set;
+    obs::MetricsRegistry registry;
+    TraceOpenOptions open_options;
+    open_options.metrics = &registry;
+    auto opened = openTraceSource(path, open_options);
+    auto start = std::chrono::steady_clock::now();
+    ParallelOptions options;
+    options.shards = 4;
+    options.ingest_lanes = ingest_lanes;
+    options.metrics = &registry;
+    runPipelineParallel(opened->source(), set.all(), options);
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
     std::ostringstream dump;
     registry.writeJson(dump);
     metrics_json = dump.str();
@@ -204,6 +299,62 @@ main(int argc, char **argv)
                serial_sec);
         rows.back().metrics_json = metrics_json;
     }
+
+    // Format substrate: the same trace from disk in each encoding.
+    std::printf("\nformat substrate (decode-only, then e2e with "
+                "4 shards; speedup vs the csv row):\n");
+    FormatFiles files;
+    materialize(requests, files);
+    std::printf("file sizes: csv %s, bin %s, cbt2 %s\n\n",
+                formatBytes(std::filesystem::file_size(files.csv))
+                    .c_str(),
+                formatBytes(std::filesystem::file_size(files.bin))
+                    .c_str(),
+                formatBytes(std::filesystem::file_size(files.cbt2))
+                    .c_str());
+    std::printf("%-16s  %9s  %14s  %7s\n", "config", "time",
+                "throughput", "speedup");
+
+    auto decodeSeconds = [&](const std::string &path) {
+        auto opened = openTraceSource(path);
+        return timedDecode(opened->source());
+    };
+    double decode_csv = decodeSeconds(files.csv);
+    record("decode-csv", 0, decode_csv, decode_csv);
+    record("decode-bin", 0, decodeSeconds(files.bin), decode_csv);
+    record("decode-cbt2", 0, decodeSeconds(files.cbt2), decode_csv);
+
+    // Multi-lane decode: split(4) partitions drained concurrently.
+    {
+        auto reader = Cbt2Reader::fromFile(files.cbt2);
+        auto partitions = reader->split(4);
+        auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        threads.reserve(partitions.size());
+        for (auto &partition : partitions)
+            threads.emplace_back(
+                [&partition] { timedDecode(*partition); });
+        for (auto &thread : threads)
+            thread.join();
+        double sec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+        record("decode-cbt2-lane" + std::to_string(partitions.size()),
+               0, sec, decode_csv);
+    }
+
+    double e2e_csv = timedFormatRun(files.csv, 1, metrics_json);
+    record("e2e-csv", 4, e2e_csv, e2e_csv);
+    rows.back().metrics_json = metrics_json;
+    record("e2e-bin", 4, timedFormatRun(files.bin, 1, metrics_json),
+           e2e_csv);
+    rows.back().metrics_json = metrics_json;
+    record("e2e-cbt2", 4, timedFormatRun(files.cbt2, 1, metrics_json),
+           e2e_csv);
+    rows.back().metrics_json = metrics_json;
+    record("e2e-cbt2-lanes4", 4,
+           timedFormatRun(files.cbt2, 4, metrics_json), e2e_csv);
+    rows.back().metrics_json = metrics_json;
 
     if (!json_path.empty())
         writeJson(json_path, count, rows);

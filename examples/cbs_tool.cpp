@@ -2,49 +2,48 @@
  * @file
  * cbs_tool: the toolkit's command-line front end.
  *
- * Subcommands:
- *   analyze <trace> [--msrc|--bin] [--block N] [--interval MIN]
- *           [--threads N] [--summary-json PATH] [--metrics-json PATH]
- *           [--progress] [--error-policy strict|skip|quarantine]
- *           [--max-bad-records N|FRAC] [--quarantine-file PATH]
- *           [--retry N] [--degraded-ok]
+ * Subcommands (each takes --help for the full flag list):
+ *
+ *   analyze <trace>
  *       Full workload characterization (the WorkloadSummary facade)
- *       of a real trace: AliCloud CSV by default, SNIA MSRC CSV with
- *       --msrc, compact binary with --bin. --threads N shards the
- *       analysis across N worker threads (0 = one per hardware
- *       thread); results are identical to the single-threaded run.
- *       --summary-json writes the characterization as deterministic
- *       JSON (byte-identical across thread counts); --metrics-json
- *       dumps the run's observability registry (ingest totals,
- *       per-analyzer timings, per-shard queue stats — see
- *       docs/observability.md); --progress prints a periodic
- *       records/s / bytes/s / queue-depth line to stderr.
- *       Resilience (see docs/resilience.md): --error-policy picks how
- *       malformed records are handled (strict aborts — the default;
- *       skip drops and counts; quarantine also copies each bad record
- *       to --quarantine-file); --max-bad-records bounds the tolerated
- *       errors, as an absolute count or, with a '.', a fraction of
- *       records read; --retry N makes transient read failures retry
- *       up to N attempts with capped exponential backoff;
- *       --degraded-ok lets a multi-threaded run survive an analyzer
- *       failure on one shard, excluding that shard from the merge and
- *       reporting per-lane status in the summary JSON.
+ *       of a real trace. The format is sniffed from the file content
+ *       (AliCloud CSV, MSRC CSV, CBST binary, CBT2 columnar); use
+ *       --format (or the --msrc/--bin/--cbt2 shorthands) to override.
+ *       --threads N shards the analysis across N worker threads
+ *       (0 = one per hardware thread); --ingest-lanes N additionally
+ *       splits a CBT2 input into N parallel decode lanes feeding the
+ *       shards. Results are byte-identical across formats, thread
+ *       counts, and lane counts. --summary-json writes the
+ *       characterization as deterministic JSON; --metrics-json dumps
+ *       the run's observability registry; --progress prints a periodic
+ *       records/s / percent-complete line to stderr. Resilience flags
+ *       (--error-policy, --max-bad-records, --quarantine-file,
+ *       --retry, --degraded-ok) are described in docs/resilience.md.
  *
- *       Flags take either '--flag value' or '--flag=value' form.
+ *   convert <in> <out>
+ *       Re-encode a trace between formats, streaming (bounded
+ *       memory). The input format is sniffed; the output format comes
+ *       from the extension (.csv/.bin/.cbt2) or --out-format. The
+ *       read-error policy flags apply to the input side, so a damaged
+ *       trace can be converted with the bad records dropped or
+ *       quarantined.
  *
- *   generate <out.csv|out.bin> [--msrc] [--volumes N] [--requests N]
- *            [--seed S]
- *       Write a paper-calibrated synthetic trace in AliCloud CSV
- *       format (or binary when the path ends in .bin).
+ *   generate <out.csv|out.bin|out.cbt2>
+ *       Write a paper-calibrated synthetic trace; the extension picks
+ *       the encoding.
  *
- *   mrc <trace> [--msrc|--bin] [--volume V] [--rate R]
+ *   mrc <trace>
  *       Miss-ratio curve of one volume (or all requests) via SHARDS
- *       sampled reuse distances at rate R (default 0.1).
+ *       sampled reuse distances. For CBT2 inputs a --volume filter is
+ *       pushed down to chunk skipping.
  *
- *   compare <trace_a> <trace_b> [--msrc|--bin]
+ *   compare <trace_a> <trace_b>
  *       Side-by-side characterization of two traces (the paper's
- *       AliCloud-vs-MSRC methodology for your own data). Format flags
- *       apply to both inputs.
+ *       AliCloud-vs-MSRC methodology for your own data).
+ *
+ * All trace inputs go through openTraceSource (trace/open.h): one
+ * declarative open that sniffs the format, arms the error policy,
+ * attaches metrics, and wraps retries.
  *
  * Exit status: 0 on success, 1 on input errors (including a tripped
  * error budget and transient failures that out-lasted --retry), 2 on
@@ -54,7 +53,6 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -64,248 +62,653 @@
 
 #include "analysis/volume_classes.h"
 #include "analysis/workload_summary.h"
+#include "cache/shards.h"
+#include "cli/arg_parser.h"
+#include "common/format.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
-#include "cache/shards.h"
-#include "common/format.h"
 #include "report/table.h"
 #include "synth/models.h"
 #include "trace/bin_trace.h"
+#include "trace/cbt2.h"
 #include "trace/csv.h"
 #include "trace/error_policy.h"
-#include "trace/resilience.h"
+#include "trace/open.h"
 
 using namespace cbs;
+using cbs::cli::ArgParser;
 
 namespace {
-
-struct Args
-{
-    std::vector<std::string> positional;
-    bool msrc = false;
-    bool bin = false;
-    std::uint64_t block = kDefaultBlockSize;
-    std::uint64_t interval_min = 10;
-    std::size_t volumes = 100;
-    double requests = 500000;
-    std::uint64_t seed = 1;
-    std::optional<VolumeId> volume;
-    double rate = 0.1;
-    std::optional<std::size_t> threads;
-    std::string summary_json;
-    std::string metrics_json;
-    bool progress = false;
-    std::string error_policy;
-    std::string max_bad_records;
-    std::string quarantine_file;
-    int retry = 0;
-    bool degraded_ok = false;
-};
 
 int
 usage()
 {
     std::fprintf(
         stderr,
-        "usage: cbs_tool analyze <trace> [--msrc|--bin] [--block N]\n"
-        "                [--interval MIN] [--threads N]\n"
-        "                [--summary-json PATH] [--metrics-json PATH]\n"
-        "                [--progress]\n"
-        "                [--error-policy strict|skip|quarantine]\n"
-        "                [--max-bad-records N|FRAC]\n"
-        "                [--quarantine-file PATH] [--retry N]\n"
-        "                [--degraded-ok]\n"
-        "       cbs_tool generate <out.csv|out.bin> [--msrc]\n"
-        "                [--volumes N] [--requests N] [--seed S]\n"
-        "       cbs_tool mrc <trace> [--msrc|--bin] [--volume V]\n"
-        "                [--rate R]\n"
-        "       cbs_tool compare <trace_a> <trace_b> [--msrc|--bin]\n"
-        "                [--threads N]\n");
+        "usage: cbs_tool <command> [args] [options]\n"
+        "\n"
+        "commands:\n"
+        "  analyze <trace>        full workload characterization\n"
+        "  convert <in> <out>     re-encode between trace formats\n"
+        "  generate <out>         write a synthetic trace\n"
+        "  mrc <trace>            miss-ratio curve via SHARDS\n"
+        "  compare <a> <b>        characterize two traces side by "
+        "side\n"
+        "\n"
+        "run 'cbs_tool <command> --help' for the command's options\n");
     return 2;
 }
 
-bool
-parseArgs(int argc, char **argv, Args &args)
+// ---------------------------------------------------------------------
+// Shared flag groups
+// ---------------------------------------------------------------------
+
+/** Input-format flags: --format plus the historical shorthands. */
+void
+addFormatFlags(ArgParser &parser)
 {
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        // Accept --flag=value as well as --flag value.
-        std::string inline_value;
-        bool has_inline = false;
-        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-            std::size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg.resize(eq);
-                has_inline = true;
-            }
-        }
-        auto next = [&]() -> const char * {
-            if (has_inline)
-                return inline_value.c_str();
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        if (arg == "--msrc") {
-            args.msrc = true;
-        } else if (arg == "--bin") {
-            args.bin = true;
-        } else if (arg == "--block") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.block = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--interval") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.interval_min = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--volumes") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.volumes = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--requests") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.requests = std::strtod(v, nullptr);
-        } else if (arg == "--seed") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.seed = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--volume") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.volume = static_cast<VolumeId>(
-                std::strtoul(v, nullptr, 10));
-        } else if (arg == "--rate") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.rate = std::strtod(v, nullptr);
-        } else if (arg == "--threads") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.threads = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--summary-json") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.summary_json = v;
-        } else if (arg == "--metrics-json") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.metrics_json = v;
-        } else if (arg == "--progress") {
-            args.progress = true;
-        } else if (arg == "--error-policy") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.error_policy = v;
-        } else if (arg == "--max-bad-records") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.max_bad_records = v;
-        } else if (arg == "--quarantine-file") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.quarantine_file = v;
-        } else if (arg == "--retry") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.retry = static_cast<int>(std::strtol(v, nullptr, 10));
-        } else if (arg == "--degraded-ok") {
-            args.degraded_ok = true;
-        } else if (!arg.empty() && arg[0] != '-') {
-            args.positional.push_back(arg);
-        } else {
-            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-            return false;
-        }
+    parser.flag("--format", "F",
+                "input format: auto|csv|msrc|bin|cbt2 (default auto)");
+    parser.toggle("--msrc", "shorthand for --format msrc");
+    parser.toggle("--bin", "shorthand for --format bin");
+    parser.toggle("--cbt2", "shorthand for --format cbt2");
+}
+
+/** Resolve the format flags; returns false after printing an error. */
+bool
+resolveFormat(const ArgParser &parser, TraceFormat &format)
+{
+    format = TraceFormat::Auto;
+    if (parser.has("--msrc"))
+        format = TraceFormat::MsrcCsv;
+    if (parser.has("--bin"))
+        format = TraceFormat::BinTrace;
+    if (parser.has("--cbt2"))
+        format = TraceFormat::Cbt2;
+    if (parser.has("--format") &&
+        !parseTraceFormat(parser.getString("--format"), format)) {
+        std::fprintf(stderr, "unknown --format '%s' (csv|msrc|bin|cbt2)\n",
+                     parser.getString("--format").c_str());
+        return false;
     }
     return true;
 }
 
-std::unique_ptr<TraceSource>
-openTraceAt(const Args &args, std::ifstream &file,
-            const std::string &path)
+/** Read-error policy + retry flags shared by the reading commands. */
+void
+addPolicyFlags(ArgParser &parser)
 {
-    file.open(path, args.bin ? std::ios::binary : std::ios::in);
-    if (!file) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return nullptr;
+    parser.flag("--error-policy", "P",
+                "strict|skip|quarantine (default strict)");
+    parser.flag("--max-bad-records", "N|FRAC",
+                "bad-record budget: a count, or with '.' a fraction");
+    parser.flag("--quarantine-file", "PATH",
+                "sidecar for quarantined records");
+    parser.flag("--retry", "N", "retry transient read failures N times");
+}
+
+/** Parsed policy flags; quarantine_out must outlive the source. */
+bool
+resolvePolicyFlags(const ArgParser &parser, ErrorPolicyOptions &policy,
+                   std::ofstream &quarantine_out, int &retry,
+                   int &exit_code)
+{
+    std::string name = parser.getString("--error-policy");
+    if (!name.empty() && !parseReadErrorPolicy(name, policy.policy)) {
+        std::fprintf(stderr,
+                     "unknown --error-policy '%s' "
+                     "(strict|skip|quarantine)\n",
+                     name.c_str());
+        exit_code = 2;
+        return false;
     }
-    if (args.bin)
-        return std::make_unique<BinTraceReader>(file);
-    if (args.msrc)
-        return std::make_unique<MsrcCsvReader>(file);
-    return std::make_unique<AliCloudCsvReader>(file);
+    std::string budget = parser.getString("--max-bad-records");
+    if (!budget.empty()) {
+        // A '.' means a fraction of records read; otherwise a count.
+        if (budget.find('.') != std::string::npos)
+            policy.max_bad_fraction =
+                std::strtod(budget.c_str(), nullptr);
+        else
+            policy.max_bad_records =
+                std::strtoull(budget.c_str(), nullptr, 10);
+    }
+    if (policy.policy == ReadErrorPolicy::Quarantine) {
+        std::string path = parser.getString("--quarantine-file");
+        if (path.empty()) {
+            std::fprintf(
+                stderr,
+                "--error-policy quarantine needs --quarantine-file\n");
+            exit_code = 2;
+            return false;
+        }
+        quarantine_out.open(path);
+        if (!quarantine_out) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            exit_code = 1;
+            return false;
+        }
+        policy.quarantine = &quarantine_out;
+    }
+    retry = static_cast<int>(parser.getUint("--retry", 0));
+    return true;
 }
 
-std::unique_ptr<TraceSource>
-openTrace(const Args &args, std::ifstream &file)
+/**
+ * Trace duration and record count without a decode pass when the
+ * format allows it: a CBT2 footer already carries both. Other formats
+ * pay one batched scan (and are reset() after).
+ */
+void
+scanExtent(OpenedTraceSource &opened, std::uint64_t &count, TimeUs &last)
 {
-    return openTraceAt(args, file, args.positional.at(0));
+    count = 0;
+    last = 0;
+    if (Cbt2Reader *reader = opened.cbt2()) {
+        count = reader->declaredCount();
+        last = reader->maxTimestamp();
+        return;
+    }
+    std::vector<IoRequest> batch;
+    while (opened.source().nextBatch(batch, 8192) > 0) {
+        count += batch.size();
+        last = batch.back().timestamp;
+    }
+    opened.source().reset();
 }
 
-/** Run the summary bundle over one trace (two passes: duration scan,
- *  then the analyzers). */
-std::unique_ptr<WorkloadSummary>
-summarize(const Args &args, const std::string &path)
+// ---------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------
+
+int
+cmdAnalyze(int argc, char **argv)
 {
-    std::ifstream file;
-    auto source = openTraceAt(args, file, path);
-    if (!source)
-        return nullptr;
-    IoRequest req;
-    TimeUs last = 0;
+    ArgParser parser("cbs_tool analyze",
+                     "Full workload characterization of a trace.");
+    parser.positional("trace", "input trace (csv/msrc/bin/cbt2)");
+    addFormatFlags(parser);
+    parser.flag("--block", "N", "block size in bytes");
+    parser.flag("--interval", "MIN", "activeness interval in minutes");
+    parser.flag("--threads", "N",
+                "shard across N worker threads (0 = hardware)");
+    parser.flag("--ingest-lanes", "N",
+                "parallel decode lanes for splittable inputs "
+                "(0 = one per shard; needs --threads)");
+    parser.flag("--summary-json", "PATH",
+                "write the characterization as deterministic JSON");
+    parser.flag("--metrics-json", "PATH",
+                "dump the observability registry as JSON");
+    parser.toggle("--progress",
+                  "periodic progress line on stderr");
+    addPolicyFlags(parser);
+    parser.toggle("--degraded-ok",
+                  "survive an analyzer failure on one shard");
+    if (!parser.parse(argc, argv, 2))
+        return parser.exitCode();
+
+    const std::string &path = parser.positionalAt(0);
+    std::uint64_t block = parser.getUint("--block", kDefaultBlockSize);
+    std::uint64_t interval_min = parser.getUint("--interval", 10);
+
+    ErrorPolicyOptions policy;
+    std::ofstream quarantine;
+    int retry = 0;
+    int policy_exit = 0;
+    if (!resolvePolicyFlags(parser, policy, quarantine, retry,
+                            policy_exit))
+        return policy_exit;
+    TraceFormat format = TraceFormat::Auto;
+    if (!resolveFormat(parser, format))
+        return 2;
+    if (format == TraceFormat::Auto)
+        format = sniffTraceFormat(path);
+
+    obs::MetricsRegistry registry;
+    bool want_metrics =
+        parser.has("--metrics-json") || parser.has("--progress");
+
+    // CBT2 skips the duration scan (the footer carries extent), so its
+    // quarantine sidecar can be armed at open. The scanning formats
+    // start as plain skip — the sidecar would otherwise hold each bad
+    // record twice (scan pass + analysis pass).
+    bool footer_extent = format == TraceFormat::Cbt2;
+    TraceOpenOptions open_options;
+    open_options.format = format;
+    open_options.error_policy = policy;
+    if (!footer_extent && policy.policy != ReadErrorPolicy::Strict) {
+        open_options.error_policy.policy = ReadErrorPolicy::Skip;
+        open_options.error_policy.quarantine = nullptr;
+    }
+    open_options.retry_attempts = retry;
+    if (want_metrics)
+        open_options.retry.metrics = &registry;
+    auto opened = openTraceSource(path, open_options);
+
     std::uint64_t count = 0;
-    while (source->next(req)) {
-        last = req.timestamp;
-        ++count;
+    TimeUs last = 0;
+    scanExtent(*opened, count, last);
+    if (count == 0) {
+        std::fprintf(stderr, "trace is empty\n");
+        return 1;
     }
+    if (!footer_extent && policy.policy != ReadErrorPolicy::Strict)
+        opened->reader().setErrorPolicy(policy);
+
+    WorkloadSummaryOptions options;
+    options.block_size = block;
+    options.activeness_interval = interval_min * units::minute;
+    options.duration = last + 1;
+    WorkloadSummary summary(options);
+    VolumeClassifier classifier(100, block);
+
+    // Ingest metrics attach after the scan so totals cover the
+    // analysis pass only.
+    if (want_metrics)
+        opened->reader().attachMetrics(registry);
+    std::optional<obs::ProgressReporter> reporter;
+    if (parser.has("--progress")) {
+        obs::ProgressOptions progress;
+        progress.total_records = count;
+        reporter.emplace(registry, std::cerr, progress);
+        reporter->start();
+    }
+
+    int exit_code = 0;
+    if (parser.has("--threads")) {
+        ParallelOptions parallel;
+        parallel.shards = parser.getUint("--threads", 0);
+        parallel.degraded_ok = parser.has("--degraded-ok");
+        if (parser.has("--ingest-lanes"))
+            parallel.ingest_lanes = parser.getUint("--ingest-lanes", 1);
+        if (want_metrics)
+            parallel.metrics = &registry;
+        PipelineRunStatus status =
+            summary.run(opened->source(), parallel, {&classifier});
+        if (status.degraded) {
+            for (const LaneStatus &lane : status.lanes)
+                if (!lane.ok)
+                    std::fprintf(stderr,
+                                 "warning: lane %s failed: %s\n",
+                                 lane.lane.c_str(),
+                                 lane.error.c_str());
+            std::fprintf(stderr,
+                         "warning: analysis completed degraded; "
+                         "results exclude the failed lanes\n");
+            exit_code = 4;
+        }
+    } else {
+        summary.run(opened->source(), {&classifier},
+                    want_metrics ? &registry : nullptr);
+    }
+    if (reporter)
+        reporter->stop();
+
+    std::string metrics_json = parser.getString("--metrics-json");
+    if (!metrics_json.empty()) {
+        std::ofstream out(metrics_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         metrics_json.c_str());
+            return 1;
+        }
+        registry.writeJson(out);
+    }
+    std::string summary_json = parser.getString("--summary-json");
+    if (!summary_json.empty()) {
+        std::ofstream out(summary_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         summary_json.c_str());
+            return 1;
+        }
+        summary.writeJson(out);
+    }
+    summary.print(std::cout);
+
+    std::printf("\nVolume archetypes (rule-based inference; the traces "
+                "do not record applications):\n");
+    const auto &hist = classifier.histogram();
+    for (std::size_t c = 0; c < kVolumeClassCount; ++c) {
+        if (hist[c] == 0)
+            continue;
+        std::printf("  %-20s %u volumes\n",
+                    volumeClassName(static_cast<VolumeClass>(c)),
+                    hist[c]);
+    }
+    return exit_code;
+}
+
+// ---------------------------------------------------------------------
+// convert
+// ---------------------------------------------------------------------
+
+/** Output encodings convert/generate can produce. */
+enum class OutFormat
+{
+    Csv,
+    Bin,
+    Cbt2,
+};
+
+bool
+outFormatFor(const std::string &path, const std::string &flag,
+             OutFormat &format)
+{
+    std::string name = flag;
+    if (name.empty()) {
+        std::size_t dot = path.find_last_of('.');
+        if (dot != std::string::npos)
+            name = path.substr(dot + 1);
+    }
+    if (name == "csv")
+        format = OutFormat::Csv;
+    else if (name == "bin" || name == "cbst")
+        format = OutFormat::Bin;
+    else if (name == "cbt2")
+        format = OutFormat::Cbt2;
+    else
+        return false;
+    return true;
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    ArgParser parser(
+        "cbs_tool convert",
+        "Re-encode a trace between formats (streaming, bounded "
+        "memory). The error-policy flags govern the input side.");
+    parser.positional("in", "input trace (format sniffed)");
+    parser.positional("out", "output path (.csv/.bin/.cbt2)");
+    addFormatFlags(parser);
+    parser.flag("--out-format", "F",
+                "output format: csv|bin|cbt2 (default: extension)");
+    parser.flag("--chunk-records", "N",
+                "records per CBT2 chunk (default 16384)");
+    addPolicyFlags(parser);
+    if (!parser.parse(argc, argv, 2))
+        return parser.exitCode();
+
+    const std::string &in_path = parser.positionalAt(0);
+    const std::string &out_path = parser.positionalAt(1);
+    OutFormat out_format;
+    if (!outFormatFor(out_path, parser.getString("--out-format"),
+                      out_format)) {
+        std::fprintf(stderr,
+                     "cannot determine the output format of %s "
+                     "(use .csv/.bin/.cbt2 or --out-format)\n",
+                     out_path.c_str());
+        return 2;
+    }
+
+    ErrorPolicyOptions policy;
+    std::ofstream quarantine;
+    int retry = 0;
+    int policy_exit = 0;
+    if (!resolvePolicyFlags(parser, policy, quarantine, retry,
+                            policy_exit))
+        return policy_exit;
+    TraceOpenOptions open_options;
+    if (!resolveFormat(parser, open_options.format))
+        return 2;
+    open_options.error_policy = policy;
+    open_options.retry_attempts = retry;
+    auto opened = openTraceSource(in_path, open_options);
+
+    std::ofstream out(out_path, out_format == OutFormat::Csv
+                                    ? std::ios::out
+                                    : std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+
+    std::uint64_t count = 0;
+    std::vector<IoRequest> batch;
+    auto pump = [&](auto &writer) {
+        while (opened->source().nextBatch(batch, 8192) > 0) {
+            for (const IoRequest &req : batch)
+                writer.write(req);
+            count += batch.size();
+        }
+    };
+    const char *format_name = "csv";
+    if (out_format == OutFormat::Cbt2) {
+        Cbt2WriteOptions write_options;
+        write_options.chunk_records = static_cast<std::size_t>(
+            parser.getUint("--chunk-records", 16384));
+        Cbt2Writer writer(out, write_options);
+        pump(writer);
+        writer.finish();
+        format_name = "cbt2";
+    } else if (out_format == OutFormat::Bin) {
+        BinTraceWriter writer(out);
+        pump(writer);
+        writer.finish();
+        format_name = "bin";
+    } else {
+        AliCloudCsvWriter writer(out);
+        pump(writer);
+    }
+    if (!out) {
+        std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("converted %s requests: %s (%s) -> %s (%s)\n",
+                formatCount(count).c_str(), in_path.c_str(),
+                traceFormatName(opened->format()), out_path.c_str(),
+                format_name);
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------
+
+int
+cmdGenerate(int argc, char **argv)
+{
+    ArgParser parser("cbs_tool generate",
+                     "Write a paper-calibrated synthetic trace; the "
+                     "extension picks csv, bin, or cbt2 encoding.");
+    parser.positional("out", "output path (.csv/.bin/.cbt2)");
+    parser.toggle("--msrc", "MSRC-like population instead of AliCloud");
+    parser.flag("--volumes", "N", "volume count (default 100)");
+    parser.flag("--requests", "N", "request count (default 500000)");
+    parser.flag("--seed", "S", "generator seed (default 1)");
+    if (!parser.parse(argc, argv, 2))
+        return parser.exitCode();
+
+    const std::string &path = parser.positionalAt(0);
+    OutFormat out_format = OutFormat::Csv;
+    outFormatFor(path, "", out_format); // unknown extension -> csv
+    std::ofstream out(path, out_format == OutFormat::Csv
+                                ? std::ios::out
+                                : std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+
+    std::size_t volumes =
+        static_cast<std::size_t>(parser.getUint("--volumes", 100));
+    double requests = parser.getDouble("--requests", 500000);
+    std::uint64_t seed = parser.getUint("--seed", 1);
+    PopulationSpec spec =
+        parser.has("--msrc")
+            ? msrcSpanSpec(SpanScale{volumes, requests})
+            : aliCloudSpanSpec(SpanScale{volumes, requests});
+    auto source = makeTrace(spec, seed);
+
+    IoRequest req;
+    std::uint64_t count = 0;
+    if (out_format == OutFormat::Cbt2) {
+        Cbt2Writer writer(out);
+        while (source->next(req)) {
+            writer.write(req);
+            ++count;
+        }
+        writer.finish();
+    } else if (out_format == OutFormat::Bin) {
+        BinTraceWriter writer(out);
+        while (source->next(req)) {
+            writer.write(req);
+            ++count;
+        }
+        writer.finish();
+    } else {
+        AliCloudCsvWriter writer(out);
+        while (source->next(req)) {
+            writer.write(req);
+            ++count;
+        }
+    }
+    std::printf("wrote %s requests (%s population, %zu volumes, "
+                "seed %llu) to %s\n",
+                formatCount(count).c_str(), spec.name.c_str(),
+                spec.volume_count,
+                static_cast<unsigned long long>(seed), path.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// mrc
+// ---------------------------------------------------------------------
+
+int
+cmdMrc(int argc, char **argv)
+{
+    ArgParser parser("cbs_tool mrc",
+                     "Miss-ratio curve via SHARDS sampled reuse "
+                     "distances.");
+    parser.positional("trace", "input trace (csv/msrc/bin/cbt2)");
+    addFormatFlags(parser);
+    parser.flag("--volume", "V", "restrict to one volume id");
+    parser.flag("--rate", "R", "SHARDS sampling rate (default 0.1)");
+    parser.flag("--block", "N", "block size in bytes");
+    if (!parser.parse(argc, argv, 2))
+        return parser.exitCode();
+
+    std::uint64_t block = parser.getUint("--block", kDefaultBlockSize);
+    double rate = parser.getDouble("--rate", 0.1);
+    std::optional<VolumeId> volume;
+    if (parser.has("--volume"))
+        volume = static_cast<VolumeId>(parser.getUint("--volume", 0));
+
+    TraceOpenOptions open_options;
+    if (!resolveFormat(parser, open_options.format))
+        return 2;
+    // CBT2 pushdown: a single-volume MRC skips every chunk whose
+    // footer volume set misses the target (other formats ignore this).
+    if (volume)
+        open_options.cbt2.volumes = {*volume};
+    auto opened = openTraceSource(parser.positionalAt(0), open_options);
+
+    ShardsReuseDistance shards(rate);
+    FlatSet unique_blocks;
+    std::vector<IoRequest> batch;
+    while (opened->source().nextBatch(batch, 8192) > 0) {
+        for (const IoRequest &req : batch) {
+            if (volume && req.volume != *volume)
+                continue;
+            forEachBlock(req, block, [&](BlockNo blk) {
+                std::uint64_t key = blockKey(req.volume, blk);
+                shards.access(key);
+                unique_blocks.insert(key);
+            });
+        }
+    }
+    if (shards.accessCount() == 0) {
+        std::fprintf(stderr, "no matching requests\n");
+        return 1;
+    }
+
+    std::uint64_t wss = unique_blocks.size();
+    std::printf("accesses: %s, WSS: %s blocks (%s), SHARDS rate %.2f\n",
+                formatCount(shards.accessCount()).c_str(),
+                formatCount(wss).c_str(),
+                formatBytes(wss * block).c_str(), rate);
+    std::printf("%-16s  %-12s  %s\n", "cache size", "of WSS",
+                "est. miss ratio");
+    for (double frac : {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+        std::uint64_t c = static_cast<std::uint64_t>(
+            std::max(1.0, frac * static_cast<double>(wss)));
+        std::printf("%-16s  %-12s  %s\n",
+                    formatBytes(c * block).c_str(),
+                    formatPercent(frac, 1).c_str(),
+                    formatPercent(shards.missRatioAt(c)).c_str());
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// compare
+// ---------------------------------------------------------------------
+
+/** Run the summary bundle over one trace. */
+std::unique_ptr<WorkloadSummary>
+summarize(const std::string &path, TraceFormat format,
+          std::uint64_t block, std::uint64_t interval_min,
+          std::optional<std::size_t> threads)
+{
+    TraceOpenOptions open_options;
+    open_options.format = format;
+    auto opened = openTraceSource(path, open_options);
+    std::uint64_t count = 0;
+    TimeUs last = 0;
+    scanExtent(*opened, count, last);
     if (count == 0) {
         std::fprintf(stderr, "%s is empty\n", path.c_str());
         return nullptr;
     }
-    source->reset();
     WorkloadSummaryOptions options;
-    options.block_size = args.block;
-    options.activeness_interval = args.interval_min * units::minute;
+    options.block_size = block;
+    options.activeness_interval = interval_min * units::minute;
     options.duration = last + 1;
     auto summary = std::make_unique<WorkloadSummary>(options);
-    if (args.threads) {
+    if (threads) {
         ParallelOptions parallel;
-        parallel.shards = *args.threads;
-        summary->run(*source, parallel);
+        parallel.shards = *threads;
+        summary->run(opened->source(), parallel);
     } else {
-        summary->run(*source);
+        summary->run(opened->source());
     }
     return summary;
 }
 
 int
-cmdCompare(const Args &args)
+cmdCompare(int argc, char **argv)
 {
-    if (args.positional.size() < 2) {
-        std::fprintf(stderr, "compare needs two trace paths\n");
+    ArgParser parser("cbs_tool compare",
+                     "Characterize two traces side by side.");
+    parser.positional("trace_a", "first trace");
+    parser.positional("trace_b", "second trace");
+    addFormatFlags(parser);
+    parser.flag("--block", "N", "block size in bytes");
+    parser.flag("--interval", "MIN", "activeness interval in minutes");
+    parser.flag("--threads", "N", "worker threads per trace");
+    if (!parser.parse(argc, argv, 2))
+        return parser.exitCode();
+
+    TraceFormat format = TraceFormat::Auto;
+    if (!resolveFormat(parser, format))
         return 2;
-    }
-    auto a = summarize(args, args.positional[0]);
-    auto b = summarize(args, args.positional[1]);
+    std::uint64_t block = parser.getUint("--block", kDefaultBlockSize);
+    std::uint64_t interval_min = parser.getUint("--interval", 10);
+    std::optional<std::size_t> threads;
+    if (parser.has("--threads"))
+        threads = parser.getUint("--threads", 0);
+
+    auto a = summarize(parser.positionalAt(0), format, block,
+                       interval_min, threads);
+    auto b = summarize(parser.positionalAt(1), format, block,
+                       interval_min, threads);
     if (!a || !b)
         return 1;
 
     TextTable table("Trace comparison");
-    table.header({"metric", args.positional[0], args.positional[1]});
+    table.header(
+        {"metric", parser.positionalAt(0), parser.positionalAt(1)});
     auto row = [&](const char *metric, const std::string &va,
                    const std::string &vb) {
         table.row({metric, va, vb});
@@ -359,286 +762,29 @@ cmdCompare(const Args &args)
     return 0;
 }
 
-int
-cmdAnalyze(const Args &args)
-{
-    std::ifstream file;
-    auto source = openTrace(args, file);
-    if (!source)
-        return 1;
-
-    // Read-error policy: parsed up front so flag mistakes are usage
-    // errors, armed on the reader before the first byte is read.
-    ErrorPolicyOptions policy;
-    if (!args.error_policy.empty() &&
-        !parseReadErrorPolicy(args.error_policy, policy.policy)) {
-        std::fprintf(stderr,
-                     "unknown --error-policy '%s' "
-                     "(strict|skip|quarantine)\n",
-                     args.error_policy.c_str());
-        return 2;
-    }
-    if (!args.max_bad_records.empty()) {
-        // A '.' means a fraction of records read; otherwise a count.
-        if (args.max_bad_records.find('.') != std::string::npos)
-            policy.max_bad_fraction =
-                std::strtod(args.max_bad_records.c_str(), nullptr);
-        else
-            policy.max_bad_records = std::strtoull(
-                args.max_bad_records.c_str(), nullptr, 10);
-    }
-    std::ofstream quarantine;
-    if (policy.policy == ReadErrorPolicy::Quarantine) {
-        if (args.quarantine_file.empty()) {
-            std::fprintf(
-                stderr,
-                "--error-policy quarantine needs --quarantine-file\n");
-            return 2;
-        }
-        quarantine.open(args.quarantine_file);
-        if (!quarantine) {
-            std::fprintf(stderr, "cannot open %s\n",
-                         args.quarantine_file.c_str());
-            return 1;
-        }
-    }
-    // The duration scan runs with the sidecar detached (as plain skip)
-    // so the quarantine file holds exactly one entry per bad record —
-    // written by the analysis pass below, after reset() clears the
-    // error budget.
-    if (policy.policy != ReadErrorPolicy::Strict) {
-        ErrorPolicyOptions scan_policy = policy;
-        scan_policy.policy = ReadErrorPolicy::Skip;
-        scan_policy.quarantine = nullptr;
-        source->setErrorPolicy(scan_policy);
-    }
-
-    // Observability: one registry for the whole analysis pass, wired
-    // into the source (ingest counters) and the pipelines (analyzer
-    // timings, per-shard queue stats). Off unless requested — the
-    // unattached cost is a pointer check per batch.
-    obs::MetricsRegistry registry;
-    bool want_metrics = !args.metrics_json.empty() || args.progress;
-
-    // Transient-failure retry decorator around the reader.
-    TraceSource *input = source.get();
-    std::optional<RetryingSource> retrying;
-    if (args.retry > 0) {
-        RetryOptions retry_options;
-        retry_options.max_attempts = args.retry;
-        if (want_metrics)
-            retry_options.metrics = &registry;
-        retrying.emplace(*source, retry_options);
-        input = &*retrying;
-    }
-
-    // First pass: find the trace duration so activeness intervals fit.
-    IoRequest req;
-    TimeUs last = 0;
-    std::uint64_t count = 0;
-    while (input->next(req)) {
-        last = req.timestamp;
-        ++count;
-    }
-    if (count == 0) {
-        std::fprintf(stderr, "trace is empty\n");
-        return 1;
-    }
-    input->reset();
-    if (policy.policy != ReadErrorPolicy::Strict) {
-        ErrorPolicyOptions run_policy = policy;
-        if (run_policy.policy == ReadErrorPolicy::Quarantine)
-            run_policy.quarantine = &quarantine;
-        source->setErrorPolicy(run_policy);
-    }
-
-    WorkloadSummaryOptions options;
-    options.block_size = args.block;
-    options.activeness_interval = args.interval_min * units::minute;
-    options.duration = last + 1;
-    WorkloadSummary summary(options);
-    VolumeClassifier classifier(100, args.block);
-
-    // Ingest metrics attach to the inner reader (where the error
-    // policy counts bad records), after the scan pass so totals cover
-    // the analysis pass only.
-    if (want_metrics)
-        source->attachMetrics(registry);
-    std::optional<obs::ProgressReporter> reporter;
-    if (args.progress) {
-        reporter.emplace(registry);
-        reporter->start();
-    }
-
-    int exit_code = 0;
-    if (args.threads) {
-        ParallelOptions parallel;
-        parallel.shards = *args.threads;
-        parallel.degraded_ok = args.degraded_ok;
-        if (want_metrics)
-            parallel.metrics = &registry;
-        PipelineRunStatus status =
-            summary.run(*input, parallel, {&classifier});
-        if (status.degraded) {
-            for (const LaneStatus &lane : status.lanes)
-                if (!lane.ok)
-                    std::fprintf(stderr,
-                                 "warning: lane %s failed: %s\n",
-                                 lane.lane.c_str(),
-                                 lane.error.c_str());
-            std::fprintf(stderr,
-                         "warning: analysis completed degraded; "
-                         "results exclude the failed lanes\n");
-            exit_code = 4;
-        }
-    } else {
-        summary.run(*input, {&classifier},
-                    want_metrics ? &registry : nullptr);
-    }
-    if (reporter)
-        reporter->stop();
-
-    if (!args.metrics_json.empty()) {
-        std::ofstream out(args.metrics_json);
-        if (!out) {
-            std::fprintf(stderr, "cannot open %s\n",
-                         args.metrics_json.c_str());
-            return 1;
-        }
-        registry.writeJson(out);
-    }
-    if (!args.summary_json.empty()) {
-        std::ofstream out(args.summary_json);
-        if (!out) {
-            std::fprintf(stderr, "cannot open %s\n",
-                         args.summary_json.c_str());
-            return 1;
-        }
-        summary.writeJson(out);
-    }
-    summary.print(std::cout);
-
-    std::printf("\nVolume archetypes (rule-based inference; the traces "
-                "do not record applications):\n");
-    const auto &hist = classifier.histogram();
-    for (std::size_t c = 0; c < kVolumeClassCount; ++c) {
-        if (hist[c] == 0)
-            continue;
-        std::printf("  %-20s %u volumes\n",
-                    volumeClassName(static_cast<VolumeClass>(c)),
-                    hist[c]);
-    }
-    return exit_code;
-}
-
-int
-cmdGenerate(const Args &args)
-{
-    const std::string &path = args.positional.at(0);
-    bool binary = path.size() > 4 &&
-                  path.compare(path.size() - 4, 4, ".bin") == 0;
-    std::ofstream out(path,
-                      binary ? std::ios::binary : std::ios::out);
-    if (!out) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 1;
-    }
-
-    PopulationSpec spec =
-        args.msrc
-            ? msrcSpanSpec(SpanScale{args.volumes, args.requests})
-            : aliCloudSpanSpec(SpanScale{args.volumes, args.requests});
-    auto source = makeTrace(spec, args.seed);
-
-    IoRequest req;
-    std::uint64_t count = 0;
-    if (binary) {
-        BinTraceWriter writer(out);
-        while (source->next(req)) {
-            writer.write(req);
-            ++count;
-        }
-        writer.finish();
-    } else {
-        AliCloudCsvWriter writer(out);
-        while (source->next(req)) {
-            writer.write(req);
-            ++count;
-        }
-    }
-    std::printf("wrote %s requests (%s population, %zu volumes, "
-                "seed %llu) to %s\n",
-                formatCount(count).c_str(), spec.name.c_str(),
-                spec.volume_count,
-                static_cast<unsigned long long>(args.seed),
-                path.c_str());
-    return 0;
-}
-
-int
-cmdMrc(const Args &args)
-{
-    std::ifstream file;
-    auto source = openTrace(args, file);
-    if (!source)
-        return 1;
-
-    ShardsReuseDistance shards(args.rate);
-    FlatSet unique_blocks;
-    IoRequest req;
-    while (source->next(req)) {
-        if (args.volume && req.volume != *args.volume)
-            continue;
-        forEachBlock(req, args.block, [&](BlockNo block) {
-            std::uint64_t key = blockKey(req.volume, block);
-            shards.access(key);
-            unique_blocks.insert(key);
-        });
-    }
-    if (shards.accessCount() == 0) {
-        std::fprintf(stderr, "no matching requests\n");
-        return 1;
-    }
-
-    std::uint64_t wss = unique_blocks.size();
-    std::printf("accesses: %s, WSS: %s blocks (%s), SHARDS rate %.2f\n",
-                formatCount(shards.accessCount()).c_str(),
-                formatCount(wss).c_str(),
-                formatBytes(wss * args.block).c_str(), args.rate);
-    std::printf("%-16s  %-12s  %s\n", "cache size", "of WSS",
-                "est. miss ratio");
-    for (double frac : {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
-        std::uint64_t c = static_cast<std::uint64_t>(
-            std::max(1.0, frac * static_cast<double>(wss)));
-        std::printf("%-16s  %-12s  %s\n",
-                    formatBytes(c * args.block).c_str(),
-                    formatPercent(frac, 1).c_str(),
-                    formatPercent(shards.missRatioAt(c)).c_str());
-    }
-    return 0;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return usage();
-    Args args;
-    if (!parseArgs(argc, argv, args) || args.positional.empty())
-        return usage();
-
     const std::string command = argv[1];
     try {
         if (command == "analyze")
-            return cmdAnalyze(args);
+            return cmdAnalyze(argc, argv);
+        if (command == "convert")
+            return cmdConvert(argc, argv);
         if (command == "generate")
-            return cmdGenerate(args);
+            return cmdGenerate(argc, argv);
         if (command == "mrc")
-            return cmdMrc(args);
+            return cmdMrc(argc, argv);
         if (command == "compare")
-            return cmdCompare(args);
+            return cmdCompare(argc, argv);
+    } catch (const std::invalid_argument &e) {
+        // Malformed flag values (ArgParser numeric conversions).
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
     } catch (const FatalError &e) {
         // Bad input (malformed trace, invalid configuration): one
         // diagnostic line and a clean non-zero exit, never a

@@ -11,6 +11,11 @@
  *   trace_convert csv2bin input.csv output.bin
  *   trace_convert bin2csv input.bin output.csv
  *   trace_convert demo output.bin       # write a synthetic demo trace
+ *
+ * DEPRECATED: `cbs_tool convert <in> <out>` supersedes this tool — it
+ * sniffs the input format (including CBT2), honors the read-error
+ * policy flags, and picks the output encoding from the extension.
+ * trace_convert is kept as a minimal two-format example only.
  */
 
 #include <chrono>
@@ -35,7 +40,9 @@ usage()
     std::fprintf(stderr,
                  "usage: trace_convert csv2bin <in.csv> <out.bin>\n"
                  "       trace_convert bin2csv <in.bin> <out.csv>\n"
-                 "       trace_convert demo <out.bin>\n");
+                 "       trace_convert demo <out.bin>\n"
+                 "note: deprecated; prefer 'cbs_tool convert <in> "
+                 "<out>'\n");
     return 2;
 }
 

@@ -61,35 +61,56 @@ struct LaneMetrics
 };
 
 /**
- * One consumer thread: pops batches off a bounded queue and feeds an
+ * One consumer thread: pops batches off bounded queues and feeds an
  * analyzer set. Used both for the per-shard replica workers and for
- * the in-order lane. On failure it records the exception, aborts the
- * queue (so the producer's pushes to this lane turn into no-ops), and
- * keeps draining, so the producer can never block forever on a full
- * queue.
+ * the in-order lane. The worker owns one SPSC queue per ingest lane
+ * (a single queue in the common single-producer case) and drains them
+ * strictly in lane order — ingest partitions are contiguous in time,
+ * so sequential drain preserves the order every analyzer relies on.
+ * On failure it records the exception, aborts every queue (so the
+ * producers' pushes to this worker turn into no-ops), and keeps
+ * draining, so no producer can block forever on a full queue.
  */
 class LaneWorker
 {
   public:
     LaneWorker(std::string name, std::size_t queue_batches,
+               std::size_t ingest_lanes,
                std::vector<Analyzer *> analyzers,
                std::unique_ptr<LaneMetrics> metrics = nullptr)
-        : name_(std::move(name)), queue_(queue_batches),
-          analyzers_(std::move(analyzers)), metrics_(std::move(metrics))
+        : name_(std::move(name)), analyzers_(std::move(analyzers)),
+          metrics_(std::move(metrics))
     {
+        queues_.reserve(ingest_lanes);
+        for (std::size_t k = 0; k < ingest_lanes; ++k)
+            queues_.push_back(
+                std::make_unique<BatchQueue>(queue_batches));
         thread_ = std::thread([this] { run(); });
     }
 
     const std::string &name() const { return name_; }
 
-    BatchQueue &queue() { return queue_; }
+    /** Queue owned by ingest lane @p k (only that lane pushes). */
+    BatchQueue &queue(std::size_t k = 0) { return *queues_[k]; }
 
-    /** Close the queue, join, and return the worker's exception (null
-     *  on success). The caller decides whether to rethrow or contain. */
+    /** Batches queued across all lanes (approximate). */
+    std::size_t
+    queuedBatches() const
+    {
+        std::size_t total = 0;
+        for (const auto &queue : queues_)
+            total += queue->size();
+        return total;
+    }
+
+    /** Close every queue, join, and return the worker's exception
+     *  (null on success). The caller decides whether to rethrow or
+     *  contain. */
     std::exception_ptr
     finish()
     {
-        queue_.close();
+        for (auto &queue : queues_)
+            queue->close();
         thread_.join();
         noteQueueTotals();
         if (metrics_)
@@ -101,7 +122,8 @@ class LaneWorker
     void
     abandon()
     {
-        queue_.close();
+        for (auto &queue : queues_)
+            queue->close();
         if (thread_.joinable())
             thread_.join();
         noteQueueTotals();
@@ -115,7 +137,7 @@ class LaneWorker
     {
         if (metrics_)
             metrics_->queue_depth->set(
-                static_cast<std::int64_t>(queue_.size()));
+                static_cast<std::int64_t>(queuedBatches()));
     }
 
     /** Batches popped so far — the watchdog's progress signal. */
@@ -145,59 +167,68 @@ class LaneWorker
     run()
     {
         Batch batch;
-        for (;;) {
-            bool got;
-            if (metrics_) {
-                obs::ScopedTimer idle(nullptr, metrics_->idle_ns);
-                got = queue_.pop(batch);
-            } else {
-                got = queue_.pop(batch);
-            }
-            if (!got)
-                break;
-            batches_consumed_.fetch_add(1, std::memory_order_relaxed);
-            if (error_)
-                continue; // drain so the producer never blocks
-            try {
+        // Lane queues drain strictly in order: partition k's requests
+        // all precede partition k+1's in time, so finishing one lane
+        // before starting the next preserves consumption order.
+        for (auto &queue_ptr : queues_) {
+            BatchQueue &queue = *queue_ptr;
+            for (;;) {
+                bool got;
                 if (metrics_) {
-                    metrics_->records->add(batch.size());
-                    metrics_->batches->increment();
-                    for (std::size_t i = 0; i < analyzers_.size();
-                         ++i) {
-                        obs::ScopedTimer timer(
-                            metrics_->analyzer_ns[i]);
-                        for (const IoRequest &req : batch)
-                            analyzers_[i]->consume(req);
-                    }
+                    obs::ScopedTimer idle(nullptr, metrics_->idle_ns);
+                    got = queue.pop(batch);
                 } else {
-                    for (const IoRequest &req : batch)
-                        for (Analyzer *analyzer : analyzers_)
-                            analyzer->consume(req);
+                    got = queue.pop(batch);
                 }
-            } catch (...) {
-                error_ = std::current_exception();
-                // Aborting turns the producer's future pushes to this
-                // lane into dropped no-ops: a failed shard stops
-                // consuming CPU, and a producer blocked on this full
-                // queue wakes immediately.
-                queue_.abort();
+                if (!got)
+                    break;
+                batches_consumed_.fetch_add(1,
+                                            std::memory_order_relaxed);
+                if (error_)
+                    continue; // drain so no producer blocks
+                try {
+                    if (metrics_) {
+                        metrics_->records->add(batch.size());
+                        metrics_->batches->increment();
+                        for (std::size_t i = 0; i < analyzers_.size();
+                             ++i) {
+                            obs::ScopedTimer timer(
+                                metrics_->analyzer_ns[i]);
+                            for (const IoRequest &req : batch)
+                                analyzers_[i]->consume(req);
+                        }
+                    } else {
+                        for (const IoRequest &req : batch)
+                            for (Analyzer *analyzer : analyzers_)
+                                analyzer->consume(req);
+                    }
+                } catch (...) {
+                    error_ = std::current_exception();
+                    // Aborting turns the producers' future pushes to
+                    // this worker into dropped no-ops: a failed shard
+                    // stops consuming CPU, and any producer blocked
+                    // on one of its full queues wakes immediately.
+                    for (auto &q : queues_)
+                        q->abort();
+                }
             }
         }
     }
 
-    /** Fold the queue's cumulative stall count into the registry. */
+    /** Fold the queues' cumulative stall counts into the registry. */
     void
     noteQueueTotals()
     {
         if (!metrics_ || totals_noted_)
             return;
         totals_noted_ = true;
-        metrics_->full_waits->add(queue_.fullWaits());
+        for (auto &queue : queues_)
+            metrics_->full_waits->add(queue->fullWaits());
         metrics_->queue_depth->set(0);
     }
 
     std::string name_;
-    BatchQueue queue_;
+    std::vector<std::unique_ptr<BatchQueue>> queues_;
     std::vector<Analyzer *> analyzers_;
     std::unique_ptr<LaneMetrics> metrics_;
     bool totals_noted_ = false;
@@ -264,7 +295,7 @@ class Watchdog
             for (std::size_t i = 0; i < workers_.size(); ++i) {
                 LaneWorker &worker = *workers_[i];
                 std::uint64_t now = worker.batchesConsumed();
-                if (now == last[i] && worker.queue().size() > 0 &&
+                if (now == last[i] && worker.queuedBatches() > 0 &&
                     !worker.finished())
                     worker.noteStall();
                 last[i] = now;
@@ -322,6 +353,23 @@ runPipelineParallel(TraceSource &source,
         return status;
     }
 
+    // Multi-lane ingestion: split a SplittableSource into contiguous
+    // time-ordered partitions, one producer thread each. The split
+    // happens before the workers are built so every worker can own
+    // one queue per lane.
+    std::size_t want_lanes =
+        options.ingest_lanes ? options.ingest_lanes : shards;
+    CBS_EXPECT(want_lanes <= 256, "ingest lane count "
+                                      << want_lanes
+                                      << " is unreasonable");
+    std::vector<std::unique_ptr<TraceSource>> partitions;
+    if (want_lanes > 1) {
+        if (auto *splittable = dynamic_cast<SplittableSource *>(&source))
+            partitions = splittable->split(want_lanes);
+        // else: non-splittable source, single-producer fallback.
+    }
+    std::size_t lanes = partitions.empty() ? 1 : partitions.size();
+
     obs::MetricsRegistry *metrics = options.metrics;
     if (metrics) {
         metrics->gauge("parallel.shards")
@@ -330,6 +378,8 @@ runPipelineParallel(TraceSource &source,
             .set(static_cast<std::int64_t>(options.batch_size));
         metrics->gauge("parallel.queue_batches")
             .set(static_cast<std::int64_t>(queue_batches));
+        metrics->gauge("parallel.ingest_lanes")
+            .set(static_cast<std::int64_t>(lanes));
         metrics->counter("parallel.runs").increment();
         metrics->counter("parallel.degraded_runs");
     }
@@ -357,7 +407,7 @@ runPipelineParallel(TraceSource &source,
                 LaneMetrics::forLane(*metrics, "parallel." + name,
                                      lane));
         workers.push_back(std::make_unique<LaneWorker>(
-            std::move(name), queue_batches, std::move(lane),
+            std::move(name), queue_batches, lanes, std::move(lane),
             std::move(lane_metrics)));
     }
     LaneWorker *order_lane = nullptr;
@@ -368,7 +418,7 @@ runPipelineParallel(TraceSource &source,
                 LaneMetrics::forLane(*metrics, "parallel.inorder",
                                      in_order));
         workers.push_back(std::make_unique<LaneWorker>(
-            "inorder", queue_batches, in_order,
+            "inorder", queue_batches, lanes, in_order,
             std::move(lane_metrics)));
         order_lane = workers.back().get();
     }
@@ -378,26 +428,33 @@ runPipelineParallel(TraceSource &source,
         watchdog =
             std::make_unique<Watchdog>(workers, options.watchdog_stall_ms);
 
-    // Ingest: read batches, scatter by volume hash, feed the lanes.
-    try {
-        obs::ScopedTimer ingest_timer(
-            nullptr,
-            metrics ? &metrics->counter("parallel.ingest_ns") : nullptr);
+    // Ingest. Both paths read batches, scatter by volume hash, and
+    // feed the lanes; reads from ingest lane k only ever touch
+    // queue(k) of each worker, preserving the SPSC invariant.
+    //
+    // produceFrom drives one producer over one source into lane @p k.
+    auto produceFrom = [&](TraceSource &input, std::size_t k,
+                           obs::Counter *lane_records,
+                           obs::Counter *lane_batches) {
         std::vector<Batch> pending(shards);
         for (auto &p : pending)
             p.reserve(options.batch_size);
         Batch batch;
         batch.reserve(options.batch_size);
-        while (source.nextBatch(batch, options.batch_size)) {
+        while (input.nextBatch(batch, options.batch_size)) {
+            if (lane_records) {
+                lane_records->add(batch.size());
+                lane_batches->increment();
+            }
             if (order_lane) {
-                order_lane->queue().push(batch); // copy: full stream
+                order_lane->queue(k).push(batch); // copy: full stream
                 order_lane->noteDepth();
             }
             for (const IoRequest &req : batch) {
                 std::size_t s = mix64(req.volume) % shards;
                 pending[s].push_back(req);
                 if (pending[s].size() >= options.batch_size) {
-                    workers[s]->queue().push(std::move(pending[s]));
+                    workers[s]->queue(k).push(std::move(pending[s]));
                     workers[s]->noteDepth();
                     pending[s] = Batch();
                     pending[s].reserve(options.batch_size);
@@ -406,14 +463,74 @@ runPipelineParallel(TraceSource &source,
         }
         for (std::size_t s = 0; s < shards; ++s) {
             if (!pending[s].empty()) {
-                workers[s]->queue().push(std::move(pending[s]));
+                workers[s]->queue(k).push(std::move(pending[s]));
                 workers[s]->noteDepth();
             }
         }
-    } catch (...) {
-        for (auto &worker : workers)
-            worker->abandon();
-        throw;
+    };
+
+    if (partitions.empty()) {
+        // Single producer: this thread reads and scatters into lane 0.
+        try {
+            obs::ScopedTimer ingest_timer(
+                nullptr,
+                metrics ? &metrics->counter("parallel.ingest_ns")
+                        : nullptr);
+            produceFrom(source, 0, nullptr, nullptr);
+        } catch (...) {
+            for (auto &worker : workers)
+                worker->abandon();
+            throw;
+        }
+    } else {
+        // Multi-lane: one producer thread per partition. Each producer
+        // closes its own lane's queues on exit (success or failure) so
+        // consumers can always advance past its lane; a producer
+        // failure is a source failure — rethrown below even in
+        // degraded mode, after every thread is joined.
+        obs::ScopedTimer ingest_timer(
+            nullptr, metrics ? &metrics->counter("parallel.ingest_ns")
+                             : nullptr);
+        std::vector<std::exception_ptr> producer_errors(lanes);
+        std::vector<std::thread> producers;
+        producers.reserve(lanes);
+        for (std::size_t k = 0; k < lanes; ++k) {
+            obs::Counter *lane_records = nullptr;
+            obs::Counter *lane_batches = nullptr;
+            obs::Counter *lane_ns = nullptr;
+            if (metrics) {
+                std::string prefix =
+                    "parallel.ingest.lane." + std::to_string(k);
+                lane_records = &metrics->counter(prefix + ".records");
+                lane_batches = &metrics->counter(prefix + ".batches");
+                lane_ns = &metrics->counter(prefix + ".ns");
+            }
+            producers.emplace_back([&, k, lane_records, lane_batches,
+                                    lane_ns] {
+                try {
+                    obs::ScopedTimer lane_timer(nullptr, lane_ns);
+                    produceFrom(*partitions[k], k, lane_records,
+                                lane_batches);
+                } catch (...) {
+                    producer_errors[k] = std::current_exception();
+                }
+                // Close (not abort) this lane everywhere: consumers
+                // must drain what was delivered and then move on.
+                for (auto &worker : workers)
+                    worker->queue(k).close();
+            });
+        }
+        for (auto &producer : producers)
+            producer.join();
+        std::exception_ptr producer_error;
+        for (auto &error : producer_errors)
+            if (error && !producer_error)
+                producer_error = error;
+        if (producer_error) {
+            for (auto &worker : workers)
+                worker->abandon();
+            std::rethrow_exception(producer_error);
+        }
     }
 
     // Join every worker before surfacing any single failure, so no

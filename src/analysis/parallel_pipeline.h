@@ -9,11 +9,18 @@
  * the end (the shard/merge design follows the scalable cluster-trace
  * characterization pipelines, e.g. arXiv:2205.11582).
  *
- * Dataflow:
+ * Dataflow (single-producer, the default):
  *
  *   source --batches--> [ingest thread] --scatter by hash(volume)-->
  *       N bounded SPSC queues --> N workers (ShardableAnalyzer clones)
  *                     \--copies--> in-order lane (plain Analyzers)
+ *
+ * With ParallelOptions::ingest_lanes > 1 and a SplittableSource, the
+ * source is split(n) into contiguous time-ordered partitions and each
+ * partition gets its own producer thread. Every consumer then owns one
+ * SPSC queue per producer (preserving the single-producer invariant)
+ * and drains them in partition order, so each consumer still sees its
+ * requests in timestamp order and results are unchanged.
  *
  * Analyzers that implement ShardableAnalyzer are replicated per shard;
  * the rest run on a dedicated in-order lane thread that sees the full
@@ -52,13 +59,29 @@ struct ParallelOptions
     std::size_t queue_batches = 8;
 
     /**
+     * Ingestion lanes: producer threads reading the source in
+     * parallel. Takes effect only when the source implements
+     * SplittableSource (CBT2 files, VectorSource) — it is split(n)
+     * into contiguous time-ordered partitions, one producer thread
+     * per partition, each scattering into its own SPSC queue on every
+     * consumer; consumers drain lane queues in partition order, so
+     * per-volume order (shard lanes) and global order (the in-order
+     * lane) still hold and results stay byte-identical to a serial
+     * run. Non-splittable sources always use the single-producer
+     * path. 1 (default) = single producer; 0 = one lane per shard.
+     */
+    std::size_t ingest_lanes = 1;
+
+    /**
      * Optional observability sink. When set, the run records per-shard
      * throughput (`parallel.shard.<i>.records`), queue backpressure
      * (`.queue_full_waits`, `.queue_depth`), worker idle time
      * (`.idle_ns`), per-analyzer timings (`analyzer.<name>.batch_ns`,
-     * shared across shard replicas), and the in-order lane's
-     * equivalents under `parallel.inorder.*`. Must outlive the call.
-     * Null (the default) costs one pointer check per batch.
+     * shared across shard replicas), the in-order lane's equivalents
+     * under `parallel.inorder.*`, and — under multi-lane ingestion —
+     * per-producer totals under `parallel.ingest.lane.<k>.*` plus the
+     * `parallel.ingest_lanes` gauge. Must outlive the call. Null (the
+     * default) costs one pointer check per batch.
      */
     obs::MetricsRegistry *metrics = nullptr;
 

@@ -124,8 +124,16 @@ ProgressReporter::report()
     }
     std::sort(depths.begin(), depths.end());
 
-    std::string line = "[cbs] " + formatCount(records) + " req (" +
-                       formatRate(record_rate, "req") + ")  " +
+    std::string line = "[cbs] " + formatCount(records) + " req ";
+    if (options_.total_records > 0) {
+        double pct = 100.0 * static_cast<double>(records) /
+                     static_cast<double>(options_.total_records);
+        char pct_buf[32];
+        std::snprintf(pct_buf, sizeof(pct_buf), "%.1f%% ",
+                      std::min(pct, 100.0));
+        line += pct_buf;
+    }
+    line += "(" + formatRate(record_rate, "req") + ")  " +
                        formatBytes(bytes) + " (" +
                        formatRate(byte_rate, "B") + ")";
     if (!depths.empty()) {

@@ -43,6 +43,11 @@ struct ProgressOptions
     std::string depth_prefix = "parallel.shard.";
     std::string depth_suffix = ".queue_depth";
 
+    /** Expected total records (a source's sizeHint(), a CBT2 footer's
+     *  declared count, ...). When nonzero each line carries a percent
+     *  of total next to the record count. */
+    std::uint64_t total_records = 0;
+
     /** Print one final line from stop() even between ticks. */
     bool final_report = true;
 };

@@ -1,0 +1,898 @@
+#include "trace/cbt2.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CBS_CBT2_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cbs {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'B', 'T', '2'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kTrailerBytes = 16;
+constexpr std::size_t kChunkHeaderBytes = 40;
+constexpr std::size_t kFooterEntryFixedBytes = 48;
+// Quarantine payload cap for torn chunks: enough hex to identify the
+// chunk without dumping megabytes into the sidecar.
+constexpr std::size_t kQuarantineHexBytes = 48;
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t
+getU16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+/** LEB128: 7 value bits per byte, high bit = continuation. */
+void
+appendVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(v | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+bool
+readVarintSlow(const unsigned char *&p, const unsigned char *end,
+               std::uint64_t &v)
+{
+    v = 0;
+    unsigned shift = 0;
+    while (p < end) {
+        unsigned char byte = *p++;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            return false; // runaway continuation bits
+    }
+    return false; // column exhausted mid-value
+}
+
+/** One-byte fast path: timestamp deltas and dictionary indices are
+ *  single-byte for almost every record, so this branch carries the
+ *  decode hot loop. */
+inline bool
+readVarint(const unsigned char *&p, const unsigned char *end,
+           std::uint64_t &v)
+{
+    if (p < end && *p < 0x80) [[likely]] {
+        v = *p++;
+        return true;
+    }
+    return readVarintSlow(p, end, v);
+}
+
+/**
+ * Zigzag over the mod-2^64 difference: small moves in either direction
+ * encode short, and (prev + decode(encode(cur - prev))) == cur for every
+ * pair of u64 values, so arbitrary offset jumps survive round-trips.
+ */
+std::uint64_t
+zigzagEncode(std::uint64_t delta)
+{
+    auto sd = static_cast<std::int64_t>(delta);
+    return (static_cast<std::uint64_t>(sd) << 1) ^
+           static_cast<std::uint64_t>(sd >> 63);
+}
+
+std::uint64_t
+zigzagDecode(std::uint64_t zz)
+{
+    return (zz >> 1) ^ (0 - (zz & 1));
+}
+
+/**
+ * CRC-32 (the zlib/PNG polynomial), slicing-by-8: eight table lookups
+ * per 8-byte block instead of eight sequential per-byte steps, ~4-5x
+ * faster on long buffers. Verification is a full pass over every
+ * chunk, so this sits on the decode critical path.
+ */
+std::uint32_t
+crc32(const unsigned char *data, std::size_t n)
+{
+    static const auto tables = [] {
+        std::array<std::array<std::uint32_t, 256>, 8> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i)
+            for (std::size_t s = 1; s < 8; ++s)
+                t[s][i] =
+                    t[0][t[s - 1][i] & 0xffu] ^ (t[s - 1][i] >> 8);
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    while (n >= 8) {
+        // Little-endian load of the next 8 bytes, folded in one step.
+        std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(data[0]) |
+                                  static_cast<std::uint32_t>(data[1])
+                                      << 8 |
+                                  static_cast<std::uint32_t>(data[2])
+                                      << 16 |
+                                  static_cast<std::uint32_t>(data[3])
+                                      << 24);
+        std::uint32_t hi = static_cast<std::uint32_t>(data[4]) |
+                           static_cast<std::uint32_t>(data[5]) << 8 |
+                           static_cast<std::uint32_t>(data[6]) << 16 |
+                           static_cast<std::uint32_t>(data[7]) << 24;
+        crc = tables[7][lo & 0xffu] ^ tables[6][(lo >> 8) & 0xffu] ^
+              tables[5][(lo >> 16) & 0xffu] ^ tables[4][lo >> 24] ^
+              tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+              tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+        data += 8;
+        n -= 8;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        crc = tables[0][(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string
+hexBytes(const unsigned char *data, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+
+Cbt2Writer::Cbt2Writer(std::ostream &out, const Cbt2WriteOptions &options)
+    : out_(out), options_(options)
+{
+    CBS_EXPECT(options_.chunk_records > 0,
+               "CBT2 chunk_records must be positive");
+    std::string header;
+    header.append(kMagic, sizeof(kMagic));
+    putU16(header, kVersion);
+    putU16(header, 0); // flags
+    out_.write(header.data(),
+               static_cast<std::streamsize>(header.size()));
+    bytes_written_ = header.size();
+    pending_.reserve(options_.chunk_records);
+}
+
+Cbt2Writer::~Cbt2Writer() = default;
+
+void
+Cbt2Writer::write(const IoRequest &req)
+{
+    CBS_EXPECT(!finished_, "write() after Cbt2Writer::finish()");
+    CBS_EXPECT(records_ == 0 || req.timestamp >= last_ts_,
+               "CBT2 requires non-decreasing timestamps: record "
+                   << records_ << " at " << req.timestamp
+                   << " us after " << last_ts_ << " us");
+    last_ts_ = req.timestamp;
+    pending_.push_back(req);
+    ++records_;
+    if (pending_.size() >= options_.chunk_records)
+        flushChunk();
+}
+
+void
+Cbt2Writer::flushChunk()
+{
+    if (pending_.empty())
+        return;
+
+    // Per-chunk volume dictionary in first-appearance order.
+    std::unordered_map<VolumeId, std::uint32_t> dict_index;
+    std::vector<VolumeId> dict;
+    dict_index.reserve(64);
+
+    std::string ts_col, vol_col, off_col, len_col;
+    std::vector<unsigned char> op_bits((pending_.size() + 7) / 8, 0);
+
+    const TimeUs base_ts = pending_.front().timestamp;
+    const ByteOffset base_off = pending_.front().offset;
+    TimeUs prev_ts = base_ts;
+    ByteOffset prev_off = base_off;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const IoRequest &req = pending_[i];
+        appendVarint(ts_col, req.timestamp - prev_ts);
+        prev_ts = req.timestamp;
+        auto [it, inserted] = dict_index.try_emplace(
+            req.volume, static_cast<std::uint32_t>(dict.size()));
+        if (inserted)
+            dict.push_back(req.volume);
+        appendVarint(vol_col, it->second);
+        appendVarint(off_col, zigzagEncode(req.offset - prev_off));
+        prev_off = req.offset;
+        appendVarint(len_col, req.length);
+        if (req.isWrite())
+            op_bits[i >> 3] |= static_cast<unsigned char>(1u << (i & 7));
+    }
+
+    scratch_.clear();
+    putU32(scratch_, static_cast<std::uint32_t>(pending_.size()));
+    putU32(scratch_, static_cast<std::uint32_t>(dict.size()));
+    putU64(scratch_, base_ts);
+    putU64(scratch_, base_off);
+    putU32(scratch_, static_cast<std::uint32_t>(ts_col.size()));
+    putU32(scratch_, static_cast<std::uint32_t>(vol_col.size()));
+    putU32(scratch_, static_cast<std::uint32_t>(off_col.size()));
+    putU32(scratch_, static_cast<std::uint32_t>(len_col.size()));
+    for (VolumeId volume : dict)
+        putU32(scratch_, volume);
+    scratch_ += ts_col;
+    scratch_ += vol_col;
+    scratch_ += off_col;
+    scratch_ += len_col;
+    scratch_.append(reinterpret_cast<const char *>(op_bits.data()),
+                    op_bits.size());
+
+    ChunkMeta meta;
+    meta.file_offset = bytes_written_;
+    meta.byte_size = scratch_.size();
+    meta.records = pending_.size();
+    meta.min_ts = base_ts;
+    meta.max_ts = pending_.back().timestamp;
+    meta.crc32 = crc32(
+        reinterpret_cast<const unsigned char *>(scratch_.data()),
+        scratch_.size());
+    meta.volumes = dict;
+    std::sort(meta.volumes.begin(), meta.volumes.end());
+
+    out_.write(scratch_.data(),
+               static_cast<std::streamsize>(scratch_.size()));
+    bytes_written_ += scratch_.size();
+    footer_.push_back(std::move(meta));
+    pending_.clear();
+}
+
+void
+Cbt2Writer::finish()
+{
+    if (finished_)
+        return;
+    flushChunk();
+
+    std::string footer;
+    putU64(footer, footer_.size());
+    for (const ChunkMeta &meta : footer_) {
+        putU64(footer, meta.file_offset);
+        putU64(footer, meta.byte_size);
+        putU64(footer, meta.records);
+        putU64(footer, meta.min_ts);
+        putU64(footer, meta.max_ts);
+        putU32(footer, meta.crc32);
+        putU32(footer, static_cast<std::uint32_t>(meta.volumes.size()));
+        for (VolumeId volume : meta.volumes)
+            putU32(footer, volume);
+    }
+    putU64(footer, records_);
+
+    std::string trailer;
+    putU64(trailer, footer.size());
+    putU16(trailer, kVersion);
+    putU16(trailer, 0);
+    trailer.append(kMagic, sizeof(kMagic));
+
+    out_.write(footer.data(),
+               static_cast<std::streamsize>(footer.size()));
+    out_.write(trailer.data(),
+               static_cast<std::streamsize>(trailer.size()));
+    out_.flush();
+    CBS_EXPECT(out_.good(), "CBT2 write failed (stream error)");
+    finished_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Reader: file image + footer index
+
+struct Cbt2Reader::Image
+{
+    struct ChunkEntry
+    {
+        std::uint64_t file_offset = 0;
+        std::uint64_t byte_size = 0;
+        std::uint64_t records = 0;
+        std::uint64_t min_ts = 0;
+        std::uint64_t max_ts = 0;
+        std::uint32_t crc32 = 0;
+        std::vector<VolumeId> volumes; //!< sorted
+    };
+
+    const unsigned char *data = nullptr;
+    std::size_t size = 0;
+    std::size_t footer_offset = 0; //!< chunk region ends here
+    std::vector<ChunkEntry> chunks;
+    std::uint64_t total_records = 0;
+    std::string path; //!< diagnostics ("<buffer>" for in-memory)
+
+    std::string heap; //!< backing store for the heap path
+#if CBS_CBT2_HAVE_MMAP
+    void *map_base = nullptr;
+    std::size_t map_len = 0;
+#endif
+
+    ~Image()
+    {
+#if CBS_CBT2_HAVE_MMAP
+        if (map_base)
+            ::munmap(map_base, map_len);
+#endif
+    }
+};
+
+/** Parse trailer + footer; fatal on any damage (the index is the
+ *  format — without it nothing else is trustworthy). */
+void
+Cbt2Reader::parseFooter(Image &image)
+{
+    CBS_EXPECT(image.size >= kHeaderBytes + kTrailerBytes,
+               image.path << ": not a CBT2 file (only " << image.size
+                          << " bytes)");
+    CBS_EXPECT(std::memcmp(image.data, kMagic, sizeof(kMagic)) == 0,
+               image.path << ": bad CBT2 magic");
+    std::uint16_t version = getU16(image.data + 4);
+    CBS_EXPECT(version == kVersion,
+               image.path << ": unsupported CBT2 version " << version);
+    std::uint16_t flags = getU16(image.data + 6);
+    CBS_EXPECT(flags == 0,
+               image.path << ": unknown CBT2 flags 0x" << std::hex
+                          << flags);
+
+    const unsigned char *trailer =
+        image.data + image.size - kTrailerBytes;
+    CBS_EXPECT(std::memcmp(trailer + 12, kMagic, sizeof(kMagic)) == 0,
+               image.path
+                   << ": bad CBT2 trailer magic (truncated file?)");
+    std::uint16_t trailer_version = getU16(trailer + 8);
+    CBS_EXPECT(trailer_version == kVersion,
+               image.path << ": unsupported CBT2 trailer version "
+                          << trailer_version);
+    std::uint64_t footer_bytes = getU64(trailer);
+    CBS_EXPECT(footer_bytes >= 16 &&
+                   footer_bytes <=
+                       image.size - kHeaderBytes - kTrailerBytes,
+               image.path << ": CBT2 footer size " << footer_bytes
+                          << " out of range");
+    image.footer_offset = image.size - kTrailerBytes -
+                          static_cast<std::size_t>(footer_bytes);
+
+    const unsigned char *p = image.data + image.footer_offset;
+    const unsigned char *end = trailer;
+    std::uint64_t chunk_count = getU64(p);
+    p += 8;
+    // Bound before reserving: each entry is at least the fixed part,
+    // so a corrupt count cannot trigger a giant allocation.
+    CBS_EXPECT(chunk_count <=
+                   (footer_bytes - 16) / kFooterEntryFixedBytes,
+               image.path << ": CBT2 footer declares " << chunk_count
+                          << " chunks in " << footer_bytes << " bytes");
+    image.chunks.reserve(static_cast<std::size_t>(chunk_count));
+    std::uint64_t record_sum = 0;
+    for (std::uint64_t i = 0; i < chunk_count; ++i) {
+        CBS_EXPECT(static_cast<std::size_t>(end - p) >=
+                       kFooterEntryFixedBytes + 8,
+                   image.path << ": CBT2 footer truncated at chunk "
+                              << i);
+        Cbt2Reader::Image::ChunkEntry entry;
+        entry.file_offset = getU64(p);
+        entry.byte_size = getU64(p + 8);
+        entry.records = getU64(p + 16);
+        entry.min_ts = getU64(p + 24);
+        entry.max_ts = getU64(p + 32);
+        entry.crc32 = getU32(p + 40);
+        std::uint32_t volume_count = getU32(p + 44);
+        p += kFooterEntryFixedBytes;
+        CBS_EXPECT(static_cast<std::size_t>(end - p) >=
+                       std::size_t{volume_count} * 4 + 8,
+                   image.path << ": CBT2 footer truncated in chunk "
+                              << i << " volume set");
+        entry.volumes.reserve(volume_count);
+        for (std::uint32_t v = 0; v < volume_count; ++v, p += 4)
+            entry.volumes.push_back(getU32(p));
+        record_sum += entry.records;
+        image.chunks.push_back(std::move(entry));
+    }
+    CBS_EXPECT(static_cast<std::size_t>(end - p) == 8,
+               image.path << ": CBT2 footer has "
+                          << static_cast<std::size_t>(end - p) - 8
+                          << " trailing bytes");
+    image.total_records = getU64(p);
+    CBS_EXPECT(image.total_records == record_sum,
+               image.path << ": CBT2 footer total " << image.total_records
+                          << " != per-chunk sum " << record_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Reader: incremental chunk decode
+
+struct Cbt2Reader::ChunkCursor
+{
+    std::size_t chunk_index = 0;
+    std::uint64_t remaining = 0;
+    std::uint64_t record_index = 0; //!< op-bit addressing
+    std::uint32_t dict_count = 0;
+    const unsigned char *dict = nullptr;
+    const unsigned char *ts_p = nullptr, *ts_end = nullptr;
+    const unsigned char *vol_p = nullptr, *vol_end = nullptr;
+    const unsigned char *off_p = nullptr, *off_end = nullptr;
+    const unsigned char *len_p = nullptr, *len_end = nullptr;
+    const unsigned char *op_bits = nullptr;
+    TimeUs prev_ts = 0;
+    ByteOffset prev_off = 0;
+};
+
+Cbt2Reader::Cbt2Reader(std::shared_ptr<const Image> image,
+                       std::size_t begin_chunk, std::size_t end_chunk,
+                       const Cbt2ReadOptions &options)
+    : image_(std::move(image)), options_(options),
+      begin_chunk_(begin_chunk), end_chunk_(end_chunk),
+      next_chunk_(begin_chunk)
+{
+    std::sort(options_.volumes.begin(), options_.volumes.end());
+    options_.volumes.erase(
+        std::unique(options_.volumes.begin(), options_.volumes.end()),
+        options_.volumes.end());
+}
+
+Cbt2Reader::~Cbt2Reader() = default;
+
+std::unique_ptr<Cbt2Reader>
+Cbt2Reader::fromFile(const std::string &path,
+                     const Cbt2ReadOptions &options)
+{
+    auto image = std::make_shared<Image>();
+    image->path = path;
+    bool mapped = false;
+#if CBS_CBT2_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    CBS_EXPECT(fd >= 0, "cannot open CBT2 trace " << path);
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        std::size_t len = static_cast<std::size_t>(st.st_size);
+        void *base =
+            ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (base != MAP_FAILED) {
+            image->map_base = base;
+            image->map_len = len;
+            image->data = static_cast<const unsigned char *>(base);
+            image->size = len;
+            mapped = true;
+        }
+    }
+    ::close(fd);
+#endif
+    if (!mapped) {
+        std::ifstream in(path, std::ios::binary);
+        CBS_EXPECT(in, "cannot open CBT2 trace " << path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        image->heap = std::move(buf).str();
+        image->data = reinterpret_cast<const unsigned char *>(
+            image->heap.data());
+        image->size = image->heap.size();
+    }
+    parseFooter(*image);
+    std::size_t chunks = image->chunks.size();
+    return std::unique_ptr<Cbt2Reader>(
+        new Cbt2Reader(std::move(image), 0, chunks, options));
+}
+
+std::unique_ptr<Cbt2Reader>
+Cbt2Reader::fromBuffer(std::string bytes, const Cbt2ReadOptions &options)
+{
+    auto image = std::make_shared<Image>();
+    image->path = "<buffer>";
+    image->heap = std::move(bytes);
+    image->data =
+        reinterpret_cast<const unsigned char *>(image->heap.data());
+    image->size = image->heap.size();
+    parseFooter(*image);
+    std::size_t chunks = image->chunks.size();
+    return std::unique_ptr<Cbt2Reader>(
+        new Cbt2Reader(std::move(image), 0, chunks, options));
+}
+
+bool
+Cbt2Reader::chunkSelected(std::size_t index) const
+{
+    const Image::ChunkEntry &entry = image_->chunks[index];
+    if (entry.records == 0)
+        return false;
+    if (entry.max_ts < options_.min_time ||
+        entry.min_ts >= options_.max_time)
+        return false;
+    if (!options_.volumes.empty()) {
+        // Both sets sorted: two-pointer intersection test.
+        auto a = entry.volumes.begin();
+        auto b = options_.volumes.begin();
+        bool hit = false;
+        while (a != entry.volumes.end() &&
+               b != options_.volumes.end()) {
+            if (*a < *b) {
+                ++a;
+            } else if (*b < *a) {
+                ++b;
+            } else {
+                hit = true;
+                break;
+            }
+        }
+        if (!hit)
+            return false;
+    }
+    return true;
+}
+
+bool
+Cbt2Reader::openChunk(std::size_t index)
+{
+    const Image::ChunkEntry &entry = image_->chunks[index];
+    std::string reason;
+    do {
+        if (entry.file_offset < kHeaderBytes ||
+            entry.byte_size < kChunkHeaderBytes ||
+            entry.file_offset + entry.byte_size >
+                image_->footer_offset) {
+            std::ostringstream oss;
+            oss << image_->path << ": chunk " << index << " at offset "
+                << entry.file_offset << " size " << entry.byte_size
+                << " overruns the chunk region (truncated file?)";
+            reason = oss.str();
+            break;
+        }
+        const unsigned char *base = image_->data + entry.file_offset;
+        if (options_.verify_checksums) {
+            std::uint32_t actual = crc32(
+                base, static_cast<std::size_t>(entry.byte_size));
+            if (actual != entry.crc32) {
+                std::ostringstream oss;
+                oss << image_->path << ": chunk " << index
+                    << " CRC mismatch (stored 0x" << std::hex
+                    << entry.crc32 << ", computed 0x" << actual << ")";
+                reason = oss.str();
+                break;
+            }
+        }
+        std::uint32_t count = getU32(base);
+        std::uint32_t dict_count = getU32(base + 4);
+        TimeUs base_ts = getU64(base + 8);
+        ByteOffset base_off = getU64(base + 16);
+        std::uint32_t ts_bytes = getU32(base + 24);
+        std::uint32_t vol_bytes = getU32(base + 28);
+        std::uint32_t off_bytes = getU32(base + 32);
+        std::uint32_t len_bytes = getU32(base + 36);
+        std::uint64_t op_bytes = (std::uint64_t{count} + 7) / 8;
+        std::uint64_t need = kChunkHeaderBytes +
+                             std::uint64_t{dict_count} * 4 + ts_bytes +
+                             vol_bytes + off_bytes + len_bytes +
+                             op_bytes;
+        if (count == 0 || count != entry.records ||
+            need != entry.byte_size) {
+            std::ostringstream oss;
+            oss << image_->path << ": chunk " << index
+                << " header disagrees with the footer index (count "
+                << count << " vs " << entry.records << ", layout "
+                << need << " bytes vs " << entry.byte_size << ")";
+            reason = oss.str();
+            break;
+        }
+        auto cursor = std::make_unique<ChunkCursor>();
+        cursor->chunk_index = index;
+        cursor->remaining = count;
+        cursor->dict_count = dict_count;
+        cursor->dict = base + kChunkHeaderBytes;
+        cursor->ts_p = cursor->dict + std::size_t{dict_count} * 4;
+        cursor->ts_end = cursor->ts_p + ts_bytes;
+        cursor->vol_p = cursor->ts_end;
+        cursor->vol_end = cursor->vol_p + vol_bytes;
+        cursor->off_p = cursor->vol_end;
+        cursor->off_end = cursor->off_p + off_bytes;
+        cursor->len_p = cursor->off_end;
+        cursor->len_end = cursor->len_p + len_bytes;
+        cursor->op_bits = cursor->len_end;
+        cursor->prev_ts = base_ts;
+        cursor->prev_off = base_off;
+        cursor_ = std::move(cursor);
+        return true;
+    } while (false);
+
+    // Torn chunk: one bad record under a tolerant policy, fatal under
+    // Strict — same convention as a torn BinTrace tail.
+    std::string payload;
+    if (entry.file_offset < image_->size)
+        payload = hexBytes(
+            image_->data + entry.file_offset,
+            std::min<std::size_t>(
+                kQuarantineHexBytes,
+                image_->size -
+                    static_cast<std::size_t>(entry.file_offset)));
+    if (!tolerateBadRecord(reason, payload, produced_))
+        CBS_FATAL(reason);
+    return false;
+}
+
+void
+Cbt2Reader::fillBatch(std::vector<IoRequest> &out, std::size_t target)
+{
+    out.reserve(target);
+    while (out.size() < target) {
+        if (!cursor_) {
+            if (next_chunk_ >= end_chunk_)
+                return;
+            std::size_t index = next_chunk_++;
+            if (!chunkSelected(index)) {
+                ++chunks_skipped_;
+                continue;
+            }
+            if (!openChunk(index))
+                continue;
+        }
+        ChunkCursor &c = *cursor_;
+        bool torn = false;
+        while (out.size() < target && c.remaining) {
+            std::uint64_t dts = 0, vidx = 0, zoff = 0, len = 0;
+            if (!readVarint(c.ts_p, c.ts_end, dts) ||
+                !readVarint(c.vol_p, c.vol_end, vidx) ||
+                !readVarint(c.off_p, c.off_end, zoff) ||
+                !readVarint(c.len_p, c.len_end, len) ||
+                vidx >= c.dict_count ||
+                len > std::numeric_limits<std::uint32_t>::max()) {
+                torn = true;
+                break;
+            }
+            // First record's deltas are stored against the chunk-header
+            // bases (both zero by construction, so this is uniform).
+            c.prev_ts += dts;
+            c.prev_off += zigzagDecode(zoff);
+            IoRequest req;
+            req.timestamp = c.prev_ts;
+            req.offset = c.prev_off;
+            req.length = static_cast<std::uint32_t>(len);
+            req.volume = getU32(c.dict + std::size_t{vidx} * 4);
+            req.op = (c.op_bits[c.record_index >> 3] >>
+                      (c.record_index & 7)) &
+                             1
+                         ? Op::Write
+                         : Op::Read;
+            ++c.record_index;
+            --c.remaining;
+            if (req.timestamp >= options_.max_time) {
+                // The stream is globally time-ordered, so nothing
+                // after this record can fall inside the window.
+                cursor_.reset();
+                next_chunk_ = end_chunk_;
+                return;
+            }
+            if (req.timestamp < options_.min_time)
+                continue;
+            if (!options_.volumes.empty() &&
+                !std::binary_search(options_.volumes.begin(),
+                                    options_.volumes.end(),
+                                    req.volume))
+                continue;
+            out.push_back(req);
+            ++produced_;
+        }
+        if (torn) {
+            std::size_t index = cursor_->chunk_index;
+            std::uint64_t lost = cursor_->remaining;
+            cursor_.reset();
+            std::ostringstream oss;
+            oss << image_->path << ": chunk " << index
+                << " column data malformed mid-decode (" << lost
+                << " records dropped; CRC-valid but inconsistent, or "
+                   "checksum verification disabled)";
+            const Image::ChunkEntry &entry = image_->chunks[index];
+            std::size_t avail = std::min<std::size_t>(
+                kQuarantineHexBytes,
+                image_->size -
+                    static_cast<std::size_t>(entry.file_offset));
+            if (!tolerateBadRecord(
+                    oss.str(),
+                    hexBytes(image_->data + entry.file_offset, avail),
+                    produced_))
+                CBS_FATAL(oss.str());
+            continue;
+        }
+        if (cursor_ && cursor_->remaining == 0)
+            cursor_.reset();
+    }
+}
+
+std::size_t
+Cbt2Reader::nextBatchImpl(std::vector<IoRequest> &out,
+                          std::size_t max_requests)
+{
+    out.clear();
+    while (lookahead_pos_ < lookahead_.size() &&
+           out.size() < max_requests)
+        out.push_back(lookahead_[lookahead_pos_++]);
+    if (lookahead_pos_ >= lookahead_.size()) {
+        lookahead_.clear();
+        lookahead_pos_ = 0;
+    }
+    fillBatch(out, max_requests);
+    return out.size();
+}
+
+bool
+Cbt2Reader::next(IoRequest &req)
+{
+    if (lookahead_pos_ >= lookahead_.size()) {
+        lookahead_.clear();
+        lookahead_pos_ = 0;
+        // Small refill: next() is the convenience path, not the bulk
+        // path, so keep its working set tiny.
+        fillBatch(lookahead_, 256);
+        if (lookahead_.empty())
+            return false;
+    }
+    req = lookahead_[lookahead_pos_++];
+    return true;
+}
+
+void
+Cbt2Reader::reset()
+{
+    cursor_.reset();
+    next_chunk_ = begin_chunk_;
+    chunks_skipped_ = 0;
+    produced_ = 0;
+    lookahead_.clear();
+    lookahead_pos_ = 0;
+    resetErrorBudget();
+}
+
+std::uint64_t
+Cbt2Reader::sizeHint() const
+{
+    std::uint64_t hint = lookahead_.size() - lookahead_pos_;
+    if (cursor_)
+        hint += cursor_->remaining;
+    for (std::size_t i = next_chunk_; i < end_chunk_; ++i)
+        if (chunkSelected(i))
+            hint += image_->chunks[i].records;
+    return hint;
+}
+
+std::uint64_t
+Cbt2Reader::declaredCount() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = begin_chunk_; i < end_chunk_; ++i)
+        total += image_->chunks[i].records;
+    return total;
+}
+
+TimeUs
+Cbt2Reader::maxTimestamp() const
+{
+    TimeUs max_ts = 0;
+    for (std::size_t i = begin_chunk_; i < end_chunk_; ++i)
+        max_ts = std::max(max_ts, image_->chunks[i].max_ts);
+    return max_ts;
+}
+
+std::uint64_t
+Cbt2Reader::chunkCount() const
+{
+    return end_chunk_ - begin_chunk_;
+}
+
+std::size_t
+Cbt2Reader::maxSplits() const
+{
+    std::size_t remaining = end_chunk_ - next_chunk_;
+    return remaining ? remaining : 1;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+Cbt2Reader::split(std::size_t n)
+{
+    CBS_EXPECT(!cursor_ && lookahead_pos_ >= lookahead_.size(),
+               "Cbt2Reader::split needs a chunk-aligned read position "
+               "(reset() first)");
+    std::size_t lo = next_chunk_;
+    std::size_t hi = end_chunk_;
+    std::size_t chunks = hi - lo;
+    std::size_t parts =
+        std::max<std::size_t>(1, std::min(n, chunks ? chunks : 1));
+
+    std::uint64_t remaining_records = 0;
+    for (std::size_t i = lo; i < hi; ++i)
+        remaining_records += image_->chunks[i].records;
+
+    std::vector<std::unique_ptr<TraceSource>> out;
+    out.reserve(parts);
+    std::size_t begin = lo;
+    for (std::size_t k = 0; k < parts; ++k) {
+        std::size_t end;
+        if (k + 1 == parts) {
+            end = hi;
+        } else {
+            // Leave at least one chunk per remaining partition and
+            // aim at an even share of the remaining records.
+            std::size_t max_end = hi - (parts - k - 1);
+            std::uint64_t target = remaining_records / (parts - k);
+            std::uint64_t part_records = 0;
+            end = begin;
+            while (end < max_end &&
+                   (end == begin || part_records < target)) {
+                part_records += image_->chunks[end].records;
+                ++end;
+            }
+            remaining_records -= part_records;
+        }
+        auto part = std::unique_ptr<Cbt2Reader>(
+            new Cbt2Reader(image_, begin, end, options_));
+        bequeathTo(*part);
+        out.push_back(std::move(part));
+        begin = end;
+    }
+    next_chunk_ = end_chunk_; // parent hands off to the partitions
+    return out;
+}
+
+} // namespace cbs

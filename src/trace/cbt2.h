@@ -1,0 +1,208 @@
+/**
+ * @file
+ * CBT2: chunked columnar trace format. Fixed-size chunks store each
+ * IoRequest field as a column — timestamp deltas and sizes as LEB128
+ * varints, offsets as zigzag deltas, volume ids through a per-chunk
+ * dictionary, opcodes bitpacked — and a footer index carries per-chunk
+ * min/max timestamp, sorted volume set, record count, and a CRC32, so
+ * a reader can skip whole chunks against a time-range or volume-subset
+ * filter without touching their pages. Typical encodings land at 3-6
+ * bytes per record against 24 for CBST and ~40 for CSV, and decode is
+ * branch-light pointer walking rather than text parsing.
+ *
+ * On-disk layout (all integers little-endian; see
+ * docs/trace-formats.md for the full byte-level reference):
+ *
+ *   header:   magic "CBT2" (4) | version u16 | flags u16
+ *   chunk*:   chunk header (40 B) | volume dict u32[dict_count]
+ *             | ts varint column | volume-index varint column
+ *             | offset zigzag-varint column | length varint column
+ *             | op bits (ceil(count/8))
+ *   footer:   chunk_count u64
+ *             | per chunk: file_offset u64 | byte_size u64
+ *               | records u64 | min_ts u64 | max_ts u64 | crc32 u32
+ *               | volume_count u32 | sorted volumes u32[volume_count]
+ *             | total_records u64
+ *   trailer:  footer_bytes u64 | version u16 | reserved u16
+ *             | magic "CBT2" (4)
+ *
+ * The footer lives at the end (located through the fixed 16-byte
+ * trailer), so writing is append-only streaming — no backpatching —
+ * and a truncated file is detected immediately at open.
+ *
+ * Error tolerance mirrors BinTraceReader: a chunk whose CRC, declared
+ * count, or column lengths do not match is a torn chunk — under a
+ * tolerant read-error policy it counts as one bad record (quarantined
+ * as a hex prefix) and the reader skips to the next chunk; missing or
+ * damaged trailer/footer is always fatal.
+ */
+
+#ifndef CBS_TRACE_CBT2_H
+#define CBS_TRACE_CBT2_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+/** Writer knobs. */
+struct Cbt2WriteOptions
+{
+    /** Records per chunk: the unit of filter pushdown and of split()
+     *  partitioning. Larger chunks compress slightly better; smaller
+     *  chunks skip more precisely. */
+    std::size_t chunk_records = 16384;
+};
+
+/**
+ * Streaming CBT2 encoder. Requests must arrive in non-decreasing
+ * timestamp order (the delta encoding and the footer index both
+ * depend on it); finish() must be called to emit the footer and
+ * trailer, otherwise the output is unreadable by design.
+ */
+class Cbt2Writer
+{
+  public:
+    explicit Cbt2Writer(std::ostream &out,
+                        const Cbt2WriteOptions &options = {});
+    ~Cbt2Writer();
+
+    Cbt2Writer(const Cbt2Writer &) = delete;
+    Cbt2Writer &operator=(const Cbt2Writer &) = delete;
+
+    void write(const IoRequest &req);
+
+    /** Flush the pending chunk and emit footer + trailer. */
+    void finish();
+
+    std::uint64_t recordCount() const { return records_; }
+    std::uint64_t chunkCount() const { return footer_.size(); }
+
+  private:
+    struct ChunkMeta
+    {
+        std::uint64_t file_offset = 0;
+        std::uint64_t byte_size = 0;
+        std::uint64_t records = 0;
+        std::uint64_t min_ts = 0;
+        std::uint64_t max_ts = 0;
+        std::uint32_t crc32 = 0;
+        std::vector<VolumeId> volumes; //!< sorted, unique
+    };
+
+    void flushChunk();
+
+    std::ostream &out_;
+    Cbt2WriteOptions options_;
+    std::vector<IoRequest> pending_;
+    std::vector<ChunkMeta> footer_;
+    std::uint64_t records_ = 0;
+    std::uint64_t bytes_written_ = 0;
+    TimeUs last_ts_ = 0;
+    bool finished_ = false;
+    std::string scratch_; //!< reused chunk encode buffer
+};
+
+/** Reader-side filter pushdown and integrity knobs. */
+struct Cbt2ReadOptions
+{
+    /** Keep records with min_time <= timestamp < max_time. Whole
+     *  chunks outside the window are skipped via the footer index. */
+    TimeUs min_time = 0;
+    TimeUs max_time = std::numeric_limits<TimeUs>::max();
+
+    /** Keep only these volumes (empty = all). Chunks whose footer
+     *  volume set does not intersect are skipped unread. */
+    std::vector<VolumeId> volumes;
+
+    /** Verify each chunk's CRC32 before decoding it. Costs one pass
+     *  over the chunk bytes; disable only for trusted files. */
+    bool verify_checksums = true;
+};
+
+/**
+ * mmap-backed CBT2 reader: decodes chunks straight into IoRequest
+ * batches, skips chunks against the footer index per Cbt2ReadOptions,
+ * and splits along chunk boundaries for multi-lane ingestion. Falls
+ * back to a heap read when mmap is unavailable; fromBuffer() serves
+ * in-memory bytes (tests, network payloads) through the same decoder.
+ */
+class Cbt2Reader : public TraceSource, public SplittableSource
+{
+  public:
+    /** Open @p path (mmap, heap-read fallback). Throws FatalError on
+     *  open/parse failure. */
+    static std::unique_ptr<Cbt2Reader>
+    fromFile(const std::string &path, const Cbt2ReadOptions &options = {});
+
+    /** Decode an in-memory CBT2 image. */
+    static std::unique_ptr<Cbt2Reader>
+    fromBuffer(std::string bytes, const Cbt2ReadOptions &options = {});
+
+    ~Cbt2Reader() override;
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+
+    /** Remaining records before record-level filtering: the sum of
+     *  footer counts of the chunks still ahead that pass the chunk
+     *  filter (an upper bound when record filters are active). */
+    std::uint64_t sizeHint() const override;
+
+    /** Records the footer declares for this reader's chunk range
+     *  (the whole file before split(); unaffected by filters). */
+    std::uint64_t declaredCount() const;
+
+    /** Largest max_ts in the footer index (0 for an empty file); the
+     *  trace duration without decoding a single chunk. */
+    TimeUs maxTimestamp() const;
+
+    /** Chunks in this reader's range (after split()). */
+    std::uint64_t chunkCount() const;
+
+    /** Chunks skipped so far by filter pushdown (not torn chunks). */
+    std::uint64_t chunksSkipped() const { return chunks_skipped_; }
+
+    std::size_t maxSplits() const override;
+    std::vector<std::unique_ptr<TraceSource>>
+    split(std::size_t n) override;
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
+
+  private:
+    struct Image;      //!< shared mmap/heap file image + parsed footer
+    struct ChunkCursor; //!< incremental decode state of one chunk
+
+    Cbt2Reader(std::shared_ptr<const Image> image,
+               std::size_t begin_chunk, std::size_t end_chunk,
+               const Cbt2ReadOptions &options);
+
+    static void parseFooter(Image &image);
+    bool chunkSelected(std::size_t index) const;
+    bool openChunk(std::size_t index);
+    void fillBatch(std::vector<IoRequest> &out, std::size_t target);
+
+    std::shared_ptr<const Image> image_;
+    Cbt2ReadOptions options_;
+    std::size_t begin_chunk_ = 0;
+    std::size_t end_chunk_ = 0;
+    std::size_t next_chunk_ = 0; //!< next chunk index to open
+    std::unique_ptr<ChunkCursor> cursor_;
+    std::uint64_t chunks_skipped_ = 0;
+    std::uint64_t produced_ = 0; //!< well-formed records emitted
+    std::vector<IoRequest> lookahead_; //!< next() adapter buffer
+    std::size_t lookahead_pos_ = 0;
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_CBT2_H

@@ -45,6 +45,10 @@ class VolumeFilterSource : public TraceSource
 
     void reset() override { inner_->reset(); }
 
+    /** Upper bound: the inner hint, before filtering. Keeps drain()
+     *  pre-sizing and progress totals meaningful for wrapped chains. */
+    std::uint64_t sizeHint() const override { return inner_->sizeHint(); }
+
   private:
     std::unique_ptr<TraceSource> inner_;
     FlatSet keep_;
@@ -76,6 +80,9 @@ class TimeWindowSource : public TraceSource
 
     void reset() override { inner_->reset(); }
 
+    /** Upper bound: the inner hint, before windowing. */
+    std::uint64_t sizeHint() const override { return inner_->sizeHint(); }
+
   private:
     std::unique_ptr<TraceSource> inner_;
     TimeUs start_;
@@ -103,6 +110,9 @@ class OpFilterSource : public TraceSource
     }
 
     void reset() override { inner_->reset(); }
+
+    /** Upper bound: the inner hint, before filtering. */
+    std::uint64_t sizeHint() const override { return inner_->sizeHint(); }
 
   private:
     std::unique_ptr<TraceSource> inner_;

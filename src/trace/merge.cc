@@ -71,15 +71,14 @@ MergeSource::nextBatchImpl(std::vector<IoRequest> &out,
 std::uint64_t
 MergeSource::sizeHint() const
 {
+    // Best-effort sum: an unsized (or exhausted) child contributes 0
+    // instead of zeroing the whole merge, so drain() pre-sizing and
+    // progress totals stay useful for mixed and partially-consumed
+    // child sets. The buffered heap heads are no longer counted in
+    // the children's hints, so add them back.
     std::uint64_t total = 0;
-    for (const auto &child : children_) {
-        std::uint64_t hint = child->sizeHint();
-        if (hint == 0)
-            return 0;
-        total += hint;
-    }
-    // The buffered heap heads are not counted in the children's hints
-    // any more; close enough for a pre-sizing hint.
+    for (const auto &child : children_)
+        total += child->sizeHint();
     return total + heap_.size();
 }
 

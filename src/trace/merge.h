@@ -30,7 +30,9 @@ class MergeSource : public TraceSource
 
     std::size_t childCount() const { return children_.size(); }
 
-    /** Sum of the children's hints (0 when any child is unsized). */
+    /** Best-effort sum of the children's hints plus the buffered heap
+     *  heads; unsized children contribute 0 rather than zeroing the
+     *  total. */
     std::uint64_t sizeHint() const override;
 
   protected:

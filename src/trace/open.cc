@@ -1,0 +1,192 @@
+#include "trace/open.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "common/error.h"
+#include "trace/bin_trace.h"
+#include "trace/csv.h"
+
+namespace cbs {
+
+namespace {
+
+std::string
+lowerExtension(const std::string &path)
+{
+    std::size_t dot = path.find_last_of('.');
+    std::size_t slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return {};
+    std::string ext = path.substr(dot + 1);
+    std::transform(ext.begin(), ext.end(), ext.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return ext;
+}
+
+} // namespace
+
+const char *
+traceFormatName(TraceFormat format)
+{
+    switch (format) {
+    case TraceFormat::Auto:
+        return "auto";
+    case TraceFormat::AliCloudCsv:
+        return "csv";
+    case TraceFormat::MsrcCsv:
+        return "msrc";
+    case TraceFormat::BinTrace:
+        return "bin";
+    case TraceFormat::Cbt2:
+        return "cbt2";
+    }
+    return "?";
+}
+
+bool
+parseTraceFormat(std::string_view name, TraceFormat &format)
+{
+    if (name == "auto")
+        format = TraceFormat::Auto;
+    else if (name == "csv" || name == "alicloud")
+        format = TraceFormat::AliCloudCsv;
+    else if (name == "msrc")
+        format = TraceFormat::MsrcCsv;
+    else if (name == "bin" || name == "cbst")
+        format = TraceFormat::BinTrace;
+    else if (name == "cbt2")
+        format = TraceFormat::Cbt2;
+    else
+        return false;
+    return true;
+}
+
+TraceFormat
+sniffTraceFormat(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    CBS_EXPECT(in, "cannot open trace " << path);
+
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() == 4) {
+        if (std::memcmp(magic, "CBST", 4) == 0)
+            return TraceFormat::BinTrace;
+        if (std::memcmp(magic, "CBT2", 4) == 0)
+            return TraceFormat::Cbt2;
+    }
+
+    // Text sniff: comma count of the first non-blank line. Bounded so
+    // a giant binary blob with no newline cannot stall the open path.
+    in.clear();
+    in.seekg(0);
+    constexpr std::size_t kMaxSniffLines = 16;
+    std::string line;
+    for (std::size_t i = 0;
+         i < kMaxSniffLines && std::getline(in, line); ++i) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty())
+            continue;
+        auto commas = std::count(line.begin(), line.end(), ',');
+        if (commas == 4)
+            return TraceFormat::AliCloudCsv;
+        if (commas == 6)
+            return TraceFormat::MsrcCsv;
+        break; // first data line decides; fall through to extension
+    }
+
+    std::string ext = lowerExtension(path);
+    if (ext == "cbt2")
+        return TraceFormat::Cbt2;
+    if (ext == "bin" || ext == "cbst")
+        return TraceFormat::BinTrace;
+    if (ext == "csv")
+        return TraceFormat::AliCloudCsv;
+    CBS_FATAL("cannot determine the trace format of "
+              << path
+              << " (no known magic, CSV shape, or extension; "
+                 "pass an explicit format)");
+}
+
+SplittableSource *
+OpenedTraceSource::splittable()
+{
+    if (retry_)
+        return nullptr;
+    return dynamic_cast<SplittableSource *>(reader_.get());
+}
+
+Cbt2Reader *
+OpenedTraceSource::cbt2()
+{
+    return dynamic_cast<Cbt2Reader *>(reader_.get());
+}
+
+MsrcCsvReader *
+OpenedTraceSource::msrc()
+{
+    return dynamic_cast<MsrcCsvReader *>(reader_.get());
+}
+
+BinTraceReader *
+OpenedTraceSource::bin()
+{
+    return dynamic_cast<BinTraceReader *>(reader_.get());
+}
+
+std::unique_ptr<OpenedTraceSource>
+openTraceSource(const std::string &path, const TraceOpenOptions &options)
+{
+    auto opened = std::unique_ptr<OpenedTraceSource>(
+        new OpenedTraceSource());
+    TraceFormat format = options.format == TraceFormat::Auto
+                             ? sniffTraceFormat(path)
+                             : options.format;
+    opened->format_ = format;
+
+    auto openStream = [&](std::ios::openmode mode) -> std::ifstream & {
+        opened->file_ = std::make_unique<std::ifstream>(path, mode);
+        CBS_EXPECT(*opened->file_, "cannot open trace " << path);
+        return *opened->file_;
+    };
+    switch (format) {
+    case TraceFormat::AliCloudCsv:
+        opened->reader_ = std::make_unique<AliCloudCsvReader>(
+            openStream(std::ios::in));
+        break;
+    case TraceFormat::MsrcCsv:
+        opened->reader_ =
+            std::make_unique<MsrcCsvReader>(openStream(std::ios::in));
+        break;
+    case TraceFormat::BinTrace:
+        opened->reader_ = std::make_unique<BinTraceReader>(
+            openStream(std::ios::binary));
+        break;
+    case TraceFormat::Cbt2:
+        opened->reader_ = Cbt2Reader::fromFile(path, options.cbt2);
+        break;
+    case TraceFormat::Auto:
+        CBS_PANIC("unreachable: format resolved above");
+    }
+
+    opened->reader_->setErrorPolicy(options.error_policy);
+    if (options.metrics)
+        opened->reader_->attachMetrics(*options.metrics,
+                                       options.metrics_prefix);
+    if (options.retry_attempts > 0) {
+        RetryOptions retry = options.retry;
+        retry.max_attempts = options.retry_attempts;
+        if (!retry.metrics)
+            retry.metrics = options.metrics;
+        opened->retry_ = std::make_unique<RetryingSource>(
+            *opened->reader_, std::move(retry));
+    }
+    return opened;
+}
+
+} // namespace cbs

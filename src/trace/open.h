@@ -1,0 +1,159 @@
+/**
+ * @file
+ * openTraceSource: the one front door for turning a trace file path
+ * into a ready-to-read TraceSource.
+ *
+ * Callers used to pick a reader class per format, open the right
+ * stream mode, arm the error policy, attach metrics, and wrap a
+ * RetryingSource by hand — four decisions duplicated at every call
+ * site (and four chances to get the ordering wrong). openTraceSource
+ * replaces that with one declarative options struct:
+ *
+ *     TraceOpenOptions options;
+ *     options.error_policy.policy = ReadErrorPolicy::Skip;
+ *     options.metrics = &registry;
+ *     auto trace = openTraceSource("trace.cbt2", options);
+ *     runPipelineParallel(trace->source(), ...);
+ *
+ * The format is sniffed from content (magic bytes for the binary
+ * formats, comma count for the CSV dialects) with the file extension
+ * as tie-breaker; pass TraceOpenOptions::format to override. The
+ * returned OpenedTraceSource owns the whole stack — file stream,
+ * format reader, optional retry decorator — with destruction in the
+ * right order. Direct reader construction (AliCloudCsvReader,
+ * BinTraceReader, Cbt2Reader::fromFile, ...) remains public for
+ * in-memory and advanced uses, but file-path call sites should come
+ * through here; see docs/trace-formats.md.
+ */
+
+#ifndef CBS_TRACE_OPEN_H
+#define CBS_TRACE_OPEN_H
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "trace/cbt2.h"
+#include "trace/error_policy.h"
+#include "trace/resilience.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+class AliCloudCsvReader;
+class MsrcCsvReader;
+class BinTraceReader;
+
+/** The trace formats the toolkit reads. */
+enum class TraceFormat
+{
+    Auto,        //!< sniff from content + extension
+    AliCloudCsv, //!< device_id,opcode,offset,length,timestamp
+    MsrcCsv,     //!< SNIA MSR Cambridge 7-field CSV
+    BinTrace,    //!< CBST fixed-record binary
+    Cbt2,        //!< chunked columnar (trace/cbt2.h)
+};
+
+/** Stable short name ("csv", "msrc", "bin", "cbt2", "auto"). */
+const char *traceFormatName(TraceFormat format);
+
+/** Parse a short name (as accepted by --format flags); returns false
+ *  on an unknown name. */
+bool parseTraceFormat(std::string_view name, TraceFormat &format);
+
+/**
+ * Decide a file's format: magic bytes first ("CBST" -> bin, "CBT2" ->
+ * cbt2), then the comma count of the first non-blank line (4 -> the
+ * AliCloud 5-field CSV, 6 -> the MSRC 7-field CSV), then the file
+ * extension. Throws FatalError when the file cannot be opened or no
+ * rule matches.
+ */
+TraceFormat sniffTraceFormat(const std::string &path);
+
+/** Declarative composition of everything a call site used to wire by
+ *  hand. Plain aggregate: set what you need, defaults are inert. */
+struct TraceOpenOptions
+{
+    /** Auto = sniff (see sniffTraceFormat). */
+    TraceFormat format = TraceFormat::Auto;
+
+    /** Read-error policy armed on the reader before the first byte
+     *  (trace/error_policy.h). quarantine, when set, must outlive the
+     *  opened source. */
+    ErrorPolicyOptions error_policy{};
+
+    /** > 0 wraps the reader in a RetryingSource with this attempt
+     *  budget; source() then returns the wrapper. */
+    int retry_attempts = 0;
+
+    /** Backoff/jitter knobs for the retry wrapper (max_attempts is
+     *  taken from retry_attempts; metrics defaults to this struct's
+     *  registry). */
+    RetryOptions retry{};
+
+    /** When set, attachMetrics(*metrics, metrics_prefix) on the
+     *  reader. Must outlive the opened source. */
+    obs::MetricsRegistry *metrics = nullptr;
+    std::string metrics_prefix = "ingest";
+
+    /** Filter pushdown / integrity knobs for CBT2 inputs (ignored for
+     *  the other formats). */
+    Cbt2ReadOptions cbt2{};
+};
+
+/**
+ * The opened stack: file stream, format reader, optional retry
+ * wrapper, destroyed in dependency order. Read through source();
+ * reader() exposes the format reader for policy/metrics state
+ * (badRecords(), chunksSkipped(), ...).
+ */
+class OpenedTraceSource
+{
+  public:
+    /** The outermost source (the retry wrapper when armed). */
+    TraceSource &source()
+    {
+        return retry_ ? static_cast<TraceSource &>(*retry_) : *reader_;
+    }
+
+    /** The format reader itself (error-policy and format state). */
+    TraceSource &reader() { return *reader_; }
+
+    TraceFormat format() const { return format_; }
+
+    /** The reader as a SplittableSource for multi-lane ingestion, or
+     *  nullptr (non-splittable format, or a retry wrapper is armed —
+     *  the wrapper cannot follow the partitions). */
+    SplittableSource *splittable();
+
+    /** Format-specific accessors; nullptr when the format differs. */
+    Cbt2Reader *cbt2();
+    MsrcCsvReader *msrc();
+    BinTraceReader *bin();
+
+  private:
+    friend std::unique_ptr<OpenedTraceSource>
+    openTraceSource(const std::string &, const TraceOpenOptions &);
+
+    // Declaration order is destruction-safety order (reversed):
+    // retry_ references reader_, reader_ references file_.
+    std::unique_ptr<std::ifstream> file_;
+    std::unique_ptr<TraceSource> reader_;
+    std::unique_ptr<RetryingSource> retry_;
+    TraceFormat format_ = TraceFormat::Auto;
+};
+
+/**
+ * Open @p path as a trace: sniff (or take) the format, construct the
+ * reader, arm the error policy, attach metrics, wrap retry — all per
+ * @p options. Throws FatalError on open/sniff/parse failure.
+ */
+std::unique_ptr<OpenedTraceSource>
+openTraceSource(const std::string &path,
+                const TraceOpenOptions &options = {});
+
+} // namespace cbs
+
+#endif // CBS_TRACE_OPEN_H

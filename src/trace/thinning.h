@@ -66,6 +66,16 @@ class ThinningSource : public TraceSource
 
     double keepFraction() const { return keep_fraction_; }
 
+    /** Expected survivors: the inner hint scaled by the keep
+     *  fraction (0 when the inner source is unsized). */
+    std::uint64_t
+    sizeHint() const override
+    {
+        return static_cast<std::uint64_t>(
+            keep_fraction_ *
+            static_cast<double>(inner_->sizeHint()));
+    }
+
   private:
     std::unique_ptr<TraceSource> inner_;
     double keep_fraction_;

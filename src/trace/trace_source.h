@@ -223,6 +223,27 @@ class TraceSource
             policy_->bad_records = 0;
     }
 
+    /**
+     * Hand this source's observable configuration down to a partition
+     * produced by SplittableSource::split(): the child shares the
+     * parent's ingest counters (atomics, so concurrent partitions
+     * aggregate into one `<prefix>.*` family) and gets a fresh error
+     * budget under the parent's policy options. Call from split()
+     * implementations on every partition they mint.
+     */
+    void
+    bequeathTo(TraceSource &child) const
+    {
+        child.ingest_ = ingest_;
+        if (policy_) {
+            auto state = std::make_unique<ErrorPolicyState>();
+            state->options = policy_->options;
+            child.policy_ = std::move(state);
+        } else {
+            child.policy_.reset();
+        }
+    }
+
   private:
     struct ErrorPolicyState
     {
@@ -251,12 +272,51 @@ class TraceSource
         }
     };
 
-    std::unique_ptr<IngestMetrics> ingest_;
+    // shared_ptr: split() partitions share the parent's counters so
+    // multi-lane ingestion still aggregates into one metric family.
+    std::shared_ptr<IngestMetrics> ingest_;
     std::unique_ptr<ErrorPolicyState> policy_;
 };
 
-/** TraceSource over an in-memory vector of requests. */
-class VectorSource : public TraceSource
+/**
+ * A TraceSource that can partition itself into independent sub-sources
+ * for multi-lane ingestion (runPipelineParallel spawns one producer
+ * thread per partition).
+ *
+ * Contract for split(n):
+ *  - returns between 1 and n partitions, each a self-contained
+ *    TraceSource positioned at the start of its slice;
+ *  - partitions are contiguous and time-ordered: every timestamp in
+ *    partition k is <= every timestamp in partition k+1, and the
+ *    concatenation of the partitions' streams equals this source's
+ *    stream from its current position;
+ *  - partitions inherit the parent's attached ingest metrics (shared
+ *    counters) and error-policy options with a fresh budget (use
+ *    bequeathTo());
+ *  - after split() the parent's own read position is unspecified;
+ *    callers hand off to the partitions and drop the parent (reset()
+ *    restores it).
+ */
+class SplittableSource
+{
+  public:
+    virtual ~SplittableSource() = default;
+
+    /** Largest useful partition count (e.g. the chunk count of a
+     *  chunked file); split(n) with n above this just returns fewer
+     *  partitions. */
+    virtual std::size_t maxSplits() const = 0;
+
+    /** Partition the remaining stream into up to @p n contiguous
+     *  time-ordered sub-sources (at least one; see class contract). */
+    virtual std::vector<std::unique_ptr<TraceSource>>
+    split(std::size_t n) = 0;
+};
+
+/** TraceSource over an in-memory vector of requests. Splittable into
+ *  contiguous slices for multi-lane ingestion (slices copy their
+ *  requests, so partitions outlive the parent). */
+class VectorSource : public TraceSource, public SplittableSource
 {
   public:
     VectorSource() = default;
@@ -283,6 +343,39 @@ class VectorSource : public TraceSource
     }
 
     const std::vector<IoRequest> &requests() const { return requests_; }
+
+    std::size_t
+    maxSplits() const override
+    {
+        std::size_t remaining = requests_.size() - pos_;
+        return remaining ? remaining : 1;
+    }
+
+    std::vector<std::unique_ptr<TraceSource>>
+    split(std::size_t n) override
+    {
+        std::size_t remaining = requests_.size() - pos_;
+        std::size_t parts = std::max<std::size_t>(
+            1, std::min(n, remaining ? remaining : 1));
+        std::vector<std::unique_ptr<TraceSource>> out;
+        out.reserve(parts);
+        std::size_t begin = pos_;
+        for (std::size_t k = 0; k < parts; ++k) {
+            // Balanced contiguous slices: first (remaining % parts)
+            // slices get one extra record.
+            std::size_t len = remaining / parts +
+                              (k < remaining % parts ? 1 : 0);
+            auto part = std::make_unique<VectorSource>(
+                std::vector<IoRequest>(
+                    requests_.begin() + begin,
+                    requests_.begin() + begin + len));
+            bequeathTo(*part);
+            out.push_back(std::move(part));
+            begin += len;
+        }
+        pos_ = requests_.size();
+        return out;
+    }
 
   protected:
     std::size_t

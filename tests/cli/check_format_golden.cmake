@@ -1,0 +1,70 @@
+# Format-equivalence check for cbs_tool convert + analyze.
+#
+# One synthetic trace, converted csv -> bin and csv -> cbt2, analyzed
+# in all three encodings (and once multi-lane over cbt2): every
+# --summary-json must be byte-identical. The on-disk encoding and the
+# ingestion strategy are implementation details; the characterization
+# is the contract. Invoked via: cmake -DCBS_TOOL=... -DWORK_DIR=...
+# -P this script.
+
+foreach(var CBS_TOOL WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(csv "${WORK_DIR}/format_golden.csv")
+execute_process(
+    COMMAND "${CBS_TOOL}" generate "${csv}" --volumes 8
+            --requests 30000 --seed 11
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "generate exited ${rc}: ${stderr}")
+endif()
+
+# Convert into both binary encodings (input format is sniffed).
+foreach(ext bin cbt2)
+    execute_process(
+        COMMAND "${CBS_TOOL}" convert "${csv}"
+                "${WORK_DIR}/format_golden.${ext}"
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "convert to ${ext} exited ${rc}: ${stderr}")
+    endif()
+endforeach()
+
+function(analyze trace out_json)
+    execute_process(
+        COMMAND "${CBS_TOOL}" analyze "${trace}" --interval 720
+                --summary-json "${out_json}" ${ARGN}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "analyze ${trace} exited ${rc}: ${stderr}")
+    endif()
+endfunction()
+
+analyze("${csv}" "${WORK_DIR}/format_csv.json")
+analyze("${WORK_DIR}/format_golden.bin" "${WORK_DIR}/format_bin.json")
+analyze("${WORK_DIR}/format_golden.cbt2" "${WORK_DIR}/format_cbt2.json")
+analyze("${WORK_DIR}/format_golden.cbt2"
+        "${WORK_DIR}/format_cbt2_lanes.json"
+        --threads 4 --ingest-lanes 4)
+
+foreach(other bin cbt2 cbt2_lanes)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/format_csv.json"
+                "${WORK_DIR}/format_${other}.json"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+                "format_${other}.json differs from the csv run; the "
+                "characterization depends on the trace encoding")
+    endif()
+endforeach()
+
+message(STATUS "summary JSON byte-identical across csv/bin/cbt2 and lanes")

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "synth/rng.h"
+#include "trace/cbt2.h"
+#include "trace/error_policy.h"
+
+namespace cbs {
+namespace {
+
+std::vector<IoRequest>
+randomRequests(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<IoRequest> out;
+    TimeUs t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += rng.uniformInt(1000);
+        out.push_back(IoRequest{
+            t, rng.nextU64() >> 20,
+            static_cast<std::uint32_t>(512 + rng.uniformInt(1 << 20)),
+            static_cast<VolumeId>(rng.uniformInt(1000)),
+            rng.bernoulli(0.5) ? Op::Write : Op::Read});
+    }
+    return out;
+}
+
+std::string
+encode(const std::vector<IoRequest> &requests,
+       std::size_t chunk_records = 16384)
+{
+    std::ostringstream buffer;
+    Cbt2WriteOptions options;
+    options.chunk_records = chunk_records;
+    Cbt2Writer writer(buffer, options);
+    for (const auto &r : requests)
+        writer.write(r);
+    writer.finish();
+    return buffer.str();
+}
+
+std::vector<IoRequest>
+drainAll(TraceSource &source)
+{
+    std::vector<IoRequest> out;
+    std::vector<IoRequest> batch;
+    while (source.nextBatch(batch, 333) > 0)
+        out.insert(out.end(), batch.begin(), batch.end());
+    return out;
+}
+
+TEST(Cbt2, RoundTripsRandomRequestsAcrossChunks)
+{
+    auto original = randomRequests(2000, 17);
+    // 128 records per chunk: the trip crosses many chunk boundaries.
+    auto reader = Cbt2Reader::fromBuffer(encode(original, 128));
+    EXPECT_EQ(reader->declaredCount(), original.size());
+    EXPECT_EQ(reader->chunkCount(), (original.size() + 127) / 128);
+    EXPECT_EQ(reader->maxTimestamp(), original.back().timestamp);
+    IoRequest r;
+    for (const auto &expected : original) {
+        ASSERT_TRUE(reader->next(r));
+        EXPECT_EQ(r, expected);
+    }
+    EXPECT_FALSE(reader->next(r));
+    EXPECT_EQ(reader->chunksSkipped(), 0u);
+}
+
+TEST(Cbt2, EmptySingleRecordAndTinyChunksRoundTrip)
+{
+    auto empty = Cbt2Reader::fromBuffer(encode({}));
+    IoRequest r;
+    EXPECT_EQ(empty->declaredCount(), 0u);
+    EXPECT_EQ(empty->maxTimestamp(), 0u);
+    EXPECT_FALSE(empty->next(r));
+
+    std::vector<IoRequest> one{
+        IoRequest{42, 4096, 512, 7, Op::Write}};
+    auto single = Cbt2Reader::fromBuffer(encode(one));
+    ASSERT_TRUE(single->next(r));
+    EXPECT_EQ(r, one[0]);
+    EXPECT_FALSE(single->next(r));
+
+    // One record per chunk is legal (worst-case chunk overhead).
+    auto original = randomRequests(37, 5);
+    auto tiny = Cbt2Reader::fromBuffer(encode(original, 1));
+    EXPECT_EQ(tiny->chunkCount(), original.size());
+    EXPECT_EQ(drainAll(*tiny), original);
+}
+
+TEST(Cbt2, NextMatchesBatchDecoding)
+{
+    auto original = randomRequests(700, 3);
+    std::string bytes = encode(original, 100);
+    auto by_next = Cbt2Reader::fromBuffer(bytes);
+    auto by_batch = Cbt2Reader::fromBuffer(bytes);
+    std::vector<IoRequest> from_next;
+    IoRequest r;
+    while (by_next->next(r))
+        from_next.push_back(r);
+    EXPECT_EQ(from_next, drainAll(*by_batch));
+    EXPECT_EQ(from_next, original);
+}
+
+TEST(Cbt2, ResetReplaysAndSizeHintTracksRemaining)
+{
+    auto original = randomRequests(500, 9);
+    auto reader = Cbt2Reader::fromBuffer(encode(original, 100));
+    EXPECT_EQ(reader->sizeHint(), original.size());
+    EXPECT_EQ(drainAll(*reader), original);
+    EXPECT_EQ(reader->sizeHint(), 0u);
+    reader->reset();
+    EXPECT_EQ(reader->sizeHint(), original.size());
+    EXPECT_EQ(drainAll(*reader), original);
+}
+
+TEST(Cbt2, TimeWindowPushdownSkipsChunksAndMatchesFilter)
+{
+    auto original = randomRequests(2000, 21);
+    std::string bytes = encode(original, 100);
+    TimeUs lo = original[700].timestamp;
+    TimeUs hi = original[1200].timestamp;
+
+    Cbt2ReadOptions options;
+    options.min_time = lo;
+    options.max_time = hi;
+    auto reader = Cbt2Reader::fromBuffer(bytes, options);
+    std::vector<IoRequest> expected;
+    for (const auto &r : original)
+        if (r.timestamp >= lo && r.timestamp < hi)
+            expected.push_back(r);
+    EXPECT_EQ(drainAll(*reader), expected);
+    // Chunks fully before the window are skipped via the footer index
+    // without being decoded.
+    EXPECT_GT(reader->chunksSkipped(), 0u);
+}
+
+TEST(Cbt2, VolumePushdownMatchesRecordFilter)
+{
+    // Few volumes + small chunks: some chunks lack the target volume
+    // entirely and are skipped from the footer's volume sets.
+    Rng rng(4);
+    std::vector<IoRequest> original;
+    TimeUs t = 0;
+    for (std::size_t i = 0; i < 1500; ++i) {
+        t += rng.uniformInt(50);
+        original.push_back(
+            IoRequest{t, rng.nextU64() >> 30, 4096,
+                      static_cast<VolumeId>(rng.uniformInt(12)),
+                      Op::Write});
+    }
+    std::string bytes = encode(original, 16);
+
+    Cbt2ReadOptions options;
+    options.volumes = {3, 7};
+    auto reader = Cbt2Reader::fromBuffer(bytes, options);
+    std::vector<IoRequest> expected;
+    for (const auto &r : original)
+        if (r.volume == 3 || r.volume == 7)
+            expected.push_back(r);
+    EXPECT_EQ(drainAll(*reader), expected);
+    EXPECT_GT(reader->chunksSkipped(), 0u);
+}
+
+TEST(Cbt2, SplitPartitionsConcatenateToSerialOrder)
+{
+    auto original = randomRequests(1000, 31);
+    std::string bytes = encode(original, 64);
+    for (std::size_t n : {1u, 2u, 3u, 7u, 100u}) {
+        auto reader = Cbt2Reader::fromBuffer(bytes);
+        EXPECT_EQ(reader->maxSplits(), (1000 + 63) / 64);
+        auto partitions = reader->split(n);
+        ASSERT_GE(partitions.size(), 1u);
+        EXPECT_LE(partitions.size(), n);
+        std::vector<IoRequest> merged;
+        for (auto &partition : partitions) {
+            auto part = drainAll(*partition);
+            merged.insert(merged.end(), part.begin(), part.end());
+        }
+        EXPECT_EQ(merged, original) << "n=" << n;
+        // The parent is positioned at the end after splitting.
+        IoRequest r;
+        EXPECT_FALSE(reader->next(r));
+    }
+}
+
+TEST(Cbt2, SplitPartitionsShareIngestMetrics)
+{
+    auto original = randomRequests(600, 8);
+    auto reader = Cbt2Reader::fromBuffer(encode(original, 50));
+    obs::MetricsRegistry registry;
+    reader->attachMetrics(registry);
+    auto partitions = reader->split(4);
+    for (auto &partition : partitions)
+        drainAll(*partition);
+    // All partitions feed the parent's counters.
+    EXPECT_EQ(registry.findCounter("ingest.records")->value(),
+              original.size());
+}
+
+TEST(Cbt2, SplitRequiresChunkAlignedPosition)
+{
+    auto reader = Cbt2Reader::fromBuffer(encode(randomRequests(300, 2), 64));
+    IoRequest r;
+    ASSERT_TRUE(reader->next(r)); // mid-chunk now
+    EXPECT_THROW(reader->split(2), FatalError);
+}
+
+TEST(Cbt2, TornChunkStrictThrowsTolerantSkips)
+{
+    auto original = randomRequests(300, 12);
+    std::string bytes = encode(original, 128); // chunks: 128/128/44
+    // Flip one payload byte of the first chunk (just past its header):
+    // the CRC catches it and the whole chunk is torn.
+    bytes[8 + 40 + 2] ^= 0x40;
+
+    // Strict: fatal on the torn chunk.
+    {
+        auto reader = Cbt2Reader::fromBuffer(bytes);
+        EXPECT_THROW(drainAll(*reader), FatalError);
+    }
+    // Skip: the torn chunk's records are dropped, the rest decode.
+    {
+        auto reader = Cbt2Reader::fromBuffer(bytes);
+        ErrorPolicyOptions policy;
+        policy.policy = ReadErrorPolicy::Skip;
+        reader->setErrorPolicy(policy);
+        std::vector<IoRequest> expected(original.begin() + 128,
+                                        original.end());
+        EXPECT_EQ(drainAll(*reader), expected);
+        EXPECT_EQ(reader->badRecords(), 1u);
+    }
+    // Quarantine: one sidecar entry holding a hex prefix of the chunk.
+    {
+        auto reader = Cbt2Reader::fromBuffer(bytes);
+        std::ostringstream sidecar;
+        ErrorPolicyOptions policy;
+        policy.policy = ReadErrorPolicy::Quarantine;
+        policy.quarantine = &sidecar;
+        reader->setErrorPolicy(policy);
+        drainAll(*reader);
+        EXPECT_NE(sidecar.str().find("# "), std::string::npos);
+        EXPECT_NE(sidecar.str().find("CRC mismatch"),
+                  std::string::npos);
+    }
+    // A zero budget trips on the first torn chunk even under skip.
+    {
+        auto reader = Cbt2Reader::fromBuffer(bytes);
+        ErrorPolicyOptions policy;
+        policy.policy = ReadErrorPolicy::Skip;
+        policy.max_bad_records = 0;
+        reader->setErrorPolicy(policy);
+        EXPECT_THROW(drainAll(*reader), FatalError);
+    }
+}
+
+TEST(Cbt2, HeaderFooterDisagreementIsTornEvenWithoutChecksums)
+{
+    auto original = randomRequests(300, 13);
+    std::string bytes = encode(original, 128);
+    // Corrupt the first chunk header's record count; with CRC checks
+    // off the header-vs-footer comparison still detects the tear.
+    bytes[8] ^= 0x01;
+    Cbt2ReadOptions options;
+    options.verify_checksums = false;
+    auto reader = Cbt2Reader::fromBuffer(bytes, options);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    reader->setErrorPolicy(policy);
+    std::vector<IoRequest> expected(original.begin() + 128,
+                                    original.end());
+    EXPECT_EQ(drainAll(*reader), expected);
+    EXPECT_EQ(reader->badRecords(), 1u);
+}
+
+TEST(Cbt2, DamagedFooterOrTrailerIsAlwaysFatal)
+{
+    std::string bytes = encode(randomRequests(100, 6), 32);
+    // Truncation (trailer gone), trailer magic damage, and a footer
+    // byte-range pointing outside the file are all fatal at open —
+    // even under a tolerant policy (which arms after construction).
+    std::string truncated = bytes.substr(0, bytes.size() - 7);
+    EXPECT_THROW(Cbt2Reader::fromBuffer(truncated), FatalError);
+
+    std::string bad_magic = bytes;
+    bad_magic[bad_magic.size() - 1] = 'X';
+    EXPECT_THROW(Cbt2Reader::fromBuffer(bad_magic), FatalError);
+
+    std::string bad_len = bytes;
+    bad_len[bad_len.size() - 16] = static_cast<char>(0xff);
+    EXPECT_THROW(Cbt2Reader::fromBuffer(bad_len), FatalError);
+
+    EXPECT_THROW(Cbt2Reader::fromBuffer(std::string("CBT2")),
+                 FatalError);
+    EXPECT_THROW(Cbt2Reader::fromBuffer(std::string()), FatalError);
+}
+
+TEST(Cbt2, WriterRejectsBackwardTimestamps)
+{
+    std::ostringstream buffer;
+    Cbt2Writer writer(buffer);
+    writer.write(IoRequest{100, 0, 512, 1, Op::Read});
+    EXPECT_THROW(writer.write(IoRequest{99, 0, 512, 1, Op::Read}),
+                 FatalError);
+}
+
+TEST(Cbt2, FromFileReadsViaMmap)
+{
+    auto original = randomRequests(400, 44);
+    std::string path = testing::TempDir() + "cbt2_mmap_test.cbt2";
+    {
+        std::ofstream out(path, std::ios::binary);
+        Cbt2Writer writer(out);
+        for (const auto &r : original)
+            writer.write(r);
+        writer.finish();
+    }
+    auto reader = Cbt2Reader::fromFile(path);
+    EXPECT_EQ(drainAll(*reader), original);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cbs

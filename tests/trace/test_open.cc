@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "trace/bin_trace.h"
+#include "trace/cbt2.h"
+#include "trace/csv.h"
+#include "trace/open.h"
+
+namespace cbs {
+namespace {
+
+/** The same three-request trace in every format. */
+const std::vector<IoRequest> kRequests{
+    IoRequest{1000, 0, 4096, 1, Op::Read},
+    IoRequest{2000, 4096, 8192, 2, Op::Write},
+    IoRequest{3000, 8192, 4096, 1, Op::Write},
+};
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+writeAliCloudCsv(const std::string &name)
+{
+    std::string path = tempPath(name);
+    std::ofstream out(path);
+    AliCloudCsvWriter writer(out);
+    for (const auto &r : kRequests)
+        writer.write(r);
+    return path;
+}
+
+std::string
+writeMsrcCsv(const std::string &name)
+{
+    std::string path = tempPath(name);
+    std::ofstream out(path);
+    out << "128166372003061629,hm,0,Read,383496192,32768,413\n"
+           "128166372003061729,hm,0,Write,383528960,32768,220\n";
+    return path;
+}
+
+std::string
+writeBin(const std::string &name)
+{
+    std::string path = tempPath(name);
+    std::ofstream out(path, std::ios::binary);
+    BinTraceWriter writer(out);
+    for (const auto &r : kRequests)
+        writer.write(r);
+    writer.finish();
+    return path;
+}
+
+std::string
+writeCbt2(const std::string &name)
+{
+    std::string path = tempPath(name);
+    std::ofstream out(path, std::ios::binary);
+    Cbt2Writer writer(out);
+    for (const auto &r : kRequests)
+        writer.write(r);
+    writer.finish();
+    return path;
+}
+
+std::vector<IoRequest>
+drainAll(TraceSource &source)
+{
+    // Batch-wise: the batch path is the one the ingest metrics
+    // account, so the metrics assertions below see the reads.
+    std::vector<IoRequest> out;
+    std::vector<IoRequest> batch;
+    while (source.nextBatch(batch, 64) > 0)
+        out.insert(out.end(), batch.begin(), batch.end());
+    return out;
+}
+
+TEST(TraceOpen, SniffsAllFourFormats)
+{
+    // Extensions are deliberately wrong or absent: content decides.
+    EXPECT_EQ(sniffTraceFormat(writeAliCloudCsv("sniff_ali.dat")),
+              TraceFormat::AliCloudCsv);
+    EXPECT_EQ(sniffTraceFormat(writeMsrcCsv("sniff_msrc.dat")),
+              TraceFormat::MsrcCsv);
+    EXPECT_EQ(sniffTraceFormat(writeBin("sniff_bin.dat")),
+              TraceFormat::BinTrace);
+    EXPECT_EQ(sniffTraceFormat(writeCbt2("sniff_cbt2.dat")),
+              TraceFormat::Cbt2);
+}
+
+TEST(TraceOpen, SniffFallsBackToExtension)
+{
+    // An empty file has no magic and no CSV shape.
+    std::string path = tempPath("sniff_empty.cbt2");
+    std::ofstream(path).close();
+    EXPECT_EQ(sniffTraceFormat(path), TraceFormat::Cbt2);
+
+    std::string unknowable = tempPath("sniff_empty.xyz");
+    std::ofstream(unknowable).close();
+    EXPECT_THROW(sniffTraceFormat(unknowable), FatalError);
+
+    EXPECT_THROW(sniffTraceFormat(tempPath("does_not_exist.csv")),
+                 FatalError);
+}
+
+TEST(TraceOpen, OpensEveryFormatToTheSameRecords)
+{
+    auto csv = openTraceSource(writeAliCloudCsv("open_eq.csv"));
+    auto bin = openTraceSource(writeBin("open_eq.bin"));
+    auto cbt2 = openTraceSource(writeCbt2("open_eq.cbt2"));
+    EXPECT_EQ(csv->format(), TraceFormat::AliCloudCsv);
+    EXPECT_EQ(bin->format(), TraceFormat::BinTrace);
+    EXPECT_EQ(cbt2->format(), TraceFormat::Cbt2);
+    EXPECT_EQ(drainAll(csv->source()), kRequests);
+    EXPECT_EQ(drainAll(bin->source()), kRequests);
+    EXPECT_EQ(drainAll(cbt2->source()), kRequests);
+}
+
+TEST(TraceOpen, ExplicitFormatOverridesSniffing)
+{
+    // A CBST file read as csv must fail to parse, proving the
+    // override is honored rather than second-guessed.
+    std::string path = writeBin("open_override.bin");
+    TraceOpenOptions options;
+    options.format = TraceFormat::AliCloudCsv;
+    auto opened = openTraceSource(path, options);
+    EXPECT_EQ(opened->format(), TraceFormat::AliCloudCsv);
+    EXPECT_THROW(drainAll(opened->source()), FatalError);
+}
+
+TEST(TraceOpen, ParsesFormatNames)
+{
+    TraceFormat format = TraceFormat::Auto;
+    EXPECT_TRUE(parseTraceFormat("cbt2", format));
+    EXPECT_EQ(format, TraceFormat::Cbt2);
+    EXPECT_TRUE(parseTraceFormat("msrc", format));
+    EXPECT_EQ(format, TraceFormat::MsrcCsv);
+    EXPECT_TRUE(parseTraceFormat("bin", format));
+    EXPECT_EQ(format, TraceFormat::BinTrace);
+    EXPECT_FALSE(parseTraceFormat("parquet", format));
+    EXPECT_STREQ(traceFormatName(TraceFormat::Cbt2), "cbt2");
+}
+
+TEST(TraceOpen, ArmsPolicyAndMetricsDeclaratively)
+{
+    std::string path = tempPath("open_policy.csv");
+    {
+        std::ofstream out(path);
+        out << "1,R,0,4096,1000\n"
+               "garbage line\n"
+               "2,W,4096,8192,2000\n";
+    }
+    obs::MetricsRegistry registry;
+    TraceOpenOptions options;
+    options.error_policy.policy = ReadErrorPolicy::Skip;
+    options.metrics = &registry;
+    auto opened = openTraceSource(path, options);
+    EXPECT_EQ(drainAll(opened->source()).size(), 2u);
+    EXPECT_EQ(opened->reader().badRecords(), 1u);
+    EXPECT_EQ(registry.findCounter("ingest.records")->value(), 2u);
+    EXPECT_EQ(registry.findCounter("ingest.bad_records")->value(), 1u);
+}
+
+TEST(TraceOpen, RetryWrapsTheReaderAndDisablesSplitting)
+{
+    std::string path = writeCbt2("open_retry.cbt2");
+    TraceOpenOptions options;
+    options.retry_attempts = 3;
+    auto opened = openTraceSource(path, options);
+    // source() is the wrapper, reader() the Cbt2Reader underneath.
+    EXPECT_NE(&opened->source(), &opened->reader());
+    EXPECT_NE(opened->cbt2(), nullptr);
+    EXPECT_EQ(opened->splittable(), nullptr);
+    EXPECT_EQ(drainAll(opened->source()), kRequests);
+
+    // Without retry the CBT2 reader is directly splittable.
+    auto plain = openTraceSource(path);
+    EXPECT_NE(plain->splittable(), nullptr);
+    EXPECT_EQ(&plain->source(), &plain->reader());
+}
+
+TEST(TraceOpen, Cbt2PushdownOptionsReachTheReader)
+{
+    std::string path = writeCbt2("open_pushdown.cbt2");
+    TraceOpenOptions options;
+    options.cbt2.volumes = {1};
+    auto opened = openTraceSource(path, options);
+    auto records = drainAll(opened->source());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].volume, 1u);
+    EXPECT_EQ(records[1].volume, 1u);
+}
+
+TEST(TraceOpen, MissingFileThrows)
+{
+    EXPECT_THROW(openTraceSource(tempPath("nope_missing.csv")),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "trace/filter.h"
+#include "trace/merge.h"
+#include "trace/thinning.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+std::vector<IoRequest>
+orderedRequests(std::size_t n, VolumeId volume)
+{
+    std::vector<IoRequest> out;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(IoRequest{static_cast<TimeUs>(i * 10),
+                                i * 4096, 4096, volume,
+                                i % 2 ? Op::Write : Op::Read});
+    return out;
+}
+
+std::unique_ptr<TraceSource>
+vectorSource(std::size_t n, VolumeId volume = 1)
+{
+    return std::make_unique<VectorSource>(orderedRequests(n, volume));
+}
+
+TEST(SizeHints, FilterWrappersForwardTheInnerHint)
+{
+    // Each wrapper reports the inner hint as an upper bound, so
+    // drain() pre-sizing and progress totals survive composition.
+    VolumeFilterSource by_volume(vectorSource(40), {VolumeId{1}});
+    EXPECT_EQ(by_volume.sizeHint(), 40u);
+
+    TimeWindowSource window(vectorSource(40), 100, 200);
+    EXPECT_EQ(window.sizeHint(), 40u);
+
+    OpFilterSource writes(vectorSource(40), Op::Write);
+    EXPECT_EQ(writes.sizeHint(), 40u);
+
+    // Hints track consumption through the wrapper.
+    IoRequest r;
+    ASSERT_TRUE(writes.next(r));
+    EXPECT_EQ(writes.sizeHint(), 38u); // two consumed to find a write
+}
+
+TEST(SizeHints, ThinningScalesTheInnerHint)
+{
+    ThinningSource thinned(vectorSource(1000), 0.25);
+    EXPECT_EQ(thinned.sizeHint(), 250u);
+}
+
+TEST(SizeHints, MergeSumsChildHintsBestEffort)
+{
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(vectorSource(30, 1));
+    children.push_back(vectorSource(20, 2));
+    MergeSource merge(std::move(children));
+    EXPECT_EQ(merge.sizeHint(), 50u);
+
+    // After priming, buffered heap heads are counted exactly once.
+    IoRequest r;
+    ASSERT_TRUE(merge.next(r));
+    EXPECT_EQ(merge.sizeHint(), 49u);
+
+    std::uint64_t drained = 1;
+    while (merge.next(r))
+        ++drained;
+    EXPECT_EQ(drained, 50u);
+    EXPECT_EQ(merge.sizeHint(), 0u);
+}
+
+TEST(SizeHints, MergeToleratesUnsizedChildren)
+{
+    /** A source that declines to estimate its size. */
+    class UnsizedSource : public TraceSource
+    {
+      public:
+        explicit UnsizedSource(std::vector<IoRequest> requests)
+            : requests_(std::move(requests))
+        {
+        }
+        bool
+        next(IoRequest &req) override
+        {
+            if (pos_ >= requests_.size())
+                return false;
+            req = requests_[pos_++];
+            return true;
+        }
+        void reset() override { pos_ = 0; }
+
+      private:
+        std::vector<IoRequest> requests_;
+        std::size_t pos_ = 0;
+    };
+
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(vectorSource(30, 1));
+    children.push_back(
+        std::make_unique<UnsizedSource>(orderedRequests(20, 2)));
+    MergeSource merge(std::move(children));
+    // The unsized child contributes 0 instead of zeroing the total.
+    EXPECT_EQ(merge.sizeHint(), 30u);
+}
+
+} // namespace
+} // namespace cbs
