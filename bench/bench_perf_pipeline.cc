@@ -23,6 +23,16 @@
  * split(4) partitions feed four parallel decoders. Speedups in that
  * section are relative to the CSV row of the same kind.
  *
+ * A third section times the two-pass cache simulation
+ * (CacheMissAnalyzer) serially and through runTwoPassParallel at 2, 4,
+ * and 8 shards; speedups are relative to the serial row.
+ *
+ * A fourth section microbenchmarks the replacement-policy substrate:
+ * raw access() throughput of the slab-allocated LRU/ARC/LFU against
+ * the list-based reference implementations on one Zipf key stream,
+ * plus FIFO and CLOCK for context. Speedups are relative to the
+ * matching list row.
+ *
  * --json <path> additionally writes the measurements as JSON for
  * machine consumption (CI trend tracking).
  */
@@ -39,6 +49,7 @@
 
 #include "analysis/basic_stats.h"
 #include "analysis/block_traffic.h"
+#include "analysis/cache_miss.h"
 #include "analysis/interarrival.h"
 #include "analysis/load_intensity.h"
 #include "analysis/parallel_pipeline.h"
@@ -47,9 +58,13 @@
 #include "analysis/temporal_pairs.h"
 #include "analysis/update_coverage.h"
 #include "analysis/update_interval.h"
+#include "cache/cache_policy.h"
+#include "cache/reference_policies.h"
 #include "common/format.h"
 #include "obs/metrics.h"
 #include "report/workbench.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
 #include "trace/bin_trace.h"
 #include "trace/cbt2.h"
 #include "trace/csv.h"
@@ -232,9 +247,13 @@ writeJson(const std::string &path, std::uint64_t requests,
     out << "  ],\n  \"metrics\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         // Registry dumps are standalone objects; indent is cosmetic.
+        // Rows without an attached registry get null so the file
+        // stays parseable.
         out << "    {\"label\": \"" << rows[i].label
-            << "\", \"registry\": " << rows[i].metrics_json << "}"
-            << (i + 1 < rows.size() ? "," : "") << "\n";
+            << "\", \"registry\": "
+            << (rows[i].metrics_json.empty() ? "null"
+                                             : rows[i].metrics_json)
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("\nwrote JSON to %s\n", path.c_str());
@@ -355,6 +374,110 @@ main(int argc, char **argv)
     record("e2e-cbt2-lanes4", 4,
            timedFormatRun(files.cbt2, 4, metrics_json), e2e_csv);
     rows.back().metrics_json = metrics_json;
+
+    // Cache simulation: WSS pass + simulation pass over the same
+    // trace, serial vs runTwoPassParallel.
+    std::printf("\ncache simulation (two passes, policy=lru, "
+                "fractions 0.01/0.10; speedup vs cache-serial):\n");
+    std::printf("%-16s  %9s  %14s  %7s\n", "config", "time",
+                "throughput", "speedup");
+    auto timedCacheRun = [&](std::size_t shards,
+                             std::string &metrics) {
+        requests.reset();
+        CacheMissAnalyzer analyzer({0.01, 0.10}, kDefaultBlockSize,
+                                   "lru");
+        obs::MetricsRegistry registry;
+        auto start = std::chrono::steady_clock::now();
+        if (shards == 0) {
+            analyzer.runTwoPass(requests);
+        } else {
+            ParallelOptions options;
+            options.shards = shards;
+            options.metrics = &registry;
+            analyzer.runTwoPassParallel(requests, options);
+        }
+        double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        std::ostringstream dump;
+        registry.writeJson(dump);
+        metrics = dump.str();
+        return seconds;
+    };
+    double cache_serial = timedCacheRun(0, metrics_json);
+    record("cache-serial", 0, cache_serial, cache_serial);
+    for (std::size_t shards : {2, 4, 8}) {
+        double sec = timedCacheRun(shards, metrics_json);
+        record("cache-shards=" + std::to_string(shards), shards, sec,
+               cache_serial);
+        rows.back().metrics_json = metrics_json;
+    }
+
+    // Replacement-policy substrate: raw access() throughput, slab
+    // variants vs the list-based references on one Zipf key stream.
+    const std::size_t cache_capacity = 1 << 15;
+    std::size_t n_keys = static_cast<std::size_t>(request_target);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n_keys);
+    {
+        Rng rng(42);
+        ZipfSampler zipf(4 * cache_capacity, 0.9);
+        for (std::size_t i = 0; i < n_keys; ++i)
+            keys.push_back(zipf.sample(rng));
+    }
+    std::printf("\nreplacement-policy substrate (%s-entry caches, "
+                "%s zipf-0.9 keys; speedup vs the matching list "
+                "row):\n",
+                formatCount(cache_capacity).c_str(),
+                formatCount(n_keys).c_str());
+    std::printf("%-16s  %9s  %14s  %7s\n", "config", "time",
+                "throughput", "speedup");
+    std::uint64_t hits_sink = 0; // keeps access() observable
+    auto timedPolicy = [&](CachePolicy &policy) {
+        auto start = std::chrono::steady_clock::now();
+        for (std::uint64_t key : keys)
+            hits_sink += policy.access(key);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    auto recordOps = [&](const std::string &label, double sec,
+                         double baseline) {
+        Measurement m;
+        m.label = label;
+        m.seconds = sec;
+        m.mreq_per_s = static_cast<double>(n_keys) / sec / 1e6;
+        m.speedup = baseline / sec;
+        rows.push_back(m);
+        std::printf("%-16s  %8.3fs  %8.2f Macc/s  %6.2fx\n",
+                    label.c_str(), sec, m.mreq_per_s, m.speedup);
+    };
+    struct PolicyRow
+    {
+        const char *name;
+        std::unique_ptr<CachePolicy> reference; // null: no list twin
+    };
+    PolicyRow policy_rows[] = {
+        {"lru", std::make_unique<ListLruCache>(cache_capacity)},
+        {"arc", std::make_unique<ListArcCache>(cache_capacity)},
+        {"lfu", std::make_unique<ListLfuCache>(cache_capacity)},
+        {"fifo", nullptr},
+        {"clock", nullptr},
+    };
+    for (PolicyRow &row : policy_rows) {
+        double list_sec = 0;
+        if (row.reference) {
+            list_sec = timedPolicy(*row.reference);
+            recordOps("policy-list-" + std::string(row.name), list_sec,
+                      list_sec);
+        }
+        auto slab = makeCachePolicy(row.name, cache_capacity);
+        double sec = timedPolicy(*slab);
+        recordOps("policy-" + std::string(row.name), sec,
+                  row.reference ? list_sec : sec);
+    }
+    std::printf("(hit checksum: %s)\n",
+                formatCount(hits_sink).c_str());
 
     if (!json_path.empty())
         writeJson(json_path, count, rows);

@@ -16,7 +16,12 @@
  *       counts, and lane counts. --summary-json writes the
  *       characterization as deterministic JSON; --metrics-json dumps
  *       the run's observability registry; --progress prints a periodic
- *       records/s / percent-complete line to stderr. Resilience flags
+ *       records/s / percent-complete line to stderr. Any of
+ *       --cache-policy, --cache-fractions, --cache-block-size appends
+ *       the paper's two-pass cache simulation (per-volume miss ratios
+ *       at WSS-fraction cache sizes) to the report and the summary
+ *       JSON; with --threads it runs through the same sharded
+ *       pipeline. Resilience flags
  *       (--error-policy, --max-bad-records, --quarantine-file,
  *       --retry, --degraded-ok) are described in docs/resilience.md.
  *
@@ -60,8 +65,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cache_miss.h"
 #include "analysis/volume_classes.h"
 #include "analysis/workload_summary.h"
+#include "cache/cache_policy.h"
 #include "cache/shards.h"
 #include "cli/arg_parser.h"
 #include "common/format.h"
@@ -216,6 +223,40 @@ scanExtent(OpenedTraceSource &opened, std::uint64_t &count, TimeUs &last)
     opened.source().reset();
 }
 
+/**
+ * Comma-separated WSS fractions for --cache-fractions. Range
+ * validation ((0,1]) lives in CacheMissAnalyzer; this only parses.
+ */
+std::vector<double>
+parseFractionList(const std::string &text)
+{
+    std::vector<double> fractions;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        std::string item =
+            comma == std::string::npos ? text.substr(pos)
+                                       : text.substr(pos, comma - pos);
+        std::size_t used = 0;
+        double value = 0;
+        try {
+            value = std::stod(item, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (item.empty() || used != item.size())
+            throw std::invalid_argument(
+                "--cache-fractions expects comma-separated numbers, "
+                "got '" +
+                text + "'");
+        fractions.push_back(value);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return fractions;
+}
+
 // ---------------------------------------------------------------------
 // analyze
 // ---------------------------------------------------------------------
@@ -234,6 +275,16 @@ cmdAnalyze(int argc, char **argv)
     parser.flag("--ingest-lanes", "N",
                 "parallel decode lanes for splittable inputs "
                 "(0 = one per shard; needs --threads)");
+    parser.flag("--cache-policy", "P",
+                "add the two-pass cache simulation with replacement "
+                "policy P (lru|fifo|clock|lfu|arc)");
+    parser.flag("--cache-fractions", "LIST",
+                "cache sizes as comma-separated fractions of each "
+                "volume's WSS (default 0.01,0.1; implies the "
+                "simulation)");
+    parser.flag("--cache-block-size", "N",
+                "cache simulation block size in bytes (default: "
+                "--block)");
     parser.flag("--summary-json", "PATH",
                 "write the characterization as deterministic JSON");
     parser.flag("--metrics-json", "PATH",
@@ -313,35 +364,75 @@ cmdAnalyze(int argc, char **argv)
         reporter->start();
     }
 
-    int exit_code = 0;
+    std::optional<ParallelOptions> parallel;
     if (parser.has("--threads")) {
-        ParallelOptions parallel;
-        parallel.shards = parser.getUint("--threads", 0);
-        parallel.degraded_ok = parser.has("--degraded-ok");
+        parallel.emplace();
+        parallel->shards = parser.getUint("--threads", 0);
+        parallel->degraded_ok = parser.has("--degraded-ok");
         if (parser.has("--ingest-lanes"))
-            parallel.ingest_lanes = parser.getUint("--ingest-lanes", 1);
+            parallel->ingest_lanes =
+                parser.getUint("--ingest-lanes", 1);
         if (want_metrics)
-            parallel.metrics = &registry;
-        PipelineRunStatus status =
-            summary.run(opened->source(), parallel, {&classifier});
-        if (status.degraded) {
-            for (const LaneStatus &lane : status.lanes)
-                if (!lane.ok)
-                    std::fprintf(stderr,
-                                 "warning: lane %s failed: %s\n",
-                                 lane.lane.c_str(),
-                                 lane.error.c_str());
-            std::fprintf(stderr,
-                         "warning: analysis completed degraded; "
-                         "results exclude the failed lanes\n");
-            exit_code = 4;
-        }
+            parallel->metrics = &registry;
+    }
+
+    int exit_code = 0;
+    auto reportDegraded = [&](const PipelineRunStatus &status,
+                              const char *stage) {
+        if (!status.degraded)
+            return;
+        for (const LaneStatus &lane : status.lanes)
+            if (!lane.ok)
+                std::fprintf(stderr, "warning: lane %s failed: %s\n",
+                             lane.lane.c_str(), lane.error.c_str());
+        std::fprintf(stderr,
+                     "warning: %s completed degraded; "
+                     "results exclude the failed lanes\n",
+                     stage);
+        exit_code = 4;
+    };
+    if (parallel) {
+        reportDegraded(
+            summary.run(opened->source(), *parallel, {&classifier}),
+            "analysis");
     } else {
         summary.run(opened->source(), {&classifier},
                     want_metrics ? &registry : nullptr);
     }
     if (reporter)
         reporter->stop();
+
+    // The cache simulation is the one analysis the single-sweep bundle
+    // cannot host (it needs each volume's final WSS before it can size
+    // the caches), so it runs as its own two-pass sweep afterwards.
+    bool want_cache = parser.has("--cache-policy") ||
+                      parser.has("--cache-fractions") ||
+                      parser.has("--cache-block-size");
+    std::optional<CacheMissAnalyzer> cache_sim;
+    if (want_cache) {
+        std::string cache_policy =
+            parser.getString("--cache-policy", "lru");
+        try {
+            makeCachePolicy(cache_policy, 1); // validate the name now
+        } catch (const FatalError &e) {
+            throw std::invalid_argument(e.what());
+        }
+        std::vector<double> fractions = {0.01, 0.10};
+        if (parser.has("--cache-fractions"))
+            fractions = parseFractionList(
+                parser.getString("--cache-fractions"));
+        cache_sim.emplace(fractions,
+                          parser.getUint("--cache-block-size", block),
+                          cache_policy);
+        opened->source().reset();
+        if (parallel)
+            reportDegraded(cache_sim->runTwoPassParallel(
+                               opened->source(), *parallel),
+                           "cache simulation");
+        else
+            cache_sim->runTwoPass(opened->source());
+        summary.setCacheSim(&*cache_sim);
+    }
 
     std::string metrics_json = parser.getString("--metrics-json");
     if (!metrics_json.empty()) {

@@ -57,6 +57,14 @@ BasicStatsAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+BasicStatsAnalyzer::consumeBatch(std::span<const IoRequest> batch)
+{
+    // One virtual call per batch; the qualified calls below devirtualize.
+    for (const IoRequest &req : batch)
+        BasicStatsAnalyzer::consume(req);
+}
+
+void
 BasicStatsAnalyzer::consume(const IoRequest &req)
 {
     if (!any_) {

@@ -73,6 +73,7 @@ class BasicStatsAnalyzer : public ShardableAnalyzer
         std::uint64_t block_size = kDefaultBlockSize);
 
     void consume(const IoRequest &req) override;
+    void consumeBatch(std::span<const IoRequest> batch) override;
     std::string name() const override { return "basic_stats"; }
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;

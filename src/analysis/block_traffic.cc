@@ -17,6 +17,14 @@ BlockTrafficAnalyzer::BlockTrafficAnalyzer(std::uint64_t block_size,
 }
 
 void
+BlockTrafficAnalyzer::consumeBatch(std::span<const IoRequest> batch)
+{
+    // One virtual call per batch; the qualified calls below devirtualize.
+    for (const IoRequest &req : batch)
+        BlockTrafficAnalyzer::consume(req);
+}
+
+void
 BlockTrafficAnalyzer::consume(const IoRequest &req)
 {
     forEachBlock(req, block_size_, [&](BlockNo block) {

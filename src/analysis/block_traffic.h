@@ -48,6 +48,7 @@ class BlockTrafficAnalyzer : public ShardableAnalyzer
         double mostly_threshold = 0.95);
 
     void consume(const IoRequest &req) override;
+    void consumeBatch(std::span<const IoRequest> batch) override;
     void finalize() override;
     std::string name() const override { return "block_traffic"; }
 

@@ -1,11 +1,180 @@
 #include "analysis/cache_miss.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.h"
 #include "common/flat_map.h"
+#include "obs/metrics.h"
 
 namespace cbs {
+namespace {
+
+/**
+ * Pass 1: per-volume working-set size in blocks. Volume-keyed, so a
+ * shard replica's counts for its (disjoint) volumes are exact and the
+ * merge is a per-volume sum; the block set itself never leaves the
+ * replica.
+ */
+class WssPass final : public ShardableAnalyzer
+{
+  public:
+    explicit WssPass(std::uint64_t block_size) : block_size_(block_size)
+    {
+    }
+
+    void
+    consume(const IoRequest &req) override
+    {
+        forEachBlock(req, block_size_, [&](BlockNo block) {
+            if (seen_.insert(blockKey(req.volume, block)))
+                ++wss_[req.volume];
+        });
+    }
+
+    void
+    consumeBatch(std::span<const IoRequest> batch) override
+    {
+        for (const IoRequest &req : batch)
+            WssPass::consume(req);
+    }
+
+    std::string name() const override { return "cache_wss"; }
+
+    std::unique_ptr<ShardableAnalyzer>
+    clone() const override
+    {
+        return std::make_unique<WssPass>(block_size_);
+    }
+
+    void
+    mergeFrom(const ShardableAnalyzer &shard) override
+    {
+        const auto &other = shardCast<WssPass>(shard);
+        wss_.mergeFrom(other.wss_, [](std::uint64_t &own,
+                                      const std::uint64_t &theirs) {
+            own += theirs;
+        });
+    }
+
+    const PerVolume<std::uint64_t> &wss() const { return wss_; }
+
+  private:
+    std::uint64_t block_size_;
+    FlatSet seen_;
+    PerVolume<std::uint64_t> wss_;
+};
+
+/**
+ * Pass 2: one CacheSim per touched volume per size fraction, built
+ * lazily on the volume's first request so shard replicas only pay for
+ * the volumes they own. All replicas read the same merged WSS table
+ * (const, shared). The merge collects each replica's final integer
+ * hit/miss tallies into a volume-indexed table; finalize() collects
+ * this instance's own sims instead, so the serial path (where the
+ * caller's analyzer consumed everything itself) ends in the same
+ * state.
+ */
+class SimPass final : public ShardableAnalyzer
+{
+  public:
+    SimPass(const PerVolume<std::uint64_t> &wss,
+            const std::vector<double> &fractions,
+            std::uint64_t block_size, const std::string &policy)
+        : wss_(wss), fractions_(fractions), block_size_(block_size),
+          policy_(policy)
+    {
+    }
+
+    void
+    consume(const IoRequest &req) override
+    {
+        VolumeSims &vs = sims_[req.volume];
+        if (!vs.init)
+            initVolume(vs, req.volume);
+        for (auto &sim : vs.sims)
+            sim->access(req);
+    }
+
+    void
+    consumeBatch(std::span<const IoRequest> batch) override
+    {
+        for (const IoRequest &req : batch)
+            SimPass::consume(req);
+    }
+
+    std::string name() const override { return "cache_sim"; }
+
+    std::unique_ptr<ShardableAnalyzer>
+    clone() const override
+    {
+        return std::make_unique<SimPass>(wss_, fractions_, block_size_,
+                                         policy_);
+    }
+
+    void
+    mergeFrom(const ShardableAnalyzer &shard) override
+    {
+        collect(shardCast<SimPass>(shard).sims_);
+    }
+
+    void finalize() override { collect(sims_); }
+
+    /** Final per-volume tallies, one CacheStats per fraction. */
+    const PerVolume<std::vector<CacheStats>> &stats() const
+    {
+        return stats_;
+    }
+
+  private:
+    struct VolumeSims
+    {
+        std::vector<std::unique_ptr<CacheSim>> sims;
+        bool init = false;
+    };
+
+    void
+    initVolume(VolumeSims &vs, VolumeId volume)
+    {
+        vs.init = true;
+        // A volume can be missing from the WSS table only when pass 1
+        // lost its shard in a degraded run; skip simulating it.
+        std::uint64_t blocks =
+            volume < wss_.size() ? wss_.at(volume) : 0;
+        if (blocks == 0)
+            return;
+        vs.sims.reserve(fractions_.size());
+        for (double fraction : fractions_) {
+            std::size_t capacity = static_cast<std::size_t>(std::max(
+                1.0, fraction * static_cast<double>(blocks)));
+            vs.sims.push_back(std::make_unique<CacheSim>(
+                makeCachePolicy(policy_, capacity), block_size_));
+        }
+    }
+
+    void
+    collect(const PerVolume<VolumeSims> &sims)
+    {
+        sims.forEach([&](VolumeId volume, const VolumeSims &vs) {
+            if (vs.sims.empty())
+                return;
+            std::vector<CacheStats> &slot = stats_[volume];
+            CBS_CHECK(slot.empty()); // volumes are shard-disjoint
+            slot.reserve(vs.sims.size());
+            for (const auto &sim : vs.sims)
+                slot.push_back(sim->stats());
+        });
+    }
+
+    const PerVolume<std::uint64_t> &wss_;
+    const std::vector<double> &fractions_;
+    std::uint64_t block_size_;
+    const std::string &policy_;
+    PerVolume<VolumeSims> sims_;
+    PerVolume<std::vector<CacheStats>> stats_;
+};
+
+} // namespace
 
 CacheMissAnalyzer::CacheMissAnalyzer(std::vector<double> size_fractions,
                                      std::uint64_t block_size,
@@ -25,53 +194,74 @@ CacheMissAnalyzer::CacheMissAnalyzer(std::vector<double> size_fractions,
 void
 CacheMissAnalyzer::runTwoPass(TraceSource &source)
 {
-    // Pass 1: per-volume WSS in blocks.
-    PerVolume<std::uint64_t> wss;
-    {
-        FlatSet seen;
-        IoRequest req;
-        while (source.next(req)) {
-            forEachBlock(req, block_size_, [&](BlockNo block) {
-                if (seen.insert(blockKey(req.volume, block)))
-                    ++wss[req.volume];
-            });
-        }
-    }
-
-    // Pass 2: one cache per touched volume per size fraction.
-    struct VolumeSims
-    {
-        std::vector<std::unique_ptr<CacheSim>> sims;
-    };
-    PerVolume<VolumeSims> sims;
-    wss.forEach([&](VolumeId volume, const std::uint64_t &blocks) {
-        if (blocks == 0)
-            return;
-        VolumeSims &vs = sims[volume];
-        for (double fraction : fractions_) {
-            std::size_t capacity = static_cast<std::size_t>(std::max(
-                1.0, fraction * static_cast<double>(blocks)));
-            vs.sims.push_back(std::make_unique<CacheSim>(
-                makeCachePolicy(policy_, capacity), block_size_));
-        }
-    });
+    WssPass wss(block_size_);
+    runPipeline(source, {&wss});
 
     source.reset();
-    IoRequest req;
-    while (source.next(req)) {
-        for (auto &sim : sims[req.volume].sims)
-            sim->access(req);
+    SimPass sim(wss.wss(), fractions_, block_size_, policy_);
+    runPipeline(source, {&sim});
+    harvest(sim.stats());
+}
+
+PipelineRunStatus
+CacheMissAnalyzer::runTwoPassParallel(TraceSource &source,
+                                      const ParallelOptions &options)
+{
+    PipelineRunStatus status;
+    status.degraded_enabled = options.degraded_ok;
+    auto fold = [&status](PipelineRunStatus pass,
+                          const char *pass_name) {
+        status.degraded |= pass.degraded;
+        for (LaneStatus &lane : pass.lanes) {
+            lane.lane = std::string(pass_name) + "." + lane.lane;
+            status.lanes.push_back(std::move(lane));
+        }
+    };
+
+    WssPass wss(block_size_);
+    {
+        ParallelOptions pass = options;
+        pass.metrics_prefix += ".pass1";
+        obs::ScopedTimer timer(
+            nullptr,
+            options.metrics
+                ? &options.metrics->counter("cache_sim.pass1_ns")
+                : nullptr);
+        fold(runPipelineParallel(source, {&wss}, pass), "pass1");
     }
 
-    for (auto &vs : sims) {
-        if (vs.sims.empty())
+    source.reset();
+    SimPass sim(wss.wss(), fractions_, block_size_, policy_);
+    {
+        ParallelOptions pass = options;
+        pass.metrics_prefix += ".pass2";
+        obs::ScopedTimer timer(
+            nullptr,
+            options.metrics
+                ? &options.metrics->counter("cache_sim.pass2_ns")
+                : nullptr);
+        fold(runPipelineParallel(source, {&sim}, pass), "pass2");
+    }
+    harvest(sim.stats());
+    return status;
+}
+
+void
+CacheMissAnalyzer::harvest(const PerVolume<std::vector<CacheStats>> &stats)
+{
+    // Volume order, independent of how many shards produced the
+    // tallies — with integer hit/miss counts this makes parallel
+    // results bit-identical to serial ones.
+    for (const std::vector<CacheStats> &slot : stats) {
+        if (slot.empty())
             continue;
+        CBS_CHECK(slot.size() == fractions_.size());
         for (std::size_t i = 0; i < fractions_.size(); ++i) {
-            const CacheStats &stats = vs.sims[i]->stats();
-            if (stats.reads())
-                read_ratios_[i].add(stats.readMissRatio());
-            if (stats.writes())
-                write_ratios_[i].add(stats.writeMissRatio());
+            const CacheStats &tally = slot[i];
+            if (tally.reads())
+                read_ratios_[i].add(tally.readMissRatio());
+            if (tally.writes())
+                write_ratios_[i].add(tally.writeMissRatio());
         }
     }
 }

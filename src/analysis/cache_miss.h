@@ -6,8 +6,16 @@
  * The paper's method is inherently two-pass: the first pass measures
  * each volume's working-set size, the second simulates a unified
  * (reads + writes) LRU cache per volume sized at 1% and 10% of that
- * WSS. runTwoPass() drives both passes, resetting the source between
- * them.
+ * WSS. runTwoPass() drives both passes serially, resetting the source
+ * between them.
+ *
+ * Both passes are keyed purely by volume, so they shard cleanly:
+ * runTwoPassParallel() runs each pass through runPipelineParallel's
+ * per-shard SPSC machinery (internally both passes are
+ * ShardableAnalyzers), including multi-lane ingestion for splittable
+ * sources (CBT2, VectorSource). Results are identical to runTwoPass —
+ * per-volume miss ratios are computed from integer hit/miss tallies
+ * and harvested in volume order either way.
  */
 
 #ifndef CBS_ANALYSIS_CACHE_MISS_H
@@ -16,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/parallel_pipeline.h"
 #include "analysis/per_volume.h"
 #include "cache/cache_sim.h"
 #include "stats/exact_quantiles.h"
@@ -40,8 +49,27 @@ class CacheMissAnalyzer
     /** Run the WSS pass and the simulation pass over @p source. */
     void runTwoPass(TraceSource &source);
 
+    /**
+     * Same two passes, each through runPipelineParallel with
+     * @p options worth of parallelism. @p source must be resettable
+     * (runTwoPass requires that already). Metrics from the two passes
+     * are kept apart by appending ".pass1" / ".pass2" to
+     * options.metrics_prefix; total per-pass wall time lands in
+     * `cache_sim.pass1_ns` / `cache_sim.pass2_ns`.
+     *
+     * The returned status combines both passes (lane names gain a
+     * "pass1."/"pass2." prefix). Under options.degraded_ok a lane
+     * failure in either pass is contained: volumes lost in pass 1
+     * simulate with a WSS of zero traffic seen, i.e. they are skipped,
+     * and volumes lost in pass 2 contribute no ratio samples.
+     */
+    PipelineRunStatus runTwoPassParallel(TraceSource &source,
+                                         const ParallelOptions &options = {});
+
     std::size_t fractionCount() const { return fractions_.size(); }
     double fractionAt(std::size_t i) const { return fractions_[i]; }
+    std::uint64_t blockSize() const { return block_size_; }
+    const std::string &policyName() const { return policy_; }
 
     /** Per-volume read miss ratios at size fraction @p i. */
     const ExactQuantiles &readMissRatios(std::size_t i) const;
@@ -49,6 +77,8 @@ class CacheMissAnalyzer
     const ExactQuantiles &writeMissRatios(std::size_t i) const;
 
   private:
+    void harvest(const PerVolume<std::vector<CacheStats>> &stats);
+
     std::vector<double> fractions_;
     std::uint64_t block_size_;
     std::string policy_;

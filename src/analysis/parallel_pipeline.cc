@@ -187,6 +187,7 @@ class LaneWorker
                 if (error_)
                     continue; // drain so no producer blocks
                 try {
+                    std::span<const IoRequest> span(batch);
                     if (metrics_) {
                         metrics_->records->add(batch.size());
                         metrics_->batches->increment();
@@ -194,13 +195,11 @@ class LaneWorker
                              ++i) {
                             obs::ScopedTimer timer(
                                 metrics_->analyzer_ns[i]);
-                            for (const IoRequest &req : batch)
-                                analyzers_[i]->consume(req);
+                            analyzers_[i]->consumeBatch(span);
                         }
                     } else {
-                        for (const IoRequest &req : batch)
-                            for (Analyzer *analyzer : analyzers_)
-                                analyzer->consume(req);
+                        for (Analyzer *analyzer : analyzers_)
+                            analyzer->consumeBatch(span);
                     }
                 } catch (...) {
                     error_ = std::current_exception();
@@ -371,17 +370,18 @@ runPipelineParallel(TraceSource &source,
     std::size_t lanes = partitions.empty() ? 1 : partitions.size();
 
     obs::MetricsRegistry *metrics = options.metrics;
+    const std::string &prefix = options.metrics_prefix;
     if (metrics) {
-        metrics->gauge("parallel.shards")
+        metrics->gauge(prefix + ".shards")
             .set(static_cast<std::int64_t>(shards));
-        metrics->gauge("parallel.batch_size")
+        metrics->gauge(prefix + ".batch_size")
             .set(static_cast<std::int64_t>(options.batch_size));
-        metrics->gauge("parallel.queue_batches")
+        metrics->gauge(prefix + ".queue_batches")
             .set(static_cast<std::int64_t>(queue_batches));
-        metrics->gauge("parallel.ingest_lanes")
+        metrics->gauge(prefix + ".ingest_lanes")
             .set(static_cast<std::int64_t>(lanes));
-        metrics->counter("parallel.runs").increment();
-        metrics->counter("parallel.degraded_runs");
+        metrics->counter(prefix + ".runs").increment();
+        metrics->counter(prefix + ".degraded_runs");
     }
 
     // Per-shard analyzer replicas.
@@ -404,7 +404,7 @@ runPipelineParallel(TraceSource &source,
         std::unique_ptr<LaneMetrics> lane_metrics;
         if (metrics)
             lane_metrics = std::make_unique<LaneMetrics>(
-                LaneMetrics::forLane(*metrics, "parallel." + name,
+                LaneMetrics::forLane(*metrics, prefix + "." + name,
                                      lane));
         workers.push_back(std::make_unique<LaneWorker>(
             std::move(name), queue_batches, lanes, std::move(lane),
@@ -415,7 +415,7 @@ runPipelineParallel(TraceSource &source,
         std::unique_ptr<LaneMetrics> lane_metrics;
         if (metrics)
             lane_metrics = std::make_unique<LaneMetrics>(
-                LaneMetrics::forLane(*metrics, "parallel.inorder",
+                LaneMetrics::forLane(*metrics, prefix + ".inorder",
                                      in_order));
         workers.push_back(std::make_unique<LaneWorker>(
             "inorder", queue_batches, lanes, in_order,
@@ -474,7 +474,7 @@ runPipelineParallel(TraceSource &source,
         try {
             obs::ScopedTimer ingest_timer(
                 nullptr,
-                metrics ? &metrics->counter("parallel.ingest_ns")
+                metrics ? &metrics->counter(prefix + ".ingest_ns")
                         : nullptr);
             produceFrom(source, 0, nullptr, nullptr);
         } catch (...) {
@@ -489,7 +489,7 @@ runPipelineParallel(TraceSource &source,
         // failure is a source failure — rethrown below even in
         // degraded mode, after every thread is joined.
         obs::ScopedTimer ingest_timer(
-            nullptr, metrics ? &metrics->counter("parallel.ingest_ns")
+            nullptr, metrics ? &metrics->counter(prefix + ".ingest_ns")
                              : nullptr);
         std::vector<std::exception_ptr> producer_errors(lanes);
         std::vector<std::thread> producers;
@@ -499,11 +499,11 @@ runPipelineParallel(TraceSource &source,
             obs::Counter *lane_batches = nullptr;
             obs::Counter *lane_ns = nullptr;
             if (metrics) {
-                std::string prefix =
-                    "parallel.ingest.lane." + std::to_string(k);
-                lane_records = &metrics->counter(prefix + ".records");
-                lane_batches = &metrics->counter(prefix + ".batches");
-                lane_ns = &metrics->counter(prefix + ".ns");
+                std::string lane_prefix =
+                    prefix + ".ingest.lane." + std::to_string(k);
+                lane_records = &metrics->counter(lane_prefix + ".records");
+                lane_batches = &metrics->counter(lane_prefix + ".batches");
+                lane_ns = &metrics->counter(lane_prefix + ".ns");
             }
             producers.emplace_back([&, k, lane_records, lane_batches,
                                     lane_ns] {
@@ -568,7 +568,7 @@ runPipelineParallel(TraceSource &source,
     {
         obs::ScopedTimer merge_timer(
             nullptr,
-            metrics ? &metrics->counter("parallel.merge_ns") : nullptr);
+            metrics ? &metrics->counter(prefix + ".merge_ns") : nullptr);
         for (std::size_t i = 0; i < shardable.size(); ++i)
             for (std::size_t s = 0; s < shards; ++s)
                 if (lane_ok[s])
@@ -596,7 +596,7 @@ runPipelineParallel(TraceSource &source,
         }
     }
     if (status.degraded && metrics)
-        metrics->counter("parallel.degraded_runs").increment();
+        metrics->counter(prefix + ".degraded_runs").increment();
     return status;
 }
 

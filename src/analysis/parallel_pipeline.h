@@ -86,6 +86,18 @@ struct ParallelOptions
     obs::MetricsRegistry *metrics = nullptr;
 
     /**
+     * Root of every metric key the run registers (gauges, counters,
+     * and lane instruments alike). The default keeps the documented
+     * `parallel.*` namespace; multi-pass drivers that run the pipeline
+     * more than once per analysis (CacheMissAnalyzer::
+     * runTwoPassParallel) disambiguate their passes with e.g.
+     * "parallel.pass1" / "parallel.pass2" so per-pass throughput and
+     * backpressure stay separable (see docs/observability.md).
+     * Analyzer timing keys (`analyzer.<name>.*`) are not affected.
+     */
+    std::string metrics_prefix = "parallel";
+
+    /**
      * Degraded mode: contain a shard failure instead of failing the
      * run. When an analyzer throws on one lane, that lane's queue is
      * aborted and drained, its analyzer replicas are excluded from the

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/error.h"
 #include "common/units.h"
 
 namespace cbs {
@@ -29,9 +30,13 @@ class PerVolume
         return data_[volume];
     }
 
+    /** State for @p volume; the id must have been touched already. */
     const T &
     at(VolumeId volume) const
     {
+        CBS_EXPECT(volume < data_.size(),
+                   "volume id " << volume << " out of range (have "
+                                << data_.size() << " slots)");
         return data_[volume];
     }
 

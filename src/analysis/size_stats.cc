@@ -26,6 +26,14 @@ SizeAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+SizeAnalyzer::consumeBatch(std::span<const IoRequest> batch)
+{
+    // One virtual call per batch; the qualified calls below devirtualize.
+    for (const IoRequest &req : batch)
+        SizeAnalyzer::consume(req);
+}
+
+void
 SizeAnalyzer::consume(const IoRequest &req)
 {
     VolumeSums &sums = sums_[req.volume];

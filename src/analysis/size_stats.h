@@ -21,6 +21,7 @@ class SizeAnalyzer : public ShardableAnalyzer
     SizeAnalyzer();
 
     void consume(const IoRequest &req) override;
+    void consumeBatch(std::span<const IoRequest> batch) override;
     void finalize() override;
     std::string name() const override { return "size_stats"; }
 

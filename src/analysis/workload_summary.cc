@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/cache_miss.h"
 #include "common/format.h"
 #include "report/table.h"
 
@@ -63,9 +64,12 @@ jsonEscape(std::ostream &os, const std::string &s)
     }
 }
 
-/** {"count": N, "p25": x, "p50": x, "p90": x} or null when empty. */
+/** {"count": N, "p25": x, "p50": x, "p90": x} or null when empty.
+ *  Works for any sample store with count()/empty()/quantile()
+ *  (Ecdf, ExactQuantiles). */
+template <typename Dist>
 void
-jsonDist(std::ostream &os, const Ecdf &cdf)
+jsonDist(std::ostream &os, const Dist &cdf)
 {
     if (cdf.empty()) {
         os << "null";
@@ -147,6 +151,28 @@ WorkloadSummary::print(std::ostream &os) const
                                 hist.quantile(0.5)))});
     }
     temporal.print(os);
+
+    if (cache_sim_ != nullptr) {
+        os << '\n';
+        TextTable cache("Cache miss ratios (policy=" +
+                        cache_sim_->policyName() +
+                        ", per-volume median [p25, p90])");
+        cache.header({"wss fraction", "read p50", "read p25",
+                      "read p90", "write p50", "write p25",
+                      "write p90"});
+        auto cell = [](const ExactQuantiles &q, double p) {
+            return q.empty() ? std::string("-")
+                             : formatPercent(q.quantile(p));
+        };
+        for (std::size_t i = 0; i < cache_sim_->fractionCount(); ++i) {
+            const ExactQuantiles &r = cache_sim_->readMissRatios(i);
+            const ExactQuantiles &w = cache_sim_->writeMissRatios(i);
+            cache.row({formatPercent(cache_sim_->fractionAt(i)),
+                       cell(r, 0.5), cell(r, 0.25), cell(r, 0.9),
+                       cell(w, 0.5), cell(w, 0.25), cell(w, 0.9)});
+        }
+        cache.print(os);
+    }
 }
 
 void
@@ -214,6 +240,24 @@ WorkloadSummary::writeJson(std::ostream &os) const
         sep = ",\n";
     }
     os << "\n  }";
+    if (cache_sim_ != nullptr) {
+        os << ",\n  \"cache_sim\": {\n    \"policy\": \"";
+        jsonEscape(os, cache_sim_->policyName());
+        os << "\",\n    \"block_size\": " << cache_sim_->blockSize()
+           << ",\n    \"fractions\": [";
+        const char *frac_sep = "";
+        for (std::size_t i = 0; i < cache_sim_->fractionCount(); ++i) {
+            os << frac_sep << "\n      {\"fraction\": ";
+            jsonNumber(os, cache_sim_->fractionAt(i));
+            os << ", \"read_miss_ratio\": ";
+            jsonDist(os, cache_sim_->readMissRatios(i));
+            os << ", \"write_miss_ratio\": ";
+            jsonDist(os, cache_sim_->writeMissRatios(i));
+            os << '}';
+            frac_sep = ",";
+        }
+        os << "\n    ]\n  }";
+    }
     // The pipeline section only exists when degraded mode was enabled:
     // lane lists depend on the shard count, so emitting them
     // unconditionally would break byte-identical output across

@@ -30,6 +30,8 @@
 
 namespace cbs {
 
+class CacheMissAnalyzer;
+
 /** Knobs of the bundled analysis. */
 struct WorkloadSummaryOptions
 {
@@ -91,6 +93,18 @@ class WorkloadSummary
         return pipeline_status_;
     }
 
+    /**
+     * Attach the results of a separately-run two-pass cache
+     * simulation (the one analysis this bundle cannot host in its
+     * single sweep). When set, print() and writeJson() gain a
+     * "cache_sim" section. Not owned; must stay alive until the last
+     * reporting call. Pass nullptr to detach.
+     */
+    void setCacheSim(const CacheMissAnalyzer *cache_sim)
+    {
+        cache_sim_ = cache_sim;
+    }
+
     /** Print a compact multi-section report. */
     void print(std::ostream &os) const;
 
@@ -136,6 +150,7 @@ class WorkloadSummary
 
     WorkloadSummaryOptions options_;
     PipelineRunStatus pipeline_status_;
+    const CacheMissAnalyzer *cache_sim_ = nullptr;
 };
 
 } // namespace cbs

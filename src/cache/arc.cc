@@ -7,13 +7,13 @@
 namespace cbs {
 
 ArcCache::ArcCache(std::size_t capacity)
-    : capacity_(capacity), index_(2 * capacity)
+    : capacity_(capacity), pool_(2 * capacity), index_(2 * capacity)
 {
     CBS_EXPECT(capacity > 0, "cache capacity must be positive");
 }
 
-std::list<std::uint64_t> &
-ArcCache::listOf(Where where)
+SlabListPool::Ring &
+ArcCache::ringOf(Where where)
 {
     switch (where) {
       case Where::T1:
@@ -25,44 +25,42 @@ ArcCache::listOf(Where where)
       case Where::B2:
         return b2_;
     }
-    CBS_PANIC("unreachable list");
+    CBS_PANIC("unreachable ring");
 }
 
 void
-ArcCache::moveTo(std::uint64_t key, Entry &entry, Where to)
+ArcCache::moveTo(Entry &entry, Where to)
 {
-    listOf(entry.where).erase(entry.pos);
-    auto &target = listOf(to);
-    target.push_front(key);
+    pool_.unlink(ringOf(entry.where), entry.node);
+    pool_.pushFront(ringOf(to), entry.node);
     entry.where = to;
-    entry.pos = target.begin();
 }
 
 void
 ArcCache::dropLru(Where where)
 {
-    auto &list = listOf(where);
-    CBS_CHECK(!list.empty());
-    index_.erase(list.back());
-    list.pop_back();
+    SlabListPool::Ring &ring = ringOf(where);
+    CBS_CHECK(!ring.empty());
+    std::uint32_t victim = ring.tail;
+    pool_.unlink(ring, victim);
+    index_.erase(pool_.key(victim));
+    pool_.release(victim);
 }
 
 void
 ArcCache::replace(bool hit_in_b2)
 {
     if (!t1_.empty() &&
-        (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_))) {
+        (t1_.size > p_ || (hit_in_b2 && t1_.size == p_))) {
         // Demote the T1 LRU into ghost list B1.
-        std::uint64_t victim = t1_.back();
-        Entry *entry = index_.find(victim);
+        Entry *entry = index_.find(pool_.key(t1_.tail));
         CBS_CHECK(entry != nullptr);
-        moveTo(victim, *entry, Where::B1);
+        moveTo(*entry, Where::B1);
     } else {
         CBS_CHECK(!t2_.empty());
-        std::uint64_t victim = t2_.back();
-        Entry *entry = index_.find(victim);
+        Entry *entry = index_.find(pool_.key(t2_.tail));
         CBS_CHECK(entry != nullptr);
-        moveTo(victim, *entry, Where::B2);
+        moveTo(*entry, Where::B2);
     }
 }
 
@@ -72,35 +70,36 @@ ArcCache::access(std::uint64_t key)
     Entry *entry = index_.find(key);
     if (entry != nullptr &&
         (entry->where == Where::T1 || entry->where == Where::T2)) {
-        moveTo(key, *entry, Where::T2);
+        moveTo(*entry, Where::T2);
         return true;
     }
 
     if (entry != nullptr && entry->where == Where::B1) {
         std::size_t delta =
-            std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(
-                                         1, b1_.size()));
+            std::max<std::size_t>(1, b2_.size / std::max<std::size_t>(
+                                         1, b1_.size));
         p_ = std::min(capacity_, p_ + delta);
         replace(false);
-        moveTo(key, *entry, Where::T2);
+        moveTo(*entry, Where::T2);
         return false;
     }
 
     if (entry != nullptr && entry->where == Where::B2) {
         std::size_t delta =
-            std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(
-                                         1, b2_.size()));
+            std::max<std::size_t>(1, b1_.size / std::max<std::size_t>(
+                                         1, b2_.size));
         p_ = p_ > delta ? p_ - delta : 0;
         replace(true);
-        moveTo(key, *entry, Where::T2);
+        moveTo(*entry, Where::T2);
         return false;
     }
 
-    // Completely new key.
-    std::size_t l1 = t1_.size() + b1_.size();
-    std::size_t total = l1 + t2_.size() + b2_.size();
+    // Completely new key. Drops below keep the pool's occupancy at or
+    // under 2*capacity - 1 before the allocate.
+    std::size_t l1 = t1_.size + b1_.size;
+    std::size_t total = l1 + t2_.size + b2_.size;
     if (l1 == capacity_) {
-        if (t1_.size() < capacity_) {
+        if (t1_.size < capacity_) {
             dropLru(Where::B1);
             replace(false);
         } else {
@@ -111,8 +110,9 @@ ArcCache::access(std::uint64_t key)
             dropLru(Where::B2);
         replace(false);
     }
-    t1_.push_front(key);
-    index_.insertOrAssign(key, Entry{Where::T1, t1_.begin()});
+    std::uint32_t node = pool_.allocate(key);
+    pool_.pushFront(t1_, node);
+    index_.insertOrAssign(key, Entry{Where::T1, node});
     return false;
 }
 
@@ -127,10 +127,8 @@ ArcCache::contains(std::uint64_t key) const
 void
 ArcCache::clear()
 {
-    t1_.clear();
-    t2_.clear();
-    b1_.clear();
-    b2_.clear();
+    pool_.clear();
+    t1_ = t2_ = b1_ = b2_ = SlabListPool::Ring{};
     index_.clear();
     p_ = 0;
 }

@@ -7,16 +7,23 @@
  * policy-ablation benches: the paper's workloads mix scan-like cold
  * traffic with tight hot sets, exactly the pattern ARC was designed to
  * separate.
+ *
+ * T1/T2/B1/B2 are four intrusive rings over one SlabListPool of
+ * 2*capacity nodes (ARC's invariant: |T1|+|T2|+|B1|+|B2| <= 2c), so
+ * steady-state operation never allocates. The hit/miss sequence is
+ * identical to the reference list-based ListArcCache
+ * (cache/reference_policies.h) — enforced by the slab-equivalence
+ * tests.
  */
 
 #ifndef CBS_CACHE_ARC_H
 #define CBS_CACHE_ARC_H
 
 #include <cstdint>
-#include <list>
 
 #include "common/flat_map.h"
 #include "cache/cache_policy.h"
+#include "cache/slab_list.h"
 
 namespace cbs {
 
@@ -26,7 +33,7 @@ class ArcCache : public CachePolicy
     explicit ArcCache(std::size_t capacity);
 
     bool access(std::uint64_t key) override;
-    std::size_t size() const override { return t1_.size() + t2_.size(); }
+    std::size_t size() const override { return t1_.size + t2_.size; }
     std::size_t capacity() const override { return capacity_; }
     bool contains(std::uint64_t key) const override;
     void clear() override;
@@ -47,15 +54,15 @@ class ArcCache : public CachePolicy
     struct Entry
     {
         Where where = Where::T1;
-        std::list<std::uint64_t>::iterator pos;
+        std::uint32_t node = SlabListPool::kNil;
     };
 
-    std::list<std::uint64_t> &listOf(Where where);
+    SlabListPool::Ring &ringOf(Where where);
 
-    /** Move @p key to the MRU end of @p to, updating the index. */
-    void moveTo(std::uint64_t key, Entry &entry, Where to);
+    /** Move @p entry's node to the MRU end of @p to. */
+    void moveTo(Entry &entry, Where to);
 
-    /** Drop the LRU element of @p where from the index and list. */
+    /** Drop the LRU element of @p where from the index and pool. */
     void dropLru(Where where);
 
     /** ARC's REPLACE: demote from T1 or T2 into the ghost lists. */
@@ -63,7 +70,8 @@ class ArcCache : public CachePolicy
 
     std::size_t capacity_;
     std::size_t p_ = 0; //!< adaptive target size of T1
-    std::list<std::uint64_t> t1_, t2_, b1_, b2_;
+    SlabListPool pool_; //!< 2*capacity nodes shared by all four rings
+    SlabListPool::Ring t1_, t2_, b1_, b2_;
     FlatMap<Entry> index_;
 };
 

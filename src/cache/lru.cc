@@ -5,68 +5,31 @@
 namespace cbs {
 
 LruCache::LruCache(std::size_t capacity)
-    : capacity_(capacity), index_(capacity)
+    : capacity_(capacity), pool_(capacity), index_(capacity)
 {
     CBS_EXPECT(capacity > 0, "cache capacity must be positive");
-    nodes_.reserve(capacity);
-}
-
-void
-LruCache::unlink(std::uint32_t idx)
-{
-    Node &node = nodes_[idx];
-    if (node.prev != kNil)
-        nodes_[node.prev].next = node.next;
-    else
-        head_ = node.next;
-    if (node.next != kNil)
-        nodes_[node.next].prev = node.prev;
-    else
-        tail_ = node.prev;
-    node.prev = node.next = kNil;
-}
-
-void
-LruCache::pushFront(std::uint32_t idx)
-{
-    Node &node = nodes_[idx];
-    node.prev = kNil;
-    node.next = head_;
-    if (head_ != kNil)
-        nodes_[head_].prev = idx;
-    head_ = idx;
-    if (tail_ == kNil)
-        tail_ = idx;
 }
 
 bool
 LruCache::access(std::uint64_t key)
 {
     if (auto *slot = index_.find(key)) {
-        std::uint32_t idx = *slot;
-        if (idx != head_) {
-            unlink(idx);
-            pushFront(idx);
-        }
+        pool_.moveToFront(list_, *slot);
         return true;
     }
 
     std::uint32_t idx;
     if (index_.size() >= capacity_) {
-        // Evict the LRU tail and reuse its slot.
-        idx = tail_;
-        unlink(idx);
-        index_.erase(nodes_[idx].key);
-    } else if (!free_.empty()) {
-        idx = free_.back();
-        free_.pop_back();
+        // Evict the LRU tail and reuse its node in place.
+        idx = list_.tail;
+        pool_.unlink(list_, idx);
+        index_.erase(pool_.key(idx));
+        pool_.rekey(idx, key);
     } else {
-        idx = static_cast<std::uint32_t>(nodes_.size());
-        nodes_.push_back(Node{});
+        idx = pool_.allocate(key);
     }
-    nodes_[idx].key = key;
     index_.insertOrAssign(key, idx);
-    pushFront(idx);
+    pool_.pushFront(list_, idx);
     return false;
 }
 
@@ -80,16 +43,15 @@ void
 LruCache::clear()
 {
     index_.clear();
-    nodes_.clear();
-    free_.clear();
-    head_ = tail_ = kNil;
+    pool_.clear();
+    list_ = SlabListPool::Ring{};
 }
 
 std::uint64_t
 LruCache::coldestKey() const
 {
-    CBS_CHECK(tail_ != kNil);
-    return nodes_[tail_].key;
+    CBS_CHECK(list_.tail != SlabListPool::kNil);
+    return pool_.key(list_.tail);
 }
 
 } // namespace cbs

@@ -1,20 +1,21 @@
 /**
  * @file
- * LruCache: least-recently-used replacement over a compact slot array.
+ * LruCache: least-recently-used replacement on the slab substrate.
  *
- * Nodes live in a contiguous vector threaded into an intrusive doubly-
- * linked list (no per-node allocation), with a FlatMap for key lookup —
- * the simulation of Finding 15 runs one of these per volume.
+ * Nodes live in a SlabListPool preallocated to capacity and threaded
+ * into one recency ring, with a FlatMap for key lookup — zero
+ * per-access allocation; the simulation of Finding 15 runs one of
+ * these per volume.
  */
 
 #ifndef CBS_CACHE_LRU_H
 #define CBS_CACHE_LRU_H
 
 #include <cstdint>
-#include <vector>
 
 #include "common/flat_map.h"
 #include "cache/cache_policy.h"
+#include "cache/slab_list.h"
 
 namespace cbs {
 
@@ -34,24 +35,10 @@ class LruCache : public CachePolicy
     std::uint64_t coldestKey() const;
 
   private:
-    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
-
-    struct Node
-    {
-        std::uint64_t key = 0;
-        std::uint32_t prev = kNil;
-        std::uint32_t next = kNil;
-    };
-
-    void unlink(std::uint32_t idx);
-    void pushFront(std::uint32_t idx);
-
     std::size_t capacity_;
-    std::vector<Node> nodes_;
-    std::vector<std::uint32_t> free_;
+    SlabListPool pool_;
+    SlabListPool::Ring list_; //!< head = most recent, tail = least
     FlatMap<std::uint32_t> index_;
-    std::uint32_t head_ = kNil; //!< most recently used
-    std::uint32_t tail_ = kNil; //!< least recently used
 };
 
 } // namespace cbs

@@ -1,0 +1,226 @@
+#include "cache/reference_policies.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cbs {
+
+ListLruCache::ListLruCache(std::size_t capacity)
+    : capacity_(capacity), index_(capacity)
+{
+    CBS_EXPECT(capacity > 0, "cache capacity must be positive");
+}
+
+bool
+ListLruCache::access(std::uint64_t key)
+{
+    if (auto *pos = index_.find(key)) {
+        list_.splice(list_.begin(), list_, *pos);
+        return true;
+    }
+    if (index_.size() >= capacity_) {
+        index_.erase(list_.back());
+        list_.pop_back();
+    }
+    list_.push_front(key);
+    index_.insertOrAssign(key, list_.begin());
+    return false;
+}
+
+bool
+ListLruCache::contains(std::uint64_t key) const
+{
+    return index_.contains(key);
+}
+
+void
+ListLruCache::clear()
+{
+    list_.clear();
+    index_.clear();
+}
+
+ListArcCache::ListArcCache(std::size_t capacity)
+    : capacity_(capacity), index_(2 * capacity)
+{
+    CBS_EXPECT(capacity > 0, "cache capacity must be positive");
+}
+
+std::list<std::uint64_t> &
+ListArcCache::listOf(Where where)
+{
+    switch (where) {
+      case Where::T1:
+        return t1_;
+      case Where::T2:
+        return t2_;
+      case Where::B1:
+        return b1_;
+      case Where::B2:
+        return b2_;
+    }
+    CBS_PANIC("unreachable list");
+}
+
+void
+ListArcCache::moveTo(std::uint64_t key, Entry &entry, Where to)
+{
+    listOf(entry.where).erase(entry.pos);
+    auto &target = listOf(to);
+    target.push_front(key);
+    entry.where = to;
+    entry.pos = target.begin();
+}
+
+void
+ListArcCache::dropLru(Where where)
+{
+    auto &list = listOf(where);
+    CBS_CHECK(!list.empty());
+    index_.erase(list.back());
+    list.pop_back();
+}
+
+void
+ListArcCache::replace(bool hit_in_b2)
+{
+    if (!t1_.empty() &&
+        (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_))) {
+        std::uint64_t victim = t1_.back();
+        Entry *entry = index_.find(victim);
+        CBS_CHECK(entry != nullptr);
+        moveTo(victim, *entry, Where::B1);
+    } else {
+        CBS_CHECK(!t2_.empty());
+        std::uint64_t victim = t2_.back();
+        Entry *entry = index_.find(victim);
+        CBS_CHECK(entry != nullptr);
+        moveTo(victim, *entry, Where::B2);
+    }
+}
+
+bool
+ListArcCache::access(std::uint64_t key)
+{
+    Entry *entry = index_.find(key);
+    if (entry != nullptr &&
+        (entry->where == Where::T1 || entry->where == Where::T2)) {
+        moveTo(key, *entry, Where::T2);
+        return true;
+    }
+
+    if (entry != nullptr && entry->where == Where::B1) {
+        std::size_t delta =
+            std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(
+                                         1, b1_.size()));
+        p_ = std::min(capacity_, p_ + delta);
+        replace(false);
+        moveTo(key, *entry, Where::T2);
+        return false;
+    }
+
+    if (entry != nullptr && entry->where == Where::B2) {
+        std::size_t delta =
+            std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(
+                                         1, b2_.size()));
+        p_ = p_ > delta ? p_ - delta : 0;
+        replace(true);
+        moveTo(key, *entry, Where::T2);
+        return false;
+    }
+
+    std::size_t l1 = t1_.size() + b1_.size();
+    std::size_t total = l1 + t2_.size() + b2_.size();
+    if (l1 == capacity_) {
+        if (t1_.size() < capacity_) {
+            dropLru(Where::B1);
+            replace(false);
+        } else {
+            dropLru(Where::T1);
+        }
+    } else if (l1 < capacity_ && total >= capacity_) {
+        if (total == 2 * capacity_)
+            dropLru(Where::B2);
+        replace(false);
+    }
+    t1_.push_front(key);
+    index_.insertOrAssign(key, Entry{Where::T1, t1_.begin()});
+    return false;
+}
+
+bool
+ListArcCache::contains(std::uint64_t key) const
+{
+    const Entry *entry = index_.find(key);
+    return entry != nullptr &&
+           (entry->where == Where::T1 || entry->where == Where::T2);
+}
+
+void
+ListArcCache::clear()
+{
+    t1_.clear();
+    t2_.clear();
+    b1_.clear();
+    b2_.clear();
+    index_.clear();
+    p_ = 0;
+}
+
+ListLfuCache::ListLfuCache(std::size_t capacity)
+    : capacity_(capacity), entries_(capacity)
+{
+    CBS_EXPECT(capacity > 0, "cache capacity must be positive");
+}
+
+void
+ListLfuCache::bump(std::uint64_t key, Entry &entry)
+{
+    auto bucket = buckets_.find(entry.freq);
+    CBS_CHECK(bucket != buckets_.end());
+    bucket->second.erase(entry.pos);
+    if (bucket->second.empty())
+        buckets_.erase(bucket);
+    ++entry.freq;
+    auto &next_bucket = buckets_[entry.freq];
+    next_bucket.push_front(key);
+    entry.pos = next_bucket.begin();
+}
+
+bool
+ListLfuCache::access(std::uint64_t key)
+{
+    if (auto *entry = entries_.find(key)) {
+        bump(key, *entry);
+        return true;
+    }
+    if (entries_.size() >= capacity_) {
+        auto lowest = buckets_.begin();
+        CBS_CHECK(lowest != buckets_.end());
+        std::uint64_t victim = lowest->second.back();
+        lowest->second.pop_back();
+        if (lowest->second.empty())
+            buckets_.erase(lowest);
+        entries_.erase(victim);
+    }
+    auto &bucket = buckets_[1];
+    bucket.push_front(key);
+    entries_.insertOrAssign(key, Entry{1, bucket.begin()});
+    return false;
+}
+
+bool
+ListLfuCache::contains(std::uint64_t key) const
+{
+    return entries_.contains(key);
+}
+
+void
+ListLfuCache::clear()
+{
+    buckets_.clear();
+    entries_.clear();
+}
+
+} // namespace cbs

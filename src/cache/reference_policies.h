@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reference list-based replacement policies.
+ *
+ * These are the pre-slab implementations of LRU, ARC, and LFU kept as
+ * behavioral oracles: node-allocating std::list/std::map structures
+ * whose hit/miss sequences the slab policies (lru.h, arc.h,
+ * simple_policies.h) must reproduce byte-for-byte. The equivalence
+ * tests (tests/cache/test_slab_equivalence.cc) drive both sides with
+ * identical randomized streams, and bench_perf_pipeline's per-policy
+ * rows use them as the single-threaded throughput baseline.
+ *
+ * Not registered in makeCachePolicy — production code always gets the
+ * slab variants.
+ */
+
+#ifndef CBS_CACHE_REFERENCE_POLICIES_H
+#define CBS_CACHE_REFERENCE_POLICIES_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "common/flat_map.h"
+#include "cache/cache_policy.h"
+
+namespace cbs {
+
+/** Classic LRU over std::list with a key->iterator index. */
+class ListLruCache : public CachePolicy
+{
+  public:
+    explicit ListLruCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return index_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "list-lru"; }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::uint64_t> list_; //!< front = most recently used
+    FlatMap<std::list<std::uint64_t>::iterator> index_;
+};
+
+/** The original std::list-based ARC. */
+class ListArcCache : public CachePolicy
+{
+  public:
+    explicit ListArcCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return t1_.size() + t2_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "list-arc"; }
+
+    std::size_t targetT1() const { return p_; }
+
+  private:
+    enum class Where : std::uint8_t
+    {
+        T1,
+        T2,
+        B1,
+        B2,
+    };
+
+    struct Entry
+    {
+        Where where = Where::T1;
+        std::list<std::uint64_t>::iterator pos;
+    };
+
+    std::list<std::uint64_t> &listOf(Where where);
+    void moveTo(std::uint64_t key, Entry &entry, Where to);
+    void dropLru(Where where);
+    void replace(bool hit_in_b2);
+
+    std::size_t capacity_;
+    std::size_t p_ = 0;
+    std::list<std::uint64_t> t1_, t2_, b1_, b2_;
+    FlatMap<Entry> index_;
+};
+
+/** The original std::map-of-std::list LFU with LRU tie-breaking. */
+class ListLfuCache : public CachePolicy
+{
+  public:
+    explicit ListLfuCache(std::size_t capacity);
+
+    bool access(std::uint64_t key) override;
+    std::size_t size() const override { return entries_.size(); }
+    std::size_t capacity() const override { return capacity_; }
+    bool contains(std::uint64_t key) const override;
+    void clear() override;
+    std::string name() const override { return "list-lfu"; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t freq = 0;
+        std::list<std::uint64_t>::iterator pos;
+    };
+
+    void bump(std::uint64_t key, Entry &entry);
+
+    std::size_t capacity_;
+    // freq -> keys in LRU order (front = most recent).
+    std::map<std::uint64_t, std::list<std::uint64_t>> buckets_;
+    FlatMap<Entry> entries_;
+};
+
+} // namespace cbs
+
+#endif // CBS_CACHE_REFERENCE_POLICIES_H

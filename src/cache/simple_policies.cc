@@ -85,45 +85,76 @@ ClockCache::clear()
 }
 
 LfuCache::LfuCache(std::size_t capacity)
-    : capacity_(capacity), entries_(capacity)
+    : capacity_(capacity), entry_pool_(capacity),
+      // At most one bucket per resident entry, plus one transient
+      // bucket while a bump straddles freq -> freq+1.
+      bucket_pool_(capacity + 1), members_(capacity + 1),
+      entries_(capacity)
 {
     CBS_EXPECT(capacity > 0, "cache capacity must be positive");
 }
 
 void
-LfuCache::bump(std::uint64_t key, Entry &entry)
+LfuCache::releaseIfEmpty(std::uint32_t bucket)
 {
-    auto bucket = buckets_.find(entry.freq);
-    CBS_CHECK(bucket != buckets_.end());
-    bucket->second.erase(entry.pos);
-    if (bucket->second.empty())
-        buckets_.erase(bucket);
-    ++entry.freq;
-    auto &next_bucket = buckets_[entry.freq];
-    next_bucket.push_front(key);
-    entry.pos = next_bucket.begin();
+    if (members_[bucket].empty()) {
+        bucket_pool_.unlink(bucket_order_, bucket);
+        bucket_pool_.release(bucket);
+    }
+}
+
+void
+LfuCache::bump(Entry &entry)
+{
+    std::uint32_t from = entry.bucket;
+    std::uint64_t freq = bucket_pool_.key(from);
+    entry_pool_.unlink(members_[from], entry.node);
+    // The freq+1 bucket, if present, is the ring successor; create it
+    // there otherwise, keeping bucket_order_ sorted by frequency.
+    std::uint32_t succ = bucket_pool_.next(from);
+    std::uint32_t target;
+    if (succ != SlabListPool::kNil &&
+        bucket_pool_.key(succ) == freq + 1) {
+        target = succ;
+    } else {
+        target = bucket_pool_.allocate(freq + 1);
+        bucket_pool_.insertAfter(bucket_order_, from, target);
+        members_[target] = SlabListPool::Ring{};
+    }
+    releaseIfEmpty(from);
+    entry_pool_.pushFront(members_[target], entry.node);
+    entry.bucket = target;
 }
 
 bool
 LfuCache::access(std::uint64_t key)
 {
     if (auto *entry = entries_.find(key)) {
-        bump(key, *entry);
+        bump(*entry);
         return true;
     }
     if (entries_.size() >= capacity_) {
-        // Evict from the lowest-frequency bucket, LRU end (back).
-        auto lowest = buckets_.begin();
-        CBS_CHECK(lowest != buckets_.end());
-        std::uint64_t victim = lowest->second.back();
-        lowest->second.pop_back();
-        if (lowest->second.empty())
-            buckets_.erase(lowest);
-        entries_.erase(victim);
+        // Evict from the lowest-frequency bucket, LRU end (tail).
+        std::uint32_t lowest = bucket_order_.head;
+        CBS_CHECK(lowest != SlabListPool::kNil);
+        std::uint32_t victim = members_[lowest].tail;
+        entry_pool_.unlink(members_[lowest], victim);
+        entries_.erase(entry_pool_.key(victim));
+        entry_pool_.release(victim);
+        releaseIfEmpty(lowest);
     }
-    auto &bucket = buckets_[1];
-    bucket.push_front(key);
-    entries_.insertOrAssign(key, Entry{1, bucket.begin()});
+    std::uint32_t first = bucket_order_.head;
+    std::uint32_t target;
+    if (first != SlabListPool::kNil && bucket_pool_.key(first) == 1) {
+        target = first;
+    } else {
+        target = bucket_pool_.allocate(1);
+        bucket_pool_.pushFront(bucket_order_, target);
+        members_[target] = SlabListPool::Ring{};
+    }
+    std::uint32_t node = entry_pool_.allocate(key);
+    entry_pool_.pushFront(members_[target], node);
+    entries_.insertOrAssign(key, Entry{node, target});
     return false;
 }
 
@@ -136,7 +167,10 @@ LfuCache::contains(std::uint64_t key) const
 void
 LfuCache::clear()
 {
-    buckets_.clear();
+    entry_pool_.clear();
+    bucket_pool_.clear();
+    bucket_order_ = SlabListPool::Ring{};
+    members_.assign(capacity_ + 1, SlabListPool::Ring{});
     entries_.clear();
 }
 

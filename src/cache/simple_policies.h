@@ -3,18 +3,22 @@
  * FIFO, CLOCK, and LFU replacement policies. They share the paper's
  * block-granular demand-fill model (see CachePolicy) and exist for the
  * policy-ablation benches that extend Finding 15.
+ *
+ * FIFO and CLOCK were always flat arrays; LFU runs on the slab
+ * substrate (cache/slab_list.h) with an intrusive ring of frequency
+ * buckets, each owning a ring of entries — O(1) per access, zero
+ * allocation after construction.
  */
 
 #ifndef CBS_CACHE_SIMPLE_POLICIES_H
 #define CBS_CACHE_SIMPLE_POLICIES_H
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <vector>
 
 #include "common/flat_map.h"
 #include "cache/cache_policy.h"
+#include "cache/slab_list.h"
 
 namespace cbs {
 
@@ -68,6 +72,13 @@ class ClockCache : public CachePolicy
 /**
  * LFU with LRU tie-breaking: evicts the least-frequently-used block;
  * among equal frequencies, the least recently used one.
+ *
+ * O(1) per access: frequency buckets form an intrusive ring sorted by
+ * ascending frequency (head = eviction bucket), and each bucket owns a
+ * ring of entries in recency order. Both rings thread slab pools
+ * preallocated at construction, so no access ever allocates. Hit/miss
+ * sequences are identical to the reference std::map-of-lists
+ * ListLfuCache (cache/reference_policies.h).
  */
 class LfuCache : public CachePolicy
 {
@@ -84,15 +95,19 @@ class LfuCache : public CachePolicy
   private:
     struct Entry
     {
-        std::uint64_t freq = 0;
-        std::list<std::uint64_t>::iterator pos;
+        std::uint32_t node = SlabListPool::kNil;   //!< entry_pool_ slot
+        std::uint32_t bucket = SlabListPool::kNil; //!< bucket_pool_ slot
     };
 
-    void bump(std::uint64_t key, Entry &entry);
+    void bump(Entry &entry);
+    void releaseIfEmpty(std::uint32_t bucket);
 
     std::size_t capacity_;
-    // freq -> keys in LRU order (front = most recent).
-    std::map<std::uint64_t, std::list<std::uint64_t>> buckets_;
+    SlabListPool entry_pool_;  //!< capacity nodes keyed by block key
+    SlabListPool bucket_pool_; //!< capacity+1 nodes keyed by frequency
+    SlabListPool::Ring bucket_order_; //!< buckets, ascending frequency
+    /** Entry ring of each bucket, indexed by bucket_pool_ slot. */
+    std::vector<SlabListPool::Ring> members_;
     FlatMap<Entry> entries_;
 };
 

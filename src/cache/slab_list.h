@@ -1,0 +1,163 @@
+/**
+ * @file
+ * SlabList: the shared slab substrate under the replacement policies.
+ *
+ * One contiguous node pool per policy, preallocated to capacity, with
+ * uint32_t prev/next links threading nodes into intrusive rings — zero
+ * per-access allocation and no pointer chasing across the heap. A pool
+ * can host several rings at once (ARC's T1/T2/B1/B2 are four rings
+ * over one pool; LFU threads a ring of frequency buckets, each owning
+ * a ring of entries). Every mutation is O(1).
+ */
+
+#ifndef CBS_CACHE_SLAB_LIST_H
+#define CBS_CACHE_SLAB_LIST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cbs {
+
+class SlabListPool
+{
+  public:
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    /**
+     * Head/tail handle of one intrusive list threaded through the
+     * pool. Plain data: copying a Ring copies the handle, not the
+     * nodes, so rings are normally stored by value and reset with
+     * `ring = Ring{}` alongside the pool's clear().
+     */
+    struct Ring
+    {
+        std::uint32_t head = kNil; //!< front (most recent)
+        std::uint32_t tail = kNil; //!< back (least recent)
+        std::size_t size = 0;
+
+        bool empty() const { return size == 0; }
+    };
+
+    SlabListPool() = default;
+
+    /** Pool of exactly @p capacity nodes, all free. */
+    explicit SlabListPool(std::size_t capacity) { reset(capacity); }
+
+    /** Drop all nodes and reallocate @p capacity free ones. */
+    void
+    reset(std::size_t capacity)
+    {
+        nodes_.assign(capacity, Node{});
+        free_.resize(capacity);
+        // Popped back-first, so nodes hand out in index order 0,1,2...
+        for (std::size_t i = 0; i < capacity; ++i)
+            free_[i] = static_cast<std::uint32_t>(capacity - 1 - i);
+    }
+
+    /** Return every node to the free list (capacity unchanged). */
+    void clear() { reset(nodes_.size()); }
+
+    std::size_t capacity() const { return nodes_.size(); }
+    std::size_t freeNodes() const { return free_.size(); }
+
+    /** Take a free node, stamp @p key, return its index. The caller
+     *  sized the pool for the policy's worst case, so exhaustion is a
+     *  logic error. */
+    std::uint32_t
+    allocate(std::uint64_t key)
+    {
+        CBS_CHECK(!free_.empty());
+        std::uint32_t idx = free_.back();
+        free_.pop_back();
+        Node &node = nodes_[idx];
+        node.key = key;
+        node.prev = node.next = kNil;
+        return idx;
+    }
+
+    /** Return an unlinked node to the free list. */
+    void release(std::uint32_t idx) { free_.push_back(idx); }
+
+    std::uint64_t key(std::uint32_t idx) const { return nodes_[idx].key; }
+
+    /** Re-stamp an unlinked node (slot reuse on evict-then-insert). */
+    void rekey(std::uint32_t idx, std::uint64_t key) { nodes_[idx].key = key; }
+
+    /** Successor of @p idx within its ring (kNil at the tail). */
+    std::uint32_t next(std::uint32_t idx) const { return nodes_[idx].next; }
+    /** Predecessor of @p idx within its ring (kNil at the head). */
+    std::uint32_t prev(std::uint32_t idx) const { return nodes_[idx].prev; }
+
+    void
+    pushFront(Ring &ring, std::uint32_t idx)
+    {
+        Node &node = nodes_[idx];
+        node.prev = kNil;
+        node.next = ring.head;
+        if (ring.head != kNil)
+            nodes_[ring.head].prev = idx;
+        ring.head = idx;
+        if (ring.tail == kNil)
+            ring.tail = idx;
+        ++ring.size;
+    }
+
+    /** Link @p idx immediately after @p after (which is in @p ring). */
+    void
+    insertAfter(Ring &ring, std::uint32_t after, std::uint32_t idx)
+    {
+        Node &node = nodes_[idx];
+        Node &anchor = nodes_[after];
+        node.prev = after;
+        node.next = anchor.next;
+        if (anchor.next != kNil)
+            nodes_[anchor.next].prev = idx;
+        else
+            ring.tail = idx;
+        anchor.next = idx;
+        ++ring.size;
+    }
+
+    void
+    unlink(Ring &ring, std::uint32_t idx)
+    {
+        Node &node = nodes_[idx];
+        if (node.prev != kNil)
+            nodes_[node.prev].next = node.next;
+        else
+            ring.head = node.next;
+        if (node.next != kNil)
+            nodes_[node.next].prev = node.prev;
+        else
+            ring.tail = node.prev;
+        node.prev = node.next = kNil;
+        --ring.size;
+    }
+
+    void
+    moveToFront(Ring &ring, std::uint32_t idx)
+    {
+        if (idx == ring.head)
+            return;
+        unlink(ring, idx);
+        pushFront(ring, idx);
+    }
+
+  private:
+    struct Node
+    {
+        std::uint64_t key = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> free_;
+};
+
+} // namespace cbs
+
+#endif // CBS_CACHE_SLAB_LIST_H

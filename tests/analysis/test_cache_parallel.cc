@@ -1,0 +1,173 @@
+/**
+ * @file
+ * ParallelCacheMiss: golden parity of the parallel two-pass cache
+ * simulation against the serial runTwoPass — every quantile of every
+ * fraction for every policy, across shard counts and ingest lane
+ * counts. Integer hit/miss tallies harvested in volume order make the
+ * results bit-identical, so comparisons are exact (EXPECT_EQ on
+ * doubles, no tolerance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/cache_miss.h"
+#include "obs/metrics.h"
+#include "synth/models.h"
+#include "synth/population.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+const std::vector<IoRequest> &
+goldenTrace()
+{
+    static const std::vector<IoRequest> requests = [] {
+        auto source =
+            makeTrace(aliCloudSpanSpec(SpanScale{30, 20000}), 7);
+        return drain(*source);
+    }();
+    return requests;
+}
+
+const std::vector<double> kFractions = {0.01, 0.10, 0.5};
+const std::vector<double> kQuantiles = {0.0,  0.01, 0.25, 0.5,
+                                        0.75, 0.9,  0.99, 1.0};
+
+void
+expectIdenticalRatios(const CacheMissAnalyzer &serial,
+                      const CacheMissAnalyzer &parallel,
+                      const std::string &label)
+{
+    ASSERT_EQ(serial.fractionCount(), parallel.fractionCount());
+    for (std::size_t i = 0; i < serial.fractionCount(); ++i) {
+        const ExactQuantiles &sr = serial.readMissRatios(i);
+        const ExactQuantiles &pr = parallel.readMissRatios(i);
+        const ExactQuantiles &sw = serial.writeMissRatios(i);
+        const ExactQuantiles &pw = parallel.writeMissRatios(i);
+        ASSERT_EQ(sr.count(), pr.count()) << label << " fraction " << i;
+        ASSERT_EQ(sw.count(), pw.count()) << label << " fraction " << i;
+        for (double q : kQuantiles) {
+            if (sr.count())
+                EXPECT_EQ(sr.quantile(q), pr.quantile(q))
+                    << label << " read q=" << q << " fraction " << i;
+            if (sw.count())
+                EXPECT_EQ(sw.quantile(q), pw.quantile(q))
+                    << label << " write q=" << q << " fraction " << i;
+        }
+    }
+}
+
+class ParallelCacheMiss : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ParallelCacheMiss, GoldenParityAcrossShardsAndLanes)
+{
+    const std::string policy = GetParam();
+
+    CacheMissAnalyzer serial(kFractions, 4096, policy);
+    {
+        VectorSource source(goldenTrace());
+        serial.runTwoPass(source);
+    }
+    ASSERT_GT(serial.readMissRatios(0).count(), 0u);
+
+    for (std::size_t shards : {2u, 5u}) {
+        for (std::size_t lanes : {1u, 4u}) {
+            CacheMissAnalyzer parallel(kFractions, 4096, policy);
+            VectorSource source(goldenTrace());
+            ParallelOptions options;
+            options.shards = shards;
+            options.batch_size = 256; // many batches even at 20k reqs
+            options.ingest_lanes = lanes;
+            PipelineRunStatus status =
+                parallel.runTwoPassParallel(source, options);
+            EXPECT_FALSE(status.degraded);
+            expectIdenticalRatios(serial, parallel,
+                                  policy + " shards=" +
+                                      std::to_string(shards) +
+                                      " lanes=" +
+                                      std::to_string(lanes));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ParallelCacheMiss,
+                         ::testing::Values("lru", "fifo", "clock",
+                                           "lfu", "arc"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(ParallelCacheMiss, ReportsPerPassLaneStatus)
+{
+    CacheMissAnalyzer analyzer({0.10}, 4096, "lru");
+    VectorSource source(goldenTrace());
+    ParallelOptions options;
+    options.shards = 3;
+    PipelineRunStatus status =
+        analyzer.runTwoPassParallel(source, options);
+    // One lane entry per shard per pass, each tagged with its pass.
+    ASSERT_EQ(status.lanes.size(), 6u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(status.lanes[i].lane,
+                  "pass1.shard." + std::to_string(i));
+        EXPECT_EQ(status.lanes[3 + i].lane,
+                  "pass2.shard." + std::to_string(i));
+        EXPECT_TRUE(status.lanes[i].ok);
+    }
+}
+
+TEST(ParallelCacheMiss, RegistersPerPassMetrics)
+{
+    obs::MetricsRegistry metrics;
+    CacheMissAnalyzer analyzer({0.10}, 4096, "lru");
+    VectorSource source(goldenTrace());
+    ParallelOptions options;
+    options.shards = 2;
+    options.metrics = &metrics;
+    analyzer.runTwoPassParallel(source, options);
+
+    // Per-pass pipeline namespaces stay separable...
+    EXPECT_EQ(metrics.gauge("parallel.pass1.shards").value(), 2);
+    EXPECT_EQ(metrics.gauge("parallel.pass2.shards").value(), 2);
+    EXPECT_EQ(metrics.counter("parallel.pass1.runs").value(), 1u);
+    EXPECT_EQ(metrics.counter("parallel.pass2.runs").value(), 1u);
+    EXPECT_GT(
+        metrics.counter("parallel.pass1.shard.0.records").value() +
+            metrics.counter("parallel.pass1.shard.1.records").value(),
+        0u);
+    EXPECT_GT(
+        metrics.counter("parallel.pass2.shard.0.records").value() +
+            metrics.counter("parallel.pass2.shard.1.records").value(),
+        0u);
+    // ...and the driver stamps total per-pass wall time.
+    EXPECT_GT(metrics.counter("cache_sim.pass1_ns").value(), 0u);
+    EXPECT_GT(metrics.counter("cache_sim.pass2_ns").value(), 0u);
+}
+
+TEST(ParallelCacheMiss, SerialFallbackAtOneShardStillMatches)
+{
+    CacheMissAnalyzer serial(kFractions, 4096, "lru");
+    CacheMissAnalyzer fallback(kFractions, 4096, "lru");
+    {
+        VectorSource source(goldenTrace());
+        serial.runTwoPass(source);
+    }
+    VectorSource source(goldenTrace());
+    ParallelOptions options;
+    options.shards = 1;
+    PipelineRunStatus status =
+        fallback.runTwoPassParallel(source, options);
+    ASSERT_EQ(status.lanes.size(), 2u);
+    EXPECT_EQ(status.lanes[0].lane, "pass1.serial");
+    EXPECT_EQ(status.lanes[1].lane, "pass2.serial");
+    expectIdenticalRatios(serial, fallback, "serial-fallback");
+}
+
+} // namespace
+} // namespace cbs

@@ -41,6 +41,9 @@ class Probe : public Analyzer
 
 TEST(Pipeline, FansEachRequestToEveryAnalyzerInOrder)
 {
+    // Dispatch is batch-major: within a batch every analyzer gets the
+    // whole span (one virtual call each, analyzers in caller order),
+    // so analyzer a sees both requests before analyzer b sees any.
     std::vector<std::string> log;
     Probe a(&log, "a");
     Probe b(&log, "b");
@@ -48,7 +51,9 @@ TEST(Pipeline, FansEachRequestToEveryAnalyzerInOrder)
     runPipeline(source, {&a, &b});
     ASSERT_EQ(log.size(), 6u);
     EXPECT_EQ(log[0], "a:consume");
-    EXPECT_EQ(log[1], "b:consume");
+    EXPECT_EQ(log[1], "a:consume");
+    EXPECT_EQ(log[2], "b:consume");
+    EXPECT_EQ(log[3], "b:consume");
     EXPECT_EQ(log[4], "a:finalize");
     EXPECT_EQ(log[5], "b:finalize");
 }

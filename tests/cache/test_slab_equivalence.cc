@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Slab-policy equivalence: the slab-allocated LRU, ARC, and LFU must
+ * produce byte-identical hit/miss sequences to the reference
+ * list-based implementations (cache/reference_policies.h) on
+ * randomized key streams — same decisions, same order, every access.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/arc.h"
+#include "cache/lru.h"
+#include "cache/reference_policies.h"
+#include "cache/simple_policies.h"
+#include "synth/rng.h"
+#include "synth/zipf.h"
+
+namespace cbs {
+namespace {
+
+struct PolicyPair
+{
+    std::string name;
+    std::function<std::unique_ptr<CachePolicy>(std::size_t)> slab;
+    std::function<std::unique_ptr<CachePolicy>(std::size_t)> reference;
+};
+
+std::vector<PolicyPair>
+policyPairs()
+{
+    return {
+        {"lru",
+         [](std::size_t c) { return std::make_unique<LruCache>(c); },
+         [](std::size_t c) { return std::make_unique<ListLruCache>(c); }},
+        {"arc",
+         [](std::size_t c) { return std::make_unique<ArcCache>(c); },
+         [](std::size_t c) { return std::make_unique<ListArcCache>(c); }},
+        {"lfu",
+         [](std::size_t c) { return std::make_unique<LfuCache>(c); },
+         [](std::size_t c) { return std::make_unique<ListLfuCache>(c); }},
+    };
+}
+
+/** Drive both policies with @p keys; every decision must match. */
+void
+expectIdenticalDecisions(CachePolicy &slab, CachePolicy &reference,
+                         const std::vector<std::uint64_t> &keys)
+{
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        bool slab_hit = slab.access(keys[i]);
+        bool ref_hit = reference.access(keys[i]);
+        ASSERT_EQ(slab_hit, ref_hit)
+            << slab.name() << " diverged at access " << i << " (key "
+            << keys[i] << ")";
+        ASSERT_EQ(slab.size(), reference.size())
+            << slab.name() << " size diverged at access " << i;
+    }
+    // Residency must agree too, not just the hit/miss history.
+    for (std::uint64_t key : keys)
+        ASSERT_EQ(slab.contains(key), reference.contains(key))
+            << slab.name() << " residency diverged for key " << key;
+}
+
+std::vector<std::uint64_t>
+zipfStream(std::uint64_t space, std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ZipfSampler zipf(space, 0.9);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back(zipf.sample(rng));
+    return keys;
+}
+
+std::vector<std::uint64_t>
+uniformStream(std::uint64_t space, std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back(rng.nextU64() % space);
+    return keys;
+}
+
+/** Scan-heavy mix: sequential sweeps with a hot set in between, the
+ *  pattern ARC's ghost lists react to most. */
+std::vector<std::uint64_t>
+scanMixStream(std::uint64_t space, std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.nextU64() % 4 == 0)
+            keys.push_back(rng.nextU64() % 16); // hot set
+        else
+            keys.push_back(cursor++ % space); // scan
+    }
+    return keys;
+}
+
+class SlabEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>>
+{
+};
+
+TEST_P(SlabEquivalence, MatchesListBasedReferenceOnRandomStreams)
+{
+    const auto &[pair_idx, capacity] = GetParam();
+    PolicyPair pair = policyPairs()[static_cast<std::size_t>(pair_idx)];
+
+    std::uint64_t space = 4 * capacity + 3;
+    std::size_t n = 20000;
+    std::uint64_t seed = 0x5eedULL + capacity;
+
+    {
+        auto slab = pair.slab(capacity);
+        auto reference = pair.reference(capacity);
+        expectIdenticalDecisions(*slab, *reference,
+                                 zipfStream(space, n, seed));
+    }
+    {
+        auto slab = pair.slab(capacity);
+        auto reference = pair.reference(capacity);
+        expectIdenticalDecisions(*slab, *reference,
+                                 uniformStream(space, n, seed + 1));
+    }
+    {
+        auto slab = pair.slab(capacity);
+        auto reference = pair.reference(capacity);
+        expectIdenticalDecisions(*slab, *reference,
+                                 scanMixStream(space, n, seed + 2));
+    }
+}
+
+TEST_P(SlabEquivalence, MatchesReferenceAcrossClear)
+{
+    const auto &[pair_idx, capacity] = GetParam();
+    PolicyPair pair = policyPairs()[static_cast<std::size_t>(pair_idx)];
+
+    auto slab = pair.slab(capacity);
+    auto reference = pair.reference(capacity);
+    std::uint64_t space = 4 * capacity + 3;
+    expectIdenticalDecisions(*slab, *reference,
+                             zipfStream(space, 5000, 11));
+    slab->clear();
+    reference->clear();
+    EXPECT_EQ(slab->size(), 0u);
+    // Post-clear behavior must restart from the same empty state.
+    expectIdenticalDecisions(*slab, *reference,
+                             uniformStream(space, 5000, 13));
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<std::tuple<int, std::size_t>>
+              &info)
+{
+    const auto &[pair_idx, capacity] = info.param;
+    return policyPairs()[static_cast<std::size_t>(pair_idx)].name +
+           "_cap" + std::to_string(capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SlabEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<std::size_t>(1, 2, 7, 64,
+                                                      1024)),
+    paramName);
+
+} // namespace
+} // namespace cbs
