@@ -61,6 +61,7 @@
 #include "cache/cache_policy.h"
 #include "cache/reference_policies.h"
 #include "common/format.h"
+#include "common/simd.h"
 #include "obs/metrics.h"
 #include "report/workbench.h"
 #include "synth/rng.h"
@@ -104,13 +105,20 @@ struct Measurement
     double seconds = 0.0;
     double mreq_per_s = 0.0;
     double speedup = 1.0;
+    // e2e rows split their wall time into ingest and analysis using
+    // the matching decode-only row; negative = not applicable.
+    double decode_seconds = -1.0;
+    double analyze_seconds = -1.0;
     std::string metrics_json; //!< per-run registry dump
 };
+
+/** Batch size for every pipeline run; --batch-records overrides. */
+std::size_t g_batch_records = 4096;
 
 /** One timed pass, metrics attached; returns seconds and the dump. */
 double
 timedRun(VectorSource &requests, bool parallel, std::size_t shards,
-         std::string &metrics_json)
+         bool columnar, std::string &metrics_json)
 {
     requests.reset();
     AnalyzerSet set;
@@ -120,10 +128,16 @@ timedRun(VectorSource &requests, bool parallel, std::size_t shards,
     if (parallel) {
         ParallelOptions options;
         options.shards = shards;
+        options.batch_size = g_batch_records;
+        options.columnar = columnar;
         options.metrics = &registry;
         runPipelineParallel(requests, set.all(), options);
     } else {
-        runPipeline(requests, set.all(), &registry);
+        PipelineOptions options;
+        options.batch_records = g_batch_records;
+        options.columnar = columnar;
+        options.metrics = &registry;
+        runPipeline(requests, set.all(), options);
     }
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
@@ -206,6 +220,7 @@ timedFormatRun(const std::string &path, std::size_t ingest_lanes,
     auto start = std::chrono::steady_clock::now();
     ParallelOptions options;
     options.shards = 4;
+    options.batch_size = g_batch_records;
     options.ingest_lanes = ingest_lanes;
     options.metrics = &registry;
     runPipelineParallel(opened->source(), set.all(), options);
@@ -231,18 +246,28 @@ writeJson(const std::string &path, std::uint64_t requests,
         << "  \"requests\": " << requests << ",\n"
         << "  \"hardware_threads\": "
         << std::thread::hardware_concurrency() << ",\n"
+        << "  \"config\": {\"batch_records\": " << g_batch_records
+        << ", \"columnar\": true, \"simd\": \"" << simdVariant()
+        << "\", \"compiler\": \"" << __VERSION__ << "\"},\n"
         << "  \"runs\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Measurement &m = rows[i];
-        char buf[256];
+        char buf[384];
         std::snprintf(buf, sizeof(buf),
                       "    {\"label\": \"%s\", \"shards\": %zu, "
                       "\"seconds\": %.6f, \"mreq_per_s\": %.3f, "
-                      "\"speedup\": %.3f}%s\n",
+                      "\"speedup\": %.3f",
                       m.label.c_str(), m.shards, m.seconds,
-                      m.mreq_per_s, m.speedup,
-                      i + 1 < rows.size() ? "," : "");
+                      m.mreq_per_s, m.speedup);
         out << buf;
+        if (m.decode_seconds >= 0) {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"decode_seconds\": %.6f, "
+                          "\"analyze_seconds\": %.6f",
+                          m.decode_seconds, m.analyze_seconds);
+            out << buf;
+        }
+        out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ],\n  \"metrics\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -272,10 +297,16 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--requests") == 0 &&
                    i + 1 < argc) {
             request_target = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--batch-records") == 0 &&
+                   i + 1 < argc) {
+            g_batch_records = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+            if (g_batch_records == 0)
+                g_batch_records = 4096;
         } else {
             std::fprintf(stderr,
                          "usage: bench_perf_pipeline [--json out.json] "
-                         "[--requests N]\n");
+                         "[--requests N] [--batch-records N]\n");
             return 2;
         }
     }
@@ -309,11 +340,19 @@ main(int argc, char **argv)
     std::printf("%-12s  %9s  %14s  %7s\n", "config", "time",
                 "throughput", "speedup");
     std::string metrics_json;
-    double serial_sec = timedRun(requests, false, 0, metrics_json);
+    double serial_sec =
+        timedRun(requests, false, 0, true, metrics_json);
     record("serial", 0, serial_sec, serial_sec);
     rows.back().metrics_json = metrics_json;
+    // Attribution row: the legacy row-at-a-time path on the same
+    // trace, so the columnar speedup is visible in one file.
+    double scalar_sec =
+        timedRun(requests, false, 0, false, metrics_json);
+    record("serial-scalar", 0, scalar_sec, serial_sec);
+    rows.back().metrics_json = metrics_json;
     for (std::size_t shards : {1, 2, 4, 8}) {
-        double sec = timedRun(requests, true, shards, metrics_json);
+        double sec =
+            timedRun(requests, true, shards, true, metrics_json);
         record("shards=" + std::to_string(shards), shards, sec,
                serial_sec);
         rows.back().metrics_json = metrics_json;
@@ -362,18 +401,33 @@ main(int argc, char **argv)
                0, sec, decode_csv);
     }
 
+    // Attribute each e2e row's wall time: its format's decode-only
+    // seconds are the ingest share, the rest is analysis (overlapped
+    // in reality — the split shows which side dominates).
+    auto splitRow = [&](double decode_sec) {
+        Measurement &m = rows.back();
+        m.decode_seconds = decode_sec;
+        m.analyze_seconds = std::max(0.0, m.seconds - decode_sec);
+    };
+    double decode_bin = rows[rows.size() - 3].seconds;
+    double decode_cbt2 = rows[rows.size() - 2].seconds;
+    double decode_cbt2_lanes = rows[rows.size() - 1].seconds;
     double e2e_csv = timedFormatRun(files.csv, 1, metrics_json);
     record("e2e-csv", 4, e2e_csv, e2e_csv);
     rows.back().metrics_json = metrics_json;
+    splitRow(decode_csv);
     record("e2e-bin", 4, timedFormatRun(files.bin, 1, metrics_json),
            e2e_csv);
     rows.back().metrics_json = metrics_json;
+    splitRow(decode_bin);
     record("e2e-cbt2", 4, timedFormatRun(files.cbt2, 1, metrics_json),
            e2e_csv);
     rows.back().metrics_json = metrics_json;
+    splitRow(decode_cbt2);
     record("e2e-cbt2-lanes4", 4,
            timedFormatRun(files.cbt2, 4, metrics_json), e2e_csv);
     rows.back().metrics_json = metrics_json;
+    splitRow(decode_cbt2_lanes);
 
     // Cache simulation: WSS pass + simulation pass over the same
     // trace, serial vs runTwoPassParallel.

@@ -275,6 +275,11 @@ cmdAnalyze(int argc, char **argv)
     parser.flag("--ingest-lanes", "N",
                 "parallel decode lanes for splittable inputs "
                 "(0 = one per shard; needs --threads)");
+    parser.flag("--batch-records", "N",
+                "requests per pipeline batch (default 4096)");
+    parser.toggle("--scalar",
+                  "row-at-a-time dispatch (columnar kernels off; "
+                  "identical results, slower)");
     parser.flag("--cache-policy", "P",
                 "add the two-pass cache simulation with replacement "
                 "policy P (lru|fifo|clock|lfu|arc)");
@@ -364,10 +369,18 @@ cmdAnalyze(int argc, char **argv)
         reporter->start();
     }
 
+    std::size_t batch_records =
+        parser.getUint("--batch-records", 4096);
+    if (batch_records == 0)
+        batch_records = 4096;
+    bool columnar = !parser.has("--scalar");
+
     std::optional<ParallelOptions> parallel;
     if (parser.has("--threads")) {
         parallel.emplace();
         parallel->shards = parser.getUint("--threads", 0);
+        parallel->batch_size = batch_records;
+        parallel->columnar = columnar;
         parallel->degraded_ok = parser.has("--degraded-ok");
         if (parser.has("--ingest-lanes"))
             parallel->ingest_lanes =
@@ -396,8 +409,11 @@ cmdAnalyze(int argc, char **argv)
             summary.run(opened->source(), *parallel, {&classifier}),
             "analysis");
     } else {
-        summary.run(opened->source(), {&classifier},
-                    want_metrics ? &registry : nullptr);
+        PipelineOptions serial;
+        serial.batch_records = batch_records;
+        serial.columnar = columnar;
+        serial.metrics = want_metrics ? &registry : nullptr;
+        summary.run(opened->source(), serial, {&classifier});
     }
     if (reporter)
         reporter->stop();

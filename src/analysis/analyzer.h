@@ -54,6 +54,29 @@ class Analyzer
             consume(req);
     }
 
+    /**
+     * Consume one columnar batch (see trace/request_batch.h). The
+     * default materializes the batch's rows once (cached and shared
+     * across every analyzer consuming the same batch) and feeds them
+     * to consumeBatch in arrival order — so analyzers without a
+     * columnar kernel keep both their exact semantics and their
+     * existing consumeBatch fast path.
+     *
+     * Kernel overrides may instead walk the batch volume-major via
+     * volumeRuns(), which preserves per-volume/per-block timestamp
+     * order but not global cross-volume order; only analyzers whose
+     * state is keyed per volume or per block (the ShardableAnalyzer
+     * contract) may do so. Determinism rule: an override must produce
+     * results identical to the default for any arrival-ordered batch
+     * (the ColumnarParity suite enforces this per analyzer). See
+     * docs/adding-an-analyzer.md, "Columnar kernels".
+     */
+    virtual void
+    consumeColumns(const RequestBatch &batch)
+    {
+        consumeBatch(batch.rowsMaterialized());
+    }
+
     /** Finish the pass; called once after the last request. */
     virtual void finalize() {}
 
@@ -101,14 +124,40 @@ shardCast(const ShardableAnalyzer &shard)
     return *cast;
 }
 
+/** Serial-pipeline knobs (see also ParallelOptions). */
+struct PipelineOptions
+{
+    /** Requests per ingest batch. Results are batch-size-invariant;
+     *  this is purely a throughput/footprint knob (--batch-records). */
+    std::size_t batch_records = 4096;
+
+    /**
+     * Columnar execution (the default): pull RequestBatches through
+     * TraceSource::nextColumns and dispatch consumeColumns, engaging
+     * the hand-tiled kernels of the hot analyzers. Off = the legacy
+     * row path (nextBatch + consumeBatch). Results are byte-identical
+     * either way; the toggle exists for attribution and parity tests.
+     */
+    bool columnar = true;
+
+    /** Optional observability sink (same keys as the legacy entry
+     *  point below). */
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
 /**
  * Run one pass of @p source through all @p analyzers, then finalize.
  *
- * When @p metrics is non-null, each analyzer's per-batch consume time
+ * When metrics are attached, each analyzer's per-batch consume time
  * is recorded into an `analyzer.<name>.batch_ns` histogram and its
  * finalize time into an `analyzer.<name>.finalize_ns` counter (see
  * docs/observability.md); a null registry costs one check per batch.
  */
+void runPipeline(TraceSource &source,
+                 const std::vector<Analyzer *> &analyzers,
+                 const PipelineOptions &options);
+
+/** Legacy entry point: default PipelineOptions with @p metrics. */
 void runPipeline(TraceSource &source,
                  const std::vector<Analyzer *> &analyzers,
                  obs::MetricsRegistry *metrics = nullptr);

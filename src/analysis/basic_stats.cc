@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
+
 namespace cbs {
 
 BasicStatsAnalyzer::BasicStatsAnalyzer(std::uint64_t block_size)
@@ -65,6 +67,89 @@ BasicStatsAnalyzer::consumeBatch(std::span<const IoRequest> batch)
 }
 
 void
+BasicStatsAnalyzer::consumeColumns(const RequestBatch &batch)
+{
+    std::size_t n = batch.size();
+    if (n == 0)
+        return;
+    const TimeUs *ts = batch.ts();
+    const std::uint32_t *length = batch.length();
+    const std::uint8_t *is_write = batch.isWrite();
+
+    // Row-granular tallies straight off the columns. The batch is not
+    // globally sorted (shard scatters regroup rows by volume run), so
+    // first/last come from an explicit min/max scan — which on an
+    // ordered trace is exactly what the row-order path computes.
+    TimeUs min_ts = ts[0];
+    TimeUs max_ts = ts[0];
+    std::uint64_t write_bytes = 0;
+    std::uint64_t read_bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        min_ts = std::min(min_ts, ts[i]);
+        max_ts = std::max(max_ts, ts[i]);
+        if (is_write[i])
+            write_bytes += length[i];
+        else
+            read_bytes += length[i];
+    }
+    std::uint64_t writes = sumBytes01(is_write, n);
+    if (!any_) {
+        stats_.first_timestamp = min_ts;
+        any_ = true;
+    } else {
+        stats_.first_timestamp =
+            std::min(stats_.first_timestamp, min_ts);
+    }
+    stats_.last_timestamp = std::max(stats_.last_timestamp, max_ts);
+    stats_.writes += writes;
+    stats_.reads += n - writes;
+    stats_.write_bytes += write_bytes;
+    stats_.read_bytes += read_bytes;
+
+    // Block-granular tallies: every stat below is a sum of per-block
+    // flag transitions, so volume-major probe order gives the same
+    // totals as row order. A zero flag byte means "never touched" —
+    // the first read or write always sets a bit.
+    const std::vector<std::uint32_t> &order = batch.order();
+    for (const RequestBatch::VolumeRun &run : batch.volumeRuns()) {
+        std::uint8_t &seen = seen_volume_[run.volume];
+        if (!seen) {
+            seen = 1;
+            ++stats_.volumes;
+        }
+        for (std::uint32_t k = run.begin; k < run.end; ++k) {
+            std::uint32_t i = order[k];
+            std::uint8_t write = is_write[i];
+            blocks_.forEachState(
+                run.volume, batch.firstBlockAt(i, block_size_),
+                batch.lastBlockAt(i, block_size_),
+                [&](std::uint8_t &flags) {
+                    if (flags == 0)
+                        stats_.total_wss_bytes += block_size_;
+                    if (!write) {
+                        if (!(flags & kRead)) {
+                            flags |= kRead;
+                            stats_.read_wss_bytes += block_size_;
+                        }
+                    } else {
+                        if (flags & kWritten) {
+                            stats_.update_bytes += block_size_;
+                            if (!(flags & kUpdated)) {
+                                flags |= kUpdated;
+                                stats_.update_wss_bytes +=
+                                    block_size_;
+                            }
+                        } else {
+                            flags |= kWritten;
+                            stats_.write_wss_bytes += block_size_;
+                        }
+                    }
+                });
+        }
+    }
+}
+
+void
 BasicStatsAnalyzer::consume(const IoRequest &req)
 {
     if (!any_) {
@@ -88,10 +173,10 @@ BasicStatsAnalyzer::consume(const IoRequest &req)
         stats_.write_bytes += req.length;
     }
 
-    forEachBlock(req, block_size_, [&](BlockNo block) {
-        auto [flags, inserted] =
-            blocks_.tryEmplace(blockKey(req.volume, block));
-        if (inserted)
+    blocks_.forEachState(req.volume, req.firstBlock(block_size_),
+                         req.lastBlock(block_size_),
+                         [&](std::uint8_t &flags) {
+        if (flags == 0) // first touch of this block
             stats_.total_wss_bytes += block_size_;
         if (req.isRead()) {
             if (!(flags & kRead)) {

@@ -15,8 +15,8 @@
 #include <cstdint>
 
 #include "analysis/analyzer.h"
+#include "analysis/block_state_map.h"
 #include "analysis/per_volume.h"
-#include "common/flat_map.h"
 
 namespace cbs {
 
@@ -74,6 +74,7 @@ class BasicStatsAnalyzer : public ShardableAnalyzer
 
     void consume(const IoRequest &req) override;
     void consumeBatch(std::span<const IoRequest> batch) override;
+    void consumeColumns(const RequestBatch &batch) override;
     std::string name() const override { return "basic_stats"; }
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
@@ -89,7 +90,7 @@ class BasicStatsAnalyzer : public ShardableAnalyzer
 
     std::uint64_t block_size_;
     BasicStats stats_;
-    FlatMap<std::uint8_t> blocks_;
+    BlockStateMap<std::uint8_t> blocks_;
     PerVolume<std::uint8_t> seen_volume_;
     bool any_ = false;
 };

@@ -27,16 +27,48 @@ BlockTrafficAnalyzer::consumeBatch(std::span<const IoRequest> batch)
 void
 BlockTrafficAnalyzer::consume(const IoRequest &req)
 {
-    forEachBlock(req, block_size_, [&](BlockNo block) {
-        Traffic &traffic = blocks_[blockKey(req.volume, block)];
-        if (req.isRead()) {
-            ++traffic.read_units;
-            ++total_read_units_;
-        } else {
-            ++traffic.write_units;
-            ++total_write_units_;
+    blocks_.forEachState(
+        req.volume, req.firstBlock(block_size_),
+        req.lastBlock(block_size_), [&](Traffic &traffic) {
+            if (req.isRead()) {
+                ++traffic.read_units;
+                ++total_read_units_;
+            } else {
+                ++traffic.write_units;
+                ++total_write_units_;
+            }
+        });
+}
+
+void
+BlockTrafficAnalyzer::consumeColumns(const RequestBatch &batch)
+{
+    // Tallies are commutative, so the per-block increments can run
+    // volume-major; the global unit totals fall out of the block
+    // columns with plain arithmetic, one add per row.
+    const std::uint8_t *is_write = batch.isWrite();
+    const std::vector<std::uint32_t> &order = batch.order();
+    for (const RequestBatch::VolumeRun &run : batch.volumeRuns()) {
+        for (std::uint32_t k = run.begin; k < run.end; ++k) {
+            std::uint32_t i = order[k];
+            BlockNo first = batch.firstBlockAt(i, block_size_);
+            BlockNo last = batch.lastBlockAt(i, block_size_);
+            std::uint64_t units = last - first + 1;
+            if (is_write[i]) {
+                total_write_units_ += units;
+                blocks_.forEachState(run.volume, first, last,
+                                     [](Traffic &traffic) {
+                                         ++traffic.write_units;
+                                     });
+            } else {
+                total_read_units_ += units;
+                blocks_.forEachState(run.volume, first, last,
+                                     [](Traffic &traffic) {
+                                         ++traffic.read_units;
+                                     });
+            }
         }
-    });
+    }
 }
 
 std::unique_ptr<ShardableAnalyzer>
@@ -81,10 +113,12 @@ BlockTrafficAnalyzer::finalize()
     };
     PerVolume<VolumeTallies> volumes;
 
-    blocks_.forEach([&](std::uint64_t key, const Traffic &traffic) {
-        VolumeId volume = static_cast<VolumeId>(key >> 44);
-        VolumeTallies &tallies = volumes[volume];
+    blocks_.forEach([&](VolumeId volume, BlockNo,
+                        const Traffic &traffic) {
         std::uint64_t total = traffic.read_units + traffic.write_units;
+        if (total == 0) // untouched state in a touched chunk
+            return;
+        VolumeTallies &tallies = volumes[volume];
         if (traffic.read_units) {
             tallies.read_units.push_back(traffic.read_units);
             tallies.reads_total += traffic.read_units;

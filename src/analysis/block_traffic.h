@@ -21,8 +21,8 @@
 #include <cstdint>
 
 #include "analysis/analyzer.h"
+#include "analysis/block_state_map.h"
 #include "analysis/per_volume.h"
-#include "common/flat_map.h"
 #include "stats/boxplot.h"
 #include "stats/ecdf.h"
 
@@ -49,6 +49,7 @@ class BlockTrafficAnalyzer : public ShardableAnalyzer
 
     void consume(const IoRequest &req) override;
     void consumeBatch(std::span<const IoRequest> batch) override;
+    void consumeColumns(const RequestBatch &batch) override;
     void finalize() override;
     std::string name() const override { return "block_traffic"; }
 
@@ -85,7 +86,7 @@ class BlockTrafficAnalyzer : public ShardableAnalyzer
 
     std::uint64_t block_size_;
     double mostly_threshold_;
-    FlatMap<Traffic> blocks_;
+    BlockStateMap<Traffic> blocks_;
 
     std::array<ExactQuantiles, 2> read_top_;
     std::array<ExactQuantiles, 2> write_top_;

@@ -24,6 +24,41 @@ InterarrivalAnalyzer::consume(const IoRequest &req)
     state.touched = true;
 }
 
+void
+InterarrivalAnalyzer::consumeColumns(const RequestBatch &batch)
+{
+    // All state is per volume, so the per-run walk hoists one State
+    // lookup per run and streams that volume's timestamps through it.
+    // No deferred probes here — hoisting is safe.
+    const TimeUs *ts = batch.ts();
+    const std::vector<std::uint32_t> &order = batch.order();
+    for (const RequestBatch::VolumeRun &run : batch.volumeRuns()) {
+        State &state = states_[run.volume];
+        TimeUs last = state.last;
+        bool touched = state.touched;
+        LogHistogram *hist = state.hist.get();
+        for (std::uint32_t k = run.begin; k < run.end; ++k) {
+            TimeUs now = ts[order[k]];
+            if (touched) {
+                CBS_EXPECT(now >= last, "requests of volume "
+                                            << run.volume
+                                            << " out of order");
+                TimeUs gap = now - last;
+                if (!hist) {
+                    state.hist = std::make_unique<LogHistogram>(5);
+                    hist = state.hist.get();
+                }
+                hist->add(gap);
+                global_.add(gap);
+            }
+            last = now;
+            touched = true;
+        }
+        state.last = last;
+        state.touched = touched;
+    }
+}
+
 std::unique_ptr<ShardableAnalyzer>
 InterarrivalAnalyzer::clone() const
 {

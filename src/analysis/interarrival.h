@@ -33,6 +33,7 @@ class InterarrivalAnalyzer : public ShardableAnalyzer
     InterarrivalAnalyzer();
 
     void consume(const IoRequest &req) override;
+    void consumeColumns(const RequestBatch &batch) override;
     void finalize() override;
     std::string name() const override { return "interarrival"; }
 

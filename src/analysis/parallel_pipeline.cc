@@ -18,7 +18,10 @@
 namespace cbs {
 namespace {
 
-using Batch = std::vector<IoRequest>;
+// Queues carry SoA batches in both execution modes; the columnar flag
+// only selects the worker-side dispatch (consumeColumns vs a row
+// materialization + consumeBatch) and keeps one scatter path.
+using Batch = RequestBatch;
 using BatchQueue = SpscQueue<Batch>;
 
 /**
@@ -76,10 +79,10 @@ class LaneWorker
   public:
     LaneWorker(std::string name, std::size_t queue_batches,
                std::size_t ingest_lanes,
-               std::vector<Analyzer *> analyzers,
+               std::vector<Analyzer *> analyzers, bool columnar,
                std::unique_ptr<LaneMetrics> metrics = nullptr)
         : name_(std::move(name)), analyzers_(std::move(analyzers)),
-          metrics_(std::move(metrics))
+          columnar_(columnar), metrics_(std::move(metrics))
     {
         queues_.reserve(ingest_lanes);
         for (std::size_t k = 0; k < ingest_lanes; ++k)
@@ -187,7 +190,6 @@ class LaneWorker
                 if (error_)
                     continue; // drain so no producer blocks
                 try {
-                    std::span<const IoRequest> span(batch);
                     if (metrics_) {
                         metrics_->records->add(batch.size());
                         metrics_->batches->increment();
@@ -195,11 +197,11 @@ class LaneWorker
                              ++i) {
                             obs::ScopedTimer timer(
                                 metrics_->analyzer_ns[i]);
-                            analyzers_[i]->consumeBatch(span);
+                            dispatch(*analyzers_[i], batch);
                         }
                     } else {
                         for (Analyzer *analyzer : analyzers_)
-                            analyzer->consumeBatch(span);
+                            dispatch(*analyzer, batch);
                     }
                 } catch (...) {
                     error_ = std::current_exception();
@@ -212,6 +214,17 @@ class LaneWorker
                 }
             }
         }
+    }
+
+    void
+    dispatch(Analyzer &analyzer, const Batch &batch)
+    {
+        if (columnar_)
+            analyzer.consumeColumns(batch);
+        else
+            // Legacy dispatch: one shared row materialization per
+            // batch (cached inside the batch), then the span path.
+            analyzer.consumeBatch(batch.rowsMaterialized());
     }
 
     /** Fold the queues' cumulative stall counts into the registry. */
@@ -229,6 +242,7 @@ class LaneWorker
     std::string name_;
     std::vector<std::unique_ptr<BatchQueue>> queues_;
     std::vector<Analyzer *> analyzers_;
+    bool columnar_ = true;
     std::unique_ptr<LaneMetrics> metrics_;
     bool totals_noted_ = false;
     std::atomic<std::uint64_t> batches_consumed_{0};
@@ -347,7 +361,11 @@ runPipelineParallel(TraceSource &source,
     // degraded mode (a failed serial run has no partial result worth
     // reporting).
     if (shardable.empty() || shards == 1) {
-        runPipeline(source, analyzers, options.metrics);
+        PipelineOptions serial;
+        serial.batch_records = options.batch_size;
+        serial.columnar = options.columnar;
+        serial.metrics = options.metrics;
+        runPipeline(source, analyzers, serial);
         status.lanes.push_back(LaneStatus{"serial", true, ""});
         return status;
     }
@@ -408,7 +426,7 @@ runPipelineParallel(TraceSource &source,
                                      lane));
         workers.push_back(std::make_unique<LaneWorker>(
             std::move(name), queue_batches, lanes, std::move(lane),
-            std::move(lane_metrics)));
+            options.columnar, std::move(lane_metrics)));
     }
     LaneWorker *order_lane = nullptr;
     if (!in_order.empty()) {
@@ -419,7 +437,7 @@ runPipelineParallel(TraceSource &source,
                                      in_order));
         workers.push_back(std::make_unique<LaneWorker>(
             "inorder", queue_batches, lanes, in_order,
-            std::move(lane_metrics)));
+            options.columnar, std::move(lane_metrics)));
         order_lane = workers.back().get();
     }
 
@@ -437,27 +455,35 @@ runPipelineParallel(TraceSource &source,
                            obs::Counter *lane_records,
                            obs::Counter *lane_batches) {
         std::vector<Batch> pending(shards);
-        for (auto &p : pending)
-            p.reserve(options.batch_size);
         Batch batch;
         batch.reserve(options.batch_size);
-        while (input.nextBatch(batch, options.batch_size)) {
+        while (input.nextColumns(batch, options.batch_size)) {
             if (lane_records) {
                 lane_records->add(batch.size());
                 lane_batches->increment();
             }
             if (order_lane) {
-                order_lane->queue(k).push(batch); // copy: full stream
+                // Copy before the run partition below is built, so the
+                // in-order lane's copy carries no cached indices.
+                order_lane->queue(k).push(batch);
                 order_lane->noteDepth();
             }
-            for (const IoRequest &req : batch) {
-                std::size_t s = mix64(req.volume) % shards;
-                pending[s].push_back(req);
+            // Scatter whole volume runs: one shard hash and one bulk
+            // gather-append per volume per batch, instead of per
+            // request. A volume's rows stay in arrival order inside
+            // each appended run and runs from successive source
+            // batches append in time order, so every shard still sees
+            // each of its volumes in timestamp order.
+            const auto &runs = batch.volumeRuns();
+            const std::uint32_t *order = batch.order().data();
+            for (const auto &run : runs) {
+                std::size_t s = mix64(run.volume) % shards;
+                pending[s].appendRows(batch, order + run.begin,
+                                      run.end - run.begin);
                 if (pending[s].size() >= options.batch_size) {
                     workers[s]->queue(k).push(std::move(pending[s]));
                     workers[s]->noteDepth();
                     pending[s] = Batch();
-                    pending[s].reserve(options.batch_size);
                 }
             }
         }

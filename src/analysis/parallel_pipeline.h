@@ -53,6 +53,16 @@ struct ParallelOptions
     /** Requests per scatter batch (amortizes queue synchronization). */
     std::size_t batch_size = 4096;
 
+    /**
+     * Columnar execution (the default): ingest via nextColumns into
+     * SoA RequestBatches, scatter whole volume runs per batch (one
+     * shard hash per run instead of per request), and dispatch
+     * consumeColumns on the workers, engaging the hot analyzers'
+     * kernels. Off = workers materialize rows and dispatch the legacy
+     * consumeBatch. Results are byte-identical either way.
+     */
+    bool columnar = true;
+
     /** Bounded capacity of each shard queue, in batches. Together with
      *  batch_size this caps buffered memory at roughly
      *  shards * queue_batches * batch_size * sizeof(IoRequest). */

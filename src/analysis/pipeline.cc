@@ -3,19 +3,15 @@
 #include "obs/metrics.h"
 
 namespace cbs {
+namespace {
 
-void
-runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
-            obs::MetricsRegistry *metrics)
+/** Per-analyzer timing sinks, registered once up front; empty when
+ *  observability is off, so the hot loop pays only this emptiness
+ *  check per batch. */
+std::vector<obs::Histogram *>
+batchTimings(const std::vector<Analyzer *> &analyzers,
+             obs::MetricsRegistry *metrics)
 {
-    // Pull batches rather than single requests: one virtual call per
-    // ~1k records instead of per record, and sources with real
-    // nextBatch implementations parse in bulk.
-    constexpr std::size_t kBatch = 1024;
-
-    // Per-analyzer timing sinks, registered once up front; empty when
-    // observability is off, so the hot loop pays only this emptiness
-    // check per batch.
     std::vector<obs::Histogram *> timings;
     if (metrics) {
         timings.reserve(analyzers.size());
@@ -23,23 +19,13 @@ runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
             timings.push_back(&metrics->histogram(
                 "analyzer." + analyzer->name() + ".batch_ns"));
     }
+    return timings;
+}
 
-    std::vector<IoRequest> batch;
-    batch.reserve(kBatch);
-    while (source.nextBatch(batch, kBatch)) {
-        std::span<const IoRequest> span(batch);
-        if (timings.empty()) {
-            for (Analyzer *analyzer : analyzers)
-                analyzer->consumeBatch(span);
-        } else {
-            // Timed variant: each histogram sample is one analyzer's
-            // cost over one batch (two clock reads per ~1k requests).
-            for (std::size_t i = 0; i < analyzers.size(); ++i) {
-                obs::ScopedTimer timer(timings[i]);
-                analyzers[i]->consumeBatch(span);
-            }
-        }
-    }
+void
+finalizeAll(const std::vector<Analyzer *> &analyzers,
+            obs::MetricsRegistry *metrics)
+{
     for (Analyzer *analyzer : analyzers) {
         obs::ScopedTimer timer(
             nullptr, metrics ? &metrics->counter("analyzer." +
@@ -48,6 +34,65 @@ runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
                              : nullptr);
         analyzer->finalize();
     }
+}
+
+} // namespace
+
+void
+runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
+            const PipelineOptions &options)
+{
+    // Pull batches rather than single requests: one virtual call per
+    // batch instead of per record, and sources with real batch
+    // implementations parse in bulk.
+    std::size_t batch_records =
+        options.batch_records ? options.batch_records : 4096;
+    obs::MetricsRegistry *metrics = options.metrics;
+    std::vector<obs::Histogram *> timings =
+        batchTimings(analyzers, metrics);
+
+    if (options.columnar) {
+        RequestBatch batch;
+        batch.reserve(batch_records);
+        while (source.nextColumns(batch, batch_records)) {
+            if (timings.empty()) {
+                for (Analyzer *analyzer : analyzers)
+                    analyzer->consumeColumns(batch);
+            } else {
+                // Timed variant: each histogram sample is one
+                // analyzer's cost over one batch.
+                for (std::size_t i = 0; i < analyzers.size(); ++i) {
+                    obs::ScopedTimer timer(timings[i]);
+                    analyzers[i]->consumeColumns(batch);
+                }
+            }
+        }
+    } else {
+        std::vector<IoRequest> batch;
+        batch.reserve(batch_records);
+        while (source.nextBatch(batch, batch_records)) {
+            std::span<const IoRequest> span(batch);
+            if (timings.empty()) {
+                for (Analyzer *analyzer : analyzers)
+                    analyzer->consumeBatch(span);
+            } else {
+                for (std::size_t i = 0; i < analyzers.size(); ++i) {
+                    obs::ScopedTimer timer(timings[i]);
+                    analyzers[i]->consumeBatch(span);
+                }
+            }
+        }
+    }
+    finalizeAll(analyzers, metrics);
+}
+
+void
+runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
+            obs::MetricsRegistry *metrics)
+{
+    PipelineOptions options;
+    options.metrics = metrics;
+    runPipeline(source, analyzers, options);
 }
 
 } // namespace cbs

@@ -31,24 +31,70 @@ TemporalPairsAnalyzer::TemporalPairsAnalyzer(std::uint64_t block_size)
 void
 TemporalPairsAnalyzer::consume(const IoRequest &req)
 {
-    forEachBlock(req, block_size_, [&](BlockNo block) {
-        std::uint64_t &state = last_[blockKey(req.volume, block)];
-        if (state != 0) {
-            bool prev_was_write = state & kOpBit;
-            TimeUs prev_time = (state & ~kOpBit) - 1;
-            CBS_EXPECT(req.timestamp >= prev_time,
-                       "trace not timestamp-ordered");
-            TimeUs elapsed = req.timestamp - prev_time;
-            PairKind kind;
-            if (req.isRead())
-                kind = prev_was_write ? PairKind::RAW : PairKind::RAR;
-            else
-                kind = prev_was_write ? PairKind::WAW : PairKind::WAR;
-            hists_[static_cast<std::size_t>(kind)].add(elapsed);
+    std::uint64_t next =
+        (req.timestamp + 1) |
+        (req.isWrite() ? kOpBit : std::uint64_t{0});
+    last_.forEachState(
+        req.volume, req.firstBlock(block_size_),
+        req.lastBlock(block_size_), [&](std::uint64_t &state) {
+            if (state != 0) {
+                bool prev_was_write = state & kOpBit;
+                TimeUs prev_time = (state & ~kOpBit) - 1;
+                CBS_EXPECT(req.timestamp >= prev_time,
+                           "trace not timestamp-ordered");
+                TimeUs elapsed = req.timestamp - prev_time;
+                PairKind kind;
+                if (req.isRead())
+                    kind =
+                        prev_was_write ? PairKind::RAW : PairKind::RAR;
+                else
+                    kind =
+                        prev_was_write ? PairKind::WAW : PairKind::WAR;
+                hists_[static_cast<std::size_t>(kind)].add(elapsed);
+            }
+            state = next;
+        });
+}
+
+void
+TemporalPairsAnalyzer::consumeColumns(const RequestBatch &batch)
+{
+    // Volume-major columnar kernel. Safe because all state is keyed
+    // per (volume, block): runs preserve each volume's arrival order,
+    // and blocks of different volumes never alias. Iterating runs
+    // also keeps consecutive probes inside one volume's chunks, and
+    // the chunked map turns each request's block span into one probe
+    // per 16-block chunk instead of one per block.
+    const TimeUs *ts = batch.ts();
+    const std::uint8_t *is_write = batch.isWrite();
+    const std::vector<std::uint32_t> &order = batch.order();
+    for (const RequestBatch::VolumeRun &run : batch.volumeRuns()) {
+        for (std::uint32_t k = run.begin; k < run.end; ++k) {
+            std::uint32_t i = order[k];
+            std::uint64_t next =
+                (ts[i] + 1) |
+                (is_write[i] ? kOpBit : std::uint64_t{0});
+            last_.forEachState(
+                run.volume, batch.firstBlockAt(i, block_size_),
+                batch.lastBlockAt(i, block_size_),
+                [&](std::uint64_t &state) {
+                    std::uint64_t prev = state;
+                    state = next;
+                    if (prev != 0) {
+                        TimeUs prev_time = (prev & ~kOpBit) - 1;
+                        CBS_EXPECT(ts[i] >= prev_time,
+                                   "trace not timestamp-ordered");
+                        // Branchless class index: RAW=0 WAW=1 RAR=2
+                        // WAR=3 is (previous was read) * 2 +
+                        // (current is write).
+                        std::size_t kind =
+                            ((prev & kOpBit) ? 0 : 2) +
+                            ((next & kOpBit) ? 1 : 0);
+                        hists_[kind].add(ts[i] - prev_time);
+                    }
+                });
         }
-        state = (req.timestamp + 1) |
-                (req.isWrite() ? kOpBit : std::uint64_t{0});
-    });
+    }
 }
 
 std::unique_ptr<ShardableAnalyzer>

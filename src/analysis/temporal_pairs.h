@@ -17,7 +17,7 @@
 #include <string>
 
 #include "analysis/analyzer.h"
-#include "common/flat_map.h"
+#include "analysis/block_state_map.h"
 #include "stats/log_histogram.h"
 
 namespace cbs {
@@ -41,6 +41,7 @@ class TemporalPairsAnalyzer : public ShardableAnalyzer
         std::uint64_t block_size = kDefaultBlockSize);
 
     void consume(const IoRequest &req) override;
+    void consumeColumns(const RequestBatch &batch) override;
     std::string name() const override { return "temporal_pairs"; }
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
@@ -59,7 +60,7 @@ class TemporalPairsAnalyzer : public ShardableAnalyzer
     static constexpr std::uint64_t kOpBit = std::uint64_t{1} << 63;
 
     std::uint64_t block_size_;
-    FlatMap<std::uint64_t> last_;
+    BlockStateMap<std::uint64_t> last_;
     std::array<LogHistogram, 4> hists_;
 };
 

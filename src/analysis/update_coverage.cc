@@ -14,25 +14,65 @@ void
 UpdateCoverageAnalyzer::consume(const IoRequest &req)
 {
     VolumeWss &wss = wss_[req.volume];
-    forEachBlock(req, block_size_, [&](BlockNo block) {
-        auto [flags, inserted] =
-            blocks_.tryEmplace(blockKey(req.volume, block));
-        if (inserted) {
-            flags = kTouched;
-            ++wss.total_blocks;
-        }
-        if (req.isWrite()) {
-            if (flags & kWritten) {
-                if (!(flags & kUpdated)) {
-                    flags |= kUpdated;
-                    ++wss.updated_blocks;
-                }
-            } else {
-                flags |= kWritten;
-                ++wss.written_blocks;
+    blocks_.forEachState(
+        req.volume, req.firstBlock(block_size_),
+        req.lastBlock(block_size_), [&](std::uint8_t &flags) {
+            if (flags == 0) { // first touch of this block
+                flags = kTouched;
+                ++wss.total_blocks;
             }
+            if (req.isWrite()) {
+                if (flags & kWritten) {
+                    if (!(flags & kUpdated)) {
+                        flags |= kUpdated;
+                        ++wss.updated_blocks;
+                    }
+                } else {
+                    flags |= kWritten;
+                    ++wss.written_blocks;
+                }
+            }
+        });
+}
+
+void
+UpdateCoverageAnalyzer::consumeColumns(const RequestBatch &batch)
+{
+    // Volume-major kernel: the run's WSS tallies are hoisted out of
+    // the row loop (one dense PerVolume lookup per run instead of one
+    // per touched block), and the chunked map turns each request's
+    // block span into one probe per overlapped chunk. A zero state
+    // means "never touched" — kTouched is set on first touch, so any
+    // touched block's flags are non-zero.
+    const std::uint8_t *is_write = batch.isWrite();
+    const std::vector<std::uint32_t> &order = batch.order();
+    for (const RequestBatch::VolumeRun &run : batch.volumeRuns()) {
+        VolumeWss &wss = wss_[run.volume];
+        for (std::uint32_t k = run.begin; k < run.end; ++k) {
+            std::uint32_t i = order[k];
+            std::uint8_t write = is_write[i];
+            blocks_.forEachState(
+                run.volume, batch.firstBlockAt(i, block_size_),
+                batch.lastBlockAt(i, block_size_),
+                [&](std::uint8_t &flags) {
+                    if (flags == 0) {
+                        flags = kTouched;
+                        ++wss.total_blocks;
+                    }
+                    if (write) {
+                        if (flags & kWritten) {
+                            if (!(flags & kUpdated)) {
+                                flags |= kUpdated;
+                                ++wss.updated_blocks;
+                            }
+                        } else {
+                            flags |= kWritten;
+                            ++wss.written_blocks;
+                        }
+                    }
+                });
         }
-    });
+    }
 }
 
 std::unique_ptr<ShardableAnalyzer>
@@ -48,8 +88,8 @@ UpdateCoverageAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
     CBS_EXPECT(other.block_size_ == block_size_,
                "cannot merge update_coverage shards with different "
                "block sizes");
-    // blockKey embeds the volume, so volume-disjoint shards union
-    // without key conflicts and the per-volume block counts stay exact.
+    // The chunk key embeds the volume, so volume-disjoint shards union
+    // without aliasing and the per-volume block counts stay exact.
     blocks_.mergeFrom(other.blocks_,
                       [](std::uint8_t &own, const std::uint8_t &theirs) {
                           own |= theirs;

@@ -14,8 +14,8 @@
 #include <cstdint>
 
 #include "analysis/analyzer.h"
+#include "analysis/block_state_map.h"
 #include "analysis/per_volume.h"
-#include "common/flat_map.h"
 #include "stats/ecdf.h"
 
 namespace cbs {
@@ -27,6 +27,7 @@ class UpdateCoverageAnalyzer : public ShardableAnalyzer
         std::uint64_t block_size = kDefaultBlockSize);
 
     void consume(const IoRequest &req) override;
+    void consumeColumns(const RequestBatch &batch) override;
     void finalize() override;
     std::string name() const override { return "update_coverage"; }
 
@@ -62,7 +63,7 @@ class UpdateCoverageAnalyzer : public ShardableAnalyzer
     static constexpr std::uint8_t kUpdated = 4;
 
     std::uint64_t block_size_;
-    FlatMap<std::uint8_t> blocks_;
+    BlockStateMap<std::uint8_t> blocks_;
     PerVolume<VolumeWss> wss_;
     Ecdf cdf_;
 };

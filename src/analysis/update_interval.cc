@@ -17,21 +17,63 @@ UpdateIntervalAnalyzer::consume(const IoRequest &req)
 {
     if (!req.isWrite())
         return;
-    forEachBlock(req, block_size_, [&](BlockNo block) {
-        std::uint64_t &state = last_write_[blockKey(req.volume, block)];
-        if (state != 0) {
-            TimeUs prev = state - 1;
-            CBS_EXPECT(req.timestamp >= prev,
-                       "trace not timestamp-ordered");
-            TimeUs interval = req.timestamp - prev;
-            global_.add(interval);
-            auto &hist = volume_hists_[req.volume];
-            if (!hist)
-                hist = std::make_unique<LogHistogram>(5);
-            hist->add(interval);
+    last_write_.forEachState(
+        req.volume, req.firstBlock(block_size_),
+        req.lastBlock(block_size_), [&](std::uint64_t &state) {
+            if (state != 0) {
+                TimeUs prev = state - 1;
+                CBS_EXPECT(req.timestamp >= prev,
+                           "trace not timestamp-ordered");
+                TimeUs interval = req.timestamp - prev;
+                global_.add(interval);
+                auto &hist = volume_hists_[req.volume];
+                if (!hist)
+                    hist = std::make_unique<LogHistogram>(5);
+                hist->add(interval);
+            }
+            state = req.timestamp + 1;
+        });
+}
+
+void
+UpdateIntervalAnalyzer::consumeColumns(const RequestBatch &batch)
+{
+    // Only writes matter here, so the kernel walks the write rows of
+    // each volume run and probes the chunked last-write map once per
+    // overlapped chunk. The run's volume histogram slot is hoisted out
+    // of the row loop; the pointer is still created lazily so a run
+    // with no repeat writes leaves the volume untouched, like the
+    // scalar path (a null slot is invisible to finalize and merges
+    // either way).
+    const TimeUs *ts = batch.ts();
+    const std::uint8_t *is_write = batch.isWrite();
+    const std::vector<std::uint32_t> &order = batch.order();
+    for (const RequestBatch::VolumeRun &run : batch.volumeRuns()) {
+        std::unique_ptr<LogHistogram> &hist =
+            volume_hists_[run.volume];
+        for (std::uint32_t k = run.begin; k < run.end; ++k) {
+            std::uint32_t i = order[k];
+            if (!is_write[i])
+                continue;
+            last_write_.forEachState(
+                run.volume, batch.firstBlockAt(i, block_size_),
+                batch.lastBlockAt(i, block_size_),
+                [&](std::uint64_t &state) {
+                    std::uint64_t prev = state;
+                    state = ts[i] + 1;
+                    if (prev != 0) {
+                        CBS_EXPECT(ts[i] >= prev - 1,
+                                   "trace not timestamp-ordered");
+                        TimeUs interval = ts[i] - (prev - 1);
+                        global_.add(interval);
+                        if (!hist)
+                            hist =
+                                std::make_unique<LogHistogram>(5);
+                        hist->add(interval);
+                    }
+                });
         }
-        state = req.timestamp + 1;
-    });
+    }
 }
 
 std::unique_ptr<ShardableAnalyzer>

@@ -19,8 +19,8 @@
 #include <memory>
 
 #include "analysis/analyzer.h"
+#include "analysis/block_state_map.h"
 #include "analysis/per_volume.h"
-#include "common/flat_map.h"
 #include "stats/boxplot.h"
 #include "stats/exact_quantiles.h"
 #include "stats/log_histogram.h"
@@ -42,6 +42,7 @@ class UpdateIntervalAnalyzer : public ShardableAnalyzer
         std::uint64_t block_size = kDefaultBlockSize);
 
     void consume(const IoRequest &req) override;
+    void consumeColumns(const RequestBatch &batch) override;
     void finalize() override;
     std::string name() const override { return "update_interval"; }
 
@@ -69,7 +70,7 @@ class UpdateIntervalAnalyzer : public ShardableAnalyzer
 
   private:
     std::uint64_t block_size_;
-    FlatMap<std::uint64_t> last_write_; //!< timestamp+1; 0 = unwritten
+    BlockStateMap<std::uint64_t> last_write_; //!< ts+1; 0 = unwritten
     PerVolume<std::unique_ptr<LogHistogram>> volume_hists_;
     LogHistogram global_;
     std::array<ExactQuantiles, 5> percentile_groups_;

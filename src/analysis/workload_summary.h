@@ -71,6 +71,16 @@ class WorkloadSummary
         runPipeline(source, analyzerSet(std::move(extra)), metrics);
     }
 
+    /** Serial sweep with explicit pipeline tuning (batch size,
+     *  columnar vs row dispatch). Results are identical to run() —
+     *  the knobs trade only speed. */
+    void
+    run(TraceSource &source, const PipelineOptions &pipeline,
+        std::vector<Analyzer *> extra = {})
+    {
+        runPipeline(source, analyzerSet(std::move(extra)), pipeline);
+    }
+
     /** Same sweep, but sharded across worker threads; shardable
      *  analyzers run on per-shard replicas, the rest on the in-order
      *  lane, so results match the serial run() exactly. Attach a

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SIMD feature detection and the few vector helpers the columnar
+ * kernels use. Explicit SIMD is opt-in twice over: the CBS_ENABLE_SIMD
+ * CMake option must be ON (the default) *and* the target must expose
+ * SSE2 or NEON. Every helper has a scalar fallback that is always
+ * compiled, and every vector path computes bit-identical results to its
+ * scalar twin — SIMD here is a throughput knob, never a semantics knob,
+ * so `cbs.summary.v1` output is unchanged by the toggle.
+ */
+
+#ifndef CBS_COMMON_SIMD_H
+#define CBS_COMMON_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(CBS_ENABLE_SIMD) && CBS_ENABLE_SIMD
+#if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define CBS_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define CBS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace cbs {
+
+/** Human-readable name of the active SIMD path (for bench metadata). */
+inline const char *
+simdVariant()
+{
+#if defined(CBS_SIMD_SSE2)
+    return "sse2";
+#elif defined(CBS_SIMD_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+/**
+ * Sum @p n bytes whose values are all 0 or 1 (an op bitmask column).
+ * Used to count writes in one pass without a per-record branch.
+ */
+inline std::uint64_t
+sumBytes01(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+#if defined(CBS_SIMD_SSE2)
+    __m128i acc = _mm_setzero_si128();
+    const __m128i zero = _mm_setzero_si128();
+    for (; i + 16 <= n; i += 16) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(p + i));
+        // Sum-of-absolute-differences against zero adds 8 bytes into
+        // each 64-bit half; values are 0/1 so no overflow is possible.
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(v, zero));
+    }
+    total += static_cast<std::uint64_t>(_mm_cvtsi128_si64(acc));
+    total += static_cast<std::uint64_t>(
+        _mm_cvtsi128_si64(_mm_srli_si128(acc, 8)));
+#elif defined(CBS_SIMD_NEON)
+    for (; i + 16 <= n; i += 16) {
+        uint8x16_t v = vld1q_u8(p + i);
+        total += vaddlvq_u8(v); // widening sum of 16 0/1 bytes
+    }
+#endif
+    for (; i < n; ++i)
+        total += p[i];
+    return total;
+}
+
+/**
+ * Block-range computation over offset/length columns: writes
+ * first[i] = offset[i] >> shift and last[i] = (offset[i] +
+ * max(length[i],1) - 1) >> shift, with last == first when length is 0
+ * (matching IoRequest::lastBlock). @p shift is log2 of the block size.
+ */
+inline void
+blockRangeColumns(const std::uint64_t *offset, const std::uint32_t *length,
+                  std::uint64_t *first, std::uint64_t *last,
+                  std::size_t n, unsigned shift)
+{
+    std::size_t i = 0;
+#if defined(CBS_SIMD_SSE2)
+    const __m128i vshift = _mm_cvtsi32_si128(static_cast<int>(shift));
+    const __m128i one = _mm_set1_epi64x(1);
+    const __m128i zero = _mm_setzero_si128();
+    for (; i + 2 <= n; i += 2) {
+        __m128i off = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(offset + i));
+        __m128i len = _mm_set_epi64x(
+            static_cast<long long>(length[i + 1]),
+            static_cast<long long>(length[i]));
+        __m128i fb = _mm_srl_epi64(off, vshift);
+        __m128i lb = _mm_srl_epi64(
+            _mm_sub_epi64(_mm_add_epi64(off, len), one), vshift);
+        // 64-bit "length == 0" mask from two 32-bit compares (SSE2 has
+        // no cmpeq_epi64): both halves of a lane must compare equal.
+        __m128i m32 = _mm_cmpeq_epi32(len, zero);
+        __m128i m64 = _mm_and_si128(
+            m32, _mm_shuffle_epi32(m32, _MM_SHUFFLE(2, 3, 0, 1)));
+        lb = _mm_or_si128(_mm_and_si128(m64, fb),
+                          _mm_andnot_si128(m64, lb));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(first + i), fb);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(last + i), lb);
+    }
+#elif defined(CBS_SIMD_NEON)
+    const int64x2_t nshift = vdupq_n_s64(-static_cast<std::int64_t>(shift));
+    const uint64x2_t one = vdupq_n_u64(1);
+    const uint64x2_t zero = vdupq_n_u64(0);
+    for (; i + 2 <= n; i += 2) {
+        uint64x2_t off = vld1q_u64(offset + i);
+        uint64x2_t len = {static_cast<std::uint64_t>(length[i]),
+                          static_cast<std::uint64_t>(length[i + 1])};
+        uint64x2_t fb = vshlq_u64(off, nshift);
+        uint64x2_t lb =
+            vshlq_u64(vsubq_u64(vaddq_u64(off, len), one), nshift);
+        lb = vbslq_u64(vceqq_u64(len, zero), fb, lb);
+        vst1q_u64(first + i, fb);
+        vst1q_u64(last + i, lb);
+    }
+#endif
+    for (; i < n; ++i) {
+        std::uint64_t fb = offset[i] >> shift;
+        first[i] = fb;
+        last[i] = length[i]
+                      ? (offset[i] + length[i] - 1) >> shift
+                      : fb;
+    }
+}
+
+} // namespace cbs
+
+#endif // CBS_COMMON_SIMD_H

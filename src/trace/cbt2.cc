@@ -673,11 +673,52 @@ Cbt2Reader::openChunk(std::size_t index)
     return false;
 }
 
+namespace {
+
+/** fillInto sink producing IoRequest rows (the legacy batch path). */
+struct RowSink
+{
+    std::vector<IoRequest> &out;
+    std::size_t size() const { return out.size(); }
+    void reserve(std::size_t n) { out.reserve(n); }
+    void
+    push(TimeUs ts, ByteOffset off, std::uint32_t len, VolumeId vol,
+         bool is_write)
+    {
+        out.push_back(IoRequest{ts, off, len, vol,
+                                is_write ? Op::Write : Op::Read});
+    }
+};
+
+/** fillInto sink appending straight to RequestBatch columns. */
+struct ColumnSink
+{
+    RequestBatch &out;
+    std::size_t size() const { return out.size(); }
+    void reserve(std::size_t n) { out.reserve(n); }
+    void
+    push(TimeUs ts, ByteOffset off, std::uint32_t len, VolumeId vol,
+         bool is_write)
+    {
+        out.append(ts, off, len, vol, is_write);
+    }
+};
+
+} // namespace
+
 void
 Cbt2Reader::fillBatch(std::vector<IoRequest> &out, std::size_t target)
 {
-    out.reserve(target);
-    while (out.size() < target) {
+    RowSink sink{out};
+    fillInto(sink, target);
+}
+
+template <typename Sink>
+void
+Cbt2Reader::fillInto(Sink &sink, std::size_t target)
+{
+    sink.reserve(target);
+    while (sink.size() < target) {
         if (!cursor_) {
             if (next_chunk_ >= end_chunk_)
                 return;
@@ -691,7 +732,7 @@ Cbt2Reader::fillBatch(std::vector<IoRequest> &out, std::size_t target)
         }
         ChunkCursor &c = *cursor_;
         bool torn = false;
-        while (out.size() < target && c.remaining) {
+        while (sink.size() < target && c.remaining) {
             std::uint64_t dts = 0, vidx = 0, zoff = 0, len = 0;
             if (!readVarint(c.ts_p, c.ts_end, dts) ||
                 !readVarint(c.vol_p, c.vol_end, vidx) ||
@@ -706,33 +747,28 @@ Cbt2Reader::fillBatch(std::vector<IoRequest> &out, std::size_t target)
             // bases (both zero by construction, so this is uniform).
             c.prev_ts += dts;
             c.prev_off += zigzagDecode(zoff);
-            IoRequest req;
-            req.timestamp = c.prev_ts;
-            req.offset = c.prev_off;
-            req.length = static_cast<std::uint32_t>(len);
-            req.volume = getU32(c.dict + std::size_t{vidx} * 4);
-            req.op = (c.op_bits[c.record_index >> 3] >>
-                      (c.record_index & 7)) &
-                             1
-                         ? Op::Write
-                         : Op::Read;
+            VolumeId volume = getU32(c.dict + std::size_t{vidx} * 4);
+            bool is_write = (c.op_bits[c.record_index >> 3] >>
+                             (c.record_index & 7)) &
+                            1;
             ++c.record_index;
             --c.remaining;
-            if (req.timestamp >= options_.max_time) {
+            if (c.prev_ts >= options_.max_time) {
                 // The stream is globally time-ordered, so nothing
                 // after this record can fall inside the window.
                 cursor_.reset();
                 next_chunk_ = end_chunk_;
                 return;
             }
-            if (req.timestamp < options_.min_time)
+            if (c.prev_ts < options_.min_time)
                 continue;
             if (!options_.volumes.empty() &&
                 !std::binary_search(options_.volumes.begin(),
-                                    options_.volumes.end(),
-                                    req.volume))
+                                    options_.volumes.end(), volume))
                 continue;
-            out.push_back(req);
+            sink.push(c.prev_ts, c.prev_off,
+                      static_cast<std::uint32_t>(len), volume,
+                      is_write);
             ++produced_;
         }
         if (torn) {
@@ -774,6 +810,24 @@ Cbt2Reader::nextBatchImpl(std::vector<IoRequest> &out,
         lookahead_pos_ = 0;
     }
     fillBatch(out, max_requests);
+    return out.size();
+}
+
+std::size_t
+Cbt2Reader::nextColumnsImpl(RequestBatch &out, std::size_t max_requests)
+{
+    out.clear();
+    // Drain any rows the next() adapter buffered before decoding the
+    // remaining chunk columns straight into the batch columns.
+    while (lookahead_pos_ < lookahead_.size() &&
+           out.size() < max_requests)
+        out.append(lookahead_[lookahead_pos_++]);
+    if (lookahead_pos_ >= lookahead_.size()) {
+        lookahead_.clear();
+        lookahead_pos_ = 0;
+    }
+    ColumnSink sink{out};
+    fillInto(sink, max_requests);
     return out.size();
 }
 

@@ -178,6 +178,11 @@ class Cbt2Reader : public TraceSource, public SplittableSource
     std::size_t nextBatchImpl(std::vector<IoRequest> &out,
                               std::size_t max_requests) override;
 
+    /** Columnar-native decode: chunk columns stream straight into the
+     *  RequestBatch columns, no IoRequest round-trip. */
+    std::size_t nextColumnsImpl(RequestBatch &out,
+                                std::size_t max_requests) override;
+
   private:
     struct Image;      //!< shared mmap/heap file image + parsed footer
     struct ChunkCursor; //!< incremental decode state of one chunk
@@ -190,6 +195,12 @@ class Cbt2Reader : public TraceSource, public SplittableSource
     bool chunkSelected(std::size_t index) const;
     bool openChunk(std::size_t index);
     void fillBatch(std::vector<IoRequest> &out, std::size_t target);
+
+    /** Shared decode loop behind fillBatch (row sink) and
+     *  nextColumnsImpl (column sink); Sink provides size() and
+     *  push(ts, offset, length, volume, is_write). */
+    template <typename Sink>
+    void fillInto(Sink &sink, std::size_t target);
 
     std::shared_ptr<const Image> image_;
     Cbt2ReadOptions options_;

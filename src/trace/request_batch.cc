@@ -1,0 +1,159 @@
+#include "trace/request_batch.h"
+
+#include <bit>
+
+#include "common/flat_map.h"
+#include "common/simd.h"
+
+namespace cbs {
+
+static_assert((kDefaultBlockSize & (kDefaultBlockSize - 1)) == 0,
+              "the precomputed block columns rely on a power-of-two "
+              "default block size");
+
+namespace {
+constexpr unsigned kBlockShift =
+    std::countr_zero(std::uint64_t{kDefaultBlockSize});
+} // namespace
+
+void
+RequestBatch::clear()
+{
+    ts_.clear();
+    offset_.clear();
+    length_.clear();
+    volume_.clear();
+    is_write_.clear();
+    first_block_.clear();
+    last_block_.clear();
+    blocks_done_ = 0;
+    invalidate();
+}
+
+void
+RequestBatch::reserve(std::size_t rows)
+{
+    ts_.reserve(rows);
+    offset_.reserve(rows);
+    length_.reserve(rows);
+    volume_.reserve(rows);
+    is_write_.reserve(rows);
+    first_block_.reserve(rows);
+    last_block_.reserve(rows);
+}
+
+void
+RequestBatch::assignRows(std::span<const IoRequest> rows)
+{
+    clear();
+    reserve(rows.size());
+    for (const IoRequest &req : rows)
+        append(req);
+    finishBlocks();
+}
+
+void
+RequestBatch::appendRows(const RequestBatch &src,
+                         const std::uint32_t *indices, std::size_t count)
+{
+    CBS_EXPECT(src.blocksFinished() && blocksFinished(),
+               "appendRows needs finished block columns on both sides");
+    std::size_t base = size();
+    reserve(base + count);
+    for (std::size_t k = 0; k < count; ++k) {
+        std::uint32_t i = indices[k];
+        ts_.push_back(src.ts_[i]);
+        offset_.push_back(src.offset_[i]);
+        length_.push_back(src.length_[i]);
+        volume_.push_back(src.volume_[i]);
+        is_write_.push_back(src.is_write_[i]);
+        first_block_.push_back(src.first_block_[i]);
+        last_block_.push_back(src.last_block_[i]);
+    }
+    blocks_done_ = size();
+    invalidate();
+}
+
+void
+RequestBatch::finishBlocks()
+{
+    std::size_t n = size();
+    if (blocks_done_ == n)
+        return;
+    first_block_.resize(n);
+    last_block_.resize(n);
+    blockRangeColumns(offset_.data() + blocks_done_,
+                      length_.data() + blocks_done_,
+                      first_block_.data() + blocks_done_,
+                      last_block_.data() + blocks_done_,
+                      n - blocks_done_, kBlockShift);
+    blocks_done_ = n;
+}
+
+const std::vector<IoRequest> &
+RequestBatch::rowsMaterialized() const
+{
+    if (rows_cache_.size() != size()) {
+        rows_cache_.clear();
+        rows_cache_.reserve(size());
+        for (std::size_t i = 0; i < size(); ++i)
+            rows_cache_.push_back(row(i));
+    }
+    return rows_cache_;
+}
+
+const std::vector<RequestBatch::VolumeRun> &
+RequestBatch::volumeRuns() const
+{
+    if (!partitioned_)
+        buildPartition();
+    return runs_;
+}
+
+const std::vector<std::uint32_t> &
+RequestBatch::order() const
+{
+    if (!partitioned_)
+        buildPartition();
+    return order_;
+}
+
+void
+RequestBatch::buildPartition() const
+{
+    std::size_t n = size();
+    runs_.clear();
+    order_.resize(n);
+
+    // Counting-sort by volume in two passes: assign each distinct
+    // volume a dense run id in first-arrival order and count its rows,
+    // then prefix-sum the counts into run extents and scatter row
+    // indices. O(n) plus one small-map probe per row; stable within
+    // each volume by construction.
+    FlatMap<std::uint32_t> run_of(64);
+    std::vector<std::uint32_t> row_run(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto [run_id, inserted] = run_of.tryEmplace(volume_[i]);
+        if (inserted) {
+            run_id = static_cast<std::uint32_t>(runs_.size());
+            runs_.push_back(VolumeRun{volume_[i], 0, 0});
+        }
+        row_run[i] = run_id;
+        ++runs_[run_id].end; // row count, for now
+    }
+    std::uint32_t offset = 0;
+    for (VolumeRun &run : runs_) {
+        std::uint32_t count = run.end;
+        run.begin = offset;
+        run.end = offset + count;
+        offset += count;
+    }
+    std::vector<std::uint32_t> cursor(runs_.size());
+    for (std::size_t r = 0; r < runs_.size(); ++r)
+        cursor[r] = runs_[r].begin;
+    for (std::size_t i = 0; i < n; ++i)
+        order_[cursor[row_run[i]]++] = static_cast<std::uint32_t>(i);
+    partitioned_ = true;
+}
+
+} // namespace cbs

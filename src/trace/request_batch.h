@@ -1,0 +1,191 @@
+/**
+ * @file
+ * RequestBatch: a structure-of-arrays batch of IoRequests — the unit of
+ * the columnar execution path.
+ *
+ * Where std::vector<IoRequest> interleaves every field of every record,
+ * RequestBatch keeps one contiguous column per field (timestamp,
+ * offset, length, volume, op) plus a precomputed first/last-block
+ * column at kDefaultBlockSize, so analyzer kernels stream exactly the
+ * columns they touch and the compiler can vectorize the tally loops
+ * (see Analyzer::consumeColumns and docs/adding-an-analyzer.md).
+ *
+ * volumeRuns() adds the second columnar trick: a stable radix partition
+ * of the batch's row indices by volume, so per-volume analyzers walk
+ * each volume's rows as one run — per-volume state is fetched once per
+ * run instead of once per row, and same-volume FlatMap probes stop
+ * interleaving with other volumes'. The partition is *stable*: within a
+ * volume, rows keep their arrival (timestamp) order, which is the only
+ * order the per-volume analyzers rely on. It is computed lazily and
+ * cached per batch; a batch is owned by exactly one thread at a time
+ * (pipeline batches hop threads by move), so the lazy build is safe.
+ *
+ * Ordering contract: rows 0..size()-1 are in arrival order. Consuming
+ * rows volume-major (run by run) preserves per-volume and per-block
+ * timestamp order but not the global cross-volume order — exactly the
+ * guarantee the ShardableAnalyzer contract already demands, which is
+ * why kernels may iterate runs while order-dependent analyzers keep the
+ * default row-order path.
+ */
+
+#ifndef CBS_TRACE_REQUEST_BATCH_H
+#define CBS_TRACE_REQUEST_BATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "trace/request.h"
+
+namespace cbs {
+
+class RequestBatch
+{
+  public:
+    /** One volume's contiguous index run after partitioning: rows
+     *  order()[begin..end) all belong to @p volume, in arrival order.
+     *  Runs appear in first-arrival order of their volumes. */
+    struct VolumeRun
+    {
+        VolumeId volume = 0;
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0;
+    };
+
+    std::size_t size() const { return ts_.size(); }
+    bool empty() const { return ts_.empty(); }
+
+    /** Drop all rows, keeping capacity (batches are recycled). */
+    void clear();
+
+    void reserve(std::size_t rows);
+
+    /** Append one row's raw columns (block columns lag until
+     *  finishBlocks(); the nextColumns front door calls it). */
+    void
+    append(TimeUs timestamp, ByteOffset offset, std::uint32_t length,
+           VolumeId volume, bool is_write)
+    {
+        ts_.push_back(timestamp);
+        offset_.push_back(offset);
+        length_.push_back(length);
+        volume_.push_back(volume);
+        is_write_.push_back(is_write ? 1 : 0);
+        invalidate();
+    }
+
+    void
+    append(const IoRequest &req)
+    {
+        append(req.timestamp, req.offset, req.length, req.volume,
+               req.isWrite());
+    }
+
+    /** Replace the contents with a transposed copy of @p rows (the
+     *  shim every row-oriented TraceSource gets for free). */
+    void assignRows(std::span<const IoRequest> rows);
+
+    /**
+     * Gather-append @p count rows of @p src selected by @p indices
+     * (typically one VolumeRun's slice of src.order()). Copies the
+     * precomputed block columns too, so @p src must be finished.
+     */
+    void appendRows(const RequestBatch &src,
+                    const std::uint32_t *indices, std::size_t count);
+
+    /** Compute the first/last-block columns for any rows appended
+     *  since the last call (SIMD when enabled; see common/simd.h).
+     *  Idempotent. */
+    void finishBlocks();
+
+    /** True when the block columns cover every row. */
+    bool blocksFinished() const { return blocks_done_ == size(); }
+
+    // ---- column access ----
+
+    const TimeUs *ts() const { return ts_.data(); }
+    const ByteOffset *offset() const { return offset_.data(); }
+    const std::uint32_t *length() const { return length_.data(); }
+    const VolumeId *volume() const { return volume_.data(); }
+    /** 1 = write, 0 = read; a branchless op bitmask column. */
+    const std::uint8_t *isWrite() const { return is_write_.data(); }
+
+    /** First block of row @p i at block size @p bs: the precomputed
+     *  column when bs == kDefaultBlockSize, else two integer ops. */
+    BlockNo
+    firstBlockAt(std::size_t i, std::uint64_t bs) const
+    {
+        if (bs == kDefaultBlockSize)
+            return first_block_[i];
+        return offset_[i] / bs;
+    }
+
+    BlockNo
+    lastBlockAt(std::size_t i, std::uint64_t bs) const
+    {
+        if (bs == kDefaultBlockSize)
+            return last_block_[i];
+        if (length_[i] == 0)
+            return offset_[i] / bs;
+        return (offset_[i] + length_[i] - 1) / bs;
+    }
+
+    /** Materialize row @p i as an IoRequest. */
+    IoRequest
+    row(std::size_t i) const
+    {
+        return IoRequest{ts_[i], offset_[i], length_[i], volume_[i],
+                         is_write_[i] ? Op::Write : Op::Read};
+    }
+
+    /**
+     * All rows as IoRequests, in arrival order, materialized once and
+     * cached — the default Analyzer::consumeColumns feeds this to
+     * consumeBatch so every analyzer without a columnar kernel keeps
+     * its existing row fast path, and N such analyzers share one
+     * transpose per batch.
+     */
+    const std::vector<IoRequest> &rowsMaterialized() const;
+
+    // ---- volume partition ----
+
+    /**
+     * Stable radix partition of row indices by volume (lazy, cached).
+     * Iterate runs, then order()[k] for k in [run.begin, run.end).
+     */
+    const std::vector<VolumeRun> &volumeRuns() const;
+
+    /** Row-index permutation backing volumeRuns(). */
+    const std::vector<std::uint32_t> &order() const;
+
+  private:
+    void
+    invalidate()
+    {
+        partitioned_ = false;
+        rows_cache_.clear();
+    }
+
+    void buildPartition() const;
+
+    std::vector<TimeUs> ts_;
+    std::vector<ByteOffset> offset_;
+    std::vector<std::uint32_t> length_;
+    std::vector<VolumeId> volume_;
+    std::vector<std::uint8_t> is_write_;
+    std::vector<BlockNo> first_block_;
+    std::vector<BlockNo> last_block_;
+    std::size_t blocks_done_ = 0;
+
+    // Lazy per-batch caches; a batch is single-owner, so no locking.
+    mutable std::vector<std::uint32_t> order_;
+    mutable std::vector<VolumeRun> runs_;
+    mutable bool partitioned_ = false;
+    mutable std::vector<IoRequest> rows_cache_;
+};
+
+} // namespace cbs
+
+#endif // CBS_TRACE_REQUEST_BATCH_H

@@ -40,6 +40,7 @@
 #include "obs/metrics.h"
 #include "trace/error_policy.h"
 #include "trace/request.h"
+#include "trace/request_batch.h"
 
 namespace cbs {
 
@@ -69,6 +70,27 @@ class TraceSource
     nextBatch(std::vector<IoRequest> &out, std::size_t max_requests)
     {
         std::size_t n = nextBatchImpl(out, max_requests);
+        if (ingest_ && n)
+            ingest_->note(out);
+        return n;
+    }
+
+    /**
+     * Produce up to @p max_requests requests in timestamp order as a
+     * columnar RequestBatch — the batched form the columnar pipelines
+     * use. Clears @p out and refills it via nextColumnsImpl(); the
+     * default shim transposes nextBatchImpl()'s rows, so every source
+     * speaks both APIs, while columnar-native sources (Cbt2Reader)
+     * override the hook and fill the columns with no IoRequest
+     * round-trip. The returned batch always has finished block
+     * columns. Accounting matches nextBatch(): same counters, same
+     * `<prefix>.*` family.
+     */
+    std::size_t
+    nextColumns(RequestBatch &out, std::size_t max_requests)
+    {
+        std::size_t n = nextColumnsImpl(out, max_requests);
+        out.finishBlocks();
         if (ingest_ && n)
             ingest_->note(out);
         return n;
@@ -171,6 +193,22 @@ class TraceSource
     }
 
     /**
+     * The columnar hook nextColumns() delegates to. The base
+     * implementation is the row-to-column transpose shim over
+     * nextBatchImpl(); sources whose storage is already columnar
+     * override it to fill @p out directly (and may leave the block
+     * columns unfinished — the front door finishes them).
+     */
+    virtual std::size_t
+    nextColumnsImpl(RequestBatch &out, std::size_t max_requests)
+    {
+        std::size_t n = nextBatchImpl(row_scratch_, max_requests);
+        out.assignRows(
+            std::span<const IoRequest>(row_scratch_.data(), n));
+        return n;
+    }
+
+    /**
      * Report one unparseable record from a reader's error path.
      *
      * @param reason  diagnostic naming the position and defect (the
@@ -270,12 +308,26 @@ class TraceSource
             batches->increment();
             batch_records->record(batch.size());
         }
+
+        void
+        note(const RequestBatch &batch) const
+        {
+            std::uint64_t byte_total = 0;
+            const std::uint32_t *length = batch.length();
+            for (std::size_t i = 0, n = batch.size(); i < n; ++i)
+                byte_total += length[i];
+            records->add(batch.size());
+            bytes->add(byte_total);
+            batches->increment();
+            batch_records->record(batch.size());
+        }
     };
 
     // shared_ptr: split() partitions share the parent's counters so
     // multi-lane ingestion still aggregates into one metric family.
     std::shared_ptr<IngestMetrics> ingest_;
     std::unique_ptr<ErrorPolicyState> policy_;
+    std::vector<IoRequest> row_scratch_; //!< transpose-shim buffer
 };
 
 /**
@@ -386,6 +438,20 @@ class VectorSource : public TraceSource, public SplittableSource
             std::min(max_requests, requests_.size() - pos_);
         out.assign(requests_.begin() + pos_,
                    requests_.begin() + pos_ + n);
+        pos_ += n;
+        return n;
+    }
+
+    std::size_t
+    nextColumnsImpl(RequestBatch &out,
+                    std::size_t max_requests) override
+    {
+        // Transpose straight from the backing vector: no intermediate
+        // row copy.
+        std::size_t n =
+            std::min(max_requests, requests_.size() - pos_);
+        out.assignRows(
+            std::span<const IoRequest>(requests_.data() + pos_, n));
         pos_ += n;
         return n;
     }

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * ColumnarParity: every analyzer's consumeColumns path must produce
+ * exactly the results of the row-at-a-time consume path — on skewed,
+ * uniform, and sequential streams, through odd batch framings, and
+ * despite the kernels consuming rows volume-major (partitioned) rather
+ * than in row order. The WorkloadSummary JSON byte-equality checks at
+ * the end are the integration version of the same contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/basic_stats.h"
+#include "analysis/block_traffic.h"
+#include "analysis/interarrival.h"
+#include "analysis/temporal_pairs.h"
+#include "analysis/update_coverage.h"
+#include "analysis/update_interval.h"
+#include "analysis/workload_summary.h"
+#include "trace/request_batch.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+using test::req;
+
+/** Deterministic 64-bit mixer (no <random> so streams never shift). */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Interleaved multi-volume stream. @p pick maps a mixed random word to
+ * a byte offset, so the three stream shapes share one skeleton:
+ * volumes interleave (exercising the run partition), timestamps
+ * strictly ascend globally, lengths cycle through zero-length,
+ * sub-block, and multi-block requests.
+ */
+template <typename Pick>
+std::vector<IoRequest>
+makeStream(std::size_t n, Pick pick)
+{
+    std::vector<IoRequest> rows;
+    rows.reserve(n);
+    TimeUs ts = 1000;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t r = mix(i);
+        VolumeId volume = static_cast<VolumeId>(r % 7);
+        Op op = (r >> 8) % 10 < 6 ? Op::Write : Op::Read;
+        std::uint32_t length;
+        switch ((r >> 16) % 8) {
+          case 0:
+            length = 0;
+            break;
+          case 1:
+          case 2:
+            length = 512;
+            break;
+          case 3:
+          case 4:
+          case 5:
+            length = 4096;
+            break;
+          default:
+            length = 4096 * ((r >> 24) % 16 + 2); // multi-block
+        }
+        rows.push_back(
+            req(ts, op, pick(r, volume), length, volume));
+        ts += (r >> 32) % 50; // repeats allowed: zero gaps occur
+    }
+    return rows;
+}
+
+/** Zipf-ish: most traffic lands on a small hot set of blocks. */
+std::vector<IoRequest>
+zipfStream(std::size_t n = 6000)
+{
+    return makeStream(n, [](std::uint64_t r, VolumeId) {
+        std::uint64_t hot = (r >> 40) % 100;
+        std::uint64_t block =
+            hot < 80 ? (r >> 48) % 32 : (r >> 48) % 4096;
+        return block * 4096;
+    });
+}
+
+/** Uniform over a wide address space. */
+std::vector<IoRequest>
+uniformStream(std::size_t n = 6000)
+{
+    return makeStream(n, [](std::uint64_t r, VolumeId) {
+        return ((r >> 40) % (1 << 16)) * 4096;
+    });
+}
+
+/** Sequential scan per volume (offsets march forward). */
+std::vector<IoRequest>
+scanStream(std::size_t n = 6000)
+{
+    std::vector<std::uint64_t> cursor(7, 0);
+    return makeStream(n, [cursor](std::uint64_t r,
+                                  VolumeId volume) mutable {
+        cursor[volume] += 4096 + (r >> 40) % 8192;
+        return cursor[volume];
+    });
+}
+
+std::vector<std::vector<IoRequest>>
+allStreams()
+{
+    return {zipfStream(), uniformStream(), scanStream()};
+}
+
+/**
+ * Feed @p scalar row by row and @p columnar through odd-sized
+ * RequestBatches (so batch boundaries never align with volume or
+ * block patterns), then finalize both. The comparison runs in @p check.
+ */
+template <typename T, typename Check>
+void
+expectParity(const std::vector<IoRequest> &rows, T &scalar,
+             T &columnar, Check check)
+{
+    for (const IoRequest &r : rows)
+        scalar.consume(r);
+    RequestBatch batch;
+    for (std::size_t pos = 0; pos < rows.size(); pos += 333) {
+        std::size_t n = std::min<std::size_t>(333, rows.size() - pos);
+        batch.assignRows(std::span<const IoRequest>(
+            rows.data() + pos, n));
+        columnar.consumeColumns(batch);
+    }
+    scalar.finalize();
+    columnar.finalize();
+    check(scalar, columnar);
+}
+
+void
+expectHistEqual(const LogHistogram &a, const LogHistogram &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    if (a.empty() || b.empty())
+        return;
+    EXPECT_EQ(a.minValue(), b.minValue());
+    EXPECT_EQ(a.maxValue(), b.maxValue());
+    EXPECT_EQ(a.mean(), b.mean());
+    for (double q : {0.25, 0.5, 0.75, 0.9, 0.99})
+        EXPECT_EQ(a.quantile(q), b.quantile(q));
+}
+
+void
+expectQuantilesEqual(const ExactQuantiles &a, const ExactQuantiles &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    if (a.empty() || b.empty())
+        return;
+    for (double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(ColumnarParity, BasicStats)
+{
+    for (const auto &rows : allStreams()) {
+        BasicStatsAnalyzer scalar, columnar;
+        expectParity(rows, scalar, columnar,
+                     [](BasicStatsAnalyzer &a, BasicStatsAnalyzer &b) {
+                         const BasicStats &s = a.stats();
+                         const BasicStats &c = b.stats();
+                         EXPECT_EQ(s.volumes, c.volumes);
+                         EXPECT_EQ(s.reads, c.reads);
+                         EXPECT_EQ(s.writes, c.writes);
+                         EXPECT_EQ(s.read_bytes, c.read_bytes);
+                         EXPECT_EQ(s.write_bytes, c.write_bytes);
+                         EXPECT_EQ(s.update_bytes, c.update_bytes);
+                         EXPECT_EQ(s.total_wss_bytes,
+                                   c.total_wss_bytes);
+                         EXPECT_EQ(s.read_wss_bytes,
+                                   c.read_wss_bytes);
+                         EXPECT_EQ(s.write_wss_bytes,
+                                   c.write_wss_bytes);
+                         EXPECT_EQ(s.update_wss_bytes,
+                                   c.update_wss_bytes);
+                         EXPECT_EQ(s.first_timestamp,
+                                   c.first_timestamp);
+                         EXPECT_EQ(s.last_timestamp,
+                                   c.last_timestamp);
+                     });
+    }
+}
+
+TEST(ColumnarParity, TemporalPairs)
+{
+    for (const auto &rows : allStreams()) {
+        TemporalPairsAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](TemporalPairsAnalyzer &a, TemporalPairsAnalyzer &b) {
+                for (PairKind kind :
+                     {PairKind::RAW, PairKind::WAW, PairKind::RAR,
+                      PairKind::WAR}) {
+                    EXPECT_EQ(a.count(kind), b.count(kind))
+                        << pairKindName(kind);
+                    expectHistEqual(a.times(kind), b.times(kind));
+                }
+            });
+    }
+}
+
+TEST(ColumnarParity, UpdateInterval)
+{
+    for (const auto &rows : allStreams()) {
+        UpdateIntervalAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](UpdateIntervalAnalyzer &a, UpdateIntervalAnalyzer &b) {
+                expectHistEqual(a.global(), b.global());
+                for (std::size_t i = 0;
+                     i < a.percentileGroups().size(); ++i)
+                    expectQuantilesEqual(a.percentileGroups()[i],
+                                         b.percentileGroups()[i]);
+                for (std::size_t i = 0; i < a.durationGroups().size();
+                     ++i)
+                    expectQuantilesEqual(a.durationGroups()[i],
+                                         b.durationGroups()[i]);
+            });
+    }
+}
+
+TEST(ColumnarParity, BlockTraffic)
+{
+    for (const auto &rows : allStreams()) {
+        BlockTrafficAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](BlockTrafficAnalyzer &a, BlockTrafficAnalyzer &b) {
+                EXPECT_EQ(a.overallReadToReadMostly(),
+                          b.overallReadToReadMostly());
+                EXPECT_EQ(a.overallWriteToWriteMostly(),
+                          b.overallWriteToWriteMostly());
+                expectQuantilesEqual(a.readTop1(), b.readTop1());
+                expectQuantilesEqual(a.readTop10(), b.readTop10());
+                expectQuantilesEqual(a.writeTop1(), b.writeTop1());
+                expectQuantilesEqual(a.writeTop10(), b.writeTop10());
+            });
+    }
+}
+
+TEST(ColumnarParity, UpdateCoverage)
+{
+    for (const auto &rows : allStreams()) {
+        UpdateCoverageAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](UpdateCoverageAnalyzer &a, UpdateCoverageAnalyzer &b) {
+                EXPECT_EQ(a.coverage().count(), b.coverage().count());
+                const auto &wa = a.volumeWss();
+                const auto &wb = b.volumeWss();
+                ASSERT_EQ(wa.size(), wb.size());
+                for (VolumeId v = 0; v < wa.size(); ++v) {
+                    EXPECT_EQ(wa.at(v).total_blocks,
+                              wb.at(v).total_blocks);
+                    EXPECT_EQ(wa.at(v).written_blocks,
+                              wb.at(v).written_blocks);
+                    EXPECT_EQ(wa.at(v).updated_blocks,
+                              wb.at(v).updated_blocks);
+                }
+            });
+    }
+}
+
+TEST(ColumnarParity, Interarrival)
+{
+    for (const auto &rows : allStreams()) {
+        InterarrivalAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](InterarrivalAnalyzer &a, InterarrivalAnalyzer &b) {
+                expectHistEqual(a.global(), b.global());
+                for (std::size_t i = 0; i < a.groups().size(); ++i)
+                    expectQuantilesEqual(a.groups()[i],
+                                         b.groups()[i]);
+            });
+    }
+}
+
+/**
+ * Order-sensitivity check: the kernels consume rows volume-major, not
+ * in row order. For the analyzers whose math depends on per-volume or
+ * per-block orderings (temporal_pairs, update_interval, interarrival),
+ * verify explicitly that a batch whose partitioned order differs from
+ * its row order still reproduces the row-order results — i.e. the
+ * reordering the kernels apply is exactly the reordering their state
+ * spaces tolerate.
+ */
+TEST(ColumnarParity, PartitionReorderingIsInvisible)
+{
+    // Two volumes strictly alternating: partitioned order (all of
+    // volume 0, then all of volume 1) maximally differs from row
+    // order.
+    std::vector<IoRequest> rows;
+    TimeUs ts = 10;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        VolumeId volume = i % 2;
+        Op op = (i / 2) % 3 == 0 ? Op::Read : Op::Write;
+        std::uint64_t offset = ((i / 2) % 64) * 4096;
+        rows.push_back(req(ts, op, offset, 4096, volume));
+        ts += i % 7;
+    }
+    RequestBatch probe;
+    probe.assignRows(rows);
+    ASSERT_EQ(probe.volumeRuns().size(), 2u);
+    ASSERT_NE(probe.order()[1], 1u); // partition really reorders
+
+    {
+        TemporalPairsAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](TemporalPairsAnalyzer &a, TemporalPairsAnalyzer &b) {
+                for (PairKind kind :
+                     {PairKind::RAW, PairKind::WAW, PairKind::RAR,
+                      PairKind::WAR}) {
+                    EXPECT_EQ(a.count(kind), b.count(kind));
+                    expectHistEqual(a.times(kind), b.times(kind));
+                }
+            });
+    }
+    {
+        UpdateIntervalAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](UpdateIntervalAnalyzer &a, UpdateIntervalAnalyzer &b) {
+                expectHistEqual(a.global(), b.global());
+            });
+    }
+    {
+        InterarrivalAnalyzer scalar, columnar;
+        expectParity(
+            rows, scalar, columnar,
+            [](InterarrivalAnalyzer &a, InterarrivalAnalyzer &b) {
+                expectHistEqual(a.global(), b.global());
+            });
+    }
+}
+
+/** The integration contract: the full summary JSON is byte-identical
+ *  across scalar/columnar dispatch, batch sizes, and thread counts. */
+TEST(ColumnarParity, SummaryJsonByteIdentical)
+{
+    std::vector<IoRequest> rows = zipfStream(8000);
+
+    auto summarize = [&](bool columnar, std::size_t batch_records,
+                         std::size_t threads) {
+        VectorSource source(rows);
+        WorkloadSummary summary;
+        if (threads == 0) {
+            PipelineOptions options;
+            options.columnar = columnar;
+            options.batch_records = batch_records;
+            summary.run(source, options);
+        } else {
+            ParallelOptions options;
+            options.columnar = columnar;
+            options.batch_size = batch_records;
+            options.shards = threads;
+            summary.run(source, options);
+        }
+        std::ostringstream out;
+        summary.writeJson(out);
+        return out.str();
+    };
+
+    std::string baseline = summarize(false, 4096, 0);
+    EXPECT_EQ(baseline, summarize(true, 4096, 0));
+    EXPECT_EQ(baseline, summarize(true, 1024, 0));
+    EXPECT_EQ(baseline, summarize(true, 257, 0));
+    EXPECT_EQ(baseline, summarize(false, 257, 0));
+    EXPECT_EQ(baseline, summarize(true, 4096, 2));
+    EXPECT_EQ(baseline, summarize(true, 513, 3));
+    EXPECT_EQ(baseline, summarize(false, 4096, 2));
+}
+
+} // namespace
+} // namespace cbs

@@ -4,8 +4,11 @@
 # in all three encodings (and once multi-lane over cbt2): every
 # --summary-json must be byte-identical. The on-disk encoding and the
 # ingestion strategy are implementation details; the characterization
-# is the contract. Invoked via: cmake -DCBS_TOOL=... -DWORK_DIR=...
-# -P this script.
+# is the contract. The same holds for the execution strategy — the
+# columnar kernels, the scalar row path, and any batch granularity
+# must agree byte-for-byte, so the csv trace is re-analyzed with
+# --scalar and with off-default --batch-records too. Invoked via:
+# cmake -DCBS_TOOL=... -DWORK_DIR=... -P this script.
 
 foreach(var CBS_TOOL WORK_DIR)
     if(NOT DEFINED ${var})
@@ -54,7 +57,17 @@ analyze("${WORK_DIR}/format_golden.cbt2"
         "${WORK_DIR}/format_cbt2_lanes.json"
         --threads 4 --ingest-lanes 4)
 
-foreach(other bin cbt2 cbt2_lanes)
+# Execution-strategy variants over the same csv input.
+analyze("${csv}" "${WORK_DIR}/format_scalar.json" --scalar)
+analyze("${csv}" "${WORK_DIR}/format_batch257.json"
+        --batch-records 257)
+analyze("${csv}" "${WORK_DIR}/format_scalar_batch.json" --scalar
+        --batch-records 1000)
+analyze("${csv}" "${WORK_DIR}/format_threads_scalar.json" --threads 2
+        --scalar)
+
+foreach(other bin cbt2 cbt2_lanes scalar batch257 scalar_batch
+        threads_scalar)
     execute_process(
         COMMAND "${CMAKE_COMMAND}" -E compare_files
                 "${WORK_DIR}/format_csv.json"
@@ -67,4 +80,5 @@ foreach(other bin cbt2 cbt2_lanes)
     endif()
 endforeach()
 
-message(STATUS "summary JSON byte-identical across csv/bin/cbt2 and lanes")
+message(STATUS "summary JSON byte-identical across csv/bin/cbt2, "
+               "lanes, and scalar/columnar batch variants")
