@@ -27,7 +27,12 @@
  * (CacheMissAnalyzer) serially and through runTwoPassParallel at 2, 4,
  * and 8 shards; speedups are relative to the serial row.
  *
- * A fourth section microbenchmarks the replacement-policy substrate:
+ * A fourth section times the snapshot substrate: serializing the full
+ * pre-finalize analyzer bundle to cbs.snapshot.v1 bytes, deserializing
+ * them back, and merging two deserialized bundles — the per-partial
+ * overhead of the emit-partial / merge / resume workflow.
+ *
+ * A fifth section microbenchmarks the replacement-policy substrate:
  * raw access() throughput of the slab-allocated LRU/ARC/LFU against
  * the list-based reference implementations on one Zipf key stream,
  * plus FIFO and CLOCK for context. Speedups are relative to the
@@ -58,12 +63,14 @@
 #include "analysis/temporal_pairs.h"
 #include "analysis/update_coverage.h"
 #include "analysis/update_interval.h"
+#include "analysis/workload_summary.h"
 #include "cache/cache_policy.h"
 #include "cache/reference_policies.h"
 #include "common/format.h"
 #include "common/simd.h"
 #include "obs/metrics.h"
 #include "report/workbench.h"
+#include "snapshot/snapshot.h"
 #include "synth/rng.h"
 #include "synth/zipf.h"
 #include "trace/bin_trace.h"
@@ -465,6 +472,60 @@ main(int argc, char **argv)
         record("cache-shards=" + std::to_string(shards), shards, sec,
                cache_serial);
         rows.back().metrics_json = metrics_json;
+    }
+
+    // Snapshot substrate: encode / decode / merge of the full
+    // pre-finalize bundle state — the fixed per-partial cost the
+    // emit-partial / merge / resume workflow adds on top of analysis.
+    {
+        requests.reset();
+        WorkloadSummary snap_summary;
+        PipelineOptions snap_pipeline;
+        snap_pipeline.batch_records = g_batch_records;
+        snap_pipeline.finalize = false;
+        snap_summary.run(requests, snap_pipeline);
+        SnapshotProvenance provenance{"bench", count, 0, 0};
+        std::vector<unsigned char> bytes =
+            encodeSnapshot(snap_summary, provenance);
+        std::printf("\nsnapshot substrate (cbs.snapshot.v1, %s of "
+                    "state; throughput in trace Mreq represented; "
+                    "speedup vs snapshot-serialize):\n",
+                    formatBytes(bytes.size()).c_str());
+        std::printf("%-20s  %9s  %14s  %7s\n", "config", "time",
+                    "throughput", "speedup");
+        const int reps = 5;
+        auto repeated = [&](auto &&body) {
+            auto start = std::chrono::steady_clock::now();
+            for (int i = 0; i < reps; ++i)
+                body();
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count() /
+                   reps;
+        };
+        double encode_sec = repeated([&] {
+            bytes = encodeSnapshot(snap_summary, provenance);
+        });
+        record("snapshot-serialize", 0, encode_sec, encode_sec);
+        double decode_sec = repeated([&] {
+            WorkloadSummary into;
+            decodeSnapshot(bytes.data(), bytes.size(), "bench", into);
+        });
+        record("snapshot-deserialize", 0, decode_sec, encode_sec);
+        // Merge cost alone: fresh decoded operands per rep, clock
+        // running only around mergeFrom.
+        double merge_total = 0.0;
+        for (int i = 0; i < reps; ++i) {
+            WorkloadSummary a, b;
+            decodeSnapshot(bytes.data(), bytes.size(), "bench", a);
+            decodeSnapshot(bytes.data(), bytes.size(), "bench", b);
+            auto start = std::chrono::steady_clock::now();
+            a.mergeFrom(b);
+            merge_total += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+        }
+        record("snapshot-merge", 0, merge_total / reps, encode_sec);
     }
 
     // Replacement-policy substrate: raw access() throughput, slab

@@ -24,6 +24,19 @@
  *       pipeline. Resilience flags
  *       (--error-policy, --max-bad-records, --quarantine-file,
  *       --retry, --degraded-ok) are described in docs/resilience.md.
+ *       Snapshot flags (docs/snapshots.md): --emit-partial stops
+ *       before finalize and writes the analyzer state as a
+ *       cbs.snapshot.v1 file; --resume-from preloads a snapshot and
+ *       skips the records it already consumed; --checkpoint /
+ *       --checkpoint-every write periodic snapshots during a serial
+ *       run; --max-records caps how many records are analyzed.
+ *
+ *   merge <snapshot>...
+ *       Merge cbs.snapshot.v1 partials (from --emit-partial or
+ *       --checkpoint) into one characterization — byte-identical
+ *       summary JSON to a single run when the partials are
+ *       volume-disjoint or a resumed chain. --emit-partial re-emits
+ *       the merged state as a snapshot instead of finalizing.
  *
  *   convert <in> <out>
  *       Re-encode a trace between formats, streaming (bounded
@@ -31,7 +44,9 @@
  *       from the extension (.csv/.bin/.cbt2) or --out-format. The
  *       read-error policy flags apply to the input side, so a damaged
  *       trace can be converted with the bad records dropped or
- *       quarantined.
+ *       quarantined. --volume-mod M / --volume-residue R keep only
+ *       the volumes with id % M == R, producing the volume-disjoint
+ *       partitions the snapshot merge contract wants.
  *
  *   generate <out.csv|out.bin|out.cbt2>
  *       Write a paper-calibrated synthetic trace; the extension picks
@@ -75,11 +90,13 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "report/table.h"
+#include "snapshot/snapshot.h"
 #include "synth/models.h"
 #include "trace/bin_trace.h"
 #include "trace/cbt2.h"
 #include "trace/csv.h"
 #include "trace/error_policy.h"
+#include "trace/filter.h"
 #include "trace/open.h"
 
 using namespace cbs;
@@ -96,6 +113,8 @@ usage()
         "\n"
         "commands:\n"
         "  analyze <trace>        full workload characterization\n"
+        "  merge <snapshot>...    merge analyzer snapshots "
+        "(--emit-partial output)\n"
         "  convert <in> <out>     re-encode between trace formats\n"
         "  generate <out>         write a synthetic trace\n"
         "  mrc <trace>            miss-ratio curve via SHARDS\n"
@@ -296,6 +315,19 @@ cmdAnalyze(int argc, char **argv)
                 "dump the observability registry as JSON");
     parser.toggle("--progress",
                   "periodic progress line on stderr");
+    parser.flag("--emit-partial", "PATH",
+                "stop before finalize and write the analyzer state as "
+                "a cbs.snapshot.v1 file for 'cbs_tool merge'");
+    parser.flag("--resume-from", "PATH",
+                "preload analyzer state from a snapshot and skip the "
+                "records it already consumed");
+    parser.flag("--max-records", "N",
+                "analyze at most N records (after any resume skip)");
+    parser.flag("--checkpoint", "PATH",
+                "write a snapshot every --checkpoint-every records "
+                "(serial pipeline only)");
+    parser.flag("--checkpoint-every", "N",
+                "records between checkpoints (default 1000000)");
     addPolicyFlags(parser);
     parser.toggle("--degraded-ok",
                   "survive an analyzer failure on one shard");
@@ -305,6 +337,47 @@ cmdAnalyze(int argc, char **argv)
     const std::string &path = parser.positionalAt(0);
     std::uint64_t block = parser.getUint("--block", kDefaultBlockSize);
     std::uint64_t interval_min = parser.getUint("--interval", 10);
+
+    const std::string emit_partial = parser.getString("--emit-partial");
+    const std::string resume_from = parser.getString("--resume-from");
+    const std::string checkpoint_path = parser.getString("--checkpoint");
+    const bool partial_flow = !emit_partial.empty() ||
+                              !resume_from.empty() ||
+                              !checkpoint_path.empty();
+    const bool wants_cache = parser.has("--cache-policy") ||
+                             parser.has("--cache-fractions") ||
+                             parser.has("--cache-block-size");
+    if (partial_flow && wants_cache) {
+        std::fprintf(stderr,
+                     "the snapshot flags (--emit-partial/--resume-from/"
+                     "--checkpoint) do not compose with the two-pass "
+                     "cache simulation\n");
+        return 2;
+    }
+    if (!checkpoint_path.empty() && parser.has("--threads")) {
+        std::fprintf(stderr,
+                     "--checkpoint needs the serial pipeline; drop "
+                     "--threads\n");
+        return 2;
+    }
+    if (parser.has("--checkpoint-every") && checkpoint_path.empty()) {
+        std::fprintf(stderr, "--checkpoint-every needs --checkpoint\n");
+        return 2;
+    }
+    if (!emit_partial.empty() && parser.has("--summary-json")) {
+        std::fprintf(stderr,
+                     "--emit-partial writes pre-finalize state; "
+                     "--summary-json needs finalized results (merge "
+                     "the partials instead)\n");
+        return 2;
+    }
+    if (!resume_from.empty() && parser.has("--ingest-lanes")) {
+        std::fprintf(stderr,
+                     "--resume-from skips a record-count prefix, which "
+                     "does not compose with --ingest-lanes chunk "
+                     "splitting\n");
+        return 2;
+    }
 
     ErrorPolicyOptions policy;
     std::ofstream quarantine;
@@ -357,6 +430,46 @@ cmdAnalyze(int argc, char **argv)
     WorkloadSummary summary(options);
     VolumeClassifier classifier(100, block);
 
+    // Snapshot provenance always reflects what the bundle has seen so
+    // far — cumulative across a resumed chain.
+    auto provenance = [&] {
+        SnapshotProvenance prov;
+        prov.source_id = path;
+        const BasicStats &stats = summary.basic.stats();
+        prov.record_count = stats.requests();
+        prov.first_timestamp = stats.first_timestamp;
+        prov.last_timestamp = stats.last_timestamp;
+        return prov;
+    };
+
+    std::uint64_t resume_skip = 0;
+    if (!resume_from.empty()) {
+        SnapshotInfo info = readSnapshotFile(resume_from, summary);
+        resume_skip = info.provenance.record_count;
+        std::fprintf(stderr,
+                     "resuming from %s: %s records of '%s' already "
+                     "consumed\n",
+                     resume_from.c_str(),
+                     formatCount(resume_skip).c_str(),
+                     info.provenance.source_id.c_str());
+    }
+
+    // Resume and --max-records reshape the record stream; the wrappers
+    // borrow the opened source so its format sniffing, error policy
+    // and metrics stay in charge underneath.
+    std::uint64_t max_records = parser.getUint("--max-records", 0);
+    std::unique_ptr<TraceSource> sliced;
+    if (resume_skip > 0 || max_records > 0) {
+        sliced = std::make_unique<BorrowedSource>(opened->source());
+        if (resume_skip > 0)
+            sliced = std::make_unique<SkipPrefixSource>(
+                std::move(sliced), resume_skip);
+        if (max_records > 0)
+            sliced = std::make_unique<HeadLimitSource>(
+                std::move(sliced), max_records);
+    }
+    TraceSource &run_source = sliced ? *sliced : opened->source();
+
     // Ingest metrics attach after the scan so totals cover the
     // analysis pass only.
     if (want_metrics)
@@ -404,19 +517,47 @@ cmdAnalyze(int argc, char **argv)
                      stage);
         exit_code = 4;
     };
+    // The volume classifier is not part of snapshots (it is not
+    // shardable state), so the snapshot flows run without it.
+    std::vector<Analyzer *> extras;
+    if (!partial_flow)
+        extras.push_back(&classifier);
+
     if (parallel) {
-        reportDegraded(
-            summary.run(opened->source(), *parallel, {&classifier}),
-            "analysis");
+        parallel->finalize = emit_partial.empty();
+        reportDegraded(summary.run(run_source, *parallel, extras),
+                       "analysis");
     } else {
         PipelineOptions serial;
         serial.batch_records = batch_records;
         serial.columnar = columnar;
         serial.metrics = want_metrics ? &registry : nullptr;
-        summary.run(opened->source(), serial, {&classifier});
+        // Checkpoints must capture pre-finalize state, so the
+        // checkpointing run finalizes manually below, after the final
+        // checkpoint is on disk.
+        serial.finalize =
+            emit_partial.empty() && checkpoint_path.empty();
+        if (!checkpoint_path.empty()) {
+            serial.checkpoint_every =
+                parser.getUint("--checkpoint-every", 1000000);
+            serial.checkpoint = [&](std::uint64_t) {
+                writeSnapshotFile(checkpoint_path, summary,
+                                  provenance());
+            };
+        }
+        summary.run(run_source, serial, extras);
     }
     if (reporter)
         reporter->stop();
+    // The final checkpoint covers the whole (possibly capped) run, so
+    // a later --resume-from continues exactly where this run stopped.
+    if (!checkpoint_path.empty()) {
+        writeSnapshotFile(checkpoint_path, summary, provenance());
+        if (emit_partial.empty())
+            for (ShardableAnalyzer *analyzer :
+                 summary.shardableAnalyzers())
+                analyzer->finalize();
+    }
 
     // The cache simulation is the one analysis the single-sweep bundle
     // cannot host (it needs each volume's final WSS before it can size
@@ -460,6 +601,16 @@ cmdAnalyze(int argc, char **argv)
         }
         registry.writeJson(out);
     }
+    if (!emit_partial.empty()) {
+        SnapshotProvenance prov = provenance();
+        writeSnapshotFile(emit_partial, summary, prov);
+        std::printf("wrote partial snapshot %s (%s records of '%s')\n",
+                    emit_partial.c_str(),
+                    formatCount(prov.record_count).c_str(),
+                    prov.source_id.c_str());
+        return exit_code;
+    }
+
     std::string summary_json = parser.getString("--summary-json");
     if (!summary_json.empty()) {
         std::ofstream out(summary_json);
@@ -472,17 +623,105 @@ cmdAnalyze(int argc, char **argv)
     }
     summary.print(std::cout);
 
-    std::printf("\nVolume archetypes (rule-based inference; the traces "
-                "do not record applications):\n");
-    const auto &hist = classifier.histogram();
-    for (std::size_t c = 0; c < kVolumeClassCount; ++c) {
-        if (hist[c] == 0)
-            continue;
-        std::printf("  %-20s %u volumes\n",
-                    volumeClassName(static_cast<VolumeClass>(c)),
-                    hist[c]);
+    if (partial_flow) {
+        std::fprintf(stderr,
+                     "note: volume archetypes are not part of "
+                     "snapshots; table suppressed\n");
+    } else {
+        std::printf("\nVolume archetypes (rule-based inference; the "
+                    "traces do not record applications):\n");
+        const auto &hist = classifier.histogram();
+        for (std::size_t c = 0; c < kVolumeClassCount; ++c) {
+            if (hist[c] == 0)
+                continue;
+            std::printf("  %-20s %u volumes\n",
+                        volumeClassName(static_cast<VolumeClass>(c)),
+                        hist[c]);
+        }
     }
     return exit_code;
+}
+
+// ---------------------------------------------------------------------
+// merge
+// ---------------------------------------------------------------------
+
+int
+cmdMerge(int argc, char **argv)
+{
+    ArgParser parser(
+        "cbs_tool merge",
+        "Merge cbs.snapshot.v1 partials (from analyze --emit-partial "
+        "or --checkpoint) into one characterization. Partials must "
+        "come from volume-disjoint runs, or from a resumed chain, "
+        "with identical analysis configuration.");
+    parser.variadic("snapshot", "partial snapshots to merge");
+    parser.flag("--summary-json", "PATH",
+                "write the merged characterization as deterministic "
+                "JSON");
+    parser.flag("--emit-partial", "PATH",
+                "re-emit the merged pre-finalize state as a snapshot "
+                "instead of finalizing");
+    if (!parser.parse(argc, argv, 2))
+        return parser.exitCode();
+
+    // The first partial fixes the configuration; every later one must
+    // hash to the same analysis config (durations may differ — the
+    // merge keeps the max).
+    const std::string &first_path = parser.positionalAt(0);
+    std::vector<unsigned char> bytes = readSnapshotBytes(first_path);
+    SnapshotInfo first =
+        peekSnapshot(bytes.data(), bytes.size(), first_path);
+    WorkloadSummary merged(first.options);
+    decodeSnapshot(bytes.data(), bytes.size(), first_path, merged);
+    SnapshotProvenance provenance = first.provenance;
+
+    for (std::size_t i = 1; i < parser.positionalCount(); ++i) {
+        const std::string &path = parser.positionalAt(i);
+        bytes = readSnapshotBytes(path);
+        SnapshotInfo info = peekSnapshot(bytes.data(), bytes.size(), path);
+        if (info.config_hash != first.config_hash)
+            throw SnapshotError(
+                "snapshot: " + path +
+                ": analysis configuration differs from " + first_path +
+                " — partials must be produced with identical flags "
+                "(block size, activeness interval, peak window)");
+        WorkloadSummary part(info.options);
+        decodeSnapshot(bytes.data(), bytes.size(), path, part);
+        merged.mergeFrom(part);
+        provenance.combine(info.provenance);
+    }
+
+    std::string emit = parser.getString("--emit-partial");
+    if (!emit.empty()) {
+        writeSnapshotFile(emit, merged, provenance);
+        std::printf("merged %zu partials into %s (%s records of "
+                    "'%s')\n",
+                    parser.positionalCount(), emit.c_str(),
+                    formatCount(provenance.record_count).c_str(),
+                    provenance.source_id.c_str());
+        return 0;
+    }
+
+    for (ShardableAnalyzer *analyzer : merged.shardableAnalyzers())
+        analyzer->finalize();
+
+    std::string summary_json = parser.getString("--summary-json");
+    if (!summary_json.empty()) {
+        std::ofstream out(summary_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         summary_json.c_str());
+            return 1;
+        }
+        merged.writeJson(out);
+    }
+    merged.print(std::cout);
+    std::fprintf(stderr, "merged %zu partials: %s records of '%s'\n",
+                 parser.positionalCount(),
+                 formatCount(provenance.record_count).c_str(),
+                 provenance.source_id.c_str());
+    return 0;
 }
 
 // ---------------------------------------------------------------------
@@ -532,9 +771,19 @@ cmdConvert(int argc, char **argv)
                 "output format: csv|bin|cbt2 (default: extension)");
     parser.flag("--chunk-records", "N",
                 "records per CBT2 chunk (default 16384)");
+    parser.flag("--volume-mod", "M",
+                "keep only volumes with id % M == --volume-residue "
+                "(volume-disjoint partitioning for partial analyses)");
+    parser.flag("--volume-residue", "R",
+                "residue selected by --volume-mod (default 0)");
     addPolicyFlags(parser);
     if (!parser.parse(argc, argv, 2))
         return parser.exitCode();
+
+    if (parser.has("--volume-residue") && !parser.has("--volume-mod")) {
+        std::fprintf(stderr, "--volume-residue needs --volume-mod\n");
+        return 2;
+    }
 
     const std::string &in_path = parser.positionalAt(0);
     const std::string &out_path = parser.positionalAt(1);
@@ -562,6 +811,21 @@ cmdConvert(int argc, char **argv)
     open_options.retry_attempts = retry;
     auto opened = openTraceSource(in_path, open_options);
 
+    std::unique_ptr<TraceSource> filtered;
+    if (parser.has("--volume-mod")) {
+        std::uint64_t mod = parser.getUint("--volume-mod", 0);
+        std::uint64_t residue = parser.getUint("--volume-residue", 0);
+        if (mod == 0 || residue >= mod) {
+            std::fprintf(stderr,
+                         "--volume-mod needs M > 0 and residue < M\n");
+            return 2;
+        }
+        filtered = std::make_unique<VolumeModFilterSource>(
+            std::make_unique<BorrowedSource>(opened->source()), mod,
+            residue);
+    }
+    TraceSource &in_source = filtered ? *filtered : opened->source();
+
     std::ofstream out(out_path, out_format == OutFormat::Csv
                                     ? std::ios::out
                                     : std::ios::binary);
@@ -573,7 +837,7 @@ cmdConvert(int argc, char **argv)
     std::uint64_t count = 0;
     std::vector<IoRequest> batch;
     auto pump = [&](auto &writer) {
-        while (opened->source().nextBatch(batch, 8192) > 0) {
+        while (in_source.nextBatch(batch, 8192) > 0) {
             for (const IoRequest &req : batch)
                 writer.write(req);
             count += batch.size();
@@ -880,6 +1144,8 @@ main(int argc, char **argv)
     try {
         if (command == "analyze")
             return cmdAnalyze(argc, argv);
+        if (command == "merge")
+            return cmdMerge(argc, argv);
         if (command == "convert")
             return cmdConvert(argc, argv);
         if (command == "generate")

@@ -1,6 +1,8 @@
 #include "analysis/activeness.h"
 
+#include <algorithm>
 #include <bit>
+#include <string>
 
 #include "common/error.h"
 
@@ -17,6 +19,15 @@ ActivenessAnalyzer::Bits::set(std::size_t idx)
         return false;
     words[word] |= mask;
     return true;
+}
+
+void
+ActivenessAnalyzer::Bits::merge(const Bits &other)
+{
+    if (other.words.size() > words.size())
+        words.resize(other.words.size(), 0);
+    for (std::size_t w = 0; w < other.words.size(); ++w)
+        words[w] |= other.words[w];
 }
 
 std::size_t
@@ -48,23 +59,101 @@ ActivenessAnalyzer::consume(const IoRequest &req)
                "request at " << req.timestamp
                              << " us beyond the configured duration");
     State &state = states_[req.volume];
-    if (state.bits[kActive].set(idx))
-        ++series_[kActive][idx];
+    state.bits[kActive].set(idx);
     Kind op_kind = req.isRead() ? kReadActive : kWriteActive;
-    if (state.bits[op_kind].set(idx))
-        ++series_[op_kind][idx];
+    state.bits[op_kind].set(idx);
 }
 
 void
 ActivenessAnalyzer::finalize()
 {
+    // Both result families come from the per-volume interval bitmaps:
+    // the per-interval series (one pass summing set bits per index)
+    // and the per-volume active-period CDFs (one popcount per kind).
+    for (auto &series : series_)
+        series.assign(interval_count_, 0);
     for (const State &state : states_) {
         if (!state.bits[kActive].any())
             continue;
-        for (std::size_t kind = 0; kind < 3; ++kind)
-            periods_[kind].add(
-                static_cast<double>(state.bits[kind].popcount()));
+        for (std::size_t kind = 0; kind < 3; ++kind) {
+            const Bits &bits = state.bits[kind];
+            periods_[kind].add(static_cast<double>(bits.popcount()));
+            for (std::size_t w = 0; w < bits.words.size(); ++w) {
+                std::uint64_t word = bits.words[w];
+                while (word) {
+                    std::size_t idx =
+                        w * 64 + static_cast<std::size_t>(
+                                     std::countr_zero(word));
+                    if (idx < interval_count_)
+                        ++series_[kind][idx];
+                    word &= word - 1;
+                }
+            }
+        }
     }
+}
+
+std::unique_ptr<ShardableAnalyzer>
+ActivenessAnalyzer::clone() const
+{
+    return std::make_unique<ActivenessAnalyzer>(
+        interval_, interval_ * static_cast<TimeUs>(interval_count_));
+}
+
+void
+ActivenessAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<ActivenessAnalyzer>(shard);
+    CBS_EXPECT(interval_ == other.interval_,
+               "merging activeness analyzers with different intervals");
+    interval_count_ = std::max(interval_count_, other.interval_count_);
+    states_.mergeFrom(other.states_,
+                      [](State &own, const State &theirs) {
+                          for (std::size_t kind = 0; kind < 3; ++kind)
+                              own.bits[kind].merge(theirs.bits[kind]);
+                      });
+}
+
+void
+ActivenessAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.u64(interval_);
+    sink.vu64(interval_count_);
+    states_.serialize(sink, [](snap::Sink &s, const State &state) {
+        for (const Bits &bits : state.bits) {
+            s.vu64(bits.words.size());
+            for (std::uint64_t word : bits.words)
+                s.u64(word);
+        }
+    });
+}
+
+void
+ActivenessAnalyzer::deserialize(snap::Source &source)
+{
+    TimeUs interval = source.u64();
+    CBS_EXPECT(interval == interval_,
+               "activeness snapshot interval "
+                   << interval << " us != configured " << interval_
+                   << " us");
+    // A partial's duration covers only its slice of the trace; the
+    // receiving analyzer keeps the larger interval count.
+    interval_count_ = std::max(
+        interval_count_,
+        static_cast<std::size_t>(source.vu64()));
+    states_.deserialize(source, [](snap::Source &s, State &state) {
+        for (Bits &bits : state.bits) {
+            std::uint64_t n = s.vu64();
+            if (n > s.remaining() / 8)
+                s.fail("activeness bitmap word count " +
+                       std::to_string(n) +
+                       " exceeds the remaining payload");
+            bits.words.assign(static_cast<std::size_t>(n), 0);
+            for (std::uint64_t &word : bits.words)
+                word = s.u64();
+        }
+    });
+    source.expectEnd();
 }
 
 double

@@ -24,7 +24,7 @@
 
 namespace cbs {
 
-class ActivenessAnalyzer : public Analyzer
+class ActivenessAnalyzer : public ShardableAnalyzer
 {
   public:
     enum Kind : std::size_t
@@ -44,10 +44,20 @@ class ActivenessAnalyzer : public Analyzer
     void finalize() override;
     std::string name() const override { return "activeness"; }
 
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
+
     TimeUs interval() const { return interval_; }
     std::size_t intervalCount() const { return interval_count_; }
 
-    /** Number of volumes of the given kind active per interval. */
+    /**
+     * Number of volumes of the given kind active per interval.
+     * Computed by finalize() from the per-volume interval bitmaps
+     * (kept out of the consume hot path so the bitmaps alone are the
+     * analyzer's mergeable, serializable state).
+     */
     const std::vector<std::uint32_t> &
     seriesOf(Kind kind) const
     {
@@ -77,6 +87,8 @@ class ActivenessAnalyzer : public Analyzer
 
         /** @return true when the bit was newly set. */
         bool set(std::size_t idx);
+        /** OR @p other's bits into this bitmap (shard merge). */
+        void merge(const Bits &other);
         std::size_t popcount() const;
         bool any() const { return !words.empty(); }
     };

@@ -9,24 +9,27 @@
  *
  * A ShardableAnalyzer additionally supports the sharded parallel
  * pipeline (analysis/parallel_pipeline.h): its state can be replicated
- * per shard with clone() and recombined with mergeFrom(). Nearly every
- * analyzer in the library qualifies, because the paper's metrics are
- * keyed by volume and the parallel pipeline shards the stream by
- * volume; analyzers whose results depend on the globally time-ordered
- * cross-volume stream (volume_activity's aggregate series, activeness,
- * the two-pass cache simulation) stay plain Analyzers and run on the
+ * per shard with clone() and recombined with mergeFrom(), and the same
+ * pre-finalize state round-trips through the versioned snapshot format
+ * (src/snapshot/) via serialize()/deserialize(). Every analyzer in the
+ * paper's bundle qualifies, because its metrics are keyed per volume
+ * or per block; only analyzers whose results depend on the globally
+ * time-ordered cross-volume stream (the volume classifier, the
+ * two-pass cache simulation) stay plain Analyzers and run on the
  * pipeline's in-order lane instead.
  */
 
 #ifndef CBS_ANALYSIS_ANALYZER_H
 #define CBS_ANALYSIS_ANALYZER_H
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "snapshot/wire.h"
 #include "trace/trace_source.h"
 
 namespace cbs {
@@ -98,7 +101,13 @@ class Analyzer
  *    and the replica itself is never finalized;
  *  - after merging all replicas, finalize() produces results
  *    identical to a serial pass over the whole trace (provided the
- *    shards partitioned requests by volume).
+ *    shards partitioned requests by volume);
+ *  - serialize(sink) writes the same pre-finalize state to a snapshot
+ *    section and deserialize(source) restores it into a fresh clone,
+ *    such that save/load/mergeFrom is indistinguishable from
+ *    mergeFrom on the live replica. Serialization must be
+ *    deterministic: hash-map state is emitted in sorted key order so
+ *    snapshot bytes are stable across runs and thread counts.
  */
 class ShardableAnalyzer : public Analyzer
 {
@@ -111,6 +120,38 @@ class ShardableAnalyzer : public Analyzer
      * analyzer. @p shard must be the same concrete type.
      */
     virtual void mergeFrom(const ShardableAnalyzer &shard) = 0;
+
+    /**
+     * Write this analyzer's full pre-finalize state (including its
+     * configuration, for mismatch diagnostics) to @p sink in a
+     * deterministic byte order. The default panics: analyzers outside
+     * the snapshot bundle (test doubles, the cache passes) don't
+     * participate until they implement the pair.
+     */
+    virtual void
+    serialize(snap::Sink &sink) const
+    {
+        (void)sink;
+        CBS_PANIC("analyzer " << name()
+                              << " does not implement snapshot "
+                                 "serialization");
+    }
+
+    /**
+     * Restore state previously written by serialize() on an analyzer
+     * with the same configuration. Throws SnapshotError (via
+     * Source::fail) on malformed payloads and FatalError on
+     * configuration mismatch; must never crash or partially apply a
+     * corrupt payload in a way that is silently reported as success.
+     */
+    virtual void
+    deserialize(snap::Source &source)
+    {
+        (void)source;
+        CBS_PANIC("analyzer " << name()
+                              << " does not implement snapshot "
+                                 "deserialization");
+    }
 };
 
 /** Checked downcast used by mergeFrom implementations. */
@@ -143,6 +184,24 @@ struct PipelineOptions
     /** Optional observability sink (same keys as the legacy entry
      *  point below). */
     obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Run finalize() after the last batch (the default). Snapshot
+     * emission (--emit-partial) turns this off: partials carry
+     * pre-finalize state, and some analyzers' finalize() consumes
+     * working state, so a to-be-serialized bundle must not finalize.
+     */
+    bool finalize = true;
+
+    /**
+     * Checkpoint hook: when set with a positive checkpoint_every, the
+     * serial pipeline invokes it between batches each time another
+     * checkpoint_every requests have been consumed, passing the total
+     * consumed so far. The bundle is quiescent (no batch in flight,
+     * not finalized) during the call, so the hook may serialize it.
+     */
+    std::uint64_t checkpoint_every = 0;
+    std::function<void(std::uint64_t)> checkpoint;
 };
 
 /**

@@ -59,6 +59,62 @@ BasicStatsAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+BasicStatsAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.vu64(block_size_);
+    sink.vu64(stats_.volumes);
+    sink.vu64(stats_.reads);
+    sink.vu64(stats_.writes);
+    sink.vu64(stats_.read_bytes);
+    sink.vu64(stats_.write_bytes);
+    sink.vu64(stats_.update_bytes);
+    sink.vu64(stats_.total_wss_bytes);
+    sink.vu64(stats_.read_wss_bytes);
+    sink.vu64(stats_.write_wss_bytes);
+    sink.vu64(stats_.update_wss_bytes);
+    sink.u64(stats_.first_timestamp);
+    sink.u64(stats_.last_timestamp);
+    sink.u8(any_ ? 1 : 0);
+    seen_volume_.serialize(sink, [](snap::Sink &s, std::uint8_t seen) {
+        s.u8(seen);
+    });
+    blocks_.serialize(sink, [](snap::Sink &s, std::uint8_t flags) {
+        s.u8(flags);
+    });
+}
+
+void
+BasicStatsAnalyzer::deserialize(snap::Source &source)
+{
+    std::uint64_t block_size = source.vu64();
+    CBS_EXPECT(block_size == block_size_,
+               "basic_stats snapshot block size "
+                   << block_size << " != configured " << block_size_);
+    stats_.volumes = source.vu64();
+    stats_.reads = source.vu64();
+    stats_.writes = source.vu64();
+    stats_.read_bytes = source.vu64();
+    stats_.write_bytes = source.vu64();
+    stats_.update_bytes = source.vu64();
+    stats_.total_wss_bytes = source.vu64();
+    stats_.read_wss_bytes = source.vu64();
+    stats_.write_wss_bytes = source.vu64();
+    stats_.update_wss_bytes = source.vu64();
+    stats_.first_timestamp = source.u64();
+    stats_.last_timestamp = source.u64();
+    any_ = source.u8() != 0;
+    seen_volume_.deserialize(source,
+                             [](snap::Source &s, std::uint8_t &seen) {
+                                 seen = s.u8();
+                             });
+    blocks_.deserialize(source,
+                        [](snap::Source &s, std::uint8_t &flags) {
+                            flags = s.u8();
+                        });
+    source.expectEnd();
+}
+
+void
 BasicStatsAnalyzer::consumeBatch(std::span<const IoRequest> batch)
 {
     // One virtual call per batch; the qualified calls below devirtualize.

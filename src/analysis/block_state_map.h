@@ -34,8 +34,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/flat_map.h"
+#include "snapshot/wire.h"
 #include "trace/request.h"
 
 namespace cbs {
@@ -127,6 +130,56 @@ class BlockStateMap
 
     /** Number of resident chunks (sizing/diagnostics). */
     std::size_t chunkCount() const { return map_.size(); }
+
+    /**
+     * Snapshot helper: chunk count, then per chunk its key followed by
+     * write_state(sink, state) for all kChunkBlocks states. Chunks are
+     * emitted in ascending key order — FlatMap iteration order depends
+     * on hash layout, so sorting here is what makes snapshot bytes
+     * identical across runs and thread counts.
+     */
+    template <typename WriteState>
+    void
+    serialize(snap::Sink &sink, WriteState &&write_state) const
+    {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(map_.size());
+        map_.forEach([&](std::uint64_t key, const Chunk &) {
+            keys.push_back(key);
+        });
+        std::sort(keys.begin(), keys.end());
+        sink.vu64(keys.size());
+        for (std::uint64_t key : keys) {
+            sink.vu64(key);
+            const Chunk &chunk = *map_.find(key);
+            for (BlockNo i = 0; i < kChunkBlocks; ++i)
+                write_state(sink, chunk.states[i]);
+        }
+    }
+
+    /** Restore a serialize()d map, replacing the current contents;
+     *  read_state(source, state) fills each state in block order. */
+    template <typename ReadState>
+    void
+    deserialize(snap::Source &source, ReadState &&read_state)
+    {
+        std::uint64_t n = source.vu64();
+        // Each chunk costs at least 1 + kChunkBlocks bytes on the wire.
+        if (n > source.remaining() / (1 + kChunkBlocks))
+            source.fail("block-state chunk count " + std::to_string(n) +
+                        " exceeds the remaining payload");
+        map_ = FlatMap<Chunk>(static_cast<std::size_t>(n));
+        std::uint64_t prev = 0;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            std::uint64_t key = source.vu64();
+            if (k && key <= prev)
+                source.fail("block-state chunk keys out of order");
+            prev = key;
+            Chunk &chunk = map_[key];
+            for (BlockNo i = 0; i < kChunkBlocks; ++i)
+                read_state(source, chunk.states[i]);
+        }
+    }
 
   private:
     // The chunk index keeps blockKey()'s 44-bit block domain, minus

@@ -99,6 +99,39 @@ BlockTrafficAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+BlockTrafficAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.vu64(block_size_);
+    sink.f64(mostly_threshold_);
+    sink.vu64(total_read_units_);
+    sink.vu64(total_write_units_);
+    blocks_.serialize(sink, [](snap::Sink &s, const Traffic &traffic) {
+        s.vu64(traffic.read_units);
+        s.vu64(traffic.write_units);
+    });
+}
+
+void
+BlockTrafficAnalyzer::deserialize(snap::Source &source)
+{
+    std::uint64_t block_size = source.vu64();
+    double mostly_threshold = source.f64();
+    CBS_EXPECT(block_size == block_size_ &&
+                   mostly_threshold == mostly_threshold_,
+               "block_traffic snapshot configuration (block size "
+                   << block_size << ", threshold " << mostly_threshold
+                   << ") != configured (" << block_size_ << ", "
+                   << mostly_threshold_ << ")");
+    total_read_units_ = source.vu64();
+    total_write_units_ = source.vu64();
+    blocks_.deserialize(source, [](snap::Source &s, Traffic &traffic) {
+        traffic.read_units = s.vu64();
+        traffic.write_units = s.vu64();
+    });
+    source.expectEnd();
+}
+
+void
 BlockTrafficAnalyzer::finalize()
 {
     // Group per-block tallies by volume.

@@ -94,6 +94,36 @@ InterarrivalAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+InterarrivalAnalyzer::serialize(snap::Sink &sink) const
+{
+    global_.serialize(sink);
+    states_.serialize(sink, [](snap::Sink &s, const State &state) {
+        s.u64(state.last);
+        s.u8(state.touched ? 1 : 0);
+        s.u8(state.hist ? 1 : 0);
+        if (state.hist)
+            state.hist->serialize(s);
+    });
+}
+
+void
+InterarrivalAnalyzer::deserialize(snap::Source &source)
+{
+    global_.deserialize(source);
+    states_.deserialize(source, [](snap::Source &s, State &state) {
+        state.last = s.u64();
+        state.touched = s.u8() != 0;
+        if (s.u8()) {
+            state.hist = std::make_unique<LogHistogram>(5);
+            state.hist->deserialize(s);
+        } else {
+            state.hist.reset();
+        }
+    });
+    source.expectEnd();
+}
+
+void
 InterarrivalAnalyzer::finalize()
 {
     for (const State &state : states_) {

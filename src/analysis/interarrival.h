@@ -39,6 +39,8 @@ class InterarrivalAnalyzer : public ShardableAnalyzer
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
     void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /**
      * Per-volume percentile values (µs) gathered across volumes;

@@ -127,6 +127,74 @@ LoadIntensityAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+LoadIntensityAnalyzer::serialize(snap::Sink &sink) const
+{
+    auto writeState = [](snap::Sink &s, const State &state) {
+        s.vu64(state.stats.requests);
+        s.u64(state.stats.first);
+        s.u64(state.stats.last);
+        s.vu64(state.stats.peak_window_count);
+        s.vu64(state.window_index);
+        s.vu64(state.window_count);
+        s.u8(state.touched ? 1 : 0);
+    };
+    sink.u64(peak_window_);
+    states_.serialize(sink, writeState);
+    writeState(sink, overall_state_);
+    // FlatMap iteration order depends on hash layout; emit the window
+    // counts sorted by window index for byte-stable snapshots.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> windows;
+    windows.reserve(overall_windows_.size());
+    overall_windows_.forEach(
+        [&](std::uint64_t window, const std::uint64_t &count) {
+            windows.emplace_back(window, count);
+        });
+    std::sort(windows.begin(), windows.end());
+    sink.vu64(windows.size());
+    for (const auto &[window, count] : windows) {
+        sink.vu64(window);
+        sink.vu64(count);
+    }
+}
+
+void
+LoadIntensityAnalyzer::deserialize(snap::Source &source)
+{
+    auto readState = [](snap::Source &s, State &state) {
+        state.stats.requests = s.vu64();
+        state.stats.first = s.u64();
+        state.stats.last = s.u64();
+        state.stats.peak_window_count = s.vu64();
+        state.window_index = s.vu64();
+        state.window_count = s.vu64();
+        state.touched = s.u8() != 0;
+    };
+    TimeUs peak_window = source.u64();
+    CBS_EXPECT(peak_window == peak_window_,
+               "load_intensity snapshot peak window "
+                   << peak_window << " us != configured "
+                   << peak_window_ << " us");
+    states_.deserialize(source, readState);
+    readState(source, overall_state_);
+    std::uint64_t n = source.vu64();
+    if (n > source.remaining() / 2)
+        source.fail("load_intensity window count " +
+                    std::to_string(n) +
+                    " exceeds the remaining payload");
+    overall_windows_ = FlatMap<std::uint64_t>(
+        static_cast<std::size_t>(n));
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t window = source.vu64();
+        if (i && window <= prev)
+            source.fail("load_intensity window indices out of order");
+        prev = window;
+        overall_windows_[window] = source.vu64();
+    }
+    source.expectEnd();
+}
+
+void
 LoadIntensityAnalyzer::finalize()
 {
     flushOverallWindow();

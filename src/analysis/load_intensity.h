@@ -71,6 +71,8 @@ class LoadIntensityAnalyzer : public ShardableAnalyzer
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
     void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     TimeUs peakWindow() const { return peak_window_; }
 

@@ -601,6 +601,8 @@ runPipelineParallel(TraceSource &source,
                     shardable[i]->mergeFrom(*replicas[s][i]);
     }
     for (Analyzer *analyzer : analyzers) {
+        if (!options.finalize)
+            break; // snapshot emission: keep pre-finalize state
         obs::ScopedTimer timer(
             nullptr, metrics ? &metrics->counter("analyzer." +
                                                  analyzer->name() +

@@ -127,6 +127,14 @@ struct ParallelOptions
      * only, never in analysis results.
      */
     std::uint64_t watchdog_stall_ms = 0;
+
+    /**
+     * Run finalize() after the replica merge (the default). Snapshot
+     * emission (--emit-partial) turns this off: the merged bundle is
+     * serialized pre-finalize, exactly what mergeFrom expects on the
+     * other side. The merge itself always runs.
+     */
+    bool finalize = true;
 };
 
 /** Terminal state of one pipeline lane. */

@@ -14,6 +14,7 @@
 
 #include "common/error.h"
 #include "common/units.h"
+#include "snapshot/wire.h"
 
 namespace cbs {
 
@@ -73,6 +74,36 @@ class PerVolume
             data_.resize(other.data_.size());
         for (std::size_t i = 0; i < other.data_.size(); ++i)
             fn(data_[i], other.data_[i]);
+    }
+
+    /**
+     * Snapshot helper: slot count, then write_slot(sink, state) per
+     * slot in volume-id order — already deterministic, storage is a
+     * dense vector.
+     */
+    template <typename WriteSlot>
+    void
+    serialize(snap::Sink &sink, WriteSlot &&write_slot) const
+    {
+        sink.vu64(data_.size());
+        for (const T &slot : data_)
+            write_slot(sink, slot);
+    }
+
+    /** Restore a serialize()d map, replacing the current contents;
+     *  read_slot(source, state) fills each default-constructed slot. */
+    template <typename ReadSlot>
+    void
+    deserialize(snap::Source &source, ReadSlot &&read_slot)
+    {
+        std::uint64_t n = source.vu64();
+        if (n > source.remaining())
+            source.fail("per-volume slot count " + std::to_string(n) +
+                        " exceeds the remaining payload");
+        data_.clear();
+        data_.resize(static_cast<std::size_t>(n));
+        for (T &slot : data_)
+            read_slot(source, slot);
     }
 
   private:

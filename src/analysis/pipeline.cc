@@ -51,10 +51,27 @@ runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
     std::vector<obs::Histogram *> timings =
         batchTimings(analyzers, metrics);
 
+    // Checkpoint cadence: fire the hook between batches each time
+    // another checkpoint_every requests have gone through.
+    std::uint64_t consumed = 0;
+    std::uint64_t next_checkpoint =
+        (options.checkpoint && options.checkpoint_every)
+            ? options.checkpoint_every
+            : ~std::uint64_t{0};
+    auto noteBatch = [&](std::size_t n) {
+        consumed += n;
+        if (consumed >= next_checkpoint) {
+            options.checkpoint(consumed);
+            next_checkpoint =
+                consumed + options.checkpoint_every;
+        }
+    };
+
     if (options.columnar) {
         RequestBatch batch;
         batch.reserve(batch_records);
-        while (source.nextColumns(batch, batch_records)) {
+        std::size_t n;
+        while ((n = source.nextColumns(batch, batch_records))) {
             if (timings.empty()) {
                 for (Analyzer *analyzer : analyzers)
                     analyzer->consumeColumns(batch);
@@ -66,11 +83,13 @@ runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
                     analyzers[i]->consumeColumns(batch);
                 }
             }
+            noteBatch(n);
         }
     } else {
         std::vector<IoRequest> batch;
         batch.reserve(batch_records);
-        while (source.nextBatch(batch, batch_records)) {
+        std::size_t n;
+        while ((n = source.nextBatch(batch, batch_records))) {
             std::span<const IoRequest> span(batch);
             if (timings.empty()) {
                 for (Analyzer *analyzer : analyzers)
@@ -81,9 +100,11 @@ runPipeline(TraceSource &source, const std::vector<Analyzer *> &analyzers,
                     analyzers[i]->consumeBatch(span);
                 }
             }
+            noteBatch(n);
         }
     }
-    finalizeAll(analyzers, metrics);
+    if (options.finalize)
+        finalizeAll(analyzers, metrics);
 }
 
 void

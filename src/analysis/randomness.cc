@@ -72,6 +72,52 @@ RandomnessAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+RandomnessAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.vu64(window_);
+    sink.vu64(threshold_);
+    states_.serialize(sink, [](snap::Sink &s, const State &state) {
+        s.vu64(state.ring.size());
+        for (ByteOffset offset : state.ring)
+            s.u64(offset);
+        s.vu64(state.ring_pos);
+        s.vu64(state.random);
+        s.vu64(state.total);
+        s.vu64(state.traffic_bytes);
+    });
+}
+
+void
+RandomnessAnalyzer::deserialize(snap::Source &source)
+{
+    std::uint64_t window = source.vu64();
+    std::uint64_t threshold = source.vu64();
+    CBS_EXPECT(window == window_ && threshold == threshold_,
+               "randomness snapshot window/threshold ("
+                   << window << ", " << threshold
+                   << ") != configured (" << window_ << ", "
+                   << threshold_ << ")");
+    std::size_t ring_cap = window_;
+    states_.deserialize(source, [ring_cap](snap::Source &s,
+                                           State &state) {
+        std::uint64_t n = s.vu64();
+        if (n > ring_cap)
+            s.fail("randomness ring larger than the window");
+        state.ring.clear();
+        state.ring.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            state.ring.push_back(s.u64());
+        state.ring_pos = static_cast<std::size_t>(s.vu64());
+        if (state.ring_pos >= ring_cap)
+            s.fail("randomness ring position out of range");
+        state.random = s.vu64();
+        state.total = s.vu64();
+        state.traffic_bytes = s.vu64();
+    });
+    source.expectEnd();
+}
+
+void
 RandomnessAnalyzer::finalize()
 {
     for (const State &state : states_) {

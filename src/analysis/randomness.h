@@ -39,6 +39,8 @@ class RandomnessAnalyzer : public ShardableAnalyzer
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
     void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /** CDF of per-volume randomness ratios (Fig. 10(a)). */
     const Ecdf &ratios() const { return cdf_; }

@@ -26,6 +26,35 @@ SizeAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+SizeAnalyzer::serialize(snap::Sink &sink) const
+{
+    // Pre-finalize state only: the avg_* Ecdfs are finalize products,
+    // rebuilt from sums_ after merging.
+    read_sizes_.serialize(sink);
+    write_sizes_.serialize(sink);
+    sums_.serialize(sink, [](snap::Sink &s, const VolumeSums &sums) {
+        s.vu64(sums.read_bytes);
+        s.vu64(sums.reads);
+        s.vu64(sums.write_bytes);
+        s.vu64(sums.writes);
+    });
+}
+
+void
+SizeAnalyzer::deserialize(snap::Source &source)
+{
+    read_sizes_.deserialize(source);
+    write_sizes_.deserialize(source);
+    sums_.deserialize(source, [](snap::Source &s, VolumeSums &sums) {
+        sums.read_bytes = s.vu64();
+        sums.reads = s.vu64();
+        sums.write_bytes = s.vu64();
+        sums.writes = s.vu64();
+    });
+    source.expectEnd();
+}
+
+void
 SizeAnalyzer::consumeBatch(std::span<const IoRequest> batch)
 {
     // One virtual call per batch; the qualified calls below devirtualize.

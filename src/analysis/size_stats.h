@@ -27,6 +27,8 @@ class SizeAnalyzer : public ShardableAnalyzer
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
     void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /** Global CDF over all read request sizes (bytes). */
     const LogHistogram &readSizes() const { return read_sizes_; }

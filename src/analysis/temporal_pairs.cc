@@ -121,6 +121,35 @@ TemporalPairsAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
                     });
 }
 
+void
+TemporalPairsAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.vu64(block_size_);
+    for (const LogHistogram &hist : hists_)
+        hist.serialize(sink);
+    // Per-block state is a packed u64 (timestamp+1 | op bit) that the
+    // vu64 encoding would blow up to ten bytes; store it fixed-width.
+    last_.serialize(sink, [](snap::Sink &s, const std::uint64_t &state) {
+        s.u64(state);
+    });
+}
+
+void
+TemporalPairsAnalyzer::deserialize(snap::Source &source)
+{
+    std::uint64_t block_size = source.vu64();
+    CBS_EXPECT(block_size == block_size_,
+               "temporal_pairs snapshot block size "
+                   << block_size << " != configured " << block_size_);
+    for (LogHistogram &hist : hists_)
+        hist.deserialize(source);
+    last_.deserialize(source,
+                      [](snap::Source &s, std::uint64_t &state) {
+                          state = s.u64();
+                      });
+    source.expectEnd();
+}
+
 std::uint64_t
 TemporalPairsAnalyzer::count(PairKind kind) const
 {

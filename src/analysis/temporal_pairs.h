@@ -46,6 +46,8 @@ class TemporalPairsAnalyzer : public ShardableAnalyzer
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
     void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /** Number of pairs of the given class. */
     std::uint64_t count(PairKind kind) const;

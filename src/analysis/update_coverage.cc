@@ -103,6 +103,43 @@ UpdateCoverageAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+UpdateCoverageAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.vu64(block_size_);
+    blocks_.serialize(sink, [](snap::Sink &s, const std::uint8_t &flags) {
+        s.u8(flags);
+    });
+    wss_.serialize(sink, [](snap::Sink &s, const VolumeWss &wss) {
+        s.vu64(wss.total_blocks);
+        s.vu64(wss.written_blocks);
+        s.vu64(wss.updated_blocks);
+    });
+}
+
+void
+UpdateCoverageAnalyzer::deserialize(snap::Source &source)
+{
+    std::uint64_t block_size = source.vu64();
+    CBS_EXPECT(block_size == block_size_,
+               "update_coverage snapshot block size "
+                   << block_size << " != configured " << block_size_);
+    blocks_.deserialize(source,
+                        [](snap::Source &s, std::uint8_t &flags) {
+                            flags = s.u8();
+                            if (flags &
+                                ~(kTouched | kWritten | kUpdated))
+                                s.fail("unknown update_coverage "
+                                       "block flags");
+                        });
+    wss_.deserialize(source, [](snap::Source &s, VolumeWss &wss) {
+        wss.total_blocks = s.vu64();
+        wss.written_blocks = s.vu64();
+        wss.updated_blocks = s.vu64();
+    });
+    source.expectEnd();
+}
+
+void
 UpdateCoverageAnalyzer::finalize()
 {
     for (const VolumeWss &wss : wss_) {

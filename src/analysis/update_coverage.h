@@ -33,6 +33,8 @@ class UpdateCoverageAnalyzer : public ShardableAnalyzer
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
     void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /** CDF of per-volume update coverage in [0,1] (Fig. 13). */
     const Ecdf &coverage() const { return cdf_; }

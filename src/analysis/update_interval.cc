@@ -111,6 +111,51 @@ UpdateIntervalAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
 }
 
 void
+UpdateIntervalAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.vu64(block_size_);
+    global_.serialize(sink);
+    // Per-block state is timestamp+1 — fixed-width, like temporal
+    // pairs' packed word.
+    last_write_.serialize(sink,
+                          [](snap::Sink &s, const std::uint64_t &state) {
+                              s.u64(state);
+                          });
+    volume_hists_.serialize(
+        sink,
+        [](snap::Sink &s, const std::unique_ptr<LogHistogram> &hist) {
+            s.u8(hist ? 1 : 0);
+            if (hist)
+                hist->serialize(s);
+        });
+}
+
+void
+UpdateIntervalAnalyzer::deserialize(snap::Source &source)
+{
+    std::uint64_t block_size = source.vu64();
+    CBS_EXPECT(block_size == block_size_,
+               "update_interval snapshot block size "
+                   << block_size << " != configured " << block_size_);
+    global_.deserialize(source);
+    last_write_.deserialize(source,
+                            [](snap::Source &s, std::uint64_t &state) {
+                                state = s.u64();
+                            });
+    volume_hists_.deserialize(
+        source,
+        [](snap::Source &s, std::unique_ptr<LogHistogram> &hist) {
+            if (s.u8()) {
+                hist = std::make_unique<LogHistogram>(5);
+                hist->deserialize(s);
+            } else {
+                hist.reset();
+            }
+        });
+    source.expectEnd();
+}
+
+void
 UpdateIntervalAnalyzer::finalize()
 {
     for (const auto &hist : volume_hists_) {

@@ -48,6 +48,8 @@ class UpdateIntervalAnalyzer : public ShardableAnalyzer
 
     std::unique_ptr<ShardableAnalyzer> clone() const override;
     void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /** Global histogram of update intervals (µs) — Table VI. */
     const LogHistogram &global() const { return global_; }

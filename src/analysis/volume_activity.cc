@@ -24,6 +24,41 @@ ActiveDaysAnalyzer::finalize()
     }
 }
 
+std::unique_ptr<ShardableAnalyzer>
+ActiveDaysAnalyzer::clone() const
+{
+    return std::make_unique<ActiveDaysAnalyzer>();
+}
+
+void
+ActiveDaysAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<ActiveDaysAnalyzer>(shard);
+    day_bits_.mergeFrom(other.day_bits_,
+                        [](std::uint64_t &own,
+                           const std::uint64_t &theirs) {
+                            own |= theirs;
+                        });
+}
+
+void
+ActiveDaysAnalyzer::serialize(snap::Sink &sink) const
+{
+    day_bits_.serialize(sink, [](snap::Sink &s, std::uint64_t bits) {
+        s.vu64(bits);
+    });
+}
+
+void
+ActiveDaysAnalyzer::deserialize(snap::Source &source)
+{
+    day_bits_.deserialize(source,
+                          [](snap::Source &s, std::uint64_t &bits) {
+                              bits = s.vu64();
+                          });
+    source.expectEnd();
+}
+
 double
 ActiveDaysAnalyzer::fractionWithDays(int days) const
 {
@@ -69,6 +104,54 @@ double
 WriteReadRatioAnalyzer::fractionAbove(double threshold) const
 {
     return cdf_.empty() ? 0.0 : 1.0 - cdf_.at(threshold);
+}
+
+std::unique_ptr<ShardableAnalyzer>
+WriteReadRatioAnalyzer::clone() const
+{
+    return std::make_unique<WriteReadRatioAnalyzer>(ratio_cap_);
+}
+
+void
+WriteReadRatioAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<WriteReadRatioAnalyzer>(shard);
+    counts_.mergeFrom(other.counts_,
+                      [](Counts &own, const Counts &theirs) {
+                          own.reads += theirs.reads;
+                          own.writes += theirs.writes;
+                      });
+    total_reads_ += other.total_reads_;
+    total_writes_ += other.total_writes_;
+}
+
+void
+WriteReadRatioAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.f64(ratio_cap_);
+    sink.vu64(total_reads_);
+    sink.vu64(total_writes_);
+    counts_.serialize(sink, [](snap::Sink &s, const Counts &counts) {
+        s.vu64(counts.reads);
+        s.vu64(counts.writes);
+    });
+}
+
+void
+WriteReadRatioAnalyzer::deserialize(snap::Source &source)
+{
+    double ratio_cap = source.f64();
+    CBS_EXPECT(ratio_cap == ratio_cap_,
+               "wr_ratio snapshot ratio cap " << ratio_cap
+                                              << " != configured "
+                                              << ratio_cap_);
+    total_reads_ = source.vu64();
+    total_writes_ = source.vu64();
+    counts_.deserialize(source, [](snap::Source &s, Counts &counts) {
+        counts.reads = s.vu64();
+        counts.writes = s.vu64();
+    });
+    source.expectEnd();
 }
 
 } // namespace cbs

@@ -17,14 +17,21 @@ namespace cbs {
 
 /**
  * Counts each volume's active days — a volume is active on a day if it
- * receives at least one request that day (Fig. 3).
+ * receives at least one request that day (Fig. 3). Per-volume day
+ * bitmaps OR together, so the analyzer shards exactly under any
+ * request partition, not just volume-disjoint ones.
  */
-class ActiveDaysAnalyzer : public Analyzer
+class ActiveDaysAnalyzer : public ShardableAnalyzer
 {
   public:
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "active_days"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /** CDF of active-day counts across volumes. */
     const Ecdf &activeDays() const { return cdf_; }
@@ -40,9 +47,10 @@ class ActiveDaysAnalyzer : public Analyzer
 /**
  * Per-volume write-to-read request ratios (Fig. 4). Read-free volumes
  * are assigned the configured ratio cap, matching how the paper's CDF
- * saturates at very high ratios.
+ * saturates at very high ratios. Counters sum, so the analyzer shards
+ * exactly under any request partition.
  */
-class WriteReadRatioAnalyzer : public Analyzer
+class WriteReadRatioAnalyzer : public ShardableAnalyzer
 {
   public:
     explicit WriteReadRatioAnalyzer(double ratio_cap = 1e4);
@@ -50,6 +58,11 @@ class WriteReadRatioAnalyzer : public Analyzer
     void consume(const IoRequest &req) override;
     void finalize() override;
     std::string name() const override { return "wr_ratio"; }
+
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
 
     /** CDF of per-volume write-to-read ratios. */
     const Ecdf &ratios() const { return cdf_; }

@@ -12,7 +12,9 @@
 #ifndef CBS_ANALYSIS_WORKLOAD_SUMMARY_H
 #define CBS_ANALYSIS_WORKLOAD_SUMMARY_H
 
+#include <algorithm>
 #include <ostream>
+#include <vector>
 
 #include "analysis/activeness.h"
 #include "analysis/analyzer.h"
@@ -131,6 +133,42 @@ class WorkloadSummary
     void writeJson(std::ostream &os) const;
 
     const WorkloadSummaryOptions &options() const { return options_; }
+
+    /**
+     * The bundled shardable analyzers in their fixed bundle order —
+     * the iteration order of snapshot serialization and merging.
+     */
+    std::vector<ShardableAnalyzer *> shardableAnalyzers()
+    {
+        return {&basic,     &sizes,      &days,       &ratios,
+                &intensity, &interarrival, &activeness, &randomness,
+                &traffic,   &coverage,   &pairs,      &intervals};
+    }
+
+    std::vector<const ShardableAnalyzer *> shardableAnalyzers() const
+    {
+        return {&basic,     &sizes,      &days,       &ratios,
+                &intensity, &interarrival, &activeness, &randomness,
+                &traffic,   &coverage,   &pairs,      &intervals};
+    }
+
+    /**
+     * Merge another summary's pre-finalize analyzer state into this
+     * one (pairwise ShardableAnalyzer::mergeFrom in bundle order).
+     * Both sides must have been built with the same options and must
+     * not be finalized yet. Exact when the two sides saw disjoint
+     * volume sets (the sharding contract) or disjoint prefixes of one
+     * trace (resume).
+     */
+    void mergeFrom(const WorkloadSummary &other)
+    {
+        auto mine = shardableAnalyzers();
+        auto theirs = other.shardableAnalyzers();
+        for (std::size_t i = 0; i < mine.size(); ++i)
+            mine[i]->mergeFrom(*theirs[i]);
+        options_.duration =
+            std::max(options_.duration, other.options_.duration);
+    }
 
     // The bundled analyzers, exposed for detailed queries.
     BasicStatsAnalyzer basic;

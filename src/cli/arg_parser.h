@@ -61,6 +61,14 @@ class ArgParser
         positional_specs_.push_back({std::move(name), std::move(help)});
     }
 
+    /** Declare a trailing variadic positional accepting one or more
+     *  values after the fixed positionals (e.g. a snapshot list). */
+    void
+    variadic(std::string name, std::string help)
+    {
+        variadic_spec_ = PositionalSpec{std::move(name), std::move(help)};
+    }
+
     /** Declare a flag taking one value, e.g. --threads N. */
     void
     flag(std::string name, std::string value_name, std::string help)
@@ -124,7 +132,11 @@ class ArgParser
                         positional_specs_[positionals_.size()].name +
                         "> argument");
         }
-        if (positionals_.size() > positional_specs_.size()) {
+        if (variadic_spec_) {
+            if (positionals_.size() == positional_specs_.size())
+                return fail("missing <" + variadic_spec_->name +
+                            "> argument");
+        } else if (positionals_.size() > positional_specs_.size()) {
             return fail("unexpected argument: " +
                         positionals_[positional_specs_.size()]);
         }
@@ -144,6 +156,9 @@ class ArgParser
     {
         return positionals_.at(index);
     }
+
+    /** Number of positionals actually supplied (fixed + variadic). */
+    std::size_t positionalCount() const { return positionals_.size(); }
 
     std::string
     getString(const std::string &name, std::string fallback = "") const
@@ -225,6 +240,8 @@ class ArgParser
         std::string line = "usage: " + program_;
         for (const auto &spec : positional_specs_)
             line += " <" + spec.name + ">";
+        if (variadic_spec_)
+            line += " <" + variadic_spec_->name + ">...";
         if (!specs_.empty())
             line += " [options]";
         return line;
@@ -256,6 +273,7 @@ class ArgParser
     std::map<std::string, FlagSpec> specs_;
     std::vector<std::string> order_;
     std::vector<PositionalSpec> positional_specs_;
+    std::optional<PositionalSpec> variadic_spec_;
     std::vector<std::string> positionals_;
     std::map<std::string, std::string> values_;
     int exit_code_ = 0;

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CRC-32 (the zlib/PNG polynomial), shared by every CRC-guarded
+ * on-disk format in the tree: CBT2 chunk/footer checksums and the
+ * cbs.snapshot.v1 section checksums. Slicing-by-8: eight table
+ * lookups per 8-byte block instead of eight sequential per-byte
+ * steps, ~4-5x faster on long buffers. Verification is a full pass
+ * over every chunk, so this sits on the decode critical path.
+ */
+
+#ifndef CBS_COMMON_CRC32_H
+#define CBS_COMMON_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cbs {
+
+inline std::uint32_t
+crc32(const unsigned char *data, std::size_t n)
+{
+    static const auto tables = [] {
+        std::array<std::array<std::uint32_t, 256>, 8> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i)
+            for (std::size_t s = 1; s < 8; ++s)
+                t[s][i] =
+                    t[0][t[s - 1][i] & 0xffu] ^ (t[s - 1][i] >> 8);
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    while (n >= 8) {
+        // Little-endian load of the next 8 bytes, folded in one step.
+        std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(data[0]) |
+                                  static_cast<std::uint32_t>(data[1])
+                                      << 8 |
+                                  static_cast<std::uint32_t>(data[2])
+                                      << 16 |
+                                  static_cast<std::uint32_t>(data[3])
+                                      << 24);
+        std::uint32_t hi = static_cast<std::uint32_t>(data[4]) |
+                           static_cast<std::uint32_t>(data[5]) << 8 |
+                           static_cast<std::uint32_t>(data[6]) << 16 |
+                           static_cast<std::uint32_t>(data[7]) << 24;
+        crc = tables[7][lo & 0xffu] ^ tables[6][(lo >> 8) & 0xffu] ^
+              tables[5][(lo >> 16) & 0xffu] ^ tables[4][lo >> 24] ^
+              tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+              tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+        data += 8;
+        n -= 8;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        crc = tables[0][(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace cbs
+
+#endif // CBS_COMMON_CRC32_H

@@ -1,0 +1,312 @@
+#include "snapshot/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/error.h"
+#include "common/flat_map.h"
+
+namespace cbs {
+namespace {
+
+constexpr unsigned char kMagic[8] = {'C', 'B', 'S', 'S',
+                                     'N', 'A', 'P', '1'};
+constexpr unsigned char kTrailer[8] = {'C', 'B', 'S', 'S',
+                                       'E', 'N', 'D', '1'};
+
+/** Header info plus the located (still undecoded) section payloads. */
+struct ParsedSnapshot
+{
+    SnapshotInfo info;
+    struct Section
+    {
+        std::string name;
+        std::size_t offset = 0;
+        std::size_t size = 0;
+    };
+    std::vector<Section> sections;
+};
+
+ParsedSnapshot
+parseSnapshot(const unsigned char *data, std::size_t size,
+              const std::string &context)
+{
+    snap::Source src(data, size, context);
+
+    unsigned char magic[sizeof(kMagic)];
+    if (src.remaining() < sizeof(magic))
+        src.fail("truncated: shorter than the 8-byte magic");
+    src.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        src.fail("bad magic — not a cbs.snapshot.v1 file");
+
+    std::uint32_t version = src.u32();
+    if (version == 0 || version > kSnapshotVersion)
+        src.fail("format version " + std::to_string(version) +
+                 " is not supported by this build (max " +
+                 std::to_string(kSnapshotVersion) + ")");
+
+    std::uint32_t hdr_len = src.u32();
+    if (hdr_len > src.remaining())
+        src.fail("truncated: header claims " + std::to_string(hdr_len) +
+                 " bytes, " + std::to_string(src.remaining()) +
+                 " left");
+    std::vector<unsigned char> hdr(hdr_len);
+    src.bytes(hdr.data(), hdr_len);
+    std::uint32_t hdr_crc = src.u32();
+    if (crc32(hdr.data(), hdr.size()) != hdr_crc)
+        src.fail("header CRC mismatch — the file is corrupted");
+
+    ParsedSnapshot out;
+    out.info.version = version;
+    snap::Source h(hdr.data(), hdr.size(), context + ": header");
+    out.info.config_hash = h.u64();
+    out.info.options.block_size = h.u64();
+    out.info.options.activeness_interval = h.u64();
+    out.info.options.duration = h.u64();
+    out.info.options.peak_window = h.u64();
+    out.info.provenance.source_id = h.str();
+    out.info.provenance.record_count = h.vu64();
+    out.info.provenance.first_timestamp = h.vu64();
+    out.info.provenance.last_timestamp = h.vu64();
+    std::uint64_t section_count = h.vu64();
+    h.expectEnd();
+
+    for (std::uint64_t i = 0; i < section_count; ++i) {
+        std::string name = src.str();
+        if (name.empty())
+            src.fail("empty section name");
+        if (i && name <= out.sections.back().name)
+            src.fail("section '" + name +
+                     "' out of order after '" +
+                     out.sections.back().name +
+                     "' — sections must be unique and sorted");
+        std::uint64_t len = src.u64();
+        if (len > src.remaining())
+            src.fail("truncated: section '" + name + "' claims " +
+                     std::to_string(len) + " bytes, " +
+                     std::to_string(src.remaining()) + " left");
+        std::uint32_t crc = src.u32();
+        std::size_t offset = src.position();
+        src.skip(static_cast<std::size_t>(len));
+        if (crc32(data + offset, static_cast<std::size_t>(len)) != crc)
+            src.fail("section '" + name +
+                     "' payload CRC mismatch — the file is corrupted");
+        out.sections.push_back(
+            {std::move(name), offset, static_cast<std::size_t>(len)});
+        out.info.sections.push_back(out.sections.back().name);
+    }
+
+    unsigned char trailer[sizeof(kTrailer)];
+    if (src.remaining() < sizeof(trailer))
+        src.fail("truncated: missing the end-of-snapshot trailer");
+    src.bytes(trailer, sizeof(trailer));
+    if (std::memcmp(trailer, kTrailer, sizeof(kTrailer)) != 0)
+        src.fail("bad end-of-snapshot trailer");
+    if (!src.atEnd())
+        src.fail(std::to_string(src.remaining()) +
+                 " bytes of trailing garbage after the trailer");
+    return out;
+}
+
+} // namespace
+
+void
+SnapshotProvenance::combine(const SnapshotProvenance &other)
+{
+    if (source_id.empty())
+        source_id = other.source_id;
+    else if (!other.source_id.empty() && other.source_id != source_id)
+        source_id += "+" + other.source_id;
+    if (record_count == 0) {
+        first_timestamp = other.first_timestamp;
+        last_timestamp = other.last_timestamp;
+    } else if (other.record_count != 0) {
+        first_timestamp =
+            std::min(first_timestamp, other.first_timestamp);
+        last_timestamp = std::max(last_timestamp, other.last_timestamp);
+    }
+    record_count += other.record_count;
+}
+
+std::uint64_t
+snapshotConfigHash(const WorkloadSummaryOptions &options)
+{
+    // The duration is excluded on purpose; see the header.
+    std::uint64_t h = mix64(kSnapshotVersion);
+    h = mix64(h ^ options.block_size);
+    h = mix64(h ^ options.activeness_interval);
+    h = mix64(h ^ options.peak_window);
+    return h;
+}
+
+std::vector<unsigned char>
+encodeSnapshot(const WorkloadSummary &summary,
+               const SnapshotProvenance &provenance)
+{
+    std::vector<std::pair<std::string, std::vector<unsigned char>>>
+        sections;
+    for (const ShardableAnalyzer *analyzer :
+         summary.shardableAnalyzers()) {
+        snap::Sink payload;
+        analyzer->serialize(payload);
+        sections.emplace_back(analyzer->name(), payload.take());
+    }
+    std::sort(sections.begin(), sections.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    snap::Sink header;
+    header.u64(snapshotConfigHash(summary.options()));
+    header.u64(summary.options().block_size);
+    header.u64(summary.options().activeness_interval);
+    header.u64(summary.options().duration);
+    header.u64(summary.options().peak_window);
+    header.str(provenance.source_id);
+    header.vu64(provenance.record_count);
+    header.vu64(provenance.first_timestamp);
+    header.vu64(provenance.last_timestamp);
+    header.vu64(sections.size());
+
+    snap::Sink out;
+    out.bytes(kMagic, sizeof(kMagic));
+    out.u32(kSnapshotVersion);
+    out.u32(static_cast<std::uint32_t>(header.size()));
+    out.bytes(header.data().data(), header.size());
+    out.u32(crc32(header.data().data(), header.size()));
+    for (const auto &[name, payload] : sections) {
+        out.str(name);
+        out.u64(payload.size());
+        out.u32(crc32(payload.data(), payload.size()));
+        out.bytes(payload.data(), payload.size());
+    }
+    out.bytes(kTrailer, sizeof(kTrailer));
+    return out.take();
+}
+
+SnapshotInfo
+peekSnapshot(const unsigned char *data, std::size_t size,
+             const std::string &context)
+{
+    return parseSnapshot(data, size, context).info;
+}
+
+SnapshotInfo
+decodeSnapshot(const unsigned char *data, std::size_t size,
+               const std::string &context, WorkloadSummary &into)
+{
+    ParsedSnapshot parsed = parseSnapshot(data, size, context);
+
+    std::uint64_t expected = snapshotConfigHash(into.options());
+    if (parsed.info.config_hash != expected) {
+        const WorkloadSummaryOptions &theirs = parsed.info.options;
+        const WorkloadSummaryOptions &mine = into.options();
+        throw SnapshotError(
+            "snapshot: " + context +
+            ": configuration mismatch — snapshot written with "
+            "block_size=" +
+            std::to_string(theirs.block_size) +
+            " activeness_interval=" +
+            std::to_string(theirs.activeness_interval) +
+            " peak_window=" + std::to_string(theirs.peak_window) +
+            ", reader configured with block_size=" +
+            std::to_string(mine.block_size) +
+            " activeness_interval=" +
+            std::to_string(mine.activeness_interval) +
+            " peak_window=" + std::to_string(mine.peak_window));
+    }
+
+    std::vector<ShardableAnalyzer *> analyzers =
+        into.shardableAnalyzers();
+    std::vector<bool> claimed(parsed.sections.size(), false);
+    for (ShardableAnalyzer *analyzer : analyzers) {
+        std::string name = analyzer->name();
+        auto it = std::find_if(parsed.sections.begin(),
+                               parsed.sections.end(),
+                               [&](const ParsedSnapshot::Section &s) {
+                                   return s.name == name;
+                               });
+        if (it == parsed.sections.end())
+            throw SnapshotError("snapshot: " + context +
+                                ": missing section '" + name + "'");
+        claimed[static_cast<std::size_t>(
+            it - parsed.sections.begin())] = true;
+        snap::Source payload(data + it->offset, it->size,
+                             context + ": section '" + name + "'");
+        analyzer->deserialize(payload);
+    }
+    for (std::size_t i = 0; i < parsed.sections.size(); ++i) {
+        if (!claimed[i])
+            throw SnapshotError("snapshot: " + context +
+                                ": unknown section '" +
+                                parsed.sections[i].name + "'");
+    }
+    return parsed.info;
+}
+
+void
+writeSnapshotFile(const std::string &path,
+                  const WorkloadSummary &summary,
+                  const SnapshotProvenance &provenance)
+{
+    std::vector<unsigned char> bytes =
+        encodeSnapshot(summary, provenance);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SnapshotError("snapshot: cannot open '" + tmp +
+                                "' for writing");
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw SnapshotError("snapshot: failed writing '" + tmp +
+                                "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("snapshot: cannot move '" + tmp +
+                            "' into place as '" + path + "'");
+    }
+}
+
+std::vector<unsigned char>
+readSnapshotBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SnapshotError("snapshot: cannot open '" + path +
+                            "' for reading");
+    std::vector<unsigned char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        throw SnapshotError("snapshot: I/O error reading '" + path +
+                            "'");
+    return bytes;
+}
+
+SnapshotInfo
+peekSnapshotFile(const std::string &path)
+{
+    std::vector<unsigned char> bytes = readSnapshotBytes(path);
+    return peekSnapshot(bytes.data(), bytes.size(), path);
+}
+
+SnapshotInfo
+readSnapshotFile(const std::string &path, WorkloadSummary &into)
+{
+    std::vector<unsigned char> bytes = readSnapshotBytes(path);
+    return decodeSnapshot(bytes.data(), bytes.size(), path, into);
+}
+
+} // namespace cbs

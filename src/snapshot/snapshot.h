@@ -1,0 +1,127 @@
+/**
+ * @file
+ * cbs.snapshot.v1: versioned, CRC-guarded binary snapshots of the
+ * bundled analyzer state.
+ *
+ * A snapshot captures the *pre-finalize* state of every shardable
+ * analyzer in a WorkloadSummary, plus the trace provenance (source id,
+ * consumed record count, time range) and a hash of the analysis
+ * configuration. Snapshots from volume-disjoint partial runs — or from
+ * a checkpoint and a resumed tail of the same trace — merge back into
+ * a summary whose finalized JSON is byte-identical to a single run.
+ *
+ * On-disk layout (all integers little-endian; vu64 = LEB128):
+ *
+ *   magic     "CBSSNAP1"                                   8 bytes
+ *   version   u32 (= kSnapshotVersion)
+ *   hdr_len   u32, length of the header payload below
+ *   header    u64 config_hash
+ *             u64 block_size, activeness_interval, duration,
+ *                 peak_window             (WorkloadSummaryOptions)
+ *             str source_id; vu64 record_count
+ *             vu64 first_timestamp, last_timestamp
+ *             vu64 section_count
+ *   hdr_crc   u32, CRC-32 of the header payload
+ *   sections  section_count times, sorted by name:
+ *             str name; u64 payload_len; u32 payload_crc; payload
+ *   trailer   "CBSSEND1"                                   8 bytes
+ *
+ * Section payloads are each analyzer's serialize() output. Every
+ * malformed input — truncation, bad magic, future version, CRC
+ * mismatch, out-of-order or unknown sections, trailing garbage —
+ * raises SnapshotError with the file context and byte offset; a
+ * config-hash mismatch against the reading summary's options is a
+ * SnapshotError too, never a silent partial load.
+ */
+
+#ifndef CBS_SNAPSHOT_SNAPSHOT_H
+#define CBS_SNAPSHOT_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/workload_summary.h"
+#include "snapshot/wire.h"
+
+namespace cbs {
+
+/** Format version written by this build; readers reject anything
+ *  newer. */
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** Where a snapshot's records came from. Merging combines provenance:
+ *  record counts sum, time ranges union, source ids join with '+'. */
+struct SnapshotProvenance
+{
+    std::string source_id;            //!< trace path or label
+    std::uint64_t record_count = 0;   //!< records consumed so far
+    TimeUs first_timestamp = 0;       //!< earliest consumed timestamp
+    TimeUs last_timestamp = 0;        //!< latest consumed timestamp
+
+    /** Fold another partial's provenance into this one. */
+    void combine(const SnapshotProvenance &other);
+};
+
+/** Header contents of a snapshot, readable without deserializing any
+ *  analyzer payloads (see peekSnapshot). */
+struct SnapshotInfo
+{
+    std::uint32_t version = 0;
+    std::uint64_t config_hash = 0;
+    WorkloadSummaryOptions options;
+    SnapshotProvenance provenance;
+    std::vector<std::string> sections; //!< analyzer names, sorted
+};
+
+/**
+ * Hash of the options that must agree for two analyzer states to be
+ * mergeable. The trace duration is deliberately excluded: partial runs
+ * derive different durations from their slices, and mergeFrom takes
+ * the max.
+ */
+std::uint64_t snapshotConfigHash(const WorkloadSummaryOptions &options);
+
+/** Serialize @p summary (pre-finalize) into snapshot bytes. */
+std::vector<unsigned char>
+encodeSnapshot(const WorkloadSummary &summary,
+               const SnapshotProvenance &provenance);
+
+/**
+ * Parse only the header of snapshot bytes. @p context names the source
+ * (e.g. the file path) in error messages. Validates magic, version,
+ * header CRC, and the section directory framing.
+ */
+SnapshotInfo peekSnapshot(const unsigned char *data, std::size_t size,
+                          const std::string &context);
+
+/**
+ * Deserialize snapshot bytes into @p into, replacing its analyzer
+ * state. @p into must have been constructed with options whose
+ * snapshotConfigHash matches the snapshot's, and must not have been
+ * finalized. The snapshot's section set must exactly match the
+ * bundle's analyzer names. Returns the header info.
+ */
+SnapshotInfo decodeSnapshot(const unsigned char *data, std::size_t size,
+                            const std::string &context,
+                            WorkloadSummary &into);
+
+/** Write @p summary to @p path atomically (temp file + rename). */
+void writeSnapshotFile(const std::string &path,
+                       const WorkloadSummary &summary,
+                       const SnapshotProvenance &provenance);
+
+/** Read a whole snapshot file into memory. Fails on unreadable or
+ *  empty files. */
+std::vector<unsigned char> readSnapshotBytes(const std::string &path);
+
+/** peekSnapshot over a file. */
+SnapshotInfo peekSnapshotFile(const std::string &path);
+
+/** decodeSnapshot over a file. */
+SnapshotInfo readSnapshotFile(const std::string &path,
+                              WorkloadSummary &into);
+
+} // namespace cbs
+
+#endif // CBS_SNAPSHOT_SNAPSHOT_H

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Wire primitives for the cbs.snapshot.v1 format: a byte-buffer Sink
+ * with little-endian integers, LEB128 varints, bit-cast doubles and
+ * length-prefixed strings, and a bounds-checked cursor Source that
+ * reads them back. Every analyzer and sketch serializes through this
+ * pair, so the entire snapshot format has exactly one place that
+ * touches raw bytes.
+ *
+ * Error model: every malformed read — truncation, runaway varint,
+ * oversized string — throws SnapshotError (a FatalError, so the CLI
+ * maps it to exit 1) carrying the Source's context string and the
+ * byte offset where decoding stopped. Corruption must never crash or
+ * silently load partial state; the corruption-corpus suite
+ * (tests/snapshot/test_corruption.cc) holds this layer to that.
+ */
+
+#ifndef CBS_SNAPSHOT_WIRE_H
+#define CBS_SNAPSHOT_WIRE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cbs {
+
+/** Thrown for any malformed or mismatched snapshot content. */
+class SnapshotError : public FatalError
+{
+  public:
+    explicit SnapshotError(const std::string &msg) : FatalError(msg) {}
+};
+
+namespace snap {
+
+/** Append-only byte buffer the serialize() hooks write into. */
+class Sink
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(
+                static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(
+                static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+    }
+
+    /** LEB128 varint — one byte for values < 128, the common case for
+     *  counts, sizes and per-volume counters. */
+    void
+    vu64(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            buf_.push_back(static_cast<unsigned char>(v) | 0x80);
+            v >>= 7;
+        }
+        buf_.push_back(static_cast<unsigned char>(v));
+    }
+
+    /** IEEE-754 bit pattern, little-endian: exact round-trip for every
+     *  double including NaN payloads and signed zero. */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(std::string_view s)
+    {
+        vu64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        buf_.insert(buf_.end(), p, p + n);
+    }
+
+    std::size_t size() const { return buf_.size(); }
+    const std::vector<unsigned char> &data() const { return buf_; }
+    std::vector<unsigned char> take() { return std::move(buf_); }
+
+  private:
+    std::vector<unsigned char> buf_;
+};
+
+/** Bounds-checked cursor over a byte span; never reads past the end. */
+class Source
+{
+  public:
+    /** @p context names what is being decoded ("header", "section
+     *  'basic_stats'") and prefixes every diagnostic. The data span
+     *  must outlive the Source. */
+    Source(const unsigned char *data, std::size_t size,
+           std::string context)
+        : data_(data), size_(size), context_(std::move(context))
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::uint64_t
+    vu64()
+    {
+        std::uint64_t v = 0;
+        int shift = 0;
+        while (true) {
+            need(1);
+            unsigned char b = data_[pos_++];
+            if (shift == 63 && (b & ~1u))
+                fail("varint overflows 64 bits");
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+            if (shift >= 64)
+                fail("varint overflows 64 bits");
+        }
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = vu64();
+        if (n > remaining())
+            fail("string length " + std::to_string(n) +
+                 " exceeds the " + std::to_string(remaining()) +
+                 " bytes left");
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    void
+    bytes(void *out, std::size_t n)
+    {
+        need(n);
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    /** Advance past @p n bytes without decoding them (container
+     *  framing walks section payloads this way). */
+    void
+    skip(std::size_t n)
+    {
+        need(n);
+        pos_ += n;
+    }
+
+    std::size_t position() const { return pos_; }
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+    /** Deserializers call this last: trailing bytes mean the payload
+     *  does not match what this build would have written. */
+    void
+    expectEnd() const
+    {
+        if (!atEnd())
+            fail(std::to_string(remaining()) +
+                 " trailing bytes after the last field");
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw SnapshotError("snapshot: " + context_ + ": " + what +
+                            " (at byte " + std::to_string(pos_) +
+                            " of " + std::to_string(size_) + ")");
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (size_ - pos_ < n)
+            fail("truncated: need " + std::to_string(n) +
+                 " more bytes, " + std::to_string(size_ - pos_) +
+                 " left");
+    }
+
+    const unsigned char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::string context_;
+};
+
+} // namespace snap
+} // namespace cbs
+
+#endif // CBS_SNAPSHOT_WIRE_H

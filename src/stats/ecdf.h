@@ -42,6 +42,10 @@ class Ecdf
     /** The underlying sample set. */
     const ExactQuantiles &samples() const { return samples_; }
 
+    /** Snapshot hooks: delegate to the underlying sample set. */
+    void serialize(snap::Sink &sink) const { samples_.serialize(sink); }
+    void deserialize(snap::Source &src) { samples_.deserialize(src); }
+
     /**
      * Full step-function series: one (value, cumulative fraction) point
      * per distinct sample value.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "snapshot/wire.h"
 
 namespace cbs {
 
@@ -79,6 +80,30 @@ ExactQuantiles::sorted() const
 {
     ensureSorted();
     return values_;
+}
+
+void
+ExactQuantiles::serialize(snap::Sink &sink) const
+{
+    sink.vu64(values_.size());
+    for (double v : values_)
+        sink.f64(v);
+}
+
+void
+ExactQuantiles::deserialize(snap::Source &source)
+{
+    std::uint64_t n = source.vu64();
+    // 8 bytes per value: reject counts the payload cannot hold before
+    // reserving memory for them.
+    if (n > source.remaining() / 8)
+        source.fail("ExactQuantiles count " + std::to_string(n) +
+                    " exceeds the remaining payload");
+    values_.clear();
+    values_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        values_.push_back(source.f64());
+    sorted_ = std::is_sorted(values_.begin(), values_.end());
 }
 
 } // namespace cbs

@@ -16,6 +16,11 @@
 
 namespace cbs {
 
+namespace snap {
+class Sink;
+class Source;
+} // namespace snap
+
 class ExactQuantiles
 {
   public:
@@ -51,6 +56,13 @@ class ExactQuantiles
 
     /** Sorted copy of the observations. */
     const std::vector<double> &sorted() const;
+
+    /**
+     * Write the observations (in stored order) to @p sink;
+     * deserialize() replaces the current contents with them.
+     */
+    void serialize(snap::Sink &sink) const;
+    void deserialize(snap::Source &source);
 
   private:
     void ensureSorted() const;

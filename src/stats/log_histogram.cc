@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "snapshot/wire.h"
 
 namespace cbs {
 
@@ -144,6 +145,61 @@ LogHistogram::fractionBelow(std::uint64_t value) const
     if (empty() || value == 0)
         return 0.0;
     return cdfAt(value - 1);
+}
+
+void
+LogHistogram::serialize(snap::Sink &sink) const
+{
+    sink.vu64(static_cast<std::uint64_t>(sub_bits_));
+    sink.vu64(count_);
+    sink.f64(sum_);
+    sink.u64(min_);
+    sink.u64(max_);
+    // Sparse buckets: (index, count) pairs in index order. Most
+    // histograms touch a small fraction of their bucket array.
+    std::uint64_t nonzero = 0;
+    for (std::uint64_t b : buckets_)
+        nonzero += b != 0;
+    sink.vu64(nonzero);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        sink.vu64(i);
+        sink.vu64(buckets_[i]);
+    }
+}
+
+void
+LogHistogram::deserialize(snap::Source &source)
+{
+    std::uint64_t sub_bits = source.vu64();
+    if (sub_bits > 16)
+        source.fail("LogHistogram sub_bits " +
+                    std::to_string(sub_bits) + " out of range");
+    *this = LogHistogram(static_cast<int>(sub_bits));
+    count_ = source.vu64();
+    sum_ = source.f64();
+    min_ = source.u64();
+    max_ = source.u64();
+    std::uint64_t nonzero = source.vu64();
+    std::uint64_t total = 0;
+    std::uint64_t prev = 0;
+    for (std::uint64_t k = 0; k < nonzero; ++k) {
+        std::uint64_t index = source.vu64();
+        if (index >= buckets_.size() || (k && index <= prev))
+            source.fail("LogHistogram bucket index " +
+                        std::to_string(index) + " out of order or out "
+                        "of range");
+        std::uint64_t c = source.vu64();
+        if (c == 0)
+            source.fail("LogHistogram zero-count sparse bucket");
+        buckets_[static_cast<std::size_t>(index)] = c;
+        total += c;
+        prev = index;
+    }
+    if (total != count_)
+        source.fail("LogHistogram bucket sum " + std::to_string(total) +
+                    " does not match count " + std::to_string(count_));
 }
 
 std::vector<std::pair<std::uint64_t, double>>

@@ -19,6 +19,11 @@
 
 namespace cbs {
 
+namespace snap {
+class Sink;
+class Source;
+} // namespace snap
+
 class LogHistogram
 {
   public:
@@ -57,6 +62,14 @@ class LogHistogram
      * point per non-empty bucket — suitable for plotting.
      */
     std::vector<std::pair<std::uint64_t, double>> cdfSeries() const;
+
+    /**
+     * Write the full state (sub_bits, counters, non-empty buckets as
+     * sorted index/count pairs) to @p sink; deserialize() restores it
+     * exactly, replacing the current contents including sub_bits.
+     */
+    void serialize(snap::Sink &sink) const;
+    void deserialize(snap::Source &source);
 
   private:
     std::size_t bucketIndex(std::uint64_t value) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "snapshot/wire.h"
 
 namespace cbs {
 
@@ -93,6 +94,30 @@ P2Quantile::value() const
         return sorted[rank - 1];
     }
     return heights_[2];
+}
+
+void
+P2Quantile::serialize(snap::Sink &sink) const
+{
+    sink.f64(q_);
+    sink.vu64(count_);
+    for (const auto &arr :
+         {heights_, positions_, desired_, increments_})
+        for (double v : arr)
+            sink.f64(v);
+}
+
+void
+P2Quantile::deserialize(snap::Source &source)
+{
+    double q = source.f64();
+    if (!(q > 0.0 && q < 1.0))
+        source.fail("P2Quantile target quantile out of (0,1)");
+    q_ = q;
+    count_ = source.vu64();
+    for (auto *arr : {&heights_, &positions_, &desired_, &increments_})
+        for (double &v : *arr)
+            v = source.f64();
 }
 
 } // namespace cbs

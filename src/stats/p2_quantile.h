@@ -14,6 +14,11 @@
 
 namespace cbs {
 
+namespace snap {
+class Sink;
+class Source;
+} // namespace snap
+
 class P2Quantile
 {
   public:
@@ -27,6 +32,11 @@ class P2Quantile
     double value() const;
 
     std::uint64_t count() const { return count_; }
+
+    /** Write the five markers and counters to @p sink; deserialize()
+     *  restores the estimator exactly, including the target quantile. */
+    void serialize(snap::Sink &sink) const;
+    void deserialize(snap::Source &source);
 
   private:
     double parabolic(int i, double d) const;

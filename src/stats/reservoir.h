@@ -11,13 +11,19 @@
 #define CBS_STATS_RESERVOIR_H
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
+
+#include "snapshot/wire.h"
 
 namespace cbs {
 
 template <typename T>
 class Reservoir
 {
+    static_assert(std::is_arithmetic_v<T>,
+                  "Reservoir snapshot support covers arithmetic "
+                  "element types");
   public:
     /**
      * @param capacity sample size to retain.
@@ -49,7 +55,59 @@ class Reservoir
     /** The retained sample (unordered). */
     const std::vector<T> &sample() const { return sample_; }
 
+    /** Write capacity, PRNG state, seen count and the retained sample
+     *  to @p sink; deserialize() restores the sampler exactly, so a
+     *  resumed stream continues the same random sequence. */
+    void
+    serialize(snap::Sink &sink) const
+    {
+        sink.vu64(capacity_);
+        sink.u64(state_);
+        sink.vu64(seen_);
+        sink.vu64(sample_.size());
+        for (const T &v : sample_)
+            put(sink, v);
+    }
+
+    void
+    deserialize(snap::Source &source)
+    {
+        std::uint64_t capacity = source.vu64();
+        std::uint64_t state = source.u64();
+        std::uint64_t seen = source.vu64();
+        std::uint64_t n = source.vu64();
+        if (n > capacity)
+            source.fail("Reservoir sample larger than capacity");
+        if (n > source.remaining() / 8)
+            source.fail("Reservoir sample count " + std::to_string(n) +
+                        " exceeds the remaining payload");
+        capacity_ = static_cast<std::size_t>(capacity);
+        state_ = state ? state : 1;
+        seen_ = seen;
+        sample_.clear();
+        sample_.reserve(capacity_);
+        for (std::uint64_t i = 0; i < n; ++i)
+            sample_.push_back(get(source));
+    }
+
   private:
+    static void
+    put(snap::Sink &sink, const T &v)
+    {
+        if constexpr (std::is_floating_point_v<T>)
+            sink.f64(static_cast<double>(v));
+        else
+            sink.u64(static_cast<std::uint64_t>(v));
+    }
+
+    static T
+    get(snap::Source &source)
+    {
+        if constexpr (std::is_floating_point_v<T>)
+            return static_cast<T>(source.f64());
+        else
+            return static_cast<T>(source.u64());
+    }
     std::uint64_t
     nextRandom()
     {

@@ -1,5 +1,7 @@
 #include "stats/space_saving.h"
 
+#include "snapshot/wire.h"
+
 namespace cbs {
 
 SpaceSaving::SpaceSaving(std::size_t capacity)
@@ -57,6 +59,52 @@ SpaceSaving::estimate(std::uint64_t key) const
     if (const auto *idx = index_.find(key))
         return entries_[*idx].count;
     return 0;
+}
+
+void
+SpaceSaving::serialize(snap::Sink &sink) const
+{
+    sink.vu64(capacity_);
+    sink.vu64(total_);
+    sink.vu64(entries_.size());
+    for (const Entry &e : entries_) {
+        sink.u64(e.key);
+        sink.vu64(e.count);
+        sink.vu64(e.overcount);
+    }
+}
+
+void
+SpaceSaving::deserialize(snap::Source &source)
+{
+    std::uint64_t capacity = source.vu64();
+    if (capacity == 0)
+        source.fail("SpaceSaving zero capacity");
+    std::uint64_t total = source.vu64();
+    std::uint64_t n = source.vu64();
+    if (n > capacity)
+        source.fail("SpaceSaving entry count " + std::to_string(n) +
+                    " exceeds capacity " + std::to_string(capacity));
+    // 10 bytes minimum per entry on the wire.
+    if (n > source.remaining() / 10)
+        source.fail("SpaceSaving entry count " + std::to_string(n) +
+                    " exceeds the remaining payload");
+    capacity_ = static_cast<std::size_t>(capacity);
+    total_ = total;
+    entries_.clear();
+    entries_.reserve(capacity_);
+    index_ = FlatMap<std::uint32_t>(capacity_);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.key = source.u64();
+        e.count = source.vu64();
+        e.overcount = source.vu64();
+        if (index_.find(e.key))
+            source.fail("SpaceSaving duplicate key");
+        index_.insertOrAssign(e.key,
+                              static_cast<std::uint32_t>(i));
+        entries_.push_back(e);
+    }
 }
 
 } // namespace cbs

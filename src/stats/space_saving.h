@@ -19,6 +19,11 @@
 
 namespace cbs {
 
+namespace snap {
+class Sink;
+class Source;
+} // namespace snap
+
 class SpaceSaving
 {
   public:
@@ -50,6 +55,12 @@ class SpaceSaving
 
     /** Estimated count for @p key (0 if untracked). */
     std::uint64_t estimate(std::uint64_t key) const;
+
+    /** Write capacity, total weight and the tracked entries to
+     *  @p sink; deserialize() restores the sketch exactly (the key
+     *  index is rebuilt from the entries). */
+    void serialize(snap::Sink &sink) const;
+    void deserialize(snap::Source &source);
 
   private:
     std::size_t capacity_;

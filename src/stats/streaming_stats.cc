@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/wire.h"
+
 namespace cbs {
 
 void
@@ -50,6 +52,28 @@ double
 StreamingStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+StreamingStats::serialize(snap::Sink &sink) const
+{
+    sink.vu64(count_);
+    sink.f64(sum_);
+    sink.f64(mean_);
+    sink.f64(m2_);
+    sink.f64(min_);
+    sink.f64(max_);
+}
+
+void
+StreamingStats::deserialize(snap::Source &source)
+{
+    count_ = source.vu64();
+    sum_ = source.f64();
+    mean_ = source.f64();
+    m2_ = source.f64();
+    min_ = source.f64();
+    max_ = source.f64();
 }
 
 } // namespace cbs

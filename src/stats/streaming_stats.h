@@ -11,6 +11,11 @@
 
 namespace cbs {
 
+namespace snap {
+class Sink;
+class Source;
+} // namespace snap
+
 /**
  * Accumulates count, sum, mean, variance, min, and max of a stream of
  * doubles in O(1) space using Welford's numerically-stable recurrence.
@@ -36,6 +41,11 @@ class StreamingStats
     double min() const { return min_; }
     /** Largest observation; -inf when empty. */
     double max() const { return max_; }
+
+    /** Write the six accumulators to @p sink; deserialize() restores
+     *  them exactly. */
+    void serialize(snap::Sink &sink) const;
+    void deserialize(snap::Source &source);
 
   private:
     std::uint64_t count_ = 0;

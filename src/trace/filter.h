@@ -1,14 +1,18 @@
 /**
  * @file
  * Stream filter adapters: restrict a trace to a volume set, a time
- * window, or one op direction. Composable (each wraps a TraceSource
- * and is itself one), used for per-volume studies and for replaying
- * only the write stream into the flash simulators.
+ * window, or one op direction; slice it by record position (skip a
+ * prefix, cap the head); or partition it by volume-id residue.
+ * Composable (each wraps a TraceSource and is itself one), used for
+ * per-volume studies, for replaying only the write stream into the
+ * flash simulators, and for the snapshot emit-partial/resume flows.
  */
 
 #ifndef CBS_TRACE_FILTER_H
 #define CBS_TRACE_FILTER_H
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -18,6 +22,22 @@
 #include "trace/trace_source.h"
 
 namespace cbs {
+
+/** Non-owning adapter: presents a TraceSource the caller keeps alive
+ *  (e.g. one owned by an OpenedTraceSource) as a wrappable inner for
+ *  the owning adapters below. */
+class BorrowedSource : public TraceSource
+{
+  public:
+    explicit BorrowedSource(TraceSource &inner) : inner_(&inner) {}
+
+    bool next(IoRequest &req) override { return inner_->next(req); }
+    void reset() override { inner_->reset(); }
+    std::uint64_t sizeHint() const override { return inner_->sizeHint(); }
+
+  private:
+    TraceSource *inner_;
+};
 
 /** Pass through only the requests of the given volumes. */
 class VolumeFilterSource : public TraceSource
@@ -117,6 +137,131 @@ class OpFilterSource : public TraceSource
   private:
     std::unique_ptr<TraceSource> inner_;
     Op keep_;
+};
+
+/** Pass through only the volumes with id % modulus == residue — a
+ *  cheap deterministic way to split a trace into volume-disjoint
+ *  partitions (the snapshot merge contract). */
+class VolumeModFilterSource : public TraceSource
+{
+  public:
+    VolumeModFilterSource(std::unique_ptr<TraceSource> inner,
+                          std::uint64_t modulus, std::uint64_t residue)
+        : inner_(std::move(inner)), modulus_(modulus),
+          residue_(residue)
+    {
+        CBS_EXPECT(inner_ != nullptr, "null inner source");
+        CBS_EXPECT(modulus > 0, "zero modulus");
+        CBS_EXPECT(residue < modulus, "residue " << residue
+                                                 << " >= modulus "
+                                                 << modulus);
+    }
+
+    bool
+    next(IoRequest &req) override
+    {
+        while (inner_->next(req)) {
+            if (req.volume % modulus_ == residue_)
+                return true;
+        }
+        return false;
+    }
+
+    void reset() override { inner_->reset(); }
+
+    /** Upper bound: the inner hint, before filtering. */
+    std::uint64_t sizeHint() const override { return inner_->sizeHint(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t modulus_;
+    std::uint64_t residue_;
+};
+
+/** Skip the first @p skip records, then pass the rest through —
+ *  resuming from a snapshot replays the unconsumed tail this way. */
+class SkipPrefixSource : public TraceSource
+{
+  public:
+    SkipPrefixSource(std::unique_ptr<TraceSource> inner,
+                     std::uint64_t skip)
+        : inner_(std::move(inner)), skip_(skip), left_(skip)
+    {
+        CBS_EXPECT(inner_ != nullptr, "null inner source");
+    }
+
+    bool
+    next(IoRequest &req) override
+    {
+        while (left_ > 0) {
+            if (!inner_->next(req))
+                return false;
+            --left_;
+        }
+        return inner_->next(req);
+    }
+
+    void
+    reset() override
+    {
+        inner_->reset();
+        left_ = skip_;
+    }
+
+    /** The inner hint minus the skipped prefix. */
+    std::uint64_t
+    sizeHint() const override
+    {
+        std::uint64_t hint = inner_->sizeHint();
+        return hint > skip_ ? hint - skip_ : 0;
+    }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t skip_;
+    std::uint64_t left_;
+};
+
+/** Pass through at most the first @p limit records. */
+class HeadLimitSource : public TraceSource
+{
+  public:
+    HeadLimitSource(std::unique_ptr<TraceSource> inner,
+                    std::uint64_t limit)
+        : inner_(std::move(inner)), limit_(limit), left_(limit)
+    {
+        CBS_EXPECT(inner_ != nullptr, "null inner source");
+    }
+
+    bool
+    next(IoRequest &req) override
+    {
+        if (left_ == 0)
+            return false;
+        if (!inner_->next(req))
+            return false;
+        --left_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_->reset();
+        left_ = limit_;
+    }
+
+    /** The inner hint clamped to the limit. */
+    std::uint64_t
+    sizeHint() const override
+    {
+        return std::min(inner_->sizeHint(), limit_);
+    }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t limit_;
+    std::uint64_t left_;
 };
 
 } // namespace cbs

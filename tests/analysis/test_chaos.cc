@@ -18,8 +18,10 @@
 #include "analysis/workload_summary.h"
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "snapshot/snapshot.h"
 #include "synth/models.h"
 #include "trace/csv.h"
+#include "trace/filter.h"
 #include "trace/resilience.h"
 
 namespace cbs {
@@ -103,7 +105,9 @@ TEST(ChaosPipeline, FaultInjectedEightShardRunCompletesDeterministically)
     // the summary carries per-lane status.
     EXPECT_TRUE(run.status.degraded_enabled);
     EXPECT_FALSE(run.status.degraded);
-    ASSERT_EQ(run.status.lanes.size(), 9u); // 8 shards + in-order lane
+    // 8 shard lanes; the whole bundle is shardable, so there is no
+    // in-order lane.
+    ASSERT_EQ(run.status.lanes.size(), 8u);
     for (const LaneStatus &lane : run.status.lanes)
         EXPECT_TRUE(lane.ok) << lane.lane << ": " << lane.error;
     EXPECT_NE(run.json.find("\"pipeline\""), std::string::npos);
@@ -244,6 +248,124 @@ TEST(ChaosPipeline, SkipPolicyMatchesThePrecleanedCorpus)
     from_dirty.writeJson(json_dirty);
     from_clean.writeJson(json_clean);
     EXPECT_EQ(json_dirty.str(), json_clean.str());
+}
+
+/**
+ * Snapshots composed with the resilience stack: one healthy partial
+ * session (sharded, skip policy) and one session that "dies" after its
+ * last periodic checkpoint. Merging the healthy partial with that
+ * checkpoint must equal a direct skip-policy run over exactly the
+ * records the two sessions consumed — the degraded-operations story:
+ * a fault-killed lane's last checkpoint is mergeable, nothing rerun.
+ */
+TEST(ChaosPipeline, FailedSessionCheckpointMergesToSkipPolicyGolden)
+{
+    // Volume-disjoint halves of the chaos trace (the merge contract).
+    std::vector<IoRequest> evens, odds;
+    for (const IoRequest &req : chaosTrace())
+        (req.volume % 2 ? odds : evens).push_back(req);
+
+    // Corrupt-only plan: the skip decision is a pure function of the
+    // record index, so a replay sees the identical surviving stream
+    // regardless of batching (torn/transient faults are batch-shaped
+    // and would not replay across different pull patterns).
+    auto corruptPlan = [](std::uint64_t seed) {
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.corrupt_per_record = 0.02;
+        return plan;
+    };
+    ErrorPolicyOptions skip_policy;
+    skip_policy.policy = ReadErrorPolicy::Skip;
+
+    // Healthy session: sharded degraded-enabled run over the even
+    // volumes, stopped pre-finalize and snapshotted.
+    VectorSource evens_inner(evens);
+    FaultInjectingSource evens_faults(evens_inner, corruptPlan(31));
+    evens_faults.setErrorPolicy(skip_policy);
+    WorkloadSummary healthy;
+    ParallelOptions parallel;
+    parallel.shards = 4;
+    parallel.batch_size = 128;
+    parallel.degraded_ok = true;
+    parallel.finalize = false;
+    PipelineRunStatus status = healthy.run(evens_faults, parallel);
+    EXPECT_FALSE(status.degraded);
+    const std::uint64_t evens_consumed = healthy.basic.stats().requests();
+    EXPECT_GT(evens_faults.injected().corrupt, 0u);
+    EXPECT_EQ(evens_consumed,
+              evens.size() - evens_faults.injected().corrupt);
+    std::vector<unsigned char> healthy_bytes =
+        encodeSnapshot(healthy, {"evens", evens_consumed, 0, 0});
+
+    // Doomed session: serial run over the odd volumes with periodic
+    // checkpoints; the process "dies" mid-run, so all that survives is
+    // the bytes of a mid-stream checkpoint.
+    std::vector<std::pair<std::uint64_t, std::vector<unsigned char>>>
+        checkpoints;
+    {
+        VectorSource odds_inner(odds);
+        FaultInjectingSource odds_faults(odds_inner, corruptPlan(57));
+        odds_faults.setErrorPolicy(skip_policy);
+        WorkloadSummary doomed;
+        PipelineOptions serial;
+        serial.finalize = false;
+        serial.batch_records = 256;
+        serial.checkpoint_every = 700;
+        serial.checkpoint = [&](std::uint64_t consumed) {
+            checkpoints.emplace_back(
+                consumed,
+                encodeSnapshot(doomed, {"odds", consumed, 0, 0}));
+        };
+        doomed.run(odds_faults, serial);
+    }
+    ASSERT_GE(checkpoints.size(), 2u);
+    const auto &[survivor_consumed, survivor_bytes] =
+        checkpoints[checkpoints.size() / 2];
+
+    // Merge the healthy partial with the survivor checkpoint.
+    WorkloadSummary merged;
+    decodeSnapshot(healthy_bytes.data(), healthy_bytes.size(), "evens",
+                   merged);
+    WorkloadSummary survivor;
+    decodeSnapshot(survivor_bytes.data(), survivor_bytes.size(), "odds",
+                   survivor);
+    merged.mergeFrom(survivor);
+    for (ShardableAnalyzer *analyzer : merged.shardableAnalyzers())
+        analyzer->finalize();
+    EXPECT_EQ(merged.basic.stats().requests(),
+              evens_consumed + survivor_consumed);
+    std::ostringstream merged_json;
+    merged.writeJson(merged_json);
+
+    // Golden: one summary consuming the same surviving records
+    // directly — the full even half, then the odd half's skip-policy
+    // stream cut at the checkpoint (HeadLimit counts post-skip
+    // records, exactly the pipeline's consumed counter).
+    WorkloadSummary golden;
+    {
+        VectorSource inner(evens);
+        FaultInjectingSource faults(inner, corruptPlan(31));
+        faults.setErrorPolicy(skip_policy);
+        PipelineOptions serial;
+        serial.finalize = false;
+        golden.run(faults, serial);
+    }
+    {
+        VectorSource inner(odds);
+        FaultInjectingSource faults(inner, corruptPlan(57));
+        faults.setErrorPolicy(skip_policy);
+        HeadLimitSource limited(std::make_unique<BorrowedSource>(faults),
+                                survivor_consumed);
+        PipelineOptions serial;
+        serial.finalize = false;
+        golden.run(limited, serial);
+    }
+    for (ShardableAnalyzer *analyzer : golden.shardableAnalyzers())
+        analyzer->finalize();
+    std::ostringstream golden_json;
+    golden.writeJson(golden_json);
+    EXPECT_EQ(merged_json.str(), golden_json.str());
 }
 
 /** Shardable analyzer whose replicas stall hard on their first record. */

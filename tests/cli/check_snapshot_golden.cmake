@@ -1,0 +1,144 @@
+# Merge-parity and resume golden check for cbs_tool snapshots.
+#
+# One synthetic trace, partitioned into four volume-disjoint slices
+# with convert --volume-mod. Each slice is analyzed to a partial
+# snapshot under a different combination of trace encoding
+# (csv/bin/cbt2), pipeline (serial / --threads), and batch size; the
+# merged result must be byte-identical to analyzing the whole trace in
+# one run. The resume path gets the same treatment: a --max-records /
+# --resume-from chain and a --checkpoint run must both land on the
+# single-run JSON, and a config-mismatched partial must be refused.
+# Invoked via: cmake -DCBS_TOOL=... -DWORK_DIR=... -P this script.
+
+foreach(var CBS_TOOL WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(csv "${WORK_DIR}/snap_golden.csv")
+execute_process(
+    COMMAND "${CBS_TOOL}" generate "${csv}" --volumes 9
+            --requests 24000 --seed 19
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "generate exited ${rc}: ${stderr}")
+endif()
+
+function(run_tool)
+    execute_process(
+        COMMAND "${CBS_TOOL}" ${ARGN}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "cbs_tool ${ARGN} exited ${rc}: ${stderr}")
+    endif()
+endfunction()
+
+function(expect_same a b what)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files "${a}" "${b}"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${what}: ${b} differs from ${a}")
+    endif()
+endfunction()
+
+# The single-run golden everything must match.
+run_tool(analyze "${csv}" --interval 720
+         --summary-json "${WORK_DIR}/snap_single.json")
+
+# Four volume-disjoint slices; slices 1 and 2 additionally re-encoded
+# so the partials cover all three trace formats.
+foreach(r RANGE 3)
+    run_tool(convert "${csv}" "${WORK_DIR}/snap_part${r}.csv"
+             --volume-mod 4 --volume-residue ${r})
+endforeach()
+run_tool(convert "${WORK_DIR}/snap_part1.csv"
+         "${WORK_DIR}/snap_part1.bin")
+run_tool(convert "${WORK_DIR}/snap_part2.csv"
+         "${WORK_DIR}/snap_part2.cbt2")
+
+# Emit each partial under a different format x pipeline x batch-size
+# combination: the partial snapshot must not depend on any of them.
+run_tool(analyze "${WORK_DIR}/snap_part0.csv" --interval 720
+         --emit-partial "${WORK_DIR}/snap_part0.cbss")
+run_tool(analyze "${WORK_DIR}/snap_part1.bin" --interval 720
+         --threads 2 --emit-partial "${WORK_DIR}/snap_part1.cbss")
+run_tool(analyze "${WORK_DIR}/snap_part2.cbt2" --interval 720
+         --batch-records 257 --scalar
+         --emit-partial "${WORK_DIR}/snap_part2.cbss")
+run_tool(analyze "${WORK_DIR}/snap_part3.csv" --interval 720
+         --threads 3 --batch-records 129
+         --emit-partial "${WORK_DIR}/snap_part3.cbss")
+
+run_tool(merge "${WORK_DIR}/snap_part0.cbss"
+         "${WORK_DIR}/snap_part1.cbss" "${WORK_DIR}/snap_part2.cbss"
+         "${WORK_DIR}/snap_part3.cbss"
+         --summary-json "${WORK_DIR}/snap_merged.json")
+expect_same("${WORK_DIR}/snap_single.json"
+            "${WORK_DIR}/snap_merged.json" "4-way merge parity")
+
+# Hierarchical merge: fold two partials into an intermediate snapshot,
+# then merge that with the rest.
+run_tool(merge "${WORK_DIR}/snap_part0.cbss"
+         "${WORK_DIR}/snap_part1.cbss"
+         --emit-partial "${WORK_DIR}/snap_part01.cbss")
+run_tool(merge "${WORK_DIR}/snap_part01.cbss"
+         "${WORK_DIR}/snap_part2.cbss" "${WORK_DIR}/snap_part3.cbss"
+         --summary-json "${WORK_DIR}/snap_merged2.json")
+expect_same("${WORK_DIR}/snap_single.json"
+            "${WORK_DIR}/snap_merged2.json" "hierarchical merge parity")
+
+# Resume chain: three sessions over one trace via --max-records and
+# --resume-from, finishing on the single-run JSON.
+run_tool(analyze "${csv}" --interval 720 --max-records 9000
+         --emit-partial "${WORK_DIR}/snap_head1.cbss")
+run_tool(analyze "${csv}" --interval 720
+         --resume-from "${WORK_DIR}/snap_head1.cbss" --max-records 9000
+         --emit-partial "${WORK_DIR}/snap_head2.cbss")
+run_tool(analyze "${csv}" --interval 720
+         --resume-from "${WORK_DIR}/snap_head2.cbss"
+         --summary-json "${WORK_DIR}/snap_resumed.json")
+expect_same("${WORK_DIR}/snap_single.json"
+            "${WORK_DIR}/snap_resumed.json" "resume-chain parity")
+
+# Checkpointed run: the run itself must match, and resuming from the
+# final checkpoint (a complete pre-finalize state) must too.
+run_tool(analyze "${csv}" --interval 720
+         --checkpoint "${WORK_DIR}/snap_ckpt.cbss"
+         --checkpoint-every 7000
+         --summary-json "${WORK_DIR}/snap_ckpt_run.json")
+expect_same("${WORK_DIR}/snap_single.json"
+            "${WORK_DIR}/snap_ckpt_run.json" "checkpointed-run parity")
+run_tool(analyze "${csv}" --interval 720
+         --resume-from "${WORK_DIR}/snap_ckpt.cbss"
+         --summary-json "${WORK_DIR}/snap_ckpt_resumed.json")
+expect_same("${WORK_DIR}/snap_single.json"
+            "${WORK_DIR}/snap_ckpt_resumed.json"
+            "final-checkpoint resume parity")
+
+# A partial produced under different analysis flags must be refused
+# with a diagnostic, not merged.
+run_tool(analyze "${WORK_DIR}/snap_part0.csv" --interval 1440
+         --emit-partial "${WORK_DIR}/snap_mismatch.cbss")
+execute_process(
+    COMMAND "${CBS_TOOL}" merge "${WORK_DIR}/snap_part1.cbss"
+            "${WORK_DIR}/snap_mismatch.cbss"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "merging config-mismatched partials unexpectedly succeeded")
+endif()
+if(NOT stderr MATCHES "configuration")
+    message(FATAL_ERROR
+            "config-mismatch merge failed without naming the "
+            "configuration: ${stderr}")
+endif()
+
+message(STATUS "snapshot merge/resume/checkpoint parity holds across "
+               "formats, pipelines, and batch sizes")

@@ -130,14 +130,26 @@ TEST(ObsInstrumentation, ParallelCountersMatchAnalyzerObservations)
     VectorSource source(trace());
     source.attachMetrics(registry);
 
+    // Plain (non-shardable) analyzer: rides the in-order lane.
+    class InOrderProbe : public Analyzer
+    {
+      public:
+        void consume(const IoRequest &) override { ++count_; }
+        std::string name() const override { return "inorder_probe"; }
+        std::uint64_t count() const { return count_; }
+
+      private:
+        std::uint64_t count_ = 0;
+    };
+
     BasicStatsAnalyzer basic;
-    ActiveDaysAnalyzer days; // not shardable: rides the in-order lane
+    InOrderProbe probe;
     ParallelOptions options;
     options.shards = 4;
     options.batch_size = 256;
     options.queue_batches = 2;
     options.metrics = &registry;
-    runPipelineParallel(source, {&basic, &days}, options);
+    runPipelineParallel(source, {&basic, &probe}, options);
 
     const std::uint64_t ingested =
         counterOrZero(registry, "ingest.records");

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Round-trip property tests for every shardable analyzer in the
+ * bundle: over zipf-skewed, uniform-random, and sequential-scan
+ * streams (plus empty and single-record edge states),
+ * deserialize(serialize(x)) must re-serialize to the identical byte
+ * image, and merging deserialized replicas must produce the same
+ * finalized JSON as merging the live replicas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/workload_summary.h"
+#include "common/flat_map.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/wire.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+enum class Stream { Zipf, Uniform, Scan };
+
+/** Deterministic synthetic stream of the requested flavour. */
+std::vector<IoRequest>
+makeStream(Stream kind, std::size_t n, VolumeId volumes,
+           VolumeId first_volume = 0)
+{
+    std::vector<IoRequest> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        IoRequest req;
+        req.timestamp = static_cast<TimeUs>(i) * 350;
+        req.volume =
+            first_volume + static_cast<VolumeId>(mix64(i) % volumes);
+        std::uint64_t r = mix64(i * 2 + 1);
+        switch (kind) {
+        case Stream::Zipf: {
+            // Quadratic skew: low block numbers dominate.
+            std::uint64_t rank = r % 4096;
+            req.offset = (rank * rank / 4096) * 4096;
+            req.op = (r >> 13) % 10 < 6 ? Op::Write : Op::Read;
+            req.length = 4096 << ((r >> 17) % 3);
+            break;
+        }
+        case Stream::Uniform:
+            req.offset = (r % (1ULL << 18)) * 4096;
+            req.op = (r >> 19) % 2 ? Op::Read : Op::Write;
+            req.length = 4096;
+            break;
+        case Stream::Scan:
+            req.offset = static_cast<ByteOffset>(i) * 65536;
+            req.op = (i % 16) == 0 ? Op::Write : Op::Read;
+            req.length = 65536;
+            break;
+        }
+        out.push_back(req);
+    }
+    return out;
+}
+
+/** Run @p requests through a fresh summary, stopping pre-finalize. */
+void
+runPreFinalize(WorkloadSummary &summary,
+               const std::vector<IoRequest> &requests)
+{
+    VectorSource source(requests);
+    PipelineOptions pipeline;
+    pipeline.finalize = false;
+    summary.run(source, pipeline);
+}
+
+/** Per-analyzer serialize -> deserialize-into-clone -> re-serialize:
+ *  the byte images must be identical, field for field. */
+void
+expectAnalyzerRoundTrips(WorkloadSummary &summary)
+{
+    for (ShardableAnalyzer *analyzer : summary.shardableAnalyzers()) {
+        snap::Sink first;
+        analyzer->serialize(first);
+        std::unique_ptr<ShardableAnalyzer> fresh = analyzer->clone();
+        snap::Source src(first.data().data(), first.size(),
+                         analyzer->name());
+        fresh->deserialize(src);
+        src.expectEnd();
+        snap::Sink second;
+        fresh->serialize(second);
+        EXPECT_EQ(first.data(), second.data())
+            << analyzer->name()
+            << ": re-serialized image differs from the original";
+    }
+}
+
+std::string
+finalizedJson(WorkloadSummary &summary)
+{
+    for (ShardableAnalyzer *analyzer : summary.shardableAnalyzers())
+        analyzer->finalize();
+    std::ostringstream out;
+    summary.writeJson(out);
+    return out.str();
+}
+
+class SnapshotAnalyzerRoundTrip
+    : public ::testing::TestWithParam<Stream>
+{
+};
+
+TEST_P(SnapshotAnalyzerRoundTrip, EveryAnalyzerReserializesIdentically)
+{
+    WorkloadSummary summary;
+    runPreFinalize(summary, makeStream(GetParam(), 6000, 12));
+    expectAnalyzerRoundTrips(summary);
+}
+
+TEST_P(SnapshotAnalyzerRoundTrip, MergingDeserializedReplicasMatchesLive)
+{
+    const Stream kind = GetParam();
+    // Volume-disjoint halves, as the sharding/merge contract requires.
+    const auto part_a = makeStream(kind, 3000, 6, 0);
+    const auto part_b = makeStream(kind, 3000, 6, 100);
+
+    // Live merge: two populated summaries folded directly.
+    WorkloadSummary live_a, live_b;
+    runPreFinalize(live_a, part_a);
+    runPreFinalize(live_b, part_b);
+
+    // Snapshot merge: the same two states through encode/decode first.
+    WorkloadSummary snap_src_a, snap_src_b;
+    runPreFinalize(snap_src_a, part_a);
+    runPreFinalize(snap_src_b, part_b);
+    auto bytes_a = encodeSnapshot(snap_src_a, {"a", part_a.size(), 0, 0});
+    auto bytes_b = encodeSnapshot(snap_src_b, {"b", part_b.size(), 0, 0});
+    WorkloadSummary from_snap_a, from_snap_b;
+    decodeSnapshot(bytes_a.data(), bytes_a.size(), "a", from_snap_a);
+    decodeSnapshot(bytes_b.data(), bytes_b.size(), "b", from_snap_b);
+
+    live_a.mergeFrom(live_b);
+    from_snap_a.mergeFrom(from_snap_b);
+    EXPECT_EQ(finalizedJson(from_snap_a), finalizedJson(live_a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, SnapshotAnalyzerRoundTrip,
+                         ::testing::Values(Stream::Zipf, Stream::Uniform,
+                                           Stream::Scan),
+                         [](const auto &info) {
+                             switch (info.param) {
+                             case Stream::Zipf: return "zipf";
+                             case Stream::Uniform: return "uniform";
+                             default: return "scan";
+                             }
+                         });
+
+TEST(SnapshotAnalyzerRoundTripEdge, EmptyStateRoundTrips)
+{
+    WorkloadSummary summary; // never ran: every analyzer is empty
+    expectAnalyzerRoundTrips(summary);
+}
+
+TEST(SnapshotAnalyzerRoundTripEdge, SingleRecordStateRoundTrips)
+{
+    WorkloadSummary summary;
+    runPreFinalize(summary, makeStream(Stream::Zipf, 1, 1));
+    expectAnalyzerRoundTrips(summary);
+}
+
+TEST(SnapshotAnalyzerRoundTripEdge,
+     DecodedEmptySnapshotFinalizesLikeAnEmptyRun)
+{
+    WorkloadSummary empty;
+    auto bytes = encodeSnapshot(empty, {"empty", 0, 0, 0});
+    WorkloadSummary restored;
+    decodeSnapshot(bytes.data(), bytes.size(), "empty", restored);
+
+    WorkloadSummary baseline;
+    EXPECT_EQ(finalizedJson(restored), finalizedJson(baseline));
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Merge-parity tests at the library level: encode volume-disjoint
+ * partial runs, decode and fold them back together, and require the
+ * finalized summary JSON to be byte-identical to a single run over the
+ * whole trace — across partial counts, serial and parallel partial
+ * runs, and uneven splits. Also locks down the guard rails: config
+ * hash mismatches are hard errors and provenance combines as
+ * documented.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/workload_summary.h"
+#include "snapshot/snapshot.h"
+#include "synth/models.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+/** Deterministic many-volume trace shared by the parity runs. */
+const std::vector<IoRequest> &
+parityTrace()
+{
+    static const std::vector<IoRequest> requests = [] {
+        auto source = makeTrace(aliCloudSpanSpec(SpanScale{24, 5000}), 13);
+        return drain(*source);
+    }();
+    return requests;
+}
+
+std::vector<IoRequest>
+volumeResidue(const std::vector<IoRequest> &all, std::uint64_t modulus,
+              std::uint64_t residue)
+{
+    std::vector<IoRequest> out;
+    for (const IoRequest &req : all)
+        if (req.volume % modulus == residue)
+            out.push_back(req);
+    return out;
+}
+
+std::string
+singleRunJson()
+{
+    WorkloadSummary summary;
+    VectorSource source(parityTrace());
+    summary.run(source);
+    std::ostringstream out;
+    summary.writeJson(out);
+    return out.str();
+}
+
+std::string
+finalizedJson(WorkloadSummary &summary)
+{
+    for (ShardableAnalyzer *analyzer : summary.shardableAnalyzers())
+        analyzer->finalize();
+    std::ostringstream out;
+    summary.writeJson(out);
+    return out.str();
+}
+
+/** Emit one partial: run @p slice pre-finalize (serially or sharded)
+ *  and encode it. */
+std::vector<unsigned char>
+emitPartial(const std::vector<IoRequest> &slice,
+            const std::string &label, unsigned threads)
+{
+    WorkloadSummary summary;
+    VectorSource source(slice);
+    if (threads == 0) {
+        PipelineOptions pipeline;
+        pipeline.finalize = false;
+        summary.run(source, pipeline);
+    } else {
+        ParallelOptions parallel;
+        parallel.shards = threads;
+        parallel.batch_size = 128;
+        parallel.finalize = false;
+        summary.run(source, parallel);
+    }
+    SnapshotProvenance provenance;
+    provenance.source_id = label;
+    provenance.record_count = summary.basic.stats().requests();
+    return encodeSnapshot(summary, provenance);
+}
+
+std::string
+mergePartials(const std::vector<std::vector<unsigned char>> &partials)
+{
+    WorkloadSummary merged;
+    bool first = true;
+    for (const auto &bytes : partials) {
+        if (first) {
+            decodeSnapshot(bytes.data(), bytes.size(), "first", merged);
+            first = false;
+            continue;
+        }
+        WorkloadSummary part;
+        decodeSnapshot(bytes.data(), bytes.size(), "part", part);
+        merged.mergeFrom(part);
+    }
+    return finalizedJson(merged);
+}
+
+class SnapshotMergeParity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SnapshotMergeParity, NWayVolumeSplitMatchesSingleRun)
+{
+    const unsigned ways = GetParam();
+    std::vector<std::vector<unsigned char>> partials;
+    for (unsigned r = 0; r < ways; ++r)
+        partials.push_back(
+            emitPartial(volumeResidue(parityTrace(), ways, r),
+                        "part" + std::to_string(r), 0));
+    EXPECT_EQ(mergePartials(partials), singleRunJson());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, SnapshotMergeParity,
+                         ::testing::Values(2u, 4u, 7u));
+
+TEST(SnapshotMergeParityModes, ParallelPartialsMatchSingleRun)
+{
+    // Each partial produced by the sharded pipeline: replica merge
+    // first, snapshot merge on top — both layers must be exact.
+    std::vector<std::vector<unsigned char>> partials;
+    for (unsigned r = 0; r < 4; ++r)
+        partials.push_back(
+            emitPartial(volumeResidue(parityTrace(), 4, r),
+                        "part" + std::to_string(r), 3));
+    EXPECT_EQ(mergePartials(partials), singleRunJson());
+}
+
+TEST(SnapshotMergeParityModes, MergeOrderDoesNotMatter)
+{
+    std::vector<std::vector<unsigned char>> partials;
+    for (unsigned r = 0; r < 4; ++r)
+        partials.push_back(
+            emitPartial(volumeResidue(parityTrace(), 4, r),
+                        "part" + std::to_string(r), 0));
+    std::string forward = mergePartials(partials);
+    std::reverse(partials.begin(), partials.end());
+    EXPECT_EQ(mergePartials(partials), forward);
+    EXPECT_EQ(forward, singleRunJson());
+}
+
+TEST(SnapshotMergeParityModes, UnevenSplitWithEmptyPartialMatches)
+{
+    // Residue classes of a modulus larger than the volume count leave
+    // some partials completely empty; they must merge as no-ops.
+    const unsigned ways = 32;
+    std::vector<std::vector<unsigned char>> partials;
+    for (unsigned r = 0; r < ways; ++r)
+        partials.push_back(
+            emitPartial(volumeResidue(parityTrace(), ways, r),
+                        "part" + std::to_string(r), 0));
+    EXPECT_EQ(mergePartials(partials), singleRunJson());
+}
+
+TEST(SnapshotMergeParityGuards, ConfigHashMismatchIsAHardError)
+{
+    WorkloadSummaryOptions other_options;
+    other_options.activeness_interval = 5 * units::minute;
+    WorkloadSummary other(other_options);
+    auto bytes = encodeSnapshot(other, {"other", 0, 0, 0});
+
+    WorkloadSummary default_options_summary;
+    EXPECT_THROW(decodeSnapshot(bytes.data(), bytes.size(), "other",
+                                default_options_summary),
+                 SnapshotError);
+}
+
+TEST(SnapshotMergeParityGuards, DurationIsNotPartOfTheConfigHash)
+{
+    WorkloadSummaryOptions a, b;
+    a.duration = 10 * units::day;
+    b.duration = 31 * units::day;
+    EXPECT_EQ(snapshotConfigHash(a), snapshotConfigHash(b));
+
+    WorkloadSummaryOptions c = a;
+    c.block_size = a.block_size * 2;
+    EXPECT_NE(snapshotConfigHash(a), snapshotConfigHash(c));
+    WorkloadSummaryOptions d = a;
+    d.peak_window = a.peak_window + units::minute;
+    EXPECT_NE(snapshotConfigHash(a), snapshotConfigHash(d));
+}
+
+TEST(SnapshotMergeParityGuards, ProvenanceCombinesAsDocumented)
+{
+    SnapshotProvenance a{"alpha.csv", 100, 50, 900};
+    SnapshotProvenance b{"beta.csv", 25, 10, 400};
+    a.combine(b);
+    EXPECT_EQ(a.source_id, "alpha.csv+beta.csv");
+    EXPECT_EQ(a.record_count, 125u);
+    EXPECT_EQ(a.first_timestamp, 10u);
+    EXPECT_EQ(a.last_timestamp, 900u);
+
+    // Identical ids collapse instead of repeating.
+    SnapshotProvenance c{"alpha.csv+beta.csv", 5, 0, 1000};
+    a.combine(c);
+    EXPECT_EQ(a.source_id, "alpha.csv+beta.csv");
+    EXPECT_EQ(a.record_count, 130u);
+    EXPECT_EQ(a.last_timestamp, 1000u);
+
+    // An empty side contributes nothing to the time range.
+    SnapshotProvenance start{"s", 0, 0, 0};
+    SnapshotProvenance data{"s", 10, 700, 800};
+    start.combine(data);
+    EXPECT_EQ(start.first_timestamp, 700u);
+    EXPECT_EQ(start.last_timestamp, 800u);
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Checkpoint / resume tests: a run snapshotted mid-stream and resumed
+ * over the remaining tail must finalize to JSON byte-identical to one
+ * uninterrupted run — through a single break, a chain of breaks, and
+ * the serial pipeline's checkpoint hook, including the on-disk
+ * write/read path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/workload_summary.h"
+#include "snapshot/snapshot.h"
+#include "synth/models.h"
+#include "trace/filter.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+const std::vector<IoRequest> &
+resumeTrace()
+{
+    static const std::vector<IoRequest> requests = [] {
+        auto source = makeTrace(aliCloudSpanSpec(SpanScale{10, 4000}), 17);
+        return drain(*source);
+    }();
+    return requests;
+}
+
+std::string
+singleRunJson()
+{
+    WorkloadSummary summary;
+    VectorSource source(resumeTrace());
+    summary.run(source);
+    std::ostringstream out;
+    summary.writeJson(out);
+    return out.str();
+}
+
+/** Consume records [skip, skip+limit) of the trace into @p summary,
+ *  pre-finalize (limit 0 = through the end). */
+void
+runSlice(WorkloadSummary &summary, std::uint64_t skip,
+         std::uint64_t limit)
+{
+    std::unique_ptr<TraceSource> source =
+        std::make_unique<VectorSource>(resumeTrace());
+    if (skip)
+        source =
+            std::make_unique<SkipPrefixSource>(std::move(source), skip);
+    if (limit)
+        source =
+            std::make_unique<HeadLimitSource>(std::move(source), limit);
+    PipelineOptions pipeline;
+    pipeline.finalize = false;
+    summary.run(*source, pipeline);
+}
+
+std::string
+finalizedJson(WorkloadSummary &summary)
+{
+    for (ShardableAnalyzer *analyzer : summary.shardableAnalyzers())
+        analyzer->finalize();
+    std::ostringstream out;
+    summary.writeJson(out);
+    return out.str();
+}
+
+TEST(SnapshotResume, OneBreakMatchesSingleRun)
+{
+    const std::uint64_t cut = resumeTrace().size() / 3;
+
+    WorkloadSummary head;
+    runSlice(head, 0, cut);
+    auto bytes = encodeSnapshot(head, {"trace", cut, 0, 0});
+
+    WorkloadSummary resumed;
+    SnapshotInfo info =
+        decodeSnapshot(bytes.data(), bytes.size(), "trace", resumed);
+    EXPECT_EQ(info.provenance.record_count, cut);
+    runSlice(resumed, info.provenance.record_count, 0);
+    EXPECT_EQ(finalizedJson(resumed), singleRunJson());
+}
+
+TEST(SnapshotResume, BreakPositionsIncludingEdgesMatch)
+{
+    const std::uint64_t total = resumeTrace().size();
+    for (std::uint64_t cut : {std::uint64_t{0}, std::uint64_t{1},
+                              total - 1, total}) {
+        // A cut at zero means snapshotting a fresh summary.
+        WorkloadSummary head;
+        if (cut != 0)
+            runSlice(head, 0, cut);
+        auto bytes = encodeSnapshot(head, {"trace", cut, 0, 0});
+        WorkloadSummary resumed;
+        decodeSnapshot(bytes.data(), bytes.size(), "trace", resumed);
+        if (cut < total)
+            runSlice(resumed, cut, 0);
+        EXPECT_EQ(finalizedJson(resumed), singleRunJson())
+            << "cut at " << cut << " of " << total;
+    }
+}
+
+TEST(SnapshotResume, ChainedBreaksMatchSingleRun)
+{
+    // Three separate sessions, each resuming the previous snapshot —
+    // the CLI's --max-records / --resume-from chunking.
+    const std::uint64_t total = resumeTrace().size();
+    const std::uint64_t chunk = total / 4 + 1;
+    std::vector<unsigned char> bytes;
+    std::uint64_t consumed = 0;
+    bool first = true;
+    while (consumed < total) {
+        WorkloadSummary session;
+        if (!first)
+            decodeSnapshot(bytes.data(), bytes.size(), "chain", session);
+        first = false;
+        std::uint64_t take = std::min(chunk, total - consumed);
+        runSlice(session, consumed, take);
+        consumed += take;
+        bytes = encodeSnapshot(session, {"trace", consumed, 0, 0});
+    }
+
+    WorkloadSummary final_state;
+    decodeSnapshot(bytes.data(), bytes.size(), "chain", final_state);
+    EXPECT_EQ(finalizedJson(final_state), singleRunJson());
+}
+
+TEST(SnapshotResume, CheckpointHookStateResumesExactly)
+{
+    // Serial run with a periodic checkpoint hook; every checkpoint it
+    // captures must resume to the single-run result.
+    struct Checkpoint
+    {
+        std::uint64_t consumed;
+        std::vector<unsigned char> bytes;
+    };
+    std::vector<Checkpoint> checkpoints;
+
+    WorkloadSummary summary;
+    VectorSource source(resumeTrace());
+    PipelineOptions pipeline;
+    pipeline.finalize = false;
+    pipeline.batch_records = 512;
+    pipeline.checkpoint_every = 2000;
+    pipeline.checkpoint = [&](std::uint64_t consumed) {
+        checkpoints.push_back(
+            {consumed, encodeSnapshot(summary, {"trace", consumed, 0, 0})});
+    };
+    summary.run(source, pipeline);
+
+    ASSERT_GE(checkpoints.size(), 2u);
+    std::uint64_t previous = 0;
+    for (const Checkpoint &cp : checkpoints) {
+        EXPECT_GT(cp.consumed, previous);
+        previous = cp.consumed;
+        WorkloadSummary resumed;
+        decodeSnapshot(cp.bytes.data(), cp.bytes.size(), "checkpoint",
+                       resumed);
+        runSlice(resumed, cp.consumed, 0);
+        EXPECT_EQ(finalizedJson(resumed), singleRunJson())
+            << "checkpoint at " << cp.consumed;
+    }
+}
+
+TEST(SnapshotResume, DiskRoundTripPreservesEverything)
+{
+    const std::string path =
+        ::testing::TempDir() + "/snapshot_resume_test.cbss";
+    const std::uint64_t cut = resumeTrace().size() / 2;
+
+    WorkloadSummary head;
+    runSlice(head, 0, cut);
+    SnapshotProvenance provenance{"trace", cut, 123, 456};
+    writeSnapshotFile(path, head, provenance);
+
+    SnapshotInfo peeked = peekSnapshotFile(path);
+    EXPECT_EQ(peeked.provenance.source_id, "trace");
+    EXPECT_EQ(peeked.provenance.record_count, cut);
+    EXPECT_EQ(peeked.provenance.first_timestamp, 123u);
+    EXPECT_EQ(peeked.provenance.last_timestamp, 456u);
+
+    WorkloadSummary resumed;
+    readSnapshotFile(path, resumed);
+    runSlice(resumed, cut, 0);
+    EXPECT_EQ(finalizedJson(resumed), singleRunJson());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cbs

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Wire-primitive tests for the cbs.snapshot.v1 Sink/Source pair: exact
+ * round-trips for every scalar type, varint boundary and overflow
+ * behaviour, and the bounds-checked error model (truncation, runaway
+ * lengths, trailing bytes). Suite names start with "Wire" so the CI
+ * snapshot job's test filter picks them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "snapshot/wire.h"
+
+namespace cbs {
+namespace {
+
+snap::Source
+sourceOf(const snap::Sink &sink, std::string context = "test")
+{
+    return snap::Source(sink.data().data(), sink.size(),
+                        std::move(context));
+}
+
+TEST(WireSink, ScalarsRoundTripExactly)
+{
+    snap::Sink sink;
+    sink.u8(0);
+    sink.u8(0xff);
+    sink.u32(0);
+    sink.u32(0xdeadbeef);
+    sink.u64(0);
+    sink.u64(~std::uint64_t{0});
+    sink.f64(0.0);
+    sink.f64(-0.0);
+    sink.f64(3.141592653589793);
+    sink.f64(std::numeric_limits<double>::infinity());
+    sink.f64(std::numeric_limits<double>::denorm_min());
+
+    snap::Source src = sourceOf(sink);
+    EXPECT_EQ(src.u8(), 0u);
+    EXPECT_EQ(src.u8(), 0xffu);
+    EXPECT_EQ(src.u32(), 0u);
+    EXPECT_EQ(src.u32(), 0xdeadbeefu);
+    EXPECT_EQ(src.u64(), 0u);
+    EXPECT_EQ(src.u64(), ~std::uint64_t{0});
+    EXPECT_EQ(src.f64(), 0.0);
+    double neg_zero = src.f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_EQ(src.f64(), 3.141592653589793);
+    EXPECT_EQ(src.f64(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(src.f64(), std::numeric_limits<double>::denorm_min());
+    EXPECT_TRUE(src.atEnd());
+    EXPECT_NO_THROW(src.expectEnd());
+}
+
+TEST(WireSink, NanBitPatternSurvives)
+{
+    // A NaN with a non-default payload must round-trip bit for bit.
+    std::uint64_t bits = 0x7ff80000deadbeefULL;
+    double weird_nan;
+    std::memcpy(&weird_nan, &bits, sizeof(weird_nan));
+
+    snap::Sink sink;
+    sink.f64(weird_nan);
+    snap::Source src = sourceOf(sink);
+    double back = src.f64();
+    std::uint64_t back_bits;
+    std::memcpy(&back_bits, &back, sizeof(back_bits));
+    EXPECT_EQ(back_bits, bits);
+}
+
+TEST(WireSink, VarintBoundariesRoundTrip)
+{
+    const std::uint64_t cases[] = {
+        0,
+        1,
+        127,
+        128,
+        129,
+        0x3fff,
+        0x4000,
+        (1ULL << 32) - 1,
+        1ULL << 32,
+        (1ULL << 63) - 1,
+        1ULL << 63,
+        ~std::uint64_t{0},
+    };
+    snap::Sink sink;
+    for (std::uint64_t v : cases)
+        sink.vu64(v);
+    snap::Source src = sourceOf(sink);
+    for (std::uint64_t v : cases)
+        EXPECT_EQ(src.vu64(), v);
+    EXPECT_TRUE(src.atEnd());
+}
+
+TEST(WireSink, VarintIsOneBytePerSmallValue)
+{
+    snap::Sink sink;
+    sink.vu64(127);
+    EXPECT_EQ(sink.size(), 1u);
+    sink.vu64(128);
+    EXPECT_EQ(sink.size(), 3u); // two more bytes
+}
+
+TEST(WireSink, StringsAndBytesRoundTrip)
+{
+    std::string embedded_nul("a\0b", 3);
+    snap::Sink sink;
+    sink.str("");
+    sink.str("hello");
+    sink.str(embedded_nul);
+    const unsigned char raw[] = {0x00, 0x80, 0xff};
+    sink.bytes(raw, sizeof(raw));
+
+    snap::Source src = sourceOf(sink);
+    EXPECT_EQ(src.str(), "");
+    EXPECT_EQ(src.str(), "hello");
+    EXPECT_EQ(src.str(), embedded_nul);
+    unsigned char back[3] = {};
+    src.bytes(back, sizeof(back));
+    EXPECT_EQ(std::memcmp(back, raw, sizeof(raw)), 0);
+    EXPECT_TRUE(src.atEnd());
+}
+
+TEST(WireSink, TakeMovesTheBuffer)
+{
+    snap::Sink sink;
+    sink.u32(42);
+    std::vector<unsigned char> bytes = sink.take();
+    EXPECT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(WireSource, TruncationThrowsForEveryScalarType)
+{
+    snap::Sink sink;
+    sink.u8(7); // one byte: too short for anything wider
+    {
+        snap::Source src = sourceOf(sink);
+        EXPECT_THROW(src.u32(), SnapshotError);
+    }
+    {
+        snap::Source src = sourceOf(sink);
+        EXPECT_THROW(src.u64(), SnapshotError);
+    }
+    {
+        snap::Source src = sourceOf(sink);
+        EXPECT_THROW(src.f64(), SnapshotError);
+    }
+    {
+        snap::Source empty(nullptr, 0, "empty");
+        EXPECT_THROW(empty.u8(), SnapshotError);
+        EXPECT_THROW(empty.vu64(), SnapshotError);
+    }
+}
+
+TEST(WireSource, UnterminatedVarintThrows)
+{
+    const unsigned char bytes[] = {0x80, 0x80}; // continuation forever
+    snap::Source src(bytes, sizeof(bytes), "test");
+    EXPECT_THROW(src.vu64(), SnapshotError);
+}
+
+TEST(WireSource, OverlongVarintThrows)
+{
+    // Ten continuation bytes push the shift past 64 bits.
+    std::vector<unsigned char> bytes(10, 0xff);
+    bytes.push_back(0x01);
+    snap::Source src(bytes.data(), bytes.size(), "test");
+    EXPECT_THROW(src.vu64(), SnapshotError);
+}
+
+TEST(WireSource, TenthByteAbove1OverflowsVarint)
+{
+    // 2^63 encodes as nine 0x80 bytes then 0x01; a tenth byte of 0x02
+    // would need bit 64.
+    std::vector<unsigned char> ok(9, 0x80);
+    ok.push_back(0x01);
+    snap::Source good(ok.data(), ok.size(), "test");
+    EXPECT_EQ(good.vu64(), 1ULL << 63);
+
+    std::vector<unsigned char> bad(9, 0x80);
+    bad.push_back(0x02);
+    snap::Source overflow(bad.data(), bad.size(), "test");
+    EXPECT_THROW(overflow.vu64(), SnapshotError);
+}
+
+TEST(WireSource, RunawayStringLengthThrows)
+{
+    snap::Sink sink;
+    sink.vu64(1000); // claims 1000 bytes...
+    sink.u8('x');    // ...but only one follows
+    snap::Source src = sourceOf(sink);
+    EXPECT_THROW(src.str(), SnapshotError);
+}
+
+TEST(WireSource, SkipAdvancesAndBoundsChecks)
+{
+    snap::Sink sink;
+    sink.u32(0x01020304);
+    sink.u8(0xaa);
+    snap::Source src = sourceOf(sink);
+    src.skip(4);
+    EXPECT_EQ(src.position(), 4u);
+    EXPECT_EQ(src.remaining(), 1u);
+    EXPECT_EQ(src.u8(), 0xaau);
+    EXPECT_THROW(src.skip(1), SnapshotError);
+}
+
+TEST(WireSource, ExpectEndRejectsTrailingBytes)
+{
+    snap::Sink sink;
+    sink.u8(1);
+    sink.u8(2);
+    snap::Source src = sourceOf(sink);
+    src.u8();
+    EXPECT_FALSE(src.atEnd());
+    EXPECT_THROW(src.expectEnd(), SnapshotError);
+}
+
+TEST(WireSource, ErrorsCarryContextAndOffset)
+{
+    snap::Sink sink;
+    sink.u8(1);
+    snap::Source src = sourceOf(sink, "section 'basic_stats'");
+    src.u8();
+    try {
+        src.u64();
+        FAIL() << "expected SnapshotError";
+    } catch (const SnapshotError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("section 'basic_stats'"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("at byte 1 of 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    }
+}
+
+} // namespace
+} // namespace cbs
