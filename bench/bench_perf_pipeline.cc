@@ -32,7 +32,13 @@
  * them back, and merging two deserialized bundles — the per-partial
  * overhead of the emit-partial / merge / resume workflow.
  *
- * A fifth section microbenchmarks the replacement-policy substrate:
+ * A fifth section times the serve substrate: the online tailing
+ * supervisor (`cbs_tool serve`) draining the finished CSV file with
+ * one giant window (pure online ingest), with day windows (adding the
+ * per-window snapshot/JSON/exposition close), and the CBSSRV1
+ * checkpoint write+read round trip of the end-of-run state.
+ *
+ * A sixth section microbenchmarks the replacement-policy substrate:
  * raw access() throughput of the slab-allocated LRU/ARC/LFU against
  * the list-based reference implementations on one Zipf key stream,
  * plus FIFO and CLOCK for context. Speedups are relative to the
@@ -70,6 +76,7 @@
 #include "common/simd.h"
 #include "obs/metrics.h"
 #include "report/workbench.h"
+#include "serve/serve.h"
 #include "snapshot/snapshot.h"
 #include "synth/rng.h"
 #include "synth/zipf.h"
@@ -77,6 +84,7 @@
 #include "trace/cbt2.h"
 #include "trace/csv.h"
 #include "trace/open.h"
+#include "trace/tailing.h"
 #include "trace/trace_source.h"
 
 using namespace cbs;
@@ -526,6 +534,78 @@ main(int argc, char **argv)
                                .count();
         }
         record("snapshot-merge", 0, merge_total / reps, encode_sec);
+    }
+
+    // Serve substrate: the online tailing loop over the finished csv
+    // file — what `cbs_tool serve` costs per record relative to batch
+    // ingest, and what windowing and checkpointing add on top.
+    {
+        std::string serve_dir =
+            (std::filesystem::temp_directory_path() / "cbs_bench_serve")
+                .string();
+        std::filesystem::remove_all(serve_dir);
+        std::filesystem::create_directories(serve_dir);
+        std::printf("\nserve substrate (tailing the csv file through "
+                    "the online supervisor; speedup vs serve-ingest):"
+                    "\n");
+        std::printf("%-16s  %9s  %14s  %7s\n", "config", "time",
+                    "throughput", "speedup");
+        auto timedServe = [&](TimeUs window_span,
+                              std::uint64_t checkpoint_every) {
+            TailingCsvSource tail(files.csv);
+            ServeOptions options;
+            options.out_dir = serve_dir;
+            options.source_id = "bench";
+            options.batch_records = g_batch_records;
+            options.window_span = window_span;
+            options.checkpoint_every = checkpoint_every;
+            options.idle_exit_polls = 1;
+            options.sleep = [](std::uint64_t) {};
+            auto start = std::chrono::steady_clock::now();
+            runServe(tail, tail, options);
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                .count();
+        };
+        // One giant window isolates pure online ingest + analysis;
+        // day windows add the per-window close (snapshot + JSON +
+        // exposition) at the cadence a production tail would see.
+        double serve_sec = timedServe(365ull * 24 * units::hour, 0);
+        record("serve-ingest", 0, serve_sec, serve_sec);
+        record("serve-windowed", 0, timedServe(24 * units::hour, 0),
+               serve_sec);
+
+        // Checkpoint cost alone: a CBSSRV1 write + validated read of
+        // the end-of-run state (full cumulative bundle, fresh window
+        // bundle — the shape of a post-window-close checkpoint).
+        {
+            requests.reset();
+            WorkloadSummary state;
+            PipelineOptions pipeline;
+            pipeline.batch_records = g_batch_records;
+            pipeline.finalize = false;
+            state.run(requests, pipeline);
+            ServeCheckpoint ck;
+            ck.committed_offset =
+                std::filesystem::file_size(files.csv);
+            ck.cumulative =
+                encodeSnapshot(state, {"bench", count, 0, 0});
+            WorkloadSummary empty;
+            ck.window = encodeSnapshot(empty, {"bench", 0, 0, 0});
+            std::string ckpt = serve_dir + "/bench.ckpt";
+            const int reps = 5;
+            auto start = std::chrono::steady_clock::now();
+            for (int i = 0; i < reps; ++i) {
+                writeServeCheckpoint(ckpt, ck);
+                readServeCheckpoint(ckpt);
+            }
+            double sec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count() /
+                         reps;
+            record("serve-checkpoint", 0, sec, serve_sec);
+        }
+        std::filesystem::remove_all(serve_dir);
     }
 
     // Replacement-policy substrate: raw access() throughput, slab

@@ -31,12 +31,26 @@
  *       --checkpoint-every write periodic snapshots during a serial
  *       run; --max-records caps how many records are analyzed.
  *
+ *   serve <trace|->
+ *       Long-running online mode (docs/serving.md): tail a growing
+ *       CSV/CBT2 file (or a CSV pipe on stdin via '-'), feed tumbling
+ *       trace-time windows of analyzer state, and emit per-window
+ *       cbs.snapshot.v1 partials + summary JSON + a Prometheus text
+ *       exposition into --out DIR. Crash-safe: an atomic CBSSRV1
+ *       checkpoint (current.ckpt) is written at every window close
+ *       (and every --checkpoint-every records); --resume-from replays
+ *       from the recorded offset with no lost or double-counted
+ *       records. SIGINT/SIGTERM drain then flush; a stall watchdog
+ *       (--stall-polls) degrades the run to exit code 4.
+ *
  *   merge <snapshot>...
- *       Merge cbs.snapshot.v1 partials (from --emit-partial or
- *       --checkpoint) into one characterization — byte-identical
- *       summary JSON to a single run when the partials are
- *       volume-disjoint or a resumed chain. --emit-partial re-emits
- *       the merged state as a snapshot instead of finalizing.
+ *       Merge cbs.snapshot.v1 partials (from --emit-partial,
+ *       --checkpoint, or a serve output directory — a directory
+ *       argument expands to its *.cbss files in name order) into one
+ *       characterization — byte-identical summary JSON to a single
+ *       run when the partials are volume-disjoint, a resumed chain,
+ *       or contiguous serve windows. --emit-partial re-emits the
+ *       merged state as a snapshot instead of finalizing.
  *
  *   convert <in> <out>
  *       Re-encode a trace between formats, streaming (bounded
@@ -72,12 +86,16 @@
  * at least one failed lane).
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/cache_miss.h"
@@ -90,6 +108,7 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "report/table.h"
+#include "serve/serve.h"
 #include "snapshot/snapshot.h"
 #include "synth/models.h"
 #include "trace/bin_trace.h"
@@ -98,6 +117,8 @@
 #include "trace/error_policy.h"
 #include "trace/filter.h"
 #include "trace/open.h"
+#include "trace/resilience.h"
+#include "trace/tailing.h"
 
 using namespace cbs;
 using cbs::cli::ArgParser;
@@ -113,8 +134,10 @@ usage()
         "\n"
         "commands:\n"
         "  analyze <trace>        full workload characterization\n"
-        "  merge <snapshot>...    merge analyzer snapshots "
-        "(--emit-partial output)\n"
+        "  serve <trace|->        tail a growing trace: windowed "
+        "online stats\n"
+        "  merge <snapshot>...    merge analyzer snapshots or a serve "
+        "output dir\n"
         "  convert <in> <out>     re-encode between trace formats\n"
         "  generate <out>         write a synthetic trace\n"
         "  mrc <trace>            miss-ratio curve via SHARDS\n"
@@ -289,6 +312,10 @@ cmdAnalyze(int argc, char **argv)
     addFormatFlags(parser);
     parser.flag("--block", "N", "block size in bytes");
     parser.flag("--interval", "MIN", "activeness interval in minutes");
+    parser.flag("--duration-us", "N",
+                "analysis duration in microseconds (default: last "
+                "timestamp + 1; set it to match a serve run, whose "
+                "windows fix the duration up front)");
     parser.flag("--threads", "N",
                 "shard across N worker threads (0 = hardware)");
     parser.flag("--ingest-lanes", "N",
@@ -427,6 +454,18 @@ cmdAnalyze(int argc, char **argv)
     options.block_size = block;
     options.activeness_interval = interval_min * units::minute;
     options.duration = last + 1;
+    if (parser.has("--duration-us")) {
+        std::uint64_t duration = parser.getUint("--duration-us", 0);
+        if (duration <= last) {
+            std::fprintf(stderr,
+                         "--duration-us %llu does not cover the trace "
+                         "(last timestamp %llu us)\n",
+                         static_cast<unsigned long long>(duration),
+                         static_cast<unsigned long long>(last));
+            return 2;
+        }
+        options.duration = duration;
+    }
     WorkloadSummary summary(options);
     VolumeClassifier classifier(100, block);
 
@@ -653,9 +692,12 @@ cmdMerge(int argc, char **argv)
         "cbs_tool merge",
         "Merge cbs.snapshot.v1 partials (from analyze --emit-partial "
         "or --checkpoint) into one characterization. Partials must "
-        "come from volume-disjoint runs, or from a resumed chain, "
-        "with identical analysis configuration.");
-    parser.variadic("snapshot", "partial snapshots to merge");
+        "come from volume-disjoint runs, from a resumed chain, or "
+        "from a serve output directory (contiguous windows), with "
+        "identical analysis configuration.");
+    parser.variadic("snapshot",
+                    "partial snapshots to merge; a directory expands "
+                    "to its *.cbss files in name order");
     parser.flag("--summary-json", "PATH",
                 "write the merged characterization as deterministic "
                 "JSON");
@@ -665,10 +707,26 @@ cmdMerge(int argc, char **argv)
     if (!parser.parse(argc, argv, 2))
         return parser.exitCode();
 
+    // A directory positional stands for its *.cbss partials in name
+    // order — the serve window naming (window-000042.cbss) zero-pads
+    // so lexical order IS stream order, keeping the merged chain a
+    // contiguous record slice.
+    std::vector<std::string> inputs;
+    for (std::size_t i = 0; i < parser.positionalCount(); ++i) {
+        const std::string &arg = parser.positionalAt(i);
+        std::error_code ec;
+        if (std::filesystem::is_directory(arg, ec)) {
+            for (std::string &path : listSnapshotDirectory(arg))
+                inputs.push_back(std::move(path));
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+
     // The first partial fixes the configuration; every later one must
     // hash to the same analysis config (durations may differ — the
     // merge keeps the max).
-    const std::string &first_path = parser.positionalAt(0);
+    const std::string &first_path = inputs.front();
     std::vector<unsigned char> bytes = readSnapshotBytes(first_path);
     SnapshotInfo first =
         peekSnapshot(bytes.data(), bytes.size(), first_path);
@@ -676,8 +734,8 @@ cmdMerge(int argc, char **argv)
     decodeSnapshot(bytes.data(), bytes.size(), first_path, merged);
     SnapshotProvenance provenance = first.provenance;
 
-    for (std::size_t i = 1; i < parser.positionalCount(); ++i) {
-        const std::string &path = parser.positionalAt(i);
+    for (std::size_t i = 1; i < inputs.size(); ++i) {
+        const std::string &path = inputs[i];
         bytes = readSnapshotBytes(path);
         SnapshotInfo info = peekSnapshot(bytes.data(), bytes.size(), path);
         if (info.config_hash != first.config_hash)
@@ -697,7 +755,7 @@ cmdMerge(int argc, char **argv)
         writeSnapshotFile(emit, merged, provenance);
         std::printf("merged %zu partials into %s (%s records of "
                     "'%s')\n",
-                    parser.positionalCount(), emit.c_str(),
+                    inputs.size(), emit.c_str(),
                     formatCount(provenance.record_count).c_str(),
                     provenance.source_id.c_str());
         return 0;
@@ -718,9 +776,200 @@ cmdMerge(int argc, char **argv)
     }
     merged.print(std::cout);
     std::fprintf(stderr, "merged %zu partials: %s records of '%s'\n",
-                 parser.positionalCount(),
+                 inputs.size(),
                  formatCount(provenance.record_count).c_str(),
                  provenance.source_id.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------
+
+/** SIGINT/SIGTERM request an orderly drain-then-flush shutdown. */
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+serveSignalHandler(int)
+{
+    g_serve_stop = 1;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    ArgParser parser(
+        "cbs_tool serve",
+        "Tail a growing trace and serve a windowed online "
+        "characterization: per-window cbs.snapshot.v1 partials, "
+        "summary JSON, sketch stats, and a Prometheus exposition, "
+        "with atomic crash-safe checkpoints (docs/serving.md).");
+    parser.positional("trace",
+                      "growing trace file (csv/cbt2), or '-' for a "
+                      "CSV pipe on stdin");
+    addFormatFlags(parser);
+    parser.flag("--out", "DIR",
+                "output directory (required; created if missing)");
+    parser.flag("--window-us", "N",
+                "tumbling window span in trace-time microseconds "
+                "(default 60000000 = 1 minute)");
+    parser.flag("--duration-us", "N",
+                "analysis duration in microseconds (default 31 days); "
+                "batch runs compared against the windows must pass "
+                "the same value to analyze --duration-us");
+    parser.flag("--block", "N", "block size in bytes");
+    parser.flag("--interval", "MIN", "activeness interval in minutes");
+    parser.flag("--batch-records", "N",
+                "requests per ingest poll (default 4096)");
+    parser.flag("--checkpoint-every", "N",
+                "checkpoint every N consumed records, in addition to "
+                "the checkpoint at every window close");
+    parser.flag("--poll-min-ms", "N",
+                "idle backoff floor in milliseconds (default 1)");
+    parser.flag("--poll-max-ms", "N",
+                "idle backoff cap in milliseconds (default 100)");
+    parser.flag("--exit-on-idle", "N",
+                "stop cleanly after N consecutive idle polls "
+                "(default: poll until a signal or end of stream)");
+    parser.flag("--stall-polls", "N",
+                "degrade (exit 4) after N consecutive idle polls "
+                "with unconsumed bytes visible past the committed "
+                "offset (default: watchdog off)");
+    parser.flag("--resume-from", "PATH",
+                "resume from a CBSSRV1 checkpoint (the run's "
+                "current.ckpt): replays from the committed offset "
+                "with no lost or double-counted records");
+    parser.flag("--emit-cumulative", "PATH",
+                "also write the exact whole-stream pre-finalize state "
+                "as a cbs.snapshot.v1 partial at shutdown "
+                "(byte-identical to a batch analyze --emit-partial "
+                "over the same records)");
+    addPolicyFlags(parser);
+    if (!parser.parse(argc, argv, 2))
+        return parser.exitCode();
+
+    const std::string &path = parser.positionalAt(0);
+    const std::string out_dir = parser.getString("--out");
+    if (out_dir.empty()) {
+        std::fprintf(stderr, "serve needs --out DIR\n");
+        return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                     ec.message().c_str());
+        return 1;
+    }
+
+    ErrorPolicyOptions policy;
+    std::ofstream quarantine;
+    int retry = 0;
+    int policy_exit = 0;
+    if (!resolvePolicyFlags(parser, policy, quarantine, retry,
+                            policy_exit))
+        return policy_exit;
+    TraceFormat format = TraceFormat::Auto;
+    if (!resolveFormat(parser, format))
+        return 2;
+
+    ServeOptions options;
+    options.out_dir = out_dir;
+    options.source_id = path;
+    options.summary.block_size =
+        parser.getUint("--block", kDefaultBlockSize);
+    options.summary.activeness_interval =
+        parser.getUint("--interval", 10) * units::minute;
+    if (parser.has("--duration-us"))
+        options.summary.duration = parser.getUint("--duration-us", 0);
+    options.window_span = parser.getUint("--window-us", units::minute);
+    options.batch_records = parser.getUint("--batch-records", 4096);
+    options.checkpoint_every = parser.getUint("--checkpoint-every", 0);
+    options.idle_exit_polls = parser.getUint("--exit-on-idle", 0);
+    options.stall_poll_limit = parser.getUint("--stall-polls", 0);
+    options.poll_min_us = parser.getUint("--poll-min-ms", 1) * 1000;
+    options.poll_max_us = parser.getUint("--poll-max-ms", 100) * 1000;
+    options.cumulative_partial = parser.getString("--emit-cumulative");
+
+    obs::MetricsRegistry registry;
+    options.metrics = &registry;
+
+    ServeCheckpoint resume;
+    TailOptions tail_options;
+    if (parser.has("--resume-from")) {
+        resume = readServeCheckpoint(parser.getString("--resume-from"));
+        tail_options.start_offset = resume.committed_offset;
+        tail_options.skip_records = resume.committed_records;
+        options.resume = &resume;
+        std::fprintf(
+            stderr,
+            "resuming at offset %llu (+%llu records), window %llu\n",
+            static_cast<unsigned long long>(resume.committed_offset),
+            static_cast<unsigned long long>(resume.committed_records),
+            static_cast<unsigned long long>(resume.window_index));
+    }
+
+    g_serve_stop = 0;
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+    options.stop = [] { return g_serve_stop != 0; };
+
+    // Auto-sniffing needs magic bytes the writer may not have written
+    // yet: wait for them on the same idle budget the serve loop uses.
+    if (path != "-" && format == TraceFormat::Auto) {
+        std::uint64_t attempts = 0;
+        for (;;) {
+            try {
+                format = sniffTraceFormat(path);
+                break;
+            } catch (const FatalError &e) {
+                ++attempts;
+                if (g_serve_stop)
+                    return 0;
+                if (options.idle_exit_polls != 0 &&
+                    attempts >= options.idle_exit_polls) {
+                    std::fprintf(stderr, "%s\n", e.what());
+                    return 1;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(options.poll_max_us));
+            }
+        }
+    }
+
+    auto tail = openTailingSource(path, format, tail_options);
+    tail->setErrorPolicy(policy);
+    tail->attachMetrics(registry, "serve.ingest");
+
+    std::optional<RetryingSource> retrying;
+    TraceSource *source = tail.get();
+    if (retry > 0) {
+        RetryOptions retry_options;
+        retry_options.max_attempts = retry;
+        retry_options.metrics = &registry;
+        retrying.emplace(*tail, retry_options);
+        source = &*retrying;
+    }
+
+    ServeResult result = runServe(*source, *tail, options);
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    std::printf("serve: %s records in %llu windows, %llu checkpoints; "
+                "committed offset %llu (+%llu records)%s\n",
+                formatCount(result.records).c_str(),
+                static_cast<unsigned long long>(result.windows),
+                static_cast<unsigned long long>(result.checkpoints),
+                static_cast<unsigned long long>(result.committed_offset),
+                static_cast<unsigned long long>(
+                    result.committed_records),
+                result.end_of_stream ? "; stream finished" : "");
+    if (result.degraded) {
+        std::fprintf(stderr, "warning: serve degraded: %s\n",
+                     result.degraded_reason.c_str());
+        return 4;
+    }
     return 0;
 }
 
@@ -1144,6 +1393,8 @@ main(int argc, char **argv)
     try {
         if (command == "analyze")
             return cmdAnalyze(argc, argv);
+        if (command == "serve")
+            return cmdServe(argc, argv);
         if (command == "merge")
             return cmdMerge(argc, argv);
         if (command == "convert")

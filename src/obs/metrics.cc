@@ -149,6 +149,17 @@ MetricsRegistry::gaugeValues() const
     return out;
 }
 
+std::vector<std::string>
+MetricsRegistry::histogramNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, hist] : histograms_)
+        out.push_back(name);
+    return out;
+}
+
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {

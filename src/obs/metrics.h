@@ -212,6 +212,11 @@ class MetricsRegistry
     /** Name-sorted snapshot of every gauge's current value. */
     std::vector<std::pair<std::string, std::int64_t>> gaugeValues() const;
 
+    /** Name-sorted histogram names; the instruments themselves are
+     *  reachable through findHistogram (they never move, so reading
+     *  them after the registration lock is dropped is safe). */
+    std::vector<std::string> histogramNames() const;
+
     /**
      * Dump the registry as one JSON object with a stable schema
      * (cbs.metrics.v1): instruments keyed by name inside "counters",

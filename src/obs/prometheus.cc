@@ -1,0 +1,59 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+
+namespace cbs::obs {
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "cbs_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        unsigned char u = static_cast<unsigned char>(c);
+        out.push_back(std::isalnum(u) ? c : '_');
+    }
+    return out;
+}
+
+void
+writePrometheusText(const MetricsRegistry &registry, std::ostream &os)
+{
+    for (const auto &[name, value] : registry.counterValues()) {
+        std::string prom = prometheusName(name) + "_total";
+        os << "# TYPE " << prom << " counter\n"
+           << prom << ' ' << value << '\n';
+    }
+    for (const auto &[name, value] : registry.gaugeValues()) {
+        std::string prom = prometheusName(name);
+        os << "# TYPE " << prom << " gauge\n"
+           << prom << ' ' << value << '\n';
+    }
+    for (const std::string &name : registry.histogramNames()) {
+        const Histogram *hist = registry.findHistogram(name);
+        if (!hist)
+            continue;
+        std::string prom = prometheusName(name);
+        os << "# TYPE " << prom << " histogram\n";
+        // Cumulative buckets up to the highest occupied power-of-two
+        // bucket; +Inf always closes the family. The upper bound of
+        // the registry's bucket i is (2^i - 1), emitted as a plain
+        // integer so the exposition stays byte-deterministic.
+        std::size_t top = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+            if (hist->bucketCount(i))
+                top = i + 1;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < top && i < 64; ++i) {
+            cumulative += hist->bucketCount(i);
+            os << prom << "_bucket{le=\""
+               << Histogram::bucketUpperBound(i) << "\"} " << cumulative
+               << '\n';
+        }
+        os << prom << "_bucket{le=\"+Inf\"} " << hist->count() << '\n'
+           << prom << "_sum " << hist->sum() << '\n'
+           << prom << "_count " << hist->count() << '\n';
+    }
+}
+
+} // namespace cbs::obs

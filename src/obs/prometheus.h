@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Prometheus-style text exposition of a MetricsRegistry.
+ *
+ * The registry's dotted metric names (docs/observability.md) map onto
+ * the Prometheus naming rules deterministically:
+ *
+ *   - every name is prefixed `cbs_` and dots become underscores
+ *     (`ingest.bad_records` -> `cbs_ingest_bad_records_total`);
+ *   - counters get the `_total` suffix and `# TYPE ... counter`;
+ *   - gauges keep the bare name and `# TYPE ... gauge`;
+ *   - histograms expand to `_bucket{le="..."}` cumulative buckets
+ *     (one per occupied power-of-two bucket plus `le="+Inf"`),
+ *     `_sum`, and `_count`, with `# TYPE ... histogram`.
+ *
+ * Output is sorted by metric name and depends only on the registered
+ * instruments and their values, so successive scrapes diff cleanly.
+ * `cbs_tool serve` writes this exposition next to its window
+ * snapshots (docs/serving.md); anything that can read the Prometheus
+ * text format — promtool, a node_exporter textfile collector, or a
+ * scraping sidecar — consumes it unchanged.
+ */
+
+#ifndef CBS_OBS_PROMETHEUS_H
+#define CBS_OBS_PROMETHEUS_H
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cbs::obs {
+
+/** `cbs_` + @p name with every '.' folded to '_' (and any other
+ *  character outside [a-zA-Z0-9_] folded to '_' as well). */
+std::string prometheusName(const std::string &name);
+
+/** Write every instrument of @p registry in the Prometheus text
+ *  exposition format described above. */
+void writePrometheusText(const MetricsRegistry &registry,
+                         std::ostream &os);
+
+} // namespace cbs::obs
+
+#endif // CBS_OBS_PROMETHEUS_H

@@ -1,0 +1,405 @@
+#include "serve/serve.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/error.h"
+#include "obs/prometheus.h"
+
+namespace cbs {
+namespace {
+
+constexpr unsigned char kCkptMagic[8] = {'C', 'B', 'S', 'S',
+                                         'R', 'V', '1', 0};
+constexpr std::uint32_t kCkptVersion = 1;
+/** magic + version + five u64 fields + crc over those fields. */
+constexpr std::size_t kCkptHeaderBytes = 8 + 4 + 5 * 8 + 4;
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void
+putU64(unsigned char *p, std::uint64_t v)
+{
+    putU32(p, static_cast<std::uint32_t>(v));
+    putU32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+/** Write @p bytes to @p path via temp file + rename — the same
+ *  atomicity contract as writeSnapshotFile. */
+void
+writeFileAtomic(const std::string &path, const unsigned char *data,
+                std::size_t size, const char *what)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SnapshotError(std::string(what) + ": cannot open '" +
+                                tmp + "' for writing");
+        out.write(reinterpret_cast<const char *>(data),
+                  static_cast<std::streamsize>(size));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw SnapshotError(std::string(what) +
+                                ": failed writing '" + tmp + "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError(std::string(what) + ": cannot move '" +
+                            tmp + "' into place as '" + path + "'");
+    }
+}
+
+} // namespace
+
+void
+writeServeCheckpoint(const std::string &path,
+                     const ServeCheckpoint &checkpoint)
+{
+    std::vector<unsigned char> bytes(kCkptHeaderBytes +
+                                     checkpoint.cumulative.size() +
+                                     checkpoint.window.size());
+    unsigned char *p = bytes.data();
+    std::memcpy(p, kCkptMagic, sizeof(kCkptMagic));
+    putU32(p + 8, kCkptVersion);
+    unsigned char *fields = p + 12;
+    putU64(fields, checkpoint.committed_offset);
+    putU64(fields + 8, checkpoint.committed_records);
+    putU64(fields + 16, checkpoint.window_index);
+    putU64(fields + 24, checkpoint.cumulative.size());
+    putU64(fields + 32, checkpoint.window.size());
+    putU32(fields + 40, crc32(fields, 40));
+    std::memcpy(p + kCkptHeaderBytes, checkpoint.cumulative.data(),
+                checkpoint.cumulative.size());
+    std::memcpy(p + kCkptHeaderBytes + checkpoint.cumulative.size(),
+                checkpoint.window.data(), checkpoint.window.size());
+    writeFileAtomic(path, bytes.data(), bytes.size(),
+                    "serve checkpoint");
+}
+
+ServeCheckpoint
+readServeCheckpoint(const std::string &path)
+{
+    std::vector<unsigned char> bytes = readSnapshotBytes(path);
+    if (bytes.size() < kCkptHeaderBytes)
+        throw SnapshotError("serve checkpoint '" + path + "': only " +
+                            std::to_string(bytes.size()) +
+                            " bytes, truncated header");
+    const unsigned char *p = bytes.data();
+    if (std::memcmp(p, kCkptMagic, sizeof(kCkptMagic)) != 0)
+        throw SnapshotError("serve checkpoint '" + path +
+                            "': bad magic");
+    std::uint32_t version = getU32(p + 8);
+    if (version != kCkptVersion)
+        throw SnapshotError("serve checkpoint '" + path +
+                            "': unsupported version " +
+                            std::to_string(version));
+    const unsigned char *fields = p + 12;
+    if (crc32(fields, 40) != getU32(fields + 40))
+        throw SnapshotError("serve checkpoint '" + path +
+                            "': header CRC mismatch");
+    ServeCheckpoint ck;
+    ck.committed_offset = getU64(fields);
+    ck.committed_records = getU64(fields + 8);
+    ck.window_index = getU64(fields + 16);
+    std::uint64_t len_cum = getU64(fields + 24);
+    std::uint64_t len_win = getU64(fields + 32);
+    if (bytes.size() != kCkptHeaderBytes + len_cum + len_win)
+        throw SnapshotError(
+            "serve checkpoint '" + path + "': size " +
+            std::to_string(bytes.size()) + " does not match declared " +
+            std::to_string(kCkptHeaderBytes + len_cum + len_win) +
+            " bytes");
+    ck.cumulative.assign(p + kCkptHeaderBytes,
+                         p + kCkptHeaderBytes + len_cum);
+    ck.window.assign(p + kCkptHeaderBytes + len_cum,
+                     p + kCkptHeaderBytes + len_cum + len_win);
+    // The embedded snapshots are themselves CRC-guarded; validate their
+    // framing now so resume fails at startup, not mid-restore.
+    peekSnapshot(ck.cumulative.data(), ck.cumulative.size(),
+                 path + " (cumulative)");
+    peekSnapshot(ck.window.data(), ck.window.size(), path + " (window)");
+    return ck;
+}
+
+ServeResult
+runServe(TraceSource &source, TailingSource &tail,
+         const ServeOptions &options)
+{
+    CBS_EXPECT(!options.out_dir.empty(),
+               "serve needs an output directory");
+    CBS_EXPECT(options.window_span > 0,
+               "serve window span must be positive");
+    CBS_EXPECT(options.batch_records > 0,
+               "serve batch size must be positive");
+
+    auto sleep = options.sleep;
+    if (!sleep)
+        sleep = [](std::uint64_t us) {
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+        };
+
+    obs::MetricsRegistry *metrics = options.metrics;
+    obs::Counter *records_ctr = nullptr, *windows_ctr = nullptr,
+                 *checkpoints_ctr = nullptr;
+    obs::Gauge *window_gauge = nullptr, *offset_gauge = nullptr;
+    obs::Histogram *window_records_hist = nullptr;
+    if (metrics) {
+        records_ctr = &metrics->counter("serve.records");
+        windows_ctr = &metrics->counter("serve.windows");
+        checkpoints_ctr = &metrics->counter("serve.checkpoints");
+        window_gauge = &metrics->gauge("serve.window.index");
+        offset_gauge = &metrics->gauge("serve.committed_offset");
+        window_records_hist = &metrics->histogram("serve.window.records");
+    }
+
+    ServeResult result;
+    WorkloadSummary cumulative(options.summary);
+    auto window_bundle =
+        std::make_unique<WorkloadSummary>(options.summary);
+    SnapshotProvenance prov_cum{options.source_id, 0, 0, 0};
+    SnapshotProvenance prov_win{options.source_id, 0, 0, 0};
+    WindowSketches sketches;
+    std::uint64_t window_index = 0;
+
+    if (options.resume) {
+        const ServeCheckpoint &ck = *options.resume;
+        prov_cum = decodeSnapshot(ck.cumulative.data(),
+                                  ck.cumulative.size(),
+                                  "resume (cumulative)", cumulative)
+                       .provenance;
+        prov_win = decodeSnapshot(ck.window.data(), ck.window.size(),
+                                  "resume (window)", *window_bundle)
+                       .provenance;
+        window_index = ck.window_index;
+        // The sketches are observability-only (not checkpointed): they
+        // restart empty for the remainder of the open window.
+    }
+
+    std::string ckpt_path = options.out_dir + "/current.ckpt";
+
+    auto writeProm = [&] {
+        if (!metrics)
+            return;
+        std::ostringstream oss;
+        obs::writePrometheusText(*metrics, oss);
+        std::string text = std::move(oss).str();
+        writeFileAtomic(
+            options.out_dir + "/metrics.prom",
+            reinterpret_cast<const unsigned char *>(text.data()),
+            text.size(), "serve metrics");
+    };
+
+    auto checkpoint = [&] {
+        ServeCheckpoint ck;
+        ck.committed_offset = tail.committedOffset();
+        ck.committed_records = tail.committedRecords();
+        ck.window_index = window_index;
+        ck.cumulative = encodeSnapshot(cumulative, prov_cum);
+        ck.window = encodeSnapshot(*window_bundle, prov_win);
+        writeServeCheckpoint(ckpt_path, ck);
+        ++result.checkpoints;
+        if (checkpoints_ctr)
+            checkpoints_ctr->increment();
+        if (offset_gauge)
+            offset_gauge->set(
+                static_cast<std::int64_t>(ck.committed_offset));
+    };
+
+    auto closeWindow = [&](std::uint64_t next_index) {
+        char name[32];
+        std::snprintf(name, sizeof name, "window-%06llu",
+                      static_cast<unsigned long long>(window_index));
+        std::string base = options.out_dir + "/" + name;
+        // Partial first (pre-finalize state), then finalize in place
+        // for the human-facing JSON — finalize() may consume working
+        // state, so the order is load-bearing.
+        writeSnapshotFile(base + ".cbss", *window_bundle, prov_win);
+        for (ShardableAnalyzer *a : window_bundle->shardableAnalyzers())
+            a->finalize();
+        {
+            std::ofstream js(base + ".json", std::ios::trunc);
+            CBS_EXPECT(js, "serve: cannot open " << base
+                                                 << ".json for writing");
+            window_bundle->writeJson(js);
+        }
+        ++result.windows;
+        if (windows_ctr)
+            windows_ctr->increment();
+        if (window_records_hist)
+            window_records_hist->record(prov_win.record_count);
+        if (metrics) {
+            metrics->gauge("serve.window.len_p50_bytes")
+                .set(static_cast<std::int64_t>(sketches.len_p50.value()));
+            metrics->gauge("serve.window.len_p99_bytes")
+                .set(static_cast<std::int64_t>(sketches.len_p99.value()));
+            auto top = sketches.hot_volumes.topK(1);
+            metrics->gauge("serve.window.hot_volume")
+                .set(top.empty()
+                         ? -1
+                         : static_cast<std::int64_t>(top.front().key));
+            metrics->gauge("serve.window.hot_volume_bytes")
+                .set(top.empty()
+                         ? 0
+                         : static_cast<std::int64_t>(top.front().count));
+            metrics->gauge("serve.window.sampled_lengths")
+                .set(static_cast<std::int64_t>(
+                    sketches.lengths.seen()));
+        }
+        window_bundle =
+            std::make_unique<WorkloadSummary>(options.summary);
+        prov_win = SnapshotProvenance{options.source_id, 0, 0, 0};
+        sketches.reset();
+        window_index = next_index;
+        if (window_gauge)
+            window_gauge->set(static_cast<std::int64_t>(window_index));
+        writeProm();
+    };
+
+    auto feed = [&](const std::vector<IoRequest> &batch) {
+        std::size_t i = 0;
+        const std::size_t n = batch.size();
+        while (i < n) {
+            TimeUs window_end = static_cast<TimeUs>(window_index + 1) *
+                                options.window_span;
+            std::size_t j = i;
+            while (j < n && batch[j].timestamp < window_end)
+                ++j;
+            if (j > i) {
+                std::span<const IoRequest> slice(batch.data() + i,
+                                                 j - i);
+                for (ShardableAnalyzer *a :
+                     cumulative.shardableAnalyzers())
+                    a->consumeBatch(slice);
+                for (ShardableAnalyzer *a :
+                     window_bundle->shardableAnalyzers())
+                    a->consumeBatch(slice);
+                for (const IoRequest &req : slice)
+                    sketches.add(req);
+                std::uint64_t count = j - i;
+                if (prov_cum.record_count == 0)
+                    prov_cum.first_timestamp = slice.front().timestamp;
+                prov_cum.record_count += count;
+                prov_cum.last_timestamp = slice.back().timestamp;
+                if (prov_win.record_count == 0)
+                    prov_win.first_timestamp = slice.front().timestamp;
+                prov_win.record_count += count;
+                prov_win.last_timestamp = slice.back().timestamp;
+                result.records += count;
+                if (records_ctr)
+                    records_ctr->add(count);
+            }
+            if (j < n) {
+                // batch[j] belongs to a later window; close the current
+                // one and jump straight to the window that owns it
+                // (empty intervening windows emit nothing).
+                closeWindow(batch[j].timestamp / options.window_span);
+                // A window close is a quiescent committed point only
+                // between batches, so the periodic checkpoint below
+                // covers it; mid-batch we just keep feeding.
+            }
+            i = j;
+        }
+    };
+
+    std::vector<IoRequest> batch;
+    std::uint64_t backoff = options.poll_min_us;
+    std::uint64_t idle_run = 0;
+    std::uint64_t stall_run = 0;
+    std::uint64_t since_checkpoint = 0;
+
+    for (;;) {
+        if (options.stop && options.stop())
+            break;
+        std::size_t n = source.nextBatch(batch, options.batch_records);
+        if (n == 0) {
+            if (tail.endOfStream()) {
+                result.end_of_stream = true;
+                break;
+            }
+            ++idle_run;
+            if (tail.bytesVisible() > tail.committedOffset())
+                ++stall_run;
+            else
+                stall_run = 0;
+            if (options.stall_poll_limit &&
+                stall_run >= options.stall_poll_limit) {
+                result.degraded = true;
+                std::ostringstream oss;
+                oss << "tail stalled: "
+                    << tail.bytesVisible() - tail.committedOffset()
+                    << " bytes visible past offset "
+                    << tail.committedOffset() << " made no progress in "
+                    << stall_run << " consecutive polls";
+                result.degraded_reason = std::move(oss).str();
+                break;
+            }
+            if (options.idle_exit_polls &&
+                idle_run >= options.idle_exit_polls)
+                break;
+            sleep(backoff);
+            backoff = std::min(backoff * 2, options.poll_max_us);
+            continue;
+        }
+        idle_run = 0;
+        stall_run = 0;
+        backoff = options.poll_min_us;
+        feed(batch);
+        since_checkpoint += n;
+        if (options.checkpoint_every &&
+            since_checkpoint >= options.checkpoint_every) {
+            checkpoint();
+            since_checkpoint = 0;
+        }
+    }
+
+    // Drain-then-flush: the open window becomes a partial like any
+    // other (so a directory merge sees every consumed record), then one
+    // last checkpoint records the final committed position.
+    if (prov_win.record_count > 0 || result.windows == 0)
+        closeWindow(window_index + 1);
+    if (!options.cumulative_partial.empty())
+        writeSnapshotFile(options.cumulative_partial, cumulative,
+                          prov_cum);
+    checkpoint();
+    writeProm();
+
+    result.polls = tail.pollCount();
+    result.idle_polls = tail.idlePolls();
+    result.window_index = window_index;
+    result.committed_offset = tail.committedOffset();
+    result.committed_records = tail.committedRecords();
+    return result;
+}
+
+} // namespace cbs

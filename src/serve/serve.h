@@ -1,0 +1,212 @@
+/**
+ * @file
+ * runServe: the long-running online analysis supervisor behind
+ * `cbs_tool serve` (docs/serving.md).
+ *
+ * The batch pipelines answer "what did this trace do"; serve answers
+ * "what is this stream doing" while the trace is still being written.
+ * A tailing source (trace/tailing.h) feeds two un-finalized analyzer
+ * bundles in lockstep:
+ *
+ *   cumulative  everything consumed since stream start — the state a
+ *               batch run over the same prefix would hold;
+ *   window      the current tumbling trace-time window [k*span,
+ *               (k+1)*span).
+ *
+ * Batches are split at window boundaries, so a window bundle sees
+ * exactly the records of its span. Closing a window emits, in order:
+ * the window's pre-finalize cbs.snapshot.v1 partial (window-NNNNNN.cbss
+ * — consecutive windows are contiguous record slices, so `cbs_tool
+ * merge <dir>` reconstructs the batch run byte-for-byte), the window's
+ * finalized cbs.summary.v1 JSON (window-NNNNNN.json), and a refreshed
+ * Prometheus exposition of the metrics registry (metrics.prom). A
+ * fourth per-window product, the time-decayed sketch stats
+ * (WindowSketches: P² length quantiles, SpaceSaving hot volumes,
+ * reservoir length sample), is recycled via the sketches' reset() and
+ * published as serve.window.* gauges.
+ *
+ * Crash safety: every checkpoint_every records (and at every window
+ * close) the supervisor writes one atomic checkpoint file
+ * (current.ckpt, format CBSSRV1) holding the committed stream position
+ * plus BOTH bundles' snapshots — a single rename, so kill -9 at any
+ * instant leaves either the old or the new checkpoint, never a torn
+ * mix, and at most one checkpoint interval of tailing is re-read on
+ * resume. Resume (readServeCheckpoint -> TailOptions{start_offset,
+ * skip_records} -> ServeOptions::resume) replays from the recorded
+ * boundary with no lost and no double-counted records; re-emitted
+ * window files are regenerated identically, so overwriting them is
+ * idempotent.
+ *
+ * Stall watchdog: bytes visible beyond the committed offset that stay
+ * un-consumable for stall_poll_limit consecutive polls (a writer died
+ * mid-chunk, or the tail is garbage) flips the run to degraded — the
+ * CLI maps that to exit code 4, the same contract as the degraded
+ * parallel pipeline.
+ */
+
+#ifndef CBS_SERVE_SERVE_H
+#define CBS_SERVE_SERVE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/workload_summary.h"
+#include "obs/metrics.h"
+#include "snapshot/snapshot.h"
+#include "stats/p2_quantile.h"
+#include "stats/reservoir.h"
+#include "stats/space_saving.h"
+#include "trace/tailing.h"
+
+namespace cbs {
+
+/**
+ * Per-window sketch stats: bounded-memory distribution estimates that
+ * reset with each tumbling window instead of reallocating (the
+ * sketches' reset() contract). Published as serve.window.* gauges at
+ * window close.
+ */
+struct WindowSketches
+{
+    P2Quantile len_p50{0.5};
+    P2Quantile len_p99{0.99};
+    SpaceSaving hot_volumes{64};           //!< by bytes transferred
+    Reservoir<std::uint64_t> lengths{1024}; //!< uniform length sample
+
+    void
+    add(const IoRequest &req)
+    {
+        len_p50.add(req.length);
+        len_p99.add(req.length);
+        hot_volumes.add(req.volume, req.length);
+        lengths.add(req.length);
+    }
+
+    void
+    reset()
+    {
+        len_p50.reset();
+        len_p99.reset();
+        hot_volumes.reset();
+        lengths.reset();
+    }
+};
+
+/** One CBSSRV1 checkpoint: the committed stream position plus both
+ *  bundles' cbs.snapshot.v1 bytes, written atomically as one file. */
+struct ServeCheckpoint
+{
+    std::uint64_t committed_offset = 0;  //!< tail byte boundary
+    std::uint64_t committed_records = 0; //!< records past that boundary
+    std::uint64_t window_index = 0;      //!< open window at capture
+    std::vector<unsigned char> cumulative; //!< cbs.snapshot.v1
+    std::vector<unsigned char> window;     //!< cbs.snapshot.v1
+};
+
+/** Write @p checkpoint to @p path atomically (temp file + rename). */
+void writeServeCheckpoint(const std::string &path,
+                          const ServeCheckpoint &checkpoint);
+
+/** Read and validate a CBSSRV1 checkpoint (magic, version, CRC,
+ *  length framing). Throws SnapshotError on any damage. */
+ServeCheckpoint readServeCheckpoint(const std::string &path);
+
+/** Knobs of one serve run; plain aggregate, defaults are inert. */
+struct ServeOptions
+{
+    /** Output directory for window-NNNNNN.{cbss,json}, current.ckpt,
+     *  and metrics.prom. Must already exist. */
+    std::string out_dir;
+
+    /** Analysis configuration — must match the batch run the window
+     *  partials are later compared or merged against (duration
+     *  included: the activeness series depends on it). */
+    WorkloadSummaryOptions summary{};
+
+    /** Provenance label for emitted snapshots (the trace path). */
+    std::string source_id = "serve";
+
+    /** Requests per ingest poll. */
+    std::size_t batch_records = 4096;
+
+    /** Tumbling window span in trace time. */
+    TimeUs window_span = units::minute;
+
+    /** Checkpoint every this many consumed records, in addition to
+     *  the checkpoint at every window close (0 = window closes only). */
+    std::uint64_t checkpoint_every = 0;
+
+    /** Stop after this many consecutive idle polls (0 = keep polling
+     *  until stop() or end of stream) — the --exit-on-idle contract. */
+    std::uint64_t idle_exit_polls = 0;
+
+    /** Degrade after this many consecutive idle polls while bytes sit
+     *  unconsumed past the committed offset (0 = watchdog off). */
+    std::uint64_t stall_poll_limit = 0;
+
+    /** Idle backoff bounds, microseconds (doubling, capped). */
+    std::uint64_t poll_min_us = 1000;
+    std::uint64_t poll_max_us = 100000;
+
+    /** Idle sleep hook; defaults to a real sleep. Tests inject a
+     *  no-op (or a coordination point) to run wall-clock-free. */
+    std::function<void(std::uint64_t)> sleep;
+
+    /** External stop request (SIGINT/SIGTERM flag): checked between
+     *  polls; true drains the in-flight batch then flushes. */
+    std::function<bool()> stop;
+
+    /** Metrics registry for serve.* instruments and the Prometheus
+     *  exposition; optional. Must outlive the run. */
+    obs::MetricsRegistry *metrics = nullptr;
+
+    /** When non-empty, the final flush also writes the cumulative
+     *  (whole-stream) pre-finalize state as a cbs.snapshot.v1 partial
+     *  at this path. Merging the window partials is only exact for
+     *  state that unions (boundary-straddling state — updates, RAW/WAW
+     *  gaps, sequential runs, interarrival gaps — is attributed per
+     *  window); this file is the exact aggregate, byte-identical to a
+     *  batch `analyze --emit-partial` over the same records. */
+    std::string cumulative_partial;
+
+    /** Resume state from readServeCheckpoint; the caller must have
+     *  built the tailing source with the matching TailOptions
+     *  {start_offset, skip_records}. Not owned. */
+    const ServeCheckpoint *resume = nullptr;
+};
+
+/** What a serve run did; degraded maps to CLI exit code 4. */
+struct ServeResult
+{
+    std::uint64_t records = 0;       //!< consumed this run
+    std::uint64_t windows = 0;       //!< windows closed this run
+    std::uint64_t checkpoints = 0;   //!< checkpoints written
+    std::uint64_t polls = 0;         //!< ingest polls issued
+    std::uint64_t idle_polls = 0;    //!< polls with no records
+    std::uint64_t window_index = 0;  //!< open window at shutdown
+    std::uint64_t committed_offset = 0;
+    std::uint64_t committed_records = 0;
+    bool end_of_stream = false;      //!< source finished cleanly
+    bool degraded = false;           //!< watchdog tripped
+    std::string degraded_reason;
+};
+
+/**
+ * Run the serve loop: poll @p source (the outermost decorator —
+ * RetryingSource and friends pass an idle 0 through unchanged), feed
+ * the cumulative and window bundles, emit and checkpoint per the
+ * options. @p tail must be the innermost tailing source of the same
+ * stack: it supplies the committed stream position, end-of-stream, and
+ * the visible-bytes signal the watchdog reads. Returns when the stream
+ * ends, stop() goes true, the idle-exit budget is spent, or the
+ * watchdog degrades the run — always after a final window close,
+ * checkpoint, and Prometheus flush (drain-then-flush).
+ */
+ServeResult runServe(TraceSource &source, TailingSource &tail,
+                     const ServeOptions &options);
+
+} // namespace cbs
+
+#endif // CBS_SERVE_SERVE_H

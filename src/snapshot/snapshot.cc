@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <utility>
@@ -293,6 +294,30 @@ readSnapshotBytes(const std::string &path)
         throw SnapshotError("snapshot: I/O error reading '" + path +
                             "'");
     return bytes;
+}
+
+std::vector<std::string>
+listSnapshotDirectory(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        throw SnapshotError("snapshot: cannot list directory '" + dir +
+                            "': " + ec.message());
+    std::vector<std::string> out;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file())
+            continue;
+        std::filesystem::path p = entry.path();
+        if (p.extension() != ".cbss")
+            continue;
+        out.push_back(p.string());
+    }
+    if (out.empty())
+        throw SnapshotError("snapshot: no *.cbss partials in '" + dir +
+                            "'");
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 SnapshotInfo

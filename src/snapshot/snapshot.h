@@ -115,6 +115,16 @@ void writeSnapshotFile(const std::string &path,
  *  empty files. */
 std::vector<unsigned char> readSnapshotBytes(const std::string &path);
 
+/**
+ * List the snapshot partials in directory @p dir: every regular file
+ * whose name ends in ".cbss", sorted by name (so zero-padded window
+ * indices merge in stream order). Checkpoints and other sidecars with
+ * different extensions are skipped by construction. Throws
+ * SnapshotError when @p dir is not a readable directory or holds no
+ * partials — an empty merge is always a mistake worth naming.
+ */
+std::vector<std::string> listSnapshotDirectory(const std::string &dir);
+
 /** peekSnapshot over a file. */
 SnapshotInfo peekSnapshotFile(const std::string &path);
 

@@ -11,9 +11,17 @@ namespace cbs {
 P2Quantile::P2Quantile(double q) : q_(q)
 {
     CBS_EXPECT(q > 0.0 && q < 1.0, "P2Quantile requires q in (0,1)");
+    reset();
+}
+
+void
+P2Quantile::reset()
+{
+    count_ = 0;
+    heights_ = {};
     positions_ = {1, 2, 3, 4, 5};
-    desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
-    increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+    desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+    increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
 }
 
 double

@@ -28,6 +28,11 @@ class P2Quantile
     /** Add one observation. */
     void add(double x);
 
+    /** Return to the freshly-constructed state (same target quantile,
+     *  no observations). Windowed consumers recycle one estimator per
+     *  window instead of reallocating. */
+    void reset();
+
     /** Current estimate; exact until five observations have been seen. */
     double value() const;
 

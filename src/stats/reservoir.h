@@ -30,9 +30,20 @@ class Reservoir
      * @param seed PRNG seed (deterministic sampling for reproducibility).
      */
     explicit Reservoir(std::size_t capacity, std::uint64_t seed = 42)
-        : capacity_(capacity), state_(seed ? seed : 1)
+        : capacity_(capacity), seed_(seed ? seed : 1), state_(seed_)
     {
         sample_.reserve(capacity);
+    }
+
+    /** Return to the freshly-constructed state: the sample empties and
+     *  the PRNG rewinds to the construction seed, so a reset sampler
+     *  is indistinguishable from a new one (windowed re-use). */
+    void
+    reset()
+    {
+        state_ = seed_;
+        seen_ = 0;
+        sample_.clear();
     }
 
     /** Offer one stream element. */
@@ -119,6 +130,7 @@ class Reservoir
     }
 
     std::size_t capacity_;
+    std::uint64_t seed_; //!< construction seed, restored by reset()
     std::uint64_t state_;
     std::uint64_t seen_ = 0;
     std::vector<T> sample_;

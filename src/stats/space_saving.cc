@@ -12,6 +12,15 @@ SpaceSaving::SpaceSaving(std::size_t capacity)
 }
 
 void
+SpaceSaving::reset()
+{
+    total_ = 0;
+    entries_.clear();
+    entries_.reserve(capacity_);
+    index_ = FlatMap<std::uint32_t>(capacity_);
+}
+
+void
 SpaceSaving::add(std::uint64_t key, std::uint64_t weight)
 {
     total_ += weight;

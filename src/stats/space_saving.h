@@ -40,6 +40,10 @@ class SpaceSaving
     /** Record one occurrence of @p key with weight @p weight. */
     void add(std::uint64_t key, std::uint64_t weight = 1);
 
+    /** Return to the freshly-constructed state (same capacity, no
+     *  tracked keys, zero total weight). */
+    void reset();
+
     /** Total weight added to the sketch. */
     std::uint64_t totalWeight() const { return total_; }
 

@@ -70,6 +70,22 @@ sniffTraceFormat(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     CBS_EXPECT(in, "cannot open trace " << path);
 
+    // A file shorter than the 4-byte magic cannot be any supported
+    // format (the smallest CSV record line is longer still), so refuse
+    // it with the path and exact size instead of letting the comma
+    // heuristic or extension guess — an empty file sniffed as CSV
+    // would otherwise surface as a confusing "trace is empty" much
+    // later, and a mid-write file tail deserves a precise diagnosis.
+    in.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(in.tellg());
+    CBS_EXPECT(file_size >= 4,
+               "cannot determine the trace format of "
+                   << path << ": file is " << file_size
+                   << (file_size == 1 ? " byte" : " bytes")
+                   << " long, shorter than any trace magic (empty or "
+                      "still being written?)");
+    in.seekg(0);
+
     char magic[4] = {};
     in.read(magic, sizeof(magic));
     if (in.gcount() == 4) {

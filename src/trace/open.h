@@ -67,8 +67,9 @@ bool parseTraceFormat(std::string_view name, TraceFormat &format);
  * Decide a file's format: magic bytes first ("CBST" -> bin, "CBT2" ->
  * cbt2), then the comma count of the first non-blank line (4 -> the
  * AliCloud 5-field CSV, 6 -> the MSRC 7-field CSV), then the file
- * extension. Throws FatalError when the file cannot be opened or no
- * rule matches.
+ * extension. Throws FatalError when the file cannot be opened, is
+ * shorter than the 4-byte magic (empty or still being written — the
+ * diagnostic names the path and exact size), or no rule matches.
  */
 TraceFormat sniffTraceFormat(const std::string &path);
 

@@ -1,0 +1,684 @@
+#include "trace/tailing.h"
+
+#include <charconv>
+#include <cstring>
+#include <iostream>
+#include <limits>
+
+#include "common/error.h"
+
+namespace cbs {
+namespace {
+
+// CBT2 layout constants (trace/cbt2.cc writes them; docs/trace-formats.md
+// specifies them). The tailer decodes the chunk stream independently of
+// Cbt2Reader because the reader requires the footer index, which a
+// growing file does not have yet.
+constexpr char kCbt2Magic[4] = {'C', 'B', 'T', '2'};
+constexpr std::uint16_t kCbt2Version = 1;
+constexpr std::uint64_t kCbt2HeaderBytes = 8;
+constexpr std::uint64_t kCbt2TrailerBytes = 16;
+constexpr std::uint64_t kCbt2ChunkHeaderBytes = 40;
+constexpr std::uint64_t kCbt2FooterEntryFixedBytes = 48;
+/** Smallest finished file: header + empty footer (count + total) +
+ *  trailer. Below this a trailer probe cannot possibly succeed. */
+constexpr std::uint64_t kCbt2MinFinishedBytes =
+    kCbt2HeaderBytes + 16 + kCbt2TrailerBytes;
+constexpr std::size_t kQuarantineHexBytes = 48;
+
+std::uint16_t
+getU16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+bool
+readVarint(const unsigned char *&p, const unsigned char *end,
+           std::uint64_t &v)
+{
+    if (p < end && *p < 0x80) [[likely]] {
+        v = *p++;
+        return true;
+    }
+    v = 0;
+    unsigned shift = 0;
+    while (p < end) {
+        unsigned char byte = *p++;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            return false;
+    }
+    return false;
+}
+
+std::uint64_t
+zigzagDecode(std::uint64_t zz)
+{
+    return (zz >> 1) ^ (0 - (zz & 1));
+}
+
+std::string
+hexBytes(const unsigned char *data, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::size_t
+splitCsv(std::string_view line, std::string_view *fields,
+         std::size_t max_fields)
+{
+    std::size_t n = 0;
+    std::size_t start = 0;
+    while (n < max_fields) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string_view::npos) {
+            fields[n++] = line.substr(start);
+            break;
+        }
+        fields[n++] = line.substr(start, comma - start);
+        start = comma + 1;
+    }
+    return n;
+}
+
+template <typename T>
+T
+parseNumber(std::string_view field, std::uint64_t line_no,
+            const char *what)
+{
+    T value{};
+    auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    CBS_EXPECT(ec == std::errc{} && ptr == field.data() + field.size(),
+               "bad " << what << " at tailed line " << line_no << ": '"
+                      << field << "'");
+    return value;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// TailingCsvSource
+
+TailingCsvSource::TailingCsvSource(std::string path,
+                                   const TailOptions &options)
+    : path_(std::move(path)), options_(options)
+{
+    file_.open(path_, std::ios::binary);
+    CBS_EXPECT(file_, "cannot open trace " << path_ << " for tailing");
+    read_offset_ = options_.start_offset;
+    committed_offset_ = options_.start_offset;
+    skip_left_ = options_.skip_records;
+}
+
+TailingCsvSource::TailingCsvSource(std::istream &in,
+                                   const TailOptions &options)
+    : stream_(&in), options_(options)
+{
+    CBS_EXPECT(options_.start_offset == 0 && options_.skip_records == 0,
+               "pipe-mode CSV tailing cannot seek to a resume offset");
+}
+
+bool
+TailingCsvSource::parseLine(std::string_view line, IoRequest &req)
+{
+    std::string_view fields[6];
+    std::size_t n = splitCsv(line, fields, 6);
+    CBS_EXPECT(n == 5, "tailed CSV line " << line_ << " has " << n
+                                          << " fields, expected 5");
+    req.volume = parseNumber<VolumeId>(fields[0], line_, "device_id");
+    CBS_EXPECT(fields[1] == "R" || fields[1] == "W",
+               "bad opcode at tailed line " << line_ << ": '"
+                                            << fields[1] << "'");
+    req.op = fields[1] == "R" ? Op::Read : Op::Write;
+    req.offset = parseNumber<ByteOffset>(fields[2], line_, "offset");
+    req.length = parseNumber<std::uint32_t>(fields[3], line_, "length");
+    req.timestamp = parseNumber<TimeUs>(fields[4], line_, "timestamp");
+    CBS_EXPECT(req.timestamp >= last_timestamp_,
+               "timestamp goes backwards at tailed line "
+                   << line_ << ": " << req.timestamp << " after "
+                   << last_timestamp_);
+    return true;
+}
+
+bool
+TailingCsvSource::emitLine(std::string_view line,
+                           std::vector<IoRequest> &out)
+{
+    ++line_;
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+    if (line.empty())
+        return false;
+    IoRequest req;
+    try {
+        parseLine(line, req);
+    } catch (const FatalError &err) {
+        if (tolerateBadRecord(err.what(), line, records_))
+            return false;
+        throw;
+    }
+    last_timestamp_ = req.timestamp;
+    if (skip_left_) {
+        // Resume replay: the record was delivered before the
+        // checkpoint; drop it without re-counting.
+        --skip_left_;
+        return false;
+    }
+    ++records_;
+    out.push_back(req);
+    return true;
+}
+
+std::size_t
+TailingCsvSource::pollFile(std::vector<IoRequest> &out, std::size_t max)
+{
+    for (;;) {
+        // Drain the complete lines already buffered. The committed
+        // offset advances per consumed line so a checkpoint between
+        // polls lands exactly on a line boundary; a trailing partial
+        // line stays in tail_ until its newline arrives.
+        std::size_t pos = 0;
+        try {
+            while (out.size() < max) {
+                std::size_t nl = tail_.find('\n', pos);
+                if (nl == std::string::npos)
+                    break;
+                std::string_view raw(tail_.data() + pos, nl - pos);
+                emitLine(raw, out);
+                committed_offset_ += nl - pos + 1;
+                pos = nl + 1;
+            }
+        } catch (...) {
+            // Keep the invariant committed_offset_ ==
+            // read_offset_ - tail_.size() before the error escapes:
+            // the offending line stays un-consumed at the buffer head.
+            tail_.erase(0, pos);
+            throw;
+        }
+        tail_.erase(0, pos);
+        if (out.size() >= max)
+            return out.size();
+
+        file_.clear();
+        file_.seekg(0, std::ios::end);
+        auto size = static_cast<std::uint64_t>(file_.tellg());
+        CBS_EXPECT(size >= size_seen_,
+                   path_ << ": tailed file shrank from " << size_seen_
+                         << " to " << size
+                         << " bytes (rotated or truncated under the "
+                            "tailer; restart the stream from the new "
+                            "file)");
+        size_seen_ = size;
+        if (read_offset_ >= size)
+            return out.size(); // nothing new on disk: idle
+        file_.seekg(static_cast<std::streamoff>(read_offset_));
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(options_.read_chunk_bytes,
+                                    size - read_offset_));
+        std::size_t old = tail_.size();
+        tail_.resize(old + want);
+        file_.read(tail_.data() + old, static_cast<std::streamsize>(want));
+        std::size_t got = static_cast<std::size_t>(file_.gcount());
+        tail_.resize(old + got);
+        if (got == 0)
+            return out.size();
+        read_offset_ += got;
+    }
+}
+
+std::size_t
+TailingCsvSource::pollStream(std::vector<IoRequest> &out,
+                             std::size_t max)
+{
+    if (end_of_stream_)
+        return 0;
+    // Block for the first line, then keep going only while buffered
+    // input is immediately available — one poll never waits for a slow
+    // writer to fill a whole batch.
+    while (out.size() < max) {
+        if (!std::getline(*stream_, line_buf_)) {
+            end_of_stream_ = true;
+            break;
+        }
+        bool torn_tail = stream_->eof();
+        committed_offset_ += line_buf_.size() + (torn_tail ? 0 : 1);
+        // A writer that closes the pipe after an unterminated final
+        // line has still finished that line — no more bytes can
+        // arrive — so it parses like any other (torn-tail caution is
+        // for files that may yet grow).
+        emitLine(line_buf_, out);
+        if (torn_tail) {
+            end_of_stream_ = true;
+            break;
+        }
+        if (stream_->rdbuf()->in_avail() <= 0 && !out.empty())
+            break;
+    }
+    return out.size();
+}
+
+std::size_t
+TailingCsvSource::nextBatchImpl(std::vector<IoRequest> &out,
+                                std::size_t max_requests)
+{
+    out.clear();
+    std::size_t n = stream_ ? pollStream(out, max_requests)
+                            : pollFile(out, max_requests);
+    return notePoll(n);
+}
+
+bool
+TailingCsvSource::next(IoRequest &req)
+{
+    std::vector<IoRequest> one;
+    if (!nextBatchImpl(one, 1))
+        return false;
+    req = one.front();
+    return true;
+}
+
+void
+TailingCsvSource::reset()
+{
+    CBS_EXPECT(!stream_,
+               "pipe-mode CSV tailing cannot rewind: the bytes are gone "
+               "once read");
+    read_offset_ = options_.start_offset;
+    committed_offset_ = options_.start_offset;
+    committed_records_ = 0;
+    skip_left_ = options_.skip_records;
+    tail_.clear();
+    line_ = 0;
+    records_ = 0;
+    last_timestamp_ = 0;
+    end_of_stream_ = false;
+    resetErrorBudget();
+}
+
+// ---------------------------------------------------------------------------
+// TailingCbt2Source
+
+TailingCbt2Source::TailingCbt2Source(std::string path,
+                                     const TailOptions &options)
+    : path_(std::move(path)), options_(options)
+{
+    file_.open(path_, std::ios::binary);
+    CBS_EXPECT(file_, "cannot open trace " << path_ << " for tailing");
+    restart();
+}
+
+void
+TailingCbt2Source::restart()
+{
+    scan_pos_ = options_.start_offset ? options_.start_offset
+                                      : kCbt2HeaderBytes;
+    chunk_start_ = scan_pos_;
+    committed_offset_ = scan_pos_;
+    committed_records_ = 0;
+    skip_left_ = options_.skip_records;
+    footer_offset_ = 0;
+    header_checked_ = false;
+    pending_.clear();
+    pending_pos_ = 0;
+    records_ = 0;
+    chunks_ = 0;
+    end_of_stream_ = false;
+}
+
+std::uint64_t
+TailingCbt2Source::fileSize()
+{
+    file_.clear();
+    file_.seekg(0, std::ios::end);
+    return static_cast<std::uint64_t>(file_.tellg());
+}
+
+bool
+TailingCbt2Source::readAt(std::uint64_t offset, std::size_t n,
+                          std::string &buf)
+{
+    buf.resize(n);
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(offset));
+    file_.read(buf.data(), static_cast<std::streamsize>(n));
+    return static_cast<std::size_t>(file_.gcount()) == n;
+}
+
+bool
+TailingCbt2Source::checkHeader()
+{
+    if (size_seen_ < kCbt2HeaderBytes)
+        return false; // not even a header yet: idle
+    std::string hdr;
+    CBS_EXPECT(readAt(0, kCbt2HeaderBytes, hdr),
+               path_ << ": short read on the CBT2 header");
+    const auto *p = reinterpret_cast<const unsigned char *>(hdr.data());
+    CBS_EXPECT(std::memcmp(p, kCbt2Magic, sizeof(kCbt2Magic)) == 0,
+               path_ << ": not a CBT2 file (bad magic)");
+    std::uint16_t version = getU16(p + 4);
+    CBS_EXPECT(version == kCbt2Version,
+               path_ << ": unsupported CBT2 version " << version);
+    std::uint16_t flags = getU16(p + 6);
+    CBS_EXPECT(flags == 0, path_ << ": unknown CBT2 flags 0x" << std::hex
+                                 << flags);
+    header_checked_ = true;
+    return true;
+}
+
+/**
+ * Probe for a finished file: a valid trailer whose footer parses
+ * completely and consistently. Any inconsistency means "not finished
+ * yet" — the bytes under the probe are then chunk data still being
+ * written, never an error. Only a fully coherent index (magic, version,
+ * in-range sizes, per-chunk extents inside the chunk region, record
+ * total matching the per-chunk sum) flips the source into its bounded
+ * end-game.
+ */
+void
+TailingCbt2Source::tryDetectFooter(std::uint64_t size)
+{
+    if (size < kCbt2MinFinishedBytes)
+        return;
+    std::string tail;
+    if (!readAt(size - kCbt2TrailerBytes,
+                static_cast<std::size_t>(kCbt2TrailerBytes), tail))
+        return;
+    const auto *t = reinterpret_cast<const unsigned char *>(tail.data());
+    if (std::memcmp(t + 12, kCbt2Magic, sizeof(kCbt2Magic)) != 0)
+        return;
+    if (getU16(t + 8) != kCbt2Version)
+        return;
+    std::uint64_t footer_bytes = getU64(t);
+    if (footer_bytes < 16 ||
+        footer_bytes > size - kCbt2HeaderBytes - kCbt2TrailerBytes)
+        return;
+    std::uint64_t footer_off = size - kCbt2TrailerBytes - footer_bytes;
+    std::string footer;
+    if (!readAt(footer_off, static_cast<std::size_t>(footer_bytes),
+                footer))
+        return;
+    const auto *p = reinterpret_cast<const unsigned char *>(footer.data());
+    const unsigned char *end = p + footer_bytes;
+    std::uint64_t chunk_count = getU64(p);
+    p += 8;
+    if (chunk_count > (footer_bytes - 16) / kCbt2FooterEntryFixedBytes)
+        return;
+    std::uint64_t record_sum = 0;
+    for (std::uint64_t i = 0; i < chunk_count; ++i) {
+        if (static_cast<std::uint64_t>(end - p) <
+            kCbt2FooterEntryFixedBytes + 8)
+            return;
+        std::uint64_t file_offset = getU64(p);
+        std::uint64_t byte_size = getU64(p + 8);
+        std::uint64_t record_count = getU64(p + 16);
+        std::uint32_t volume_count = getU32(p + 44);
+        p += kCbt2FooterEntryFixedBytes;
+        if (file_offset < kCbt2HeaderBytes ||
+            byte_size < kCbt2ChunkHeaderBytes ||
+            file_offset + byte_size > footer_off)
+            return;
+        if (static_cast<std::uint64_t>(end - p) <
+            std::uint64_t{volume_count} * 4 + 8)
+            return;
+        p += std::size_t{volume_count} * 4;
+        record_sum += record_count;
+    }
+    if (static_cast<std::uint64_t>(end - p) != 8)
+        return;
+    if (getU64(p) != record_sum)
+        return;
+    footer_offset_ = footer_off;
+}
+
+bool
+TailingCbt2Source::decodeChunk(const unsigned char *data,
+                               std::size_t size, std::uint32_t count,
+                               std::uint32_t dict_count)
+{
+    pending_.clear();
+    pending_pos_ = 0;
+    pending_.reserve(count);
+    TimeUs prev_ts = getU64(data + 8);
+    ByteOffset prev_off = getU64(data + 16);
+    std::uint32_t ts_bytes = getU32(data + 24);
+    std::uint32_t vol_bytes = getU32(data + 28);
+    std::uint32_t off_bytes = getU32(data + 32);
+    std::uint32_t len_bytes = getU32(data + 36);
+    const unsigned char *dict = data + kCbt2ChunkHeaderBytes;
+    const unsigned char *ts_p = dict + std::size_t{dict_count} * 4;
+    const unsigned char *ts_end = ts_p + ts_bytes;
+    const unsigned char *vol_p = ts_end;
+    const unsigned char *vol_end = vol_p + vol_bytes;
+    const unsigned char *off_p = vol_end;
+    const unsigned char *off_end = off_p + off_bytes;
+    const unsigned char *len_p = off_end;
+    const unsigned char *len_end = len_p + len_bytes;
+    const unsigned char *op_bits = len_end;
+    (void)size;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t dts = 0, vidx = 0, zoff = 0, len = 0;
+        if (!readVarint(ts_p, ts_end, dts) ||
+            !readVarint(vol_p, vol_end, vidx) ||
+            !readVarint(off_p, off_end, zoff) ||
+            !readVarint(len_p, len_end, len) || vidx >= dict_count ||
+            len > std::numeric_limits<std::uint32_t>::max()) {
+            pending_.clear();
+            return false;
+        }
+        prev_ts += dts;
+        prev_off += zigzagDecode(zoff);
+        VolumeId volume = getU32(dict + std::size_t{vidx} * 4);
+        bool is_write = (op_bits[i >> 3] >> (i & 7)) & 1;
+        pending_.push_back(
+            IoRequest{prev_ts, prev_off, static_cast<std::uint32_t>(len),
+                      volume, is_write ? Op::Write : Op::Read});
+    }
+    return true;
+}
+
+std::size_t
+TailingCbt2Source::serveFromPending(std::vector<IoRequest> &out,
+                                    std::size_t max)
+{
+    std::size_t room = max - out.size();
+    std::size_t avail = pending_.size() - pending_pos_;
+    std::size_t n = std::min(room, avail);
+    out.insert(out.end(), pending_.begin() + pending_pos_,
+               pending_.begin() + pending_pos_ + n);
+    pending_pos_ += n;
+    records_ += n;
+    if (pending_pos_ >= pending_.size()) {
+        pending_.clear();
+        pending_pos_ = 0;
+        committed_offset_ = scan_pos_;
+        committed_records_ = 0;
+    } else {
+        // Mid-chunk boundary: the chunk start plus the records already
+        // delivered from it (including any resume-skipped prefix).
+        committed_offset_ = chunk_start_;
+        committed_records_ = pending_pos_;
+    }
+    return n;
+}
+
+std::size_t
+TailingCbt2Source::nextBatchImpl(std::vector<IoRequest> &out,
+                                 std::size_t max_requests)
+{
+    out.clear();
+    serveFromPending(out, max_requests);
+    if (out.size() >= max_requests || end_of_stream_)
+        return notePoll(out.size());
+
+    std::uint64_t size = fileSize();
+    CBS_EXPECT(size >= size_seen_,
+               path_ << ": tailed file shrank from " << size_seen_
+                     << " to " << size
+                     << " bytes (rotated or truncated under the tailer; "
+                        "restart the stream from the new file)");
+    size_seen_ = size;
+    if (!header_checked_ && !checkHeader())
+        return notePoll(out.size());
+    if (footer_offset_ == 0)
+        tryDetectFooter(size);
+    // The chunk region ends at the footer once one exists; until then
+    // every byte on disk is (possibly torn) chunk data.
+    std::uint64_t limit = footer_offset_ ? footer_offset_ : size;
+
+    while (out.size() < max_requests) {
+        if (footer_offset_ && scan_pos_ >= footer_offset_) {
+            end_of_stream_ = true;
+            break;
+        }
+        if (scan_pos_ + kCbt2ChunkHeaderBytes > limit)
+            break; // header not fully on disk yet: torn tail, idle
+        std::string hdr;
+        if (!readAt(scan_pos_,
+                    static_cast<std::size_t>(kCbt2ChunkHeaderBytes),
+                    hdr))
+            break;
+        const auto *h =
+            reinterpret_cast<const unsigned char *>(hdr.data());
+        std::uint32_t count = getU32(h);
+        std::uint32_t dict_count = getU32(h + 4);
+        if (count == 0 || dict_count == 0 || dict_count > count) {
+            // An implausible header where a chunk should start. With a
+            // footer in hand the region is supposed to be fully valid
+            // chunks — diagnose. On a live stream there is no way to
+            // resync (the next chunk's offset is unknowable), so park
+            // and let the caller's stall watchdog make the call.
+            CBS_EXPECT(footer_offset_ == 0,
+                       path_ << ": implausible chunk header at offset "
+                             << scan_pos_ << " (count " << count
+                             << ", dict " << dict_count
+                             << ") inside a finished file");
+            break;
+        }
+        std::uint64_t need =
+            kCbt2ChunkHeaderBytes + std::uint64_t{dict_count} * 4 +
+            getU32(h + 24) + getU32(h + 28) + getU32(h + 32) +
+            getU32(h + 36) + (std::uint64_t{count} + 7) / 8;
+        if (scan_pos_ + need > limit)
+            break; // chunk extent beyond the bytes on disk: torn tail
+        if (!readAt(scan_pos_, static_cast<std::size_t>(need), scratch_))
+            break;
+        const auto *chunk =
+            reinterpret_cast<const unsigned char *>(scratch_.data());
+        ++chunks_;
+        if (!decodeChunk(chunk, static_cast<std::size_t>(need), count,
+                         dict_count)) {
+            // Complete on disk but undecodable: one bad record, same
+            // contract as Cbt2Reader's torn chunks. Live tailing runs
+            // ahead of the footer, so there is no CRC to consult yet.
+            std::ostringstream oss;
+            oss << path_ << ": chunk at offset " << scan_pos_
+                << " column data malformed mid-decode (" << count
+                << " records dropped; no footer CRC available while "
+                   "tailing)";
+            std::string reason = oss.str();
+            std::string payload = hexBytes(
+                chunk, std::min<std::size_t>(kQuarantineHexBytes,
+                                             scratch_.size()));
+            if (!tolerateBadRecord(reason, payload, records_))
+                CBS_FATAL(reason);
+            scan_pos_ += need;
+            committed_offset_ = scan_pos_;
+            committed_records_ = 0;
+            continue;
+        }
+        chunk_start_ = scan_pos_;
+        scan_pos_ += need;
+        if (skip_left_) {
+            // Resume replay: drop the records delivered before the
+            // checkpoint without re-counting them.
+            std::size_t drop = static_cast<std::size_t>(
+                std::min<std::uint64_t>(skip_left_, pending_.size()));
+            pending_pos_ = drop;
+            skip_left_ -= drop;
+            if (pending_pos_ >= pending_.size()) {
+                pending_.clear();
+                pending_pos_ = 0;
+                committed_offset_ = scan_pos_;
+                continue;
+            }
+        }
+        serveFromPending(out, max_requests);
+    }
+    return notePoll(out.size());
+}
+
+bool
+TailingCbt2Source::next(IoRequest &req)
+{
+    std::vector<IoRequest> one;
+    if (!nextBatchImpl(one, 1))
+        return false;
+    req = one.front();
+    return true;
+}
+
+void
+TailingCbt2Source::reset()
+{
+    size_seen_ = 0;
+    restart();
+    resetErrorBudget();
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+
+std::unique_ptr<TailingSource>
+openTailingSource(const std::string &path, TraceFormat format,
+                  const TailOptions &options)
+{
+    if (path == "-") {
+        CBS_EXPECT(format == TraceFormat::Auto ||
+                       format == TraceFormat::AliCloudCsv,
+                   "stdin tailing reads AliCloud CSV records; got format "
+                       << traceFormatName(format));
+        return std::make_unique<TailingCsvSource>(std::cin, options);
+    }
+    TraceFormat resolved =
+        format == TraceFormat::Auto ? sniffTraceFormat(path) : format;
+    switch (resolved) {
+    case TraceFormat::AliCloudCsv:
+        return std::make_unique<TailingCsvSource>(path, options);
+    case TraceFormat::Cbt2:
+        return std::make_unique<TailingCbt2Source>(path, options);
+    default:
+        CBS_FATAL("tailing supports the self-delimiting formats (csv, "
+                  "cbt2); "
+                  << traceFormatName(resolved)
+                  << " traces must be analyzed in batch mode");
+    }
+}
+
+} // namespace cbs

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * TailingSource: trace sources that follow a *growing* input — the
+ * ingestion layer of `cbs_tool serve` (docs/serving.md).
+ *
+ * A batch reader treats end-of-file as end-of-stream; a tailing source
+ * treats it as "no complete records yet". Each nextBatch() call is one
+ * poll: it delivers every complete record that has appeared since the
+ * last call and returns 0 when none are available — which the caller
+ * disambiguates with endOfStream() (a CBT2 trailer materialized, or a
+ * pipe writer closed its end) versus "idle, poll again later". The
+ * wait/backoff loop deliberately lives in the caller (the serve
+ * supervisor), where stop requests, idle exits, and the stall watchdog
+ * belong; resilience decorators (RetryingSource, FaultInjectingSource)
+ * wrap a tailing source unchanged, since an idle 0 passes through them
+ * like any other empty read.
+ *
+ * Torn tails are the defining hazard, handled per format:
+ *
+ *   CSV   bytes are consumed only up to the last '\n'; a partial final
+ *         line stays buffered until its newline arrives, because a
+ *         truncated CSV line ("...,123" cut from "...,12345") can
+ *         parse as a perfectly valid wrong record.
+ *   CBT2  a growing file has no footer yet, so chunks are parsed
+ *         incrementally from the chunk headers; a chunk whose declared
+ *         extent exceeds the bytes on disk is left un-consumed and
+ *         re-examined on the next poll. Once a valid trailer + footer
+ *         terminate the file, the source reports endOfStream() after
+ *         the last chunk before the footer.
+ *
+ * Rotation/truncation (the file shrinking below the consumed offset)
+ * is detected on every poll and diagnosed as a FatalError naming the
+ * path and both offsets — a tailer must never silently re-read a
+ * rotated file as a continuation.
+ *
+ * Crash-safe resume: committedOffset()/committedRecords() name the
+ * exact stream position of the next undelivered record — a byte
+ * offset at a record/chunk boundary plus the records already
+ * delivered past it (non-zero only mid-chunk in CBT2). The serve
+ * supervisor embeds the pair in its checkpoints; TailOptions
+ * start_offset/skip_records restart a new tailer from it with no lost
+ * and no duplicated records.
+ */
+
+#ifndef CBS_TRACE_TAILING_H
+#define CBS_TRACE_TAILING_H
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/open.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+
+/** Tailing knobs; plain aggregate, defaults are inert. */
+struct TailOptions
+{
+    /** Byte offset to start consuming at — must be a committed record
+     *  boundary (0, or a committedOffset() from a checkpoint). For
+     *  CBT2 this is a chunk start. */
+    std::uint64_t start_offset = 0;
+
+    /** Records to decode and drop after start_offset before the first
+     *  delivery (a committedRecords() value; CBT2 mid-chunk resume). */
+    std::uint64_t skip_records = 0;
+
+    /** Bytes read from the file per poll read() call. */
+    std::size_t read_chunk_bytes = 64 * 1024;
+};
+
+/**
+ * Base of the tailing family: a TraceSource whose empty batch means
+ * "idle" until endOfStream() says otherwise, plus the committed
+ * stream-position accessors the checkpoint flow needs.
+ */
+class TailingSource : public TraceSource
+{
+  public:
+    /** True once the stream has truly ended (finished CBT2 file,
+     *  closed pipe). A tailing file source without an end marker never
+     *  sets this; its consumer decides when to stop polling. */
+    bool endOfStream() const { return end_of_stream_; }
+
+    /** Byte offset of the committed boundary: every byte before it is
+     *  fully delivered (or skipped under the error policy). */
+    std::uint64_t committedOffset() const { return committed_offset_; }
+
+    /** Records delivered past committedOffset() (CBT2 mid-chunk;
+     *  always 0 for CSV, whose boundaries are line-aligned). */
+    std::uint64_t committedRecords() const
+    {
+        return committed_records_;
+    }
+
+    /** Polls served / polls that found no complete record. */
+    std::uint64_t pollCount() const { return polls_; }
+    std::uint64_t idlePolls() const { return idle_polls_; }
+
+    /** Source bytes visible at the last poll (0 for pipes); the gap
+     *  to committedOffset() is the un-consumable tail. */
+    virtual std::uint64_t bytesVisible() const = 0;
+
+  protected:
+    std::uint64_t committed_offset_ = 0;
+    std::uint64_t committed_records_ = 0;
+    std::uint64_t polls_ = 0;
+    std::uint64_t idle_polls_ = 0;
+    bool end_of_stream_ = false;
+
+    /** Bookkeeping shared by the concrete polls. */
+    std::size_t
+    notePoll(std::size_t produced)
+    {
+        ++polls_;
+        if (produced == 0)
+            ++idle_polls_;
+        return produced;
+    }
+};
+
+/**
+ * Tail a growing AliCloud-format CSV file (or consume a pipe/socket
+ * stream of the same records). File mode polls: each nextBatch reads
+ * whatever bytes have appeared, delivers the complete lines, and
+ * keeps a partial tail line buffered. Stream mode (the istream
+ * constructor — stdin, a FIFO, a socket wrapped in a stream) reads
+ * blocking line-by-line; end-of-stream is the writer closing the
+ * pipe, and an unterminated final line is reported through the
+ * read-error policy as a torn tail rather than parsed.
+ */
+class TailingCsvSource : public TailingSource
+{
+  public:
+    /** Follow the regular file @p path. The file may be empty or
+     *  absent-of-data at construction; records appear as it grows. */
+    explicit TailingCsvSource(std::string path,
+                              const TailOptions &options = {});
+
+    /** Consume the already-open stream @p in (pipe mode). Must
+     *  outlive the source; start_offset/skip_records unsupported. */
+    explicit TailingCsvSource(std::istream &in,
+                              const TailOptions &options = {});
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+    std::uint64_t bytesVisible() const override { return size_seen_; }
+
+    std::uint64_t recordCount() const { return records_; }
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
+
+  private:
+    std::size_t pollFile(std::vector<IoRequest> &out, std::size_t max);
+    std::size_t pollStream(std::vector<IoRequest> &out,
+                           std::size_t max);
+    bool parseLine(std::string_view line, IoRequest &req);
+    bool emitLine(std::string_view line, std::vector<IoRequest> &out);
+
+    std::string path_;            //!< empty in stream mode
+    std::ifstream file_;          //!< file mode
+    std::istream *stream_ = nullptr; //!< pipe mode
+    TailOptions options_;
+    std::string tail_;            //!< bytes read but not yet consumed
+    std::string line_buf_;        //!< stream-mode getline buffer
+    std::uint64_t read_offset_ = 0; //!< next byte to read from file
+    std::uint64_t size_seen_ = 0;
+    std::uint64_t line_ = 0;      //!< lines consumed since start
+    std::uint64_t records_ = 0;
+    std::uint64_t skip_left_ = 0;
+    TimeUs last_timestamp_ = 0;
+};
+
+/**
+ * Tail a growing CBT2 file: chunks are parsed straight from their
+ * headers as soon as their full extent is on disk, without waiting
+ * for the footer index (which only exists once the writer finishes).
+ * Each poll checks first whether a valid trailer + footer now
+ * terminate the file — if so the chunk region is bounded and the
+ * source ends after the last chunk. A complete-but-undecodable chunk
+ * counts as one bad record under the read-error policy (the same
+ * contract as Cbt2Reader's torn chunks); per-chunk CRCs are only
+ * verifiable once the footer exists, so live tailing trades that
+ * check for availability (documented in docs/serving.md).
+ */
+class TailingCbt2Source : public TailingSource
+{
+  public:
+    explicit TailingCbt2Source(std::string path,
+                               const TailOptions &options = {});
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+    std::uint64_t bytesVisible() const override { return size_seen_; }
+
+    std::uint64_t recordCount() const { return records_; }
+
+    /** Chunks fully consumed so far (including skipped torn ones). */
+    std::uint64_t chunksConsumed() const { return chunks_; }
+
+  protected:
+    std::size_t nextBatchImpl(std::vector<IoRequest> &out,
+                              std::size_t max_requests) override;
+
+  private:
+    void restart();
+    std::uint64_t fileSize();
+    bool readAt(std::uint64_t offset, std::size_t n, std::string &buf);
+    bool checkHeader();
+    void tryDetectFooter(std::uint64_t size);
+    bool decodeChunk(const unsigned char *data, std::size_t size,
+                     std::uint32_t count, std::uint32_t dict_count);
+    std::size_t serveFromPending(std::vector<IoRequest> &out,
+                                 std::size_t max);
+
+    std::string path_;
+    std::ifstream file_;
+    TailOptions options_;
+    std::uint64_t scan_pos_ = 0;   //!< next chunk header offset
+    std::uint64_t chunk_start_ = 0; //!< start of the pending chunk
+    std::uint64_t size_seen_ = 0;
+    std::uint64_t footer_offset_ = 0; //!< chunk region end (0=unknown)
+    bool header_checked_ = false;
+    std::vector<IoRequest> pending_; //!< decoded current chunk
+    std::size_t pending_pos_ = 0;
+    std::uint64_t records_ = 0;
+    std::uint64_t chunks_ = 0;
+    std::uint64_t skip_left_ = 0;
+    std::string scratch_;          //!< reused read buffer
+};
+
+/**
+ * Open @p path for tailing. Format Auto sniffs from content; an empty
+ * or sub-magic file cannot be sniffed yet (the stream may not have
+ * started), so Auto on such a file throws the sniffing FatalError —
+ * serve retries the open until bytes arrive. "-" reads CSV records
+ * from stdin (pipe mode). Only the self-delimiting formats tail:
+ * AliCloudCsv and Cbt2.
+ */
+std::unique_ptr<TailingSource>
+openTailingSource(const std::string &path,
+                  TraceFormat format = TraceFormat::Auto,
+                  const TailOptions &options = {});
+
+} // namespace cbs
+
+#endif // CBS_TRACE_TAILING_H

@@ -1,0 +1,129 @@
+# Golden checks for `cbs_tool serve`: windowed online analysis over a
+# file that is no longer growing must land exactly on the batch
+# results for the same records.
+#
+#   1. Single-window serve: merging the emitted window partials (as a
+#      directory) reproduces the batch summary JSON byte-for-byte.
+#   2. Day-window serve: --emit-cumulative writes the exact
+#      whole-stream state, byte-identical to a batch
+#      `analyze --scalar --emit-partial`.
+#   3. Crash/restart: serve a prefix, append the rest, resume from the
+#      checkpoint — the resumed cumulative state still matches the
+#      batch pass over the whole file (no loss, no double counting).
+#   4. Usage errors exit 2 without touching the output directory.
+#
+# Invoked via: cmake -DCBS_TOOL=... -DWORK_DIR=... -P this script.
+
+foreach(var CBS_TOOL WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_tool)
+    execute_process(
+        COMMAND "${CBS_TOOL}" ${ARGN}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "cbs_tool ${ARGN} exited ${rc}: ${stderr}")
+    endif()
+endfunction()
+
+function(expect_same a b what)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files "${a}" "${b}"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${what}: ${b} differs from ${a}")
+    endif()
+endfunction()
+
+set(csv "${WORK_DIR}/serve_golden.csv")
+run_tool(generate "${csv}" --volumes 6 --requests 8000 --seed 23)
+
+# The generated trace spans ~31 days; serve and analyze must agree on
+# the analysis duration for their activeness series to be comparable.
+set(duration 2680000000000)
+set(day 86400000000)
+
+# Batch goldens over the whole trace.
+run_tool(analyze "${csv}" --duration-us ${duration}
+         --summary-json "${WORK_DIR}/serve_batch.json")
+run_tool(analyze "${csv}" --duration-us ${duration} --scalar
+         --emit-partial "${WORK_DIR}/serve_batch.cbss")
+
+# 1. One giant window: the single window partial covers every record,
+#    so a directory merge is exact (multi-window merges are not — see
+#    docs/serving.md).
+set(one "${WORK_DIR}/serve_one")
+file(REMOVE_RECURSE "${one}")
+run_tool(serve "${csv}" --out "${one}" --duration-us ${duration}
+         --window-us 10000000000000 --exit-on-idle 3)
+run_tool(merge "${one}" --summary-json "${WORK_DIR}/serve_one.json")
+expect_same("${WORK_DIR}/serve_batch.json" "${WORK_DIR}/serve_one.json"
+            "single-window directory-merge parity")
+
+# 2. Day windows: many windows, one exact cumulative partial.
+set(days "${WORK_DIR}/serve_days")
+file(REMOVE_RECURSE "${days}")
+run_tool(serve "${csv}" --out "${days}" --duration-us ${duration}
+         --window-us ${day} --exit-on-idle 3 --checkpoint-every 1000
+         --emit-cumulative "${WORK_DIR}/serve_days.cbss")
+expect_same("${WORK_DIR}/serve_batch.cbss" "${WORK_DIR}/serve_days.cbss"
+            "day-window cumulative parity")
+if(NOT EXISTS "${days}/current.ckpt")
+    message(FATAL_ERROR "serve left no checkpoint in ${days}")
+endif()
+if(NOT EXISTS "${days}/window-000000.cbss")
+    message(FATAL_ERROR "serve left no window partials in ${days}")
+endif()
+
+# The cumulative partial is a first-class snapshot: merge accepts it
+# and reproduces the batch JSON.
+run_tool(merge "${WORK_DIR}/serve_days.cbss"
+         --summary-json "${WORK_DIR}/serve_days.json")
+expect_same("${WORK_DIR}/serve_batch.json" "${WORK_DIR}/serve_days.json"
+            "cumulative-partial summary parity")
+
+# 3. Crash/restart: serve a prefix, let the "writer" append the rest
+#    while the server is down, resume from the checkpoint.
+file(STRINGS "${csv}" all_lines)
+list(LENGTH all_lines total)
+math(EXPR head_count "${total} / 2")
+math(EXPR tail_from "${head_count}")
+math(EXPR tail_count "${total} - ${head_count}")
+list(SUBLIST all_lines 0 ${head_count} head_lines)
+list(SUBLIST all_lines ${tail_from} ${tail_count} tail_lines)
+list(JOIN head_lines "\n" head_text)
+list(JOIN tail_lines "\n" tail_text)
+set(grown "${WORK_DIR}/serve_grown.csv")
+file(WRITE "${grown}" "${head_text}\n")
+
+set(resume_dir "${WORK_DIR}/serve_resume")
+file(REMOVE_RECURSE "${resume_dir}")
+run_tool(serve "${grown}" --out "${resume_dir}"
+         --duration-us ${duration} --window-us ${day} --exit-on-idle 3)
+file(APPEND "${grown}" "${tail_text}\n")
+run_tool(serve "${grown}" --out "${resume_dir}"
+         --duration-us ${duration} --window-us ${day} --exit-on-idle 3
+         --resume-from "${resume_dir}/current.ckpt"
+         --emit-cumulative "${WORK_DIR}/serve_resumed.cbss")
+run_tool(analyze "${grown}" --duration-us ${duration} --scalar
+         --emit-partial "${WORK_DIR}/serve_grown.cbss")
+expect_same("${WORK_DIR}/serve_grown.cbss"
+            "${WORK_DIR}/serve_resumed.cbss"
+            "resume-after-append cumulative parity")
+
+# 4. Usage errors: no --out is exit code 2.
+execute_process(
+    COMMAND "${CBS_TOOL}" serve "${csv}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "serve without --out exited ${rc}, wanted 2")
+endif()
+
+message(STATUS "serve online results match batch goldens "
+               "(windows, cumulative, and resume)")

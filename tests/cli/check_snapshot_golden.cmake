@@ -81,6 +81,21 @@ run_tool(merge "${WORK_DIR}/snap_part0.cbss"
 expect_same("${WORK_DIR}/snap_single.json"
             "${WORK_DIR}/snap_merged.json" "4-way merge parity")
 
+# Directory merge: pointing merge at a directory of partials expands
+# to the sorted *.cbss it contains — same bytes as listing the files.
+set(part_dir "${WORK_DIR}/snap_parts")
+file(REMOVE_RECURSE "${part_dir}")
+file(MAKE_DIRECTORY "${part_dir}")
+foreach(r RANGE 3)
+    file(COPY "${WORK_DIR}/snap_part${r}.cbss"
+         DESTINATION "${part_dir}")
+endforeach()
+run_tool(merge "${part_dir}"
+         --summary-json "${WORK_DIR}/snap_dir_merged.json")
+expect_same("${WORK_DIR}/snap_single.json"
+            "${WORK_DIR}/snap_dir_merged.json"
+            "directory-merge parity")
+
 # Hierarchical merge: fold two partials into an intermediate snapshot,
 # then merge that with the rest.
 run_tool(merge "${WORK_DIR}/snap_part0.cbss"

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Prometheus text exposition: naming rules, type lines, cumulative
+ * histogram buckets, and byte determinism — the exposition `cbs_tool
+ * serve` drops next to its window snapshots must scrape cleanly and
+ * diff cleanly between polls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace cbs::obs {
+namespace {
+
+std::string
+render(const MetricsRegistry &registry)
+{
+    std::ostringstream oss;
+    writePrometheusText(registry, oss);
+    return oss.str();
+}
+
+TEST(Prometheus, NameFolding)
+{
+    EXPECT_EQ(prometheusName("ingest.bad_records"),
+              "cbs_ingest_bad_records");
+    EXPECT_EQ(prometheusName("serve.window.index"),
+              "cbs_serve_window_index");
+    EXPECT_EQ(prometheusName("weird-name with spaces"),
+              "cbs_weird_name_with_spaces");
+}
+
+TEST(Prometheus, CountersGetTotalSuffixAndType)
+{
+    MetricsRegistry registry;
+    registry.counter("serve.records").add(42);
+    std::string text = render(registry);
+    EXPECT_NE(text.find("# TYPE cbs_serve_records_total counter\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cbs_serve_records_total 42\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST(Prometheus, GaugesKeepBareName)
+{
+    MetricsRegistry registry;
+    registry.gauge("serve.window.index").set(7);
+    std::string text = render(registry);
+    EXPECT_NE(text.find("# TYPE cbs_serve_window_index gauge\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cbs_serve_window_index 7\n"), std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("_total"), std::string::npos) << text;
+}
+
+TEST(Prometheus, HistogramsExpandToCumulativeBuckets)
+{
+    MetricsRegistry registry;
+    Histogram &hist = registry.histogram("serve.window.records");
+    hist.record(0); // bucket 0 (le 0)
+    hist.record(1); // bucket 1 (le 1)
+    hist.record(1);
+    hist.record(5); // bucket 3 (le 7)
+    std::string text = render(registry);
+    EXPECT_NE(
+        text.find("# TYPE cbs_serve_window_records histogram\n"),
+        std::string::npos)
+        << text;
+    // Buckets are cumulative; le bounds are 2^i - 1.
+    EXPECT_NE(text.find("cbs_serve_window_records_bucket{le=\"0\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cbs_serve_window_records_bucket{le=\"1\"} 3\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cbs_serve_window_records_bucket{le=\"7\"} 4\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("cbs_serve_window_records_bucket{le=\"+Inf\"} 4\n"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cbs_serve_window_records_sum 7\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cbs_serve_window_records_count 4\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST(Prometheus, OutputIsSortedAndDeterministic)
+{
+    MetricsRegistry a;
+    a.counter("zeta.last").add(1);
+    a.counter("alpha.first").add(2);
+    a.gauge("mid.gauge").set(-3);
+
+    // Same instruments registered in a different order.
+    MetricsRegistry b;
+    b.gauge("mid.gauge").set(-3);
+    b.counter("alpha.first").add(2);
+    b.counter("zeta.last").add(1);
+
+    std::string ta = render(a);
+    EXPECT_EQ(ta, render(b));
+    EXPECT_LT(ta.find("cbs_alpha_first_total"),
+              ta.find("cbs_zeta_last_total"));
+    EXPECT_NE(ta.find("cbs_mid_gauge -3\n"), std::string::npos) << ta;
+}
+
+} // namespace
+} // namespace cbs::obs

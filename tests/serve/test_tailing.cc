@@ -1,0 +1,459 @@
+/**
+ * @file
+ * TailingSource contract tests: growth-driven delivery, torn-tail
+ * buffering, rotation diagnosis, committed-offset checkpoints, and
+ * end-of-stream detection — for both self-delimiting formats (CSV
+ * line tailing, CBT2 chunk tailing) plus the factory's format gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "trace/bin_trace.h"
+#include "trace/cbt2.h"
+#include "trace/error_policy.h"
+#include "trace/tailing.h"
+
+namespace cbs {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+appendFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string
+csvLine(VolumeId vol, char op, ByteOffset off, std::uint32_t len,
+        TimeUs ts)
+{
+    std::ostringstream oss;
+    oss << vol << ',' << op << ',' << off << ',' << len << ',' << ts
+        << '\n';
+    return oss.str();
+}
+
+std::vector<IoRequest>
+poll(TailingSource &tail, std::size_t max = 64)
+{
+    std::vector<IoRequest> out;
+    tail.nextBatch(out, max);
+    return out;
+}
+
+std::vector<IoRequest>
+drainTail(TailingSource &tail, std::size_t max = 64)
+{
+    std::vector<IoRequest> all;
+    std::vector<IoRequest> batch;
+    while (tail.nextBatch(batch, max) > 0)
+        all.insert(all.end(), batch.begin(), batch.end());
+    return all;
+}
+
+/** A small CBT2 image with several chunks, returned as raw bytes. */
+std::string
+cbt2Bytes(std::size_t records, std::size_t chunk_records = 16)
+{
+    std::ostringstream oss(std::ios::binary);
+    Cbt2WriteOptions options;
+    options.chunk_records = chunk_records;
+    Cbt2Writer writer(oss, options);
+    for (std::size_t i = 0; i < records; ++i)
+        writer.write(IoRequest{1000 + 10 * i, 4096 * (i % 7),
+                               static_cast<std::uint32_t>(4096),
+                               static_cast<VolumeId>(1 + i % 3),
+                               i % 2 ? Op::Write : Op::Read});
+    writer.finish();
+    return std::move(oss).str();
+}
+
+std::vector<IoRequest>
+expectedRecords(std::size_t records)
+{
+    std::vector<IoRequest> out;
+    for (std::size_t i = 0; i < records; ++i)
+        out.push_back(IoRequest{1000 + 10 * i, 4096 * (i % 7),
+                                static_cast<std::uint32_t>(4096),
+                                static_cast<VolumeId>(1 + i % 3),
+                                i % 2 ? Op::Write : Op::Read});
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// CSV file tailing
+
+TEST(TailingCsv, DeliversRecordsAsTheFileGrows)
+{
+    std::string path = tempPath("tail_grow.csv");
+    writeFile(path, "");
+    TailingCsvSource tail(path);
+
+    EXPECT_TRUE(poll(tail).empty());
+    EXPECT_FALSE(tail.endOfStream());
+
+    appendFile(path, csvLine(1, 'R', 0, 4096, 1000));
+    auto got = poll(tail);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].timestamp, 1000u);
+    EXPECT_EQ(got[0].op, Op::Read);
+
+    EXPECT_TRUE(poll(tail).empty()); // idle again
+
+    appendFile(path, csvLine(2, 'W', 4096, 8192, 2000) +
+                         csvLine(1, 'W', 8192, 4096, 3000));
+    got = poll(tail);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].volume, 2u);
+    EXPECT_EQ(got[1].timestamp, 3000u);
+    EXPECT_EQ(tail.recordCount(), 3u);
+    EXPECT_FALSE(tail.endOfStream()); // a file never self-terminates
+}
+
+TEST(TailingCsv, TornTailLineStaysBufferedUntilItsNewline)
+{
+    std::string path = tempPath("tail_torn.csv");
+    // "...,12345" torn to "...,12" would parse as a valid wrong
+    // record — the tailer must not consume bytes past the last '\n'.
+    writeFile(path, csvLine(1, 'R', 0, 4096, 1000) + "2,W,4096,8192,2");
+    TailingCsvSource tail(path);
+
+    auto got = poll(tail);
+    ASSERT_EQ(got.size(), 1u);
+    std::uint64_t committed = tail.committedOffset();
+    EXPECT_EQ(committed, csvLine(1, 'R', 0, 4096, 1000).size());
+
+    EXPECT_TRUE(poll(tail).empty());
+    EXPECT_EQ(tail.committedOffset(), committed);
+    EXPECT_GT(tail.bytesVisible(), committed); // the torn tail
+
+    appendFile(path, "345\n"); // the line completes: ts 2345
+    got = poll(tail);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].timestamp, 2345u);
+    EXPECT_EQ(tail.committedOffset(), tail.bytesVisible());
+}
+
+TEST(TailingCsv, RotationUnderTheTailerIsDiagnosed)
+{
+    std::string path = tempPath("tail_rotate.csv");
+    writeFile(path, csvLine(1, 'R', 0, 4096, 1000) +
+                        csvLine(1, 'W', 0, 4096, 2000));
+    TailingCsvSource tail(path);
+    EXPECT_EQ(poll(tail).size(), 2u);
+
+    writeFile(path, csvLine(9, 'R', 0, 512, 5)); // truncating rewrite
+    try {
+        poll(tail);
+        FAIL() << "a shrunk file must not be silently re-read";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("shrank"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TailingCsv, CommittedOffsetRestartsWithoutLossOrDuplication)
+{
+    std::string path = tempPath("tail_resume.csv");
+    std::string l1 = csvLine(1, 'R', 0, 4096, 1000);
+    std::string l2 = csvLine(2, 'W', 4096, 8192, 2000);
+    std::string l3 = csvLine(3, 'W', 8192, 4096, 3000);
+    writeFile(path, l1 + l2 + l3);
+
+    TailingCsvSource first(path);
+    auto got = poll(first, 2);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(first.committedOffset(), l1.size() + l2.size());
+    EXPECT_EQ(first.committedRecords(), 0u); // line-aligned always
+
+    TailOptions options;
+    options.start_offset = first.committedOffset();
+    TailingCsvSource second(path, options);
+    got = poll(second);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].timestamp, 3000u);
+    EXPECT_TRUE(poll(second).empty());
+}
+
+TEST(TailingCsv, BadLinesFollowTheReadErrorPolicy)
+{
+    std::string path = tempPath("tail_policy.csv");
+    writeFile(path, csvLine(1, 'R', 0, 4096, 1000) + "garbage,line\n" +
+                        csvLine(2, 'W', 4096, 8192, 2000));
+
+    TailingCsvSource strict(path);
+    EXPECT_THROW(drainTail(strict), FatalError);
+
+    TailingCsvSource tolerant(path);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    tolerant.setErrorPolicy(policy);
+    auto got = drainTail(tolerant);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[1].timestamp, 2000u);
+    EXPECT_EQ(tolerant.badRecords(), 1u);
+}
+
+TEST(TailingCsv, StrictErrorKeepsTheCommittedOffsetConsistent)
+{
+    std::string path = tempPath("tail_strict_offset.csv");
+    std::string good = csvLine(1, 'R', 0, 4096, 1000);
+    writeFile(path, good + "garbage,line\n");
+    TailingCsvSource tail(path);
+    EXPECT_THROW(drainTail(tail), FatalError);
+    // The good line was consumed; the bad line stays un-consumed at
+    // the committed boundary, so a restart resumes exactly there.
+    EXPECT_EQ(tail.committedOffset(), good.size());
+}
+
+// ---------------------------------------------------------------------
+// CSV pipe mode
+
+TEST(TailingCsvPipe, ConsumesAStreamAndEndsWhenItCloses)
+{
+    std::istringstream in(csvLine(1, 'R', 0, 4096, 1000) +
+                          csvLine(2, 'W', 4096, 8192, 2000));
+    TailingCsvSource tail(in);
+    auto got = drainTail(tail);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_TRUE(tail.endOfStream());
+}
+
+TEST(TailingCsvPipe, UnterminatedFinalLineParsesAtStreamClose)
+{
+    // A writer that closed the pipe after "...,2000" (no newline) has
+    // finished that line — no more bytes can arrive.
+    std::istringstream in(csvLine(1, 'R', 0, 4096, 1000) +
+                          "2,W,4096,8192,2000");
+    TailingCsvSource tail(in);
+    auto got = drainTail(tail);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[1].timestamp, 2000u);
+    EXPECT_TRUE(tail.endOfStream());
+}
+
+TEST(TailingCsvPipe, RejectsResumeOffsets)
+{
+    std::istringstream in("");
+    TailOptions options;
+    options.start_offset = 10;
+    EXPECT_THROW(TailingCsvSource(in, options), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// CBT2 tailing
+
+TEST(TailingCbt2, ByteAtATimeGrowthDeliversEveryRecordOnce)
+{
+    const std::size_t kRecords = 100;
+    std::string bytes = cbt2Bytes(kRecords);
+    std::string path = tempPath("tail_cbt2_sweep.cbt2");
+    writeFile(path, "");
+    TailingCbt2Source tail(path);
+
+    // Grow the file in awkward 13-byte slices; every poll between
+    // appends must deliver only whole decoded chunks, and the stream
+    // must end exactly when the trailer lands.
+    std::vector<IoRequest> all;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        std::size_t n = std::min<std::size_t>(13, bytes.size() - pos);
+        appendFile(path, bytes.substr(pos, n));
+        pos += n;
+        auto got = drainTail(tail);
+        all.insert(all.end(), got.begin(), got.end());
+        if (pos < bytes.size()) {
+            EXPECT_FALSE(tail.endOfStream());
+        }
+    }
+    auto got = drainTail(tail);
+    all.insert(all.end(), got.begin(), got.end());
+    EXPECT_TRUE(tail.endOfStream());
+    EXPECT_EQ(all, expectedRecords(kRecords));
+    EXPECT_GT(tail.idlePolls(), 0u);
+}
+
+TEST(TailingCbt2, FinishedFileDrainsAndEnds)
+{
+    const std::size_t kRecords = 50;
+    std::string path = tempPath("tail_cbt2_done.cbt2");
+    writeFile(path, cbt2Bytes(kRecords));
+    TailingCbt2Source tail(path);
+    EXPECT_EQ(drainTail(tail), expectedRecords(kRecords));
+    EXPECT_TRUE(tail.endOfStream());
+    EXPECT_EQ(tail.chunksConsumed(), (kRecords + 15) / 16);
+}
+
+TEST(TailingCbt2, MidChunkCheckpointRestartsExactly)
+{
+    const std::size_t kRecords = 48; // 3 chunks of 16
+    std::string path = tempPath("tail_cbt2_resume.cbt2");
+    writeFile(path, cbt2Bytes(kRecords));
+
+    TailingCbt2Source first(path);
+    std::vector<IoRequest> head;
+    std::vector<IoRequest> batch;
+    // Odd batch size lands the committed position mid-chunk.
+    while (head.size() < 21 && first.nextBatch(batch, 7) > 0)
+        head.insert(head.end(), batch.begin(), batch.end());
+    ASSERT_EQ(head.size(), 21u);
+    EXPECT_GT(first.committedRecords(), 0u); // mid-chunk
+
+    TailOptions options;
+    options.start_offset = first.committedOffset();
+    options.skip_records = first.committedRecords();
+    TailingCbt2Source second(path, options);
+    auto rest = drainTail(second);
+    head.insert(head.end(), rest.begin(), rest.end());
+    EXPECT_EQ(head, expectedRecords(kRecords));
+}
+
+TEST(TailingCbt2, TruncationIsDiagnosed)
+{
+    // A still-growing file (no footer yet): the tailer keeps polling,
+    // so a shrink must be diagnosed on the next poll. (A finished
+    // stream is never re-polled — end-of-stream short-circuits.)
+    std::string full = cbt2Bytes(32);
+    const auto *t = reinterpret_cast<const unsigned char *>(
+        full.data() + full.size() - 16);
+    std::uint64_t footer_bytes = 0;
+    for (int i = 7; i >= 0; --i)
+        footer_bytes = (footer_bytes << 8) | t[i];
+    std::string growing = full.substr(0, full.size() - 16 - footer_bytes);
+
+    std::string path = tempPath("tail_cbt2_trunc.cbt2");
+    writeFile(path, growing);
+    TailingCbt2Source tail(path);
+    EXPECT_EQ(drainTail(tail).size(), 32u);
+    EXPECT_FALSE(tail.endOfStream());
+
+    writeFile(path, growing.substr(0, growing.size() / 2));
+    try {
+        drainTail(tail);
+        FAIL() << "a shrunken tailed file must be fatal";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("shrank"),
+                  std::string::npos)
+            << error.what();
+        EXPECT_NE(std::string(error.what()).find(path),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(TailingCbt2, UndecodableChunkFollowsTheReadErrorPolicy)
+{
+    // header + a complete-but-undecodable chunk (the declared column
+    // bytes cannot hold the declared record count), then real chunks.
+    std::string good = cbt2Bytes(16, 16);
+    std::string header = good.substr(0, 8);
+
+    // 40B header + 4B dict + 4 one-byte columns + 1 op-bit byte = 49.
+    std::string bad(40 + 4 + 4 + 1, '\0');
+    bad[0] = 2; // count = 2
+    bad[4] = 1; // dict_count = 1
+    bad[24] = 1; // ts column: 1 byte — cannot hold 2 varints
+    bad[28] = 1;
+    bad[32] = 1;
+    bad[36] = 1;
+
+    // Real chunk region from the good image (between header and
+    // footer); the trailer's footer_bytes field locates the footer.
+    const auto *t = reinterpret_cast<const unsigned char *>(
+        good.data() + good.size() - 16);
+    std::uint64_t footer_bytes = 0;
+    for (int i = 7; i >= 0; --i)
+        footer_bytes = (footer_bytes << 8) | t[i];
+    std::string chunks =
+        good.substr(8, good.size() - 16 - footer_bytes - 8);
+
+    std::string path = tempPath("tail_cbt2_badchunk.cbt2");
+    writeFile(path, header + bad + chunks);
+
+    TailingCbt2Source strict(path);
+    EXPECT_THROW(drainTail(strict), FatalError);
+
+    TailingCbt2Source tolerant(path);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    tolerant.setErrorPolicy(policy);
+    auto got = drainTail(tolerant);
+    EXPECT_EQ(got, expectedRecords(16));
+    EXPECT_EQ(tolerant.badRecords(), 1u);
+    EXPECT_FALSE(tolerant.endOfStream()); // no footer on this file
+}
+
+TEST(TailingCbt2, NonCbt2BytesAreFatal)
+{
+    std::string path = tempPath("tail_cbt2_notcbt2.cbt2");
+    writeFile(path, "this is not a CBT2 file at all, not even close");
+    TailingCbt2Source tail(path);
+    EXPECT_THROW(drainTail(tail), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Factory
+
+TEST(TailingOpen, SniffsAndGatesFormats)
+{
+    std::string csv = tempPath("tail_open.csv");
+    writeFile(csv, csvLine(1, 'R', 0, 4096, 1000));
+    auto tailer = openTailingSource(csv);
+    ASSERT_NE(tailer, nullptr);
+    EXPECT_EQ(drainTail(*tailer).size(), 1u);
+
+    std::string cbt2 = tempPath("tail_open.cbt2");
+    writeFile(cbt2, cbt2Bytes(16));
+    EXPECT_EQ(drainTail(*openTailingSource(cbt2)).size(), 16u);
+
+    // CBST is not self-delimiting: batch mode only.
+    std::string bin = tempPath("tail_open.bin");
+    {
+        std::ofstream out(bin, std::ios::binary);
+        BinTraceWriter writer(out);
+        writer.write(IoRequest{1000, 0, 4096, 1, Op::Read});
+        writer.finish();
+    }
+    try {
+        openTailingSource(bin);
+        FAIL() << "CBST must not be tailable";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("batch mode"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Auto on an empty file throws the sniffing diagnosis: the serve
+    // caller retries the open until the writer produces bytes.
+    std::string empty = tempPath("tail_open_empty.xyz");
+    writeFile(empty, "");
+    EXPECT_THROW(openTailingSource(empty), FatalError);
+}
+
+} // namespace
+} // namespace cbs

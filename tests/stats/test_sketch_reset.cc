@@ -1,0 +1,167 @@
+/**
+ * @file
+ * reset() contract of the window-recycled sketches (serve reuses one
+ * WindowSketches instance across tumbling windows instead of
+ * reallocating): after reset(), a sketch must be indistinguishable
+ * from a freshly-constructed one — same observable accessors, same
+ * behaviour under a replayed stream, and the same serialized bytes,
+ * so a window snapshot taken after recycling cannot leak state from
+ * the previous window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/wire.h"
+#include "stats/p2_quantile.h"
+#include "stats/reservoir.h"
+#include "stats/space_saving.h"
+
+namespace cbs {
+namespace {
+
+template <typename T>
+std::vector<unsigned char>
+serializedBytes(const T &sketch)
+{
+    snap::Sink sink;
+    sketch.serialize(sink);
+    return sink.data();
+}
+
+/** Deterministic skewed stream, distinct per @p salt so "window 1"
+ *  and "window 2" feed different data. */
+std::uint64_t
+sample(std::uint64_t i, std::uint64_t salt)
+{
+    std::uint64_t x = i * 2654435761u + salt * 40503u;
+    x ^= x >> 15;
+    return (x % 97) * (x % 97);
+}
+
+TEST(SketchReset, P2QuantileMatchesFreshAfterReset)
+{
+    P2Quantile recycled(0.99);
+    for (std::uint64_t i = 0; i < 500; ++i)
+        recycled.add(static_cast<double>(sample(i, 1)));
+    recycled.reset();
+
+    P2Quantile fresh(0.99);
+    EXPECT_EQ(serializedBytes(recycled), serializedBytes(fresh));
+
+    // The replayed second window must estimate identically.
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        double x = static_cast<double>(sample(i, 2));
+        recycled.add(x);
+        fresh.add(x);
+    }
+    EXPECT_EQ(recycled.value(), fresh.value());
+    EXPECT_EQ(serializedBytes(recycled), serializedBytes(fresh));
+}
+
+TEST(SketchReset, SpaceSavingMatchesFreshAfterReset)
+{
+    SpaceSaving recycled(8);
+    for (std::uint64_t i = 0; i < 400; ++i)
+        recycled.add(sample(i, 3) % 32, 1 + i % 5);
+    recycled.reset();
+
+    SpaceSaving fresh(8);
+    EXPECT_EQ(recycled.totalWeight(), 0u);
+    EXPECT_TRUE(recycled.topK(8).empty());
+    EXPECT_EQ(serializedBytes(recycled), serializedBytes(fresh));
+
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        recycled.add(sample(i, 4) % 32, 1 + i % 7);
+        fresh.add(sample(i, 4) % 32, 1 + i % 7);
+    }
+    EXPECT_EQ(recycled.totalWeight(), fresh.totalWeight());
+    auto a = recycled.topK(8);
+    auto b = fresh.topK(8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].count, b[i].count);
+        EXPECT_EQ(a[i].overcount, b[i].overcount);
+    }
+    EXPECT_EQ(serializedBytes(recycled), serializedBytes(fresh));
+}
+
+TEST(SketchReset, ReservoirRewindsPrngToConstructionSeed)
+{
+    // The defining property: reset() rewinds the PRNG, so a recycled
+    // reservoir fed stream S samples exactly what a fresh reservoir
+    // fed S samples — window 2's sample cannot depend on how many
+    // records window 1 saw.
+    Reservoir<std::uint64_t> recycled(16, 99);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        recycled.add(sample(i, 5));
+    recycled.reset();
+    EXPECT_EQ(recycled.seen(), 0u);
+    EXPECT_TRUE(recycled.sample().empty());
+
+    Reservoir<std::uint64_t> fresh(16, 99);
+    EXPECT_EQ(serializedBytes(recycled), serializedBytes(fresh));
+
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        recycled.add(sample(i, 6));
+        fresh.add(sample(i, 6));
+    }
+    EXPECT_EQ(recycled.seen(), fresh.seen());
+    EXPECT_EQ(recycled.sample(), fresh.sample());
+    EXPECT_EQ(serializedBytes(recycled), serializedBytes(fresh));
+}
+
+TEST(SketchReset, SerializeAfterResetRoundTrips)
+{
+    // A snapshot of recycled-then-refilled sketches must survive the
+    // wire: serialize -> deserialize into a fresh instance -> identical
+    // re-serialized bytes (the serve window partials depend on this
+    // when a window closes right after recycling).
+    P2Quantile q(0.5);
+    SpaceSaving s(4);
+    Reservoir<std::uint64_t> r(8, 7);
+    for (int round = 0; round < 2; ++round) {
+        q.reset();
+        s.reset();
+        r.reset();
+        for (std::uint64_t i = 0; i < 50; ++i) {
+            q.add(static_cast<double>(sample(i, round)));
+            s.add(sample(i, round) % 16);
+            r.add(sample(i, round));
+        }
+    }
+
+    auto bytes_q = serializedBytes(q);
+    auto bytes_s = serializedBytes(s);
+    auto bytes_r = serializedBytes(r);
+
+    P2Quantile q2(0.5);
+    SpaceSaving s2(4);
+    Reservoir<std::uint64_t> r2(8, 7);
+    {
+        snap::Source src(bytes_q.data(), bytes_q.size(), "p2");
+        q2.deserialize(src);
+        src.expectEnd();
+    }
+    {
+        snap::Source src(bytes_s.data(), bytes_s.size(), "ss");
+        s2.deserialize(src);
+        src.expectEnd();
+    }
+    {
+        snap::Source src(bytes_r.data(), bytes_r.size(), "res");
+        r2.deserialize(src);
+        src.expectEnd();
+    }
+    EXPECT_EQ(serializedBytes(q2), bytes_q);
+    EXPECT_EQ(serializedBytes(s2), bytes_s);
+    EXPECT_EQ(serializedBytes(r2), bytes_r);
+    EXPECT_EQ(q2.value(), q.value());
+    EXPECT_EQ(r2.sample(), r.sample());
+}
+
+} // namespace
+} // namespace cbs

@@ -99,17 +99,53 @@ TEST(TraceOpen, SniffsAllFourFormats)
 
 TEST(TraceOpen, SniffFallsBackToExtension)
 {
-    // An empty file has no magic and no CSV shape.
-    std::string path = tempPath("sniff_empty.cbt2");
-    std::ofstream(path).close();
+    // Content too short for the magic/CSV heuristics but long enough
+    // to be a real (if odd) file: the extension decides.
+    std::string path = tempPath("sniff_ext.cbt2");
+    std::ofstream(path) << "xxxx\n";
     EXPECT_EQ(sniffTraceFormat(path), TraceFormat::Cbt2);
 
-    std::string unknowable = tempPath("sniff_empty.xyz");
-    std::ofstream(unknowable).close();
+    std::string unknowable = tempPath("sniff_ext.xyz");
+    std::ofstream(unknowable) << "xxxx\n";
     EXPECT_THROW(sniffTraceFormat(unknowable), FatalError);
 
     EXPECT_THROW(sniffTraceFormat(tempPath("does_not_exist.csv")),
                  FatalError);
+}
+
+TEST(TraceOpen, SniffRefusesEmptyAndSubMagicFiles)
+{
+    // A file shorter than any 4-byte magic cannot be classified — a
+    // writer may still be mid-open. The diagnosis must name the path
+    // and the exact size rather than guess from the extension and
+    // fail confusingly later (an empty .cbt2 is NOT a CBT2 trace).
+    for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                          std::size_t{2}, std::size_t{3}}) {
+        std::string path =
+            tempPath("sniff_short_" + std::to_string(n) + ".cbt2");
+        std::ofstream(path, std::ios::binary)
+            << std::string(n, 'C');
+        try {
+            sniffTraceFormat(path);
+            FAIL() << "sub-magic file of " << n
+                   << " bytes must not sniff";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(path),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(
+                std::string(e.what()).find(std::to_string(n) + " byte"),
+                std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find("still being written"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    // Exactly at the magic size the heuristics engage again.
+    std::string path = tempPath("sniff_magic4.bin");
+    std::ofstream(path, std::ios::binary) << "CBT2";
+    EXPECT_EQ(sniffTraceFormat(path), TraceFormat::Cbt2);
 }
 
 TEST(TraceOpen, OpensEveryFormatToTheSameRecords)
