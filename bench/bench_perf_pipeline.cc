@@ -38,7 +38,12 @@
  * per-window snapshot/JSON/exposition close), and the CBSSRV1
  * checkpoint write+read round trip of the end-of-run state.
  *
- * A sixth section microbenchmarks the replacement-policy substrate:
+ * A sixth section times the comparative axis: app::runCompare over
+ * the three on-disk encodings of the bench trace (csv, bin, cbt2) —
+ * three full analysis runs plus the cbs.compare.v1 render — serially
+ * and with 4 shards per run. Speedup is relative to the serial row.
+ *
+ * A seventh section microbenchmarks the replacement-policy substrate:
  * raw access() throughput of the slab-allocated LRU/ARC/LFU against
  * the list-based reference implementations on one Zipf key stream,
  * plus FIFO and CLOCK for context. Speedups are relative to the
@@ -70,6 +75,7 @@
 #include "analysis/update_coverage.h"
 #include "analysis/update_interval.h"
 #include "analysis/workload_summary.h"
+#include "app/compare.h"
 #include "cache/cache_policy.h"
 #include "cache/reference_policies.h"
 #include "common/format.h"
@@ -606,6 +612,50 @@ main(int argc, char **argv)
             record("serve-checkpoint", 0, sec, serve_sec);
         }
         std::filesystem::remove_all(serve_dir);
+    }
+
+    // Comparative axis: N full analysis runs plus the side-by-side
+    // render — what `cbs_tool compare` costs over already-materialized
+    // traces, and how much per-run sharding claws back.
+    {
+        std::printf("\ncompare substrate (3-way csv/bin/cbt2 compare "
+                    "through app::runCompare; speedup vs "
+                    "compare-serial):\n");
+        std::printf("%-16s  %9s  %14s  %7s\n", "config", "time",
+                    "throughput", "speedup");
+        auto timedCompare = [&](std::optional<std::size_t> threads) {
+            app::CompareOptions options;
+            options.paths = {files.csv, files.bin, files.cbt2};
+            options.base.threads = threads;
+            options.base.batch_records = g_batch_records;
+            auto start = std::chrono::steady_clock::now();
+            app::CompareResult result = app::runCompare(options);
+            std::ostringstream sink;
+            app::writeCompareJson(sink, result);
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                .count();
+        };
+        // Throughput counts each trace's records once: 3x the bundle.
+        std::uint64_t total = 3 * count;
+        auto recordCompare = [&](const std::string &label,
+                                 std::size_t shards, double sec,
+                                 double baseline) {
+            Measurement m;
+            m.label = label;
+            m.shards = shards;
+            m.seconds = sec;
+            m.mreq_per_s = static_cast<double>(total) / sec / 1e6;
+            m.speedup = baseline / sec;
+            rows.push_back(m);
+            std::printf("%-16s  %8.3fs  %8.2f Mreq/s  %6.2fx\n",
+                        m.label.c_str(), sec, m.mreq_per_s, m.speedup);
+        };
+        double compare_serial = timedCompare(std::nullopt);
+        recordCompare("compare-serial", 0, compare_serial,
+                      compare_serial);
+        recordCompare("compare-shards=4", 4, timedCompare(4),
+                      compare_serial);
     }
 
     // Replacement-policy substrate: raw access() throughput, slab

@@ -5,10 +5,12 @@
  * Subcommands (each takes --help for the full flag list):
  *
  *   analyze <trace>
- *       Full workload characterization (the WorkloadSummary facade)
- *       of a real trace. The format is sniffed from the file content
- *       (AliCloud CSV, MSRC CSV, CBST binary, CBT2 columnar); use
- *       --format (or the --msrc/--bin/--cbt2 shorthands) to override.
+ *       Full workload characterization (the app::runAnalysis entry
+ *       point over the WorkloadSummary facade) of a real trace. The
+ *       format is sniffed from the file content (AliCloud CSV, MSRC
+ *       CSV, Tencent CBS CSV, CBST binary, CBT2 columnar); use
+ *       --format (or the --msrc/--bin/--cbt2/--tencent shorthands)
+ *       to override.
  *       --threads N shards the analysis across N worker threads
  *       (0 = one per hardware thread); --ingest-lanes N additionally
  *       splits a CBT2 input into N parallel decode lanes feeding the
@@ -55,7 +57,8 @@
  *   convert <in> <out>
  *       Re-encode a trace between formats, streaming (bounded
  *       memory). The input format is sniffed; the output format comes
- *       from the extension (.csv/.bin/.cbt2) or --out-format. The
+ *       from the extension (.csv/.bin/.cbt2, with *.tencent.csv
+ *       selecting the Tencent CBS dialect) or --out-format. The
  *       read-error policy flags apply to the input side, so a damaged
  *       trace can be converted with the bad records dropped or
  *       quarantined. --volume-mod M / --volume-residue R keep only
@@ -64,16 +67,21 @@
  *
  *   generate <out.csv|out.bin|out.cbt2>
  *       Write a paper-calibrated synthetic trace; the extension picks
- *       the encoding.
+ *       the encoding and --msrc/--tencent pick the population.
  *
  *   mrc <trace>
  *       Miss-ratio curve of one volume (or all requests) via SHARDS
  *       sampled reuse distances. For CBT2 inputs a --volume filter is
  *       pushed down to chunk skipping.
  *
- *   compare <trace_a> <trace_b>
- *       Side-by-side characterization of two traces (the paper's
- *       AliCloud-vs-MSRC methodology for your own data).
+ *   compare <trace> <trace>...
+ *       Side-by-side characterization of two or more traces (the
+ *       paper's AliCloud-vs-MSRC methodology, extended to an N-way
+ *       cross-cloud axis). Every input gets the same full analysis
+ *       run as `analyze` — shared format/policy/threads knobs
+ *       included — and --summary-json writes a deterministic
+ *       cbs.compare.v1 document (per-trace cbs.summary.v1 sections
+ *       plus cross-trace deltas).
  *
  * All trace inputs go through openTraceSource (trace/open.h): one
  * declarative open that sniffs the format, arms the error policy,
@@ -101,12 +109,13 @@
 #include "analysis/cache_miss.h"
 #include "analysis/volume_classes.h"
 #include "analysis/workload_summary.h"
-#include "cache/cache_policy.h"
+#include "app/analysis_run.h"
+#include "app/compare.h"
 #include "cache/shards.h"
+#include "cli/analysis_flags.h"
 #include "cli/arg_parser.h"
 #include "common/format.h"
 #include "obs/metrics.h"
-#include "obs/progress.h"
 #include "report/table.h"
 #include "serve/serve.h"
 #include "snapshot/snapshot.h"
@@ -119,9 +128,16 @@
 #include "trace/open.h"
 #include "trace/resilience.h"
 #include "trace/tailing.h"
+#include "trace/tencent.h"
 
 using namespace cbs;
+using cbs::cli::addAnalysisRunFlags;
+using cbs::cli::addFormatFlags;
+using cbs::cli::addPolicyFlags;
 using cbs::cli::ArgParser;
+using cbs::cli::bindAnalysisRunFlags;
+using cbs::cli::resolveFormat;
+using cbs::cli::resolvePolicyFlags;
 
 namespace {
 
@@ -141,129 +157,15 @@ usage()
         "  convert <in> <out>     re-encode between trace formats\n"
         "  generate <out>         write a synthetic trace\n"
         "  mrc <trace>            miss-ratio curve via SHARDS\n"
-        "  compare <a> <b>        characterize two traces side by "
-        "side\n"
+        "  compare <trace>...     characterize two or more traces "
+        "side by side\n"
         "\n"
         "run 'cbs_tool <command> --help' for the command's options\n");
     return 2;
 }
 
-// ---------------------------------------------------------------------
-// Shared flag groups
-// ---------------------------------------------------------------------
-
-/** Input-format flags: --format plus the historical shorthands. */
-void
-addFormatFlags(ArgParser &parser)
-{
-    parser.flag("--format", "F",
-                "input format: auto|csv|msrc|bin|cbt2 (default auto)");
-    parser.toggle("--msrc", "shorthand for --format msrc");
-    parser.toggle("--bin", "shorthand for --format bin");
-    parser.toggle("--cbt2", "shorthand for --format cbt2");
-}
-
-/** Resolve the format flags; returns false after printing an error. */
-bool
-resolveFormat(const ArgParser &parser, TraceFormat &format)
-{
-    format = TraceFormat::Auto;
-    if (parser.has("--msrc"))
-        format = TraceFormat::MsrcCsv;
-    if (parser.has("--bin"))
-        format = TraceFormat::BinTrace;
-    if (parser.has("--cbt2"))
-        format = TraceFormat::Cbt2;
-    if (parser.has("--format") &&
-        !parseTraceFormat(parser.getString("--format"), format)) {
-        std::fprintf(stderr, "unknown --format '%s' (csv|msrc|bin|cbt2)\n",
-                     parser.getString("--format").c_str());
-        return false;
-    }
-    return true;
-}
-
-/** Read-error policy + retry flags shared by the reading commands. */
-void
-addPolicyFlags(ArgParser &parser)
-{
-    parser.flag("--error-policy", "P",
-                "strict|skip|quarantine (default strict)");
-    parser.flag("--max-bad-records", "N|FRAC",
-                "bad-record budget: a count, or with '.' a fraction");
-    parser.flag("--quarantine-file", "PATH",
-                "sidecar for quarantined records");
-    parser.flag("--retry", "N", "retry transient read failures N times");
-}
-
-/** Parsed policy flags; quarantine_out must outlive the source. */
-bool
-resolvePolicyFlags(const ArgParser &parser, ErrorPolicyOptions &policy,
-                   std::ofstream &quarantine_out, int &retry,
-                   int &exit_code)
-{
-    std::string name = parser.getString("--error-policy");
-    if (!name.empty() && !parseReadErrorPolicy(name, policy.policy)) {
-        std::fprintf(stderr,
-                     "unknown --error-policy '%s' "
-                     "(strict|skip|quarantine)\n",
-                     name.c_str());
-        exit_code = 2;
-        return false;
-    }
-    std::string budget = parser.getString("--max-bad-records");
-    if (!budget.empty()) {
-        // A '.' means a fraction of records read; otherwise a count.
-        if (budget.find('.') != std::string::npos)
-            policy.max_bad_fraction =
-                std::strtod(budget.c_str(), nullptr);
-        else
-            policy.max_bad_records =
-                std::strtoull(budget.c_str(), nullptr, 10);
-    }
-    if (policy.policy == ReadErrorPolicy::Quarantine) {
-        std::string path = parser.getString("--quarantine-file");
-        if (path.empty()) {
-            std::fprintf(
-                stderr,
-                "--error-policy quarantine needs --quarantine-file\n");
-            exit_code = 2;
-            return false;
-        }
-        quarantine_out.open(path);
-        if (!quarantine_out) {
-            std::fprintf(stderr, "cannot open %s\n", path.c_str());
-            exit_code = 1;
-            return false;
-        }
-        policy.quarantine = &quarantine_out;
-    }
-    retry = static_cast<int>(parser.getUint("--retry", 0));
-    return true;
-}
-
-/**
- * Trace duration and record count without a decode pass when the
- * format allows it: a CBT2 footer already carries both. Other formats
- * pay one batched scan (and are reset() after).
- */
-void
-scanExtent(OpenedTraceSource &opened, std::uint64_t &count, TimeUs &last)
-{
-    count = 0;
-    last = 0;
-    if (Cbt2Reader *reader = opened.cbt2()) {
-        count = reader->declaredCount();
-        last = reader->maxTimestamp();
-        return;
-    }
-    std::vector<IoRequest> batch;
-    while (opened.source().nextBatch(batch, 8192) > 0) {
-        count += batch.size();
-        last = batch.back().timestamp;
-    }
-    opened.source().reset();
-}
+// The shared flag groups (format, error policy, analysis knobs) live
+// in cli/analysis_flags.h so analyze and compare cannot drift.
 
 /**
  * Comma-separated WSS fractions for --cache-fractions. Range
@@ -308,24 +210,12 @@ cmdAnalyze(int argc, char **argv)
 {
     ArgParser parser("cbs_tool analyze",
                      "Full workload characterization of a trace.");
-    parser.positional("trace", "input trace (csv/msrc/bin/cbt2)");
-    addFormatFlags(parser);
-    parser.flag("--block", "N", "block size in bytes");
-    parser.flag("--interval", "MIN", "activeness interval in minutes");
-    parser.flag("--duration-us", "N",
-                "analysis duration in microseconds (default: last "
-                "timestamp + 1; set it to match a serve run, whose "
-                "windows fix the duration up front)");
-    parser.flag("--threads", "N",
-                "shard across N worker threads (0 = hardware)");
+    parser.positional("trace",
+                      "input trace (csv/msrc/bin/cbt2/tencent)");
+    addAnalysisRunFlags(parser);
     parser.flag("--ingest-lanes", "N",
                 "parallel decode lanes for splittable inputs "
                 "(0 = one per shard; needs --threads)");
-    parser.flag("--batch-records", "N",
-                "requests per pipeline batch (default 4096)");
-    parser.toggle("--scalar",
-                  "row-at-a-time dispatch (columnar kernels off; "
-                  "identical results, slower)");
     parser.flag("--cache-policy", "P",
                 "add the two-pass cache simulation with replacement "
                 "policy P (lru|fifo|clock|lfu|arc)");
@@ -355,25 +245,24 @@ cmdAnalyze(int argc, char **argv)
                 "(serial pipeline only)");
     parser.flag("--checkpoint-every", "N",
                 "records between checkpoints (default 1000000)");
-    addPolicyFlags(parser);
     parser.toggle("--degraded-ok",
                   "survive an analyzer failure on one shard");
     if (!parser.parse(argc, argv, 2))
         return parser.exitCode();
 
-    const std::string &path = parser.positionalAt(0);
-    std::uint64_t block = parser.getUint("--block", kDefaultBlockSize);
-    std::uint64_t interval_min = parser.getUint("--interval", 10);
-
-    const std::string emit_partial = parser.getString("--emit-partial");
-    const std::string resume_from = parser.getString("--resume-from");
-    const std::string checkpoint_path = parser.getString("--checkpoint");
-    const bool partial_flow = !emit_partial.empty() ||
-                              !resume_from.empty() ||
-                              !checkpoint_path.empty();
+    app::AnalysisRunOptions options;
+    options.path = parser.positionalAt(0);
+    options.emit_partial = parser.getString("--emit-partial");
+    options.resume_from = parser.getString("--resume-from");
+    options.checkpoint_path = parser.getString("--checkpoint");
+    const bool partial_flow = !options.emit_partial.empty() ||
+                              !options.resume_from.empty() ||
+                              !options.checkpoint_path.empty();
     const bool wants_cache = parser.has("--cache-policy") ||
                              parser.has("--cache-fractions") ||
                              parser.has("--cache-block-size");
+    // Flag-combination checks stay here (CLI wording); runAnalysis
+    // re-validates with library wording as a backstop for embedders.
     if (partial_flow && wants_cache) {
         std::fprintf(stderr,
                      "the snapshot flags (--emit-partial/--resume-from/"
@@ -381,24 +270,25 @@ cmdAnalyze(int argc, char **argv)
                      "cache simulation\n");
         return 2;
     }
-    if (!checkpoint_path.empty() && parser.has("--threads")) {
+    if (!options.checkpoint_path.empty() && parser.has("--threads")) {
         std::fprintf(stderr,
                      "--checkpoint needs the serial pipeline; drop "
                      "--threads\n");
         return 2;
     }
-    if (parser.has("--checkpoint-every") && checkpoint_path.empty()) {
+    if (parser.has("--checkpoint-every") &&
+        options.checkpoint_path.empty()) {
         std::fprintf(stderr, "--checkpoint-every needs --checkpoint\n");
         return 2;
     }
-    if (!emit_partial.empty() && parser.has("--summary-json")) {
+    if (!options.emit_partial.empty() && parser.has("--summary-json")) {
         std::fprintf(stderr,
                      "--emit-partial writes pre-finalize state; "
                      "--summary-json needs finalized results (merge "
                      "the partials instead)\n");
         return 2;
     }
-    if (!resume_from.empty() && parser.has("--ingest-lanes")) {
+    if (!options.resume_from.empty() && parser.has("--ingest-lanes")) {
         std::fprintf(stderr,
                      "--resume-from skips a record-count prefix, which "
                      "does not compose with --ingest-lanes chunk "
@@ -406,139 +296,38 @@ cmdAnalyze(int argc, char **argv)
         return 2;
     }
 
-    ErrorPolicyOptions policy;
     std::ofstream quarantine;
-    int retry = 0;
-    int policy_exit = 0;
-    if (!resolvePolicyFlags(parser, policy, quarantine, retry,
-                            policy_exit))
-        return policy_exit;
-    TraceFormat format = TraceFormat::Auto;
-    if (!resolveFormat(parser, format))
-        return 2;
-    if (format == TraceFormat::Auto)
-        format = sniffTraceFormat(path);
+    int flag_exit = 0;
+    if (!bindAnalysisRunFlags(parser, options, quarantine, flag_exit))
+        return flag_exit;
+    if (parser.has("--ingest-lanes"))
+        options.ingest_lanes = parser.getUint("--ingest-lanes", 1);
+    options.degraded_ok = parser.has("--degraded-ok");
+    options.checkpoint_every =
+        parser.getUint("--checkpoint-every", 1000000);
+    options.max_records = parser.getUint("--max-records", 0);
+    // The volume classifier is not part of snapshots (it is not
+    // shardable state), so the snapshot flows run without it.
+    options.classify_volumes = !partial_flow;
+    if (wants_cache) {
+        app::CacheSimOptions cache;
+        cache.policy = parser.getString("--cache-policy", "lru");
+        if (parser.has("--cache-fractions"))
+            cache.fractions = parseFractionList(
+                parser.getString("--cache-fractions"));
+        cache.block_size = parser.getUint("--cache-block-size", 0);
+        options.cache = cache;
+    }
 
     obs::MetricsRegistry registry;
-    bool want_metrics =
-        parser.has("--metrics-json") || parser.has("--progress");
+    if (parser.has("--metrics-json") || parser.has("--progress"))
+        options.metrics = &registry;
+    options.progress = parser.has("--progress");
 
-    // CBT2 skips the duration scan (the footer carries extent), so its
-    // quarantine sidecar can be armed at open. The scanning formats
-    // start as plain skip — the sidecar would otherwise hold each bad
-    // record twice (scan pass + analysis pass).
-    bool footer_extent = format == TraceFormat::Cbt2;
-    TraceOpenOptions open_options;
-    open_options.format = format;
-    open_options.error_policy = policy;
-    if (!footer_extent && policy.policy != ReadErrorPolicy::Strict) {
-        open_options.error_policy.policy = ReadErrorPolicy::Skip;
-        open_options.error_policy.quarantine = nullptr;
-    }
-    open_options.retry_attempts = retry;
-    if (want_metrics)
-        open_options.retry.metrics = &registry;
-    auto opened = openTraceSource(path, open_options);
-
-    std::uint64_t count = 0;
-    TimeUs last = 0;
-    scanExtent(*opened, count, last);
-    if (count == 0) {
+    app::AnalysisRunResult result = app::runAnalysis(options);
+    if (result.empty()) {
         std::fprintf(stderr, "trace is empty\n");
         return 1;
-    }
-    if (!footer_extent && policy.policy != ReadErrorPolicy::Strict)
-        opened->reader().setErrorPolicy(policy);
-
-    WorkloadSummaryOptions options;
-    options.block_size = block;
-    options.activeness_interval = interval_min * units::minute;
-    options.duration = last + 1;
-    if (parser.has("--duration-us")) {
-        std::uint64_t duration = parser.getUint("--duration-us", 0);
-        if (duration <= last) {
-            std::fprintf(stderr,
-                         "--duration-us %llu does not cover the trace "
-                         "(last timestamp %llu us)\n",
-                         static_cast<unsigned long long>(duration),
-                         static_cast<unsigned long long>(last));
-            return 2;
-        }
-        options.duration = duration;
-    }
-    WorkloadSummary summary(options);
-    VolumeClassifier classifier(100, block);
-
-    // Snapshot provenance always reflects what the bundle has seen so
-    // far — cumulative across a resumed chain.
-    auto provenance = [&] {
-        SnapshotProvenance prov;
-        prov.source_id = path;
-        const BasicStats &stats = summary.basic.stats();
-        prov.record_count = stats.requests();
-        prov.first_timestamp = stats.first_timestamp;
-        prov.last_timestamp = stats.last_timestamp;
-        return prov;
-    };
-
-    std::uint64_t resume_skip = 0;
-    if (!resume_from.empty()) {
-        SnapshotInfo info = readSnapshotFile(resume_from, summary);
-        resume_skip = info.provenance.record_count;
-        std::fprintf(stderr,
-                     "resuming from %s: %s records of '%s' already "
-                     "consumed\n",
-                     resume_from.c_str(),
-                     formatCount(resume_skip).c_str(),
-                     info.provenance.source_id.c_str());
-    }
-
-    // Resume and --max-records reshape the record stream; the wrappers
-    // borrow the opened source so its format sniffing, error policy
-    // and metrics stay in charge underneath.
-    std::uint64_t max_records = parser.getUint("--max-records", 0);
-    std::unique_ptr<TraceSource> sliced;
-    if (resume_skip > 0 || max_records > 0) {
-        sliced = std::make_unique<BorrowedSource>(opened->source());
-        if (resume_skip > 0)
-            sliced = std::make_unique<SkipPrefixSource>(
-                std::move(sliced), resume_skip);
-        if (max_records > 0)
-            sliced = std::make_unique<HeadLimitSource>(
-                std::move(sliced), max_records);
-    }
-    TraceSource &run_source = sliced ? *sliced : opened->source();
-
-    // Ingest metrics attach after the scan so totals cover the
-    // analysis pass only.
-    if (want_metrics)
-        opened->reader().attachMetrics(registry);
-    std::optional<obs::ProgressReporter> reporter;
-    if (parser.has("--progress")) {
-        obs::ProgressOptions progress;
-        progress.total_records = count;
-        reporter.emplace(registry, std::cerr, progress);
-        reporter->start();
-    }
-
-    std::size_t batch_records =
-        parser.getUint("--batch-records", 4096);
-    if (batch_records == 0)
-        batch_records = 4096;
-    bool columnar = !parser.has("--scalar");
-
-    std::optional<ParallelOptions> parallel;
-    if (parser.has("--threads")) {
-        parallel.emplace();
-        parallel->shards = parser.getUint("--threads", 0);
-        parallel->batch_size = batch_records;
-        parallel->columnar = columnar;
-        parallel->degraded_ok = parser.has("--degraded-ok");
-        if (parser.has("--ingest-lanes"))
-            parallel->ingest_lanes =
-                parser.getUint("--ingest-lanes", 1);
-        if (want_metrics)
-            parallel->metrics = &registry;
     }
 
     int exit_code = 0;
@@ -556,79 +345,9 @@ cmdAnalyze(int argc, char **argv)
                      stage);
         exit_code = 4;
     };
-    // The volume classifier is not part of snapshots (it is not
-    // shardable state), so the snapshot flows run without it.
-    std::vector<Analyzer *> extras;
-    if (!partial_flow)
-        extras.push_back(&classifier);
-
-    if (parallel) {
-        parallel->finalize = emit_partial.empty();
-        reportDegraded(summary.run(run_source, *parallel, extras),
-                       "analysis");
-    } else {
-        PipelineOptions serial;
-        serial.batch_records = batch_records;
-        serial.columnar = columnar;
-        serial.metrics = want_metrics ? &registry : nullptr;
-        // Checkpoints must capture pre-finalize state, so the
-        // checkpointing run finalizes manually below, after the final
-        // checkpoint is on disk.
-        serial.finalize =
-            emit_partial.empty() && checkpoint_path.empty();
-        if (!checkpoint_path.empty()) {
-            serial.checkpoint_every =
-                parser.getUint("--checkpoint-every", 1000000);
-            serial.checkpoint = [&](std::uint64_t) {
-                writeSnapshotFile(checkpoint_path, summary,
-                                  provenance());
-            };
-        }
-        summary.run(run_source, serial, extras);
-    }
-    if (reporter)
-        reporter->stop();
-    // The final checkpoint covers the whole (possibly capped) run, so
-    // a later --resume-from continues exactly where this run stopped.
-    if (!checkpoint_path.empty()) {
-        writeSnapshotFile(checkpoint_path, summary, provenance());
-        if (emit_partial.empty())
-            for (ShardableAnalyzer *analyzer :
-                 summary.shardableAnalyzers())
-                analyzer->finalize();
-    }
-
-    // The cache simulation is the one analysis the single-sweep bundle
-    // cannot host (it needs each volume's final WSS before it can size
-    // the caches), so it runs as its own two-pass sweep afterwards.
-    bool want_cache = parser.has("--cache-policy") ||
-                      parser.has("--cache-fractions") ||
-                      parser.has("--cache-block-size");
-    std::optional<CacheMissAnalyzer> cache_sim;
-    if (want_cache) {
-        std::string cache_policy =
-            parser.getString("--cache-policy", "lru");
-        try {
-            makeCachePolicy(cache_policy, 1); // validate the name now
-        } catch (const FatalError &e) {
-            throw std::invalid_argument(e.what());
-        }
-        std::vector<double> fractions = {0.01, 0.10};
-        if (parser.has("--cache-fractions"))
-            fractions = parseFractionList(
-                parser.getString("--cache-fractions"));
-        cache_sim.emplace(fractions,
-                          parser.getUint("--cache-block-size", block),
-                          cache_policy);
-        opened->source().reset();
-        if (parallel)
-            reportDegraded(cache_sim->runTwoPassParallel(
-                               opened->source(), *parallel),
-                           "cache simulation");
-        else
-            cache_sim->runTwoPass(opened->source());
-        summary.setCacheSim(&*cache_sim);
-    }
+    reportDegraded(result.analysis_status, "analysis");
+    if (result.cache_status)
+        reportDegraded(*result.cache_status, "cache simulation");
 
     std::string metrics_json = parser.getString("--metrics-json");
     if (!metrics_json.empty()) {
@@ -640,16 +359,16 @@ cmdAnalyze(int argc, char **argv)
         }
         registry.writeJson(out);
     }
-    if (!emit_partial.empty()) {
-        SnapshotProvenance prov = provenance();
-        writeSnapshotFile(emit_partial, summary, prov);
+    if (!options.emit_partial.empty()) {
+        // runAnalysis already wrote the snapshot file.
         std::printf("wrote partial snapshot %s (%s records of '%s')\n",
-                    emit_partial.c_str(),
-                    formatCount(prov.record_count).c_str(),
-                    prov.source_id.c_str());
+                    options.emit_partial.c_str(),
+                    formatCount(result.provenance.record_count).c_str(),
+                    result.provenance.source_id.c_str());
         return exit_code;
     }
 
+    WorkloadSummary &summary = *result.summary;
     std::string summary_json = parser.getString("--summary-json");
     if (!summary_json.empty()) {
         std::ofstream out(summary_json);
@@ -669,7 +388,7 @@ cmdAnalyze(int argc, char **argv)
     } else {
         std::printf("\nVolume archetypes (rule-based inference; the "
                     "traces do not record applications):\n");
-        const auto &hist = classifier.histogram();
+        const auto &hist = result.classifier->histogram();
         for (std::size_t c = 0; c < kVolumeClassCount; ++c) {
             if (hist[c] == 0)
                 continue;
@@ -983,6 +702,7 @@ enum class OutFormat
     Csv,
     Bin,
     Cbt2,
+    Tencent,
 };
 
 bool
@@ -991,6 +711,13 @@ outFormatFor(const std::string &path, const std::string &flag,
 {
     std::string name = flag;
     if (name.empty()) {
+        // A double extension picks the CSV dialect: *.tencent.csv is
+        // the Tencent CBS encoding, plain *.csv the AliCloud one.
+        if (path.size() > 12 &&
+            path.compare(path.size() - 12, 12, ".tencent.csv") == 0) {
+            format = OutFormat::Tencent;
+            return true;
+        }
         std::size_t dot = path.find_last_of('.');
         if (dot != std::string::npos)
             name = path.substr(dot + 1);
@@ -1001,6 +728,8 @@ outFormatFor(const std::string &path, const std::string &flag,
         format = OutFormat::Bin;
     else if (name == "cbt2")
         format = OutFormat::Cbt2;
+    else if (name == "tencent")
+        format = OutFormat::Tencent;
     else
         return false;
     return true;
@@ -1014,10 +743,12 @@ cmdConvert(int argc, char **argv)
         "Re-encode a trace between formats (streaming, bounded "
         "memory). The error-policy flags govern the input side.");
     parser.positional("in", "input trace (format sniffed)");
-    parser.positional("out", "output path (.csv/.bin/.cbt2)");
+    parser.positional("out",
+                      "output path (.csv/.bin/.cbt2/.tencent.csv)");
     addFormatFlags(parser);
     parser.flag("--out-format", "F",
-                "output format: csv|bin|cbt2 (default: extension)");
+                "output format: csv|bin|cbt2|tencent (default: "
+                "extension)");
     parser.flag("--chunk-records", "N",
                 "records per CBT2 chunk (default 16384)");
     parser.flag("--volume-mod", "M",
@@ -1075,9 +806,10 @@ cmdConvert(int argc, char **argv)
     }
     TraceSource &in_source = filtered ? *filtered : opened->source();
 
-    std::ofstream out(out_path, out_format == OutFormat::Csv
-                                    ? std::ios::out
-                                    : std::ios::binary);
+    const bool text_out = out_format == OutFormat::Csv ||
+                          out_format == OutFormat::Tencent;
+    std::ofstream out(out_path,
+                      text_out ? std::ios::out : std::ios::binary);
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
         return 1;
@@ -1106,6 +838,10 @@ cmdConvert(int argc, char **argv)
         pump(writer);
         writer.finish();
         format_name = "bin";
+    } else if (out_format == OutFormat::Tencent) {
+        TencentCsvWriter writer(out);
+        pump(writer);
+        format_name = "tencent";
     } else {
         AliCloudCsvWriter writer(out);
         pump(writer);
@@ -1130,21 +866,31 @@ cmdGenerate(int argc, char **argv)
 {
     ArgParser parser("cbs_tool generate",
                      "Write a paper-calibrated synthetic trace; the "
-                     "extension picks csv, bin, or cbt2 encoding.");
-    parser.positional("out", "output path (.csv/.bin/.cbt2)");
+                     "extension picks csv, bin, cbt2, or tencent.csv "
+                     "encoding.");
+    parser.positional("out",
+                      "output path (.csv/.bin/.cbt2/.tencent.csv)");
     parser.toggle("--msrc", "MSRC-like population instead of AliCloud");
+    parser.toggle("--tencent",
+                  "Tencent CBS-like population instead of AliCloud");
     parser.flag("--volumes", "N", "volume count (default 100)");
     parser.flag("--requests", "N", "request count (default 500000)");
     parser.flag("--seed", "S", "generator seed (default 1)");
     if (!parser.parse(argc, argv, 2))
         return parser.exitCode();
 
+    if (parser.has("--msrc") && parser.has("--tencent")) {
+        std::fprintf(stderr, "pick one of --msrc / --tencent\n");
+        return 2;
+    }
+
     const std::string &path = parser.positionalAt(0);
     OutFormat out_format = OutFormat::Csv;
     outFormatFor(path, "", out_format); // unknown extension -> csv
-    std::ofstream out(path, out_format == OutFormat::Csv
-                                ? std::ios::out
-                                : std::ios::binary);
+    const bool text_out = out_format == OutFormat::Csv ||
+                          out_format == OutFormat::Tencent;
+    std::ofstream out(path,
+                      text_out ? std::ios::out : std::ios::binary);
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
         return 1;
@@ -1157,31 +903,33 @@ cmdGenerate(int argc, char **argv)
     PopulationSpec spec =
         parser.has("--msrc")
             ? msrcSpanSpec(SpanScale{volumes, requests})
-            : aliCloudSpanSpec(SpanScale{volumes, requests});
+            : parser.has("--tencent")
+                  ? tencentSpanSpec(SpanScale{volumes, requests})
+                  : aliCloudSpanSpec(SpanScale{volumes, requests});
     auto source = makeTrace(spec, seed);
 
     IoRequest req;
     std::uint64_t count = 0;
-    if (out_format == OutFormat::Cbt2) {
-        Cbt2Writer writer(out);
+    auto pump = [&](auto &writer) {
         while (source->next(req)) {
             writer.write(req);
             ++count;
         }
+    };
+    if (out_format == OutFormat::Cbt2) {
+        Cbt2Writer writer(out);
+        pump(writer);
         writer.finish();
     } else if (out_format == OutFormat::Bin) {
         BinTraceWriter writer(out);
-        while (source->next(req)) {
-            writer.write(req);
-            ++count;
-        }
+        pump(writer);
         writer.finish();
+    } else if (out_format == OutFormat::Tencent) {
+        TencentCsvWriter writer(out);
+        pump(writer);
     } else {
         AliCloudCsvWriter writer(out);
-        while (source->next(req)) {
-            writer.write(req);
-            ++count;
-        }
+        pump(writer);
     }
     std::printf("wrote %s requests (%s population, %zu volumes, "
                 "seed %llu) to %s\n",
@@ -1265,120 +1013,55 @@ cmdMrc(int argc, char **argv)
 // compare
 // ---------------------------------------------------------------------
 
-/** Run the summary bundle over one trace. */
-std::unique_ptr<WorkloadSummary>
-summarize(const std::string &path, TraceFormat format,
-          std::uint64_t block, std::uint64_t interval_min,
-          std::optional<std::size_t> threads)
-{
-    TraceOpenOptions open_options;
-    open_options.format = format;
-    auto opened = openTraceSource(path, open_options);
-    std::uint64_t count = 0;
-    TimeUs last = 0;
-    scanExtent(*opened, count, last);
-    if (count == 0) {
-        std::fprintf(stderr, "%s is empty\n", path.c_str());
-        return nullptr;
-    }
-    WorkloadSummaryOptions options;
-    options.block_size = block;
-    options.activeness_interval = interval_min * units::minute;
-    options.duration = last + 1;
-    auto summary = std::make_unique<WorkloadSummary>(options);
-    if (threads) {
-        ParallelOptions parallel;
-        parallel.shards = *threads;
-        summary->run(opened->source(), parallel);
-    } else {
-        summary->run(opened->source());
-    }
-    return summary;
-}
-
 int
 cmdCompare(int argc, char **argv)
 {
-    ArgParser parser("cbs_tool compare",
-                     "Characterize two traces side by side.");
-    parser.positional("trace_a", "first trace");
-    parser.positional("trace_b", "second trace");
-    addFormatFlags(parser);
-    parser.flag("--block", "N", "block size in bytes");
-    parser.flag("--interval", "MIN", "activeness interval in minutes");
-    parser.flag("--threads", "N", "worker threads per trace");
+    ArgParser parser(
+        "cbs_tool compare",
+        "Characterize two or more traces side by side. Every input "
+        "gets the same full analysis run (shared format, policy, and "
+        "execution knobs); --summary-json writes a deterministic "
+        "cbs.compare.v1 document.");
+    parser.positional("trace", "first trace");
+    parser.variadic("trace", "traces to compare against the first");
+    addAnalysisRunFlags(parser);
+    parser.flag("--summary-json", "PATH",
+                "write the comparison as deterministic cbs.compare.v1 "
+                "JSON");
     if (!parser.parse(argc, argv, 2))
         return parser.exitCode();
 
-    TraceFormat format = TraceFormat::Auto;
-    if (!resolveFormat(parser, format))
-        return 2;
-    std::uint64_t block = parser.getUint("--block", kDefaultBlockSize);
-    std::uint64_t interval_min = parser.getUint("--interval", 10);
-    std::optional<std::size_t> threads;
-    if (parser.has("--threads"))
-        threads = parser.getUint("--threads", 0);
+    app::CompareOptions options;
+    for (std::size_t i = 0; i < parser.positionalCount(); ++i)
+        options.paths.push_back(parser.positionalAt(i));
 
-    auto a = summarize(parser.positionalAt(0), format, block,
-                       interval_min, threads);
-    auto b = summarize(parser.positionalAt(1), format, block,
-                       interval_min, threads);
-    if (!a || !b)
+    // One binder with analyze: the resilience and execution flags act
+    // on every input (the pre-refactor compare silently ignored them).
+    std::ofstream quarantine;
+    int flag_exit = 0;
+    if (!bindAnalysisRunFlags(parser, options.base, quarantine,
+                              flag_exit))
+        return flag_exit;
+
+    app::CompareResult result = app::runCompare(options);
+    for (std::size_t i = 0; i < result.runs.size(); ++i)
+        if (result.runs[i].empty())
+            std::fprintf(stderr, "%s is empty\n",
+                         result.paths[i].c_str());
+    if (result.anyEmpty())
         return 1;
 
-    TextTable table("Trace comparison");
-    table.header(
-        {"metric", parser.positionalAt(0), parser.positionalAt(1)});
-    auto row = [&](const char *metric, const std::string &va,
-                   const std::string &vb) {
-        table.row({metric, va, vb});
-    };
-    const BasicStats &sa = a->basic.stats();
-    const BasicStats &sb = b->basic.stats();
-    row("volumes", formatCount(sa.volumes), formatCount(sb.volumes));
-    row("requests", formatCount(sa.requests()),
-        formatCount(sb.requests()));
-    row("write:read ratio", formatFixed(sa.writeToReadRatio(), 2),
-        formatFixed(sb.writeToReadRatio(), 2));
-    row("read WSS share", formatPercent(sa.readWssShare()),
-        formatPercent(sb.readWssShare()));
-    row("update/write traffic",
-        formatPercent(sa.write_bytes
-                          ? static_cast<double>(sa.update_bytes) /
-                                static_cast<double>(sa.write_bytes)
-                          : 0.0),
-        formatPercent(sb.write_bytes
-                          ? static_cast<double>(sb.update_bytes) /
-                                static_cast<double>(sb.write_bytes)
-                          : 0.0));
-    auto med = [](const Ecdf &cdf) {
-        return cdf.empty() ? std::string("-")
-                           : formatPercent(cdf.quantile(0.5));
-    };
-    row("median randomness ratio", med(a->randomness.ratios()),
-        med(b->randomness.ratios()));
-    row("median update coverage", med(a->coverage.coverage()),
-        med(b->coverage.coverage()));
-    row("median burstiness",
-        a->intensity.burstinessRatios().empty()
-            ? "-"
-            : formatFixed(
-                  a->intensity.burstinessRatios().quantile(0.5), 1),
-        b->intensity.burstinessRatios().empty()
-            ? "-"
-            : formatFixed(
-                  b->intensity.burstinessRatios().quantile(0.5), 1));
-    auto pairs_ratio = [](const WorkloadSummary &s) {
-        std::uint64_t raw = s.pairs.count(PairKind::RAW);
-        return raw ? formatFixed(
-                         static_cast<double>(
-                             s.pairs.count(PairKind::WAW)) /
-                             static_cast<double>(raw),
-                         2)
-                   : std::string("-");
-    };
-    row("WAW/RAW count ratio", pairs_ratio(*a), pairs_ratio(*b));
-    table.print(std::cout);
+    std::string summary_json = parser.getString("--summary-json");
+    if (!summary_json.empty()) {
+        std::ofstream out(summary_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         summary_json.c_str());
+            return 1;
+        }
+        app::writeCompareJson(out, result);
+    }
+    app::writeCompareTable(std::cout, result);
     return 0;
 }
 

@@ -1,90 +1,18 @@
 #include "analysis/workload_summary.h"
 
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-
 #include "analysis/cache_miss.h"
 #include "common/format.h"
+#include "report/json_util.h"
 #include "report/table.h"
 
 namespace cbs {
-namespace {
 
-/**
- * Shortest-round-trip double for JSON: the same double always prints
- * the same bytes, so runs with identical analyzer state dump identical
- * files regardless of thread count. Non-finite values become null.
- */
-void
-jsonNumber(std::ostream &os, double v)
-{
-    if (!std::isfinite(v)) {
-        os << "null";
-        return;
-    }
-    char buf[64];
-    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-    os.write(buf, ptr - buf);
-}
-
-/** Minimal JSON string escaping (quotes, backslashes, control bytes)
- *  for lane names and error messages. */
-void
-jsonEscape(std::ostream &os, const std::string &s)
-{
-    for (char c : s) {
-        switch (c) {
-        case '"':
-            os << "\\\"";
-            break;
-        case '\\':
-            os << "\\\\";
-            break;
-        case '\n':
-            os << "\\n";
-            break;
-        case '\t':
-            os << "\\t";
-            break;
-        case '\r':
-            os << "\\r";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                os << buf;
-            } else {
-                os << c;
-            }
-        }
-    }
-}
-
-/** {"count": N, "p25": x, "p50": x, "p90": x} or null when empty.
- *  Works for any sample store with count()/empty()/quantile()
- *  (Ecdf, ExactQuantiles). */
-template <typename Dist>
-void
-jsonDist(std::ostream &os, const Dist &cdf)
-{
-    if (cdf.empty()) {
-        os << "null";
-        return;
-    }
-    os << "{\"count\": " << cdf.count() << ", \"p25\": ";
-    jsonNumber(os, cdf.quantile(0.25));
-    os << ", \"p50\": ";
-    jsonNumber(os, cdf.quantile(0.5));
-    os << ", \"p90\": ";
-    jsonNumber(os, cdf.quantile(0.9));
-    os << '}';
-}
-
-} // namespace
+// The deterministic JSON emission helpers moved to report/json_util.h
+// so the cbs.compare.v1 writer (app/compare.cc) shares them; the
+// output bytes are unchanged.
+using jsonio::jsonDist;
+using jsonio::jsonEscape;
+using jsonio::jsonNumber;
 
 void
 WorkloadSummary::print(std::ostream &os) const

@@ -1,0 +1,287 @@
+#include "app/analysis_run.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "analysis/parallel_pipeline.h"
+#include "cache/cache_policy.h"
+#include "common/error.h"
+#include "common/format.h"
+#include "obs/progress.h"
+#include "trace/filter.h"
+
+namespace cbs {
+namespace app {
+
+namespace {
+
+/**
+ * Trace duration and record count without a decode pass when the
+ * format allows it: a CBT2 footer already carries both. Other formats
+ * pay one batched scan (and are reset() after).
+ */
+void
+scanExtent(OpenedTraceSource &opened, std::uint64_t &count, TimeUs &last)
+{
+    count = 0;
+    last = 0;
+    if (Cbt2Reader *reader = opened.cbt2()) {
+        count = reader->declaredCount();
+        last = reader->maxTimestamp();
+        return;
+    }
+    std::vector<IoRequest> batch;
+    while (opened.source().nextBatch(batch, 8192) > 0) {
+        count += batch.size();
+        last = batch.back().timestamp;
+    }
+    opened.source().reset();
+}
+
+void
+validateOptions(const AnalysisRunOptions &options)
+{
+    const bool partial_flow = !options.emit_partial.empty() ||
+                              !options.resume_from.empty() ||
+                              !options.checkpoint_path.empty();
+    if (partial_flow && options.cache)
+        throw UsageError(
+            "the snapshot flows (emit-partial/resume/checkpoint) do "
+            "not compose with the two-pass cache simulation");
+    if (!options.checkpoint_path.empty() && options.threads)
+        throw UsageError(
+            "checkpointing needs the serial pipeline; drop threads");
+    if (!options.resume_from.empty() && options.ingest_lanes)
+        throw UsageError(
+            "resume skips a record-count prefix, which does not "
+            "compose with ingest-lane chunk splitting");
+    if (options.cache) {
+        try {
+            makeCachePolicy(options.cache->policy, 1); // validate name
+        } catch (const FatalError &e) {
+            throw UsageError(e.what());
+        }
+    }
+}
+
+} // namespace
+
+AnalysisRunResult
+runAnalysis(const AnalysisRunOptions &options)
+{
+    validateOptions(options);
+
+    AnalysisRunResult result;
+    const std::string &path = options.path;
+
+    TraceFormat format = options.format;
+    if (format == TraceFormat::Auto)
+        format = sniffTraceFormat(path);
+    result.format = format;
+
+    // A quarantine sidecar the caller asked us to manage (CLI callers
+    // pass an already-armed policy instead and share one stream).
+    ErrorPolicyOptions policy = options.error_policy;
+    std::ofstream owned_quarantine;
+    if (policy.policy == ReadErrorPolicy::Quarantine &&
+        policy.quarantine == nullptr &&
+        !options.quarantine_path.empty()) {
+        owned_quarantine.open(options.quarantine_path);
+        if (!owned_quarantine)
+            CBS_FATAL("cannot open " << options.quarantine_path);
+        policy.quarantine = &owned_quarantine;
+    }
+
+    // CBT2 skips the duration scan (the footer carries extent), so its
+    // quarantine sidecar can be armed at open. The scanning formats
+    // start as plain skip — the sidecar would otherwise hold each bad
+    // record twice (scan pass + analysis pass).
+    const bool footer_extent = format == TraceFormat::Cbt2;
+    TraceOpenOptions open_options;
+    open_options.format = format;
+    open_options.error_policy = policy;
+    if (!footer_extent && policy.policy != ReadErrorPolicy::Strict) {
+        open_options.error_policy.policy = ReadErrorPolicy::Skip;
+        open_options.error_policy.quarantine = nullptr;
+    }
+    open_options.retry_attempts = options.retry_attempts;
+    if (options.metrics != nullptr)
+        open_options.retry.metrics = options.metrics;
+    auto opened = openTraceSource(path, open_options);
+
+    std::uint64_t count = 0;
+    TimeUs last = 0;
+    scanExtent(*opened, count, last);
+    result.record_count = count;
+    result.last_timestamp = last;
+    if (count == 0)
+        return result; // empty(): no summary, caller decides the message
+    if (!footer_extent && policy.policy != ReadErrorPolicy::Strict)
+        opened->reader().setErrorPolicy(policy);
+
+    WorkloadSummaryOptions summary_options;
+    summary_options.block_size = options.block_size;
+    summary_options.activeness_interval = options.activeness_interval;
+    summary_options.duration = last + 1;
+    if (options.duration_us) {
+        if (*options.duration_us <= last) {
+            char msg[160];
+            std::snprintf(
+                msg, sizeof(msg),
+                "--duration-us %llu does not cover the trace "
+                "(last timestamp %llu us)",
+                static_cast<unsigned long long>(*options.duration_us),
+                static_cast<unsigned long long>(last));
+            throw UsageError(msg);
+        }
+        summary_options.duration = *options.duration_us;
+    }
+    result.summary = std::make_unique<WorkloadSummary>(summary_options);
+    WorkloadSummary &summary = *result.summary;
+    if (options.classify_volumes)
+        result.classifier = std::make_unique<VolumeClassifier>(
+            100, options.block_size);
+
+    // Snapshot provenance always reflects what the bundle has seen so
+    // far — cumulative across a resumed chain.
+    auto provenance = [&] {
+        SnapshotProvenance prov;
+        prov.source_id = path;
+        const BasicStats &stats = summary.basic.stats();
+        prov.record_count = stats.requests();
+        prov.first_timestamp = stats.first_timestamp;
+        prov.last_timestamp = stats.last_timestamp;
+        return prov;
+    };
+
+    std::uint64_t resume_skip = 0;
+    if (!options.resume_from.empty()) {
+        SnapshotInfo info = readSnapshotFile(options.resume_from,
+                                             summary);
+        resume_skip = info.provenance.record_count;
+        std::fprintf(stderr,
+                     "resuming from %s: %s records of '%s' already "
+                     "consumed\n",
+                     options.resume_from.c_str(),
+                     formatCount(resume_skip).c_str(),
+                     info.provenance.source_id.c_str());
+    }
+
+    // Resume and max_records reshape the record stream; the wrappers
+    // borrow the opened source so its format sniffing, error policy
+    // and metrics stay in charge underneath.
+    std::unique_ptr<TraceSource> sliced;
+    if (resume_skip > 0 || options.max_records > 0) {
+        sliced = std::make_unique<BorrowedSource>(opened->source());
+        if (resume_skip > 0)
+            sliced = std::make_unique<SkipPrefixSource>(
+                std::move(sliced), resume_skip);
+        if (options.max_records > 0)
+            sliced = std::make_unique<HeadLimitSource>(
+                std::move(sliced), options.max_records);
+    }
+    TraceSource &run_source = sliced ? *sliced : opened->source();
+
+    // Ingest metrics attach after the scan so totals cover the
+    // analysis pass only.
+    if (options.metrics != nullptr)
+        opened->reader().attachMetrics(*options.metrics);
+    std::optional<obs::ProgressReporter> reporter;
+    if (options.progress && options.metrics != nullptr) {
+        obs::ProgressOptions progress;
+        progress.total_records = count;
+        reporter.emplace(*options.metrics, std::cerr, progress);
+        reporter->start();
+    }
+
+    std::size_t batch_records = options.batch_records;
+    if (batch_records == 0)
+        batch_records = 4096;
+
+    std::optional<ParallelOptions> parallel;
+    if (options.threads) {
+        parallel.emplace();
+        parallel->shards = *options.threads;
+        parallel->batch_size = batch_records;
+        parallel->columnar = options.columnar;
+        parallel->degraded_ok = options.degraded_ok;
+        if (options.ingest_lanes)
+            parallel->ingest_lanes = *options.ingest_lanes;
+        if (options.metrics != nullptr)
+            parallel->metrics = options.metrics;
+    }
+
+    // The volume classifier is not part of snapshots (it is not
+    // shardable state), so the snapshot flows run without it.
+    std::vector<Analyzer *> extras;
+    if (result.classifier)
+        extras.push_back(result.classifier.get());
+
+    if (parallel) {
+        parallel->finalize = options.emit_partial.empty();
+        result.analysis_status =
+            summary.run(run_source, *parallel, extras);
+    } else {
+        PipelineOptions serial;
+        serial.batch_records = batch_records;
+        serial.columnar = options.columnar;
+        serial.metrics = options.metrics;
+        // Checkpoints must capture pre-finalize state, so the
+        // checkpointing run finalizes manually below, after the final
+        // checkpoint is on disk.
+        serial.finalize = options.emit_partial.empty() &&
+                          options.checkpoint_path.empty();
+        if (!options.checkpoint_path.empty()) {
+            serial.checkpoint_every = options.checkpoint_every;
+            serial.checkpoint = [&](std::uint64_t) {
+                writeSnapshotFile(options.checkpoint_path, summary,
+                                  provenance());
+            };
+        }
+        summary.run(run_source, serial, extras);
+        result.analysis_status = summary.pipelineStatus();
+    }
+    if (reporter)
+        reporter->stop();
+    // The final checkpoint covers the whole (possibly capped) run, so
+    // a later resume continues exactly where this run stopped.
+    if (!options.checkpoint_path.empty()) {
+        writeSnapshotFile(options.checkpoint_path, summary,
+                          provenance());
+        if (options.emit_partial.empty())
+            for (ShardableAnalyzer *analyzer :
+                 summary.shardableAnalyzers())
+                analyzer->finalize();
+    }
+    result.provenance = provenance();
+
+    // The cache simulation is the one analysis the single-sweep bundle
+    // cannot host (it needs each volume's final WSS before it can size
+    // the caches), so it runs as its own two-pass sweep afterwards.
+    if (options.cache) {
+        std::uint64_t cache_block = options.cache->block_size != 0
+                                        ? options.cache->block_size
+                                        : options.block_size;
+        result.cache_sim = std::make_unique<CacheMissAnalyzer>(
+            options.cache->fractions, cache_block,
+            options.cache->policy);
+        opened->source().reset();
+        if (parallel)
+            result.cache_status = result.cache_sim->runTwoPassParallel(
+                opened->source(), *parallel);
+        else
+            result.cache_sim->runTwoPass(opened->source());
+        summary.setCacheSim(result.cache_sim.get());
+    }
+
+    if (!options.emit_partial.empty())
+        writeSnapshotFile(options.emit_partial, summary,
+                          result.provenance);
+
+    return result;
+}
+
+} // namespace app
+} // namespace cbs

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The library-level analysis-run API: everything `cbs_tool analyze`
+ * does, as one composable call.
+ *
+ * AnalysisRunOptions mirrors the analyze flag set — open/format,
+ * error-policy/retry, serial/parallel/columnar execution, the
+ * two-pass cache simulation, and the snapshot flows (emit-partial /
+ * resume / checkpoint / max-records) — and runAnalysis() turns a
+ * trace path into an AnalysisRunResult holding the finalized
+ * WorkloadSummary (or the pre-finalize partial already written to
+ * disk), the optional cache simulation and volume classifier, and the
+ * run's pipeline statuses. The CLI subcommands (`analyze`, `compare`)
+ * and any embedder compose this one entry point, so an N-trace
+ * comparison is a loop over runs rather than a second implementation
+ * of the analysis loop.
+ *
+ * Behavior contract: byte-identical cbs.summary.v1 output to the
+ * pre-refactor `cmdAnalyze` across formats x scalar/columnar x shard
+ * counts (golden-checked in tests/app/).
+ */
+
+#ifndef CBS_APP_ANALYSIS_RUN_H
+#define CBS_APP_ANALYSIS_RUN_H
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/cache_miss.h"
+#include "analysis/volume_classes.h"
+#include "analysis/workload_summary.h"
+#include "obs/metrics.h"
+#include "snapshot/snapshot.h"
+#include "trace/error_policy.h"
+#include "trace/open.h"
+
+namespace cbs {
+namespace app {
+
+/**
+ * A caller error (invalid option value or combination) as opposed to
+ * bad input data. Derives from std::invalid_argument so the CLI's
+ * existing catch maps it to exit code 2.
+ */
+struct UsageError : std::invalid_argument
+{
+    using std::invalid_argument::invalid_argument;
+};
+
+/** Knobs of the appended two-pass cache simulation. */
+struct CacheSimOptions
+{
+    /** Replacement policy name (lru|fifo|clock|lfu|arc); validated up
+     *  front — an unknown name is a UsageError. */
+    std::string policy = "lru";
+
+    /** Cache sizes as fractions of each volume's WSS. */
+    std::vector<double> fractions = {0.01, 0.10};
+
+    /** Simulation block size; 0 = AnalysisRunOptions::block_size. */
+    std::uint64_t block_size = 0;
+};
+
+/**
+ * Everything `analyze` can be asked to do, as one options struct.
+ * Plain aggregate: set what you need, defaults mirror the CLI
+ * defaults.
+ */
+struct AnalysisRunOptions
+{
+    /** Input trace path (required). */
+    std::string path;
+
+    /** Auto = sniff from content (trace/open.h). */
+    TraceFormat format = TraceFormat::Auto;
+
+    // -- analysis knobs ------------------------------------------------
+    std::uint64_t block_size = kDefaultBlockSize;
+    TimeUs activeness_interval = 10 * units::minute;
+
+    /** Analysis duration override; disengaged = last timestamp + 1.
+     *  Must cover the trace (a too-small value is a UsageError). */
+    std::optional<TimeUs> duration_us;
+
+    // -- execution -----------------------------------------------------
+    /** Requests per pipeline batch (0 falls back to 4096). */
+    std::size_t batch_records = 4096;
+
+    /** Columnar kernels (identical results; the toggle exists for
+     *  attribution and parity checks). */
+    bool columnar = true;
+
+    /** Engaged = shard across this many worker threads (0 = one per
+     *  hardware thread); disengaged = the serial pipeline. */
+    std::optional<std::size_t> threads;
+
+    /** Parallel decode lanes for splittable inputs; only meaningful
+     *  with threads engaged. Disengaged = one lane per shard default. */
+    std::optional<std::size_t> ingest_lanes;
+
+    /** Contain an analyzer failure to its lane instead of failing the
+     *  run (exit-4 semantics; see AnalysisRunResult::degraded()). */
+    bool degraded_ok = false;
+
+    // -- resilience ----------------------------------------------------
+    /** Read-error policy. When policy is Quarantine and quarantine is
+     *  unset, quarantine_path is opened for the run's duration. */
+    ErrorPolicyOptions error_policy{};
+    std::string quarantine_path;
+    int retry_attempts = 0;
+
+    // -- cache simulation ---------------------------------------------
+    /** Engaged = append the paper's two-pass cache simulation. Does
+     *  not compose with the snapshot flows. */
+    std::optional<CacheSimOptions> cache;
+
+    // -- snapshot flows (docs/snapshots.md) ----------------------------
+    std::string emit_partial;  //!< write pre-finalize state, skip finalize
+    std::string resume_from;   //!< preload state, skip consumed records
+    std::string checkpoint_path; //!< periodic snapshots (serial only)
+    std::uint64_t checkpoint_every = 1000000;
+    std::uint64_t max_records = 0; //!< 0 = unlimited
+
+    // -- extras --------------------------------------------------------
+    /** Run the rule-based volume archetype classifier in the same
+     *  pass (not snapshot-compatible; the CLI disables it for the
+     *  snapshot flows). */
+    bool classify_volumes = false;
+
+    /** When set, ingest/pipeline metrics are recorded here. Must
+     *  outlive the call. */
+    obs::MetricsRegistry *metrics = nullptr;
+
+    /** Periodic progress line on stderr (needs metrics). */
+    bool progress = false;
+};
+
+/** What a run produced. Owns the analyzer state it reports on. */
+struct AnalysisRunResult
+{
+    /** The characterization bundle; null only for an empty trace.
+     *  Finalized unless emit_partial was requested. */
+    std::unique_ptr<WorkloadSummary> summary;
+
+    /** The cache simulation, when requested; already attached to the
+     *  summary (setCacheSim), owned here so reporting outlives the
+     *  run. */
+    std::unique_ptr<CacheMissAnalyzer> cache_sim;
+
+    /** The archetype classifier, when classify_volumes was set. */
+    std::unique_ptr<VolumeClassifier> classifier;
+
+    /** Resolved input format (never Auto). */
+    TraceFormat format = TraceFormat::Auto;
+
+    /** Extent-scan record count and last timestamp of the whole
+     *  trace (not reduced by resume/max-records slicing). */
+    std::uint64_t record_count = 0;
+    TimeUs last_timestamp = 0;
+
+    /** Cumulative provenance after the run — what --emit-partial
+     *  wrote, or would have written. */
+    SnapshotProvenance provenance;
+
+    /** Lane statuses: the analysis pass, and the cache simulation
+     *  pass when it ran parallel. */
+    PipelineRunStatus analysis_status;
+    std::optional<PipelineRunStatus> cache_status;
+
+    /** True for a zero-record trace: summary is null and nothing ran. */
+    bool empty() const { return summary == nullptr; }
+
+    /** At least one lane failed under degraded_ok (CLI exit 4). */
+    bool degraded() const
+    {
+        return analysis_status.degraded ||
+               (cache_status && cache_status->degraded);
+    }
+};
+
+/**
+ * Run the full characterization of options.path per @p options.
+ *
+ * Throws UsageError for invalid option values/combinations, and the
+ * usual FatalError/TransientError for bad input data — the same
+ * exception surface as the readers themselves.
+ */
+AnalysisRunResult runAnalysis(const AnalysisRunOptions &options);
+
+} // namespace app
+} // namespace cbs
+
+#endif // CBS_APP_ANALYSIS_RUN_H

@@ -1,0 +1,269 @@
+#include "app/compare.h"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "common/format.h"
+#include "report/json_util.h"
+#include "report/table.h"
+
+namespace cbs {
+namespace app {
+
+namespace {
+
+using MetricValue = std::optional<double>;
+
+/** One scalar cross-trace metric: a JSON-safe name and how to read it
+ *  off a finalized summary (nullopt = undefined for this trace). */
+struct CompareMetric
+{
+    const char *name;
+    MetricValue (*value)(const WorkloadSummary &);
+};
+
+MetricValue
+finiteOrNull(double v)
+{
+    if (!std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+MetricValue
+median(const Ecdf &cdf)
+{
+    if (cdf.empty())
+        return std::nullopt;
+    return cdf.quantile(0.5);
+}
+
+/** The fixed metric set of the "deltas" section. Extending it is a
+ *  schema change — bump cbs.compare.v1 if entries are removed or
+ *  reordered (appending is compatible). */
+constexpr CompareMetric kCompareMetrics[] = {
+    {"volumes",
+     [](const WorkloadSummary &s) {
+         return finiteOrNull(
+             static_cast<double>(s.basic.stats().volumes));
+     }},
+    {"requests",
+     [](const WorkloadSummary &s) {
+         return finiteOrNull(
+             static_cast<double>(s.basic.stats().requests()));
+     }},
+    {"write_read_ratio",
+     [](const WorkloadSummary &s) {
+         return finiteOrNull(s.basic.stats().writeToReadRatio());
+     }},
+    {"read_wss_share",
+     [](const WorkloadSummary &s) {
+         return finiteOrNull(s.basic.stats().readWssShare());
+     }},
+    {"update_write_ratio",
+     [](const WorkloadSummary &s) -> MetricValue {
+         const BasicStats &stats = s.basic.stats();
+         if (stats.write_bytes == 0)
+             return std::nullopt;
+         return static_cast<double>(stats.update_bytes) /
+                static_cast<double>(stats.write_bytes);
+     }},
+    {"median_randomness_ratio",
+     [](const WorkloadSummary &s) {
+         return median(s.randomness.ratios());
+     }},
+    {"median_update_coverage",
+     [](const WorkloadSummary &s) {
+         return median(s.coverage.coverage());
+     }},
+    {"median_burstiness",
+     [](const WorkloadSummary &s) {
+         return median(s.intensity.burstinessRatios());
+     }},
+    {"waw_raw_count_ratio",
+     [](const WorkloadSummary &s) -> MetricValue {
+         std::uint64_t raw = s.pairs.count(PairKind::RAW);
+         if (raw == 0)
+             return std::nullopt;
+         return static_cast<double>(s.pairs.count(PairKind::WAW)) /
+                static_cast<double>(raw);
+     }},
+    {"median_interarrival_us",
+     [](const WorkloadSummary &s) -> MetricValue {
+         const LogHistogram &hist = s.interarrival.global();
+         if (hist.empty())
+             return std::nullopt;
+         return static_cast<double>(hist.quantile(0.5));
+     }},
+};
+
+void
+jsonMetricValue(std::ostream &os, const MetricValue &v)
+{
+    if (!v) {
+        os << "null";
+        return;
+    }
+    jsonio::jsonNumber(os, *v);
+}
+
+/** Embed a cbs.summary.v1 document at the current nesting depth: the
+ *  first line rides the "summary": key, the rest re-indent by
+ *  @p indent spaces, and the trailing newline is dropped. */
+void
+embedSummaryJson(std::ostream &os, const WorkloadSummary &summary,
+                 const std::string &indent)
+{
+    std::ostringstream buf;
+    summary.writeJson(buf);
+    const std::string text = buf.str();
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        if (!first)
+            os << '\n' << indent;
+        os.write(text.data() + pos, eol - pos);
+        first = false;
+        pos = eol + 1;
+    }
+}
+
+} // namespace
+
+CompareResult
+runCompare(const CompareOptions &options)
+{
+    CompareResult result;
+    result.paths = options.paths;
+    result.runs.reserve(options.paths.size());
+    for (const std::string &path : options.paths) {
+        AnalysisRunOptions run_options = options.base;
+        run_options.path = path;
+        // Compare always wants the plain finalized bundle.
+        run_options.cache.reset();
+        run_options.emit_partial.clear();
+        run_options.resume_from.clear();
+        run_options.checkpoint_path.clear();
+        run_options.classify_volumes = false;
+        result.runs.push_back(runAnalysis(run_options));
+    }
+    return result;
+}
+
+void
+writeCompareTable(std::ostream &os, const CompareResult &result)
+{
+    TextTable table("Trace comparison");
+    std::vector<std::string> header = {"metric"};
+    header.insert(header.end(), result.paths.begin(),
+                  result.paths.end());
+    table.header(header);
+
+    auto row = [&](const char *metric, auto cell) {
+        std::vector<std::string> cells = {metric};
+        for (const AnalysisRunResult &run : result.runs)
+            cells.push_back(cell(*run.summary));
+        table.row(cells);
+    };
+    row("volumes", [](const WorkloadSummary &s) {
+        return formatCount(s.basic.stats().volumes);
+    });
+    row("requests", [](const WorkloadSummary &s) {
+        return formatCount(s.basic.stats().requests());
+    });
+    row("write:read ratio", [](const WorkloadSummary &s) {
+        return formatFixed(s.basic.stats().writeToReadRatio(), 2);
+    });
+    row("read WSS share", [](const WorkloadSummary &s) {
+        return formatPercent(s.basic.stats().readWssShare());
+    });
+    row("update/write traffic", [](const WorkloadSummary &s) {
+        const BasicStats &stats = s.basic.stats();
+        return formatPercent(
+            stats.write_bytes
+                ? static_cast<double>(stats.update_bytes) /
+                      static_cast<double>(stats.write_bytes)
+                : 0.0);
+    });
+    auto med = [](const Ecdf &cdf) {
+        return cdf.empty() ? std::string("-")
+                           : formatPercent(cdf.quantile(0.5));
+    };
+    row("median randomness ratio", [&](const WorkloadSummary &s) {
+        return med(s.randomness.ratios());
+    });
+    row("median update coverage", [&](const WorkloadSummary &s) {
+        return med(s.coverage.coverage());
+    });
+    row("median burstiness", [](const WorkloadSummary &s) {
+        return s.intensity.burstinessRatios().empty()
+                   ? std::string("-")
+                   : formatFixed(
+                         s.intensity.burstinessRatios().quantile(0.5),
+                         1);
+    });
+    row("WAW/RAW count ratio", [](const WorkloadSummary &s) {
+        std::uint64_t raw = s.pairs.count(PairKind::RAW);
+        return raw ? formatFixed(
+                         static_cast<double>(
+                             s.pairs.count(PairKind::WAW)) /
+                             static_cast<double>(raw),
+                         2)
+                   : std::string("-");
+    });
+    table.print(os);
+}
+
+void
+writeCompareJson(std::ostream &os, const CompareResult &result)
+{
+    os << "{\n  \"schema\": \"cbs.compare.v1\",\n  \"traces\": [";
+    const char *sep = "";
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        const AnalysisRunResult &run = result.runs[i];
+        os << sep << "\n    {\n      \"path\": \"";
+        jsonio::jsonEscape(os, result.paths[i]);
+        os << "\",\n      \"format\": \""
+           << traceFormatName(run.format)
+           << "\",\n      \"summary\": ";
+        embedSummaryJson(os, *run.summary, "      ");
+        os << "\n    }";
+        sep = ",";
+    }
+    os << "\n  ],\n  \"deltas\": [";
+    sep = "";
+    for (const CompareMetric &metric : kCompareMetrics) {
+        std::vector<MetricValue> values;
+        values.reserve(result.runs.size());
+        for (const AnalysisRunResult &run : result.runs)
+            values.push_back(metric.value(*run.summary));
+        os << sep << "\n    {\"metric\": \"" << metric.name
+           << "\", \"values\": [";
+        const char *vsep = "";
+        for (const MetricValue &v : values) {
+            os << vsep;
+            jsonMetricValue(os, v);
+            vsep = ", ";
+        }
+        os << "], \"delta_vs_first\": [";
+        vsep = "";
+        for (const MetricValue &v : values) {
+            os << vsep;
+            if (v && values[0])
+                jsonio::jsonNumber(os, *v - *values[0]);
+            else
+                os << "null";
+            vsep = ", ";
+        }
+        os << "]}";
+        sep = ",";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace app
+} // namespace cbs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * N-way trace comparison built on runAnalysis(): every input gets the
+ * full characterization bundle (same knobs across the board), and the
+ * results render either as a side-by-side findings table or as a
+ * deterministic cbs.compare.v1 JSON document.
+ *
+ * cbs.compare.v1 layout:
+ *
+ *     {
+ *       "schema": "cbs.compare.v1",
+ *       "traces": [
+ *         {"path": ..., "format": ..., "summary": <cbs.summary.v1>},
+ *         ...
+ *       ],
+ *       "deltas": [
+ *         {"metric": ..., "values": [...], "delta_vs_first": [...]},
+ *         ...
+ *       ]
+ *     }
+ *
+ * Each "summary" embeds the trace's cbs.summary.v1 object verbatim
+ * (re-indented), so the document inherits that schema's determinism:
+ * byte-identical output across thread counts, batch sizes, and
+ * scalar/columnar dispatch. "deltas" lists a fixed set of scalar
+ * cross-trace metrics with per-trace values and differences against
+ * the first trace (null where a metric is undefined, e.g. a median
+ * over zero samples).
+ *
+ * Traces run sequentially; parallelism is within each run via
+ * AnalysisRunOptions::threads, which keeps output order (and bytes)
+ * independent of scheduling.
+ */
+
+#ifndef CBS_APP_COMPARE_H
+#define CBS_APP_COMPARE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "app/analysis_run.h"
+
+namespace cbs {
+namespace app {
+
+/** What to compare and how to analyze each input. */
+struct CompareOptions
+{
+    /** Trace paths, two or more. Order is preserved everywhere;
+     *  deltas are relative to paths[0]. */
+    std::vector<std::string> paths;
+
+    /** Per-trace analysis knobs. `path` is overwritten per input; the
+     *  snapshot/cache/classifier extras are ignored (compare always
+     *  runs the plain finalized bundle). */
+    AnalysisRunOptions base;
+};
+
+/** One finished run per input, in paths order. */
+struct CompareResult
+{
+    std::vector<std::string> paths;
+    std::vector<AnalysisRunResult> runs;
+
+    /** True when any input had zero records (its run has no summary;
+     *  the writers below require all summaries present). */
+    bool anyEmpty() const
+    {
+        for (const AnalysisRunResult &run : runs)
+            if (run.empty())
+                return true;
+        return false;
+    }
+};
+
+/** Analyze every options.paths entry with the shared knobs. Throws
+ *  what runAnalysis throws; empty traces are reported in the result
+ *  rather than thrown. */
+CompareResult runCompare(const CompareOptions &options);
+
+/** Side-by-side findings table (one value column per trace).
+ *  Requires !result.anyEmpty(). */
+void writeCompareTable(std::ostream &os, const CompareResult &result);
+
+/** Deterministic cbs.compare.v1 document (see file comment).
+ *  Requires !result.anyEmpty(). */
+void writeCompareJson(std::ostream &os, const CompareResult &result);
+
+} // namespace app
+} // namespace cbs
+
+#endif // CBS_APP_COMPARE_H

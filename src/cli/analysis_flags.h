@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Shared CLI flag groups for the analysis-running subcommands
+ * (`analyze`, `compare`, and the other trace readers): input-format
+ * selection, the read-error policy / retry group, and the binder that
+ * turns the common analysis knobs into an app::AnalysisRunOptions.
+ *
+ * Header-only on purpose — cbs_cli is an INTERFACE library. Keeping
+ * one binder means `compare` cannot drift from `analyze` again (the
+ * old split implementation silently ignored the resilience flags).
+ */
+
+#ifndef CBS_CLI_ANALYSIS_FLAGS_H
+#define CBS_CLI_ANALYSIS_FLAGS_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "app/analysis_run.h"
+#include "cli/arg_parser.h"
+#include "trace/error_policy.h"
+#include "trace/open.h"
+
+namespace cbs {
+namespace cli {
+
+/** Input-format flags: --format plus the historical shorthands. */
+inline void
+addFormatFlags(ArgParser &parser)
+{
+    parser.flag("--format", "F",
+                "input format: auto|csv|msrc|bin|cbt2|tencent "
+                "(default auto)");
+    parser.toggle("--msrc", "shorthand for --format msrc");
+    parser.toggle("--bin", "shorthand for --format bin");
+    parser.toggle("--cbt2", "shorthand for --format cbt2");
+    parser.toggle("--tencent", "shorthand for --format tencent");
+}
+
+/** Resolve the format flags; returns false after printing an error. */
+inline bool
+resolveFormat(const ArgParser &parser, TraceFormat &format)
+{
+    format = TraceFormat::Auto;
+    if (parser.has("--msrc"))
+        format = TraceFormat::MsrcCsv;
+    if (parser.has("--bin"))
+        format = TraceFormat::BinTrace;
+    if (parser.has("--cbt2"))
+        format = TraceFormat::Cbt2;
+    if (parser.has("--tencent"))
+        format = TraceFormat::TencentCsv;
+    if (parser.has("--format") &&
+        !parseTraceFormat(parser.getString("--format"), format)) {
+        std::fprintf(stderr,
+                     "unknown --format '%s' "
+                     "(csv|msrc|bin|cbt2|tencent)\n",
+                     parser.getString("--format").c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Read-error policy + retry flags shared by the reading commands. */
+inline void
+addPolicyFlags(ArgParser &parser)
+{
+    parser.flag("--error-policy", "P",
+                "strict|skip|quarantine (default strict)");
+    parser.flag("--max-bad-records", "N|FRAC",
+                "bad-record budget: a count, or with '.' a fraction");
+    parser.flag("--quarantine-file", "PATH",
+                "sidecar for quarantined records");
+    parser.flag("--retry", "N",
+                "retry transient read failures N times");
+}
+
+/** Parsed policy flags; quarantine_out must outlive the source. */
+inline bool
+resolvePolicyFlags(const ArgParser &parser, ErrorPolicyOptions &policy,
+                   std::ofstream &quarantine_out, int &retry,
+                   int &exit_code)
+{
+    std::string name = parser.getString("--error-policy");
+    if (!name.empty() && !parseReadErrorPolicy(name, policy.policy)) {
+        std::fprintf(stderr,
+                     "unknown --error-policy '%s' "
+                     "(strict|skip|quarantine)\n",
+                     name.c_str());
+        exit_code = 2;
+        return false;
+    }
+    std::string budget = parser.getString("--max-bad-records");
+    if (!budget.empty()) {
+        // A '.' means a fraction of records read; otherwise a count.
+        if (budget.find('.') != std::string::npos)
+            policy.max_bad_fraction =
+                std::strtod(budget.c_str(), nullptr);
+        else
+            policy.max_bad_records =
+                std::strtoull(budget.c_str(), nullptr, 10);
+    }
+    if (policy.policy == ReadErrorPolicy::Quarantine) {
+        std::string path = parser.getString("--quarantine-file");
+        if (path.empty()) {
+            std::fprintf(
+                stderr,
+                "--error-policy quarantine needs --quarantine-file\n");
+            exit_code = 2;
+            return false;
+        }
+        quarantine_out.open(path);
+        if (!quarantine_out) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            exit_code = 1;
+            return false;
+        }
+        policy.quarantine = &quarantine_out;
+    }
+    retry = static_cast<int>(parser.getUint("--retry", 0));
+    return true;
+}
+
+/**
+ * The analysis knobs `analyze` and `compare` share. Commands add
+ * their own extras (--ingest-lanes, snapshot flags, ...) on top.
+ */
+inline void
+addAnalysisRunFlags(ArgParser &parser)
+{
+    addFormatFlags(parser);
+    parser.flag("--block", "N", "block size in bytes");
+    parser.flag("--interval", "MIN", "activeness interval in minutes");
+    parser.flag("--duration-us", "N",
+                "analysis duration in microseconds (default: last "
+                "timestamp + 1; set it to match a serve run, whose "
+                "windows fix the duration up front)");
+    parser.flag("--threads", "N",
+                "shard across N worker threads (0 = hardware)");
+    parser.flag("--batch-records", "N",
+                "requests per pipeline batch (default 4096)");
+    parser.toggle("--scalar",
+                  "row-at-a-time dispatch (columnar kernels off; "
+                  "identical results, slower)");
+    addPolicyFlags(parser);
+}
+
+/**
+ * Bind the addAnalysisRunFlags() group (format, analysis knobs,
+ * error policy, retry) into @p options. quarantine_out must outlive
+ * every run using the options. Returns false after printing a
+ * diagnostic, with @p exit_code set (2 usage, 1 input).
+ */
+inline bool
+bindAnalysisRunFlags(const ArgParser &parser,
+                     app::AnalysisRunOptions &options,
+                     std::ofstream &quarantine_out, int &exit_code)
+{
+    int retry = 0;
+    if (!resolvePolicyFlags(parser, options.error_policy,
+                            quarantine_out, retry, exit_code))
+        return false;
+    options.retry_attempts = retry;
+    if (!resolveFormat(parser, options.format)) {
+        exit_code = 2;
+        return false;
+    }
+    options.block_size = parser.getUint("--block", kDefaultBlockSize);
+    options.activeness_interval =
+        parser.getUint("--interval", 10) * units::minute;
+    if (parser.has("--duration-us"))
+        options.duration_us = parser.getUint("--duration-us", 0);
+    if (parser.has("--threads"))
+        options.threads = parser.getUint("--threads", 0);
+    options.batch_records = parser.getUint("--batch-records", 4096);
+    options.columnar = !parser.has("--scalar");
+    return true;
+}
+
+} // namespace cli
+} // namespace cbs
+
+#endif // CBS_CLI_ANALYSIS_FLAGS_H

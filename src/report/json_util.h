@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic JSON emission helpers shared by the report writers
+ * (cbs.summary.v1 in analysis/workload_summary.cc, cbs.compare.v1 in
+ * app/compare.cc). The invariant the whole suite relies on: the same
+ * values always print the same bytes, so identical analyzer state
+ * dumps identical files regardless of thread count, batch size, or
+ * dispatch mode.
+ */
+
+#ifndef CBS_REPORT_JSON_UTIL_H
+#define CBS_REPORT_JSON_UTIL_H
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace cbs {
+namespace jsonio {
+
+/**
+ * Shortest-round-trip double for JSON: the same double always prints
+ * the same bytes. Non-finite values become null.
+ */
+inline void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, ptr - buf);
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control bytes)
+ *  for paths, lane names, and error messages. */
+inline void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/** {"count": N, "p25": x, "p50": x, "p90": x} or null when empty.
+ *  Works for any sample store with count()/empty()/quantile()
+ *  (Ecdf, ExactQuantiles). */
+template <typename Dist>
+void
+jsonDist(std::ostream &os, const Dist &cdf)
+{
+    if (cdf.empty()) {
+        os << "null";
+        return;
+    }
+    os << "{\"count\": " << cdf.count() << ", \"p25\": ";
+    jsonNumber(os, cdf.quantile(0.25));
+    os << ", \"p50\": ";
+    jsonNumber(os, cdf.quantile(0.5));
+    os << ", \"p90\": ";
+    jsonNumber(os, cdf.quantile(0.9));
+    os << '}';
+}
+
+} // namespace jsonio
+} // namespace cbs
+
+#endif // CBS_REPORT_JSON_UTIL_H

@@ -166,6 +166,64 @@ applyMsrcCommon(PopulationSpec &spec)
     spec.daily_scan_blocks = 1 << 15;
 }
 
+/**
+ * Common knobs for the Tencent CBS population (journal extension,
+ * arXiv 2203.10766; public traces from the OSCA release on SNIA
+ * IOTTA). Calibration targets follow the journal's qualitative
+ * placement of Tencent between the other two clouds: write-dominant
+ * overall like AliCloud but less extreme, more random than MSRC but
+ * less than AliCloud, and dominated by small (4-16 KiB) requests —
+ * the traces record sector-granular sizes and most are a handful of
+ * sectors.
+ */
+void
+applyTencentCommon(PopulationSpec &spec)
+{
+    // More read-dominant volumes than AliCloud's 8.5%, fewer extreme
+    // writers; overall traffic still write-dominant.
+    spec.wr_ratio_bands = {
+        {0.22, {-1.5, 0.0, false}},
+        {0.50, {0.0, 1.8, false}},
+        {0.28, {1.8, 3.5, false}},
+    };
+    spec.read_intensity_boost = 2.2;
+    spec.target_wr_ratio = 2.2;
+
+    // Small-request-heavy mixtures: cloud system volumes (page cache,
+    // journals) dominate; bulk streams are rare.
+    spec.read_size_choices = {{0.60, smallPageSizes()},
+                              {0.28, dbPageSizes()},
+                              {0.12, readAheadSizes()}};
+    spec.write_size_choices = {{0.55, journalSizes()},
+                               {0.35, mixedWriteSizes()},
+                               {0.10, bulkWriteSizes()}};
+
+    // Randomness between the clouds: more sequential than AliCloud,
+    // far less than MSRC.
+    spec.seq_start_p = {0.08, 0.40, false};
+    spec.seq_run_len = {2, 32, true};
+
+    spec.zipf_theta = 0.9;
+    spec.write_zipf_theta = {0.95, 0.99, false};
+    spec.read_to_hot_read = {0.3, 0.55, false};
+    spec.read_to_shared = {0.2, 0.4, false};
+    spec.read_to_hot_write = {0.05, 0.15, false};
+    spec.write_to_hot_write = {0.55, 0.88, false};
+    spec.write_to_shared = {0.08, 0.3, false};
+    spec.write_to_hot_read = {0.0, 0.04, false};
+
+    // Hot blocks are rewritten more often than AliCloud's (the
+    // journal's update-interval counterpart sits nearer MSRC).
+    spec.reads_per_hot_block = {4, 60, true};
+    spec.writes_per_hot_block = {4, 80, true};
+    spec.accesses_per_shared_block = {3, 12, true};
+    spec.hot_uniform_mix = {0.25, 0.45, false};
+
+    // CBS volumes are provisioned small relative to AliCloud's.
+    spec.capacity_bytes = {20.0 * GiB, 1.0 * TiB, true};
+    spec.intensity_sigma = 1.6;
+}
+
 } // namespace
 
 PopulationSpec
@@ -216,6 +274,31 @@ msrcSpanSpec(SpanScale scale)
     spec.burst_fraction = {0.5, 0.9, false};
     spec.burst_rate = {200, 4000, true};
     spec.burst_len_sec = {0.5, 30, true};
+    return spec;
+}
+
+PopulationSpec
+tencentSpanSpec(SpanScale scale)
+{
+    PopulationSpec spec;
+    spec.name = "tencent";
+    spec.volume_count = scale.volumes;
+    spec.duration = 9 * day;
+    spec.total_request_target = scale.total_requests;
+    applyTencentCommon(spec);
+
+    // Most volumes stay active for the whole 9-day window; a short-
+    // lived tail mirrors AliCloud's one-day volumes at reduced share.
+    spec.active_days_bands = {
+        {0.10, {0.15, 0.95, false}},
+        {0.08, {1.0, 6.0, false}},
+        {0.82, {9.0, 9.0, false}},
+    };
+    spec.min_volume_requests = 500.0;
+
+    spec.burst_fraction = {0.15, 0.75, false};
+    spec.burst_rate = {100, 5000, true};
+    spec.burst_len_sec = {0.2, 20, true};
     return spec;
 }
 
@@ -289,6 +372,30 @@ msrcBurstinessSpec(std::size_t volumes)
 }
 
 PopulationSpec
+tencentBurstinessSpec(std::size_t volumes)
+{
+    PopulationSpec scaffold = burstinessScaffold(volumes, 0.3);
+    PopulationSpec spec = tencentSpanSpec(
+        SpanScale{volumes, scaffold.total_request_target});
+    spec.name = "tencent-burstiness";
+    spec.duration = scaffold.duration;
+    spec.intensity_sigma = scaffold.intensity_sigma;
+    spec.total_request_target = scaffold.total_request_target;
+    spec.active_days_bands = scaffold.active_days_bands;
+    spec.scheduled_burst_len_sec = scaffold.scheduled_burst_len_sec;
+    spec.max_scheduled_bursts = scaffold.max_scheduled_bursts;
+    // Between the two source-paper clouds: a thicker sub-10 tail than
+    // AliCloud, and a small >1000 extreme tail MSRC lacks.
+    spec.burstiness_bands = {
+        {0.15, {0.3, 1.0, false}},
+        {0.55, {1.0, 2.0, false}},
+        {0.27, {2.0, 3.0, false}},
+        {0.03, {3.05, 3.3, false}},
+    };
+    return spec;
+}
+
+PopulationSpec
 aliCloudIntensitySpec(std::size_t volumes, double window_hours)
 {
     PopulationSpec spec;
@@ -336,6 +443,34 @@ msrcIntensitySpec(std::size_t volumes, double window_hours)
     spec.burst_fraction = {0.6, 0.95, false};
     spec.burst_rate = {30000, 800000, true};
     spec.burst_len_sec = {0.002, 0.5, true};
+    return spec;
+}
+
+PopulationSpec
+tencentIntensitySpec(std::size_t volumes, double window_hours)
+{
+    PopulationSpec spec;
+    spec.name = "tencent-intensity";
+    spec.volume_count = volumes;
+    spec.duration = static_cast<TimeUs>(window_hours * hour);
+    applyTencentCommon(spec);
+    spec.active_days_bands = {
+        {1.0, {window_hours / 24.0, window_hours / 24.0, false}}};
+
+    // The Tencent fleet is many light volumes: a lower median rate
+    // than either source-paper cloud, with the same lognormal shape.
+    double median_rate = 1.6;
+    double mean_factor =
+        std::exp(spec.intensity_sigma * spec.intensity_sigma / 2);
+    spec.total_request_target = median_rate * mean_factor *
+                                static_cast<double>(volumes) *
+                                window_hours * 3600.0;
+    // Second-granular timestamps make sub-second inter-arrivals
+    // invisible in the public traces; the generator still produces
+    // them (native units are microseconds) at AliCloud-like density.
+    spec.burst_fraction = {0.4, 0.9, false};
+    spec.burst_rate = {3000, 200000, true};
+    spec.burst_len_sec = {0.005, 1.0, true};
     return spec;
 }
 

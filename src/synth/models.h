@@ -1,6 +1,11 @@
 /**
  * @file
- * Paper-calibrated population specs for the two traces.
+ * Paper-calibrated population specs for the studied traces: AliCloud
+ * and MSRC from the source paper, plus the Tencent Cloud CBS
+ * population from the journal extension ("An In-Depth Comparative
+ * Analysis of Cloud Block Storage Workloads", arXiv 2203.10766),
+ * which re-runs the whole characterization over the public Tencent
+ * CBS traces (SNIA IOTTA, ~5k volumes over 9 days).
  *
  * Two variants exist per trace because no single scaled-down trace can
  * preserve both absolute intensities and absolute durations
@@ -37,12 +42,17 @@ struct SpanScale
 /** Default bench scales (seconds-level generation time). */
 constexpr SpanScale kAliCloudDefaultScale{1000, 4.0e6};
 constexpr SpanScale kMsrcDefaultScale{36, 1.2e6};
+constexpr SpanScale kTencentDefaultScale{1000, 4.0e6};
 
 /** Full-duration (31-day) AliCloud population. */
 PopulationSpec aliCloudSpanSpec(SpanScale scale = kAliCloudDefaultScale);
 
 /** Full-duration (7-day) MSRC population. */
 PopulationSpec msrcSpanSpec(SpanScale scale = kMsrcDefaultScale);
+
+/** Full-duration (9-day) Tencent CBS population (journal extension,
+ *  arXiv 2203.10766). */
+PopulationSpec tencentSpanSpec(SpanScale scale = kTencentDefaultScale);
 
 /** Short-window AliCloud population at paper-level request rates. */
 PopulationSpec aliCloudIntensitySpec(std::size_t volumes = 100,
@@ -52,6 +62,10 @@ PopulationSpec aliCloudIntensitySpec(std::size_t volumes = 100,
 PopulationSpec msrcIntensitySpec(std::size_t volumes = 36,
                                  double window_hours = 2.0);
 
+/** Short-window Tencent population at journal-level request rates. */
+PopulationSpec tencentIntensitySpec(std::size_t volumes = 100,
+                                    double window_hours = 1.0);
+
 /**
  * Day-long population with per-volume burstiness ratios drawn from the
  * paper's Fig. 6 distribution and realized via scheduled bursts.
@@ -60,6 +74,7 @@ PopulationSpec msrcIntensitySpec(std::size_t volumes = 36,
  */
 PopulationSpec aliCloudBurstinessSpec(std::size_t volumes = 120);
 PopulationSpec msrcBurstinessSpec(std::size_t volumes = 36);
+PopulationSpec tencentBurstinessSpec(std::size_t volumes = 120);
 
 /** Master seed used by all benches (fixed for reproducibility). */
 constexpr std::uint64_t kBenchSeed = 20200107;

@@ -1,83 +1,20 @@
 #include "trace/csv.h"
 
-#include <charconv>
 #include <string_view>
 #include <vector>
 
 #include "common/error.h"
+#include "trace/csv_util.h"
 
 namespace cbs {
-namespace {
 
-/** Split @p line into at most @p max_fields comma-separated fields. */
-std::size_t
-splitCsv(std::string_view line, std::string_view *fields,
-         std::size_t max_fields)
-{
-    std::size_t n = 0;
-    std::size_t start = 0;
-    while (n < max_fields) {
-        std::size_t comma = line.find(',', start);
-        if (comma == std::string_view::npos) {
-            fields[n++] = line.substr(start);
-            break;
-        }
-        fields[n++] = line.substr(start, comma - start);
-        start = comma + 1;
-    }
-    return n;
-}
-
-template <typename T>
-T
-parseNumber(std::string_view field, std::uint64_t line_no,
-            const char *what)
-{
-    T value{};
-    auto [ptr, ec] =
-        std::from_chars(field.data(), field.data() + field.size(), value);
-    CBS_EXPECT(ec == std::errc{} && ptr == field.data() + field.size(),
-               "bad " << what << " at line " << line_no << ": '" << field
-                      << "'");
-    return value;
-}
-
-/**
- * getline into a reused buffer, tolerating CRLF and blank lines.
- * Counts every physical line read into @p line_no — including the
- * blank/CRLF-only ones it skips — so error messages name the actual
- * file line.
- */
-bool
-readLine(std::istream &in, std::string &line, std::uint64_t &line_no)
-{
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        if (!line.empty())
-            return true;
-    }
-    return false;
-}
-
-/** Shared batch loop: the readers' nextBatch is one virtual call
- *  amortized over the whole batch of non-virtual parses. */
-template <typename ParseFn>
-std::size_t
-fillBatch(std::vector<IoRequest> &out, std::size_t max_requests,
-          ParseFn &&parse)
-{
-    out.clear();
-    if (out.capacity() < max_requests)
-        out.reserve(max_requests);
-    IoRequest req;
-    while (out.size() < max_requests && parse(req))
-        out.push_back(req);
-    return out.size();
-}
-
-} // namespace
+// Field splitting, number parsing, the tolerant line reader, and the
+// shared batch loop live in trace/csv_util.h, shared with the Tencent
+// reader (trace/tencent.cc).
+using csvdetail::fillBatch;
+using csvdetail::parseNumber;
+using csvdetail::readLine;
+using csvdetail::splitCsv;
 
 AliCloudCsvReader::AliCloudCsvReader(std::istream &in) : in_(in) {}
 

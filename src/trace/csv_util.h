@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Internal helpers shared by the CSV trace readers (csv.cc,
+ * tencent.cc): field splitting, strict number parsing, the blank/CRLF
+ * tolerant line reader, and the shared batch loop. Not part of the
+ * public trace API — reader classes live in trace/csv.h and
+ * trace/tencent.h.
+ */
+
+#ifndef CBS_TRACE_CSV_UTIL_H
+#define CBS_TRACE_CSV_UTIL_H
+
+#include <charconv>
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "trace/request.h"
+
+namespace cbs {
+namespace csvdetail {
+
+/** Split @p line into at most @p max_fields comma-separated fields. */
+inline std::size_t
+splitCsv(std::string_view line, std::string_view *fields,
+         std::size_t max_fields)
+{
+    std::size_t n = 0;
+    std::size_t start = 0;
+    while (n < max_fields) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string_view::npos) {
+            fields[n++] = line.substr(start);
+            break;
+        }
+        fields[n++] = line.substr(start, comma - start);
+        start = comma + 1;
+    }
+    return n;
+}
+
+template <typename T>
+T
+parseNumber(std::string_view field, std::uint64_t line_no,
+            const char *what)
+{
+    T value{};
+    auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    CBS_EXPECT(ec == std::errc{} && ptr == field.data() + field.size(),
+               "bad " << what << " at line " << line_no << ": '" << field
+                      << "'");
+    return value;
+}
+
+/**
+ * getline into a reused buffer, tolerating CRLF and blank lines.
+ * Counts every physical line read into @p line_no — including the
+ * blank/CRLF-only ones it skips — so error messages name the actual
+ * file line.
+ */
+inline bool
+readLine(std::istream &in, std::string &line, std::uint64_t &line_no)
+{
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty())
+            return true;
+    }
+    return false;
+}
+
+/** Shared batch loop: the readers' nextBatch is one virtual call
+ *  amortized over the whole batch of non-virtual parses. */
+template <typename ParseFn>
+std::size_t
+fillBatch(std::vector<IoRequest> &out, std::size_t max_requests,
+          ParseFn &&parse)
+{
+    out.clear();
+    if (out.capacity() < max_requests)
+        out.reserve(max_requests);
+    IoRequest req;
+    while (out.size() < max_requests && parse(req))
+        out.push_back(req);
+    return out.size();
+}
+
+} // namespace csvdetail
+} // namespace cbs
+
+#endif // CBS_TRACE_CSV_UTIL_H

@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "trace/bin_trace.h"
 #include "trace/csv.h"
+#include "trace/csv_util.h"
+#include "trace/tencent.h"
 
 namespace cbs {
 
@@ -26,6 +28,50 @@ lowerExtension(const std::string &path)
     return ext;
 }
 
+bool
+allDigits(std::string_view field)
+{
+    if (field.empty())
+        return false;
+    for (char c : field)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
+/**
+ * Tell the two 5-field CSV dialects apart by content. The AliCloud
+ * format carries an 'R'/'W' opcode in the second field; the Tencent
+ * format is all-numeric with a 0/1 ioType in the fourth field (or a
+ * "timestamp,offset,..." header on the first line). A line matching
+ * neither is refused with an explicit ambiguity error — sector-unit
+ * offsets misread as byte offsets would silently corrupt every
+ * spatial metric, so this is the one place sniffing must not guess.
+ */
+TraceFormat
+classifyFiveFieldCsv(const std::string &path, const std::string &line)
+{
+    std::string_view fields[5];
+    csvdetail::splitCsv(line, fields, 5);
+    if (fields[1] == "R" || fields[1] == "W")
+        return TraceFormat::AliCloudCsv;
+    std::string head(fields[0]);
+    std::transform(head.begin(), head.end(), head.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (head == "timestamp")
+        return TraceFormat::TencentCsv;
+    bool numeric = true;
+    for (const std::string_view &field : fields)
+        numeric = numeric && allDigits(field);
+    if (numeric && (fields[3] == "0" || fields[3] == "1"))
+        return TraceFormat::TencentCsv;
+    CBS_FATAL("cannot determine the trace format of "
+              << path << ": 5-field CSV line '" << line
+              << "' is neither the AliCloud dialect ('R'/'W' opcode) "
+                 "nor the Tencent dialect (all-numeric, 0/1 ioType); "
+                 "pass --format csv or --format tencent");
+}
+
 } // namespace
 
 const char *
@@ -38,6 +84,8 @@ traceFormatName(TraceFormat format)
         return "csv";
     case TraceFormat::MsrcCsv:
         return "msrc";
+    case TraceFormat::TencentCsv:
+        return "tencent";
     case TraceFormat::BinTrace:
         return "bin";
     case TraceFormat::Cbt2:
@@ -55,6 +103,8 @@ parseTraceFormat(std::string_view name, TraceFormat &format)
         format = TraceFormat::AliCloudCsv;
     else if (name == "msrc")
         format = TraceFormat::MsrcCsv;
+    else if (name == "tencent")
+        format = TraceFormat::TencentCsv;
     else if (name == "bin" || name == "cbst")
         format = TraceFormat::BinTrace;
     else if (name == "cbt2")
@@ -110,7 +160,7 @@ sniffTraceFormat(const std::string &path)
             continue;
         auto commas = std::count(line.begin(), line.end(), ',');
         if (commas == 4)
-            return TraceFormat::AliCloudCsv;
+            return classifyFiveFieldCsv(path, line);
         if (commas == 6)
             return TraceFormat::MsrcCsv;
         break; // first data line decides; fall through to extension
@@ -149,6 +199,12 @@ OpenedTraceSource::msrc()
     return dynamic_cast<MsrcCsvReader *>(reader_.get());
 }
 
+TencentCsvReader *
+OpenedTraceSource::tencent()
+{
+    return dynamic_cast<TencentCsvReader *>(reader_.get());
+}
+
 BinTraceReader *
 OpenedTraceSource::bin()
 {
@@ -178,6 +234,10 @@ openTraceSource(const std::string &path, const TraceOpenOptions &options)
     case TraceFormat::MsrcCsv:
         opened->reader_ =
             std::make_unique<MsrcCsvReader>(openStream(std::ios::in));
+        break;
+    case TraceFormat::TencentCsv:
+        opened->reader_ = std::make_unique<TencentCsvReader>(
+            openStream(std::ios::in));
         break;
     case TraceFormat::BinTrace:
         opened->reader_ = std::make_unique<BinTraceReader>(

@@ -44,6 +44,7 @@ namespace cbs {
 
 class AliCloudCsvReader;
 class MsrcCsvReader;
+class TencentCsvReader;
 class BinTraceReader;
 
 /** The trace formats the toolkit reads. */
@@ -52,11 +53,13 @@ enum class TraceFormat
     Auto,        //!< sniff from content + extension
     AliCloudCsv, //!< device_id,opcode,offset,length,timestamp
     MsrcCsv,     //!< SNIA MSR Cambridge 7-field CSV
+    TencentCsv,  //!< timestamp,offset,size,ioType,volume_id (sectors)
     BinTrace,    //!< CBST fixed-record binary
     Cbt2,        //!< chunked columnar (trace/cbt2.h)
 };
 
-/** Stable short name ("csv", "msrc", "bin", "cbt2", "auto"). */
+/** Stable short name ("csv", "msrc", "tencent", "bin", "cbt2",
+ *  "auto"). */
 const char *traceFormatName(TraceFormat format);
 
 /** Parse a short name (as accepted by --format flags); returns false
@@ -65,11 +68,16 @@ bool parseTraceFormat(std::string_view name, TraceFormat &format);
 
 /**
  * Decide a file's format: magic bytes first ("CBST" -> bin, "CBT2" ->
- * cbt2), then the comma count of the first non-blank line (4 -> the
- * AliCloud 5-field CSV, 6 -> the MSRC 7-field CSV), then the file
- * extension. Throws FatalError when the file cannot be opened, is
- * shorter than the 4-byte magic (empty or still being written — the
- * diagnostic names the path and exact size), or no rule matches.
+ * cbt2), then the comma count of the first non-blank line (6 -> the
+ * MSRC 7-field CSV; 4 -> one of the two 5-field CSV dialects, told
+ * apart by content: an 'R'/'W' second field is the AliCloud format, an
+ * all-numeric line with a 0/1 fourth field — or a
+ * "timestamp,offset,..." header — is the Tencent format), then the
+ * file extension. A 5-field line matching neither dialect is an
+ * explicit ambiguity error ("pass --format") rather than a guess.
+ * Throws FatalError when the file cannot be opened, is shorter than
+ * the 4-byte magic (empty or still being written — the diagnostic
+ * names the path and exact size), or no rule matches.
  */
 TraceFormat sniffTraceFormat(const std::string &path);
 
@@ -132,6 +140,7 @@ class OpenedTraceSource
     /** Format-specific accessors; nullptr when the format differs. */
     Cbt2Reader *cbt2();
     MsrcCsvReader *msrc();
+    TencentCsvReader *tencent();
     BinTraceReader *bin();
 
   private:

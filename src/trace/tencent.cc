@@ -1,0 +1,143 @@
+#include "trace/tencent.h"
+
+#include <string_view>
+
+#include "common/error.h"
+#include "trace/csv_util.h"
+
+namespace cbs {
+namespace {
+
+constexpr std::uint64_t kSectorBytes = 512;
+
+/** Case-insensitive check for the optional header line. */
+bool
+isHeaderLine(std::string_view line)
+{
+    constexpr std::string_view prefix = "timestamp,";
+    if (line.size() < prefix.size())
+        return false;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+        char c = line[i];
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+        if (c != prefix[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TencentCsvReader::TencentCsvReader(std::istream &in) : in_(in) {}
+
+void
+TencentCsvReader::parseLine(IoRequest &req)
+{
+    using csvdetail::parseNumber;
+    using csvdetail::splitCsv;
+
+    std::string_view fields[6];
+    std::size_t n = splitCsv(buf_, fields, 6);
+    CBS_EXPECT(n == 5, "Tencent CSV line " << line_ << " has " << n
+                                           << " fields, expected 5");
+    std::uint64_t seconds =
+        parseNumber<std::uint64_t>(fields[0], line_, "timestamp");
+    CBS_EXPECT(seconds <= UINT64_MAX / 1000000,
+               "timestamp overflows microseconds at line "
+                   << line_ << ": " << seconds << "s");
+    req.timestamp = seconds * 1000000;
+    CBS_EXPECT(req.timestamp >= last_timestamp_,
+               "timestamp goes backwards at line "
+                   << line_ << ": " << req.timestamp << " after "
+                   << last_timestamp_);
+    std::uint64_t offset_sectors =
+        parseNumber<std::uint64_t>(fields[1], line_, "offset");
+    CBS_EXPECT(offset_sectors <= UINT64_MAX / kSectorBytes,
+               "offset overflows bytes at line "
+                   << line_ << ": " << offset_sectors << " sectors");
+    req.offset = offset_sectors * kSectorBytes;
+    std::uint64_t size_sectors =
+        parseNumber<std::uint64_t>(fields[2], line_, "size");
+    CBS_EXPECT(size_sectors <= UINT32_MAX / kSectorBytes,
+               "size overflows at line " << line_ << ": "
+                                         << size_sectors << " sectors");
+    req.length =
+        static_cast<std::uint32_t>(size_sectors * kSectorBytes);
+    CBS_EXPECT(fields[3] == "0" || fields[3] == "1",
+               "bad ioType at line " << line_ << ": '" << fields[3]
+                                     << "' (0 = read, 1 = write)");
+    req.op = fields[3] == "0" ? Op::Read : Op::Write;
+    req.volume = parseNumber<VolumeId>(fields[4], line_, "volume_id");
+}
+
+bool
+TencentCsvReader::parseNext(IoRequest &req)
+{
+    // Same resync loop as the AliCloud reader (trace/csv.cc): state
+    // advances only on fully validated records.
+    for (;;) {
+        if (!csvdetail::readLine(in_, buf_, line_))
+            return false;
+        // The public traces ship headerless, but a pasted-together
+        // file may carry the column names; only line 1 qualifies.
+        if (line_ == 1 && isHeaderLine(buf_))
+            continue;
+        try {
+            parseLine(req);
+        } catch (const FatalError &err) {
+            if (tolerateBadRecord(err.what(), buf_, records_))
+                continue;
+            throw;
+        }
+        last_timestamp_ = req.timestamp;
+        ++records_;
+        return true;
+    }
+}
+
+bool
+TencentCsvReader::next(IoRequest &req)
+{
+    return parseNext(req);
+}
+
+std::size_t
+TencentCsvReader::nextBatchImpl(std::vector<IoRequest> &out,
+                                std::size_t max_requests)
+{
+    return csvdetail::fillBatch(
+        out, max_requests,
+        [this](IoRequest &req) { return parseNext(req); });
+}
+
+void
+TencentCsvReader::reset()
+{
+    in_.clear();
+    in_.seekg(0);
+    records_ = 0;
+    line_ = 0;
+    last_timestamp_ = 0;
+    resetErrorBudget();
+}
+
+void
+TencentCsvWriter::write(const IoRequest &req)
+{
+    CBS_EXPECT(req.offset % kSectorBytes == 0,
+               "tencent csv is sector-granular: offset "
+                   << req.offset << " is not a multiple of "
+                   << kSectorBytes);
+    CBS_EXPECT(req.length % kSectorBytes == 0,
+               "tencent csv is sector-granular: length "
+                   << req.length << " is not a multiple of "
+                   << kSectorBytes);
+    out_ << req.timestamp / 1000000 << ','
+         << req.offset / kSectorBytes << ','
+         << req.length / kSectorBytes << ','
+         << (req.isRead() ? '0' : '1') << ',' << req.volume << '\n';
+    ++records_;
+}
+
+} // namespace cbs

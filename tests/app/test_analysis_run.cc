@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Behavior-preservation contract of the analysis-run API: the summary
+ * JSON produced through app::runAnalysis() must be byte-identical to
+ * the golden captured from the pre-refactor `cbs_tool analyze`
+ * implementation (same trace, default knobs) — across formats,
+ * scalar/columnar dispatch, batch sizes, and shard counts. The golden
+ * bytes are embedded verbatim so the contract survives rebuilds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "app/analysis_run.h"
+#include "app/compare.h"
+#include "trace/bin_trace.h"
+#include "trace/cbt2.h"
+#include "trace/csv.h"
+
+namespace cbs {
+namespace {
+
+// A 36-request, 3-volume, ~1-hour AliCloud-format trace. Chosen so
+// every analyzer has data: reads and writes, updates, sequential and
+// random runs, and multi-window activity.
+const char kGoldenTrace[] = "1,W,0,4096,0\n"
+                            "2,R,0,16384,120000\n"
+                            "1,W,4096,4096,340000\n"
+                            "3,W,1048576,65536,900000\n"
+                            "1,R,0,4096,1500000\n"
+                            "2,W,524288,8192,2250000\n"
+                            "1,W,4096,4096,3000000\n"
+                            "3,R,1048576,131072,3600000\n"
+                            "2,W,524288,8192,4100000\n"
+                            "1,W,8192,16384,5000000\n"
+                            "2,R,0,4096,6000000\n"
+                            "1,W,0,4096,7200000\n"
+                            "3,W,2097152,32768,8000000\n"
+                            "1,R,131072,65536,9000000\n"
+                            "2,W,532480,8192,10000000\n"
+                            "1,W,4096,4096,11000000\n"
+                            "3,R,2097152,32768,12000000\n"
+                            "1,W,24576,4096,60000000\n"
+                            "2,W,524288,16384,61000000\n"
+                            "1,R,0,8192,120000000\n"
+                            "3,W,1048576,65536,180000000\n"
+                            "1,W,0,4096,600000000\n"
+                            "2,R,524288,8192,601000000\n"
+                            "1,W,4096,8192,660000000\n"
+                            "3,R,3145728,16384,720000000\n"
+                            "2,W,540672,4096,900000000\n"
+                            "1,W,32768,4096,1200000000\n"
+                            "3,W,1114112,32768,1500000000\n"
+                            "1,R,40960,16384,1800000000\n"
+                            "2,W,524288,8192,2100000000\n"
+                            "1,W,0,4096,2400000000\n"
+                            "3,R,1048576,65536,2700000000\n"
+                            "1,W,49152,12288,3000000000\n"
+                            "2,W,548864,8192,3300000000\n"
+                            "1,R,65536,4096,3540000000\n"
+                            "3,W,2129920,16384,3599000000\n";
+
+// Captured from `cbs_tool analyze <golden trace> --summary-json`
+// before cmdAnalyze was rebuilt on runAnalysis (default flags: block
+// 4096, interval 10 min, duration last + 1). Do not regenerate from
+// current code — the point is detecting drift.
+const char kGoldenSummary[] = R"json({
+  "schema": "cbs.summary.v1",
+  "overview": {
+    "volumes": 3,
+    "requests": 36,
+    "reads": 12,
+    "writes": 24,
+    "first_timestamp_us": 0,
+    "last_timestamp_us": 3599000000,
+    "read_bytes": 372736,
+    "write_bytes": 348160,
+    "update_bytes": 126976,
+    "total_wss_bytes": 364544,
+    "read_wss_bytes": 299008,
+    "write_wss_bytes": 221184,
+    "update_wss_bytes": 94208,
+    "write_read_ratio": 2,
+    "read_wss_share": 0.8202247191011236,
+    "write_wss_share": 0.6067415730337079
+  },
+  "distributions": {
+    "avg_read_size_bytes": {"count": 3, "p25": 14609.066666666666, "p50": 19660.8, "p90": 53084.16},
+    "avg_write_size_bytes": {"count": 3, "p25": 7460.571428571428, "p50": 8777.142857142857, "p90": 35834.14857142857},
+    "active_days": {"count": 3, "p25": 1, "p50": 1, "p90": 1},
+    "write_read_ratio": {"count": 3, "p25": 1.7916666666666667, "p50": 2.3333333333333335, "p90": 2.3866666666666667},
+    "avg_intensity_req_s": {"count": 3, "p25": 0.0027658666841666396, "p50": 0.0030304132271476536, "p90": 0.004447890555034051},
+    "peak_intensity_req_s": {"count": 3, "p25": 0.075, "p50": 0.08333333333333333, "p90": 0.12333333333333334},
+    "burstiness_ratio": {"count": 3, "p25": 27.075796296296296, "p50": 27.499000000000002, "p90": 27.711564705882353},
+    "randomness_ratio": {"count": 3, "p25": 0.05555555555555555, "p50": 0.1111111111111111, "p90": 0.2222222222222222},
+    "update_coverage": {"count": 3, "p25": 0.21666666666666667, "p50": 0.3333333333333333, "p90": 0.3575757575757576},
+    "read_mostly_share": {"count": 3, "p25": 0.45714285714285713, "p50": 0.7142857142857143, "p90": 0.7761904761904762},
+    "write_mostly_share": {"count": 3, "p25": 0.26068376068376065, "p50": 0.4444444444444444, "p90": 0.4622222222222222}
+  },
+  "interarrival": {
+    "count": 33,
+    "median_us": 59899903
+  },
+  "temporal_pairs": {
+    "RAW": {"count": 45, "median_gap_us": 4014079},
+    "WAW": {"count": 10, "median_gap_us": 51118079},
+    "RAR": {"count": 1, "median_gap_us": 5880000},
+    "WAR": {"count": 31, "median_gap_us": 177209343}
+  }
+}
+)json";
+
+std::string
+goldenCsvPath()
+{
+    static const std::string path = [] {
+        std::string p = testing::TempDir() + "app_golden.csv";
+        std::ofstream out(p);
+        out << kGoldenTrace;
+        return p;
+    }();
+    return path;
+}
+
+/** Re-encode the golden trace into another format. */
+template <typename Writer>
+std::string
+reencodeGolden(const std::string &name)
+{
+    std::string path = testing::TempDir() + name;
+    std::istringstream in(kGoldenTrace);
+    AliCloudCsvReader reader(in);
+    std::ofstream out(path, std::ios::binary);
+    Writer writer(out);
+    IoRequest r;
+    while (reader.next(r))
+        writer.write(r);
+    writer.finish();
+    return path;
+}
+
+std::string
+summaryBytes(const app::AnalysisRunOptions &options)
+{
+    app::AnalysisRunResult result = app::runAnalysis(options);
+    EXPECT_FALSE(result.empty());
+    std::ostringstream out;
+    result.summary->writeJson(out);
+    return out.str();
+}
+
+TEST(AnalysisRun, MatchesPreRefactorGolden)
+{
+    app::AnalysisRunOptions options;
+    options.path = goldenCsvPath();
+    EXPECT_EQ(summaryBytes(options), kGoldenSummary);
+}
+
+TEST(AnalysisRun, GoldenBytesAcrossExecutionModes)
+{
+    app::AnalysisRunOptions base;
+    base.path = goldenCsvPath();
+
+    for (std::size_t threads : {1, 2, 4}) {
+        app::AnalysisRunOptions options = base;
+        options.threads = threads;
+        EXPECT_EQ(summaryBytes(options), kGoldenSummary)
+            << "threads=" << threads;
+    }
+    app::AnalysisRunOptions scalar = base;
+    scalar.columnar = false;
+    EXPECT_EQ(summaryBytes(scalar), kGoldenSummary);
+
+    app::AnalysisRunOptions tiny_batches = base;
+    tiny_batches.batch_records = 7;
+    EXPECT_EQ(summaryBytes(tiny_batches), kGoldenSummary);
+
+    app::AnalysisRunOptions sharded_scalar = base;
+    sharded_scalar.threads = 3;
+    sharded_scalar.columnar = false;
+    sharded_scalar.batch_records = 17;
+    EXPECT_EQ(summaryBytes(sharded_scalar), kGoldenSummary);
+}
+
+TEST(AnalysisRun, GoldenBytesAcrossFormats)
+{
+    app::AnalysisRunOptions cbt2;
+    cbt2.path = reencodeGolden<Cbt2Writer>("app_golden.cbt2");
+    EXPECT_EQ(summaryBytes(cbt2), kGoldenSummary);
+
+    app::AnalysisRunOptions bin;
+    bin.path = reencodeGolden<BinTraceWriter>("app_golden.bin");
+    EXPECT_EQ(summaryBytes(bin), kGoldenSummary);
+}
+
+TEST(AnalysisRun, ResolvesSniffedFormatAndExtent)
+{
+    app::AnalysisRunOptions options;
+    options.path = goldenCsvPath();
+    app::AnalysisRunResult result = app::runAnalysis(options);
+    EXPECT_EQ(result.format, TraceFormat::AliCloudCsv);
+    EXPECT_EQ(result.record_count, 36u);
+    EXPECT_EQ(result.last_timestamp, 3599000000u);
+    EXPECT_FALSE(result.degraded());
+}
+
+TEST(AnalysisRun, EmptyTraceHasNoSummary)
+{
+    std::string path = testing::TempDir() + "app_empty.tencent.csv";
+    {
+        std::ofstream out(path);
+        out << "timestamp,offset,size,ioType,volume_id\n";
+    }
+    app::AnalysisRunOptions options;
+    options.path = path;
+    app::AnalysisRunResult result = app::runAnalysis(options);
+    EXPECT_TRUE(result.empty());
+    EXPECT_EQ(result.record_count, 0u);
+    EXPECT_EQ(result.summary, nullptr);
+}
+
+TEST(AnalysisRun, DurationMustCoverTrace)
+{
+    app::AnalysisRunOptions options;
+    options.path = goldenCsvPath();
+    options.duration_us = 1000; // trace lasts 3599 s
+    EXPECT_THROW(app::runAnalysis(options), app::UsageError);
+}
+
+TEST(AnalysisRun, UnknownCachePolicyIsAUsageError)
+{
+    app::AnalysisRunOptions options;
+    options.path = goldenCsvPath();
+    options.cache.emplace();
+    options.cache->policy = "not-a-policy";
+    EXPECT_THROW(app::runAnalysis(options), app::UsageError);
+}
+
+TEST(AnalysisRun, TencentTraceSniffsThroughRunAnalysis)
+{
+    std::string path = testing::TempDir() + "app_tencent.csv";
+    {
+        std::ofstream out(path);
+        out << "100,0,8,0,1\n101,8,8,1,2\n102,16,8,1,1\n";
+    }
+    app::AnalysisRunOptions options;
+    options.path = path;
+    app::AnalysisRunResult result = app::runAnalysis(options);
+    ASSERT_FALSE(result.empty());
+    EXPECT_EQ(result.format, TraceFormat::TencentCsv);
+    EXPECT_EQ(result.summary->basic.stats().requests(), 3u);
+    EXPECT_EQ(result.summary->basic.stats().read_bytes, 8u * 512);
+}
+
+TEST(Compare, JsonIsByteIdenticalAcrossThreadCounts)
+{
+    app::CompareOptions options;
+    options.paths = {goldenCsvPath(),
+                     reencodeGolden<Cbt2Writer>("cmp_golden.cbt2")};
+
+    auto render = [&](std::optional<std::size_t> threads) {
+        app::CompareOptions run = options;
+        run.base.threads = threads;
+        app::CompareResult result = app::runCompare(run);
+        EXPECT_FALSE(result.anyEmpty());
+        std::ostringstream out;
+        app::writeCompareJson(out, result);
+        return out.str();
+    };
+
+    const std::string serial = render(std::nullopt);
+    EXPECT_EQ(render(2), serial);
+    EXPECT_EQ(render(4), serial);
+    EXPECT_NE(serial.find("\"schema\": \"cbs.compare.v1\""),
+              std::string::npos);
+    // Both inputs are the same trace in two encodings: every summary
+    // section is the golden one, and every delta against trace 0 is 0.
+    EXPECT_NE(serial.find("\"schema\": \"cbs.summary.v1\""),
+              std::string::npos);
+    EXPECT_NE(serial.find("\"metric\": \"write_read_ratio\", "
+                          "\"values\": [2, 2], "
+                          "\"delta_vs_first\": [0, 0]"),
+              std::string::npos);
+}
+
+TEST(Compare, TableListsOneColumnPerTrace)
+{
+    app::CompareOptions options;
+    options.paths = {goldenCsvPath(), goldenCsvPath(),
+                     goldenCsvPath()};
+    app::CompareResult result = app::runCompare(options);
+    ASSERT_FALSE(result.anyEmpty());
+    std::ostringstream out;
+    app::writeCompareTable(out, result);
+    const std::string table = out.str();
+    EXPECT_NE(table.find("Trace comparison"), std::string::npos);
+    EXPECT_NE(table.find("WAW/RAW count ratio"), std::string::npos);
+    // Three value columns: the requests row shows the count 3 times.
+    std::size_t hits = 0;
+    for (std::size_t pos = table.find("36");
+         pos != std::string::npos; pos = table.find("36", pos + 1))
+        ++hits;
+    EXPECT_GE(hits, 3u);
+}
+
+TEST(Compare, HonorsTheSharedErrorPolicy)
+{
+    // One damaged line in an otherwise-good AliCloud trace: strict
+    // (default) throws, skip tolerates — proving compare runs inherit
+    // the full resilience machinery.
+    std::string path = testing::TempDir() + "cmp_damaged.csv";
+    {
+        std::ofstream out(path);
+        out << "1,W,0,4096,100\n"
+            << "garbage\n"
+            << "2,R,0,4096,200\n";
+    }
+    app::CompareOptions options;
+    options.paths = {goldenCsvPath(), path};
+    EXPECT_THROW(app::runCompare(options), FatalError);
+
+    options.base.error_policy.policy = ReadErrorPolicy::Skip;
+    app::CompareResult result = app::runCompare(options);
+    ASSERT_FALSE(result.anyEmpty());
+    EXPECT_EQ(result.runs[1].summary->basic.stats().requests(), 2u);
+}
+
+} // namespace
+} // namespace cbs

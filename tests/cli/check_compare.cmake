@@ -1,0 +1,144 @@
+# N-way compare contract check for `cbs_tool compare`.
+#
+# Over three synthetic traces in three encodings (AliCloud csv, cbt2,
+# Tencent csv):
+#   - a 3-way compare exits 0, prints one value column per trace, and
+#     writes a cbs.compare.v1 JSON with all three paths and a deltas
+#     section;
+#   - the JSON is byte-identical across --threads 2 / --threads 4 /
+#     serial (determinism does not depend on scheduling);
+#   - the cbt2 and csv encodings of the same trace produce identical
+#     value columns (the deltas between them are exactly 0);
+#   - a single positional is a usage error: exit 2;
+#   - an empty trace (header-only Tencent csv) exits 1 naming the file.
+# Invoked via: cmake -DCBS_TOOL=... -DWORK_DIR=... -P this script.
+
+foreach(var CBS_TOOL WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(ali_csv "${WORK_DIR}/compare_a.csv")
+set(ali_cbt2 "${WORK_DIR}/compare_a.cbt2")
+set(tencent_csv "${WORK_DIR}/compare_c.tencent.csv")
+
+execute_process(
+    COMMAND "${CBS_TOOL}" generate "${ali_csv}"
+            --volumes 6 --requests 2000 --seed 21
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "generate ${ali_csv} failed: ${rc}")
+endif()
+execute_process(
+    COMMAND "${CBS_TOOL}" convert "${ali_csv}" "${ali_cbt2}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "convert to cbt2 failed: ${rc}")
+endif()
+execute_process(
+    COMMAND "${CBS_TOOL}" generate "${tencent_csv}" --tencent
+            --volumes 6 --requests 2000 --seed 23
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "generate ${tencent_csv} failed: ${rc}")
+endif()
+
+# 3-way compare: table on stdout, cbs.compare.v1 JSON on disk.
+set(json_serial "${WORK_DIR}/compare_serial.json")
+execute_process(
+    COMMAND "${CBS_TOOL}" compare "${ali_csv}" "${ali_cbt2}"
+            "${tencent_csv}" --summary-json "${json_serial}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "3-way compare failed: ${rc} (stderr: ${stderr})")
+endif()
+if(NOT stdout MATCHES "Trace comparison")
+    message(FATAL_ERROR "missing comparison table:\n${stdout}")
+endif()
+foreach(row "volumes" "requests" "WAW/RAW count ratio")
+    if(NOT stdout MATCHES "${row}")
+        message(FATAL_ERROR "table is missing the '${row}' row")
+    endif()
+endforeach()
+
+file(READ "${json_serial}" json)
+if(NOT json MATCHES "\"schema\": \"cbs.compare.v1\"")
+    message(FATAL_ERROR "missing cbs.compare.v1 schema tag")
+endif()
+foreach(trace "${ali_csv}" "${ali_cbt2}" "${tencent_csv}")
+    # CMake regex has no literal-string match; escape the dots.
+    string(REPLACE "." "\\." trace_re "${trace}")
+    if(NOT json MATCHES "\"path\": \"${trace_re}\"")
+        message(FATAL_ERROR "JSON is missing trace ${trace}")
+    endif()
+endforeach()
+if(NOT json MATCHES "\"deltas\":")
+    message(FATAL_ERROR "JSON is missing the deltas section")
+endif()
+# Same trace, two encodings: the requests delta between column 0 (csv)
+# and column 1 (cbt2) must be exactly 0.
+if(NOT json MATCHES
+   "\"metric\": \"requests\", \"values\": \\[[0-9]+, [0-9]+, [0-9]+\\], \"delta_vs_first\": \\[0, 0, ")
+    message(FATAL_ERROR
+            "csv and cbt2 encodings of one trace disagree:\n${json}")
+endif()
+
+# Scheduling independence: the JSON bytes must not depend on threads.
+foreach(threads 2 4)
+    set(json_mt "${WORK_DIR}/compare_t${threads}.json")
+    execute_process(
+        COMMAND "${CBS_TOOL}" compare "${ali_csv}" "${ali_cbt2}"
+                "${tencent_csv}" --summary-json "${json_mt}"
+                --threads ${threads}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "compare --threads ${threads} failed: ${rc} "
+                "(stderr: ${stderr})")
+    endif()
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${json_serial}" "${json_mt}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+                "cbs.compare.v1 differs between serial and "
+                "--threads ${threads}")
+    endif()
+endforeach()
+
+# One positional is not a comparison: usage error, exit 2.
+execute_process(
+    COMMAND "${CBS_TOOL}" compare "${ali_csv}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+            "expected exit 2 for a single positional, got ${rc}")
+endif()
+
+# An empty trace cannot be characterized: exit 1 naming the file. A
+# header-only Tencent csv sniffs cleanly but yields zero records.
+set(empty_trace "${WORK_DIR}/compare_empty.tencent.csv")
+file(WRITE "${empty_trace}" "timestamp,offset,size,ioType,volume_id\n")
+execute_process(
+    COMMAND "${CBS_TOOL}" compare "${ali_csv}" "${empty_trace}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+            "expected exit 1 for an empty trace, got ${rc} "
+            "(stderr: ${stderr})")
+endif()
+if(NOT stderr MATCHES "is empty")
+    message(FATAL_ERROR
+            "empty-trace diagnostic does not say so: ${stderr}")
+endif()
+
+message(STATUS "compare contract checks passed")

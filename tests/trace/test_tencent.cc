@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "trace/error_policy.h"
+#include "trace/open.h"
+#include "trace/tencent.h"
+
+namespace cbs {
+namespace {
+
+TEST(TencentCsv, ParsesReleasedFormatWithUnitConversion)
+{
+    // timestamp,offset,size,ioType,volume_id — seconds and sectors.
+    std::istringstream in("1538323200,100,8,0,1283\n"
+                          "1538323201,200,16,1,77\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.timestamp, 1538323200ull * 1000000);
+    EXPECT_EQ(r.offset, 100u * 512);
+    EXPECT_EQ(r.length, 8u * 512);
+    EXPECT_EQ(r.op, Op::Read);
+    EXPECT_EQ(r.volume, 1283u);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.op, Op::Write);
+    EXPECT_EQ(r.volume, 77u);
+    EXPECT_FALSE(reader.next(r));
+    EXPECT_EQ(reader.recordCount(), 2u);
+}
+
+TEST(TencentCsv, SkipsOptionalHeaderLine)
+{
+    std::istringstream in("timestamp,offset,size,ioType,volume_id\n"
+                          "10,1,1,1,3\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 3u);
+    EXPECT_FALSE(reader.next(r));
+    EXPECT_EQ(reader.recordCount(), 1u);
+}
+
+TEST(TencentCsv, ToleratesCrlfAndBlankLines)
+{
+    std::istringstream in("1,0,1,0,1\r\n\n2,0,1,1,2\r\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 1u);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 2u);
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(TencentCsv, RejectsBadIoType)
+{
+    std::istringstream in("1,0,1,2,1\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(TencentCsv, RejectsWrongFieldCount)
+{
+    std::istringstream in("1,0,1,0\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(TencentCsv, RejectsNonNumericField)
+{
+    std::istringstream in("1,zero,1,0,1\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(TencentCsv, RejectsDecreasingTimestamps)
+{
+    std::istringstream in("5,0,1,0,1\n4,0,1,0,1\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(TencentCsv, SkipPolicyResyncsToNextLine)
+{
+    std::istringstream in("1,0,1,0,1\n"
+                          "garbage line\n"
+                          "2,0,1,7,9\n"
+                          "3,0,1,1,5\n");
+    TencentCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    reader.setErrorPolicy(policy);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 1u);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.volume, 5u); // both bad lines skipped
+    EXPECT_FALSE(reader.next(r));
+    EXPECT_EQ(reader.recordCount(), 2u);
+}
+
+TEST(TencentCsv, QuarantinePolicyCapturesRawLines)
+{
+    std::istringstream in("1,0,1,0,1\nbad,line\n2,0,1,1,2\n");
+    std::ostringstream sidecar;
+    TencentCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Quarantine;
+    policy.quarantine = &sidecar;
+    reader.setErrorPolicy(policy);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_FALSE(reader.next(r));
+    EXPECT_NE(sidecar.str().find("bad,line"), std::string::npos);
+}
+
+TEST(TencentCsv, BadRecordBudgetTripsFatal)
+{
+    std::istringstream in("1,0,1,0,1\nbad\nworse\n2,0,1,0,1\n");
+    TencentCsvReader reader(in);
+    ErrorPolicyOptions policy;
+    policy.policy = ReadErrorPolicy::Skip;
+    policy.max_bad_records = 1;
+    reader.setErrorPolicy(policy);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST(TencentCsv, ResetRestartsStreamAndErrorBudget)
+{
+    std::istringstream in("7,0,1,0,1\n");
+    TencentCsvReader reader(in);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    ASSERT_FALSE(reader.next(r));
+    reader.reset();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.timestamp, 7ull * 1000000);
+    EXPECT_EQ(reader.recordCount(), 1u);
+}
+
+TEST(TencentCsv, WriterRoundTrips)
+{
+    // Whole-second timestamps and sector-aligned extents survive the
+    // round trip exactly (the format's native resolution).
+    std::vector<IoRequest> original{
+        IoRequest{3000000, 512, 4096, 9, Op::Read},
+        IoRequest{4000000, 1024, 512, 2, Op::Write},
+    };
+    std::stringstream buf;
+    TencentCsvWriter writer(buf);
+    for (const IoRequest &r : original)
+        writer.write(r);
+    EXPECT_EQ(writer.recordCount(), 2u);
+    EXPECT_EQ(buf.str(), "3,1,8,0,9\n4,2,1,1,2\n");
+
+    TencentCsvReader reader(buf);
+    IoRequest r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.timestamp, original[0].timestamp);
+    EXPECT_EQ(r.offset, original[0].offset);
+    EXPECT_EQ(r.length, original[0].length);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.op, Op::Write);
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(TencentCsv, WriterRejectsSubSectorValues)
+{
+    std::ostringstream out;
+    TencentCsvWriter writer(out);
+    EXPECT_THROW(
+        writer.write(IoRequest{0, 100, 4096, 1, Op::Read}),
+        FatalError); // offset not sector-aligned
+    EXPECT_THROW(
+        writer.write(IoRequest{0, 512, 100, 1, Op::Read}),
+        FatalError); // length not sector-aligned
+}
+
+std::string
+writeTempFile(const std::string &name, const std::string &content)
+{
+    std::string path = testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+TEST(TencentSniff, HeaderlessNumericLineSniffsAsTencent)
+{
+    EXPECT_EQ(sniffTraceFormat(writeTempFile("tencent_plain.dat",
+                                             "1538323200,100,8,0,1\n")),
+              TraceFormat::TencentCsv);
+}
+
+TEST(TencentSniff, HeaderLineSniffsAsTencent)
+{
+    EXPECT_EQ(sniffTraceFormat(writeTempFile(
+                  "tencent_header.dat",
+                  "Timestamp,Offset,Size,IOType,Volume_id\n"
+                  "1,0,1,0,1\n")),
+              TraceFormat::TencentCsv);
+}
+
+TEST(TencentSniff, AliCloudOpcodeStillSniffsAsAliCloud)
+{
+    EXPECT_EQ(sniffTraceFormat(writeTempFile("ali_5field.dat",
+                                             "1,R,0,4096,100\n")),
+              TraceFormat::AliCloudCsv);
+}
+
+TEST(TencentSniff, AmbiguousFiveFieldLineIsAnExplicitError)
+{
+    // All-numeric but ioType is neither 0 nor 1: refusing to guess
+    // beats silently picking a dialect and mis-parsing every record.
+    std::string path =
+        writeTempFile("ambiguous_5field.dat", "1,2,3,7,4\n");
+    try {
+        sniffTraceFormat(path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--format tencent"),
+                  std::string::npos);
+    }
+}
+
+TEST(TencentOpen, OpenTraceSourceWiresReaderAndAccessor)
+{
+    std::string path = writeTempFile("tencent_open.dat",
+                                     "1,0,8,0,1\n2,8,8,1,2\n");
+    TraceOpenOptions options;
+    options.format = TraceFormat::TencentCsv;
+    auto opened = openTraceSource(path, options);
+    EXPECT_EQ(opened->format(), TraceFormat::TencentCsv);
+    EXPECT_NE(opened->tencent(), nullptr);
+    EXPECT_FALSE(opened->splittable());
+    std::vector<IoRequest> batch;
+    ASSERT_GT(opened->source().nextBatch(batch, 16), 0u);
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].length, 8u * 512);
+}
+
+TEST(TencentOpen, ParsesFormatName)
+{
+    TraceFormat format = TraceFormat::Auto;
+    EXPECT_TRUE(parseTraceFormat("tencent", format));
+    EXPECT_EQ(format, TraceFormat::TencentCsv);
+    EXPECT_STREQ(traceFormatName(TraceFormat::TencentCsv), "tencent");
+}
+
+} // namespace
+} // namespace cbs
