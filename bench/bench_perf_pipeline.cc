@@ -25,7 +25,10 @@
  *
  * A third section times the two-pass cache simulation
  * (CacheMissAnalyzer) serially and through runTwoPassParallel at 2, 4,
- * and 8 shards; speedups are relative to the serial row.
+ * and 8 shards, then its single-pass replacements — the exact Mattson
+ * MRC engine (cache-mrc-serial) and the SHARDS-sampled variant
+ * (cache-mrc-shards) — over one pipeline pass each; speedups are
+ * relative to the two-pass serial row.
  *
  * A fourth section times the snapshot substrate: serializing the full
  * pre-finalize analyzer bundle to cbs.snapshot.v1 bytes, deserializing
@@ -66,6 +69,7 @@
 #include "analysis/basic_stats.h"
 #include "analysis/block_traffic.h"
 #include "analysis/cache_miss.h"
+#include "analysis/cache_mrc.h"
 #include "analysis/interarrival.h"
 #include "analysis/load_intensity.h"
 #include "analysis/parallel_pipeline.h"
@@ -487,6 +491,25 @@ main(int argc, char **argv)
                cache_serial);
         rows.back().metrics_json = metrics_json;
     }
+
+    // Single-pass replacements for the same LRU characterization: the
+    // exact Mattson MRC engine and the SHARDS-sampled variant, each
+    // one serial pipeline pass over the trace. Speedup stays relative
+    // to the two-pass serial row — that is the replaced baseline.
+    auto timedMrcRun = [&](double rate) {
+        requests.reset();
+        CacheMrcAnalyzer analyzer({0.01, 0.10}, kDefaultBlockSize,
+                                  rate);
+        PipelineOptions options;
+        options.batch_records = g_batch_records;
+        auto start = std::chrono::steady_clock::now();
+        runPipeline(requests, {&analyzer}, options);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    record("cache-mrc-serial", 0, timedMrcRun(0.0), cache_serial);
+    record("cache-mrc-shards", 0, timedMrcRun(0.01), cache_serial);
 
     // Snapshot substrate: encode / decode / merge of the full
     // pre-finalize bundle state — the fixed per-partial cost the

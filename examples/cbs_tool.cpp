@@ -19,11 +19,16 @@
  *       characterization as deterministic JSON; --metrics-json dumps
  *       the run's observability registry; --progress prints a periodic
  *       records/s / percent-complete line to stderr. Any of
- *       --cache-policy, --cache-fractions, --cache-block-size appends
- *       the paper's two-pass cache simulation (per-volume miss ratios
- *       at WSS-fraction cache sizes) to the report and the summary
- *       JSON; with --threads it runs through the same sharded
- *       pipeline. Resilience flags
+ *       --cache-policy, --cache-fractions, --cache-block-size,
+ *       --cache-mode appends the paper's cache simulation (per-volume
+ *       miss ratios at WSS-fraction cache sizes) to the report and
+ *       the summary JSON; with --threads it runs through the same
+ *       sharded pipeline. --cache-mode mrc swaps the two-pass LRU
+ *       engine for the single-pass Mattson stack-distance engine
+ *       (identical ratios, one trace read, plus a log-spaced
+ *       miss-ratio curve in the JSON); mrc-shards adds SHARDS
+ *       sampling (--shards-rate, and --shards-budget for the
+ *       constant-memory adaptive variant). Resilience flags
  *       (--error-policy, --max-bad-records, --quarantine-file,
  *       --retry, --degraded-ok) are described in docs/resilience.md.
  *       Snapshot flags (docs/snapshots.md): --emit-partial stops
@@ -71,15 +76,16 @@
  *
  *   mrc <trace>
  *       Miss-ratio curve of one volume (or all requests) via SHARDS
- *       sampled reuse distances. For CBT2 inputs a --volume filter is
- *       pushed down to chunk skipping.
+ *       sampled reuse distances; --budget caps tracked keys with the
+ *       adaptive rate-lowering variant. For CBT2 inputs a --volume
+ *       filter is pushed down to chunk skipping.
  *
  *   compare <trace> <trace>...
  *       Side-by-side characterization of two or more traces (the
  *       paper's AliCloud-vs-MSRC methodology, extended to an N-way
  *       cross-cloud axis). Every input gets the same full analysis
- *       run as `analyze` — shared format/policy/threads knobs
- *       included — and --summary-json writes a deterministic
+ *       run as `analyze` — shared format/policy/threads/cache-sim
+ *       knobs included — and --summary-json writes a deterministic
  *       cbs.compare.v1 document (per-trace cbs.summary.v1 sections
  *       plus cross-trace deltas).
  *
@@ -164,42 +170,9 @@ usage()
     return 2;
 }
 
-// The shared flag groups (format, error policy, analysis knobs) live
-// in cli/analysis_flags.h so analyze and compare cannot drift.
-
-/**
- * Comma-separated WSS fractions for --cache-fractions. Range
- * validation ((0,1]) lives in CacheMissAnalyzer; this only parses.
- */
-std::vector<double>
-parseFractionList(const std::string &text)
-{
-    std::vector<double> fractions;
-    std::size_t pos = 0;
-    while (pos <= text.size()) {
-        std::size_t comma = text.find(',', pos);
-        std::string item =
-            comma == std::string::npos ? text.substr(pos)
-                                       : text.substr(pos, comma - pos);
-        std::size_t used = 0;
-        double value = 0;
-        try {
-            value = std::stod(item, &used);
-        } catch (const std::exception &) {
-            used = 0;
-        }
-        if (item.empty() || used != item.size())
-            throw std::invalid_argument(
-                "--cache-fractions expects comma-separated numbers, "
-                "got '" +
-                text + "'");
-        fractions.push_back(value);
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    return fractions;
-}
+// The shared flag groups (format, error policy, cache simulation,
+// analysis knobs) live in cli/analysis_flags.h so analyze and compare
+// cannot drift.
 
 // ---------------------------------------------------------------------
 // analyze
@@ -216,16 +189,6 @@ cmdAnalyze(int argc, char **argv)
     parser.flag("--ingest-lanes", "N",
                 "parallel decode lanes for splittable inputs "
                 "(0 = one per shard; needs --threads)");
-    parser.flag("--cache-policy", "P",
-                "add the two-pass cache simulation with replacement "
-                "policy P (lru|fifo|clock|lfu|arc)");
-    parser.flag("--cache-fractions", "LIST",
-                "cache sizes as comma-separated fractions of each "
-                "volume's WSS (default 0.01,0.1; implies the "
-                "simulation)");
-    parser.flag("--cache-block-size", "N",
-                "cache simulation block size in bytes (default: "
-                "--block)");
     parser.flag("--summary-json", "PATH",
                 "write the characterization as deterministic JSON");
     parser.flag("--metrics-json", "PATH",
@@ -258,16 +221,13 @@ cmdAnalyze(int argc, char **argv)
     const bool partial_flow = !options.emit_partial.empty() ||
                               !options.resume_from.empty() ||
                               !options.checkpoint_path.empty();
-    const bool wants_cache = parser.has("--cache-policy") ||
-                             parser.has("--cache-fractions") ||
-                             parser.has("--cache-block-size");
     // Flag-combination checks stay here (CLI wording); runAnalysis
     // re-validates with library wording as a backstop for embedders.
-    if (partial_flow && wants_cache) {
+    if (partial_flow && wantsCacheSim(parser)) {
         std::fprintf(stderr,
                      "the snapshot flags (--emit-partial/--resume-from/"
-                     "--checkpoint) do not compose with the two-pass "
-                     "cache simulation\n");
+                     "--checkpoint) do not compose with the cache "
+                     "simulation\n");
         return 2;
     }
     if (!options.checkpoint_path.empty() && parser.has("--threads")) {
@@ -309,15 +269,6 @@ cmdAnalyze(int argc, char **argv)
     // The volume classifier is not part of snapshots (it is not
     // shardable state), so the snapshot flows run without it.
     options.classify_volumes = !partial_flow;
-    if (wants_cache) {
-        app::CacheSimOptions cache;
-        cache.policy = parser.getString("--cache-policy", "lru");
-        if (parser.has("--cache-fractions"))
-            cache.fractions = parseFractionList(
-                parser.getString("--cache-fractions"));
-        cache.block_size = parser.getUint("--cache-block-size", 0);
-        options.cache = cache;
-    }
 
     obs::MetricsRegistry registry;
     if (parser.has("--metrics-json") || parser.has("--progress"))
@@ -953,12 +904,17 @@ cmdMrc(int argc, char **argv)
     addFormatFlags(parser);
     parser.flag("--volume", "V", "restrict to one volume id");
     parser.flag("--rate", "R", "SHARDS sampling rate (default 0.1)");
+    parser.flag("--budget", "N",
+                "cap tracked blocks (adaptive SHARDS lowers the rate "
+                "to fit; 0 = fixed rate)");
     parser.flag("--block", "N", "block size in bytes");
     if (!parser.parse(argc, argv, 2))
         return parser.exitCode();
 
     std::uint64_t block = parser.getUint("--block", kDefaultBlockSize);
     double rate = parser.getDouble("--rate", 0.1);
+    std::size_t budget =
+        static_cast<std::size_t>(parser.getUint("--budget", 0));
     std::optional<VolumeId> volume;
     if (parser.has("--volume"))
         volume = static_cast<VolumeId>(parser.getUint("--volume", 0));
@@ -972,7 +928,7 @@ cmdMrc(int argc, char **argv)
         open_options.cbt2.volumes = {*volume};
     auto opened = openTraceSource(parser.positionalAt(0), open_options);
 
-    ShardsReuseDistance shards(rate);
+    ShardsReuseDistance shards(rate, budget);
     FlatSet unique_blocks;
     std::vector<IoRequest> batch;
     while (opened->source().nextBatch(batch, 8192) > 0) {
@@ -992,10 +948,11 @@ cmdMrc(int argc, char **argv)
     }
 
     std::uint64_t wss = unique_blocks.size();
-    std::printf("accesses: %s, WSS: %s blocks (%s), SHARDS rate %.2f\n",
+    std::printf("accesses: %s, WSS: %s blocks (%s), SHARDS rate %.4f\n",
                 formatCount(shards.accessCount()).c_str(),
                 formatCount(wss).c_str(),
-                formatBytes(wss * block).c_str(), rate);
+                formatBytes(wss * block).c_str(),
+                shards.samplingRate());
     std::printf("%-16s  %-12s  %s\n", "cache size", "of WSS",
                 "est. miss ratio");
     for (double frac : {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {

@@ -4,8 +4,9 @@
  *
  * An Analyzer consumes requests in timestamp order and computes one of
  * the paper's metric families; a Pipeline fans a single trace pass to
- * many analyzers. All analyzers are single-pass except the cache
- * simulation (CacheMissAnalyzer), whose method is inherently two-pass.
+ * many analyzers. All analyzers are single-pass except the two-pass
+ * cache simulation (CacheMissAnalyzer); its single-pass replacement
+ * for LRU is CacheMrcAnalyzer (analysis/cache_mrc.h).
  *
  * A ShardableAnalyzer additionally supports the sharded parallel
  * pipeline (analysis/parallel_pipeline.h): its state can be replicated
@@ -13,10 +14,10 @@
  * pre-finalize state round-trips through the versioned snapshot format
  * (src/snapshot/) via serialize()/deserialize(). Every analyzer in the
  * paper's bundle qualifies, because its metrics are keyed per volume
- * or per block; only analyzers whose results depend on the globally
- * time-ordered cross-volume stream (the volume classifier, the
- * two-pass cache simulation) stay plain Analyzers and run on the
- * pipeline's in-order lane instead.
+ * or per block — as does the single-pass MRC cache simulation; only
+ * analyzers whose results depend on the globally time-ordered
+ * cross-volume stream (the volume classifier) stay plain Analyzers
+ * and run on the pipeline's in-order lane instead.
  */
 
 #ifndef CBS_ANALYSIS_ANALYZER_H
@@ -125,8 +126,8 @@ class ShardableAnalyzer : public Analyzer
      * Write this analyzer's full pre-finalize state (including its
      * configuration, for mismatch diagnostics) to @p sink in a
      * deterministic byte order. The default panics: analyzers outside
-     * the snapshot bundle (test doubles, the cache passes) don't
-     * participate until they implement the pair.
+     * the snapshot bundle (test doubles, the two-pass cache passes)
+     * don't participate until they implement the pair.
      */
     virtual void
     serialize(snap::Sink &sink) const

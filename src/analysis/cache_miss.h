@@ -16,6 +16,12 @@
  * sources (CBT2, VectorSource). Results are identical to runTwoPass —
  * per-volume miss ratios are computed from integer hit/miss tallies
  * and harvested in volume order either way.
+ *
+ * For the LRU policy, CacheMrcAnalyzer (analysis/cache_mrc.h) gets
+ * the same numbers — bit-identical at matching capacities — in a
+ * single pass via Mattson stack distances; this two-pass simulation
+ * remains the engine for the non-stack policies (fifo/clock/lfu/arc)
+ * and the reference the MRC parity suite checks against.
  */
 
 #ifndef CBS_ANALYSIS_CACHE_MISS_H
@@ -24,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/cache_results.h"
 #include "analysis/parallel_pipeline.h"
 #include "analysis/per_volume.h"
 #include "cache/cache_sim.h"
@@ -32,7 +39,7 @@
 
 namespace cbs {
 
-class CacheMissAnalyzer
+class CacheMissAnalyzer : public CacheSimResults
 {
   public:
     /**
@@ -66,15 +73,22 @@ class CacheMissAnalyzer
     PipelineRunStatus runTwoPassParallel(TraceSource &source,
                                          const ParallelOptions &options = {});
 
-    std::size_t fractionCount() const { return fractions_.size(); }
-    double fractionAt(std::size_t i) const { return fractions_[i]; }
-    std::uint64_t blockSize() const { return block_size_; }
-    const std::string &policyName() const { return policy_; }
+    std::size_t fractionCount() const override
+    {
+        return fractions_.size();
+    }
+    double fractionAt(std::size_t i) const override
+    {
+        return fractions_[i];
+    }
+    std::uint64_t blockSize() const override { return block_size_; }
+    const std::string &policyName() const override { return policy_; }
+    const char *modeName() const override { return "two-pass"; }
 
     /** Per-volume read miss ratios at size fraction @p i. */
-    const ExactQuantiles &readMissRatios(std::size_t i) const;
+    const ExactQuantiles &readMissRatios(std::size_t i) const override;
     /** Per-volume write miss ratios at size fraction @p i. */
-    const ExactQuantiles &writeMissRatios(std::size_t i) const;
+    const ExactQuantiles &writeMissRatios(std::size_t i) const override;
 
   private:
     void harvest(const PerVolume<std::vector<CacheStats>> &stats);

@@ -1,0 +1,370 @@
+#include "analysis/cache_mrc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace cbs {
+
+namespace {
+
+/** Hits at capacity <= c from a distance histogram (index d-1). */
+std::uint64_t
+hitsWithin(const std::vector<std::uint64_t> &cumulative, std::uint64_t c)
+{
+    if (c == 0 || cumulative.empty())
+        return 0;
+    std::size_t idx = static_cast<std::size_t>(
+        std::min<std::uint64_t>(c, cumulative.size()));
+    return cumulative[idx - 1];
+}
+
+std::vector<std::uint64_t>
+prefixSums(const std::vector<std::uint64_t> &hist)
+{
+    std::vector<std::uint64_t> cumulative(hist.size());
+    std::uint64_t running = 0;
+    for (std::size_t d = 0; d < hist.size(); ++d) {
+        running += hist[d];
+        cumulative[d] = running;
+    }
+    return cumulative;
+}
+
+void
+serializeHist(snap::Sink &sink, const std::vector<std::uint64_t> &hist)
+{
+    // Trim trailing zeros so the bytes do not depend on the vector's
+    // growth schedule.
+    std::size_t len = hist.size();
+    while (len > 0 && hist[len - 1] == 0)
+        --len;
+    sink.vu64(len);
+    for (std::size_t d = 0; d < len; ++d)
+        sink.vu64(hist[d]);
+}
+
+void
+deserializeHist(snap::Source &source, std::vector<std::uint64_t> &hist)
+{
+    std::uint64_t len = source.vu64();
+    if (len > source.remaining())
+        source.fail("cache_mrc histogram length " + std::to_string(len) +
+                    " exceeds the remaining payload");
+    hist.assign(static_cast<std::size_t>(len), 0);
+    for (std::uint64_t d = 0; d < len; ++d)
+        hist[static_cast<std::size_t>(d)] = source.vu64();
+}
+
+} // namespace
+
+const std::vector<double> &
+CacheMrcAnalyzer::curveGrid()
+{
+    // Log-spaced 1-3-10 grid down to 0.01% of the WSS; the last point
+    // (the whole WSS) pins the compulsory-miss floor.
+    static const std::vector<double> kGrid = {
+        0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0};
+    return kGrid;
+}
+
+CacheMrcAnalyzer::CacheMrcAnalyzer(std::vector<double> size_fractions,
+                                   std::uint64_t block_size,
+                                   double shards_rate,
+                                   std::size_t shards_budget)
+    : fractions_(std::move(size_fractions)),
+      block_size_(block_size),
+      shards_rate_(shards_rate),
+      shards_budget_(shards_budget)
+{
+    CBS_EXPECT(!fractions_.empty(), "need at least one size fraction");
+    for (double f : fractions_)
+        CBS_EXPECT(f > 0 && f <= 1, "size fraction out of (0,1]: " << f);
+    CBS_EXPECT(block_size > 0, "block size must be positive");
+    CBS_EXPECT(shards_rate_ >= 0.0 && shards_rate_ <= 1.0,
+               "shards rate out of [0,1]: " << shards_rate_);
+    CBS_EXPECT(exact() || shards_rate_ > 0.0,
+               "shards rate must be positive");
+    CBS_EXPECT(shards_budget_ == 0 || !exact(),
+               "a shards budget needs a shards rate");
+    read_ratios_.resize(fractions_.size());
+    write_ratios_.resize(fractions_.size());
+    curve_read_.resize(curveGrid().size());
+    curve_write_.resize(curveGrid().size());
+}
+
+void
+CacheMrcAnalyzer::initVolume(VolumeMrc &vm)
+{
+    vm.init = true;
+    if (exact())
+        // The analyzer keeps its own op-split histograms, so the
+        // tracker's combined one would be dead weight.
+        vm.tracker.emplace(/*record_histogram=*/false);
+    else
+        vm.sampler.emplace(shards_rate_, shards_budget_);
+}
+
+void
+CacheMrcAnalyzer::tally(VolumeMrc &vm, bool is_write,
+                        std::uint64_t distance, std::uint64_t count)
+{
+    if (distance == ReuseDistance::kInfinite) {
+        (is_write ? vm.write_cold : vm.read_cold) += count;
+    } else {
+        std::vector<std::uint64_t> &hist =
+            is_write ? vm.write_hist : vm.read_hist;
+        if (hist.size() < distance)
+            hist.resize(std::max<std::size_t>(
+                static_cast<std::size_t>(distance), hist.size() * 2));
+        hist[static_cast<std::size_t>(distance - 1)] += count;
+    }
+    (is_write ? vm.writes : vm.reads) += count;
+}
+
+void
+CacheMrcAnalyzer::recordRange(VolumeMrc &vm, bool is_write, BlockNo first,
+                              BlockNo last)
+{
+    if (vm.tracker) {
+        // Exact mode: the run-coalescing fast path — sequential
+        // sub-runs cost one Fenwick query for the whole sub-run.
+        vm.tracker->accessRun(
+            first, last - first + 1,
+            [&](std::uint64_t distance, std::uint64_t count) {
+                tally(vm, is_write, distance, count);
+            });
+        return;
+    }
+    for (BlockNo block = first; block <= last; ++block)
+        recordBlock(vm, is_write, block);
+}
+
+void
+CacheMrcAnalyzer::recordBlock(VolumeMrc &vm, bool is_write, BlockNo block)
+{
+    if (vm.tracker) {
+        tally(vm, is_write, vm.tracker->access(block), 1);
+        return;
+    }
+    ShardsReuseDistance::Sample sample = vm.sampler->sampledAccess(block);
+    if (!sample.sampled)
+        return;
+    std::uint64_t distance = sample.distance;
+    if (distance != ReuseDistance::kInfinite)
+        // Scale into full-stream blocks with the rate in effect for
+        // this access, so threshold drops never rescale history.
+        distance = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(
+                   static_cast<double>(distance) / sample.rate)));
+    tally(vm, is_write, distance, 1);
+}
+
+void
+CacheMrcAnalyzer::consume(const IoRequest &req)
+{
+    VolumeMrc &vm = volumes_[req.volume];
+    if (!vm.init)
+        initVolume(vm);
+    const bool is_write = req.isWrite();
+    recordRange(vm, is_write, req.firstBlock(block_size_),
+                req.lastBlock(block_size_));
+}
+
+void
+CacheMrcAnalyzer::consumeBatch(std::span<const IoRequest> batch)
+{
+    for (const IoRequest &req : batch)
+        CacheMrcAnalyzer::consume(req);
+}
+
+void
+CacheMrcAnalyzer::consumeColumns(const RequestBatch &batch)
+{
+    // Volume-major kernel: the volume's tracker is hoisted out of the
+    // row loop. Per-volume timestamp order is all the stack distances
+    // depend on (state is keyed strictly per volume), which is exactly
+    // what volumeRuns() preserves.
+    const std::uint8_t *is_write = batch.isWrite();
+    const std::vector<std::uint32_t> &order = batch.order();
+    for (const RequestBatch::VolumeRun &run : batch.volumeRuns()) {
+        VolumeMrc &vm = volumes_[run.volume];
+        if (!vm.init)
+            initVolume(vm);
+        for (std::uint32_t k = run.begin; k < run.end; ++k) {
+            std::uint32_t i = order[k];
+            const bool write = is_write[i] != 0;
+            recordRange(vm, write, batch.firstBlockAt(i, block_size_),
+                        batch.lastBlockAt(i, block_size_));
+        }
+    }
+}
+
+std::unique_ptr<ShardableAnalyzer>
+CacheMrcAnalyzer::clone() const
+{
+    return std::make_unique<CacheMrcAnalyzer>(
+        fractions_, block_size_, shards_rate_, shards_budget_);
+}
+
+void
+CacheMrcAnalyzer::mergeFrom(const ShardableAnalyzer &shard)
+{
+    const auto &other = shardCast<CacheMrcAnalyzer>(shard);
+    CBS_EXPECT(other.block_size_ == block_size_ &&
+                   other.fractions_ == fractions_ &&
+                   other.shards_rate_ == shards_rate_ &&
+                   other.shards_budget_ == shards_budget_,
+               "cannot merge cache_mrc shards with different "
+               "configurations");
+    volumes_.mergeFrom(
+        other.volumes_, [](VolumeMrc &own, const VolumeMrc &theirs) {
+            if (!theirs.init)
+                return;
+            CBS_CHECK(!own.init); // volumes are shard-disjoint
+            own = theirs;
+        });
+}
+
+void
+CacheMrcAnalyzer::harvestVolume(const VolumeMrc &vm)
+{
+    std::uint64_t wss = 0;
+    if (vm.tracker)
+        wss = vm.tracker->uniqueKeys();
+    else if (vm.sampler)
+        wss = vm.sampler->estimatedUniqueKeys();
+    if (wss == 0)
+        return;
+
+    const std::vector<std::uint64_t> read_cum = prefixSums(vm.read_hist);
+    const std::vector<std::uint64_t> write_cum =
+        prefixSums(vm.write_hist);
+    auto add_point = [&](double fraction, ExactQuantiles &read_out,
+                         ExactQuantiles &write_out) {
+        // The two-pass SimPass capacity formula, verbatim, so the
+        // integer hit/miss splits — and therefore the reported
+        // doubles — match it bit for bit.
+        std::uint64_t capacity = static_cast<std::uint64_t>(
+            std::max(1.0, fraction * static_cast<double>(wss)));
+        if (vm.reads) {
+            std::uint64_t misses =
+                vm.reads - hitsWithin(read_cum, capacity);
+            read_out.add(static_cast<double>(misses) /
+                         static_cast<double>(vm.reads));
+        }
+        if (vm.writes) {
+            std::uint64_t misses =
+                vm.writes - hitsWithin(write_cum, capacity);
+            write_out.add(static_cast<double>(misses) /
+                          static_cast<double>(vm.writes));
+        }
+    };
+    for (std::size_t i = 0; i < fractions_.size(); ++i)
+        add_point(fractions_[i], read_ratios_[i], write_ratios_[i]);
+    const std::vector<double> &grid = curveGrid();
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        add_point(grid[i], curve_read_[i], curve_write_[i]);
+}
+
+void
+CacheMrcAnalyzer::finalize()
+{
+    // Volume order, independent of shard count: per-volume state is a
+    // pure function of that volume's access sequence, so parallel runs
+    // finalize bit-identically to serial ones.
+    for (const VolumeMrc &vm : volumes_) {
+        if (vm.init)
+            harvestVolume(vm);
+    }
+}
+
+void
+CacheMrcAnalyzer::serialize(snap::Sink &sink) const
+{
+    sink.vu64(block_size_);
+    sink.f64(shards_rate_);
+    sink.vu64(shards_budget_);
+    sink.vu64(fractions_.size());
+    for (double f : fractions_)
+        sink.f64(f);
+    volumes_.serialize(sink, [](snap::Sink &s, const VolumeMrc &vm) {
+        s.u8(vm.init ? 1 : 0);
+        if (!vm.init)
+            return;
+        s.vu64(vm.reads);
+        s.vu64(vm.writes);
+        s.vu64(vm.read_cold);
+        s.vu64(vm.write_cold);
+        serializeHist(s, vm.read_hist);
+        serializeHist(s, vm.write_hist);
+        if (vm.tracker)
+            vm.tracker->serializeTo(s);
+        else
+            vm.sampler->serializeTo(s);
+    });
+}
+
+void
+CacheMrcAnalyzer::deserialize(snap::Source &source)
+{
+    std::uint64_t block_size = source.vu64();
+    CBS_EXPECT(block_size == block_size_,
+               "cache_mrc snapshot block size "
+                   << block_size << " != configured " << block_size_);
+    double rate = source.f64();
+    CBS_EXPECT(rate == shards_rate_,
+               "cache_mrc snapshot shards rate "
+                   << rate << " != configured " << shards_rate_);
+    std::uint64_t budget = source.vu64();
+    CBS_EXPECT(budget == shards_budget_,
+               "cache_mrc snapshot shards budget "
+                   << budget << " != configured " << shards_budget_);
+    std::uint64_t n_fractions = source.vu64();
+    CBS_EXPECT(n_fractions == fractions_.size(),
+               "cache_mrc snapshot has " << n_fractions
+                                         << " fractions, configured "
+                                         << fractions_.size());
+    for (double f : fractions_) {
+        double got = source.f64();
+        CBS_EXPECT(got == f, "cache_mrc snapshot fraction "
+                                 << got << " != configured " << f);
+    }
+    volumes_.deserialize(source, [&](snap::Source &s, VolumeMrc &vm) {
+        std::uint8_t init = s.u8();
+        if (init > 1)
+            s.fail("unknown cache_mrc volume flag");
+        if (init == 0)
+            return;
+        initVolume(vm);
+        vm.reads = s.vu64();
+        vm.writes = s.vu64();
+        vm.read_cold = s.vu64();
+        vm.write_cold = s.vu64();
+        deserializeHist(s, vm.read_hist);
+        deserializeHist(s, vm.write_hist);
+        if (vm.tracker)
+            vm.tracker->deserializeFrom(s);
+        else
+            vm.sampler->deserializeFrom(s);
+    });
+    source.expectEnd();
+}
+
+const ExactQuantiles &
+CacheMrcAnalyzer::readMissRatios(std::size_t i) const
+{
+    CBS_EXPECT(i < read_ratios_.size(), "fraction index out of range");
+    return read_ratios_[i];
+}
+
+const ExactQuantiles &
+CacheMrcAnalyzer::writeMissRatios(std::size_t i) const
+{
+    CBS_EXPECT(i < write_ratios_.size(), "fraction index out of range");
+    return write_ratios_[i];
+}
+
+} // namespace cbs

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * CacheMrcAnalyzer: the paper's per-volume cache study (Finding 15,
+ * Fig. 18) in a **single pass** via Mattson stack distances, replacing
+ * the two-pass per-fraction LRU simulation for the LRU policy.
+ *
+ * The stack-distance theorem: an LRU cache of capacity c hits exactly
+ * the accesses whose stack distance is <= c. One streaming pass that
+ * records each block access's distance (split by op) therefore yields
+ * the LRU miss ratio at *every* capacity at once — and since a
+ * volume's WSS is just its distinct-block count (known at the end of
+ * the same pass), the paper's fraction-of-WSS cache sizes read
+ * straight off the curve at finalize. No WSS pre-pass, no per-fraction
+ * policy instances: the cost is one hash probe plus one O(log n)
+ * Fenwick update per block access, independent of how many fractions
+ * are reported.
+ *
+ * Exactness: at capacity floor(max(1, f * wss)) — the same formula the
+ * two-pass SimPass uses — the hit count over the identical unified
+ * (reads + writes) access stream equals the LRU simulation's, so the
+ * per-volume miss ratios are the same integer divisions and the
+ * reported doubles are bit-identical (the MrcParity suite enforces
+ * this across formats, pipelines and batch sizes).
+ *
+ * The approximate mode swaps the exact tracker for SHARDS spatial
+ * sampling (cache/shards.h), with an optional constant-memory budget;
+ * distances are scaled to the full stream at record time using the
+ * rate in effect for each access, so an adaptive threshold drop never
+ * rescales history.
+ *
+ * A full ShardableAnalyzer: state is keyed per volume, so shard
+ * replicas own disjoint trackers, mergeFrom moves them over, and
+ * serialize/deserialize round-trips the pre-finalize state through
+ * cbs.snapshot.v1.
+ */
+
+#ifndef CBS_ANALYSIS_CACHE_MRC_H
+#define CBS_ANALYSIS_CACHE_MRC_H
+
+#include <optional>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/cache_results.h"
+#include "analysis/per_volume.h"
+#include "cache/cache_sim.h"
+#include "cache/shards.h"
+
+namespace cbs {
+
+class CacheMrcAnalyzer final : public ShardableAnalyzer,
+                               public CacheSimResults
+{
+  public:
+    /**
+     * @param size_fractions reported cache sizes as fractions of the
+     *        volume WSS (paper: {0.01, 0.10}).
+     * @param block_size block granularity.
+     * @param shards_rate 0 = exact stack distances; in (0,1] = SHARDS
+     *        spatial sampling at that rate ("mrc-shards").
+     * @param shards_budget constant-memory cap on tracked blocks per
+     *        volume (SHARDS only; 0 = fixed rate).
+     */
+    explicit CacheMrcAnalyzer(
+        std::vector<double> size_fractions = {0.01, 0.10},
+        std::uint64_t block_size = kDefaultBlockSize,
+        double shards_rate = 0.0, std::size_t shards_budget = 0);
+
+    /** The fixed log-spaced fraction grid of the reported curve. */
+    static const std::vector<double> &curveGrid();
+
+    // -- Analyzer --------------------------------------------------------
+    void consume(const IoRequest &req) override;
+    void consumeBatch(std::span<const IoRequest> batch) override;
+    void consumeColumns(const RequestBatch &batch) override;
+    void finalize() override;
+    std::string name() const override { return "cache_mrc"; }
+
+    // -- ShardableAnalyzer -----------------------------------------------
+    std::unique_ptr<ShardableAnalyzer> clone() const override;
+    void mergeFrom(const ShardableAnalyzer &shard) override;
+    void serialize(snap::Sink &sink) const override;
+    void deserialize(snap::Source &source) override;
+
+    // -- CacheSimResults -------------------------------------------------
+    const std::string &policyName() const override { return policy_; }
+    const char *modeName() const override
+    {
+        return exact() ? "mrc" : "mrc-shards";
+    }
+    std::uint64_t blockSize() const override { return block_size_; }
+    std::size_t fractionCount() const override
+    {
+        return fractions_.size();
+    }
+    double fractionAt(std::size_t i) const override
+    {
+        return fractions_[i];
+    }
+    const ExactQuantiles &readMissRatios(std::size_t i) const override;
+    const ExactQuantiles &writeMissRatios(std::size_t i) const override;
+    std::size_t curvePointCount() const override
+    {
+        return curveGrid().size();
+    }
+    double curveFractionAt(std::size_t i) const override
+    {
+        return curveGrid()[i];
+    }
+    const ExactQuantiles *
+    curveReadMissRatios(std::size_t i) const override
+    {
+        return &curve_read_[i];
+    }
+    const ExactQuantiles *
+    curveWriteMissRatios(std::size_t i) const override
+    {
+        return &curve_write_[i];
+    }
+
+    bool exact() const { return shards_rate_ == 0.0; }
+    double shardsRate() const { return shards_rate_; }
+    std::size_t shardsBudget() const { return shards_budget_; }
+
+  private:
+    /**
+     * One volume's tracker plus op-split distance accounting. The
+     * histograms live here rather than in the tracker because the
+     * paper reports read and write miss ratios separately while the
+     * simulated cache is unified: the distance comes from the combined
+     * stream, the tally goes to the op's histogram. Distances are in
+     * full-stream blocks (SHARDS samples are scaled at record time).
+     */
+    struct VolumeMrc
+    {
+        bool init = false;
+        std::optional<ReuseDistance> tracker;
+        std::optional<ShardsReuseDistance> sampler;
+        std::vector<std::uint64_t> read_hist;
+        std::vector<std::uint64_t> write_hist;
+        std::uint64_t read_cold = 0;
+        std::uint64_t write_cold = 0;
+        std::uint64_t reads = 0;  //!< read block accesses tallied
+        std::uint64_t writes = 0; //!< write block accesses tallied
+    };
+
+    void initVolume(VolumeMrc &vm);
+    void recordBlock(VolumeMrc &vm, bool is_write, BlockNo block);
+    void recordRange(VolumeMrc &vm, bool is_write, BlockNo first,
+                     BlockNo last);
+    static void tally(VolumeMrc &vm, bool is_write,
+                      std::uint64_t distance, std::uint64_t count);
+    void harvestVolume(const VolumeMrc &vm);
+
+    std::vector<double> fractions_;
+    std::uint64_t block_size_;
+    double shards_rate_;
+    std::size_t shards_budget_;
+    std::string policy_ = "lru";
+
+    PerVolume<VolumeMrc> volumes_;
+    std::vector<ExactQuantiles> read_ratios_;
+    std::vector<ExactQuantiles> write_ratios_;
+    std::vector<ExactQuantiles> curve_read_;
+    std::vector<ExactQuantiles> curve_write_;
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_CACHE_MRC_H

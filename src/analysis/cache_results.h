@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CacheSimResults: the read-only reporting surface of a finished
+ * cache simulation.
+ *
+ * Two engines produce these results — the paper's literal two-pass
+ * per-fraction LRU simulation (CacheMissAnalyzer) and the single-pass
+ * Mattson/SHARDS miss-ratio-curve analyzer (CacheMrcAnalyzer). The
+ * report layer (WorkloadSummary::print/writeJson) renders either
+ * through this interface, so adding an engine never touches the
+ * emitters.
+ */
+
+#ifndef CBS_ANALYSIS_CACHE_RESULTS_H
+#define CBS_ANALYSIS_CACHE_RESULTS_H
+
+#include <cstdint>
+#include <string>
+
+#include "stats/exact_quantiles.h"
+
+namespace cbs {
+
+class CacheSimResults
+{
+  public:
+    virtual ~CacheSimResults() = default;
+
+    /** Replacement policy simulated ("lru", "arc", ...). */
+    virtual const std::string &policyName() const = 0;
+
+    /** Engine label: "two-pass" | "mrc" | "mrc-shards". */
+    virtual const char *modeName() const = 0;
+
+    virtual std::uint64_t blockSize() const = 0;
+
+    /** The requested fraction-of-WSS cache sizes (paper: 1%, 10%). */
+    virtual std::size_t fractionCount() const = 0;
+    virtual double fractionAt(std::size_t i) const = 0;
+
+    /** Per-volume read/write miss ratios at size fraction @p i. */
+    virtual const ExactQuantiles &readMissRatios(std::size_t i) const = 0;
+    virtual const ExactQuantiles &writeMissRatios(std::size_t i) const = 0;
+
+    /**
+     * The full log-spaced miss-ratio curve (an MRC engine computes it
+     * for free; the two-pass engine reports zero points). Points are
+     * fractions of each volume's WSS, ascending.
+     */
+    virtual std::size_t curvePointCount() const { return 0; }
+    virtual double curveFractionAt(std::size_t) const { return 0.0; }
+    virtual const ExactQuantiles *curveReadMissRatios(std::size_t) const
+    {
+        return nullptr;
+    }
+    virtual const ExactQuantiles *curveWriteMissRatios(std::size_t) const
+    {
+        return nullptr;
+    }
+};
+
+} // namespace cbs
+
+#endif // CBS_ANALYSIS_CACHE_RESULTS_H

@@ -1,6 +1,6 @@
 #include "analysis/workload_summary.h"
 
-#include "analysis/cache_miss.h"
+#include "analysis/cache_results.h"
 #include "common/format.h"
 #include "report/json_util.h"
 #include "report/table.h"
@@ -83,7 +83,8 @@ WorkloadSummary::print(std::ostream &os) const
     if (cache_sim_ != nullptr) {
         os << '\n';
         TextTable cache("Cache miss ratios (policy=" +
-                        cache_sim_->policyName() +
+                        cache_sim_->policyName() + ", mode=" +
+                        cache_sim_->modeName() +
                         ", per-volume median [p25, p90])");
         cache.header({"wss fraction", "read p50", "read p25",
                       "read p90", "write p50", "write p25",
@@ -171,7 +172,8 @@ WorkloadSummary::writeJson(std::ostream &os) const
     if (cache_sim_ != nullptr) {
         os << ",\n  \"cache_sim\": {\n    \"policy\": \"";
         jsonEscape(os, cache_sim_->policyName());
-        os << "\",\n    \"block_size\": " << cache_sim_->blockSize()
+        os << "\",\n    \"mode\": \"" << cache_sim_->modeName()
+           << "\",\n    \"block_size\": " << cache_sim_->blockSize()
            << ",\n    \"fractions\": [";
         const char *frac_sep = "";
         for (std::size_t i = 0; i < cache_sim_->fractionCount(); ++i) {
@@ -184,7 +186,27 @@ WorkloadSummary::writeJson(std::ostream &os) const
             os << '}';
             frac_sep = ",";
         }
-        os << "\n    ]\n  }";
+        os << "\n    ]";
+        // The full miss-ratio curve comes free with the MRC engines;
+        // the two-pass engine reports zero points and keeps its
+        // historical section shape (minus the new "mode" key).
+        if (cache_sim_->curvePointCount() > 0) {
+            os << ",\n    \"curve\": [";
+            const char *point_sep = "";
+            for (std::size_t i = 0; i < cache_sim_->curvePointCount();
+                 ++i) {
+                os << point_sep << "\n      {\"fraction\": ";
+                jsonNumber(os, cache_sim_->curveFractionAt(i));
+                os << ", \"read_miss_ratio\": ";
+                jsonDist(os, *cache_sim_->curveReadMissRatios(i));
+                os << ", \"write_miss_ratio\": ";
+                jsonDist(os, *cache_sim_->curveWriteMissRatios(i));
+                os << '}';
+                point_sep = ",";
+            }
+            os << "\n    ]";
+        }
+        os << "\n  }";
     }
     // The pipeline section only exists when degraded mode was enabled:
     // lane lists depend on the shard count, so emitting them

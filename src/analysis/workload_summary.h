@@ -32,7 +32,7 @@
 
 namespace cbs {
 
-class CacheMissAnalyzer;
+class CacheSimResults;
 
 /** Knobs of the bundled analysis. */
 struct WorkloadSummaryOptions
@@ -106,16 +106,20 @@ class WorkloadSummary
     }
 
     /**
-     * Attach the results of a separately-run two-pass cache
-     * simulation (the one analysis this bundle cannot host in its
-     * single sweep). When set, print() and writeJson() gain a
-     * "cache_sim" section. Not owned; must stay alive until the last
-     * reporting call. Pass nullptr to detach.
+     * Attach the results of a separately-run cache simulation — the
+     * two-pass per-fraction engine or the single-pass MRC engine (the
+     * one analysis this bundle does not host in its own sweep). When
+     * set, print() and writeJson() gain a "cache_sim" section. Not
+     * owned; must stay alive until the last reporting call. Pass
+     * nullptr to detach.
      */
-    void setCacheSim(const CacheMissAnalyzer *cache_sim)
+    void setCacheSim(const CacheSimResults *cache_sim)
     {
         cache_sim_ = cache_sim;
     }
+
+    /** The attached cache simulation results, or nullptr. */
+    const CacheSimResults *cacheSim() const { return cache_sim_; }
 
     /** Print a compact multi-section report. */
     void print(std::ostream &os) const;
@@ -198,7 +202,7 @@ class WorkloadSummary
 
     WorkloadSummaryOptions options_;
     PipelineRunStatus pipeline_status_;
-    const CacheMissAnalyzer *cache_sim_ = nullptr;
+    const CacheSimResults *cache_sim_ = nullptr;
 };
 
 } // namespace cbs

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/cache_mrc.h"
 #include "analysis/parallel_pipeline.h"
 #include "cache/cache_policy.h"
 #include "common/error.h"
@@ -63,6 +64,16 @@ validateOptions(const AnalysisRunOptions &options)
         } catch (const FatalError &e) {
             throw UsageError(e.what());
         }
+        if (options.cache->mode != CacheSimMode::TwoPass &&
+            options.cache->policy != "lru")
+            throw UsageError(
+                "the mrc cache modes compute LRU stack distances; "
+                "use cache policy 'lru' or mode 'two-pass'");
+        if (options.cache->mode == CacheSimMode::MrcShards &&
+            !(options.cache->shards_rate > 0.0 &&
+              options.cache->shards_rate <= 1.0))
+            throw UsageError(
+                "the shards sampling rate must be in (0,1]");
     }
 }
 
@@ -259,20 +270,52 @@ runAnalysis(const AnalysisRunOptions &options)
 
     // The cache simulation is the one analysis the single-sweep bundle
     // cannot host (it needs each volume's final WSS before it can size
-    // the caches), so it runs as its own two-pass sweep afterwards.
+    // the caches), so it runs as its own sweep afterwards: two passes
+    // for the general-policy engine, one pass for the MRC engines
+    // (which read every capacity off the stack-distance histogram at
+    // finalize instead of re-simulating).
     if (options.cache) {
         std::uint64_t cache_block = options.cache->block_size != 0
                                         ? options.cache->block_size
                                         : options.block_size;
-        result.cache_sim = std::make_unique<CacheMissAnalyzer>(
-            options.cache->fractions, cache_block,
-            options.cache->policy);
         opened->source().reset();
-        if (parallel)
-            result.cache_status = result.cache_sim->runTwoPassParallel(
-                opened->source(), *parallel);
-        else
-            result.cache_sim->runTwoPass(opened->source());
+        if (options.cache->mode == CacheSimMode::TwoPass) {
+            auto sim = std::make_unique<CacheMissAnalyzer>(
+                options.cache->fractions, cache_block,
+                options.cache->policy);
+            if (parallel)
+                result.cache_status = sim->runTwoPassParallel(
+                    opened->source(), *parallel);
+            else
+                sim->runTwoPass(opened->source());
+            result.cache_sim = std::move(sim);
+        } else {
+            const bool shards =
+                options.cache->mode == CacheSimMode::MrcShards;
+            auto mrc = std::make_unique<CacheMrcAnalyzer>(
+                options.cache->fractions, cache_block,
+                shards ? options.cache->shards_rate : 0.0,
+                shards ? options.cache->shards_budget : 0);
+            obs::ScopedTimer timer(
+                nullptr,
+                options.metrics
+                    ? &options.metrics->counter("cache_sim.mrc_ns")
+                    : nullptr);
+            if (parallel) {
+                ParallelOptions pass = *parallel;
+                pass.metrics_prefix += ".mrc";
+                pass.finalize = true;
+                result.cache_status = runPipelineParallel(
+                    opened->source(), {mrc.get()}, pass);
+            } else {
+                PipelineOptions pass;
+                pass.batch_records = batch_records;
+                pass.columnar = options.columnar;
+                pass.metrics = options.metrics;
+                runPipeline(opened->source(), {mrc.get()}, pass);
+            }
+            result.cache_sim = std::move(mrc);
+        }
         summary.setCacheSim(result.cache_sim.get());
     }
 

@@ -50,11 +50,28 @@ struct UsageError : std::invalid_argument
     using std::invalid_argument::invalid_argument;
 };
 
-/** Knobs of the appended two-pass cache simulation. */
+/** Which engine computes the cache miss ratios. */
+enum class CacheSimMode
+{
+    /** The paper's literal method: a WSS pre-pass, then one LRU (or
+     *  other policy) instance per volume per fraction. Works for any
+     *  policy; costs two decode passes. */
+    TwoPass,
+    /** Single-pass exact Mattson stack distances: the full LRU
+     *  miss-ratio curve in one sweep, bit-identical to TwoPass at
+     *  matching capacities. LRU only. */
+    Mrc,
+    /** Single-pass SHARDS-sampled stack distances: approximate,
+     *  constant memory with a budget. LRU only. */
+    MrcShards,
+};
+
+/** Knobs of the appended cache simulation. */
 struct CacheSimOptions
 {
     /** Replacement policy name (lru|fifo|clock|lfu|arc); validated up
-     *  front — an unknown name is a UsageError. */
+     *  front — an unknown name is a UsageError, as is a non-lru
+     *  policy with an MRC mode. */
     std::string policy = "lru";
 
     /** Cache sizes as fractions of each volume's WSS. */
@@ -62,6 +79,15 @@ struct CacheSimOptions
 
     /** Simulation block size; 0 = AnalysisRunOptions::block_size. */
     std::uint64_t block_size = 0;
+
+    /** Engine selection (--cache-mode). */
+    CacheSimMode mode = CacheSimMode::TwoPass;
+
+    /** MrcShards spatial sampling rate in (0,1]. */
+    double shards_rate = 0.01;
+
+    /** MrcShards cap on tracked blocks per volume (0 = fixed rate). */
+    std::size_t shards_budget = 0;
 };
 
 /**
@@ -113,8 +139,9 @@ struct AnalysisRunOptions
     int retry_attempts = 0;
 
     // -- cache simulation ---------------------------------------------
-    /** Engaged = append the paper's two-pass cache simulation. Does
-     *  not compose with the snapshot flows. */
+    /** Engaged = append the cache simulation (two-pass or single-pass
+     *  MRC, per CacheSimOptions::mode). Does not compose with the
+     *  snapshot flows. */
     std::optional<CacheSimOptions> cache;
 
     // -- snapshot flows (docs/snapshots.md) ----------------------------
@@ -145,10 +172,10 @@ struct AnalysisRunResult
      *  Finalized unless emit_partial was requested. */
     std::unique_ptr<WorkloadSummary> summary;
 
-    /** The cache simulation, when requested; already attached to the
-     *  summary (setCacheSim), owned here so reporting outlives the
-     *  run. */
-    std::unique_ptr<CacheMissAnalyzer> cache_sim;
+    /** The cache simulation results (two-pass or MRC engine), when
+     *  requested; already attached to the summary (setCacheSim),
+     *  owned here so reporting outlives the run. */
+    std::unique_ptr<CacheSimResults> cache_sim;
 
     /** The archetype classifier, when classify_volumes was set. */
     std::unique_ptr<VolumeClassifier> classifier;

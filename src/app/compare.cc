@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/cache_results.h"
 #include "common/format.h"
 #include "report/json_util.h"
 #include "report/table.h"
@@ -37,6 +38,26 @@ median(const Ecdf &cdf)
     if (cdf.empty())
         return std::nullopt;
     return cdf.quantile(0.5);
+}
+
+MetricValue
+medianQuantiles(const ExactQuantiles &q)
+{
+    if (q.empty())
+        return std::nullopt;
+    return q.quantile(0.5);
+}
+
+/** The attached cache simulation when it has at least one configured
+ *  WSS fraction, else nullptr (cache metrics read the first and last
+ *  fraction in configuration order — {1%, 10%} by default). */
+const CacheSimResults *
+cacheWithFractions(const WorkloadSummary &s)
+{
+    const CacheSimResults *cache = s.cacheSim();
+    if (cache == nullptr || cache->fractionCount() == 0)
+        return nullptr;
+    return cache;
 }
 
 /** The fixed metric set of the "deltas" section. Extending it is a
@@ -96,6 +117,38 @@ constexpr CompareMetric kCompareMetrics[] = {
              return std::nullopt;
          return static_cast<double>(hist.quantile(0.5));
      }},
+    // Cache-simulation metrics: null unless the compare ran with the
+    // cache flags (any engine). First/last configured fraction.
+    {"cache_median_read_miss_ratio_first_fraction",
+     [](const WorkloadSummary &s) -> MetricValue {
+         const CacheSimResults *cache = cacheWithFractions(s);
+         if (cache == nullptr)
+             return std::nullopt;
+         return medianQuantiles(cache->readMissRatios(0));
+     }},
+    {"cache_median_read_miss_ratio_last_fraction",
+     [](const WorkloadSummary &s) -> MetricValue {
+         const CacheSimResults *cache = cacheWithFractions(s);
+         if (cache == nullptr)
+             return std::nullopt;
+         return medianQuantiles(
+             cache->readMissRatios(cache->fractionCount() - 1));
+     }},
+    {"cache_median_write_miss_ratio_first_fraction",
+     [](const WorkloadSummary &s) -> MetricValue {
+         const CacheSimResults *cache = cacheWithFractions(s);
+         if (cache == nullptr)
+             return std::nullopt;
+         return medianQuantiles(cache->writeMissRatios(0));
+     }},
+    {"cache_median_write_miss_ratio_last_fraction",
+     [](const WorkloadSummary &s) -> MetricValue {
+         const CacheSimResults *cache = cacheWithFractions(s);
+         if (cache == nullptr)
+             return std::nullopt;
+         return medianQuantiles(
+             cache->writeMissRatios(cache->fractionCount() - 1));
+     }},
 };
 
 void
@@ -143,8 +196,8 @@ runCompare(const CompareOptions &options)
     for (const std::string &path : options.paths) {
         AnalysisRunOptions run_options = options.base;
         run_options.path = path;
-        // Compare always wants the plain finalized bundle.
-        run_options.cache.reset();
+        // Compare always wants the plain finalized bundle (the cache
+        // simulation, when configured, runs on every input).
         run_options.emit_partial.clear();
         run_options.resume_from.clear();
         run_options.checkpoint_path.clear();
@@ -215,6 +268,43 @@ writeCompareTable(std::ostream &os, const CompareResult &result)
                          2)
                    : std::string("-");
     });
+    // Cache rows appear only when at least one run simulated a cache,
+    // so cache-less comparisons keep their historical table shape.
+    bool any_cache = false;
+    for (const AnalysisRunResult &run : result.runs)
+        if (cacheWithFractions(*run.summary) != nullptr)
+            any_cache = true;
+    if (any_cache) {
+        auto cache_cell = [](const WorkloadSummary &s, bool last,
+                             bool write) {
+            const CacheSimResults *cache = cacheWithFractions(s);
+            if (cache == nullptr)
+                return std::string("-");
+            std::size_t i = last ? cache->fractionCount() - 1 : 0;
+            const ExactQuantiles &q = write ? cache->writeMissRatios(i)
+                                            : cache->readMissRatios(i);
+            if (q.empty())
+                return std::string("-");
+            return formatPercent(q.quantile(0.5)) + " @" +
+                   formatPercent(cache->fractionAt(i));
+        };
+        row("median read miss (first fraction)",
+            [&](const WorkloadSummary &s) {
+                return cache_cell(s, false, false);
+            });
+        row("median read miss (last fraction)",
+            [&](const WorkloadSummary &s) {
+                return cache_cell(s, true, false);
+            });
+        row("median write miss (first fraction)",
+            [&](const WorkloadSummary &s) {
+                return cache_cell(s, false, true);
+            });
+        row("median write miss (last fraction)",
+            [&](const WorkloadSummary &s) {
+                return cache_cell(s, true, true);
+            });
+    }
     table.print(os);
 }
 

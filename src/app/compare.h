@@ -52,8 +52,10 @@ struct CompareOptions
     std::vector<std::string> paths;
 
     /** Per-trace analysis knobs. `path` is overwritten per input; the
-     *  snapshot/cache/classifier extras are ignored (compare always
-     *  runs the plain finalized bundle). */
+     *  snapshot/classifier extras are ignored (compare always runs
+     *  the plain finalized bundle). The cache simulation, when
+     *  configured, runs on every input and adds cache rows/metrics to
+     *  the comparison. */
     AnalysisRunOptions base;
 };
 

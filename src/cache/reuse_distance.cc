@@ -1,6 +1,7 @@
 #include "cache/reuse_distance.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.h"
 
@@ -24,24 +25,116 @@ ReuseDistance::fenwickSum(std::size_t pos) const
     return sum;
 }
 
+void
+ReuseDistance::fenwickBulkAdd(std::size_t lo, std::size_t hi,
+                              std::int64_t delta)
+{
+    // Point-add delta at every position in [lo, hi]. A node i covers
+    // the range (i - lsb(i), i], so its total contribution is
+    // delta * |[l, r] ∩ (i - lsb(i), i]|. The nodes with a non-empty
+    // intersection are the contiguous block [l, r] itself plus the
+    // standard update path of r+1 (exactly the i > r with
+    // i - lsb(i) <= r) — one sequential sweep and one log-walk.
+    const std::size_t l = lo + 1, r = hi + 1; // 1-based
+    for (std::size_t i = l; i <= r; ++i) {
+        std::size_t low = i - (i & (~i + 1));
+        std::size_t from = std::max(l - 1, low);
+        tree_[i - 1] += delta * static_cast<std::int64_t>(i - from);
+    }
+    for (std::size_t i = r + 1; i <= tree_.size(); i += i & (~i + 1)) {
+        std::size_t low = i - (i & (~i + 1));
+        if (low < r) {
+            std::size_t from = std::max(l - 1, low);
+            tree_[i - 1] += delta * static_cast<std::int64_t>(r - from);
+        }
+    }
+}
+
+void
+ReuseDistance::rebuildDense(std::size_t live)
+{
+    // Live keys occupy positions 0..live-1. Node i covers the range
+    // (i - lsb(i), i] of 1-based positions, so its count is just the
+    // overlap with [1, live] — a single linear fill, no log-walks.
+    for (std::size_t i = 1; i <= tree_.size(); ++i) {
+        std::size_t low = i - (i & (~i + 1));
+        tree_[i - 1] = static_cast<std::int64_t>(std::min(i, live) -
+                                                 std::min(low, live));
+    }
+}
+
+void
+ReuseDistance::ensureCapacity(std::size_t extra)
+{
+    if (clock_ + extra <= tree_.size())
+        return;
+    // Live keys are the only positions that still matter. When at
+    // least half the tree is dead positions, renumber instead of
+    // growing: distances are suffix *counts* of live positions, which
+    // only depend on relative order, so they are unchanged. In steady
+    // state (stable working set) this runs every ~live appends, so it
+    // must be strictly linear: rank positions through a bitmap prefix
+    // scan and rebuild the tree against the dense result, rather than
+    // paying a sort plus per-key log-walks.
+    std::size_t live = last_pos_.size();
+    if (tree_.size() >= 64 && live * 2 <= tree_.size() &&
+        live + extra <= tree_.size()) {
+        std::size_t words = (static_cast<std::size_t>(clock_) + 63) / 64;
+        std::vector<std::uint64_t> bits(words, 0);
+        last_pos_.forEach([&](std::uint64_t, const std::uint64_t &pos) {
+            bits[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+        });
+        std::vector<std::uint32_t> rank(words, 0);
+        std::uint32_t running = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+            rank[w] = running;
+            running += static_cast<std::uint32_t>(
+                std::popcount(bits[w]));
+        }
+        last_pos_.forEachMutable([&](std::uint64_t,
+                                     std::uint64_t &pos) {
+            std::uint64_t below =
+                bits[pos >> 6] &
+                ((std::uint64_t{1} << (pos & 63)) - 1);
+            pos = rank[pos >> 6] + std::popcount(below);
+        });
+        clock_ = live;
+        rebuildDense(live);
+        return;
+    }
+    std::size_t new_size = std::max<std::size_t>(64, tree_.size() * 2);
+    while (new_size < clock_ + extra)
+        new_size *= 2;
+    // Rebuild: Fenwick trees do not grow in place. Point counts first,
+    // then one propagation pass — O(size), not live log-walks.
+    tree_.assign(new_size, 0);
+    last_pos_.forEach([&](std::uint64_t, const std::uint64_t &pos) {
+        ++tree_[static_cast<std::size_t>(pos)];
+    });
+    for (std::size_t i = 1; i <= new_size; ++i) {
+        std::size_t j = i + (i & (~i + 1));
+        if (j <= new_size)
+            tree_[j - 1] += tree_[i - 1];
+    }
+}
+
+void
+ReuseDistance::recordDistance(std::uint64_t distance, std::uint64_t count)
+{
+    if (!record_histogram_)
+        return;
+    if (hist_.size() < distance)
+        hist_.resize(std::max<std::size_t>(
+            static_cast<std::size_t>(distance), hist_.size() * 2));
+    hist_[static_cast<std::size_t>(distance - 1)] += count;
+}
+
 std::uint64_t
 ReuseDistance::access(std::uint64_t key)
 {
+    ensureCapacity(1);
     std::size_t now = static_cast<std::size_t>(clock_++);
-    // Grow the Fenwick tree to cover position `now`.
-    if (now >= tree_.size()) {
-        std::size_t new_size = std::max<std::size_t>(64, tree_.size());
-        while (new_size <= now)
-            new_size *= 2;
-        // Rebuild: Fenwick trees do not grow in place.
-        std::vector<std::int64_t> old = std::move(tree_);
-        tree_.assign(new_size, 0);
-        // Re-add the single 1 per live key.
-        last_pos_.forEach([&](std::uint64_t, const std::uint64_t &pos) {
-            fenwickAdd(static_cast<std::size_t>(pos), 1);
-        });
-        (void)old;
-    }
+    ++accesses_;
 
     auto [pos, inserted] = last_pos_.tryEmplace(key);
     std::uint64_t distance;
@@ -51,31 +144,39 @@ ReuseDistance::access(std::uint64_t key)
     } else {
         std::size_t prev = static_cast<std::size_t>(pos);
         // Distinct keys accessed strictly after prev = suffix sum.
-        std::int64_t after =
-            fenwickSum(now) - fenwickSum(prev);
+        std::int64_t after = fenwickSum(now) - fenwickSum(prev);
         CBS_CHECK(after >= 0);
         distance = static_cast<std::uint64_t>(after) + 1;
         fenwickAdd(prev, -1);
-        if (hist_.size() < distance)
-            hist_.resize(std::max<std::size_t>(
-                static_cast<std::size_t>(distance), hist_.size() * 2));
-        ++hist_[static_cast<std::size_t>(distance - 1)];
+        recordDistance(distance);
     }
     pos = now;
     fenwickAdd(now, 1);
     return distance;
 }
 
+bool
+ReuseDistance::evict(std::uint64_t key)
+{
+    const std::uint64_t *pos = last_pos_.find(key);
+    if (pos == nullptr)
+        return false;
+    fenwickAdd(static_cast<std::size_t>(*pos), -1);
+    last_pos_.erase(key);
+    return true;
+}
+
 double
 ReuseDistance::missRatioAt(std::uint64_t c) const
 {
-    if (clock_ == 0)
+    if (accesses_ == 0)
         return 0.0;
     std::uint64_t hits = 0;
     std::uint64_t limit = std::min<std::uint64_t>(c, hist_.size());
     for (std::uint64_t d = 0; d < limit; ++d)
         hits += hist_[static_cast<std::size_t>(d)];
-    return 1.0 - static_cast<double>(hits) / static_cast<double>(clock_);
+    return 1.0 -
+           static_cast<double>(hits) / static_cast<double>(accesses_);
 }
 
 std::vector<std::pair<std::uint64_t, double>>
@@ -86,6 +187,65 @@ ReuseDistance::curve(const std::vector<std::uint64_t> &capacities) const
     for (std::uint64_t c : capacities)
         out.emplace_back(c, missRatioAt(c));
     return out;
+}
+
+void
+ReuseDistance::serializeTo(snap::Sink &sink) const
+{
+    sink.u8(record_histogram_ ? 1 : 0);
+    sink.vu64(accesses_);
+    sink.vu64(cold_);
+    // Live keys in last-access order; positions re-densify to 0..n-1
+    // on restore, which is exactly what compaction would produce.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> by_pos;
+    by_pos.reserve(last_pos_.size());
+    last_pos_.forEach([&](std::uint64_t key, const std::uint64_t &pos) {
+        by_pos.emplace_back(pos, key);
+    });
+    std::sort(by_pos.begin(), by_pos.end());
+    sink.vu64(by_pos.size());
+    for (const auto &[pos, key] : by_pos)
+        sink.vu64(key);
+    // Histogram trimmed of trailing zeros for canonical bytes.
+    std::size_t len = hist_.size();
+    while (len > 0 && hist_[len - 1] == 0)
+        --len;
+    sink.vu64(len);
+    for (std::size_t d = 0; d < len; ++d)
+        sink.vu64(hist_[d]);
+}
+
+void
+ReuseDistance::deserializeFrom(snap::Source &source)
+{
+    record_histogram_ = source.u8() != 0;
+    accesses_ = source.vu64();
+    cold_ = source.vu64();
+    std::uint64_t live = source.vu64();
+    if (live > source.remaining())
+        source.fail("reuse-distance key count " + std::to_string(live) +
+                    " exceeds the remaining payload");
+    last_pos_ = FlatMap<std::uint64_t>(static_cast<std::size_t>(live));
+    std::size_t tree_size = 64;
+    while (tree_size < live)
+        tree_size *= 2;
+    tree_.assign(tree_size, 0);
+    clock_ = live;
+    for (std::uint64_t i = 0; i < live; ++i) {
+        auto [pos, inserted] = last_pos_.tryEmplace(source.vu64());
+        if (!inserted)
+            source.fail("duplicate key in reuse-distance snapshot");
+        pos = i;
+    }
+    rebuildDense(static_cast<std::size_t>(live));
+    std::uint64_t len = source.vu64();
+    if (len > source.remaining())
+        source.fail("reuse-distance histogram length " +
+                    std::to_string(len) +
+                    " exceeds the remaining payload");
+    hist_.assign(static_cast<std::size_t>(len), 0);
+    for (std::uint64_t d = 0; d < len; ++d)
+        hist_[static_cast<std::size_t>(d)] = source.vu64();
 }
 
 } // namespace cbs

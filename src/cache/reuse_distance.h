@@ -8,6 +8,22 @@
  * touched since the previous access to the same block; an LRU cache of
  * capacity c hits exactly the accesses with distance <= c. One pass
  * therefore yields the LRU miss ratio at every cache size at once.
+ *
+ * The Fenwick tree is indexed by access position. Positions are
+ * renumbered in place ("compacted") whenever the tree would otherwise
+ * double past twice the live-key count: suffix sums only ever look at
+ * the *relative order* of the live keys' last-access positions, so
+ * renumbering preserves every future distance while keeping the tree
+ * O(unique keys) instead of O(accesses).
+ *
+ * Block workloads are sequential-heavy, so accessRun() exploits a
+ * stack-algorithm identity: consecutive keys whose previous accesses
+ * were also consecutive (adjacent live stack positions, same order)
+ * all have the SAME stack distance — as each one's turn comes, the
+ * keys ahead of it in the run have moved to the top, replacing
+ * one-for-one the run keys still below. One Fenwick query and two
+ * contiguous bulk updates then cover the whole run, instead of three
+ * scattered O(log n) walks per key.
  */
 
 #ifndef CBS_CACHE_REUSE_DISTANCE_H
@@ -17,6 +33,7 @@
 #include <vector>
 
 #include "common/flat_map.h"
+#include "snapshot/wire.h"
 
 namespace cbs {
 
@@ -26,7 +43,17 @@ class ReuseDistance
     /** Distance reported for first-ever accesses (cold misses). */
     static constexpr std::uint64_t kInfinite = ~std::uint64_t{0};
 
-    ReuseDistance() = default;
+    /**
+     * @param record_histogram keep the internal distance histogram
+     *        (missRatioAt/curve/histogram need it). Callers that
+     *        consume the distances access() returns directly — e.g.
+     *        an op-split histogram — can turn it off to halve the
+     *        per-tracker memory.
+     */
+    explicit ReuseDistance(bool record_histogram = true)
+        : record_histogram_(record_histogram)
+    {
+    }
 
     /**
      * Record an access to @p key.
@@ -36,16 +63,100 @@ class ReuseDistance
      */
     std::uint64_t access(std::uint64_t key);
 
-    std::uint64_t accessCount() const { return clock_; }
+    /**
+     * Access keys first_key .. first_key+count-1 in ascending order —
+     * exactly equivalent to @p count successive access() calls, with
+     * sequential sub-runs coalesced (see the file comment). @p emit is
+     * invoked as emit(distance, n) once per maximal sub-run of n keys
+     * sharing one distance; kInfinite marks cold sub-runs.
+     */
+    template <typename Emit>
+    void
+    accessRun(std::uint64_t first_key, std::uint64_t count, Emit &&emit)
+    {
+        if (count == 0)
+            return;
+        // Capacity up front: compaction renumbers positions, so it
+        // must not run between the probes and the tree updates below.
+        ensureCapacity(static_cast<std::size_t>(count));
+        accesses_ += count;
+        std::uint64_t key = first_key;
+        const std::uint64_t end = first_key + count;
+        while (key < end) {
+            auto [pos, inserted] = last_pos_.tryEmplace(key);
+            std::uint64_t n = 1;
+            if (inserted) {
+                // Cold sub-run: claim consecutive cold keys.
+                std::size_t start = static_cast<std::size_t>(clock_);
+                pos = clock_++;
+                ++cold_;
+                while (key + n < end) {
+                    auto [p, ins] = last_pos_.tryEmplace(key + n);
+                    if (!ins)
+                        break;
+                    p = clock_++;
+                    ++cold_;
+                    ++n;
+                }
+                fenwickBulkAdd(start, start + n - 1, 1);
+                emit(kInfinite, n);
+            } else {
+                std::size_t prev = static_cast<std::size_t>(pos);
+                std::size_t start = static_cast<std::size_t>(clock_);
+                pos = start;
+                while (key + n < end) {
+                    std::uint64_t *p = last_pos_.find(key + n);
+                    if (p == nullptr || *p != prev + n)
+                        break;
+                    *p = start + n;
+                    ++n;
+                }
+                std::int64_t above =
+                    static_cast<std::int64_t>(last_pos_.size()) -
+                    fenwickSum(prev + n - 1);
+                CBS_CHECK(above >= 0);
+                std::uint64_t distance =
+                    static_cast<std::uint64_t>(above) + n;
+                fenwickBulkAdd(prev, prev + n - 1, -1);
+                clock_ += n;
+                fenwickBulkAdd(start, start + n - 1, 1);
+                recordDistance(distance, n);
+                emit(distance, n);
+            }
+            key += n;
+        }
+    }
+
+    /**
+     * Forget @p key entirely: its next access is cold again and it no
+     * longer counts toward other keys' distances. Used by the adaptive
+     * SHARDS tracker when the sampling threshold drops.
+     *
+     * @return true if the key was tracked.
+     */
+    bool evict(std::uint64_t key);
+
+    std::uint64_t accessCount() const { return accesses_; }
     std::uint64_t coldMisses() const { return cold_; }
     std::uint64_t uniqueKeys() const { return last_pos_.size(); }
 
-    /** Histogram of finite distances (index d counts distance d+1...). */
+    /** Histogram of finite distances (index d counts distance d+1...).
+     *  Empty when constructed with record_histogram = false. */
     const std::vector<std::uint64_t> &histogram() const { return hist_; }
+
+    /** Invoke @p fn(key) for every tracked key (unspecified order). */
+    template <typename Fn>
+    void
+    forEachKey(Fn &&fn) const
+    {
+        last_pos_.forEach(
+            [&](std::uint64_t key, const std::uint64_t &) { fn(key); });
+    }
 
     /**
      * LRU miss ratio at cache capacity @p c blocks, computed from the
-     * recorded distances (cold misses count as misses).
+     * recorded distances (cold misses count as misses). Requires the
+     * internal histogram.
      */
     double missRatioAt(std::uint64_t c) const;
 
@@ -55,11 +166,35 @@ class ReuseDistance
     std::vector<std::pair<std::uint64_t, double>>
     curve(const std::vector<std::uint64_t> &capacities) const;
 
+    /**
+     * Snapshot the tracker (canonical bytes: live keys are written in
+     * last-access order, i.e. already compacted, so the encoding does
+     * not depend on when compactions happened to run).
+     */
+    void serializeTo(snap::Sink &sink) const;
+
+    /** Restore a serializeTo()d tracker, replacing current state. */
+    void deserializeFrom(snap::Source &source);
+
   private:
     void fenwickAdd(std::size_t pos, std::int64_t delta);
+    /** f[p] += delta for every p in [lo, hi]: the contiguous nodes in
+     *  [lo, hi] plus one ancestor walk, O(hi-lo + log n) instead of
+     *  (hi-lo+1) scattered log-walks. */
+    void fenwickBulkAdd(std::size_t lo, std::size_t hi,
+                        std::int64_t delta);
     std::int64_t fenwickSum(std::size_t pos) const;
+    /** Make room for @p extra appends: compact when at least half the
+     *  tree is dead positions, grow otherwise. */
+    void ensureCapacity(std::size_t extra);
+    /** Rebuild the whole tree for live keys at positions 0..live-1 —
+     *  one linear fill instead of live log-walks. */
+    void rebuildDense(std::size_t live);
+    void recordDistance(std::uint64_t distance, std::uint64_t count = 1);
 
-    std::uint64_t clock_ = 0;
+    bool record_histogram_ = true;
+    std::uint64_t clock_ = 0;    //!< next position (resets on compact)
+    std::uint64_t accesses_ = 0; //!< total accesses ever
     std::uint64_t cold_ = 0;
     FlatMap<std::uint64_t> last_pos_; //!< key -> last access position
     std::vector<std::int64_t> tree_;  //!< Fenwick over positions

@@ -8,8 +8,9 @@
 
 namespace cbs {
 
-ShardsReuseDistance::ShardsReuseDistance(double sampling_rate)
-    : rate_(sampling_rate)
+ShardsReuseDistance::ShardsReuseDistance(double sampling_rate,
+                                         std::size_t max_tracked)
+    : rate_(sampling_rate), budget_(max_tracked)
 {
     CBS_EXPECT(sampling_rate > 0.0 && sampling_rate <= 1.0,
                "sampling rate out of (0,1]: " << sampling_rate);
@@ -18,17 +19,67 @@ ShardsReuseDistance::ShardsReuseDistance(double sampling_rate)
     threshold_ = std::max<std::uint64_t>(threshold_, 1);
 }
 
-void
-ShardsReuseDistance::access(std::uint64_t key)
+std::uint64_t
+ShardsReuseDistance::keyHash(std::uint64_t key)
+{
+    return mix64(key ^ 0x5348415244534d50ULL) & (kModulus - 1);
+}
+
+ShardsReuseDistance::Sample
+ShardsReuseDistance::sampledAccess(std::uint64_t key)
 {
     ++offered_;
-    // Spatial sampling: the same key is always in or always out, so
-    // reuse pairs survive sampling intact.
-    if ((mix64(key ^ 0x5348415244534d50ULL) & (kModulus - 1)) >=
-        threshold_)
-        return;
+    // Spatial sampling: the same key is always in or always out (at a
+    // given threshold), so reuse pairs survive sampling intact. A key
+    // whose hash a threshold drop stranded can never re-enter.
+    std::uint64_t hash = keyHash(key);
+    if (hash >= threshold_)
+        return {false, ReuseDistance::kInfinite, rate_};
     ++sampled_;
-    inner_.access(key);
+    double rate = rate_;
+    std::uint64_t distance = inner_.access(key);
+    if (budget_ != 0 && distance == ReuseDistance::kInfinite) {
+        // Cold under-threshold access == newly tracked key (evicted
+        // keys sit at or above the threshold), so the heap mirrors
+        // the tracked set exactly.
+        heap_.push_back({hash, key});
+        std::push_heap(heap_.begin(), heap_.end());
+        if (inner_.uniqueKeys() > budget_)
+            shrinkToBudget();
+    }
+    return {true, distance, rate};
+}
+
+void
+ShardsReuseDistance::shrinkToBudget()
+{
+    // Pop max-hash keys until the budget holds, lowering T to each
+    // popped hash; then keep popping ties — the SHARDS filter is
+    // hash < T, so a key whose hash equals the new threshold is out.
+    while (inner_.uniqueKeys() > budget_ ||
+           (!heap_.empty() && heap_.front().hash >= threshold_)) {
+        std::pop_heap(heap_.begin(), heap_.end());
+        Tracked victim = heap_.back();
+        heap_.pop_back();
+        threshold_ = victim.hash;
+        bool removed = inner_.evict(victim.key);
+        CBS_CHECK(removed);
+        ++evicted_;
+    }
+    // A zero threshold (possible only if a tracked key hashed to 0)
+    // would zero the rate; clamp so scaling stays finite.
+    rate_ = static_cast<double>(std::max<std::uint64_t>(threshold_, 1)) /
+            static_cast<double>(kModulus);
+}
+
+std::uint64_t
+ShardsReuseDistance::estimatedUniqueKeys() const
+{
+    if (inner_.uniqueKeys() == 0)
+        return 0;
+    double est = static_cast<double>(inner_.uniqueKeys()) / rate_;
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(est)));
 }
 
 double
@@ -39,9 +90,53 @@ ShardsReuseDistance::missRatioAt(std::uint64_t c) const
     // A distance d in the sampled stream estimates d/R in the full
     // stream, so a full-stream capacity c maps to c*R in the sample.
     double scaled = static_cast<double>(c) * rate_;
-    std::uint64_t c_scaled = static_cast<std::uint64_t>(
-        std::max(1.0, std::llround(scaled) * 1.0));
+    std::uint64_t c_scaled = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(scaled)));
     return inner_.missRatioAt(c_scaled);
+}
+
+void
+ShardsReuseDistance::serializeTo(snap::Sink &sink) const
+{
+    sink.f64(rate_);
+    sink.vu64(threshold_);
+    sink.vu64(budget_);
+    sink.vu64(offered_);
+    sink.vu64(sampled_);
+    sink.vu64(evicted_);
+    inner_.serializeTo(sink);
+}
+
+void
+ShardsReuseDistance::deserializeFrom(snap::Source &source)
+{
+    rate_ = source.f64();
+    if (!(rate_ > 0.0 && rate_ <= 1.0))
+        source.fail("shards sampling rate out of (0,1]");
+    threshold_ = source.vu64();
+    if (threshold_ == 0 || threshold_ > kModulus)
+        source.fail("shards threshold out of range");
+    budget_ = static_cast<std::size_t>(source.vu64());
+    offered_ = source.vu64();
+    sampled_ = source.vu64();
+    evicted_ = source.vu64();
+    inner_.deserializeFrom(source);
+    if (budget_ != 0 && inner_.uniqueKeys() > budget_)
+        source.fail("shards tracked set exceeds its budget");
+    rebuildHeap();
+}
+
+void
+ShardsReuseDistance::rebuildHeap()
+{
+    heap_.clear();
+    if (budget_ == 0)
+        return;
+    // The heap is derived state: (hash, key) for every tracked key.
+    heap_.reserve(static_cast<std::size_t>(inner_.uniqueKeys()));
+    inner_.forEachKey(
+        [&](std::uint64_t key) { heap_.push_back({keyHash(key), key}); });
+    std::make_heap(heap_.begin(), heap_.end());
 }
 
 } // namespace cbs

@@ -5,18 +5,30 @@
  * cache-efficiency discussion).
  *
  * Exact Mattson stack distances (cbs::ReuseDistance) keep one tree
- * node per access; at production scale (billions of accesses) that is
- * prohibitive. SHARDS samples the *key space*: a key is tracked iff
- * hash(key) mod P < T, giving sampling rate R = T/P; each tracked
- * access's measured distance is scaled by 1/R. Fixed-rate SHARDS is
- * implemented here; the constant-memory variant (adaptive T) lowers T
- * whenever the tracked set exceeds a budget.
+ * node per *distinct key*; at production scale (hundreds of millions
+ * of blocks) even that is prohibitive. SHARDS samples the key space:
+ * a key is tracked iff hash(key) mod P < T, giving sampling rate
+ * R = T/P; each tracked access's measured distance estimates
+ * distance/R in the full stream. Because the filter is a pure
+ * function of the key, a key is always in or always out, so reuse
+ * pairs survive sampling intact.
+ *
+ * Two operating modes:
+ *  - Fixed rate (max_tracked = 0): T never changes; memory grows with
+ *    the sampled working set (rate * unique keys).
+ *  - Constant memory (max_tracked > 0, "SHARDS-max"): whenever the
+ *    tracked set exceeds the budget, the tracked key with the largest
+ *    hash is evicted and T drops to that hash, shrinking the sample
+ *    going forward. samplingRate() then reports the current
+ *    (lowered) rate; sampledAccess() reports the rate in effect for
+ *    each access so callers can scale distances as they stream.
  */
 
 #ifndef CBS_CACHE_SHARDS_H
 #define CBS_CACHE_SHARDS_H
 
 #include <cstdint>
+#include <vector>
 
 #include "cache/reuse_distance.h"
 
@@ -26,35 +38,94 @@ class ShardsReuseDistance
 {
   public:
     /**
-     * Fixed-rate SHARDS.
-     *
-     * @param sampling_rate fraction of the key space tracked (0,1].
+     * @param sampling_rate initial fraction of the key space tracked
+     *        (0,1].
+     * @param max_tracked cap on simultaneously-tracked keys; 0 keeps
+     *        the rate fixed (unbounded memory in the sampled set).
      */
-    explicit ShardsReuseDistance(double sampling_rate);
+    explicit ShardsReuseDistance(double sampling_rate,
+                                 std::size_t max_tracked = 0);
 
-    /** Record an access to @p key (ignored unless sampled). */
-    void access(std::uint64_t key);
+    /** What one access looked like to the sampler. */
+    struct Sample
+    {
+        /** Key fell under the threshold in effect for this access. */
+        bool sampled;
+        /** Raw sampled-stream stack distance (ReuseDistance::kInfinite
+         *  for a cold tracked access; meaningless when !sampled). */
+        std::uint64_t distance;
+        /** Sampling rate in effect when the access was recorded; a
+         *  finite distance estimates distance/rate in the full
+         *  stream. */
+        double rate;
+    };
+
+    /**
+     * Record an access to @p key, returning how the sampler saw it.
+     * May lower the threshold (constant-memory mode) as a side
+     * effect; the returned rate is the one *before* any adjustment.
+     */
+    Sample sampledAccess(std::uint64_t key);
+
+    /** Record an access, discarding the per-access detail. */
+    void access(std::uint64_t key) { (void)sampledAccess(key); }
 
     /** Total accesses offered (sampled or not). */
     std::uint64_t accessCount() const { return offered_; }
     /** Accesses that fell in the sample. */
     std::uint64_t sampledCount() const { return sampled_; }
+    /** Current sampling rate (== the initial rate in fixed mode). */
     double samplingRate() const { return rate_; }
+    /** Keys currently tracked (<= max_tracked in constant memory
+     *  mode). */
+    std::uint64_t trackedKeys() const { return inner_.uniqueKeys(); }
+    /** Keys dropped by threshold lowering (0 in fixed-rate mode). */
+    std::uint64_t evictedKeys() const { return evicted_; }
+    std::size_t maxTracked() const { return budget_; }
+
+    /** Unbiased distinct-key estimate: every key seen is tracked at
+     *  the end iff its hash clears the *final* threshold, so the
+     *  tracked count scales by 1/rate. */
+    std::uint64_t estimatedUniqueKeys() const;
 
     /**
      * Estimated LRU miss ratio at capacity @p c blocks: the miss ratio
      * of the sampled stream at capacity c*R (distances scale by 1/R).
+     * Uses the final rate; with an adaptive threshold this ignores
+     * that early accesses were sampled at a higher rate, so prefer
+     * per-access scaling via sampledAccess() when streaming.
      */
     double missRatioAt(std::uint64_t c) const;
 
+    /** Snapshot / restore (the eviction heap is rebuilt by rehashing
+     *  the tracked keys, so only the scalar state and the inner
+     *  tracker hit the wire). */
+    void serializeTo(snap::Sink &sink) const;
+    void deserializeFrom(snap::Source &source);
+
   private:
-    static constexpr std::uint64_t kModulus = std::uint64_t{1} << 24;
+    struct Tracked
+    {
+        std::uint64_t hash;
+        std::uint64_t key;
+        bool operator<(const Tracked &o) const { return hash < o.hash; }
+    };
+
+    static std::uint64_t keyHash(std::uint64_t key);
+    void shrinkToBudget();
+    void rebuildHeap();
 
     double rate_;
     std::uint64_t threshold_;
+    std::size_t budget_;
     std::uint64_t offered_ = 0;
     std::uint64_t sampled_ = 0;
+    std::uint64_t evicted_ = 0;
     ReuseDistance inner_;
+    std::vector<Tracked> heap_; //!< max-heap by hash; constant-memory
+                                //!< mode only
+
+    static constexpr std::uint64_t kModulus = std::uint64_t{1} << 24;
 };
 
 } // namespace cbs

@@ -2,8 +2,9 @@
  * @file
  * Shared CLI flag groups for the analysis-running subcommands
  * (`analyze`, `compare`, and the other trace readers): input-format
- * selection, the read-error policy / retry group, and the binder that
- * turns the common analysis knobs into an app::AnalysisRunOptions.
+ * selection, the read-error policy / retry group, the cache-simulation
+ * group (--cache-* / --shards-*), and the binder that turns the common
+ * analysis knobs into an app::AnalysisRunOptions.
  *
  * Header-only on purpose — cbs_cli is an INTERFACE library. Keeping
  * one binder means `compare` cannot drift from `analyze` again (the
@@ -124,6 +125,141 @@ resolvePolicyFlags(const ArgParser &parser, ErrorPolicyOptions &policy,
 }
 
 /**
+ * Comma-separated WSS fractions for --cache-fractions. Range
+ * validation ((0,1]) lives in the cache analyzers; this only parses.
+ */
+inline std::vector<double>
+parseFractionList(const std::string &text)
+{
+    std::vector<double> fractions;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        std::string item =
+            comma == std::string::npos ? text.substr(pos)
+                                       : text.substr(pos, comma - pos);
+        std::size_t used = 0;
+        double value = 0;
+        try {
+            value = std::stod(item, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (item.empty() || used != item.size())
+            throw std::invalid_argument(
+                "--cache-fractions expects comma-separated numbers, "
+                "got '" +
+                text + "'");
+        fractions.push_back(value);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return fractions;
+}
+
+/** The cache-simulation flag group shared by analyze and compare. */
+inline void
+addCacheSimFlags(ArgParser &parser)
+{
+    parser.flag("--cache-policy", "P",
+                "add the cache simulation with replacement policy P "
+                "(lru|fifo|clock|lfu|arc)");
+    parser.flag("--cache-fractions", "LIST",
+                "cache sizes as comma-separated fractions of each "
+                "volume's WSS (default 0.01,0.1; implies the "
+                "simulation)");
+    parser.flag("--cache-block-size", "N",
+                "cache simulation block size in bytes (default: "
+                "--block)");
+    parser.flag("--cache-mode", "M",
+                "cache engine: two-pass|mrc|mrc-shards (default "
+                "two-pass; the mrc engines are single-pass, LRU only, "
+                "and also report the full miss-ratio curve)");
+    parser.flag("--shards-rate", "R",
+                "mrc-shards spatial sampling rate in (0,1] "
+                "(default 0.01)");
+    parser.flag("--shards-budget", "N",
+                "mrc-shards cap on tracked blocks per volume "
+                "(0 = fixed-rate sampling)");
+}
+
+/** True when any cache flag engages the simulation. */
+inline bool
+wantsCacheSim(const ArgParser &parser)
+{
+    return parser.has("--cache-policy") ||
+           parser.has("--cache-fractions") ||
+           parser.has("--cache-block-size") ||
+           parser.has("--cache-mode") ||
+           parser.has("--shards-rate") ||
+           parser.has("--shards-budget");
+}
+
+/**
+ * Bind the addCacheSimFlags() group; engages options.cache only when
+ * wantsCacheSim(). Returns false after printing a diagnostic, with
+ * @p exit_code set. Value errors in --cache-fractions throw
+ * std::invalid_argument like the ArgParser numeric conversions.
+ */
+inline bool
+bindCacheSimFlags(const ArgParser &parser,
+                  app::AnalysisRunOptions &options, int &exit_code)
+{
+    if (!wantsCacheSim(parser))
+        return true;
+    app::CacheSimOptions cache;
+    cache.policy = parser.getString("--cache-policy", "lru");
+    if (parser.has("--cache-fractions"))
+        cache.fractions =
+            parseFractionList(parser.getString("--cache-fractions"));
+    cache.block_size = parser.getUint("--cache-block-size", 0);
+    std::string mode = parser.getString("--cache-mode", "two-pass");
+    if (mode == "two-pass") {
+        cache.mode = app::CacheSimMode::TwoPass;
+    } else if (mode == "mrc") {
+        cache.mode = app::CacheSimMode::Mrc;
+    } else if (mode == "mrc-shards") {
+        cache.mode = app::CacheSimMode::MrcShards;
+    } else {
+        std::fprintf(stderr,
+                     "unknown --cache-mode '%s' "
+                     "(two-pass|mrc|mrc-shards)\n",
+                     mode.c_str());
+        exit_code = 2;
+        return false;
+    }
+    if (cache.mode != app::CacheSimMode::MrcShards &&
+        (parser.has("--shards-rate") ||
+         parser.has("--shards-budget"))) {
+        std::fprintf(stderr,
+                     "--shards-rate/--shards-budget need "
+                     "--cache-mode mrc-shards\n");
+        exit_code = 2;
+        return false;
+    }
+    if (parser.has("--shards-rate")) {
+        std::string text = parser.getString("--shards-rate");
+        char *end = nullptr;
+        double rate = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0' ||
+            !(rate > 0.0 && rate <= 1.0)) {
+            std::fprintf(stderr,
+                         "--shards-rate expects a number in (0,1], "
+                         "got '%s'\n",
+                         text.c_str());
+            exit_code = 2;
+            return false;
+        }
+        cache.shards_rate = rate;
+    }
+    cache.shards_budget =
+        static_cast<std::size_t>(parser.getUint("--shards-budget", 0));
+    options.cache = cache;
+    return true;
+}
+
+/**
  * The analysis knobs `analyze` and `compare` share. Commands add
  * their own extras (--ingest-lanes, snapshot flags, ...) on top.
  */
@@ -144,6 +280,7 @@ addAnalysisRunFlags(ArgParser &parser)
     parser.toggle("--scalar",
                   "row-at-a-time dispatch (columnar kernels off; "
                   "identical results, slower)");
+    addCacheSimFlags(parser);
     addPolicyFlags(parser);
 }
 
@@ -176,7 +313,7 @@ bindAnalysisRunFlags(const ArgParser &parser,
         options.threads = parser.getUint("--threads", 0);
     options.batch_records = parser.getUint("--batch-records", 4096);
     options.columnar = !parser.has("--scalar");
-    return true;
+    return bindCacheSimFlags(parser, options, exit_code);
 }
 
 } // namespace cli

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * CacheMrc: the single-pass Mattson miss-ratio-curve analyzer.
+ *
+ * The headline property is exactness: for the LRU policy the MRC
+ * engine must reproduce the two-pass CacheMissAnalyzer bit for bit —
+ * every quantile of every fraction — because both divide the same
+ * integer miss tallies by the same integer op counts at the same
+ * capacities. Comparisons are EXPECT_EQ on doubles, no tolerance,
+ * across serial/parallel, row/columnar, and batch sizes. The suite
+ * also covers clone/mergeFrom, snapshot round-trips with canonical
+ * bytes, and the SHARDS-sampled approximation (which degenerates to
+ * the exact engine at sampling rate 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/cache_miss.h"
+#include "analysis/cache_mrc.h"
+#include "obs/metrics.h"
+#include "snapshot/wire.h"
+#include "synth/models.h"
+#include "synth/population.h"
+#include "trace/trace_source.h"
+
+namespace cbs {
+namespace {
+
+const std::vector<IoRequest> &
+goldenTrace()
+{
+    static const std::vector<IoRequest> requests = [] {
+        auto source =
+            makeTrace(aliCloudSpanSpec(SpanScale{30, 20000}), 7);
+        return drain(*source);
+    }();
+    return requests;
+}
+
+const std::vector<double> kFractions = {0.01, 0.10, 0.5};
+const std::vector<double> kQuantiles = {0.0,  0.01, 0.25, 0.5,
+                                        0.75, 0.9,  0.99, 1.0};
+
+void
+expectIdenticalRatios(const CacheSimResults &a, const CacheSimResults &b,
+                      const std::string &label)
+{
+    ASSERT_EQ(a.fractionCount(), b.fractionCount());
+    for (std::size_t i = 0; i < a.fractionCount(); ++i) {
+        const ExactQuantiles &ar = a.readMissRatios(i);
+        const ExactQuantiles &br = b.readMissRatios(i);
+        const ExactQuantiles &aw = a.writeMissRatios(i);
+        const ExactQuantiles &bw = b.writeMissRatios(i);
+        ASSERT_EQ(ar.count(), br.count()) << label << " fraction " << i;
+        ASSERT_EQ(aw.count(), bw.count()) << label << " fraction " << i;
+        for (double q : kQuantiles) {
+            if (ar.count()) {
+                EXPECT_EQ(ar.quantile(q), br.quantile(q))
+                    << label << " read q=" << q << " fraction " << i;
+            }
+            if (aw.count()) {
+                EXPECT_EQ(aw.quantile(q), bw.quantile(q))
+                    << label << " write q=" << q << " fraction " << i;
+            }
+        }
+    }
+}
+
+/** The two-pass LRU reference, run once. */
+const CacheMissAnalyzer &
+twoPassReference()
+{
+    static const CacheMissAnalyzer *reference = [] {
+        auto *analyzer =
+            new CacheMissAnalyzer(kFractions, 4096, "lru");
+        VectorSource source(goldenTrace());
+        analyzer->runTwoPass(source);
+        return analyzer;
+    }();
+    return *reference;
+}
+
+TEST(CacheMrc, ExactlyMatchesTwoPassLruSerial)
+{
+    for (bool columnar : {true, false}) {
+        for (std::size_t batch : {64u, 4096u}) {
+            CacheMrcAnalyzer mrc(kFractions, 4096);
+            VectorSource source(goldenTrace());
+            PipelineOptions options;
+            options.batch_records = batch;
+            options.columnar = columnar;
+            runPipeline(source, {&mrc}, options);
+            ASSERT_GT(mrc.readMissRatios(0).count(), 0u);
+            expectIdenticalRatios(
+                twoPassReference(), mrc,
+                std::string(columnar ? "columnar" : "row") +
+                    " batch=" + std::to_string(batch));
+        }
+    }
+}
+
+TEST(CacheMrc, ExactlyMatchesTwoPassLruParallel)
+{
+    for (std::size_t shards : {2u, 5u}) {
+        for (std::size_t lanes : {1u, 4u}) {
+            CacheMrcAnalyzer mrc(kFractions, 4096);
+            VectorSource source(goldenTrace());
+            ParallelOptions options;
+            options.shards = shards;
+            options.batch_size = 256;
+            options.ingest_lanes = lanes;
+            PipelineRunStatus status =
+                runPipelineParallel(source, {&mrc}, options);
+            EXPECT_FALSE(status.degraded);
+            expectIdenticalRatios(
+                twoPassReference(), mrc,
+                "shards=" + std::to_string(shards) +
+                    " lanes=" + std::to_string(lanes));
+        }
+    }
+}
+
+TEST(CacheMrc, ReportsModeAndCurve)
+{
+    CacheMrcAnalyzer mrc(kFractions, 4096);
+    VectorSource source(goldenTrace());
+    runPipeline(source, {&mrc}, PipelineOptions{});
+    EXPECT_EQ(std::string(mrc.modeName()), "mrc");
+    EXPECT_EQ(mrc.policyName(), "lru");
+    ASSERT_EQ(mrc.curvePointCount(),
+              CacheMrcAnalyzer::curveGrid().size());
+    // The curve is per-volume-median monotone non-increasing in the
+    // capacity fraction.
+    double last = 1.0;
+    for (std::size_t i = 0; i < mrc.curvePointCount(); ++i) {
+        ASSERT_GT(mrc.curveFractionAt(i), 0.0);
+        const ExactQuantiles &reads = *mrc.curveReadMissRatios(i);
+        ASSERT_GT(reads.count(), 0u);
+        double median = reads.quantile(0.5);
+        EXPECT_LE(median, last + 1e-12) << "curve point " << i;
+        last = median;
+    }
+    // The largest grid point is the whole WSS: nothing but cold
+    // misses survive at fraction 1.0.
+    std::size_t full = mrc.curvePointCount() - 1;
+    EXPECT_EQ(mrc.curveFractionAt(full), 1.0);
+}
+
+TEST(CacheMrc, CloneAndMergeMatchSerial)
+{
+    CacheMrcAnalyzer serial(kFractions, 4096);
+    for (const IoRequest &req : goldenTrace())
+        serial.consume(req);
+    serial.finalize();
+
+    // Volume-disjoint split, merged pre-finalize: the shardable
+    // contract by hand.
+    CacheMrcAnalyzer merged(kFractions, 4096);
+    auto replica = merged.clone();
+    for (const IoRequest &req : goldenTrace()) {
+        if (req.volume % 2 == 0)
+            merged.consume(req);
+        else
+            replica->consume(req);
+    }
+    merged.mergeFrom(*replica);
+    merged.finalize();
+    expectIdenticalRatios(serial, merged, "clone/merge");
+}
+
+TEST(CacheMrc, SnapshotRoundTripWithCanonicalBytes)
+{
+    CacheMrcAnalyzer serial(kFractions, 4096);
+    for (const IoRequest &req : goldenTrace())
+        serial.consume(req);
+
+    // Same pre-finalize state assembled from volume-disjoint shards:
+    // the snapshot bytes must not depend on the assembly schedule.
+    CacheMrcAnalyzer merged(kFractions, 4096);
+    auto replica = merged.clone();
+    for (const IoRequest &req : goldenTrace()) {
+        if (req.volume % 2 == 0)
+            merged.consume(req);
+        else
+            replica->consume(req);
+    }
+    merged.mergeFrom(*replica);
+
+    snap::Sink from_serial;
+    serial.serialize(from_serial);
+    snap::Sink from_merged;
+    merged.serialize(from_merged);
+    EXPECT_EQ(from_serial.data(), from_merged.data());
+
+    // Restore into a fresh clone and finish both: identical results.
+    auto restored = serial.clone();
+    snap::Source source(from_serial.data().data(), from_serial.size(),
+                        "cache_mrc");
+    restored->deserialize(source);
+    serial.finalize();
+    restored->finalize();
+    expectIdenticalRatios(
+        serial, dynamic_cast<const CacheMrcAnalyzer &>(*restored),
+        "snapshot");
+}
+
+TEST(CacheMrc, ShardsAtFullRateDegeneratesToExact)
+{
+    CacheMrcAnalyzer exact(kFractions, 4096);
+    CacheMrcAnalyzer sampled(kFractions, 4096, /*shards_rate=*/1.0);
+    for (const IoRequest &req : goldenTrace()) {
+        exact.consume(req);
+        sampled.consume(req);
+    }
+    exact.finalize();
+    sampled.finalize();
+    EXPECT_EQ(std::string(sampled.modeName()), "mrc-shards");
+    expectIdenticalRatios(exact, sampled, "rate-1.0");
+}
+
+TEST(CacheMrc, ShardsSampledStaysNearExact)
+{
+    CacheMrcAnalyzer exact(kFractions, 4096);
+    CacheMrcAnalyzer sampled(kFractions, 4096, /*shards_rate=*/0.5);
+    for (const IoRequest &req : goldenTrace()) {
+        exact.consume(req);
+        sampled.consume(req);
+    }
+    exact.finalize();
+    sampled.finalize();
+    // Medians of the per-volume miss-ratio populations stay close;
+    // individual small volumes can be noisy, the median is stable.
+    for (std::size_t i = 0; i < kFractions.size(); ++i) {
+        ASSERT_GT(sampled.readMissRatios(i).count(), 0u);
+        EXPECT_NEAR(sampled.readMissRatios(i).quantile(0.5),
+                    exact.readMissRatios(i).quantile(0.5), 0.15)
+            << "fraction " << kFractions[i];
+    }
+}
+
+TEST(CacheMrc, ShardsBudgetRoundTripsThroughSnapshots)
+{
+    CacheMrcAnalyzer original(kFractions, 4096, 1.0, 512);
+    for (const IoRequest &req : goldenTrace())
+        original.consume(req);
+
+    snap::Sink sink;
+    original.serialize(sink);
+    auto restored = original.clone();
+    snap::Source source(sink.data().data(), sink.size(), "cache_mrc");
+    restored->deserialize(source);
+
+    original.finalize();
+    restored->finalize();
+    expectIdenticalRatios(
+        original, dynamic_cast<const CacheMrcAnalyzer &>(*restored),
+        "budget snapshot");
+}
+
+TEST(CacheMrc, RejectsBadConfiguration)
+{
+    EXPECT_THROW(CacheMrcAnalyzer({}, 4096), FatalError);
+    EXPECT_THROW(CacheMrcAnalyzer({0.0}, 4096), FatalError);
+    EXPECT_THROW(CacheMrcAnalyzer({1.5}, 4096), FatalError);
+    EXPECT_THROW(CacheMrcAnalyzer({0.1}, 0), FatalError);
+    EXPECT_THROW(CacheMrcAnalyzer({0.1}, 4096, -0.5), FatalError);
+    EXPECT_THROW(CacheMrcAnalyzer({0.1}, 4096, 1.5), FatalError);
+    // A budget needs sampling engaged.
+    EXPECT_THROW(CacheMrcAnalyzer({0.1}, 4096, 0.0, 100), FatalError);
+}
+
+} // namespace
+} // namespace cbs

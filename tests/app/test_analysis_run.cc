@@ -239,6 +239,61 @@ TEST(AnalysisRun, UnknownCachePolicyIsAUsageError)
     EXPECT_THROW(app::runAnalysis(options), app::UsageError);
 }
 
+TEST(AnalysisRun, MrcModeRequiresTheLruPolicy)
+{
+    app::AnalysisRunOptions options;
+    options.path = goldenCsvPath();
+    options.cache.emplace();
+    options.cache->policy = "arc";
+    options.cache->mode = app::CacheSimMode::Mrc;
+    EXPECT_THROW(app::runAnalysis(options), app::UsageError);
+}
+
+TEST(AnalysisRun, MrcShardsRateIsValidated)
+{
+    app::AnalysisRunOptions options;
+    options.path = goldenCsvPath();
+    options.cache.emplace();
+    options.cache->mode = app::CacheSimMode::MrcShards;
+    options.cache->shards_rate = 0.0;
+    EXPECT_THROW(app::runAnalysis(options), app::UsageError);
+    options.cache->shards_rate = 1.5;
+    EXPECT_THROW(app::runAnalysis(options), app::UsageError);
+}
+
+TEST(AnalysisRun, MrcCacheSimMatchesTwoPassAtTheFractions)
+{
+    app::AnalysisRunOptions two_pass;
+    two_pass.path = goldenCsvPath();
+    two_pass.cache.emplace();
+    app::AnalysisRunResult a = app::runAnalysis(two_pass);
+    ASSERT_NE(a.cache_sim, nullptr);
+    EXPECT_EQ(std::string(a.cache_sim->modeName()), "two-pass");
+
+    app::AnalysisRunOptions mrc = two_pass;
+    mrc.cache->mode = app::CacheSimMode::Mrc;
+    obs::MetricsRegistry metrics;
+    mrc.metrics = &metrics;
+    app::AnalysisRunResult b = app::runAnalysis(mrc);
+    ASSERT_NE(b.cache_sim, nullptr);
+    EXPECT_EQ(std::string(b.cache_sim->modeName()), "mrc");
+    EXPECT_GT(metrics.counter("cache_sim.mrc_ns").value(), 0u);
+
+    ASSERT_EQ(a.cache_sim->fractionCount(),
+              b.cache_sim->fractionCount());
+    for (std::size_t i = 0; i < a.cache_sim->fractionCount(); ++i) {
+        const ExactQuantiles &ar = a.cache_sim->readMissRatios(i);
+        const ExactQuantiles &br = b.cache_sim->readMissRatios(i);
+        ASSERT_EQ(ar.count(), br.count());
+        for (double q : {0.25, 0.5, 0.9})
+            EXPECT_EQ(ar.quantile(q), br.quantile(q))
+                << "fraction " << i << " q=" << q;
+    }
+    // Only the MRC engine carries the full curve.
+    EXPECT_EQ(a.cache_sim->curvePointCount(), 0u);
+    EXPECT_GT(b.cache_sim->curvePointCount(), 0u);
+}
+
 TEST(AnalysisRun, TencentTraceSniffsThroughRunAnalysis)
 {
     std::string path = testing::TempDir() + "app_tencent.csv";

@@ -1,14 +1,42 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "cache/lru.h"
 #include "cache/reuse_distance.h"
+#include "snapshot/wire.h"
 #include "synth/rng.h"
 #include "synth/zipf.h"
 
 namespace cbs {
 namespace {
+
+/**
+ * Naive O(n^2) stack-distance reference: an explicit LRU stack (most
+ * recent at the front); the distance of a reuse is the key's 1-based
+ * stack depth. The Fenwick implementation must match it exactly.
+ */
+class NaiveStack
+{
+  public:
+    std::uint64_t access(std::uint64_t key)
+    {
+        auto it = std::find(stack_.begin(), stack_.end(), key);
+        if (it == stack_.end()) {
+            stack_.insert(stack_.begin(), key);
+            return ReuseDistance::kInfinite;
+        }
+        std::uint64_t distance =
+            static_cast<std::uint64_t>(it - stack_.begin()) + 1;
+        stack_.erase(it);
+        stack_.insert(stack_.begin(), key);
+        return distance;
+    }
+
+  private:
+    std::vector<std::uint64_t> stack_;
+};
 
 TEST(ReuseDistance, ColdAccessesAreInfinite)
 {
@@ -108,6 +136,207 @@ TEST(ReuseDistance, GrowsPastInitialTreeCapacity)
     // Every reuse skipped exactly 499 distinct keys.
     EXPECT_DOUBLE_EQ(rd.missRatioAt(499), 1.0);
     EXPECT_NEAR(rd.missRatioAt(500), 500.0 / 1500.0, 1e-9);
+}
+
+/**
+ * Property: every returned distance equals the naive stack reference,
+ * across stream shapes — zipf reuse, uniform reuse, and a pure scan —
+ * including streams long enough to drive the position-space compaction
+ * several times (few keys, many accesses).
+ */
+TEST(ReuseDistance, PropertyMatchesNaiveStackReference)
+{
+    auto check = [](const std::vector<std::uint64_t> &stream,
+                    const char *label) {
+        ReuseDistance rd;
+        NaiveStack naive;
+        for (std::size_t i = 0; i < stream.size(); ++i)
+            ASSERT_EQ(rd.access(stream[i]), naive.access(stream[i]))
+                << label << " at access " << i;
+    };
+
+    Rng rng(11);
+    ZipfSampler zipf(120, 0.9);
+    std::vector<std::uint64_t> stream;
+    // 120 keys x 20000 accesses: the Fenwick position space wraps and
+    // compacts many times over.
+    for (int i = 0; i < 20000; ++i)
+        stream.push_back(zipf.sample(rng));
+    check(stream, "zipf");
+
+    stream.clear();
+    for (int i = 0; i < 20000; ++i)
+        stream.push_back(rng.uniformInt(90));
+    check(stream, "uniform");
+
+    stream.clear();
+    for (std::uint64_t k = 0; k < 5000; ++k)
+        stream.push_back(k); // pure scan: all cold
+    check(stream, "scan");
+}
+
+/**
+ * Property: accessRun(first, n) is observably identical to n access()
+ * calls — same emitted distances key by key, same counters, same
+ * histogram, same canonical snapshot bytes — across range streams
+ * that exercise every coalescing shape: cold runs, fully-coalesced
+ * sequential reuse, partially-overlapping ranges (mixed cold/live
+ * sub-runs), and interleaved hot keys that break position adjacency.
+ */
+TEST(ReuseDistance, PropertyAccessRunMatchesPerKeyAccess)
+{
+    struct Range
+    {
+        std::uint64_t first;
+        std::uint64_t count;
+    };
+    auto check = [](const std::vector<Range> &ranges,
+                    const char *label) {
+        ReuseDistance per_key;
+        ReuseDistance run;
+        for (std::size_t i = 0; i < ranges.size(); ++i) {
+            const Range &r = ranges[i];
+            std::vector<std::uint64_t> expected;
+            expected.reserve(static_cast<std::size_t>(r.count));
+            for (std::uint64_t k = r.first; k < r.first + r.count; ++k)
+                expected.push_back(per_key.access(k));
+            std::vector<std::uint64_t> got;
+            run.accessRun(r.first, r.count,
+                          [&](std::uint64_t distance,
+                              std::uint64_t n) {
+                              for (std::uint64_t j = 0; j < n; ++j)
+                                  got.push_back(distance);
+                          });
+            ASSERT_EQ(got, expected) << label << " range " << i;
+        }
+        EXPECT_EQ(run.accessCount(), per_key.accessCount()) << label;
+        EXPECT_EQ(run.coldMisses(), per_key.coldMisses()) << label;
+        EXPECT_EQ(run.uniqueKeys(), per_key.uniqueKeys()) << label;
+        EXPECT_EQ(run.histogram(), per_key.histogram()) << label;
+        snap::Sink a;
+        per_key.serializeTo(a);
+        snap::Sink b;
+        run.serializeTo(b);
+        EXPECT_EQ(a.data(), b.data()) << label;
+    };
+
+    // Sequential scan with wrap: cold the first lap, fully coalesced
+    // reuse afterwards (plus compactions from the position churn).
+    std::vector<Range> ranges;
+    for (int lap = 0; lap < 6; ++lap)
+        for (std::uint64_t base = 0; base < 600; base += 8)
+            ranges.push_back({base, 8});
+    check(ranges, "sequential-laps");
+
+    // Random ranges over a small key space: overlapping starts and
+    // lengths produce mixed cold/live sub-runs and broken adjacency.
+    Rng rng(41);
+    ranges.clear();
+    for (int i = 0; i < 4000; ++i) {
+        std::uint64_t first = rng.uniformInt(800);
+        std::uint64_t count = 1 + rng.uniformInt(24);
+        ranges.push_back({first, count});
+    }
+    check(ranges, "random-ranges");
+
+    // Hot singletons interleaved with sequential sweeps: the hot keys
+    // sit mid-run and split would-be coalesced reuse runs.
+    ranges.clear();
+    for (int i = 0; i < 2500; ++i) {
+        if (i % 3 == 0)
+            ranges.push_back({rng.uniformInt(8) * 100, 1});
+        else
+            ranges.push_back({rng.uniformInt(40) * 16, 16});
+    }
+    check(ranges, "hot-interleave");
+}
+
+TEST(ReuseDistance, EvictRemovesKeyFromTheStack)
+{
+    ReuseDistance rd;
+    rd.access(1);
+    rd.access(2);
+    rd.access(3);
+    ASSERT_TRUE(rd.evict(2));
+    EXPECT_FALSE(rd.evict(2)); // already gone
+    EXPECT_EQ(rd.uniqueKeys(), 2u);
+    // With 2 evicted, only {3} separates the reuse of 1.
+    EXPECT_EQ(rd.access(1), 2u);
+    // 2 comes back cold.
+    EXPECT_EQ(rd.access(2), ReuseDistance::kInfinite);
+}
+
+TEST(ReuseDistance, ForEachKeyIteratesTheLiveSet)
+{
+    ReuseDistance rd;
+    for (std::uint64_t k = 10; k < 20; ++k)
+        rd.access(k);
+    rd.evict(15);
+    std::vector<std::uint64_t> keys;
+    rd.forEachKey([&](std::uint64_t key) { keys.push_back(key); });
+    std::sort(keys.begin(), keys.end());
+    ASSERT_EQ(keys.size(), 9u);
+    for (std::uint64_t key : keys)
+        EXPECT_NE(key, 15u);
+}
+
+TEST(ReuseDistance, SerializeRoundTripsMidStream)
+{
+    Rng rng(29);
+    ZipfSampler zipf(300, 0.8);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 12000; ++i)
+        stream.push_back(zipf.sample(rng));
+
+    ReuseDistance original;
+    for (std::size_t i = 0; i < stream.size() / 2; ++i)
+        original.access(stream[i]);
+
+    snap::Sink sink;
+    original.serializeTo(sink);
+    ReuseDistance restored;
+    snap::Source source(sink.data().data(), sink.size(),
+                        "reuse-distance");
+    restored.deserializeFrom(source);
+    source.expectEnd();
+
+    EXPECT_EQ(restored.accessCount(), original.accessCount());
+    EXPECT_EQ(restored.uniqueKeys(), original.uniqueKeys());
+    EXPECT_EQ(restored.coldMisses(), original.coldMisses());
+
+    // The remainder of the stream must produce identical distances on
+    // both instances: the restored position order is the live order.
+    for (std::size_t i = stream.size() / 2; i < stream.size(); ++i)
+        ASSERT_EQ(restored.access(stream[i]), original.access(stream[i]))
+            << "post-restore access " << i;
+    // The histograms agree up to trailing-zero padding (the growth
+    // schedule diverged at restore time, the counts may not).
+    auto trimmed = [](const std::vector<std::uint64_t> &hist) {
+        std::size_t len = hist.size();
+        while (len > 0 && hist[len - 1] == 0)
+            --len;
+        return std::vector<std::uint64_t>(hist.begin(),
+                                          hist.begin() + len);
+    };
+    EXPECT_EQ(trimmed(restored.histogram()),
+              trimmed(original.histogram()));
+
+    // Canonical bytes: re-serializing both sides agrees even though
+    // their growth/compaction schedules diverged at restore time.
+    snap::Sink again_original;
+    original.serializeTo(again_original);
+    snap::Sink again_restored;
+    restored.serializeTo(again_restored);
+    EXPECT_EQ(again_original.data(), again_restored.data());
+}
+
+TEST(ReuseDistance, HistogramRecordingCanBeDisabled)
+{
+    ReuseDistance rd(/*record_histogram=*/false);
+    rd.access(1);
+    rd.access(2);
+    EXPECT_EQ(rd.access(1), 2u); // distances still exact
+    EXPECT_TRUE(rd.histogram().empty());
 }
 
 } // namespace

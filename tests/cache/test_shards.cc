@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "cache/reuse_distance.h"
 #include "cache/shards.h"
 #include "common/error.h"
+#include "common/flat_map.h"
+#include "snapshot/wire.h"
 #include "synth/rng.h"
 #include "synth/zipf.h"
 
@@ -79,6 +82,163 @@ TEST(Shards, EmptyEstimatesFullMiss)
 {
     ShardsReuseDistance shards(0.5);
     EXPECT_DOUBLE_EQ(shards.missRatioAt(100), 1.0);
+}
+
+/**
+ * Property: the fixed-rate estimate stays within a few points of the
+ * exact curve across stream shapes — zipf, uniform, and a pure scan
+ * (where both sides are exactly all-miss).
+ */
+TEST(Shards, ErrorBoundAcrossStreamShapes)
+{
+    Rng rng(17);
+    auto check = [](const std::vector<std::uint64_t> &stream,
+                    const std::vector<std::uint64_t> &capacities,
+                    const char *label) {
+        ReuseDistance exact;
+        ShardsReuseDistance shards(0.2);
+        for (std::uint64_t key : stream) {
+            exact.access(key);
+            shards.access(key);
+        }
+        for (std::uint64_t c : capacities)
+            EXPECT_NEAR(shards.missRatioAt(c), exact.missRatioAt(c),
+                        0.05)
+                << label << " capacity " << c;
+    };
+
+    std::vector<std::uint64_t> stream;
+    ZipfSampler zipf(100000, 0.7);
+    for (int i = 0; i < 300000; ++i)
+        stream.push_back(zipf.sample(rng));
+    check(stream, {1000, 4000, 16000, 64000}, "zipf");
+
+    stream.clear();
+    for (int i = 0; i < 300000; ++i)
+        stream.push_back(rng.uniformInt(60000));
+    check(stream, {1000, 8000, 32000}, "uniform");
+
+    stream.clear();
+    for (std::uint64_t k = 0; k < 100000; ++k)
+        stream.push_back(k);
+    check(stream, {1000, 100000}, "scan"); // all cold on both sides
+}
+
+TEST(Shards, BudgetCapsTrackedKeysAndLowersTheRate)
+{
+    const std::size_t budget = 500;
+    ShardsReuseDistance shards(1.0, budget);
+    Rng rng(23);
+    double last_rate = shards.samplingRate();
+    for (int i = 0; i < 200000; ++i) {
+        shards.access(rng.uniformInt(40000));
+        // The threshold only ever decreases.
+        ASSERT_LE(shards.samplingRate(), last_rate);
+        last_rate = shards.samplingRate();
+        ASSERT_LE(shards.trackedKeys(), budget);
+    }
+    EXPECT_LT(shards.samplingRate(), 1.0);
+    EXPECT_GT(shards.evictedKeys(), 0u);
+    EXPECT_EQ(shards.maxTracked(), budget);
+}
+
+TEST(Shards, AdaptiveEstimatesUniqueKeys)
+{
+    // ~30k distinct keys, budget far below: the tracked-count / rate
+    // estimator should land within ~15% of the truth.
+    const std::uint64_t universe = 30000;
+    ShardsReuseDistance shards(1.0, 1000);
+    Rng rng(31);
+    FlatSet seen;
+    for (int i = 0; i < 300000; ++i) {
+        std::uint64_t key = rng.uniformInt(universe);
+        shards.access(key);
+        seen.insert(key);
+    }
+    double truth = static_cast<double>(seen.size());
+    double estimate =
+        static_cast<double>(shards.estimatedUniqueKeys());
+    EXPECT_NEAR(estimate / truth, 1.0, 0.15);
+}
+
+TEST(Shards, AdaptiveTracksTheExactCurve)
+{
+    // Adaptive accuracy uses per-access rate scaling (the consumer
+    // pattern: scale each sampled distance by the rate in effect when
+    // it was recorded). missRatioAt()'s final-rate shortcut is biased
+    // once the threshold has dropped, which is why the MRC analyzer
+    // does its own scaling. Near the working-set size the estimate
+    // also overcounts cold misses for evicted-then-reaccessed keys,
+    // an error that shrinks with the budget — hence 16k here.
+    Rng rng(37);
+    ZipfSampler zipf(80000, 0.7);
+    ReuseDistance exact;
+    ShardsReuseDistance shards(1.0, 16000);
+    std::vector<std::uint64_t> scaled;
+    std::uint64_t sampled = 0, cold = 0;
+    for (int i = 0; i < 300000; ++i) {
+        std::uint64_t key = zipf.sample(rng);
+        exact.access(key);
+        ShardsReuseDistance::Sample s = shards.sampledAccess(key);
+        if (!s.sampled)
+            continue;
+        ++sampled;
+        if (s.distance == ReuseDistance::kInfinite)
+            ++cold;
+        else
+            scaled.push_back(std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(std::llround(
+                       static_cast<double>(s.distance) / s.rate))));
+    }
+    ASSERT_GT(sampled, 0u);
+    for (std::uint64_t c : {2000u, 8000u, 32000u}) {
+        std::uint64_t misses = cold;
+        for (std::uint64_t d : scaled)
+            misses += d > c;
+        double estimate = static_cast<double>(misses) /
+                          static_cast<double>(sampled);
+        EXPECT_NEAR(estimate, exact.missRatioAt(c), 0.06)
+            << "capacity " << c;
+    }
+}
+
+TEST(Shards, SerializeRoundTripsMidStream)
+{
+    Rng rng(41);
+    ZipfSampler zipf(20000, 0.8);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 100000; ++i)
+        stream.push_back(zipf.sample(rng));
+
+    ShardsReuseDistance original(1.0, 1500);
+    for (std::size_t i = 0; i < stream.size() / 2; ++i)
+        original.access(stream[i]);
+
+    snap::Sink sink;
+    original.serializeTo(sink);
+    ShardsReuseDistance restored(0.5); // overwritten by the restore
+    snap::Source source(sink.data().data(), sink.size(), "shards");
+    restored.deserializeFrom(source);
+    source.expectEnd();
+
+    EXPECT_EQ(restored.accessCount(), original.accessCount());
+    EXPECT_EQ(restored.sampledCount(), original.sampledCount());
+    EXPECT_EQ(restored.trackedKeys(), original.trackedKeys());
+    EXPECT_EQ(restored.evictedKeys(), original.evictedKeys());
+    EXPECT_DOUBLE_EQ(restored.samplingRate(),
+                     original.samplingRate());
+
+    // Continuing both instances produces identical sampling decisions
+    // and distances (same threshold, same tracked set).
+    for (std::size_t i = stream.size() / 2; i < stream.size(); ++i) {
+        auto a = original.sampledAccess(stream[i]);
+        auto b = restored.sampledAccess(stream[i]);
+        ASSERT_EQ(a.sampled, b.sampled) << "access " << i;
+        ASSERT_EQ(a.distance, b.distance) << "access " << i;
+        ASSERT_DOUBLE_EQ(a.rate, b.rate) << "access " << i;
+    }
+    EXPECT_DOUBLE_EQ(restored.missRatioAt(5000),
+                     original.missRatioAt(5000));
 }
 
 } // namespace

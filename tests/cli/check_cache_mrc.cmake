@@ -1,0 +1,117 @@
+# Cache-mode equivalence check for cbs_tool analyze.
+#
+# One synthetic trace, converted csv -> bin and csv -> cbt2, analyzed
+# with the single-pass MRC cache simulation in every encoding and with
+# --threads: all mrc --summary-json outputs must be byte-identical.
+# The two-pass LRU simulation over the same trace must report the very
+# same per-fraction miss-ratio quantiles — Mattson exactness is the
+# contract — so the "fractions" region of the cache_sim JSON is
+# extracted from both and compared. The mrc-shards mode must run and
+# stamp its own mode name. Invoked via:
+# cmake -DCBS_TOOL=... -DWORK_DIR=... -P this script.
+
+foreach(var CBS_TOOL WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(csv "${WORK_DIR}/cache_mrc.csv")
+execute_process(
+    COMMAND "${CBS_TOOL}" generate "${csv}" --volumes 8
+            --requests 30000 --seed 19
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "generate exited ${rc}: ${stderr}")
+endif()
+
+foreach(ext bin cbt2)
+    execute_process(
+        COMMAND "${CBS_TOOL}" convert "${csv}"
+                "${WORK_DIR}/cache_mrc.${ext}"
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "convert to ${ext} exited ${rc}: ${stderr}")
+    endif()
+endforeach()
+
+function(analyze trace out_json)
+    execute_process(
+        COMMAND "${CBS_TOOL}" analyze "${trace}" --interval 720
+                --cache-fractions 0.01,0.1
+                --summary-json "${out_json}" ${ARGN}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE stderr)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "analyze ${trace} exited ${rc}: ${stderr}")
+    endif()
+endfunction()
+
+analyze("${csv}" "${WORK_DIR}/cache_mrc_csv.json" --cache-mode mrc)
+analyze("${WORK_DIR}/cache_mrc.bin" "${WORK_DIR}/cache_mrc_bin.json"
+        --cache-mode mrc)
+analyze("${WORK_DIR}/cache_mrc.cbt2" "${WORK_DIR}/cache_mrc_cbt2.json"
+        --cache-mode mrc)
+analyze("${csv}" "${WORK_DIR}/cache_mrc_threads.json" --cache-mode mrc
+        --threads 4)
+analyze("${csv}" "${WORK_DIR}/cache_mrc_scalar.json" --cache-mode mrc
+        --scalar)
+
+foreach(other bin cbt2 threads scalar)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/cache_mrc_csv.json"
+                "${WORK_DIR}/cache_mrc_${other}.json"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+                "cache_mrc_${other}.json differs from the csv run; the "
+                "MRC cache simulation depends on the trace encoding or "
+                "execution strategy")
+    endif()
+endforeach()
+
+# The two-pass reference over the same trace: the per-fraction ratios
+# must agree exactly, only the mode stamp and the curve may differ.
+analyze("${csv}" "${WORK_DIR}/cache_mrc_twopass.json"
+        --cache-mode two-pass)
+
+function(fractions_region json_file out_var)
+    file(READ "${json_file}" text)
+    string(REGEX MATCH "\"fractions\": \\[[^]]*\\]" region "${text}")
+    if(region STREQUAL "")
+        message(FATAL_ERROR "${json_file} has no cache_sim fractions")
+    endif()
+    set(${out_var} "${region}" PARENT_SCOPE)
+endfunction()
+
+fractions_region("${WORK_DIR}/cache_mrc_csv.json" mrc_fractions)
+fractions_region("${WORK_DIR}/cache_mrc_twopass.json" twopass_fractions)
+if(NOT mrc_fractions STREQUAL twopass_fractions)
+    message(FATAL_ERROR
+            "single-pass MRC fractions differ from the two-pass LRU "
+            "reference:\n${mrc_fractions}\nvs\n${twopass_fractions}")
+endif()
+
+file(READ "${WORK_DIR}/cache_mrc_csv.json" mrc_text)
+if(NOT mrc_text MATCHES "\"mode\": \"mrc\"")
+    message(FATAL_ERROR "mrc summary is not stamped with its mode")
+endif()
+if(NOT mrc_text MATCHES "\"curve\"")
+    message(FATAL_ERROR "mrc summary has no miss-ratio curve")
+endif()
+
+# The sampled mode runs end to end and stamps its own mode name.
+analyze("${csv}" "${WORK_DIR}/cache_mrc_shards.json"
+        --cache-mode mrc-shards --shards-rate 0.5)
+file(READ "${WORK_DIR}/cache_mrc_shards.json" shards_text)
+if(NOT shards_text MATCHES "\"mode\": \"mrc-shards\"")
+    message(FATAL_ERROR
+            "mrc-shards summary is not stamped with its mode")
+endif()
+
+message(STATUS "mrc cache JSON byte-identical across encodings and "
+               "threads; fractions exactly match the two-pass run")
